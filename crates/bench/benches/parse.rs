@@ -1,0 +1,59 @@
+//! Criterion benches for CFG construction: serial baseline vs. parallel
+//! engine, scheduling variants, and the decode-cache ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pba_gen::{generate, GenConfig};
+use pba_parse::{parse, ParseConfig, ParseInput, Scheduling};
+use std::hint::black_box;
+
+fn mid_binary() -> ParseInput {
+    let g = generate(&GenConfig { num_funcs: 300, seed: 0xBE4C, ..Default::default() });
+    let elf = pba_elf::Elf::parse(g.elf).unwrap();
+    ParseInput::from_elf(&elf).unwrap()
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let input = mid_binary();
+    let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut group = c.benchmark_group("cfg-construction");
+    group.sample_size(10);
+
+    group.bench_function("serial", |b| {
+        b.iter(|| black_box(parse(&input, &ParseConfig { threads: 1, ..Default::default() })))
+    });
+    let mut counts = vec![2, avail.max(2)];
+    counts.dedup();
+    for threads in counts {
+        group.bench_with_input(BenchmarkId::new("parallel-task", threads), &threads, |b, &n| {
+            b.iter(|| black_box(parse(&input, &ParseConfig { threads: n, ..Default::default() })))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel-rounds", threads), &threads, |b, &n| {
+            b.iter(|| {
+                black_box(parse(
+                    &input,
+                    &ParseConfig { threads: n, scheduling: Scheduling::Rounds, ..Default::default() },
+                ))
+            })
+        });
+    }
+    group.bench_function("no-decode-cache", |b| {
+        b.iter(|| {
+            black_box(parse(
+                &input,
+                &ParseConfig { threads: 1, decode_cache: false, ..Default::default() },
+            ))
+        })
+    });
+    group.bench_function("deferred-noreturn", |b| {
+        b.iter(|| {
+            black_box(parse(
+                &input,
+                &ParseConfig { threads: 1, eager_noreturn: false, ..Default::default() },
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse);
+criterion_main!(benches);

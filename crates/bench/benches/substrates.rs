@@ -1,0 +1,108 @@
+//! Criterion benches for the substrates: the accessor hash map vs. a
+//! global-mutex map (the paper's "protect with mutual exclusion"
+//! strawman, Section 1), DWARF decode serial vs. parallel, the
+//! multi-keyed symbol table, and raw instruction decoding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parking_lot::Mutex;
+use pba_concurrent::ConcurrentHashMap;
+use pba_dwarf::decode::{decode_parallel, decode_serial, DebugSlices};
+use pba_elf::IndexedSymbols;
+use pba_gen::{generate, GenConfig};
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_maps(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(2);
+    let keys_per_thread = 20_000u64;
+    let mut group = c.benchmark_group("concurrent-map");
+    group.sample_size(10);
+
+    group.bench_function("accessor-sharded", |b| {
+        b.iter(|| {
+            let m: Arc<ConcurrentHashMap<u64, u64>> = Arc::new(ConcurrentHashMap::new());
+            std::thread::scope(|s| {
+                for t in 0..threads as u64 {
+                    let m = Arc::clone(&m);
+                    s.spawn(move || {
+                        for k in 0..keys_per_thread {
+                            m.insert(k * 7 + t, k);
+                            black_box(m.find(&(k * 3)));
+                        }
+                    });
+                }
+            });
+            black_box(m.len())
+        })
+    });
+
+    group.bench_function("global-mutex", |b| {
+        b.iter(|| {
+            let m: Arc<Mutex<HashMap<u64, u64>>> = Arc::new(Mutex::new(HashMap::new()));
+            std::thread::scope(|s| {
+                for t in 0..threads as u64 {
+                    let m = Arc::clone(&m);
+                    s.spawn(move || {
+                        for k in 0..keys_per_thread {
+                            m.lock().entry(k * 7 + t).or_insert(k);
+                            black_box(m.lock().get(&(k * 3)).copied());
+                        }
+                    });
+                }
+            });
+            let len = m.lock().len();
+            black_box(len)
+        })
+    });
+    group.finish();
+}
+
+fn bench_dwarf(c: &mut Criterion) {
+    let g = generate(&GenConfig { num_funcs: 400, seed: 0xD4AF, debug_name_bloat: 8, ..Default::default() });
+    let elf = pba_elf::Elf::parse(g.elf).unwrap();
+    let mut group = c.benchmark_group("dwarf-decode");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| black_box(decode_serial(DebugSlices::from_elf(&elf)).unwrap()))
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| black_box(decode_parallel(DebugSlices::from_elf(&elf)).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_symtab(c: &mut Criterion) {
+    let g = generate(&GenConfig { num_funcs: 600, seed: 0x57AB, debug_info: false, ..Default::default() });
+    let elf = pba_elf::Elf::parse(g.elf).unwrap();
+    let mut group = c.benchmark_group("symbol-table");
+    group.sample_size(10);
+    group.bench_function("serial", |b| b.iter(|| black_box(IndexedSymbols::build_serial(&elf))));
+    group.bench_function("parallel", |b| b.iter(|| black_box(IndexedSymbols::build_parallel(&elf))));
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let g = generate(&GenConfig { num_funcs: 200, seed: 0xDEC0, debug_info: false, ..Default::default() });
+    let elf = pba_elf::Elf::parse(g.elf).unwrap();
+    let text = elf.section_data(".text").unwrap().to_vec();
+    c.bench_function("x86-linear-decode", |b| {
+        b.iter(|| {
+            let mut at = 0usize;
+            let mut n = 0u64;
+            while at < text.len() {
+                match pba_isa::x86::decode_one(&text[at..], 0x401000 + at as u64) {
+                    Ok(i) => {
+                        at += i.len as usize;
+                        n += 1;
+                    }
+                    Err(_) => at += 1,
+                }
+            }
+            black_box(n)
+        })
+    });
+}
+
+criterion_group!(benches, bench_maps, bench_dwarf, bench_symtab, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 2: phase trace of hpcstruct on the TensorFlow-class binary.
+//!
+//! The paper's figure is an HPCToolkit timeline; the same information —
+//! which phase dominates, which phases parallelize — is printed here as
+//! a proportional text trace.
+
+use pba_bench::report::secs;
+use pba_bench::workload;
+use pba_gen::Profile;
+use pba_hpcstruct::{analyze, HsConfig, PHASE_NAMES};
+
+fn main() {
+    let threads = std::env::var("PBA_THREADS")
+        .ok()
+        .and_then(|s| s.split(',').next_back().and_then(|x| x.trim().parse().ok()))
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    let g = workload(Profile::TensorFlow, 0xF162);
+    let out = analyze(&g.elf, &HsConfig { threads, name: "TensorFlow".into() }).expect("hpcstruct");
+    let total = out.times.total();
+
+    println!("Figure 2: hpcstruct phase trace on the TensorFlow-class binary ({threads} threads)\n");
+    const WIDTH: usize = 60;
+    for (i, name) in PHASE_NAMES.iter().enumerate() {
+        let t = out.times.seconds[i];
+        let bar = ((t / total) * WIDTH as f64).round() as usize;
+        println!(
+            "{name:<18} {:>9}  |{}{}| {:>5.1}%",
+            secs(t),
+            "#".repeat(bar),
+            " ".repeat(WIDTH - bar),
+            t / total * 100.0
+        );
+    }
+    println!("{:<18} {:>9}", "total", secs(total));
+    println!(
+        "\nparallel phases: 2 (DWARF), 4 (CFG), 6 (query), 7 (serialize); \
+         serial phases 1, 3, 5 bound the end-to-end speedup (Amdahl)."
+    );
+    println!(
+        "structure: {} functions, {} loops, {} statements",
+        out.structure.functions.len(),
+        out.structure.loop_count(),
+        out.structure.stmt_count()
+    );
+}

@@ -1,0 +1,52 @@
+//! Table 3: BinFeat stage times (CFG, IF, CF, DF, total) versus thread
+//! count over the forensics corpus.
+//!
+//! The paper's corpus is 504 binaries built from Apache/Redis/
+//! mysqlslap/Nginx; ours is the server-class generator profile. The
+//! corpus size scales with `PBA_SCALE` (default 24 binaries — the
+//! shape, per-stage scaling, is what matters).
+
+use pba_bench::report::{secs, speedup, Table};
+use pba_bench::workloads::{scale, sweep_threads};
+use pba_binfeat::analyze_corpus;
+use pba_gen::{generate, Profile};
+
+fn main() {
+    let n_binaries = ((24.0 * scale()) as usize).max(2);
+    eprintln!("generating {n_binaries} server-class binaries...");
+    let corpus: Vec<Vec<u8>> = (0..n_binaries)
+        .map(|i| {
+            let mut cfg = Profile::Server.config(0x7AB3 + i as u64);
+            cfg.num_funcs = (cfg.num_funcs / 4).max(16); // corpus of smaller binaries
+            generate(&cfg).elf
+        })
+        .collect();
+
+    let threads = sweep_threads();
+    println!("\nTable 3: BinFeat performance over {n_binaries} binaries (seconds)\n");
+    let mut t = Table::new(&["Threads", "CFG", "IF", "CF", "DF", "BinFeat"]);
+    let mut base: Option<(f64, f64, f64, f64, f64)> = None;
+    for &n in &threads {
+        let rep = analyze_corpus(&corpus, n).expect("binfeat");
+        let (c, i, f, d) = (rep.times.cfg, rep.times.insn, rep.times.control, rep.times.data);
+        let tot = rep.times.total();
+        if base.is_none() {
+            base = Some((c, i, f, d, tot));
+        }
+        t.row(vec![n.to_string(), secs(c), secs(i), secs(f), secs(d), secs(tot)]);
+    }
+    if let (Some((bc, bi, bf, bd, bt)), Some(&n)) = (base, threads.last()) {
+        let rep = analyze_corpus(&corpus, n).expect("binfeat");
+        t.row(vec![
+            format!("speedup@{n}"),
+            speedup(bc, rep.times.cfg),
+            speedup(bi, rep.times.insn),
+            speedup(bf, rep.times.control),
+            speedup(bd, rep.times.data),
+            speedup(bt, rep.times.total()),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("paper reference @64 threads: CFG x3.8, IF x17.9, CF x15.7, DF x9.0, total x6.9");
+    println!("(CFG scales worst: small functions + non-returning dependencies, Section 8.3)");
+}

@@ -1,0 +1,159 @@
+//! Section 8.1 correctness checker: parsed CFG vs. exact ground truth.
+//!
+//! The paper verifies three properties against DWARF+RTL-derived truth:
+//! function address ranges, jump-table sizes, and non-returning calls.
+//! Our generator records those facts exactly, so the checker reports
+//! precise match rates and a bounded list of differences for manual
+//! inspection (the paper's own evaluation worked the same way and found
+//! four difference classes).
+
+use pba_cfg::{EdgeKind, RetStatus};
+use pba_gen::Generated;
+use pba_parse::{parse_parallel, ParseInput};
+use serde::Serialize;
+
+/// Checker output for one binary.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct CheckReport {
+    /// Functions in the ground truth.
+    pub funcs_total: usize,
+    /// Functions whose parsed ranges match exactly.
+    pub funcs_range_match: usize,
+    /// Functions with the correct non-returning status.
+    pub funcs_status_match: usize,
+    /// Jump tables in the ground truth.
+    pub jts_total: usize,
+    /// Jump tables resolved with plausible target counts
+    /// (non-empty, and no more distinct targets than table entries).
+    pub jts_match: usize,
+    /// Non-returning call sites in the ground truth.
+    pub norets_total: usize,
+    /// Sites correctly lacking a fall-through edge.
+    pub norets_match: usize,
+    /// Human-readable differences (capped).
+    pub diffs: Vec<String>,
+}
+
+impl CheckReport {
+    /// Merge another binary's report into this aggregate.
+    pub fn merge(&mut self, other: CheckReport) {
+        self.funcs_total += other.funcs_total;
+        self.funcs_range_match += other.funcs_range_match;
+        self.funcs_status_match += other.funcs_status_match;
+        self.jts_total += other.jts_total;
+        self.jts_match += other.jts_match;
+        self.norets_total += other.norets_total;
+        self.norets_match += other.norets_match;
+        let room = 40usize.saturating_sub(self.diffs.len());
+        self.diffs.extend(other.diffs.into_iter().take(room));
+    }
+
+    /// All categories perfect?
+    pub fn perfect(&self) -> bool {
+        self.funcs_range_match == self.funcs_total
+            && self.funcs_status_match == self.funcs_total
+            && self.jts_match == self.jts_total
+            && self.norets_match == self.norets_total
+    }
+}
+
+/// Parse `g` with `threads` threads and compare against its truth.
+pub fn check_binary(g: &Generated, threads: usize) -> CheckReport {
+    let elf = pba_elf::Elf::parse(g.elf.clone()).expect("generated ELF parses");
+    let input = ParseInput::from_elf(&elf).expect("parse input");
+    let r = parse_parallel(&input, threads);
+    let cfg = &r.cfg;
+
+    let mut rep = CheckReport::default();
+
+    for f in &g.truth.functions {
+        rep.funcs_total += 1;
+        match cfg.functions.get(&f.entry) {
+            None => rep.diffs.push(format!("missing function {} at {:#x}", f.name, f.entry)),
+            Some(pf) => {
+                let got = pf.ranges(cfg);
+                let mut want = f.ranges.clone();
+                want.sort_unstable();
+                if got == want {
+                    rep.funcs_range_match += 1;
+                } else {
+                    rep.diffs.push(format!("{}: ranges {:x?} != {:x?}", f.name, got, want));
+                }
+                let status_ok = (pf.ret_status == RetStatus::NoReturn) == f.noreturn;
+                if status_ok {
+                    rep.funcs_status_match += 1;
+                } else {
+                    rep.diffs.push(format!(
+                        "{}: status {:?}, truth noreturn={}",
+                        f.name, pf.ret_status, f.noreturn
+                    ));
+                }
+            }
+        }
+    }
+
+    for jt in &g.truth.jump_tables {
+        rep.jts_total += 1;
+        let block = cfg.blocks.values().find(|b| b.contains(jt.jump_addr));
+        let targets: std::collections::BTreeSet<u64> = block
+            .map(|b| {
+                cfg.out_edges(b.start)
+                    .iter()
+                    .filter(|e| e.kind == EdgeKind::Indirect)
+                    .map(|e| e.dst)
+                    .collect()
+            })
+            .unwrap_or_default();
+        if !targets.is_empty() && targets.len() as u64 <= jt.entries {
+            rep.jts_match += 1;
+        } else {
+            rep.diffs.push(format!(
+                "jump table at {:#x}: {} targets vs {} entries",
+                jt.jump_addr,
+                targets.len(),
+                jt.entries
+            ));
+        }
+    }
+
+    for &call in &g.truth.noreturn_calls {
+        rep.norets_total += 1;
+        let block = cfg.blocks.values().find(|b| b.contains(call));
+        let has_ft = block
+            .map(|b| cfg.out_edges(b.start).iter().any(|e| e.kind == EdgeKind::CallFallthrough))
+            .unwrap_or(false);
+        if !has_ft {
+            rep.norets_match += 1;
+        } else {
+            rep.diffs.push(format!("noreturn call at {call:#x} has a fall-through edge"));
+        }
+    }
+
+    rep.diffs.truncate(40);
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pba_gen::{generate, GenConfig};
+
+    #[test]
+    fn clean_binary_checks_perfect() {
+        let g = generate(&GenConfig { num_funcs: 30, seed: 2024, ..Default::default() });
+        let rep = check_binary(&g, 2);
+        assert!(rep.perfect(), "diffs: {:#?}", rep.diffs);
+        assert_eq!(rep.funcs_total, g.truth.functions.len());
+        assert!(rep.funcs_total > 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = CheckReport { funcs_total: 3, funcs_range_match: 3, ..Default::default() };
+        let mut b = CheckReport { funcs_total: 2, funcs_range_match: 1, ..Default::default() };
+        b.merge(a);
+        assert_eq!(b.funcs_total, 5);
+        assert_eq!(b.funcs_range_match, 4);
+        assert!(!b.perfect());
+    }
+}

@@ -1,0 +1,70 @@
+//! Workload construction and sweep configuration.
+
+use pba_gen::{generate, Generated, Profile};
+
+/// Scale factor from `PBA_SCALE` (default 1.0).
+pub fn scale() -> f64 {
+    std::env::var("PBA_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+}
+
+/// Apply the scale factor to a function count.
+pub fn scaled(n: usize) -> usize {
+    ((n as f64 * scale()) as usize).max(4)
+}
+
+/// Generate the binary for a profile at the current scale.
+pub fn workload(profile: Profile, seed: u64) -> Generated {
+    let mut cfg = profile.config(seed);
+    cfg.num_funcs = scaled(cfg.num_funcs);
+    generate(&cfg)
+}
+
+/// Thread counts to sweep: `PBA_THREADS` or the paper's ladder clamped
+/// to 4× the available parallelism (oversubscription beyond that only
+/// adds noise).
+pub fn sweep_threads() -> Vec<usize> {
+    if let Ok(s) = std::env::var("PBA_THREADS") {
+        let v: Vec<usize> = s.split(',').filter_map(|x| x.trim().parse().ok()).collect();
+        if !v.is_empty() {
+            return v;
+        }
+    }
+    let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    [1usize, 2, 4, 8, 16, 32, 64]
+        .into_iter()
+        .filter(|&t| t <= (avail * 4).max(2))
+        .collect()
+}
+
+/// Median-of-N timing helper (seconds).
+pub fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = std::time::Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_nonempty_and_starts_at_one() {
+        let v = sweep_threads();
+        assert!(!v.is_empty());
+        assert_eq!(v[0], 1);
+    }
+
+    #[test]
+    fn time_median_times_something() {
+        let t = time_median(3, || {
+            std::hint::black_box((0..10_000).sum::<u64>());
+        });
+        assert!(t >= 0.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Corpus-level extraction — Table 3's workload shape.
+//!
+//! The paper's forensics experiment runs BinFeat over 504 binaries; the
+//! interesting measurement is the *per-stage* total time (CFG, IF, CF,
+//! DF) as the thread count varies. Binaries are processed sequentially
+//! and each stage parallelizes within the binary, matching the paper's
+//! setup (node-level parallelism across binaries is called out as
+//! orthogonal in Section 9).
+
+use crate::features::{extract_binary, FeatureIndex};
+use serde::Serialize;
+
+/// Aggregate stage times over the corpus (seconds).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct StageTimes {
+    /// CFG construction.
+    pub cfg: f64,
+    /// Instruction features.
+    pub insn: f64,
+    /// Control-flow features.
+    pub control: f64,
+    /// Data-flow features.
+    pub data: f64,
+}
+
+impl StageTimes {
+    /// End-to-end total.
+    pub fn total(&self) -> f64 {
+        self.cfg + self.insn + self.control + self.data
+    }
+}
+
+/// Corpus extraction result.
+#[derive(Debug, Default)]
+pub struct CorpusReport {
+    /// Global feature index across all binaries.
+    pub index: FeatureIndex,
+    /// Per-stage aggregate times.
+    pub times: StageTimes,
+    /// Number of binaries processed.
+    pub binaries: usize,
+}
+
+/// Extract features from every binary with `threads` worker threads.
+pub fn analyze_corpus(binaries: &[Vec<u8>], threads: usize) -> Result<CorpusReport, String> {
+    let mut report = CorpusReport { binaries: binaries.len(), ..Default::default() };
+    for bytes in binaries {
+        let r = extract_binary(bytes, threads)?;
+        report.times.cfg += r.t_cfg;
+        report.times.insn += r.t_if;
+        report.times.control += r.t_cf;
+        report.times.data += r.t_df;
+        for (k, v) in r.index {
+            *report.index.entry(k).or_insert(0) += v;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pba_gen::{generate, GenConfig};
+
+    fn corpus(n: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| {
+                generate(&GenConfig {
+                    num_funcs: 12,
+                    seed: 1000 + i as u64,
+                    debug_info: false,
+                    ..Default::default()
+                })
+                .elf
+            })
+            .collect()
+    }
+
+    #[test]
+    fn corpus_merges_indexes() {
+        let c = corpus(4);
+        let r = analyze_corpus(&c, 2).unwrap();
+        assert_eq!(r.binaries, 4);
+        assert!(!r.index.is_empty());
+        assert!(r.times.total() > 0.0);
+        // Union must dominate any single binary's index size.
+        let single = extract_binary(&c[0], 2).unwrap();
+        assert!(r.index.len() >= single.index.len());
+    }
+
+    #[test]
+    fn corpus_deterministic() {
+        let c = corpus(3);
+        let a = analyze_corpus(&c, 1).unwrap();
+        let b = analyze_corpus(&c, 4).unwrap();
+        assert_eq!(a.index, b.index);
+    }
+}

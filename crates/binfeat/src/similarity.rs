@@ -1,0 +1,105 @@
+//! Feature-vector similarity — the paper's Section 9 pointer to binary
+//! code similarity applications (vulnerability search, clone detection).
+//!
+//! Feature indexes from [`crate::features`] are sparse count vectors;
+//! cosine similarity over them is the standard scoring these systems use,
+//! with Jaccard over the feature *sets* as a cheaper alternative.
+
+use crate::features::FeatureIndex;
+
+/// Cosine similarity between two feature-count vectors (0.0 ..= 1.0).
+pub fn cosine(a: &FeatureIndex, b: &FeatureIndex) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    // Iterate the smaller map for the dot product.
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let dot: f64 = small
+        .iter()
+        .filter_map(|(k, &va)| large.get(k).map(|&vb| va as f64 * vb as f64))
+        .sum();
+    let na: f64 = a.values().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt();
+    let nb: f64 = b.values().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        (dot / (na * nb)).clamp(0.0, 1.0)
+    }
+}
+
+/// Jaccard similarity of the feature *sets* (presence only).
+pub fn jaccard(a: &FeatureIndex, b: &FeatureIndex) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let inter = small.keys().filter(|k| large.contains_key(*k)).count();
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Rank `corpus` members by cosine similarity to `query`, best first.
+/// Returns `(index, score)` pairs.
+pub fn rank(query: &FeatureIndex, corpus: &[FeatureIndex]) -> Vec<(usize, f64)> {
+    let mut scored: Vec<(usize, f64)> =
+        corpus.iter().enumerate().map(|(i, c)| (i, cosine(query, c))).collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::extract_binary;
+    use pba_gen::{generate, GenConfig};
+
+    fn features(seed: u64, funcs: usize) -> FeatureIndex {
+        let g = generate(&GenConfig { seed, num_funcs: funcs, debug_info: false, ..Default::default() });
+        extract_binary(&g.elf, 1).unwrap().index
+    }
+
+    #[test]
+    fn identical_binaries_score_one() {
+        let a = features(1, 16);
+        let b = features(1, 16);
+        assert!((cosine(&a, &b) - 1.0).abs() < 1e-9);
+        assert!((jaccard(&a, &b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn near_clones_beat_strangers() {
+        // Same seed, one extra function ≈ a patched binary.
+        let base = features(7, 24);
+        let clone = features(7, 25);
+        let stranger = features(999, 24);
+        assert!(
+            cosine(&base, &clone) > cosine(&base, &stranger),
+            "clone {:.3} vs stranger {:.3}",
+            cosine(&base, &clone),
+            cosine(&base, &stranger)
+        );
+        assert!(jaccard(&base, &clone) > jaccard(&base, &stranger));
+    }
+
+    #[test]
+    fn rank_orders_by_similarity() {
+        let query = features(7, 24);
+        let corpus = vec![features(999, 24), features(7, 25), features(1234, 24)];
+        let ranked = rank(&query, &corpus);
+        assert_eq!(ranked[0].0, 1, "the near-clone ranks first: {ranked:?}");
+        assert!(ranked[0].1 > ranked[1].1);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let empty = FeatureIndex::default();
+        let a = features(1, 8);
+        assert_eq!(cosine(&empty, &a), 0.0);
+        assert_eq!(jaccard(&empty, &empty), 1.0);
+        assert!(jaccard(&empty, &a) == 0.0);
+    }
+}

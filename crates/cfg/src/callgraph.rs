@@ -1,0 +1,188 @@
+//! Inter-procedural call graph over a finalized CFG.
+//!
+//! Several applications the paper positions as beneficiaries (Section 9
+//! — binary code similarity, vulnerability search) start from the call
+//! graph rather than individual CFGs. Building it from a finalized
+//! [`crate::Cfg`] is pure read-only aggregation, so it follows the same
+//! Listing 7 pattern as every other post-parse analysis.
+
+use crate::model::{Cfg, EdgeKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A call graph: function entries connected by call/tail-call edges.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    /// callee entries per caller entry (sorted, deduplicated).
+    pub callees: BTreeMap<u64, Vec<u64>>,
+    /// caller entries per callee entry.
+    pub callers: BTreeMap<u64, Vec<u64>>,
+}
+
+impl CallGraph {
+    /// Build from a finalized CFG. An edge `f → g` exists when any block
+    /// of `f` has a `Call` or `TailCall` edge to `g`'s entry.
+    pub fn build(cfg: &Cfg) -> CallGraph {
+        let mut callees: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+        let mut callers: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+        for f in cfg.functions.values() {
+            for &b in &f.blocks {
+                for e in cfg.out_edges(b) {
+                    if matches!(e.kind, EdgeKind::Call | EdgeKind::TailCall)
+                        && cfg.functions.contains_key(&e.dst)
+                    {
+                        callees.entry(f.entry).or_default().insert(e.dst);
+                        callers.entry(e.dst).or_default().insert(f.entry);
+                    }
+                }
+            }
+        }
+        CallGraph {
+            callees: callees.into_iter().map(|(k, v)| (k, v.into_iter().collect())).collect(),
+            callers: callers.into_iter().map(|(k, v)| (k, v.into_iter().collect())).collect(),
+        }
+    }
+
+    /// Functions `f` calls directly.
+    pub fn callees_of(&self, f: u64) -> &[u64] {
+        self.callees.get(&f).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Functions calling `f` directly.
+    pub fn callers_of(&self, f: u64) -> &[u64] {
+        self.callers.get(&f).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Transitive closure of callees from `roots`.
+    pub fn reachable_from(&self, roots: &[u64]) -> BTreeSet<u64> {
+        let mut seen: BTreeSet<u64> = BTreeSet::new();
+        let mut work: Vec<u64> = roots.to_vec();
+        while let Some(f) = work.pop() {
+            if !seen.insert(f) {
+                continue;
+            }
+            work.extend(self.callees_of(f));
+        }
+        seen
+    }
+
+    /// Bottom-up order: callees before callers (cycles broken at the
+    /// revisit point). Useful for summary-based inter-procedural
+    /// analyses.
+    pub fn bottom_up_order(&self, roots: &[u64]) -> Vec<u64> {
+        let mut order = Vec::new();
+        let mut state: BTreeMap<u64, u8> = BTreeMap::new(); // 1 = open, 2 = done
+        let mut stack: Vec<(u64, bool)> = roots.iter().map(|&r| (r, false)).collect();
+        while let Some((f, post)) = stack.pop() {
+            if post {
+                state.insert(f, 2);
+                order.push(f);
+                continue;
+            }
+            if state.contains_key(&f) {
+                continue;
+            }
+            state.insert(f, 1);
+            stack.push((f, true));
+            for &c in self.callees_of(f) {
+                if !state.contains_key(&c) {
+                    stack.push((c, false));
+                }
+            }
+        }
+        order
+    }
+
+    /// Maximum call depth from `root` (None on unreachable; cycles count
+    /// once).
+    pub fn depth_from(&self, root: u64) -> usize {
+        let mut depth: BTreeMap<u64, usize> = BTreeMap::new();
+        let mut work = vec![(root, 0usize)];
+        let mut max = 0;
+        while let Some((f, d)) = work.pop() {
+            match depth.get(&f) {
+                Some(&prev) if prev >= d => continue,
+                _ => {}
+            }
+            depth.insert(f, d);
+            max = max.max(d);
+            for &c in self.callees_of(f) {
+                if depth.get(&c).copied().unwrap_or(0) < d + 1 && d < 1024 {
+                    work.push((c, d + 1));
+                }
+            }
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Block, CodeRegion, Edge, Function, RetStatus};
+    use pba_isa::Arch;
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::sync::Arc;
+
+    /// Build a toy CFG: three functions a(0x10) -> b(0x20) -> c(0x30),
+    /// and a tail call a -> c.
+    fn toy() -> Cfg {
+        let mut blocks = BTreeMap::new();
+        let mut edges = BTreeSet::new();
+        let mut functions = BTreeMap::new();
+        for (entry, name, callees) in [
+            (0x10u64, "a", vec![(0x20u64, EdgeKind::Call), (0x30, EdgeKind::TailCall)]),
+            (0x20, "b", vec![(0x30, EdgeKind::Call)]),
+            (0x30, "c", vec![]),
+        ] {
+            blocks.insert(entry, Block { start: entry, end: entry + 8 });
+            for (dst, kind) in callees {
+                edges.insert(Edge { src: entry, dst, kind });
+            }
+            functions.insert(
+                entry,
+                Function {
+                    entry,
+                    name: name.into(),
+                    blocks: vec![entry],
+                    ret_status: RetStatus::Returns,
+                },
+            );
+        }
+        Cfg::new(
+            blocks,
+            edges,
+            functions,
+            Arc::new(CodeRegion::new(Arch::X86_64, 0, vec![0x90; 0x40])),
+        )
+    }
+
+    #[test]
+    fn builds_callees_and_callers() {
+        let cg = CallGraph::build(&toy());
+        assert_eq!(cg.callees_of(0x10), &[0x20, 0x30]);
+        assert_eq!(cg.callees_of(0x20), &[0x30]);
+        assert!(cg.callees_of(0x30).is_empty());
+        assert_eq!(cg.callers_of(0x30), &[0x10, 0x20]);
+        assert_eq!(cg.callers_of(0x10).len(), 0);
+    }
+
+    #[test]
+    fn reachability_and_depth() {
+        let cg = CallGraph::build(&toy());
+        let r = cg.reachable_from(&[0x10]);
+        assert_eq!(r, BTreeSet::from([0x10, 0x20, 0x30]));
+        assert_eq!(cg.reachable_from(&[0x20]), BTreeSet::from([0x20, 0x30]));
+        assert_eq!(cg.depth_from(0x10), 2);
+        assert_eq!(cg.depth_from(0x30), 0);
+    }
+
+    #[test]
+    fn bottom_up_places_callees_first() {
+        let cg = CallGraph::build(&toy());
+        let order = cg.bottom_up_order(&[0x10]);
+        let pos = |f: u64| order.iter().position(|&x| x == f).unwrap();
+        assert!(pos(0x30) < pos(0x20));
+        assert!(pos(0x20) < pos(0x10));
+        assert_eq!(order.len(), 3);
+    }
+}

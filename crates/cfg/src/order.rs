@@ -1,0 +1,155 @@
+//! The partial order `G1 ≼ G2` between abstract graphs (paper Section 3).
+//!
+//! "A larger graph includes more control flow elements." Four conditions,
+//! implemented literally:
+//!
+//! 1. address coverage: `A1 ⊆ A2`;
+//! 2. explicit control flow is preserved modulo block-range adjustment —
+//!    with our split-stable edge identity `(src_end, dst_start, kind)`
+//!    this is plain set inclusion `E1 ⊆ E2`;
+//! 3. implicit control flow through each `G1` block survives as a
+//!    fall-through chain of `G2` blocks covering the same range;
+//! 4. function entry labels are preserved.
+//!
+//! The monotonicity property of `O_IEC` (Section 4.1) is stated in terms
+//! of this order, and the property tests exercise it on synthetic code.
+
+use crate::model::EdgeKind;
+use crate::ops::{AbsEdge, AbsGraph};
+
+/// Is every address covered by `a` also covered by `b`?
+fn coverage_le(a: &AbsGraph, b: &AbsGraph) -> bool {
+    let ca = a.covered();
+    let cb = b.covered();
+    // Both are sorted disjoint interval lists; check inclusion by merge.
+    let mut j = 0usize;
+    for &(lo, hi) in &ca {
+        // Advance to the b-interval that could contain lo.
+        while j < cb.len() && cb[j].1 <= lo {
+            j += 1;
+        }
+        if j >= cb.len() || cb[j].0 > lo || cb[j].1 < hi {
+            return false;
+        }
+    }
+    true
+}
+
+/// Does `g` contain a fall-through chain of blocks exactly covering
+/// `[s0, e)`?
+fn chain_covers(g: &AbsGraph, s0: u64, e: u64) -> bool {
+    let mut at = s0;
+    loop {
+        let Some(&end) = g.blocks.get(&at) else { return false };
+        if end == e {
+            return true;
+        }
+        if end > e {
+            return false;
+        }
+        // Need a fall-through edge (end → end) linking [at, end) to
+        // [end, ...). Splits create exactly these.
+        let link = AbsEdge { src_end: end, dst: end, kind: EdgeKind::Fallthrough };
+        let cond_link = AbsEdge { src_end: end, dst: end, kind: EdgeKind::CondNotTaken };
+        let cf_link = AbsEdge { src_end: end, dst: end, kind: EdgeKind::CallFallthrough };
+        if !(g.edges.contains(&link) || g.edges.contains(&cond_link) || g.edges.contains(&cf_link))
+        {
+            return false;
+        }
+        at = end;
+    }
+}
+
+/// The partial order `a ≼ b`.
+pub fn graph_le(a: &AbsGraph, b: &AbsGraph) -> bool {
+    // (1) address coverage.
+    if !coverage_le(a, b) {
+        return false;
+    }
+    // (2) explicit control flow: E1 ⊆ E2 under split-stable identity.
+    if !a.edges.iter().all(|e| b.edges.contains(e)) {
+        return false;
+    }
+    // (3) implicit control flow through blocks.
+    if !a.blocks.iter().all(|(&s, &e)| chain_covers(b, s, e)) {
+        return false;
+    }
+    // (4) function labels preserved.
+    a.funcs.iter().all(|f| b.funcs.contains(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{construct_reference, SynCf, SynInsn, SyntheticCode};
+
+    fn straightline() -> SyntheticCode {
+        SyntheticCode::new(vec![
+            SynInsn { start: 0, end: 4, cf: SynCf::None },
+            SynInsn { start: 4, end: 8, cf: SynCf::None },
+            SynInsn { start: 8, end: 9, cf: SynCf::Ret },
+        ])
+    }
+
+    #[test]
+    fn reflexive() {
+        let g = construct_reference(&straightline(), &[0]);
+        assert!(graph_le(&g, &g));
+    }
+
+    #[test]
+    fn initial_graph_below_everything_with_same_seeds() {
+        let code = straightline();
+        let g0 = AbsGraph::initial([0u64]);
+        let gn = construct_reference(&code, &[0]);
+        assert!(graph_le(&g0, &gn));
+        assert!(!graph_le(&gn, &g0));
+    }
+
+    #[test]
+    fn split_block_still_geq() {
+        // G1: one block [0,9). G2: same code but split at 4 with a
+        // fall-through chain. G1 ≼ G2 must hold (condition 3).
+        let code = straightline();
+        let g1 = construct_reference(&code, &[0]);
+        assert_eq!(g1.blocks.get(&0), Some(&9));
+        let mut g2 = g1.clone();
+        g2.candidates.insert(4);
+        g2.o_ber(&code, 4); // split
+        assert!(graph_le(&g1, &g2), "split graph is larger, not incomparable");
+        assert!(!graph_le(&g2, &g1), "chain can't be reassembled downward");
+    }
+
+    #[test]
+    fn missing_edge_breaks_order() {
+        let code = SyntheticCode::new(vec![
+            SynInsn { start: 0, end: 4, cf: SynCf::Jmp(8) },
+            SynInsn { start: 8, end: 9, cf: SynCf::Ret },
+        ]);
+        let g = construct_reference(&code, &[0]);
+        let mut smaller = g.clone();
+        let e = *smaller.edges.iter().next().unwrap();
+        smaller.edges.remove(&e);
+        assert!(graph_le(&smaller, &g));
+        assert!(!graph_le(&g, &smaller));
+    }
+
+    #[test]
+    fn extra_function_label_breaks_reverse_order() {
+        let g = construct_reference(&straightline(), &[0]);
+        let mut labeled = g.clone();
+        labeled.o_fei(4); // label mid-code (after a hypothetical split)
+        assert!(graph_le(&g, &labeled));
+        assert!(!graph_le(&labeled, &g));
+    }
+
+    #[test]
+    fn coverage_inclusion_is_checked() {
+        let code = straightline();
+        let g = construct_reference(&code, &[0]);
+        let island = SyntheticCode::new(vec![SynInsn { start: 0x100, end: 0x101, cf: SynCf::Ret }]);
+        let h = construct_reference(&island, &[0x100]);
+        assert!(!graph_le(&g, &h));
+        assert!(!graph_le(&h, &g));
+    }
+}

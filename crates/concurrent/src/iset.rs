@@ -1,0 +1,149 @@
+//! Lock-striped concurrent address set.
+//!
+//! The parser tracks "has any thread already claimed this address as a
+//! block start?" style facts. A full accessor map is overkill when the only
+//! operations are insert-if-absent and membership probes, so this is a
+//! striped `HashSet<u64>`: the same sharding scheme as
+//! [`crate::ConcurrentHashMap`] minus the per-entry locks.
+
+use crate::fxhash::{fx_hash_u64, FxBuildHasher};
+use parking_lot::RwLock;
+use std::collections::HashSet;
+
+type Stripe = RwLock<HashSet<u64, FxBuildHasher>>;
+
+/// A concurrent set of 64-bit addresses.
+pub struct AddressSet {
+    stripes: Box<[Stripe]>,
+    shift: u32,
+}
+
+impl Default for AddressSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AddressSet {
+    /// Create with the default stripe count (128).
+    pub fn new() -> Self {
+        Self::with_stripes(128)
+    }
+
+    /// Create with `n` stripes (rounded up to a power of two).
+    pub fn with_stripes(n: usize) -> Self {
+        let n = n.next_power_of_two().max(2);
+        AddressSet {
+            stripes: (0..n)
+                .map(|_| RwLock::new(HashSet::with_hasher(FxBuildHasher::default())))
+                .collect(),
+            shift: 64 - n.trailing_zeros(),
+        }
+    }
+
+    #[inline]
+    fn stripe(&self, addr: u64) -> &Stripe {
+        &self.stripes[(fx_hash_u64(addr) >> self.shift) as usize]
+    }
+
+    /// Insert `addr`; returns `true` iff it was not already present
+    /// (the caller "claimed" the address).
+    #[inline]
+    pub fn insert(&self, addr: u64) -> bool {
+        let s = self.stripe(addr);
+        {
+            if s.read().contains(&addr) {
+                return false;
+            }
+        }
+        s.write().insert(addr)
+    }
+
+    /// Membership probe. Racy with respect to concurrent inserts, which is
+    /// exactly the hint semantics the thread-local decode cache needs.
+    #[inline]
+    pub fn contains(&self, addr: u64) -> bool {
+        self.stripe(addr).read().contains(&addr)
+    }
+
+    /// Total element count (exact only in quiescence).
+    pub fn len(&self) -> usize {
+        self.stripes.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether the set is empty (exact only in quiescence).
+    pub fn is_empty(&self) -> bool {
+        self.stripes.iter().all(|s| s.read().is_empty())
+    }
+
+    /// Drain all addresses into a vector (quiescent use only).
+    pub fn snapshot(&self) -> Vec<u64> {
+        let mut v = Vec::with_capacity(self.len());
+        for s in self.stripes.iter() {
+            v.extend(s.read().iter().copied());
+        }
+        v
+    }
+
+    /// Remove everything.
+    pub fn clear(&self) {
+        for s in self.stripes.iter() {
+            s.write().clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn claim_semantics() {
+        let s = AddressSet::new();
+        assert!(s.insert(0x400));
+        assert!(!s.insert(0x400));
+        assert!(s.contains(0x400));
+        assert!(!s.contains(0x401));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_claims_are_unique() {
+        let s = Arc::new(AddressSet::new());
+        let total = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                let total = Arc::clone(&total);
+                std::thread::spawn(move || {
+                    let mut mine = 0;
+                    for a in 0..1000u64 {
+                        if s.insert(a) {
+                            mine += 1;
+                        }
+                    }
+                    total.fetch_add(mine, std::sync::atomic::Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 1000);
+        assert_eq!(s.len(), 1000);
+    }
+
+    #[test]
+    fn snapshot_returns_all() {
+        let s = AddressSet::with_stripes(4);
+        for a in (0..64).map(|i| i * 16) {
+            s.insert(a);
+        }
+        let mut v = s.snapshot();
+        v.sort_unstable();
+        assert_eq!(v, (0..64).map(|i| i * 16).collect::<Vec<_>>());
+        s.clear();
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,38 @@
+//! Intra-procedural data-flow analyses (Dyninst DataflowAPI analogue).
+//!
+//! Three consumers in the paper's applications (Section 7.1):
+//!
+//! * **jump-table analysis** (AC within CFG construction) — backward
+//!   slicing from an indirect jump plus symbolic evaluation of the target
+//!   expression, the only place Dyninst lifts instructions to an IR.
+//!   [`slice::analyze_indirect_jump`] reproduces that: it walks
+//!   definitions backward along control-flow paths, substitutes them into
+//!   a symbolic [`expr::Expr`], recognizes the absolute and PC-relative
+//!   table dispatch patterns, and extracts the `cmp`+`ja` bound guarding
+//!   each path. Results are *unioned over paths* — the paper's Section
+//!   5.3 fix that makes `O_IEC` monotonic at the cost of possible
+//!   over-approximation (cleaned up during finalization).
+//! * **register liveness** (AC6) — classic backward may-analysis over
+//!   [`pba_isa::RegSet`] bit masks; BinFeat's data-flow features are live
+//!   register counts.
+//! * **stack-height analysis** — forward analysis of the stack pointer
+//!   relative to function entry; the tail-call heuristic ("stack frame
+//!   tear down before the branch") consults it.
+//!
+//! All analyses run over the [`view::CfgView`] trait so they work both on
+//! finalized [`pba_cfg::Cfg`] functions and on the parser's in-flight
+//! function snapshots.
+
+pub mod expr;
+pub mod liveness;
+pub mod reaching;
+pub mod slice;
+pub mod stack;
+pub mod view;
+
+pub use expr::Expr;
+pub use liveness::{liveness, LivenessResult};
+pub use reaching::{reaching_defs, Def, ReachingDefs};
+pub use slice::{analyze_indirect_jump, JumpTableForm, PathFact};
+pub use stack::{stack_heights, Height, StackResult};
+pub use view::{CfgView, FuncView};

@@ -1,0 +1,307 @@
+//! Reaching definitions + def-use chains (register-level).
+//!
+//! The forward companion to liveness: which definition sites can supply
+//! a register's value at each point. Feature extractors and slicing
+//! refinements consume the def-use chains; the analysis is the standard
+//! gen/kill bit-vector fixpoint with definitions indexed densely.
+
+use crate::view::CfgView;
+use pba_isa::Reg;
+use std::collections::HashMap;
+
+/// A definition site: instruction address + register defined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Def {
+    /// Address of the defining instruction.
+    pub addr: u64,
+    /// Register defined.
+    pub reg: Reg,
+}
+
+/// Dense bitset over definition ids.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct BitSet(Vec<u64>);
+
+impl BitSet {
+    fn with_len(n: usize) -> BitSet {
+        BitSet(vec![0; n.div_ceil(64)])
+    }
+
+    fn set(&mut self, i: usize) {
+        self.0[i / 64] |= 1 << (i % 64);
+    }
+
+    #[allow(dead_code)]
+    fn get(&self, i: usize) -> bool {
+        self.0[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    fn union_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            let next = *a | b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    fn transfer(&self, gen: &BitSet, kill: &BitSet) -> BitSet {
+        BitSet(
+            self.0
+                .iter()
+                .zip(&gen.0)
+                .zip(&kill.0)
+                .map(|((&inn, &g), &k)| (inn & !k) | g)
+                .collect(),
+        )
+    }
+
+    fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.0.iter().enumerate().flat_map(|(w, &bits)| {
+            let mut b = bits;
+            std::iter::from_fn(move || {
+                if b == 0 {
+                    None
+                } else {
+                    let i = b.trailing_zeros() as usize;
+                    b &= b - 1;
+                    Some(w * 64 + i)
+                }
+            })
+        })
+    }
+}
+
+/// Result of the reaching-definitions analysis for one function.
+#[derive(Debug, Default)]
+pub struct ReachingDefs {
+    /// All definition sites, indexed by id.
+    pub defs: Vec<Def>,
+    reach_in: HashMap<u64, BitSet>,
+}
+
+impl ReachingDefs {
+    /// Definitions reaching the entry of `block`.
+    pub fn reaching_at_entry(&self, block: u64) -> Vec<Def> {
+        self.reach_in
+            .get(&block)
+            .map(|s| s.iter_ones().map(|i| self.defs[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Definitions of `reg` reaching the *use* at instruction `addr`
+    /// within `block` (walks the block forward applying kills).
+    pub fn defs_reaching_use(&self, view: &dyn CfgView, block: u64, addr: u64, reg: Reg) -> Vec<Def> {
+        let mut live: Vec<Def> = self
+            .reaching_at_entry(block)
+            .into_iter()
+            .filter(|d| d.reg == reg)
+            .collect();
+        for i in view.insns(block) {
+            if i.addr >= addr {
+                break;
+            }
+            if i.regs_written().contains(reg) {
+                live.clear();
+                live.push(Def { addr: i.addr, reg });
+            }
+        }
+        live.sort_unstable();
+        live
+    }
+}
+
+/// Run reaching definitions over one function.
+pub fn reaching_defs(view: &dyn CfgView) -> ReachingDefs {
+    let blocks = view.blocks();
+
+    // Index all defs.
+    let mut defs: Vec<Def> = Vec::new();
+    let mut def_ids: HashMap<Def, usize> = HashMap::new();
+    for &b in &blocks {
+        for i in view.insns(b) {
+            for r in i.regs_written().iter() {
+                let d = Def { addr: i.addr, reg: r };
+                let next = defs.len();
+                def_ids.entry(d).or_insert_with(|| {
+                    defs.push(d);
+                    next
+                });
+            }
+        }
+    }
+    let n = defs.len();
+
+    // Per-register def id lists (for kills).
+    let mut by_reg: HashMap<Reg, Vec<usize>> = HashMap::new();
+    for (i, d) in defs.iter().enumerate() {
+        by_reg.entry(d.reg).or_default().push(i);
+    }
+
+    // Block gen/kill.
+    let mut gen: HashMap<u64, BitSet> = HashMap::new();
+    let mut kill: HashMap<u64, BitSet> = HashMap::new();
+    for &b in &blocks {
+        let mut g = BitSet::with_len(n);
+        let mut k = BitSet::with_len(n);
+        for i in view.insns(b) {
+            for r in i.regs_written().iter() {
+                // A new def of r kills all other defs of r (including
+                // earlier gens in this block).
+                for &other in by_reg.get(&r).into_iter().flatten() {
+                    k.set(other);
+                }
+                let id = def_ids[&Def { addr: i.addr, reg: r }];
+                // un-kill & gen this def.
+                k.0[id / 64] &= !(1 << (id % 64));
+                g.0[id / 64] &= !(1 << (id % 64));
+                g.set(id);
+            }
+        }
+        gen.insert(b, g);
+        kill.insert(b, k);
+    }
+
+    // Fixpoint.
+    let mut reach_in: HashMap<u64, BitSet> =
+        blocks.iter().map(|&b| (b, BitSet::with_len(n))).collect();
+    let mut work: Vec<u64> = blocks.clone();
+    while let Some(b) = work.pop() {
+        let out = reach_in[&b].transfer(&gen[&b], &kill[&b]);
+        for (s, _) in view.succ_edges(b) {
+            if let Some(inn) = reach_in.get_mut(&s) {
+                if inn.union_with(&out) {
+                    work.push(s);
+                }
+            }
+        }
+    }
+
+    ReachingDefs { defs, reach_in }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::VecView;
+    use pba_cfg::EdgeKind;
+    use pba_isa::insn::AluKind;
+    use pba_isa::x86::{decode_one, encode};
+
+    fn decode_seq(bytes: &[u8], base: u64) -> Vec<pba_isa::Insn> {
+        let mut out = vec![];
+        let mut at = 0usize;
+        while at < bytes.len() {
+            let i = decode_one(&bytes[at..], base + at as u64).unwrap();
+            at += i.len as usize;
+            out.push(i);
+        }
+        out
+    }
+
+    #[test]
+    fn straightline_kills() {
+        // mov rax, 1 ; mov rax, 2 ; add rbx, rax ; ret
+        let mut c = vec![];
+        encode::mov_ri32(&mut c, Reg::RAX, 1);
+        let second_def = c.len() as u64 + 0x1000;
+        encode::mov_ri32(&mut c, Reg::RAX, 2);
+        let use_at = c.len() as u64 + 0x1000;
+        encode::alu_rr(&mut c, AluKind::Add, Reg::RBX, Reg::RAX);
+        encode::ret(&mut c);
+        let end = 0x1000 + c.len() as u64;
+        let view = VecView {
+            entry_block: 0x1000,
+            block_data: vec![(0x1000, end, decode_seq(&c, 0x1000))],
+            edges: vec![],
+        };
+        let rd = reaching_defs(&view);
+        let reaching = rd.defs_reaching_use(&view, 0x1000, use_at, Reg::RAX);
+        assert_eq!(reaching, vec![Def { addr: second_def, reg: Reg::RAX }]);
+    }
+
+    #[test]
+    fn merge_at_join_keeps_both_defs() {
+        // b0: cmp; je b2    b1: mov rax,1; jmp b3   b2: mov rax,2   b3: add rbx, rax; ret
+        let mut c0 = vec![];
+        encode::cmp_ri(&mut c0, Reg::RDI, 0);
+        let j = encode::jcc_rel32(&mut c0, pba_isa::insn::Cond::E);
+        encode::patch_rel32(&mut c0, j, 0x100);
+        let mut c1 = vec![];
+        let d1 = 0x2000u64;
+        encode::mov_ri32(&mut c1, Reg::RAX, 1);
+        let j = encode::jmp_rel32(&mut c1);
+        encode::patch_rel32(&mut c1, j, 0x200);
+        let mut c2 = vec![];
+        let d2 = 0x3000u64;
+        encode::mov_ri32(&mut c2, Reg::RAX, 2);
+        let mut c3 = vec![];
+        encode::alu_rr(&mut c3, AluKind::Add, Reg::RBX, Reg::RAX);
+        encode::ret(&mut c3);
+
+        let view = VecView {
+            entry_block: 0x1000,
+            block_data: vec![
+                (0x1000, 0x1000 + c0.len() as u64, decode_seq(&c0, 0x1000)),
+                (0x2000, 0x2000 + c1.len() as u64, decode_seq(&c1, 0x2000)),
+                (0x3000, 0x3000 + c2.len() as u64, decode_seq(&c2, 0x3000)),
+                (0x4000, 0x4000 + c3.len() as u64, decode_seq(&c3, 0x4000)),
+            ],
+            edges: vec![
+                (0x1000, 0x2000, EdgeKind::CondNotTaken),
+                (0x1000, 0x3000, EdgeKind::CondTaken),
+                (0x2000, 0x4000, EdgeKind::Direct),
+                (0x3000, 0x4000, EdgeKind::Fallthrough),
+            ],
+        };
+        let rd = reaching_defs(&view);
+        let at_join: Vec<Def> = rd
+            .reaching_at_entry(0x4000)
+            .into_iter()
+            .filter(|d| d.reg == Reg::RAX)
+            .collect();
+        assert_eq!(at_join.len(), 2, "both definitions reach the join: {at_join:?}");
+        assert!(at_join.contains(&Def { addr: d1, reg: Reg::RAX }));
+        assert!(at_join.contains(&Def { addr: d2, reg: Reg::RAX }));
+    }
+
+    #[test]
+    fn loop_defs_reach_around_back_edge() {
+        // b0: mov rcx, 5    b1: sub rcx,1; cmp; jg b1    b2: ret
+        let mut c0 = vec![];
+        encode::mov_ri32(&mut c0, Reg::RCX, 5);
+        let mut c1 = vec![];
+        let loop_def = 0x2000u64;
+        encode::alu_ri(&mut c1, AluKind::Sub, Reg::RCX, 1);
+        encode::cmp_ri(&mut c1, Reg::RCX, 0);
+        let j = encode::jcc_rel32(&mut c1, pba_isa::insn::Cond::G);
+        encode::patch_rel32(&mut c1, j, 0);
+        let mut c2 = vec![];
+        encode::ret(&mut c2);
+
+        let view = VecView {
+            entry_block: 0x1000,
+            block_data: vec![
+                (0x1000, 0x1000 + c0.len() as u64, decode_seq(&c0, 0x1000)),
+                (0x2000, 0x2000 + c1.len() as u64, decode_seq(&c1, 0x2000)),
+                (0x3000, 0x3001, decode_seq(&c2, 0x3000)),
+            ],
+            edges: vec![
+                (0x1000, 0x2000, EdgeKind::Fallthrough),
+                (0x2000, 0x2000, EdgeKind::CondTaken),
+                (0x2000, 0x3000, EdgeKind::CondNotTaken),
+            ],
+        };
+        let rd = reaching_defs(&view);
+        let at_loop: Vec<Def> = rd
+            .reaching_at_entry(0x2000)
+            .into_iter()
+            .filter(|d| d.reg == Reg::RCX)
+            .collect();
+        // Both the init and the in-loop redefinition reach the header.
+        assert_eq!(at_loop.len(), 2, "{at_loop:?}");
+        assert!(at_loop.iter().any(|d| d.addr == 0x1000));
+        assert!(at_loop.iter().any(|d| d.addr == loop_def));
+    }
+}

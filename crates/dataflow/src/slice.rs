@@ -1,0 +1,468 @@
+//! Backward slicing + symbolic evaluation of indirect-jump targets.
+//!
+//! From the indirect jump, walk definitions backward — first within the
+//! jump's block, then across intra-procedural predecessor edges (bounded
+//! depth and path count) — substituting each definition into the target
+//! expression. Along the way, collect `cmp index, N` + conditional-branch
+//! facts that bound the index on this path.
+//!
+//! Results are reported **per path** and the caller unions them: this is
+//! the paper's monotonicity fix ("taking the union of the targets
+//! discovered along different paths, essentially ignoring instructions
+//! or path conditions that fail analysis", Section 5.3). A path whose
+//! expression degenerates to `Top` contributes nothing instead of
+//! failing the whole analysis.
+
+use crate::expr::Expr;
+use crate::view::CfgView;
+use pba_cfg::EdgeKind;
+use pba_isa::{insn::AluKind, insn::Cond, insn::ShiftKind, Insn, Op, Place, Reg, Value};
+
+/// Recognized jump-table dispatch forms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JumpTableForm {
+    /// `target = load8(table + index*scale)` — absolute pointer table.
+    Absolute {
+        /// Table base address.
+        table: u64,
+        /// Entry stride.
+        scale: u8,
+        /// Index register.
+        index: Reg,
+    },
+    /// `target = base + sext(load_w(table + index*scale))` — the
+    /// PIC-style relative table GCC emits.
+    Relative {
+        /// Table base address.
+        table: u64,
+        /// Value added to each (sign-extended) entry.
+        base: u64,
+        /// Entry stride.
+        scale: u8,
+        /// Entry width in bytes.
+        width: u8,
+        /// Index register.
+        index: Reg,
+    },
+}
+
+impl JumpTableForm {
+    /// The index register of the form.
+    pub fn index(&self) -> Reg {
+        match self {
+            JumpTableForm::Absolute { index, .. } | JumpTableForm::Relative { index, .. } => *index,
+        }
+    }
+
+    /// Table base address.
+    pub fn table(&self) -> u64 {
+        match self {
+            JumpTableForm::Absolute { table, .. } | JumpTableForm::Relative { table, .. } => *table,
+        }
+    }
+
+    /// Entry stride in bytes.
+    pub fn stride(&self) -> u8 {
+        match self {
+            JumpTableForm::Absolute { scale, .. } | JumpTableForm::Relative { scale, .. } => *scale,
+        }
+    }
+}
+
+/// What one backward path learned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathFact {
+    /// The recognized table form, if the expression matched one.
+    pub form: Option<JumpTableForm>,
+    /// Exclusive upper bound on the index register (entry count), if a
+    /// guarding comparison was found on this path.
+    pub bound: Option<u64>,
+}
+
+/// Apply the reverse transfer of one instruction to the wanted
+/// expression. Returns the updated expression.
+fn reverse_transfer(i: &Insn, wanted: Expr) -> Expr {
+    let written = i.regs_written();
+    // Fast reject: instruction doesn't define anything we track.
+    if written.intersect(wanted.free_regs()).is_empty() {
+        return wanted;
+    }
+    match i.op {
+        Op::Mov { dst: Place::Reg(r), src, width, sign_extend } => {
+            let v = match src {
+                Value::Reg(s) => Expr::Reg(s),
+                Value::Imm(imm) => Expr::Const(imm as u64),
+                Value::Mem(m, w) => {
+                    Expr::Load { width: w, sext: sign_extend && width == 4, addr: Box::new(Expr::of_mem(&m)) }
+                }
+            };
+            wanted.subst(r, &v)
+        }
+        Op::Lea { dst, mem } => wanted.subst(dst, &Expr::of_mem(&mem)),
+        Op::Alu { kind, dst: Place::Reg(r), src, .. } => {
+            let old = Expr::Reg(r);
+            let v = match (kind, &src) {
+                (AluKind::Xor, Value::Reg(s)) if *s == r => Expr::Const(0),
+                (AluKind::Add, _) => Expr::Add(
+                    Box::new(old),
+                    Box::new(Expr::of_value(&src, 8, false)),
+                ),
+                (AluKind::Sub, Value::Imm(n)) => {
+                    Expr::Add(Box::new(old), Box::new(Expr::Const((-n) as u64)))
+                }
+                // Masking (`and idx, N-1`) only narrows the index range;
+                // treating it as identity over-approximates the target
+                // set, which union-over-paths tolerates and finalization
+                // clamps (the paper's Section 5.3/5.4 pipeline).
+                (AluKind::And, Value::Imm(n)) if *n >= 0 => old,
+                _ => Expr::Top,
+            };
+            wanted.subst(r, &v)
+        }
+        Op::Shift { kind: ShiftKind::Shl, dst: Place::Reg(r), amount: Value::Imm(k), .. }
+            if (0..16).contains(&k) =>
+        {
+            wanted.subst(r, &Expr::Mul(Box::new(Expr::Reg(r)), 1u64 << k))
+        }
+        _ => {
+            // Any other write to a tracked register loses it.
+            let mut w = wanted;
+            for r in written.iter() {
+                if r.is_gpr() {
+                    w = w.subst(r, &Expr::Top);
+                }
+            }
+            w
+        }
+    }
+}
+
+/// Extract a bound from a predecessor's terminator: `cmp r, N` followed
+/// by a conditional branch whose `kind`-side edge we arrived through.
+fn bound_from_pred(insns: &[Insn], edge_kind: EdgeKind, tracked: pba_isa::RegSet) -> Option<(Reg, u64)> {
+    let term = insns.last()?;
+    let Op::Jcc { cond, .. } = term.op else { return None };
+    // Find the last flags-setting compare before the terminator.
+    let cmp = insns.iter().rev().skip(1).find(|i| {
+        matches!(i.op, Op::Cmp { .. } | Op::Test { .. } | Op::Alu { .. })
+    })?;
+    let Op::Cmp { a: Value::Reg(r), b: Value::Imm(n), .. } = cmp.op else { return None };
+    if !tracked.contains(r) || n < 0 {
+        return None;
+    }
+    let n = n as u64;
+    // Which side of the branch leads to the jump table?
+    let via_taken = edge_kind == EdgeKind::CondTaken;
+    let bound = match (cond, via_taken) {
+        // cmp r, N ; ja default  → table side is fall-through: r <= N.
+        (Cond::A, false) => Some(n + 1),
+        // cmp r, N ; jae default → fall-through: r < N.
+        (Cond::Ae, false) => Some(n),
+        // cmp r, N ; jbe table   → taken side: r <= N.
+        (Cond::Be, true) => Some(n + 1),
+        // cmp r, N ; jb table    → taken side: r < N.
+        (Cond::B, true) => Some(n),
+        _ => None,
+    }?;
+    Some((r, bound))
+}
+
+/// Try to match the simplified expression against the known dispatch
+/// forms.
+fn classify(e: &Expr) -> Option<JumpTableForm> {
+    fn match_table_addr(addr: &Expr) -> Option<(u64, Reg, u8)> {
+        let (atoms, konst) = addr.as_sum();
+        let mut index: Option<(Reg, u8)> = None;
+        for a in atoms {
+            match a {
+                Expr::Reg(r) if index.is_none() => index = Some((r, 1)),
+                Expr::Mul(inner, k) => match (*inner, index) {
+                    (Expr::Reg(r), None) if k <= 8 => index = Some((r, k as u8)),
+                    _ => return None,
+                },
+                _ => return None,
+            }
+        }
+        let (r, s) = index?;
+        Some((konst, r, s))
+    }
+
+    let e = e.simplify();
+    // Absolute: load8(table + idx*scale).
+    if let Expr::Load { width: 8, addr, .. } = &e {
+        let (table, index, scale) = match_table_addr(addr)?;
+        return Some(JumpTableForm::Absolute { table, scale, index });
+    }
+    // Relative: base + sext(load4(table + idx*scale)).
+    let (atoms, base) = e.as_sum();
+    if atoms.len() == 1 {
+        if let Expr::Load { width, sext: _, addr } = &atoms[0] {
+            if *width == 4 {
+                let (table, index, scale) = match_table_addr(addr)?;
+                return Some(JumpTableForm::Relative { table, base, scale, width: *width, index });
+            }
+        }
+    }
+    None
+}
+
+/// Maximum blocks walked backward on one path.
+const MAX_DEPTH: usize = 8;
+/// Maximum total paths explored.
+const MAX_PATHS: usize = 64;
+
+/// Analyze the indirect jump terminating `jump_block`. Returns one
+/// [`PathFact`] per explored path (empty if the terminator is not an
+/// indirect jump).
+pub fn analyze_indirect_jump(view: &dyn CfgView, jump_block: u64) -> Vec<PathFact> {
+    let insns = view.insns(jump_block);
+    let Some(term) = insns.last() else { return vec![] };
+    let Op::JmpInd { src } = term.op else { return vec![] };
+
+    let wanted = Expr::of_value(&src, 8, false);
+    let mut facts = Vec::new();
+    let mut paths = 0usize;
+
+    // Depth-first over (block, position-exhausted expression, bound).
+    struct Job {
+        block: u64,
+        expr: Expr,
+        bound: Option<(Reg, u64)>,
+        depth: usize,
+    }
+
+    // Backward walk through a block, stopping as soon as the expression
+    // classifies: substituting past the resolution point would let
+    // unrelated (or, in over-approximated split blocks, garbage)
+    // definitions clobber an already-complete dispatch pattern.
+    let walk_back = |insns: &[Insn], skip_last: usize, mut expr: Expr| -> Expr {
+        for i in insns.iter().rev().skip(skip_last) {
+            if classify(&expr).is_some() {
+                break;
+            }
+            expr = reverse_transfer(i, expr);
+        }
+        expr.simplify()
+    };
+
+    // First: walk the jump block itself (excluding the terminator).
+    let start_expr = walk_back(&insns, 1, wanted);
+
+    let mut stack = vec![Job { block: jump_block, expr: start_expr, bound: None, depth: 0 }];
+    while let Some(job) = stack.pop() {
+        if paths >= MAX_PATHS {
+            break;
+        }
+        let expr = job.expr.simplify();
+        if expr.has_top() {
+            // Dead path: contributes nothing (union semantics).
+            paths += 1;
+            facts.push(PathFact { form: None, bound: None });
+            continue;
+        }
+        let form = classify(&expr);
+        let resolved = form.is_some();
+        if resolved || job.depth >= MAX_DEPTH {
+            paths += 1;
+            let bound = match (form, job.bound) {
+                (Some(f), Some((r, b))) if f.index() == r => Some(b),
+                _ => None,
+            };
+            // The form is complete once classify succeeds *and* a bound
+            // was found; if no bound yet, walking further back may find
+            // the guard. The bare form is recorded immediately as a
+            // fallback so a Top-degenerating predecessor path cannot
+            // erase a resolved dispatch pattern (union-over-paths).
+            if bound.is_some() || job.depth >= MAX_DEPTH {
+                facts.push(PathFact { form, bound });
+                continue;
+            }
+            facts.push(PathFact { form, bound: None });
+            let preds = view.pred_edges(job.block);
+            if preds.is_empty() {
+                continue;
+            }
+            for (p, kind) in preds {
+                let pinsns = view.insns(p);
+                let pbound = bound_from_pred(&pinsns, kind, expr.free_regs());
+                let e = walk_back(&pinsns, 0, expr.clone());
+                stack.push(Job {
+                    block: p,
+                    expr: e,
+                    bound: job.bound.or(pbound),
+                    depth: job.depth + 1,
+                });
+            }
+            continue;
+        }
+        // Unresolved: continue into predecessors.
+        let preds = view.pred_edges(job.block);
+        if preds.is_empty() {
+            paths += 1;
+            facts.push(PathFact { form: None, bound: None });
+            continue;
+        }
+        for (p, kind) in preds {
+            let pinsns = view.insns(p);
+            let pbound = bound_from_pred(&pinsns, kind, expr.free_regs());
+            let e = walk_back(&pinsns, 0, expr.clone());
+            stack.push(Job { block: p, expr: e, bound: job.bound.or(pbound), depth: job.depth + 1 });
+        }
+    }
+    facts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::VecView;
+    use pba_isa::x86::{decode_one, encode};
+    use pba_isa::MemRef;
+
+    fn decode_seq(bytes: &[u8], base: u64) -> Vec<Insn> {
+        let mut out = vec![];
+        let mut at = 0usize;
+        while at < bytes.len() {
+            let i = decode_one(&bytes[at..], base + at as u64).unwrap();
+            at += i.len as usize;
+            out.push(i);
+        }
+        out
+    }
+
+    /// cmp rdi, 4 ; ja default | table block: jmp [0x601000 + rdi*8]
+    fn absolute_table_view() -> VecView {
+        let mut guard = vec![];
+        encode::cmp_ri(&mut guard, Reg::RDI, 4);
+        let j = encode::jcc_rel32(&mut guard, Cond::A);
+        encode::patch_rel32(&mut guard, j, 0x200);
+        let guard_insns = decode_seq(&guard, 0x1000);
+        let guard_end = 0x1000 + guard.len() as u64;
+
+        let mut disp = vec![];
+        encode::jmp_ind_mem(&mut disp, &MemRef::base_index(None, Reg::RDI, 8, 0x601000));
+        let disp_insns = decode_seq(&disp, 0x2000);
+        let disp_end = 0x2000 + disp.len() as u64;
+
+        VecView {
+            entry_block: 0x1000,
+            block_data: vec![(0x1000, guard_end, guard_insns), (0x2000, disp_end, disp_insns)],
+            edges: vec![
+                (0x1000, 0x2000, EdgeKind::CondNotTaken),
+                (0x1000, 0x3000, EdgeKind::CondTaken),
+            ],
+        }
+    }
+
+    #[test]
+    fn absolute_pattern_with_bound() {
+        let view = absolute_table_view();
+        let facts = analyze_indirect_jump(&view, 0x2000);
+        let hit = facts
+            .iter()
+            .filter(|f| f.form.is_some())
+            .max_by_key(|f| f.bound.is_some())
+            .expect("one path must classify");
+        assert_eq!(
+            hit.form,
+            Some(JumpTableForm::Absolute { table: 0x601000, scale: 8, index: Reg::RDI })
+        );
+        assert_eq!(hit.bound, Some(5), "cmp rdi,4 ; ja → indices 0..=4");
+    }
+
+    #[test]
+    fn relative_pic_pattern() {
+        // guard:  cmp rsi, 7 ; ja default
+        // disp:   lea rcx, [rip+T] ; movsxd rax, dword [rcx + rsi*4] ;
+        //         add rax, rcx ; jmp rax
+        let mut guard = vec![];
+        encode::cmp_ri(&mut guard, Reg::RSI, 7);
+        let j = encode::jcc_rel32(&mut guard, Cond::A);
+        encode::patch_rel32(&mut guard, j, 0x300);
+        let guard_insns = decode_seq(&guard, 0x1000);
+        let guard_end = 0x1000 + guard.len() as u64;
+
+        let mut disp = vec![];
+        let lea_site = encode::lea_rip(&mut disp, Reg::RCX);
+        encode::movsxd(&mut disp, Reg::RAX, &MemRef::base_index(Some(Reg::RCX), Reg::RSI, 4, 0));
+        encode::alu_rr(&mut disp, AluKind::Add, Reg::RAX, Reg::RCX);
+        encode::jmp_ind_reg(&mut disp, Reg::RAX);
+        // Table at buffer offset 0x100 → vaddr 0x2100.
+        encode::patch_rel32(&mut disp, lea_site, 0x100);
+        let disp_insns = decode_seq(&disp, 0x2000);
+        let disp_end = 0x2000 + disp.len() as u64;
+
+        let view = VecView {
+            entry_block: 0x1000,
+            block_data: vec![(0x1000, guard_end, guard_insns), (0x2000, disp_end, disp_insns)],
+            edges: vec![
+                (0x1000, 0x2000, EdgeKind::CondNotTaken),
+                (0x1000, 0x4000, EdgeKind::CondTaken),
+            ],
+        };
+        let facts = analyze_indirect_jump(&view, 0x2000);
+        let hit = facts
+            .iter()
+            .filter(|f| f.form.is_some())
+            .max_by_key(|f| f.bound.is_some())
+            .expect("classified");
+        assert_eq!(
+            hit.form,
+            Some(JumpTableForm::Relative {
+                table: 0x2100,
+                base: 0x2100,
+                scale: 4,
+                width: 4,
+                index: Reg::RSI
+            })
+        );
+        assert_eq!(hit.bound, Some(8));
+    }
+
+    #[test]
+    fn unresolvable_jump_register_yields_no_form() {
+        // jmp rax with rax loaded via an unmodeled op (pop).
+        let mut code = vec![];
+        encode::pop_r(&mut code, Reg::RAX);
+        encode::jmp_ind_reg(&mut code, Reg::RAX);
+        let insns = decode_seq(&code, 0x1000);
+        let end = 0x1000 + code.len() as u64;
+        let view = VecView { entry_block: 0x1000, block_data: vec![(0x1000, end, insns)], edges: vec![] };
+        let facts = analyze_indirect_jump(&view, 0x1000);
+        assert!(facts.iter().all(|f| f.form.is_none()));
+    }
+
+    #[test]
+    fn non_indirect_terminator_returns_empty() {
+        let mut code = vec![];
+        encode::ret(&mut code);
+        let insns = decode_seq(&code, 0x1000);
+        let view =
+            VecView { entry_block: 0x1000, block_data: vec![(0x1000, 0x1001, insns)], edges: vec![] };
+        assert!(analyze_indirect_jump(&view, 0x1000).is_empty());
+    }
+
+    #[test]
+    fn union_over_paths_survives_one_bad_path() {
+        // Two predecessors: one provides a clean guard, the other
+        // clobbers the index register with an unmodeled op. The good
+        // path's fact must still be produced (monotonicity fix).
+        let view0 = absolute_table_view();
+        let mut bad = vec![];
+        encode::pop_r(&mut bad, Reg::RDI); // unmodeled def of the index
+        let j = encode::jmp_rel32(&mut bad);
+        encode::patch_rel32(&mut bad, j, 0x2000u32 as usize);
+        let bad_insns = decode_seq(&bad, 0x5000);
+        let bad_end = 0x5000 + bad.len() as u64;
+
+        let mut view = view0;
+        view.block_data.push((0x5000, bad_end, bad_insns));
+        view.edges.push((0x5000, 0x2000, EdgeKind::Direct));
+
+        let facts = analyze_indirect_jump(&view, 0x2000);
+        assert!(
+            facts.iter().any(|f| f.form.is_some() && f.bound == Some(5)),
+            "good path must survive: {facts:?}"
+        );
+    }
+}

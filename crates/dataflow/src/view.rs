@@ -1,0 +1,135 @@
+//! The CFG view the analyses run over.
+//!
+//! Two implementations exist: [`FuncView`] over a finalized
+//! [`pba_cfg::Cfg`] (used by the applications), and the parser's internal
+//! snapshot of a function mid-construction (used by the fixed-point
+//! jump-table analysis, where the CFG is still growing).
+
+use pba_cfg::{Cfg, EdgeKind, Function};
+use pba_isa::Insn;
+
+/// Read-only view of one function's intra-procedural CFG.
+pub trait CfgView {
+    /// Entry block start address.
+    fn entry(&self) -> u64;
+
+    /// Start addresses of all member blocks.
+    fn blocks(&self) -> Vec<u64>;
+
+    /// `[start, end)` of a block.
+    fn block_range(&self, block: u64) -> (u64, u64);
+
+    /// Intra-procedural successor edges `(target block, kind)`.
+    fn succ_edges(&self, block: u64) -> Vec<(u64, EdgeKind)>;
+
+    /// Intra-procedural predecessor edges `(source block, kind)`.
+    fn pred_edges(&self, block: u64) -> Vec<(u64, EdgeKind)>;
+
+    /// Decoded instructions of a block, in address order.
+    fn insns(&self, block: u64) -> Vec<Insn>;
+
+    /// Whether the block's last instruction is a call with a
+    /// fall-through (affects liveness at call boundaries).
+    fn ends_in_call(&self, block: u64) -> bool {
+        self.insns(block)
+            .last()
+            .map(|i| {
+                matches!(
+                    i.control_flow(),
+                    pba_isa::ControlFlow::Call { .. } | pba_isa::ControlFlow::IndirectCall
+                )
+            })
+            .unwrap_or(false)
+    }
+}
+
+/// A [`CfgView`] over one function of a finalized CFG.
+pub struct FuncView<'a> {
+    cfg: &'a Cfg,
+    func: &'a Function,
+    members: std::collections::HashSet<u64>,
+}
+
+impl<'a> FuncView<'a> {
+    /// View `func` within `cfg`.
+    pub fn new(cfg: &'a Cfg, func: &'a Function) -> FuncView<'a> {
+        FuncView { cfg, func, members: func.blocks.iter().copied().collect() }
+    }
+}
+
+impl CfgView for FuncView<'_> {
+    fn entry(&self) -> u64 {
+        self.func.entry
+    }
+
+    fn blocks(&self) -> Vec<u64> {
+        self.func.blocks.clone()
+    }
+
+    fn block_range(&self, block: u64) -> (u64, u64) {
+        let b = &self.cfg.blocks[&block];
+        (b.start, b.end)
+    }
+
+    fn succ_edges(&self, block: u64) -> Vec<(u64, EdgeKind)> {
+        self.cfg
+            .out_edges(block)
+            .iter()
+            .filter(|e| !e.kind.is_interprocedural() && self.members.contains(&e.dst))
+            .map(|e| (e.dst, e.kind))
+            .collect()
+    }
+
+    fn pred_edges(&self, block: u64) -> Vec<(u64, EdgeKind)> {
+        self.cfg
+            .in_edges(block)
+            .iter()
+            .filter(|e| !e.kind.is_interprocedural() && self.members.contains(&e.src))
+            .map(|e| (e.src, e.kind))
+            .collect()
+    }
+
+    fn insns(&self, block: u64) -> Vec<Insn> {
+        let (s, e) = self.block_range(block);
+        self.cfg.code.insns(s, e)
+    }
+}
+
+/// A self-contained in-memory view for unit tests: blocks, edges and
+/// pre-decoded instructions, no ELF required.
+#[derive(Default)]
+pub struct VecView {
+    /// Entry block.
+    pub entry_block: u64,
+    /// `(start, end, insns)` per block.
+    pub block_data: Vec<(u64, u64, Vec<Insn>)>,
+    /// `(src, dst, kind)` intra-procedural edges.
+    pub edges: Vec<(u64, u64, EdgeKind)>,
+}
+
+impl CfgView for VecView {
+    fn entry(&self) -> u64 {
+        self.entry_block
+    }
+
+    fn blocks(&self) -> Vec<u64> {
+        self.block_data.iter().map(|b| b.0).collect()
+    }
+
+    fn block_range(&self, block: u64) -> (u64, u64) {
+        let b = self.block_data.iter().find(|b| b.0 == block).expect("block");
+        (b.0, b.1)
+    }
+
+    fn succ_edges(&self, block: u64) -> Vec<(u64, EdgeKind)> {
+        self.edges.iter().filter(|e| e.0 == block).map(|e| (e.1, e.2)).collect()
+    }
+
+    fn pred_edges(&self, block: u64) -> Vec<(u64, EdgeKind)> {
+        self.edges.iter().filter(|e| e.1 == block).map(|e| (e.0, e.2)).collect()
+    }
+
+    fn insns(&self, block: u64) -> Vec<Insn> {
+        self.block_data.iter().find(|b| b.0 == block).map(|b| b.2.clone()).unwrap_or_default()
+    }
+}

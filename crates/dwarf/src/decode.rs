@@ -1,0 +1,679 @@
+//! DWARF v4 decoder with per-compile-unit parallelism.
+//!
+//! Compile units are self-delimiting (`unit_length` heads each one), so
+//! decoding splits into an O(units) serial index pass followed by a
+//! parallel map over units — the exact structure the paper's Section 7.2
+//! describes for hpcstruct ("a forest-like structure with a tree for each
+//! compilation unit ... an OpenMP parallel for loop to process each of
+//! the CUs in parallel"). Each unit's decode touches only its own slice
+//! of `.debug_info` plus the shared read-only `.debug_str` /
+//! `.debug_line` / `.debug_ranges`, so no synchronization is needed —
+//! the races the paper fixed in libdw are designed out by slicing.
+//!
+//! The decoder is *generic over the abbreviation table*: it interprets
+//! whatever abbreviations the producer declared, skipping unknown
+//! attributes by form, rather than assuming the encoder's fixed codes.
+
+use crate::encode::*;
+use crate::leb128::{read_sleb, read_uleb};
+use crate::model::{CompileUnit, DebugInfo, InlinedSub, LineRow, LineTable, Subprogram};
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// Decode failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DwarfError {
+    /// Input ended inside a structure.
+    Truncated(&'static str),
+    /// Structurally invalid data.
+    Bad(String),
+}
+
+impl std::fmt::Display for DwarfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DwarfError::Truncated(w) => write!(f, "truncated {w}"),
+            DwarfError::Bad(m) => write!(f, "malformed DWARF: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DwarfError {}
+
+type Result<T> = std::result::Result<T, DwarfError>;
+
+/// One abbreviation declaration.
+#[derive(Debug, Clone)]
+struct Abbrev {
+    tag: u64,
+    has_children: bool,
+    attrs: Vec<(u64, u64)>, // (attribute, form)
+}
+
+fn parse_abbrevs(bytes: &[u8]) -> Result<HashMap<u64, Abbrev>> {
+    let mut map = HashMap::new();
+    let mut at = 0usize;
+    loop {
+        if at >= bytes.len() {
+            // An absent/empty table is fine (stripped binaries).
+            return Ok(map);
+        }
+        let (code, n) = read_uleb(&bytes[at..]).ok_or(DwarfError::Truncated("abbrev code"))?;
+        at += n;
+        if code == 0 {
+            return Ok(map);
+        }
+        let (tag, n) = read_uleb(&bytes[at..]).ok_or(DwarfError::Truncated("abbrev tag"))?;
+        at += n;
+        let has_children = *bytes.get(at).ok_or(DwarfError::Truncated("abbrev children"))? != 0;
+        at += 1;
+        let mut attrs = Vec::new();
+        loop {
+            let (attr, n) = read_uleb(&bytes[at..]).ok_or(DwarfError::Truncated("abbrev attr"))?;
+            at += n;
+            let (form, n) = read_uleb(&bytes[at..]).ok_or(DwarfError::Truncated("abbrev form"))?;
+            at += n;
+            if attr == 0 && form == 0 {
+                break;
+            }
+            attrs.push((attr, form));
+        }
+        map.insert(code, Abbrev { tag, has_children, attrs });
+    }
+}
+
+/// A decoded attribute value.
+#[derive(Debug, Clone, Copy)]
+enum AttrVal {
+    U(u64),
+    I(i64),
+    StrOff(u32),
+}
+
+impl AttrVal {
+    fn as_u64(self) -> u64 {
+        match self {
+            AttrVal::U(v) => v,
+            AttrVal::I(v) => v as u64,
+            AttrVal::StrOff(v) => v as u64,
+        }
+    }
+}
+
+fn read_form(bytes: &[u8], at: &mut usize, form: u64) -> Result<AttrVal> {
+    let need = |n: usize, what: &'static str, bytes: &[u8], at: usize| {
+        bytes.get(at..at + n).ok_or(DwarfError::Truncated(what)).map(|s| s.to_vec())
+    };
+    match form {
+        DW_FORM_ADDR | DW_FORM_DATA8 => {
+            let b = need(8, "data8", bytes, *at)?;
+            *at += 8;
+            Ok(AttrVal::U(u64::from_le_bytes(b.try_into().unwrap())))
+        }
+        DW_FORM_DATA4 | DW_FORM_SEC_OFFSET => {
+            let b = need(4, "data4", bytes, *at)?;
+            *at += 4;
+            Ok(AttrVal::U(u32::from_le_bytes(b.try_into().unwrap()) as u64))
+        }
+        DW_FORM_STRP => {
+            let b = need(4, "strp", bytes, *at)?;
+            *at += 4;
+            Ok(AttrVal::StrOff(u32::from_le_bytes(b.try_into().unwrap())))
+        }
+        DW_FORM_UDATA => {
+            let (v, n) = read_uleb(&bytes[*at..]).ok_or(DwarfError::Truncated("udata"))?;
+            *at += n;
+            Ok(AttrVal::U(v))
+        }
+        0x0D /* DW_FORM_sdata */ => {
+            let (v, n) = read_sleb(&bytes[*at..]).ok_or(DwarfError::Truncated("sdata"))?;
+            *at += n;
+            Ok(AttrVal::I(v))
+        }
+        0x0B /* DW_FORM_data1 */ => {
+            let b = need(1, "data1", bytes, *at)?;
+            *at += 1;
+            Ok(AttrVal::U(b[0] as u64))
+        }
+        0x05 /* DW_FORM_data2 */ => {
+            let b = need(2, "data2", bytes, *at)?;
+            *at += 2;
+            Ok(AttrVal::U(u16::from_le_bytes(b.try_into().unwrap()) as u64))
+        }
+        0x08 /* DW_FORM_string */ => {
+            // Inline NUL-terminated; we return offset-less marker by
+            // skipping (the model only uses strp names).
+            let rest = &bytes[*at..];
+            let end = rest.iter().position(|&c| c == 0).ok_or(DwarfError::Truncated("string"))?;
+            *at += end + 1;
+            Ok(AttrVal::U(0))
+        }
+        other => Err(DwarfError::Bad(format!("unsupported form {other:#x}"))),
+    }
+}
+
+fn str_at(strs: &[u8], off: u32) -> Result<String> {
+    let rest = strs.get(off as usize..).ok_or(DwarfError::Truncated(".debug_str"))?;
+    let end = rest.iter().position(|&c| c == 0).ok_or(DwarfError::Truncated(".debug_str nul"))?;
+    String::from_utf8(rest[..end].to_vec()).map_err(|_| DwarfError::Bad("non-utf8 string".into()))
+}
+
+fn read_ranges(ranges: &[u8], off: u64) -> Result<Vec<(u64, u64)>> {
+    let mut out = Vec::new();
+    let mut at = off as usize;
+    loop {
+        let pair = ranges.get(at..at + 16).ok_or(DwarfError::Truncated(".debug_ranges"))?;
+        let lo = u64::from_le_bytes(pair[..8].try_into().unwrap());
+        let hi = u64::from_le_bytes(pair[8..].try_into().unwrap());
+        at += 16;
+        if lo == 0 && hi == 0 {
+            return Ok(out);
+        }
+        out.push((lo, hi));
+    }
+}
+
+/// Read the attributes of one DIE into a map keyed by attribute id.
+fn read_die_attrs(
+    body: &[u8],
+    at: &mut usize,
+    abbrev: &Abbrev,
+) -> Result<HashMap<u64, AttrVal>> {
+    let mut vals = HashMap::with_capacity(abbrev.attrs.len());
+    for &(attr, form) in &abbrev.attrs {
+        let v = read_form(body, at, form)?;
+        vals.insert(attr, v);
+    }
+    Ok(vals)
+}
+
+fn attr_string(vals: &HashMap<u64, AttrVal>, attr: u64, strs: &[u8]) -> Result<String> {
+    match vals.get(&attr) {
+        Some(AttrVal::StrOff(off)) => str_at(strs, *off),
+        Some(v) => Ok(v.as_u64().to_string()),
+        None => Ok(String::new()),
+    }
+}
+
+struct UnitCtx<'a> {
+    strs: &'a [u8],
+    ranges: &'a [u8],
+    abbrevs: &'a HashMap<u64, Abbrev>,
+}
+
+fn decode_inlined_tree(
+    body: &[u8],
+    at: &mut usize,
+    ctx: &UnitCtx<'_>,
+) -> Result<Vec<InlinedSub>> {
+    let mut out = Vec::new();
+    loop {
+        let (code, n) = read_uleb(&body[*at..]).ok_or(DwarfError::Truncated("DIE code"))?;
+        *at += n;
+        if code == 0 {
+            return Ok(out);
+        }
+        let abbrev = ctx
+            .abbrevs
+            .get(&code)
+            .ok_or_else(|| DwarfError::Bad(format!("unknown abbrev {code}")))?;
+        let vals = read_die_attrs(body, at, abbrev)?;
+        let children = if abbrev.has_children { decode_inlined_tree(body, at, ctx)? } else { Vec::new() };
+        if abbrev.tag == DW_TAG_INLINED_SUBROUTINE {
+            let low = vals.get(&DW_AT_LOW_PC).map(|v| v.as_u64()).unwrap_or(0);
+            let size = vals.get(&DW_AT_HIGH_PC).map(|v| v.as_u64()).unwrap_or(0);
+            out.push(InlinedSub {
+                name: attr_string(&vals, DW_AT_NAME, ctx.strs)?,
+                low_pc: low,
+                high_pc: low + size,
+                call_file: vals.get(&DW_AT_CALL_FILE).map(|v| v.as_u64() as u32).unwrap_or(0),
+                call_line: vals.get(&DW_AT_CALL_LINE).map(|v| v.as_u64() as u32).unwrap_or(0),
+                children,
+            });
+        }
+        // Unknown child tags are skipped (their attrs were consumed).
+    }
+}
+
+fn decode_line_program(line_sec: &[u8], off: u64) -> Result<(Vec<String>, LineTable)> {
+    let at0 = off as usize;
+    let hdr = line_sec.get(at0..at0 + 4).ok_or(DwarfError::Truncated(".debug_line header"))?;
+    let unit_len = u32::from_le_bytes(hdr.try_into().unwrap()) as usize;
+    let unit = line_sec
+        .get(at0 + 4..at0 + 4 + unit_len)
+        .ok_or(DwarfError::Truncated(".debug_line unit"))?;
+
+    let mut at = 0usize;
+    let _version = u16::from_le_bytes(
+        unit.get(at..at + 2).ok_or(DwarfError::Truncated("line version"))?.try_into().unwrap(),
+    );
+    at += 2;
+    let header_length = u32::from_le_bytes(
+        unit.get(at..at + 4).ok_or(DwarfError::Truncated("header_length"))?.try_into().unwrap(),
+    ) as usize;
+    at += 4;
+    let prog_start = at + header_length;
+
+    let min_insn = *unit.get(at).ok_or(DwarfError::Truncated("min_insn"))? as u64;
+    at += 1;
+    let _max_ops = unit.get(at).ok_or(DwarfError::Truncated("max_ops"))?;
+    at += 1;
+    let _default_is_stmt = unit.get(at).ok_or(DwarfError::Truncated("is_stmt"))?;
+    at += 1;
+    let line_base = *unit.get(at).ok_or(DwarfError::Truncated("line_base"))? as i8 as i64;
+    at += 1;
+    let line_range = *unit.get(at).ok_or(DwarfError::Truncated("line_range"))? as u64;
+    at += 1;
+    let opcode_base = *unit.get(at).ok_or(DwarfError::Truncated("opcode_base"))?;
+    at += 1;
+    let std_lens: Vec<u8> = unit
+        .get(at..at + opcode_base as usize - 1)
+        .ok_or(DwarfError::Truncated("std_opcode_lengths"))?
+        .to_vec();
+    at += opcode_base as usize - 1;
+
+    // include_directories: cstrings until empty.
+    loop {
+        let rest = &unit[at..];
+        let end = rest.iter().position(|&c| c == 0).ok_or(DwarfError::Truncated("dirs"))?;
+        at += end + 1;
+        if end == 0 {
+            break;
+        }
+    }
+    // file_names.
+    let mut files = Vec::new();
+    loop {
+        let rest = &unit[at..];
+        let end = rest.iter().position(|&c| c == 0).ok_or(DwarfError::Truncated("files"))?;
+        if end == 0 {
+            at += 1;
+            break;
+        }
+        let name = String::from_utf8(rest[..end].to_vec())
+            .map_err(|_| DwarfError::Bad("non-utf8 filename".into()))?;
+        at += end + 1;
+        for _ in 0..3 {
+            let (_, n) = read_uleb(&unit[at..]).ok_or(DwarfError::Truncated("file attrs"))?;
+            at += n;
+        }
+        files.push(name);
+    }
+    debug_assert!(at <= prog_start);
+
+    // State machine.
+    let mut rows = Vec::new();
+    let mut addr: u64 = 0;
+    let mut file: u64 = 1;
+    let mut line: i64 = 1;
+    let mut at = prog_start;
+    while at < unit.len() {
+        let opcode = unit[at];
+        at += 1;
+        if opcode == 0 {
+            // Extended opcode.
+            let (len, n) = read_uleb(&unit[at..]).ok_or(DwarfError::Truncated("ext len"))?;
+            at += n;
+            let sub = *unit.get(at).ok_or(DwarfError::Truncated("ext opcode"))?;
+            match sub {
+                0x01 => {
+                    // end_sequence: reset state.
+                    addr = 0;
+                    file = 1;
+                    line = 1;
+                }
+                0x02 => {
+                    let b = unit
+                        .get(at + 1..at + 9)
+                        .ok_or(DwarfError::Truncated("set_address"))?;
+                    addr = u64::from_le_bytes(b.try_into().unwrap());
+                }
+                _ => {} // define_file etc.: skip by length
+            }
+            at += len as usize;
+        } else if opcode < opcode_base {
+            match opcode {
+                1 => {
+                    // copy
+                    rows.push(LineRow { addr, file: (file.max(1) - 1) as u32, line: line as u32 });
+                }
+                2 => {
+                    let (v, n) = read_uleb(&unit[at..]).ok_or(DwarfError::Truncated("advance_pc"))?;
+                    at += n;
+                    addr += v * min_insn;
+                }
+                3 => {
+                    let (v, n) = read_sleb(&unit[at..]).ok_or(DwarfError::Truncated("advance_line"))?;
+                    at += n;
+                    line += v;
+                }
+                4 => {
+                    let (v, n) = read_uleb(&unit[at..]).ok_or(DwarfError::Truncated("set_file"))?;
+                    at += n;
+                    file = v;
+                }
+                8 => {
+                    // const_add_pc: advance by the special-opcode 255 amount.
+                    addr += ((255 - opcode_base) as u64 / line_range) * min_insn;
+                }
+                9 => {
+                    let b = unit.get(at..at + 2).ok_or(DwarfError::Truncated("fixed_advance_pc"))?;
+                    addr += u16::from_le_bytes(b.try_into().unwrap()) as u64;
+                    at += 2;
+                }
+                _ => {
+                    // Skip operands of other standard opcodes by table.
+                    let nargs = std_lens.get(opcode as usize - 1).copied().unwrap_or(0);
+                    for _ in 0..nargs {
+                        let (_, n) = read_uleb(&unit[at..]).ok_or(DwarfError::Truncated("std arg"))?;
+                        at += n;
+                    }
+                }
+            }
+        } else {
+            // Special opcode.
+            let adj = (opcode - opcode_base) as u64;
+            addr += (adj / line_range) * min_insn;
+            line += line_base + (adj % line_range) as i64;
+            rows.push(LineRow { addr, file: (file.max(1) - 1) as u32, line: line as u32 });
+        }
+    }
+
+    let mut table = LineTable { rows };
+    table.normalize();
+    Ok((files, table))
+}
+
+/// Byte range of one compile unit within `.debug_info`.
+#[derive(Debug, Clone, Copy)]
+struct UnitSlice {
+    start: usize,
+    end: usize,
+}
+
+fn index_units(info: &[u8]) -> Result<Vec<UnitSlice>> {
+    let mut out = Vec::new();
+    let mut at = 0usize;
+    while at < info.len() {
+        let b = info.get(at..at + 4).ok_or(DwarfError::Truncated("unit_length"))?;
+        let len = u32::from_le_bytes(b.try_into().unwrap()) as usize;
+        let end = at + 4 + len;
+        if end > info.len() {
+            return Err(DwarfError::Truncated("unit body"));
+        }
+        out.push(UnitSlice { start: at, end });
+        at = end;
+    }
+    Ok(out)
+}
+
+fn decode_unit(
+    info: &[u8],
+    slice: UnitSlice,
+    line_sec: &[u8],
+    ctx: &UnitCtx<'_>,
+) -> Result<CompileUnit> {
+    let unit = &info[slice.start..slice.end];
+    let mut at = 4usize; // skip unit_length
+    let _version = u16::from_le_bytes(
+        unit.get(at..at + 2).ok_or(DwarfError::Truncated("version"))?.try_into().unwrap(),
+    );
+    at += 2;
+    at += 4; // abbrev offset (single shared table at 0)
+    at += 1; // address size
+
+    // Root DIE: compile unit.
+    let (code, n) = read_uleb(&unit[at..]).ok_or(DwarfError::Truncated("CU DIE"))?;
+    at += n;
+    let abbrev = ctx
+        .abbrevs
+        .get(&code)
+        .ok_or_else(|| DwarfError::Bad(format!("unknown abbrev {code}")))?;
+    if abbrev.tag != DW_TAG_COMPILE_UNIT {
+        return Err(DwarfError::Bad("root DIE is not a compile unit".into()));
+    }
+    let vals = read_die_attrs(unit, &mut at, abbrev)?;
+    let name = attr_string(&vals, DW_AT_NAME, ctx.strs)?;
+    let low_pc = vals.get(&DW_AT_LOW_PC).map(|v| v.as_u64()).unwrap_or(0);
+    let size = vals.get(&DW_AT_HIGH_PC).map(|v| v.as_u64()).unwrap_or(0);
+    let stmt_list = vals.get(&DW_AT_STMT_LIST).map(|v| v.as_u64());
+
+    let (files, line_table) = match stmt_list {
+        Some(off) => decode_line_program(line_sec, off)?,
+        None => (Vec::new(), LineTable::default()),
+    };
+
+    // Children: subprograms.
+    let mut subprograms = Vec::new();
+    if abbrev.has_children {
+        loop {
+            let (code, n) = read_uleb(&unit[at..]).ok_or(DwarfError::Truncated("child DIE"))?;
+            at += n;
+            if code == 0 {
+                break;
+            }
+            let ab = ctx
+                .abbrevs
+                .get(&code)
+                .ok_or_else(|| DwarfError::Bad(format!("unknown abbrev {code}")))?;
+            let vals = read_die_attrs(unit, &mut at, ab)?;
+            let children = if ab.has_children { decode_inlined_tree(unit, &mut at, ctx)? } else { Vec::new() };
+            if ab.tag == DW_TAG_SUBPROGRAM {
+                let ranges = if let Some(roff) = vals.get(&DW_AT_RANGES) {
+                    read_ranges(ctx.ranges, roff.as_u64())?
+                } else {
+                    let lo = vals.get(&DW_AT_LOW_PC).map(|v| v.as_u64()).unwrap_or(0);
+                    let sz = vals.get(&DW_AT_HIGH_PC).map(|v| v.as_u64()).unwrap_or(0);
+                    vec![(lo, lo + sz)]
+                };
+                subprograms.push(Subprogram {
+                    name: attr_string(&vals, DW_AT_NAME, ctx.strs)?,
+                    ranges,
+                    decl_file: vals.get(&DW_AT_DECL_FILE).map(|v| v.as_u64() as u32).unwrap_or(0),
+                    decl_line: vals.get(&DW_AT_DECL_LINE).map(|v| v.as_u64() as u32).unwrap_or(0),
+                    inlines: children,
+                });
+            }
+        }
+    }
+
+    Ok(CompileUnit { name, low_pc, high_pc: low_pc + size, files, subprograms, line_table })
+}
+
+/// Sections handed to the decoder (borrowed from an ELF image).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DebugSlices<'a> {
+    /// `.debug_info` contents.
+    pub info: &'a [u8],
+    /// `.debug_abbrev` contents.
+    pub abbrev: &'a [u8],
+    /// `.debug_str` contents.
+    pub strs: &'a [u8],
+    /// `.debug_line` contents.
+    pub line: &'a [u8],
+    /// `.debug_ranges` contents.
+    pub ranges: &'a [u8],
+}
+
+impl<'a> DebugSlices<'a> {
+    /// Pull the five `.debug_*` sections out of a parsed ELF (missing
+    /// sections become empty slices).
+    pub fn from_elf(elf: &'a pba_elf::Elf) -> DebugSlices<'a> {
+        DebugSlices {
+            info: elf.section_data(".debug_info").unwrap_or(&[]),
+            abbrev: elf.section_data(".debug_abbrev").unwrap_or(&[]),
+            strs: elf.section_data(".debug_str").unwrap_or(&[]),
+            line: elf.section_data(".debug_line").unwrap_or(&[]),
+            ranges: elf.section_data(".debug_ranges").unwrap_or(&[]),
+        }
+    }
+}
+
+/// Decode all compile units in parallel (one rayon task per unit).
+pub fn decode_parallel(s: DebugSlices<'_>) -> Result<DebugInfo> {
+    let abbrevs = parse_abbrevs(s.abbrev)?;
+    let slices = index_units(s.info)?;
+    let ctx = UnitCtx { strs: s.strs, ranges: s.ranges, abbrevs: &abbrevs };
+    let units: Vec<CompileUnit> = slices
+        .par_iter()
+        .map(|&sl| decode_unit(s.info, sl, s.line, &ctx))
+        .collect::<Result<_>>()?;
+    Ok(DebugInfo { units })
+}
+
+/// Serial decode for baseline measurements.
+pub fn decode_serial(s: DebugSlices<'_>) -> Result<DebugInfo> {
+    let abbrevs = parse_abbrevs(s.abbrev)?;
+    let slices = index_units(s.info)?;
+    let ctx = UnitCtx { strs: s.strs, ranges: s.ranges, abbrevs: &abbrevs };
+    let units: Vec<CompileUnit> = slices
+        .iter()
+        .map(|&sl| decode_unit(s.info, sl, s.line, &ctx))
+        .collect::<Result<_>>()?;
+    Ok(DebugInfo { units })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    fn sample_di() -> DebugInfo {
+        DebugInfo {
+            units: vec![
+                CompileUnit {
+                    name: "alpha.c".into(),
+                    low_pc: 0x401000,
+                    high_pc: 0x401800,
+                    files: vec!["alpha.c".into(), "inline.h".into()],
+                    subprograms: vec![
+                        Subprogram {
+                            name: "main".into(),
+                            ranges: vec![(0x401000, 0x401100)],
+                            decl_file: 0,
+                            decl_line: 12,
+                            inlines: vec![InlinedSub {
+                                name: "helper".into(),
+                                low_pc: 0x401020,
+                                high_pc: 0x401060,
+                                call_file: 0,
+                                call_line: 20,
+                                children: vec![InlinedSub {
+                                    name: "inner".into(),
+                                    low_pc: 0x401030,
+                                    high_pc: 0x401040,
+                                    call_file: 1,
+                                    call_line: 4,
+                                    children: vec![],
+                                }],
+                            }],
+                        },
+                        Subprogram {
+                            name: "split_fn".into(),
+                            ranges: vec![(0x401100, 0x401200), (0x401700, 0x401780)],
+                            decl_file: 0,
+                            decl_line: 80,
+                            inlines: vec![],
+                        },
+                    ],
+                    line_table: LineTable {
+                        rows: vec![
+                            LineRow { addr: 0x401000, file: 0, line: 12 },
+                            LineRow { addr: 0x401004, file: 0, line: 13 },
+                            LineRow { addr: 0x401020, file: 1, line: 3 },
+                            LineRow { addr: 0x401100, file: 0, line: 81 },
+                            // Large jumps exercise the non-special path.
+                            LineRow { addr: 0x401700, file: 0, line: 500 },
+                        ],
+                    },
+                },
+                CompileUnit {
+                    name: "beta.c".into(),
+                    low_pc: 0x402000,
+                    high_pc: 0x402400,
+                    files: vec!["beta.c".into()],
+                    subprograms: vec![Subprogram {
+                        name: "worker".into(),
+                        ranges: vec![(0x402000, 0x402200)],
+                        decl_file: 0,
+                        decl_line: 7,
+                        inlines: vec![],
+                    }],
+                    line_table: LineTable {
+                        rows: vec![LineRow { addr: 0x402000, file: 0, line: 7 }],
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip_serial() {
+        let di = sample_di();
+        let secs = encode(&di);
+        let got = decode_serial(DebugSlices {
+            info: &secs.info,
+            abbrev: &secs.abbrev,
+            strs: &secs.strs,
+            line: &secs.line,
+            ranges: &secs.ranges,
+        })
+        .unwrap();
+        assert_eq!(got, di);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_parallel_matches_serial() {
+        let di = sample_di();
+        let secs = encode(&di);
+        let slices = DebugSlices {
+            info: &secs.info,
+            abbrev: &secs.abbrev,
+            strs: &secs.strs,
+            line: &secs.line,
+            ranges: &secs.ranges,
+        };
+        let serial = decode_serial(slices).unwrap();
+        let parallel = decode_parallel(slices).unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel, di);
+    }
+
+    #[test]
+    fn line_lookup_after_round_trip() {
+        let secs = encode(&sample_di());
+        let di = decode_parallel(DebugSlices {
+            info: &secs.info,
+            abbrev: &secs.abbrev,
+            strs: &secs.strs,
+            line: &secs.line,
+            ranges: &secs.ranges,
+        })
+        .unwrap();
+        let cu = &di.units[0];
+        assert_eq!(cu.line_table.lookup(0x401005), Some((0, 13)));
+        assert_eq!(cu.line_table.lookup(0x401021), Some((1, 3)));
+        assert_eq!(cu.subprogram_at(0x401750).unwrap().name, "split_fn");
+    }
+
+    #[test]
+    fn truncated_info_is_an_error() {
+        let secs = encode(&sample_di());
+        let cut = &secs.info[..secs.info.len() - 3];
+        let r = decode_serial(DebugSlices {
+            info: cut,
+            abbrev: &secs.abbrev,
+            strs: &secs.strs,
+            line: &secs.line,
+            ranges: &secs.ranges,
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn empty_sections_decode_to_empty_forest() {
+        let di = decode_parallel(DebugSlices::default()).unwrap();
+        assert!(di.units.is_empty());
+        assert_eq!(di.subprogram_count(), 0);
+    }
+}

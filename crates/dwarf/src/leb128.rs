@@ -1,0 +1,146 @@
+//! LEB128 variable-length integer codec (DWARF Appendix C).
+
+/// Append an unsigned LEB128 value.
+pub fn write_uleb(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Append a signed LEB128 value.
+pub fn write_sleb(buf: &mut Vec<u8>, mut v: i64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        let sign_clear = byte & 0x40 == 0;
+        if (v == 0 && sign_clear) || (v == -1 && !sign_clear) {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Read an unsigned LEB128 value; returns `(value, bytes_consumed)`.
+pub fn read_uleb(buf: &[u8]) -> Option<(u64, usize)> {
+    let mut result: u64 = 0;
+    let mut shift = 0u32;
+    for (i, &byte) in buf.iter().enumerate() {
+        if shift >= 64 {
+            return None; // overlong
+        }
+        result |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Some((result, i + 1));
+        }
+        shift += 7;
+    }
+    None // ran out of bytes
+}
+
+/// Read a signed LEB128 value; returns `(value, bytes_consumed)`.
+pub fn read_sleb(buf: &[u8]) -> Option<(i64, usize)> {
+    let mut result: i64 = 0;
+    let mut shift = 0u32;
+    for (i, &byte) in buf.iter().enumerate() {
+        if shift >= 64 {
+            return None;
+        }
+        result |= ((byte & 0x7F) as i64) << shift;
+        shift += 7;
+        if byte & 0x80 == 0 {
+            if shift < 64 && byte & 0x40 != 0 {
+                result |= -1i64 << shift; // sign extend
+            }
+            return Some((result, i + 1));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_vectors() {
+        // From the DWARF spec examples.
+        let mut b = vec![];
+        write_uleb(&mut b, 624485);
+        assert_eq!(b, vec![0xE5, 0x8E, 0x26]);
+        let mut b = vec![];
+        write_sleb(&mut b, -123456);
+        assert_eq!(b, vec![0xC0, 0xBB, 0x78]);
+    }
+
+    #[test]
+    fn small_values_one_byte() {
+        for v in 0u64..128 {
+            let mut b = vec![];
+            write_uleb(&mut b, v);
+            assert_eq!(b.len(), 1);
+            assert_eq!(read_uleb(&b), Some((v, 1)));
+        }
+        for v in -64i64..64 {
+            let mut b = vec![];
+            write_sleb(&mut b, v);
+            assert_eq!(b.len(), 1, "{v}");
+            assert_eq!(read_sleb(&b), Some((v, 1)));
+        }
+    }
+
+    #[test]
+    fn truncated_input() {
+        let mut b = vec![];
+        write_uleb(&mut b, u64::MAX);
+        assert!(read_uleb(&b[..b.len() - 1]).is_none());
+        assert!(read_uleb(&[]).is_none());
+        assert!(read_sleb(&[0x80]).is_none());
+    }
+
+    #[test]
+    fn overlong_rejected() {
+        // 11 continuation bytes exceed 64 bits of shift.
+        let b = [0x80u8; 11];
+        assert!(read_uleb(&b).is_none());
+        assert!(read_sleb(&b).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn uleb_round_trips(v in any::<u64>()) {
+            let mut b = vec![];
+            write_uleb(&mut b, v);
+            prop_assert_eq!(read_uleb(&b), Some((v, b.len())));
+        }
+
+        #[test]
+        fn sleb_round_trips(v in any::<i64>()) {
+            let mut b = vec![];
+            write_sleb(&mut b, v);
+            prop_assert_eq!(read_sleb(&b), Some((v, b.len())));
+        }
+
+        #[test]
+        fn consecutive_values_decode_in_sequence(vs in prop::collection::vec(any::<u64>(), 1..50)) {
+            let mut b = vec![];
+            for &v in &vs {
+                write_uleb(&mut b, v);
+            }
+            let mut at = 0;
+            for &v in &vs {
+                let (got, n) = read_uleb(&b[at..]).unwrap();
+                prop_assert_eq!(got, v);
+                at += n;
+            }
+            prop_assert_eq!(at, b.len());
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! DWARF-modeled debug information: encoder and parallel decoder.
+//!
+//! hpcstruct's job is to map machine instructions back to source
+//! constructs: functions, inlined call chains, and source lines (paper
+//! Section 7.1, analysis capabilities AC3/AC4). That requires real debug
+//! info machinery:
+//!
+//! * [`leb128`] — variable-length integer codec used throughout DWARF;
+//! * [`model`] — the in-memory form: compile units, subprograms with
+//!   (possibly non-contiguous) address ranges, nested inlined
+//!   subroutines, and per-unit line tables;
+//! * [`encode`] — serializes the model into `.debug_abbrev`,
+//!   `.debug_info`, `.debug_str`, `.debug_ranges` and `.debug_line`
+//!   sections using the DWARF v4 encodings (real tag/attribute/form
+//!   constants, a real line-number state machine with special opcodes);
+//! * [`decode`] — parses those sections back. Compile units are
+//!   self-delimiting, so decoding indexes unit headers first and then
+//!   decodes *units in parallel* — this is exactly the hpcstruct DWARF
+//!   parallelization of paper Section 7.2 and the "DWARF" column of
+//!   Table 2.
+//!
+//! The paper's Section 8.2 observes that DWARF in real binaries dwarfs the
+//! text (TensorFlow: 7.6 GiB of `.debug_*` against 112 MiB of `.text`);
+//! the workload generator uses this crate to reproduce that ratio.
+
+pub mod decode;
+pub mod encode;
+pub mod leb128;
+pub mod model;
+
+pub use decode::{decode_parallel, decode_serial, DwarfError};
+pub use encode::DebugSections;
+pub use model::{CompileUnit, DebugInfo, InlinedSub, LineRow, LineTable, Subprogram};

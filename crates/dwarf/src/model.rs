@@ -1,0 +1,222 @@
+//! In-memory debug-information model.
+//!
+//! This is the shape hpcstruct consumes: a forest of compile units, each
+//! holding subprograms (with possibly non-contiguous ranges — outlined
+//! `.cold` blocks produce exactly those), nested inlined-subroutine trees
+//! (the static calling context of AC4), and a line table mapping
+//! addresses to file/line (AC3).
+
+/// One row of a decoded line table: `addr` maps to `file`/`line`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineRow {
+    /// First address this row covers.
+    pub addr: u64,
+    /// Index into the unit's file list.
+    pub file: u32,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A per-unit line table. Rows are kept sorted by address; a row covers
+/// addresses up to the next row (or the unit end).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LineTable {
+    /// Sorted rows.
+    pub rows: Vec<LineRow>,
+}
+
+impl LineTable {
+    /// Look up the `(file, line)` covering `addr`, if any.
+    pub fn lookup(&self, addr: u64) -> Option<(u32, u32)> {
+        match self.rows.binary_search_by_key(&addr, |r| r.addr) {
+            Ok(i) => Some((self.rows[i].file, self.rows[i].line)),
+            Err(0) => None,
+            Err(i) => Some((self.rows[i - 1].file, self.rows[i - 1].line)),
+        }
+    }
+
+    /// Ensure rows are address-sorted (encoder precondition).
+    pub fn normalize(&mut self) {
+        self.rows.sort_by_key(|r| r.addr);
+    }
+}
+
+/// An inlined-subroutine DIE: one inlined call site, possibly with
+/// further inlining nested inside it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InlinedSub {
+    /// Name of the function that was inlined (the abstract origin).
+    pub name: String,
+    /// Covered address range `[low_pc, high_pc)`.
+    pub low_pc: u64,
+    /// End of the covered range.
+    pub high_pc: u64,
+    /// File index of the call site.
+    pub call_file: u32,
+    /// Line of the call site.
+    pub call_line: u32,
+    /// Inlined subroutines nested within this one.
+    pub children: Vec<InlinedSub>,
+}
+
+impl InlinedSub {
+    /// Depth of this inline tree (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self.children.iter().map(InlinedSub::depth).max().unwrap_or(0)
+    }
+
+    /// Total number of inline DIEs in this subtree.
+    pub fn count(&self) -> usize {
+        1 + self.children.iter().map(InlinedSub::count).sum::<usize>()
+    }
+}
+
+/// A subprogram (function) DIE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Subprogram {
+    /// Function name.
+    pub name: String,
+    /// Address ranges `[lo, hi)`. One entry for contiguous functions;
+    /// multiple when cold blocks are outlined. DWARF encodes the first
+    /// case with `low_pc`/`high_pc` and the second with `DW_AT_ranges`.
+    pub ranges: Vec<(u64, u64)>,
+    /// Declaring file index.
+    pub decl_file: u32,
+    /// Declaring line.
+    pub decl_line: u32,
+    /// Inlined call tree.
+    pub inlines: Vec<InlinedSub>,
+}
+
+impl Subprogram {
+    /// Does `addr` fall inside any of this function's ranges?
+    pub fn contains(&self, addr: u64) -> bool {
+        self.ranges.iter().any(|&(lo, hi)| addr >= lo && addr < hi)
+    }
+
+    /// Lowest covered address (entry point for compiler-emitted code).
+    pub fn low_pc(&self) -> u64 {
+        self.ranges.iter().map(|r| r.0).min().unwrap_or(0)
+    }
+
+    /// Total bytes covered across all ranges.
+    pub fn byte_size(&self) -> u64 {
+        self.ranges.iter().map(|&(lo, hi)| hi - lo).sum()
+    }
+}
+
+/// A compile unit: one source file's worth of debug info.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileUnit {
+    /// Unit (source file) name.
+    pub name: String,
+    /// Lowest text address in the unit.
+    pub low_pc: u64,
+    /// Highest text address (exclusive).
+    pub high_pc: u64,
+    /// File-name table referenced by `decl_file`/`call_file`/line rows.
+    /// Index 0 is conventionally the unit name itself.
+    pub files: Vec<String>,
+    /// Functions defined in this unit.
+    pub subprograms: Vec<Subprogram>,
+    /// Line table for this unit.
+    pub line_table: LineTable,
+}
+
+impl CompileUnit {
+    /// Locate the subprogram covering `addr`.
+    pub fn subprogram_at(&self, addr: u64) -> Option<&Subprogram> {
+        self.subprograms.iter().find(|s| s.contains(addr))
+    }
+}
+
+/// A complete debug-information forest.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DebugInfo {
+    /// All compile units.
+    pub units: Vec<CompileUnit>,
+}
+
+impl DebugInfo {
+    /// Total subprogram count across units.
+    pub fn subprogram_count(&self) -> usize {
+        self.units.iter().map(|u| u.subprograms.len()).sum()
+    }
+
+    /// Total line-table rows across units.
+    pub fn line_row_count(&self) -> usize {
+        self.units.iter().map(|u| u.line_table.rows.len()).sum()
+    }
+
+    /// Canonicalize ordering (units by low_pc, subprograms by entry,
+    /// rows by address) so structural equality is meaningful after a
+    /// parallel decode.
+    pub fn normalize(&mut self) {
+        for u in &mut self.units {
+            u.line_table.normalize();
+            u.subprograms.sort_by_key(Subprogram::low_pc);
+        }
+        self.units.sort_by_key(|u| u.low_pc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_lookup_covers_gaps() {
+        let t = LineTable {
+            rows: vec![
+                LineRow { addr: 0x100, file: 0, line: 10 },
+                LineRow { addr: 0x108, file: 0, line: 11 },
+                LineRow { addr: 0x110, file: 1, line: 3 },
+            ],
+        };
+        assert_eq!(t.lookup(0x0FF), None);
+        assert_eq!(t.lookup(0x100), Some((0, 10)));
+        assert_eq!(t.lookup(0x105), Some((0, 10)));
+        assert_eq!(t.lookup(0x108), Some((0, 11)));
+        assert_eq!(t.lookup(0x10F), Some((0, 11)));
+        assert_eq!(t.lookup(0x110), Some((1, 3)));
+        assert_eq!(t.lookup(0xFFFF), Some((1, 3)));
+    }
+
+    #[test]
+    fn subprogram_multi_range_contains() {
+        let s = Subprogram {
+            name: "f".into(),
+            ranges: vec![(0x100, 0x140), (0x800, 0x810)], // hot + cold
+            decl_file: 0,
+            decl_line: 1,
+            inlines: vec![],
+        };
+        assert!(s.contains(0x100));
+        assert!(s.contains(0x13F));
+        assert!(!s.contains(0x140));
+        assert!(s.contains(0x805));
+        assert_eq!(s.low_pc(), 0x100);
+        assert_eq!(s.byte_size(), 0x50);
+    }
+
+    #[test]
+    fn inline_tree_metrics() {
+        let tree = InlinedSub {
+            name: "a".into(),
+            low_pc: 0,
+            high_pc: 16,
+            call_file: 0,
+            call_line: 5,
+            children: vec![InlinedSub {
+                name: "b".into(),
+                low_pc: 4,
+                high_pc: 12,
+                call_file: 0,
+                call_line: 6,
+                children: vec![],
+            }],
+        };
+        assert_eq!(tree.depth(), 2);
+        assert_eq!(tree.count(), 2);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property test: any well-formed debug-info model round-trips through
+//! the DWARF encoder and the parallel decoder unchanged.
+
+use pba_dwarf::decode::{decode_parallel, decode_serial, DebugSlices};
+use pba_dwarf::encode::encode;
+use pba_dwarf::{CompileUnit, DebugInfo, InlinedSub, LineRow, LineTable, Subprogram};
+use proptest::prelude::*;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z_][a-z0-9_]{0,24}"
+}
+
+fn arb_subprogram(base: u64) -> impl Strategy<Value = Subprogram> {
+    (
+        arb_name(),
+        0u64..0x400,
+        0x10u64..0x100,
+        prop::option::of((0u64..0x100, 1u64..0x40)),
+        0u32..4,
+        1u32..500,
+        prop::bool::ANY,
+    )
+        .prop_map(move |(name, off, len, cold, decl_file, decl_line, with_inline)| {
+            let lo = base + off * 16;
+            let hi = lo + len;
+            let mut ranges = vec![(lo, hi)];
+            if let Some((cold_off, cold_len)) = cold {
+                let clo = base + 0x8000 + cold_off * 16;
+                ranges.push((clo, clo + cold_len));
+            }
+            let inlines = if with_inline && len >= 0x20 {
+                vec![InlinedSub {
+                    name: format!("{name}_inl"),
+                    low_pc: lo + 4,
+                    high_pc: lo + 4 + (len / 2),
+                    call_file: decl_file,
+                    call_line: decl_line + 1,
+                    children: vec![],
+                }]
+            } else {
+                vec![]
+            };
+            Subprogram { name, ranges, decl_file, decl_line, inlines }
+        })
+}
+
+fn arb_unit(idx: u64) -> impl Strategy<Value = CompileUnit> {
+    let base = 0x40_0000 + idx * 0x10_000;
+    (
+        arb_name(),
+        prop::collection::vec(arb_subprogram(base), 1..6),
+        prop::collection::vec((0u64..0x1000, 0u32..2, 1u32..9999), 0..40),
+    )
+        .prop_map(move |(name, mut subprograms, rows)| {
+            subprograms.sort_by_key(|s| s.low_pc());
+            subprograms.dedup_by_key(|s| s.low_pc());
+            let files = vec![format!("{name}.c"), format!("{name}.h")];
+            let mut table = LineTable {
+                rows: rows
+                    .into_iter()
+                    .map(|(off, file, line)| LineRow { addr: base + off * 4, file, line })
+                    .collect(),
+            };
+            table.normalize();
+            table.rows.dedup_by_key(|r| r.addr);
+            let low_pc = subprograms.iter().map(|s| s.low_pc()).min().unwrap_or(base);
+            let high_pc = subprograms
+                .iter()
+                .flat_map(|s| s.ranges.iter().map(|r| r.1))
+                .max()
+                .unwrap_or(base + 0x1000);
+            CompileUnit { name, low_pc, high_pc, files, subprograms, line_table: table }
+        })
+}
+
+fn arb_debug_info() -> impl Strategy<Value = DebugInfo> {
+    prop::collection::vec(0u64..8, 0..6).prop_flat_map(|idxs| {
+        let units: Vec<_> = idxs.into_iter().enumerate().map(|(i, _)| arb_unit(i as u64)).collect();
+        units.prop_map(|units| DebugInfo { units })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn encode_decode_round_trips(mut di in arb_debug_info()) {
+        di.normalize();
+        let secs = encode(&di);
+        let slices = DebugSlices {
+            info: &secs.info,
+            abbrev: &secs.abbrev,
+            strs: &secs.strs,
+            line: &secs.line,
+            ranges: &secs.ranges,
+        };
+        let mut serial = decode_serial(slices).unwrap();
+        serial.normalize();
+        prop_assert_eq!(&serial, &di, "serial decode mismatch");
+        let mut parallel = decode_parallel(slices).unwrap();
+        parallel.normalize();
+        prop_assert_eq!(&parallel, &di, "parallel decode mismatch");
+    }
+
+    /// Decoding truncated/corrupt inputs must error, never panic.
+    #[test]
+    fn truncation_never_panics(mut di in arb_debug_info(), cut in 0.0f64..1.0) {
+        di.normalize();
+        let secs = encode(&di);
+        if secs.info.is_empty() {
+            return Ok(());
+        }
+        let keep = ((secs.info.len() as f64) * cut) as usize;
+        let slices = DebugSlices {
+            info: &secs.info[..keep],
+            abbrev: &secs.abbrev,
+            strs: &secs.strs,
+            line: &secs.line,
+            ranges: &secs.ranges,
+        };
+        let _ = decode_serial(slices); // Ok or Err, both fine.
+    }
+}

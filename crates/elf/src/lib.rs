@@ -1,0 +1,34 @@
+//! From-scratch ELF64 container support.
+//!
+//! Binary analysis starts from the container: the parser seeds CFG
+//! construction from function symbols (`F0` in the paper's Section 3 is
+//! "the set of candidate function entry blocks discovered via the binary's
+//! symbol table"), and the structure/forensics tools read `.text`,
+//! `.rodata` (jump tables live there) and the debug sections. Rather than
+//! binding to libelf/goblin, this crate implements the pieces of the ELF64
+//! specification the system needs — in both directions:
+//!
+//! * [`read`] — parse headers, section tables, string tables and symbol
+//!   tables out of a byte image;
+//! * [`write`] — lay out and serialize a well-formed ELF64 image (used by
+//!   the synthetic workload generator);
+//! * [`demangle`] — a miniature Itanium-style demangler providing the
+//!   "pretty" and "typed" symbol names the multi-keyed symbol table
+//!   indexes;
+//! * [`symtab`] — the paper's Section 6.2 multi-keyed *parallel* symbol
+//!   table (Listing 6), built on `pba-concurrent`'s accessor map.
+//!
+//! Round-trip invariant: anything [`write::ElfBuilder`] produces,
+//! [`read::Elf`] parses back with identical sections and symbols; tests
+//! enforce this.
+
+pub mod demangle;
+pub mod read;
+pub mod symtab;
+pub mod types;
+pub mod write;
+
+pub use read::Elf;
+pub use symtab::{IndexedSymbols, SymbolRec};
+pub use types::{ElfError, SecFlags, SecType, SymBind, SymType};
+pub use write::ElfBuilder;

@@ -1,0 +1,294 @@
+//! ELF64 image parser.
+//!
+//! Owns the raw bytes (analysis runs share one [`Elf`] across many threads
+//! behind an `Arc`) and exposes sections by name plus the decoded symbol
+//! table. Parsing is strict about structure bounds — a malformed header
+//! never panics, it returns [`ElfError`] — but lenient about unknown
+//! section types, which are preserved as opaque `ProgBits`.
+
+use crate::types::*;
+
+/// A parsed section: metadata plus the byte range of its contents within
+/// the image.
+#[derive(Debug, Clone)]
+pub struct Section {
+    /// Section name (from `.shstrtab`).
+    pub name: String,
+    /// Section type.
+    pub sec_type: SecType,
+    /// Flags.
+    pub flags: SecFlags,
+    /// Virtual address at which the section is loaded (0 if not allocated).
+    pub addr: u64,
+    /// File offset of the contents.
+    pub offset: u64,
+    /// Size in bytes.
+    pub size: u64,
+    /// `sh_link` (e.g. the string table index for a symtab).
+    pub link: u32,
+    /// Alignment.
+    pub align: u64,
+}
+
+/// One decoded symbol-table entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symbol {
+    /// Mangled name as stored in the string table.
+    pub name: String,
+    /// Value (virtual address for defined func/object symbols).
+    pub value: u64,
+    /// Size in bytes (0 if unknown).
+    pub size: u64,
+    /// Binding.
+    pub bind: SymBind,
+    /// Type.
+    pub sym_type: SymType,
+    /// Defining section index (`SHN_UNDEF` = 0 for undefined).
+    pub shndx: u16,
+}
+
+impl Symbol {
+    /// Is this a defined function symbol (a CFG seed)?
+    pub fn is_defined_func(&self) -> bool {
+        self.sym_type == SymType::Func && self.shndx != 0
+    }
+}
+
+/// A parsed ELF64 image.
+#[derive(Debug)]
+pub struct Elf {
+    bytes: Vec<u8>,
+    /// `e_type` (ET_EXEC / ET_DYN).
+    pub etype: u16,
+    /// `e_machine`.
+    pub machine: u16,
+    /// Entry point.
+    pub entry: u64,
+    /// All sections, in header-table order (index 0 is the null section).
+    pub sections: Vec<Section>,
+    /// Decoded `.symtab` entries (empty if the binary is stripped).
+    pub symbols: Vec<Symbol>,
+}
+
+fn get<const N: usize>(b: &[u8], at: usize, what: &'static str) -> Result<[u8; N], ElfError> {
+    b.get(at..at + N)
+        .and_then(|s| s.try_into().ok())
+        .ok_or(ElfError::Truncated { what, offset: at })
+}
+
+fn u16_at(b: &[u8], at: usize, what: &'static str) -> Result<u16, ElfError> {
+    Ok(u16::from_le_bytes(get::<2>(b, at, what)?))
+}
+
+fn u32_at(b: &[u8], at: usize, what: &'static str) -> Result<u32, ElfError> {
+    Ok(u32::from_le_bytes(get::<4>(b, at, what)?))
+}
+
+fn u64_at(b: &[u8], at: usize, what: &'static str) -> Result<u64, ElfError> {
+    Ok(u64::from_le_bytes(get::<8>(b, at, what)?))
+}
+
+/// Read a NUL-terminated string out of a string-table slice.
+pub fn strtab_get(tab: &[u8], off: usize) -> Result<String, ElfError> {
+    let rest = tab.get(off..).ok_or(ElfError::BadString { offset: off })?;
+    let end = rest
+        .iter()
+        .position(|&c| c == 0)
+        .ok_or(ElfError::BadString { offset: off })?;
+    String::from_utf8(rest[..end].to_vec()).map_err(|_| ElfError::BadString { offset: off })
+}
+
+impl Elf {
+    /// Parse an ELF64 image from owned bytes.
+    pub fn parse(bytes: Vec<u8>) -> Result<Elf, ElfError> {
+        let b = &bytes;
+        if b.len() < EHDR_SIZE {
+            return Err(ElfError::Truncated { what: "ELF header", offset: 0 });
+        }
+        if b[0..4] != ELF_MAGIC || b[4] != ELFCLASS64 || b[5] != ELFDATA2LSB {
+            return Err(ElfError::BadMagic);
+        }
+        let etype = u16_at(b, 16, "e_type")?;
+        let machine = u16_at(b, 18, "e_machine")?;
+        let entry = u64_at(b, 24, "e_entry")?;
+        let shoff = u64_at(b, 40, "e_shoff")? as usize;
+        let shentsize = u16_at(b, 58, "e_shentsize")? as usize;
+        let shnum = u16_at(b, 60, "e_shnum")? as usize;
+        let shstrndx = u16_at(b, 62, "e_shstrndx")? as usize;
+
+        if shentsize != SHDR_SIZE && shnum != 0 {
+            return Err(ElfError::BadOffset { what: "e_shentsize", value: shentsize as u64 });
+        }
+
+        // First pass: raw section headers.
+        struct RawShdr {
+            name_off: u32,
+            sh_type: u32,
+            flags: u64,
+            addr: u64,
+            offset: u64,
+            size: u64,
+            link: u32,
+            align: u64,
+        }
+        let mut raw = Vec::with_capacity(shnum);
+        for i in 0..shnum {
+            let at = shoff + i * SHDR_SIZE;
+            raw.push(RawShdr {
+                name_off: u32_at(b, at, "sh_name")?,
+                sh_type: u32_at(b, at + 4, "sh_type")?,
+                flags: u64_at(b, at + 8, "sh_flags")?,
+                addr: u64_at(b, at + 16, "sh_addr")?,
+                offset: u64_at(b, at + 24, "sh_offset")?,
+                size: u64_at(b, at + 32, "sh_size")?,
+                link: u32_at(b, at + 40, "sh_link")?,
+                align: u64_at(b, at + 48, "sh_addralign")?,
+            });
+        }
+
+        // Section-name string table.
+        let shstr = raw
+            .get(shstrndx)
+            .ok_or(ElfError::BadOffset { what: "e_shstrndx", value: shstrndx as u64 })?;
+        let shstr_range = shstr.offset as usize
+            ..(shstr.offset as usize)
+                .checked_add(shstr.size as usize)
+                .ok_or(ElfError::BadOffset { what: "shstrtab", value: shstr.size })?;
+        let shstrtab = b
+            .get(shstr_range)
+            .ok_or(ElfError::BadOffset { what: "shstrtab", value: shstr.offset })?
+            .to_vec();
+
+        let mut sections = Vec::with_capacity(shnum);
+        for r in &raw {
+            let sec_type = SecType::from_raw(r.sh_type);
+            // Validate content bounds for sections that occupy file space.
+            if sec_type != SecType::NoBits && sec_type != SecType::Null {
+                let end = r
+                    .offset
+                    .checked_add(r.size)
+                    .ok_or(ElfError::BadOffset { what: "section contents", value: r.offset })?;
+                if end as usize > b.len() {
+                    return Err(ElfError::BadOffset { what: "section contents", value: end });
+                }
+            }
+            sections.push(Section {
+                name: strtab_get(&shstrtab, r.name_off as usize)?,
+                sec_type,
+                flags: SecFlags(r.flags),
+                addr: r.addr,
+                offset: r.offset,
+                size: r.size,
+                link: r.link,
+                align: r.align,
+            });
+        }
+
+        // Decode the symbol table if present.
+        let mut symbols = Vec::new();
+        if let Some(symtab_idx) = sections.iter().position(|s| s.sec_type == SecType::SymTab) {
+            let symtab = &sections[symtab_idx];
+            let strtab_idx = symtab.link as usize;
+            let strtab_sec = sections
+                .get(strtab_idx)
+                .ok_or(ElfError::BadOffset { what: "symtab sh_link", value: symtab.link as u64 })?;
+            let strtab =
+                &b[strtab_sec.offset as usize..(strtab_sec.offset + strtab_sec.size) as usize];
+            let count = (symtab.size as usize) / SYM_SIZE;
+            symbols.reserve(count.saturating_sub(1));
+            for i in 1..count {
+                // Entry 0 is the reserved null symbol.
+                let at = symtab.offset as usize + i * SYM_SIZE;
+                let name_off = u32_at(b, at, "st_name")? as usize;
+                let info = *b.get(at + 4).ok_or(ElfError::Truncated { what: "st_info", offset: at })?;
+                let shndx = u16_at(b, at + 6, "st_shndx")?;
+                let value = u64_at(b, at + 8, "st_value")?;
+                let size = u64_at(b, at + 16, "st_size")?;
+                symbols.push(Symbol {
+                    name: strtab_get(strtab, name_off)?,
+                    value,
+                    size,
+                    bind: SymBind::from_raw(info >> 4),
+                    sym_type: SymType::from_raw(info & 0xF),
+                    shndx,
+                });
+            }
+        }
+
+        Ok(Elf { bytes, etype, machine, entry, sections, symbols })
+    }
+
+    /// Find a section by name.
+    pub fn section(&self, name: &str) -> Option<&Section> {
+        self.sections.iter().find(|s| s.name == name)
+    }
+
+    /// The contents of a section (empty slice for `NoBits`).
+    pub fn data(&self, sec: &Section) -> &[u8] {
+        if sec.sec_type == SecType::NoBits {
+            &[]
+        } else {
+            &self.bytes[sec.offset as usize..(sec.offset + sec.size) as usize]
+        }
+    }
+
+    /// Convenience: name → contents.
+    pub fn section_data(&self, name: &str) -> Option<&[u8]> {
+        self.section(name).map(|s| self.data(s))
+    }
+
+    /// Translate a virtual address inside an allocated section into that
+    /// section's data slice plus the offset within it.
+    pub fn vaddr_to_section(&self, vaddr: u64) -> Option<(&Section, usize)> {
+        self.sections
+            .iter()
+            .filter(|s| s.flags.has(SecFlags::ALLOC) && s.sec_type == SecType::ProgBits)
+            .find(|s| vaddr >= s.addr && vaddr < s.addr + s.size)
+            .map(|s| (s, (vaddr - s.addr) as usize))
+    }
+
+    /// Read `n` bytes at virtual address `vaddr`, if mapped.
+    pub fn read_vaddr(&self, vaddr: u64, n: usize) -> Option<&[u8]> {
+        let (sec, off) = self.vaddr_to_section(vaddr)?;
+        self.data(sec).get(off..off + n)
+    }
+
+    /// Total image size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the image is empty (never true for a parsed file).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(Elf::parse(vec![]).unwrap_err(), ElfError::Truncated { what: "ELF header", offset: 0 });
+        assert_eq!(Elf::parse(vec![0u8; 64]).unwrap_err(), ElfError::BadMagic);
+        let mut almost = vec![0u8; 64];
+        almost[..4].copy_from_slice(&ELF_MAGIC);
+        almost[4] = 1; // ELFCLASS32
+        almost[5] = ELFDATA2LSB;
+        assert_eq!(Elf::parse(almost).unwrap_err(), ElfError::BadMagic);
+    }
+
+    #[test]
+    fn strtab_get_bounds() {
+        let tab = b"\0hello\0world\0";
+        assert_eq!(strtab_get(tab, 1).unwrap(), "hello");
+        assert_eq!(strtab_get(tab, 7).unwrap(), "world");
+        assert_eq!(strtab_get(tab, 0).unwrap(), "");
+        assert!(strtab_get(tab, 100).is_err());
+        assert!(strtab_get(b"nonul", 0).is_err());
+    }
+
+    // Full read<->write round-trip tests live in write.rs where the builder
+    // is available.
+}

@@ -1,0 +1,269 @@
+//! Multi-keyed parallel symbol table (paper Section 6.2, Listing 6).
+//!
+//! Dyninst's original symbol table was a Boost `multi_index_container`
+//! behind one mutex, which became a contention bottleneck once symbol
+//! initialization was parallelized ("large binaries contain millions of
+//! functions"). The redesign in the paper — reproduced here — keeps one
+//! *master* concurrent map for identity plus four secondary indexes:
+//!
+//! * the master table's entry-level lock arbitrates duplicate inserts:
+//!   the losing thread returns early (Listing 6 line 10);
+//! * the winner updates all secondary indexes *while still holding the
+//!   master accessor*, so the collective entries for one symbol appear in
+//!   a total order;
+//! * lookups never run concurrently with inserts in the analysis
+//!   lifecycle (parse phase writes, analysis phases read), so reads go
+//!   straight to the secondary indexes with no extra locking.
+
+use crate::demangle;
+use crate::read::{Elf, Symbol};
+use crate::types::{SymBind, SymType};
+use pba_concurrent::ConcurrentHashMap;
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// One interned symbol with all four key forms precomputed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymbolRec {
+    /// Mangled name as found in `.strtab`.
+    pub mangled: String,
+    /// Pretty (base) name.
+    pub pretty: String,
+    /// Typed (demangled with parameters) name.
+    pub typed: String,
+    /// Virtual address.
+    pub offset: u64,
+    /// Size in bytes (0 if unknown).
+    pub size: u64,
+    /// Symbol type.
+    pub sym_type: SymType,
+    /// Binding.
+    pub bind: SymBind,
+}
+
+impl SymbolRec {
+    /// Build from a decoded ELF symbol, computing the demangled forms.
+    pub fn from_elf(sym: &Symbol) -> SymbolRec {
+        SymbolRec {
+            pretty: demangle::pretty_name(&sym.name),
+            typed: demangle::typed_name(&sym.name),
+            mangled: sym.name.clone(),
+            offset: sym.value,
+            size: sym.size,
+            sym_type: sym.sym_type,
+            bind: sym.bind,
+        }
+    }
+
+    /// Is this a function symbol?
+    pub fn is_func(&self) -> bool {
+        self.sym_type == SymType::Func
+    }
+}
+
+type Index<K> = ConcurrentHashMap<K, Vec<Arc<SymbolRec>>>;
+
+/// The multi-keyed parallel symbol table.
+pub struct IndexedSymbols {
+    /// Identity map mediating insert races; the value is unused.
+    master: ConcurrentHashMap<(u64, String), ()>,
+    by_offset: Index<u64>,
+    by_mangled: Index<String>,
+    by_pretty: Index<String>,
+    by_typed: Index<String>,
+}
+
+impl Default for IndexedSymbols {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IndexedSymbols {
+    /// Empty table.
+    pub fn new() -> IndexedSymbols {
+        IndexedSymbols {
+            master: ConcurrentHashMap::new(),
+            by_offset: ConcurrentHashMap::new(),
+            by_mangled: ConcurrentHashMap::new(),
+            by_pretty: ConcurrentHashMap::new(),
+            by_typed: ConcurrentHashMap::new(),
+        }
+    }
+
+    /// Insert a symbol; returns `false` if an identical symbol (same
+    /// offset and mangled name) is already present. Mirrors Listing 6.
+    pub fn insert(&self, sym: Arc<SymbolRec>) -> bool {
+        let key = (sym.offset, sym.mangled.clone());
+        // Hold the master accessor across all secondary updates so the
+        // symbol's collective entries appear atomically.
+        let (_acc, inserted) = self.master.insert_with(key, || ());
+        if !inserted {
+            return false;
+        }
+        {
+            let (mut a, _) = self.by_offset.insert_with(sym.offset, Vec::new);
+            a.push(Arc::clone(&sym));
+        }
+        {
+            let (mut a, _) = self.by_mangled.insert_with(sym.mangled.clone(), Vec::new);
+            a.push(Arc::clone(&sym));
+        }
+        {
+            let (mut a, _) = self.by_pretty.insert_with(sym.pretty.clone(), Vec::new);
+            a.push(Arc::clone(&sym));
+        }
+        {
+            let (mut a, _) = self.by_typed.insert_with(sym.typed.clone(), Vec::new);
+            a.push(sym);
+        }
+        true
+    }
+
+    /// Build from an ELF image's symbol table in parallel — the paper's
+    /// "InitFunctions() — done in parallel" (Listing 2, line 1).
+    pub fn build_parallel(elf: &Elf) -> IndexedSymbols {
+        let table = IndexedSymbols::new();
+        elf.symbols.par_iter().for_each(|s| {
+            table.insert(Arc::new(SymbolRec::from_elf(s)));
+        });
+        table
+    }
+
+    /// Serial equivalent of [`IndexedSymbols::build_parallel`] for
+    /// baseline measurements.
+    pub fn build_serial(elf: &Elf) -> IndexedSymbols {
+        let table = IndexedSymbols::new();
+        for s in &elf.symbols {
+            table.insert(Arc::new(SymbolRec::from_elf(s)));
+        }
+        table
+    }
+
+    /// Symbols defined at `offset`.
+    pub fn at_offset(&self, offset: u64) -> Vec<Arc<SymbolRec>> {
+        self.by_offset.find(&offset).map(|v| v.clone()).unwrap_or_default()
+    }
+
+    /// Symbols with the given mangled name.
+    pub fn by_mangled_name(&self, name: &str) -> Vec<Arc<SymbolRec>> {
+        self.by_mangled.find(&name.to_string()).map(|v| v.clone()).unwrap_or_default()
+    }
+
+    /// Symbols with the given pretty name.
+    pub fn by_pretty_name(&self, name: &str) -> Vec<Arc<SymbolRec>> {
+        self.by_pretty.find(&name.to_string()).map(|v| v.clone()).unwrap_or_default()
+    }
+
+    /// Symbols with the given typed name.
+    pub fn by_typed_name(&self, name: &str) -> Vec<Arc<SymbolRec>> {
+        self.by_typed.find(&name.to_string()).map(|v| v.clone()).unwrap_or_default()
+    }
+
+    /// All distinct offsets holding at least one function symbol — the
+    /// seed set `F0` for CFG construction.
+    pub fn function_entries(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .by_offset
+            .snapshot()
+            .into_iter()
+            .filter(|(_, v)| v.read().iter().any(|s| s.is_func()))
+            .map(|(k, _)| k)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Total number of distinct symbols inserted.
+    pub fn len(&self) -> usize {
+        self.master.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.master.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(name: &str, offset: u64) -> Arc<SymbolRec> {
+        Arc::new(SymbolRec {
+            mangled: name.into(),
+            pretty: demangle::pretty_name(name),
+            typed: demangle::typed_name(name),
+            offset,
+            size: 16,
+            sym_type: SymType::Func,
+            bind: SymBind::Global,
+        })
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let t = IndexedSymbols::new();
+        assert!(t.insert(rec("f", 0x100)));
+        assert!(!t.insert(rec("f", 0x100)));
+        assert_eq!(t.len(), 1);
+        // Same name at a different offset is a different symbol.
+        assert!(t.insert(rec("f", 0x200)));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.by_mangled_name("f").len(), 2);
+    }
+
+    #[test]
+    fn four_key_lookup() {
+        let t = IndexedSymbols::new();
+        t.insert(rec("_Z7handlerPKci", 0x400));
+        assert_eq!(t.at_offset(0x400).len(), 1);
+        assert_eq!(t.by_mangled_name("_Z7handlerPKci").len(), 1);
+        assert_eq!(t.by_pretty_name("handler").len(), 1);
+        assert_eq!(t.by_typed_name("handler(char const*, int)").len(), 1);
+        assert!(t.by_pretty_name("nothere").is_empty());
+    }
+
+    #[test]
+    fn aliases_at_same_offset() {
+        // Two names at the same address (e.g. weak alias + strong def).
+        let t = IndexedSymbols::new();
+        t.insert(rec("open", 0x900));
+        t.insert(rec("open64", 0x900));
+        assert_eq!(t.at_offset(0x900).len(), 2);
+        assert_eq!(t.function_entries(), vec![0x900]);
+    }
+
+    #[test]
+    fn concurrent_duplicate_storm_yields_one_symbol() {
+        let t = Arc::new(IndexedSymbols::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for off in 0..200u64 {
+                        t.insert(rec("dup", off));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.len(), 200);
+        for off in 0..200 {
+            assert_eq!(t.at_offset(off).len(), 1, "offset {off}");
+        }
+        assert_eq!(t.by_mangled_name("dup").len(), 200);
+    }
+
+    #[test]
+    fn function_entries_sorted_and_deduped() {
+        let t = IndexedSymbols::new();
+        t.insert(rec("c", 0x300));
+        t.insert(rec("a", 0x100));
+        t.insert(rec("b", 0x200));
+        t.insert(rec("a2", 0x100));
+        assert_eq!(t.function_entries(), vec![0x100, 0x200, 0x300]);
+    }
+}

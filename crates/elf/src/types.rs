@@ -1,0 +1,222 @@
+//! ELF64 on-disk structures and constants (the subset this system uses).
+//!
+//! Layout follows the System V gABI. All values are little-endian
+//! (`ELFDATA2LSB`); big-endian containers are out of scope since both
+//! supported ISAs are little-endian.
+
+/// ELF magic bytes.
+pub const ELF_MAGIC: [u8; 4] = [0x7F, b'E', b'L', b'F'];
+
+/// `e_ident[EI_CLASS]`: 64-bit objects.
+pub const ELFCLASS64: u8 = 2;
+/// `e_ident[EI_DATA]`: little-endian.
+pub const ELFDATA2LSB: u8 = 1;
+/// `e_ident[EI_VERSION]`.
+pub const EV_CURRENT: u8 = 1;
+
+/// `e_type`: executable.
+pub const ET_EXEC: u16 = 2;
+/// `e_type`: shared object / PIE.
+pub const ET_DYN: u16 = 3;
+
+/// `e_machine`: AMD x86-64.
+pub const EM_X86_64: u16 = 62;
+/// `e_machine`: our private test ISA (vendor-specific range).
+pub const EM_RVLITE: u16 = 0xFE01;
+
+/// Size of the ELF64 file header.
+pub const EHDR_SIZE: usize = 64;
+/// Size of one section header.
+pub const SHDR_SIZE: usize = 64;
+/// Size of one program header.
+pub const PHDR_SIZE: usize = 56;
+/// Size of one symbol table entry.
+pub const SYM_SIZE: usize = 24;
+
+/// Section types (`sh_type`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum SecType {
+    /// SHT_NULL.
+    Null = 0,
+    /// SHT_PROGBITS.
+    ProgBits = 1,
+    /// SHT_SYMTAB.
+    SymTab = 2,
+    /// SHT_STRTAB.
+    StrTab = 3,
+    /// SHT_NOBITS (.bss).
+    NoBits = 8,
+}
+
+impl SecType {
+    /// Decode a raw `sh_type`; unknown values map to `ProgBits` so foreign
+    /// sections are preserved as opaque bytes.
+    pub fn from_raw(v: u32) -> SecType {
+        match v {
+            0 => SecType::Null,
+            2 => SecType::SymTab,
+            3 => SecType::StrTab,
+            8 => SecType::NoBits,
+            _ => SecType::ProgBits,
+        }
+    }
+}
+
+/// Section flags (`sh_flags`), a bitset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SecFlags(pub u64);
+
+impl SecFlags {
+    /// SHF_WRITE.
+    pub const WRITE: SecFlags = SecFlags(0x1);
+    /// SHF_ALLOC.
+    pub const ALLOC: SecFlags = SecFlags(0x2);
+    /// SHF_EXECINSTR.
+    pub const EXEC: SecFlags = SecFlags(0x4);
+
+    /// Combine flags.
+    pub fn with(self, other: SecFlags) -> SecFlags {
+        SecFlags(self.0 | other.0)
+    }
+
+    /// Test for a flag.
+    pub fn has(self, other: SecFlags) -> bool {
+        self.0 & other.0 != 0
+    }
+}
+
+/// Symbol binding (high nibble of `st_info`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SymBind {
+    /// STB_LOCAL.
+    Local,
+    /// STB_GLOBAL.
+    Global,
+    /// STB_WEAK.
+    Weak,
+}
+
+impl SymBind {
+    /// Raw high-nibble value.
+    pub fn raw(self) -> u8 {
+        match self {
+            SymBind::Local => 0,
+            SymBind::Global => 1,
+            SymBind::Weak => 2,
+        }
+    }
+
+    /// Decode; unknown bindings degrade to `Local`.
+    pub fn from_raw(v: u8) -> SymBind {
+        match v {
+            1 => SymBind::Global,
+            2 => SymBind::Weak,
+            _ => SymBind::Local,
+        }
+    }
+}
+
+/// Symbol type (low nibble of `st_info`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SymType {
+    /// STT_NOTYPE.
+    NoType,
+    /// STT_OBJECT.
+    Object,
+    /// STT_FUNC.
+    Func,
+    /// STT_SECTION.
+    Section,
+    /// STT_FILE.
+    File,
+}
+
+impl SymType {
+    /// Raw low-nibble value.
+    pub fn raw(self) -> u8 {
+        match self {
+            SymType::NoType => 0,
+            SymType::Object => 1,
+            SymType::Func => 2,
+            SymType::Section => 3,
+            SymType::File => 4,
+        }
+    }
+
+    /// Decode; unknown types degrade to `NoType`.
+    pub fn from_raw(v: u8) -> SymType {
+        match v {
+            1 => SymType::Object,
+            2 => SymType::Func,
+            3 => SymType::Section,
+            4 => SymType::File,
+            _ => SymType::NoType,
+        }
+    }
+}
+
+/// Errors from parsing or building ELF images.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElfError {
+    /// Too few bytes for a structure at the given offset.
+    Truncated { what: &'static str, offset: usize },
+    /// Magic/class/endianness mismatch.
+    BadMagic,
+    /// A header field points outside the image.
+    BadOffset { what: &'static str, value: u64 },
+    /// A string-table reference is unterminated or out of range.
+    BadString { offset: usize },
+    /// Builder misuse (duplicate section names, missing sections, ...).
+    Builder(String),
+}
+
+impl std::fmt::Display for ElfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ElfError::Truncated { what, offset } => {
+                write!(f, "truncated {what} at offset {offset:#x}")
+            }
+            ElfError::BadMagic => write!(f, "not a little-endian ELF64 image"),
+            ElfError::BadOffset { what, value } => {
+                write!(f, "{what} out of bounds: {value:#x}")
+            }
+            ElfError::BadString { offset } => write!(f, "bad string at {offset:#x}"),
+            ElfError::Builder(msg) => write!(f, "builder: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ElfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sectype_round_trip() {
+        for t in [SecType::Null, SecType::SymTab, SecType::StrTab, SecType::NoBits] {
+            assert_eq!(SecType::from_raw(t as u32), t);
+        }
+        assert_eq!(SecType::from_raw(1), SecType::ProgBits);
+        assert_eq!(SecType::from_raw(0x7000_0000), SecType::ProgBits);
+    }
+
+    #[test]
+    fn flags_compose() {
+        let f = SecFlags::ALLOC.with(SecFlags::EXEC);
+        assert!(f.has(SecFlags::ALLOC));
+        assert!(f.has(SecFlags::EXEC));
+        assert!(!f.has(SecFlags::WRITE));
+    }
+
+    #[test]
+    fn sym_info_round_trip() {
+        for b in [SymBind::Local, SymBind::Global, SymBind::Weak] {
+            assert_eq!(SymBind::from_raw(b.raw()), b);
+        }
+        for t in [SymType::NoType, SymType::Object, SymType::Func, SymType::Section, SymType::File] {
+            assert_eq!(SymType::from_raw(t.raw()), t);
+        }
+    }
+}

@@ -1,0 +1,449 @@
+//! ELF64 image builder.
+//!
+//! The synthetic-workload generator needs to produce *real* binaries — the
+//! whole point of the reproduction is that the parser consumes the same
+//! container format Dyninst does. The builder lays out: ELF header,
+//! program headers (one `PT_LOAD` per allocated section), section
+//! contents, then `.symtab`/`.strtab`/`.shstrtab` and the section header
+//! table. Everything [`crate::read::Elf`] parses round-trips.
+
+use crate::types::*;
+
+/// A section staged for writing.
+struct PendingSection {
+    name: String,
+    sec_type: SecType,
+    flags: SecFlags,
+    addr: u64,
+    align: u64,
+    data: Vec<u8>,
+}
+
+/// A symbol staged for writing.
+struct PendingSymbol {
+    name: String,
+    value: u64,
+    size: u64,
+    bind: SymBind,
+    sym_type: SymType,
+    /// Name of the defining section.
+    section: String,
+}
+
+/// Incremental string-table builder (offset 0 is the empty string, as the
+/// gABI requires).
+pub struct StrTab {
+    bytes: Vec<u8>,
+}
+
+impl Default for StrTab {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StrTab {
+    /// New table containing only the leading NUL.
+    pub fn new() -> StrTab {
+        StrTab { bytes: vec![0] }
+    }
+
+    /// Intern `s`, returning its offset.
+    pub fn add(&mut self, s: &str) -> u32 {
+        if s.is_empty() {
+            return 0;
+        }
+        let off = self.bytes.len() as u32;
+        self.bytes.extend_from_slice(s.as_bytes());
+        self.bytes.push(0);
+        off
+    }
+
+    /// Finished bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Builder for a well-formed ELF64 image.
+pub struct ElfBuilder {
+    etype: u16,
+    machine: u16,
+    entry: u64,
+    sections: Vec<PendingSection>,
+    symbols: Vec<PendingSymbol>,
+}
+
+impl ElfBuilder {
+    /// Start an executable image for `machine` (e.g.
+    /// [`crate::types::EM_X86_64`]).
+    pub fn new(machine: u16) -> ElfBuilder {
+        ElfBuilder { etype: ET_EXEC, machine, entry: 0, sections: Vec::new(), symbols: Vec::new() }
+    }
+
+    /// Set the entry point address.
+    pub fn entry(&mut self, addr: u64) -> &mut Self {
+        self.entry = addr;
+        self
+    }
+
+    /// Add a section with contents. `addr` of 0 means "not allocated".
+    pub fn add_section(
+        &mut self,
+        name: &str,
+        sec_type: SecType,
+        flags: SecFlags,
+        addr: u64,
+        align: u64,
+        data: Vec<u8>,
+    ) -> &mut Self {
+        self.sections.push(PendingSection {
+            name: name.to_string(),
+            sec_type,
+            flags,
+            addr,
+            align: align.max(1),
+            data,
+        });
+        self
+    }
+
+    /// Add a symbol defined in section `section`.
+    pub fn add_symbol(
+        &mut self,
+        name: &str,
+        value: u64,
+        size: u64,
+        bind: SymBind,
+        sym_type: SymType,
+        section: &str,
+    ) -> &mut Self {
+        self.symbols.push(PendingSymbol {
+            name: name.to_string(),
+            value,
+            size,
+            bind,
+            sym_type,
+            section: section.to_string(),
+        });
+        self
+    }
+
+    /// Serialize the image.
+    pub fn build(mut self) -> Result<Vec<u8>, ElfError> {
+        // Duplicate names would make `section()` lookups ambiguous.
+        {
+            let mut names: Vec<&str> = self.sections.iter().map(|s| s.name.as_str()).collect();
+            names.sort_unstable();
+            if names.windows(2).any(|w| w[0] == w[1] && !w[0].is_empty()) {
+                return Err(ElfError::Builder("duplicate section name".into()));
+            }
+        }
+
+        // Synthesize .symtab/.strtab if any symbols were added.
+        if !self.symbols.is_empty() {
+            let mut strtab = StrTab::new();
+            let mut symtab = vec![0u8; SYM_SIZE]; // null symbol
+            // Section indices: +1 for the null section at index 0.
+            let index_of = |sections: &[PendingSection], name: &str| -> Option<u16> {
+                sections.iter().position(|s| s.name == name).map(|i| (i + 1) as u16)
+            };
+            // Locals must precede globals per the gABI.
+            self.symbols.sort_by_key(|s| s.bind != SymBind::Local);
+            for sym in &self.symbols {
+                let shndx = index_of(&self.sections, &sym.section).ok_or_else(|| {
+                    ElfError::Builder(format!("symbol {} references unknown section {}", sym.name, sym.section))
+                })?;
+                let name_off = strtab.add(&sym.name);
+                symtab.extend_from_slice(&name_off.to_le_bytes());
+                symtab.push((sym.bind.raw() << 4) | sym.sym_type.raw());
+                symtab.push(0); // st_other
+                symtab.extend_from_slice(&shndx.to_le_bytes());
+                symtab.extend_from_slice(&sym.value.to_le_bytes());
+                symtab.extend_from_slice(&sym.size.to_le_bytes());
+            }
+            let strtab_index_link = (self.sections.len() + 2) as u32; // after symtab
+            self.sections.push(PendingSection {
+                name: ".symtab".into(),
+                sec_type: SecType::SymTab,
+                flags: SecFlags::default(),
+                addr: 0,
+                align: 8,
+                data: symtab,
+            });
+            self.sections.push(PendingSection {
+                name: ".strtab".into(),
+                sec_type: SecType::StrTab,
+                flags: SecFlags::default(),
+                addr: 0,
+                align: 1,
+                data: strtab.into_bytes(),
+            });
+            // Record the link for later: symtab is at index len-2 (+1 for
+            // null), link target at strtab_index_link.
+            debug_assert_eq!(strtab_index_link as usize, self.sections.len());
+        }
+
+        // .shstrtab always goes last.
+        let mut shstr = StrTab::new();
+        let mut name_offs = vec![0u32]; // null section
+        for s in &self.sections {
+            name_offs.push(shstr.add(&s.name));
+        }
+        let shstrtab_name_off = shstr.add(".shstrtab");
+        let shstrtab_bytes = shstr.into_bytes();
+
+        let loadable: Vec<usize> = self
+            .sections
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.flags.has(SecFlags::ALLOC))
+            .map(|(i, _)| i)
+            .collect();
+
+        // Layout: ehdr | phdrs | section contents... | shstrtab | shdrs.
+        let phnum = loadable.len();
+        let mut cursor = EHDR_SIZE + phnum * PHDR_SIZE;
+        let mut offsets = Vec::with_capacity(self.sections.len());
+        for s in &self.sections {
+            let align = s.align as usize;
+            cursor = cursor.div_ceil(align) * align;
+            offsets.push(cursor);
+            if s.sec_type != SecType::NoBits {
+                cursor += s.data.len();
+            }
+        }
+        let shstrtab_off = cursor;
+        cursor += shstrtab_bytes.len();
+        let shoff = cursor.div_ceil(8) * 8;
+        let shnum = self.sections.len() + 2; // + null + shstrtab
+
+        let total = shoff + shnum * SHDR_SIZE;
+        let mut out = vec![0u8; total];
+
+        // ---- ELF header ----
+        out[..4].copy_from_slice(&ELF_MAGIC);
+        out[4] = ELFCLASS64;
+        out[5] = ELFDATA2LSB;
+        out[6] = EV_CURRENT;
+        out[16..18].copy_from_slice(&self.etype.to_le_bytes());
+        out[18..20].copy_from_slice(&self.machine.to_le_bytes());
+        out[20..24].copy_from_slice(&1u32.to_le_bytes()); // e_version
+        out[24..32].copy_from_slice(&self.entry.to_le_bytes());
+        out[32..40].copy_from_slice(&(EHDR_SIZE as u64).to_le_bytes()); // e_phoff
+        out[40..48].copy_from_slice(&(shoff as u64).to_le_bytes()); // e_shoff
+        out[52..54].copy_from_slice(&(EHDR_SIZE as u16).to_le_bytes()); // e_ehsize
+        out[54..56].copy_from_slice(&(PHDR_SIZE as u16).to_le_bytes()); // e_phentsize
+        out[56..58].copy_from_slice(&(phnum as u16).to_le_bytes());
+        out[58..60].copy_from_slice(&(SHDR_SIZE as u16).to_le_bytes());
+        out[60..62].copy_from_slice(&(shnum as u16).to_le_bytes());
+        out[62..64].copy_from_slice(&((shnum - 1) as u16).to_le_bytes()); // shstrndx last
+
+        // ---- program headers ----
+        for (pi, &si) in loadable.iter().enumerate() {
+            let s = &self.sections[si];
+            let at = EHDR_SIZE + pi * PHDR_SIZE;
+            let p_flags: u32 = {
+                let mut f = 0x4; // PF_R
+                if s.flags.has(SecFlags::WRITE) {
+                    f |= 0x2;
+                }
+                if s.flags.has(SecFlags::EXEC) {
+                    f |= 0x1;
+                }
+                f
+            };
+            out[at..at + 4].copy_from_slice(&1u32.to_le_bytes()); // PT_LOAD
+            out[at + 4..at + 8].copy_from_slice(&p_flags.to_le_bytes());
+            out[at + 8..at + 16].copy_from_slice(&(offsets[si] as u64).to_le_bytes());
+            out[at + 16..at + 24].copy_from_slice(&s.addr.to_le_bytes()); // p_vaddr
+            out[at + 24..at + 32].copy_from_slice(&s.addr.to_le_bytes()); // p_paddr
+            let filesz = if s.sec_type == SecType::NoBits { 0 } else { s.data.len() as u64 };
+            out[at + 32..at + 40].copy_from_slice(&filesz.to_le_bytes());
+            out[at + 40..at + 48].copy_from_slice(&(s.data.len() as u64).to_le_bytes()); // memsz
+            out[at + 48..at + 56].copy_from_slice(&s.align.to_le_bytes());
+        }
+
+        // ---- section contents ----
+        for (i, s) in self.sections.iter().enumerate() {
+            if s.sec_type != SecType::NoBits {
+                out[offsets[i]..offsets[i] + s.data.len()].copy_from_slice(&s.data);
+            }
+        }
+        out[shstrtab_off..shstrtab_off + shstrtab_bytes.len()].copy_from_slice(&shstrtab_bytes);
+
+        // ---- section headers ----
+        let strtab_index = self.sections.iter().position(|s| s.name == ".strtab");
+        let mut write_shdr = |idx: usize,
+                              name_off: u32,
+                              sh_type: u32,
+                              flags: u64,
+                              addr: u64,
+                              offset: u64,
+                              size: u64,
+                              link: u32,
+                              entsize: u64,
+                              align: u64| {
+            let at = shoff + idx * SHDR_SIZE;
+            out[at..at + 4].copy_from_slice(&name_off.to_le_bytes());
+            out[at + 4..at + 8].copy_from_slice(&sh_type.to_le_bytes());
+            out[at + 8..at + 16].copy_from_slice(&flags.to_le_bytes());
+            out[at + 16..at + 24].copy_from_slice(&addr.to_le_bytes());
+            out[at + 24..at + 32].copy_from_slice(&offset.to_le_bytes());
+            out[at + 32..at + 40].copy_from_slice(&size.to_le_bytes());
+            out[at + 40..at + 44].copy_from_slice(&link.to_le_bytes());
+            out[at + 48..at + 56].copy_from_slice(&align.to_le_bytes());
+            out[at + 56..at + 64].copy_from_slice(&entsize.to_le_bytes());
+        };
+
+        // Index 0: null section (all zero — already zeroed).
+        for (i, s) in self.sections.iter().enumerate() {
+            let link = if s.sec_type == SecType::SymTab {
+                strtab_index.map(|t| (t + 1) as u32).unwrap_or(0)
+            } else {
+                0
+            };
+            let entsize = if s.sec_type == SecType::SymTab { SYM_SIZE as u64 } else { 0 };
+            write_shdr(
+                i + 1,
+                name_offs[i + 1],
+                s.sec_type as u32,
+                s.flags.0,
+                s.addr,
+                offsets[i] as u64,
+                s.data.len() as u64,
+                link,
+                entsize,
+                s.align,
+            );
+        }
+        write_shdr(
+            shnum - 1,
+            shstrtab_name_off,
+            SecType::StrTab as u32,
+            0,
+            0,
+            shstrtab_off as u64,
+            shstrtab_bytes.len() as u64,
+            0,
+            0,
+            1,
+        );
+
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::read::Elf;
+
+    fn sample() -> Vec<u8> {
+        let mut b = ElfBuilder::new(EM_X86_64);
+        b.entry(0x401000);
+        b.add_section(
+            ".text",
+            SecType::ProgBits,
+            SecFlags::ALLOC.with(SecFlags::EXEC),
+            0x401000,
+            16,
+            vec![0x55, 0x48, 0x89, 0xE5, 0xC9, 0xC3],
+        );
+        b.add_section(
+            ".rodata",
+            SecType::ProgBits,
+            SecFlags::ALLOC,
+            0x402000,
+            8,
+            (0u64..4).flat_map(|x| (0x401000 + x).to_le_bytes()).collect(),
+        );
+        b.add_section(".debug_info", SecType::ProgBits, SecFlags::default(), 0, 1, vec![1, 2, 3]);
+        b.add_symbol("main", 0x401000, 6, SymBind::Global, SymType::Func, ".text");
+        b.add_symbol("_Z3fooi", 0x401004, 2, SymBind::Local, SymType::Func, ".text");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn round_trip_sections() {
+        let elf = Elf::parse(sample()).unwrap();
+        assert_eq!(elf.machine, EM_X86_64);
+        assert_eq!(elf.entry, 0x401000);
+        let text = elf.section(".text").unwrap();
+        assert_eq!(text.addr, 0x401000);
+        assert!(text.flags.has(SecFlags::EXEC));
+        assert_eq!(elf.data(text), &[0x55, 0x48, 0x89, 0xE5, 0xC9, 0xC3]);
+        let ro = elf.section(".rodata").unwrap();
+        assert_eq!(elf.data(ro).len(), 32);
+        assert_eq!(elf.section_data(".debug_info").unwrap(), &[1, 2, 3]);
+        assert!(elf.section(".bogus").is_none());
+    }
+
+    #[test]
+    fn round_trip_symbols() {
+        let elf = Elf::parse(sample()).unwrap();
+        assert_eq!(elf.symbols.len(), 2);
+        // Locals sort first.
+        assert_eq!(elf.symbols[0].name, "_Z3fooi");
+        assert_eq!(elf.symbols[0].bind, SymBind::Local);
+        assert_eq!(elf.symbols[1].name, "main");
+        assert_eq!(elf.symbols[1].value, 0x401000);
+        assert_eq!(elf.symbols[1].size, 6);
+        assert!(elf.symbols[1].is_defined_func());
+    }
+
+    #[test]
+    fn vaddr_lookup() {
+        let elf = Elf::parse(sample()).unwrap();
+        let (sec, off) = elf.vaddr_to_section(0x401004).unwrap();
+        assert_eq!(sec.name, ".text");
+        assert_eq!(off, 4);
+        assert_eq!(elf.read_vaddr(0x401004, 2).unwrap(), &[0xC9, 0xC3]);
+        // .rodata
+        assert_eq!(
+            elf.read_vaddr(0x402000, 8).unwrap(),
+            &0x401000u64.to_le_bytes()
+        );
+        assert!(elf.vaddr_to_section(0x500000).is_none());
+        assert!(elf.read_vaddr(0x402000 + 30, 8).is_none());
+    }
+
+    #[test]
+    fn duplicate_section_rejected() {
+        let mut b = ElfBuilder::new(EM_X86_64);
+        b.add_section(".text", SecType::ProgBits, SecFlags::ALLOC, 0x1000, 1, vec![0x90]);
+        b.add_section(".text", SecType::ProgBits, SecFlags::ALLOC, 0x2000, 1, vec![0x90]);
+        assert!(matches!(b.build(), Err(ElfError::Builder(_))));
+    }
+
+    #[test]
+    fn symbol_with_unknown_section_rejected() {
+        let mut b = ElfBuilder::new(EM_X86_64);
+        b.add_section(".text", SecType::ProgBits, SecFlags::ALLOC, 0x1000, 1, vec![0x90]);
+        b.add_symbol("f", 0x1000, 1, SymBind::Global, SymType::Func, ".nope");
+        assert!(matches!(b.build(), Err(ElfError::Builder(_))));
+    }
+
+    #[test]
+    fn empty_image_round_trips() {
+        let b = ElfBuilder::new(EM_RVLITE);
+        let elf = Elf::parse(b.build().unwrap()).unwrap();
+        assert_eq!(elf.machine, EM_RVLITE);
+        assert!(elf.symbols.is_empty());
+        // null + shstrtab
+        assert_eq!(elf.sections.len(), 2);
+    }
+
+    #[test]
+    fn nobits_takes_no_file_space() {
+        let mut b = ElfBuilder::new(EM_X86_64);
+        b.add_section(".bss", SecType::NoBits, SecFlags::ALLOC.with(SecFlags::WRITE), 0x5000, 8, vec![0; 4096]);
+        b.add_section(".text", SecType::ProgBits, SecFlags::ALLOC.with(SecFlags::EXEC), 0x1000, 1, vec![0xC3]);
+        let img = b.build().unwrap();
+        assert!(img.len() < 1024, "bss contents must not be serialized; got {}", img.len());
+        let elf = Elf::parse(img).unwrap();
+        let bss = elf.section(".bss").unwrap();
+        assert_eq!(bss.size, 4096);
+        assert!(elf.data(bss).is_empty());
+    }
+}

@@ -1,0 +1,142 @@
+//! Property test: arbitrary section/symbol configurations survive the
+//! write → parse round trip exactly.
+
+use pba_elf::types::{SymBind, SymType, EM_X86_64};
+use pba_elf::{Elf, ElfBuilder, SecFlags, SecType};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct SecSpec {
+    name: String,
+    alloc: bool,
+    exec: bool,
+    addr: u64,
+    align: u64,
+    data: Vec<u8>,
+}
+
+#[derive(Debug, Clone)]
+struct SymSpec {
+    name: String,
+    value: u64,
+    size: u64,
+    global: bool,
+    func: bool,
+    #[allow(dead_code)]
+    section: usize,
+}
+
+fn arb_section(i: usize) -> impl Strategy<Value = SecSpec> {
+    (
+        prop::bool::ANY,
+        prop::bool::ANY,
+        0u64..0x100,
+        prop::sample::select(vec![1u64, 4, 8, 16]),
+        prop::collection::vec(any::<u8>(), 0..256),
+    )
+        .prop_map(move |(alloc, exec, addr_page, align, data)| SecSpec {
+            name: format!(".sec{i}"),
+            alloc,
+            exec: exec && alloc,
+            addr: if alloc { 0x40_0000 + addr_page * 0x1000 } else { 0 },
+            align,
+            data,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn write_parse_round_trips(
+        sections in prop::collection::vec(arb_section(0), 1..6).prop_map(|mut v| {
+            for (i, s) in v.iter_mut().enumerate() {
+                s.name = format!(".sec{i}"); // unique names
+            }
+            v
+        }),
+        syms_seed in any::<u64>(),
+    ) {
+        let mut b = ElfBuilder::new(EM_X86_64);
+        b.entry(0x40_0000);
+        for s in &sections {
+            let mut flags = SecFlags::default();
+            if s.alloc {
+                flags = flags.with(SecFlags::ALLOC);
+            }
+            if s.exec {
+                flags = flags.with(SecFlags::EXEC);
+            }
+            b.add_section(&s.name, SecType::ProgBits, flags, s.addr, s.align, s.data.clone());
+        }
+        // Deterministic symbols derived from the seed (proptest closures
+        // can't easily nest the strategies here).
+        let mut symbols = Vec::new();
+        let mut x = syms_seed;
+        for i in 0..(syms_seed % 8) {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let sec = (x as usize >> 8) % sections.len();
+            let name = format!("sym_{i}");
+            let spec = SymSpec {
+                name: name.clone(),
+                value: x % 0x10000,
+                size: x % 256,
+                global: x & 1 == 0,
+                func: x & 2 == 0,
+                section: sec,
+            };
+            b.add_symbol(
+                &spec.name,
+                spec.value,
+                spec.size,
+                if spec.global { SymBind::Global } else { SymBind::Local },
+                if spec.func { SymType::Func } else { SymType::Object },
+                &sections[sec].name,
+            );
+            symbols.push(spec);
+        }
+
+        let img = b.build().unwrap();
+        let elf = Elf::parse(img).unwrap();
+
+        prop_assert_eq!(elf.machine, EM_X86_64);
+        prop_assert_eq!(elf.entry, 0x40_0000);
+        for s in &sections {
+            let got = elf.section(&s.name).unwrap_or_else(|| panic!("missing {}", s.name));
+            prop_assert_eq!(got.addr, s.addr);
+            prop_assert_eq!(got.align, s.align);
+            prop_assert_eq!(elf.data(got), &s.data[..]);
+            prop_assert_eq!(got.flags.has(SecFlags::EXEC), s.exec);
+        }
+        prop_assert_eq!(elf.symbols.len(), symbols.len());
+        for spec in &symbols {
+            let got = elf
+                .symbols
+                .iter()
+                .find(|g| g.name == spec.name)
+                .unwrap_or_else(|| panic!("missing symbol {}", spec.name));
+            prop_assert_eq!(got.value, spec.value);
+            prop_assert_eq!(got.size, spec.size);
+            prop_assert_eq!(got.bind == SymBind::Global, spec.global);
+            prop_assert_eq!(got.sym_type == SymType::Func, spec.func);
+        }
+    }
+
+    /// Corrupted images error out; they never panic.
+    #[test]
+    fn parse_of_corrupted_images_never_panics(
+        data in prop::collection::vec(any::<u8>(), 0..128),
+        flip_at in any::<u16>(),
+    ) {
+        // Arbitrary bytes.
+        let _ = Elf::parse(data.clone());
+        // A valid image with one flipped byte.
+        let mut b = ElfBuilder::new(EM_X86_64);
+        b.add_section(".text", SecType::ProgBits, SecFlags::ALLOC.with(SecFlags::EXEC), 0x1000, 1, data);
+        b.add_symbol("f", 0x1000, 1, SymBind::Global, SymType::Func, ".text");
+        let mut img = b.build().unwrap();
+        let i = (flip_at as usize) % img.len();
+        img[i] ^= 0xFF;
+        let _ = Elf::parse(img); // Ok or Err both acceptable
+    }
+}

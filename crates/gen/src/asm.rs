@@ -1,0 +1,202 @@
+//! Two-pass label assembler over the `pba-isa` instruction encoders.
+//!
+//! The generator emits the whole `.text` section into one buffer.
+//! Control-flow emitters take a [`Label`]; binding can happen before or
+//! after use, and `finish` patches every recorded rel32 site.
+
+use pba_isa::insn::Cond;
+use pba_isa::reg::Reg;
+use pba_isa::x86::encode::{self, Rel32Site};
+
+/// A forward- or backward-referenced code location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Buffer + labels + pending fixups.
+pub struct Asm {
+    /// The code bytes (offsets are relative to the section start).
+    pub buf: Vec<u8>,
+    label_offs: Vec<Option<usize>>,
+    fixups: Vec<(Rel32Site, Label)>,
+}
+
+impl Default for Asm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Asm {
+    /// Empty assembler.
+    pub fn new() -> Asm {
+        Asm { buf: Vec::new(), label_offs: Vec::new(), fixups: Vec::new() }
+    }
+
+    /// Allocate an unbound label.
+    pub fn label(&mut self) -> Label {
+        self.label_offs.push(None);
+        Label(self.label_offs.len() - 1)
+    }
+
+    /// Bind `l` to the current position.
+    pub fn bind(&mut self, l: Label) {
+        debug_assert!(self.label_offs[l.0].is_none(), "label bound twice");
+        self.label_offs[l.0] = Some(self.buf.len());
+    }
+
+    /// Allocate a label bound to the current position.
+    pub fn here(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    /// Current offset in the buffer.
+    pub fn pos(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Resolved offset of a bound label (panics on unbound).
+    pub fn offset_of(&self, l: Label) -> usize {
+        self.label_offs[l.0].expect("label not bound")
+    }
+
+    /// `jmp label`.
+    pub fn jmp(&mut self, l: Label) {
+        let site = encode::jmp_rel32(&mut self.buf);
+        self.fixups.push((site, l));
+    }
+
+    /// `jcc label`.
+    pub fn jcc(&mut self, cond: Cond, l: Label) {
+        let site = encode::jcc_rel32(&mut self.buf, cond);
+        self.fixups.push((site, l));
+    }
+
+    /// `call label`.
+    pub fn call(&mut self, l: Label) {
+        let site = encode::call_rel32(&mut self.buf);
+        self.fixups.push((site, l));
+    }
+
+    /// `lea reg, [rip + label]` where the label is *within this section*.
+    pub fn lea_label(&mut self, dst: Reg, l: Label) {
+        let site = encode::lea_rip(&mut self.buf, dst);
+        self.fixups.push((site, l));
+    }
+
+    /// `lea reg, [rip + disp]` targeting an *absolute* address outside
+    /// this section (e.g. a rodata table). `section_base` is the vaddr of
+    /// `buf[0]`.
+    pub fn lea_abs(&mut self, dst: Reg, target_vaddr: u64, section_base: u64) {
+        let site = encode::lea_rip(&mut self.buf, dst);
+        let next_vaddr = section_base + site.next as u64;
+        let rel = (target_vaddr as i64 - next_vaddr as i64) as i32;
+        self.buf[site.field..site.field + 4].copy_from_slice(&rel.to_le_bytes());
+    }
+
+    /// Align the current position with nop padding.
+    pub fn align(&mut self, align: usize) {
+        let rem = self.buf.len() % align;
+        if rem != 0 {
+            encode::nop_pad(&mut self.buf, align - rem);
+        }
+    }
+
+    /// Pad with `int3` (inter-function filler that never decodes as
+    /// anything else).
+    pub fn int3_pad(&mut self, n: usize) {
+        for _ in 0..n {
+            encode::int3(&mut self.buf);
+        }
+    }
+
+    /// Patch all fixups; panics on unbound labels. Returns the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        for (site, l) in std::mem::take(&mut self.fixups) {
+            let target = self.offset_of(l);
+            encode::patch_rel32(&mut self.buf, site, target);
+        }
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pba_isa::x86::decode_one;
+    use pba_isa::{ControlFlow, Op};
+
+    #[test]
+    fn forward_and_backward_branches() {
+        let mut a = Asm::new();
+        let fwd = a.label();
+        let back = a.here(); // offset 0
+        a.jcc(Cond::E, fwd); // offset 0..6
+        a.jmp(back); // offset 6..11
+        a.bind(fwd); // offset 11
+        encode::ret(&mut a.buf);
+        let code = a.finish();
+
+        let i0 = decode_one(&code, 0x1000).unwrap();
+        assert_eq!(i0.control_flow(), ControlFlow::CondBranch { target: 0x1000 + 11 });
+        let i1 = decode_one(&code[6..], 0x1006).unwrap();
+        assert_eq!(i1.control_flow(), ControlFlow::Branch { target: 0x1000 });
+    }
+
+    #[test]
+    fn call_and_lea_label() {
+        let mut a = Asm::new();
+        let f = a.label();
+        a.call(f);
+        a.lea_label(Reg::RDI, f);
+        a.bind(f);
+        encode::ret(&mut a.buf);
+        let target_off = a.offset_of(f);
+        let code = a.finish();
+        let i0 = decode_one(&code, 0).unwrap();
+        assert_eq!(i0.control_flow(), ControlFlow::Call { target: target_off as u64 });
+        let i1 = decode_one(&code[5..], 5).unwrap();
+        match i1.op {
+            Op::Lea { mem, .. } => assert_eq!(mem.disp as u64, target_off as u64),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn lea_abs_targets_other_section() {
+        let mut a = Asm::new();
+        a.lea_abs(Reg::RBX, 0x602000, 0x401000);
+        let code = a.finish();
+        let i = decode_one(&code, 0x401000).unwrap();
+        match i.op {
+            Op::Lea { mem, .. } => assert_eq!(mem.disp as u64, 0x602000),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn align_pads_with_nops() {
+        let mut a = Asm::new();
+        encode::ret(&mut a.buf);
+        a.align(16);
+        assert_eq!(a.pos(), 16);
+        let code = a.finish();
+        // Every padding byte decodes as nop.
+        let mut at = 1usize;
+        while at < 16 {
+            let i = decode_one(&code[at..], at as u64).unwrap();
+            assert_eq!(i.op, Op::Nop);
+            at += i.len as usize;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label not bound")]
+    fn unbound_label_panics() {
+        let mut a = Asm::new();
+        let l = a.label();
+        a.jmp(l);
+        a.finish();
+    }
+}

@@ -1,0 +1,190 @@
+//! Debug-information synthesis for generated binaries.
+//!
+//! Builds a DWARF forest consistent with the ground truth: one compile
+//! unit per group of functions, subprograms carrying the exact truth
+//! ranges (multi-range for cold-block functions), nested
+//! inlined-subroutine trees, and line tables with one row per decoded
+//! instruction. `debug_name_bloat` scales name length to model the
+//! template-heavy C++ debug sections that dominate real binaries
+//! (TensorFlow: 7.6 GiB of `.debug_*` vs 112 MiB of `.text`, Table 1).
+
+use crate::emit::TEXT_BASE;
+use crate::plan::GenConfig;
+use crate::truth::GroundTruth;
+use pba_dwarf::encode::{encode, DebugSections};
+use pba_dwarf::{CompileUnit, DebugInfo, InlinedSub, LineRow, LineTable, Subprogram};
+use pba_elf::demangle;
+use pba_isa::x86::decode_one;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bloated_name(base: &str, bloat: usize, rng: &mut StdRng) -> String {
+    if bloat <= 1 {
+        return base.to_string();
+    }
+    let mut s = format!("{base}<");
+    for i in 0..bloat {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!(
+            "ns{}::TemplateArg{}<unsigned long, {}>",
+            rng.random_range(0..16u32),
+            i,
+            rng.random_range(0..1024u32)
+        ));
+    }
+    s.push('>');
+    s
+}
+
+/// Build `.debug_*` sections for a generated program.
+pub fn build_debug(cfg: &GenConfig, truth: &GroundTruth, text: &[u8]) -> DebugSections {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xDEB6);
+    let mut units = Vec::new();
+    let per_cu = cfg.funcs_per_cu.max(1);
+
+    for (cu_idx, chunk) in truth.functions.chunks(per_cu).enumerate() {
+        let cu_name = format!("src/module_{cu_idx:03}.cc");
+        let files = vec![cu_name.clone(), format!("include/helpers_{cu_idx:03}.h")];
+        let mut subprograms = Vec::new();
+        let mut rows = Vec::new();
+        let mut line = 1u32;
+
+        for f in chunk {
+            let pretty = demangle::pretty_name(&f.name);
+            let name = bloated_name(&pretty, cfg.debug_name_bloat, &mut rng);
+            let decl_line = line;
+
+            // Line rows at real instruction boundaries across all ranges.
+            for &(lo, hi) in &f.ranges {
+                let mut at = (lo - TEXT_BASE) as usize;
+                let end = (hi - TEXT_BASE) as usize;
+                while at < end {
+                    let Ok(i) = decode_one(&text[at..], TEXT_BASE + at as u64) else { break };
+                    rows.push(LineRow { addr: TEXT_BASE + at as u64, file: 0, line });
+                    if rng.random_bool(0.6) {
+                        line += rng.random_range(1..3);
+                    }
+                    at += i.len as usize;
+                }
+            }
+            line += rng.random_range(2..10);
+
+            // A shallow inline tree inside the hot range.
+            let (lo, hi) = f.ranges[0];
+            let inlines = if hi - lo >= 32 && rng.random_bool(0.5) {
+                let mid = lo + (hi - lo) / 4;
+                let end = lo + (hi - lo) / 2;
+                vec![InlinedSub {
+                    name: bloated_name(
+                        &format!("{pretty}_inlinee"),
+                        cfg.debug_name_bloat,
+                        &mut rng,
+                    ),
+                    low_pc: mid,
+                    high_pc: end,
+                    call_file: 1,
+                    call_line: decl_line + 1,
+                    children: if end - mid >= 16 {
+                        vec![InlinedSub {
+                            name: format!("{pretty}_inner"),
+                            low_pc: mid + 4,
+                            high_pc: mid + (end - mid) / 2,
+                            call_file: 1,
+                            call_line: decl_line + 2,
+                            children: vec![],
+                        }]
+                    } else {
+                        vec![]
+                    },
+                }]
+            } else {
+                vec![]
+            };
+
+            subprograms.push(Subprogram {
+                name,
+                ranges: f.ranges.clone(),
+                decl_file: 0,
+                decl_line,
+                inlines,
+            });
+        }
+
+        let low_pc = chunk.iter().flat_map(|f| f.ranges.iter().map(|r| r.0)).min().unwrap_or(0);
+        let high_pc = chunk.iter().flat_map(|f| f.ranges.iter().map(|r| r.1)).max().unwrap_or(0);
+        let mut table = LineTable { rows };
+        table.normalize();
+        units.push(CompileUnit {
+            name: cu_name,
+            low_pc,
+            high_pc,
+            files,
+            subprograms,
+            line_table: table,
+        });
+    }
+
+    encode(&DebugInfo { units })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emit::generate;
+    use pba_dwarf::decode::{decode_parallel, DebugSlices};
+
+    #[test]
+    fn debug_info_round_trips_through_elf() {
+        let g = generate(&GenConfig { num_funcs: 20, seed: 9, ..Default::default() });
+        let elf = pba_elf::Elf::parse(g.elf).unwrap();
+        let di = decode_parallel(DebugSlices::from_elf(&elf)).unwrap();
+        assert_eq!(
+            di.subprogram_count(),
+            g.truth.functions.len(),
+            "every function has a subprogram DIE"
+        );
+        assert!(di.line_row_count() > 100, "line rows at instruction granularity");
+        // Subprogram ranges must match truth exactly.
+        for u in &di.units {
+            for sp in &u.subprograms {
+                let f = g
+                    .truth
+                    .functions
+                    .iter()
+                    .find(|f| f.ranges[0].0 == sp.ranges[0].0)
+                    .expect("matching truth function");
+                let mut want = f.ranges.clone();
+                want.sort_unstable();
+                let mut got = sp.ranges.clone();
+                got.sort_unstable();
+                assert_eq!(got, want);
+            }
+        }
+    }
+
+    #[test]
+    fn name_bloat_inflates_debug_str() {
+        let lean = generate(&GenConfig { num_funcs: 20, seed: 9, debug_name_bloat: 1, ..Default::default() });
+        let fat = generate(&GenConfig { num_funcs: 20, seed: 9, debug_name_bloat: 16, ..Default::default() });
+        assert!(
+            fat.stats.debug_size > lean.stats.debug_size * 2,
+            "bloat {} vs lean {}",
+            fat.stats.debug_size,
+            lean.stats.debug_size
+        );
+    }
+
+    #[test]
+    fn line_rows_cover_function_entries() {
+        let g = generate(&GenConfig { num_funcs: 12, seed: 21, ..Default::default() });
+        let elf = pba_elf::Elf::parse(g.elf).unwrap();
+        let di = decode_parallel(DebugSlices::from_elf(&elf)).unwrap();
+        for f in &g.truth.functions {
+            let covered = di.units.iter().any(|u| u.line_table.lookup(f.entry).is_some()
+                && u.subprograms.iter().any(|s| s.contains(f.entry)));
+            assert!(covered, "{} at {:#x} has line info", f.name, f.entry);
+        }
+    }
+}

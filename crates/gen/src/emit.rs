@@ -1,0 +1,597 @@
+//! Program emission: plan → real ELF64 bytes + ground truth.
+//!
+//! `.text` is assembled as one buffer with two-pass label resolution;
+//! jump tables are filled into `.rodata` afterward from the resolved
+//! case labels; debug info is synthesized last from the recorded truth.
+
+use crate::asm::{Asm, Label};
+use crate::debug;
+use crate::plan::{plan, FuncPlan, GenConfig, ProgramPlan, SwitchKind, SwitchPlan};
+use crate::truth::{FuncTruth, GroundTruth, JumpTableTruth};
+use pba_elf::types::{SecFlags, SecType, SymBind, SymType, EM_X86_64};
+use pba_elf::ElfBuilder;
+use pba_isa::insn::{AluKind, Cond, ShiftKind};
+use pba_isa::reg::Reg;
+use pba_isa::x86::encode;
+use pba_isa::MemRef;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Load address of `.text`.
+pub const TEXT_BASE: u64 = 0x40_1000;
+/// Load address of `.rodata` (fits in disp32 for absolute table jumps).
+pub const RODATA_BASE: u64 = 0x60_0000;
+
+/// Section-size statistics (Table 1's columns).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GenStats {
+    /// `.text` bytes.
+    pub text_size: usize,
+    /// `.rodata` bytes.
+    pub rodata_size: usize,
+    /// Total `.debug_*` bytes.
+    pub debug_size: usize,
+    /// Whole-image bytes.
+    pub total_size: usize,
+    /// Function count.
+    pub num_funcs: usize,
+    /// Emitted symbol count.
+    pub num_symbols: usize,
+}
+
+/// A generated binary: image + truth + stats.
+#[derive(Debug)]
+pub struct Generated {
+    /// The ELF image.
+    pub elf: Vec<u8>,
+    /// Exact ground truth.
+    pub truth: GroundTruth,
+    /// Size statistics.
+    pub stats: GenStats,
+}
+
+struct TableFill {
+    table_off: usize,
+    kind: SwitchKind,
+    case_labels: Vec<Label>,
+}
+
+struct ColdJob {
+    func_idx: usize,
+    cold_label: Label,
+    resume: Label,
+    body: usize,
+}
+
+struct Emitter {
+    asm: Asm,
+    rng: StdRng,
+    entry_labels: Vec<Label>,
+    tables: Vec<TableFill>,
+    cold_jobs: Vec<ColdJob>,
+    shared_spans: HashMap<usize, (usize, usize)>, // host idx -> shared span offsets
+    shared_labels: HashMap<usize, Label>,
+    truth: GroundTruth,
+}
+
+const SCRATCH: [Reg; 5] = [Reg::RAX, Reg::RDX, Reg::R8, Reg::R10, Reg::R11];
+const LOOP_COUNTERS: [Reg; 3] = [Reg::RCX, Reg::R9, Reg::RBX];
+
+impl Emitter {
+    fn straightline(&mut self, n: usize) {
+        for _ in 0..n {
+            let r = SCRATCH[self.rng.random_range(0..SCRATCH.len())];
+            let r2 = SCRATCH[self.rng.random_range(0..SCRATCH.len())];
+            match self.rng.random_range(0..7u32) {
+                0 => encode::mov_ri32(&mut self.asm.buf, r, self.rng.random_range(0..1 << 20)),
+                1 => encode::alu_rr(&mut self.asm.buf, AluKind::Add, r, r2),
+                2 => encode::alu_ri(
+                    &mut self.asm.buf,
+                    AluKind::Sub,
+                    r,
+                    self.rng.random_range(1..256),
+                ),
+                3 => encode::alu_rr(&mut self.asm.buf, AluKind::Imul, r, r2),
+                4 => encode::shift_ri(
+                    &mut self.asm.buf,
+                    ShiftKind::Shl,
+                    r,
+                    self.rng.random_range(1..5),
+                ),
+                5 => encode::xor_zero32(&mut self.asm.buf, r),
+                _ => {
+                    let m = MemRef::base_index(Some(Reg::RSP), r2, 8, 8);
+                    encode::lea(&mut self.asm.buf, r, &m)
+                }
+            }
+        }
+    }
+
+    fn diamond(&mut self, body: usize) {
+        let l_else = self.asm.label();
+        let l_end = self.asm.label();
+        encode::cmp_ri(&mut self.asm.buf, Reg::RSI, self.rng.random_range(0..64));
+        self.asm.jcc(Cond::E, l_else);
+        self.straightline(body.max(1));
+        self.asm.jmp(l_end);
+        self.asm.bind(l_else);
+        self.straightline(body.max(1));
+        self.asm.bind(l_end);
+    }
+
+    fn counted_loop(&mut self, depth: usize, body: usize) {
+        if depth == 0 {
+            self.straightline(body.max(1));
+            return;
+        }
+        let counter = LOOP_COUNTERS[(depth - 1).min(LOOP_COUNTERS.len() - 1)];
+        encode::mov_ri32(&mut self.asm.buf, counter, self.rng.random_range(2..8));
+        let head = self.asm.here();
+        self.counted_loop(depth - 1, body);
+        encode::alu_ri(&mut self.asm.buf, AluKind::Sub, counter, 1);
+        encode::cmp_ri(&mut self.asm.buf, counter, 0);
+        self.asm.jcc(Cond::G, head);
+    }
+
+    fn switch(&mut self, sw: &SwitchPlan) {
+        let table_vaddr = RODATA_BASE + sw.table_off as u64;
+        let l_default = self.asm.label();
+        let l_join = self.asm.label();
+
+        // Guard.
+        if sw.unbounded_guard {
+            debug_assert!(sw.cases.is_power_of_two());
+            encode::alu_ri(&mut self.asm.buf, AluKind::And, Reg::RDI, sw.cases as i32 - 1);
+        } else {
+            encode::cmp_ri(&mut self.asm.buf, Reg::RDI, sw.cases as i32 - 1);
+            self.asm.jcc(Cond::A, l_default);
+        }
+
+        // Dispatch (record the indirect-jump address for ground truth).
+        let jump_addr;
+        match sw.kind {
+            SwitchKind::Absolute => {
+                jump_addr = TEXT_BASE + self.asm.pos() as u64;
+                encode::jmp_ind_mem(
+                    &mut self.asm.buf,
+                    &MemRef::base_index(None, Reg::RDI, 8, table_vaddr as i64),
+                );
+            }
+            SwitchKind::Relative => {
+                self.asm.lea_abs(Reg::RBX, table_vaddr, TEXT_BASE);
+                encode::movsxd(
+                    &mut self.asm.buf,
+                    Reg::RAX,
+                    &MemRef::base_index(Some(Reg::RBX), Reg::RDI, 4, 0),
+                );
+                encode::alu_rr(&mut self.asm.buf, AluKind::Add, Reg::RAX, Reg::RBX);
+                jump_addr = TEXT_BASE + self.asm.pos() as u64;
+                encode::jmp_ind_reg(&mut self.asm.buf, Reg::RAX);
+            }
+        }
+
+        // Cases.
+        let mut case_labels = Vec::with_capacity(sw.cases);
+        for _ in 0..sw.cases {
+            let l = self.asm.here();
+            case_labels.push(l);
+            let body = 1 + self.rng.random_range(0..3);
+            self.straightline(body);
+            self.asm.jmp(l_join);
+        }
+        self.asm.bind(l_default);
+        if !sw.unbounded_guard {
+            // A masked dispatch cannot miss, so a default body would be
+            // dead code the parser (correctly) never discovers.
+            self.straightline(1);
+        }
+        self.asm.bind(l_join);
+
+        self.truth.jump_tables.push(JumpTableTruth {
+            jump_addr,
+            table_addr: table_vaddr,
+            entries: sw.cases as u64,
+            stride: match sw.kind {
+                SwitchKind::Absolute => 8,
+                SwitchKind::Relative => 4,
+            },
+            unbounded_guard: sw.unbounded_guard,
+        });
+        self.tables.push(TableFill { table_off: sw.table_off, kind: sw.kind, case_labels });
+    }
+
+    fn prologue(&mut self, frame: bool) {
+        encode::endbr64(&mut self.asm.buf);
+        if frame {
+            encode::push_r(&mut self.asm.buf, Reg::RBP);
+            encode::mov_rr(&mut self.asm.buf, Reg::RBP, Reg::RSP);
+            encode::alu_ri(&mut self.asm.buf, AluKind::Sub, Reg::RSP, 32);
+        }
+    }
+
+    fn epilogue_ret(&mut self, frame: bool) {
+        if frame {
+            encode::leave(&mut self.asm.buf);
+        }
+        encode::ret(&mut self.asm.buf);
+    }
+
+    fn emit_function(&mut self, f: &FuncPlan, plan: &ProgramPlan) {
+        self.asm.align(16);
+        let start = self.asm.pos();
+        let entry = self.entry_labels[f.idx];
+        self.asm.bind(entry);
+
+        self.prologue(f.frame);
+
+        // Conditional error path into a non-returning function.
+        let l_err = f.error_path_callee.map(|callee| {
+            let l = self.asm.label();
+            encode::cmp_ri(&mut self.asm.buf, Reg::RDI, 0x7FFF);
+            self.asm.jcc(Cond::E, l);
+            (l, callee)
+        });
+
+        self.straightline(f.body_size);
+        for _ in 0..f.diamonds {
+            self.diamond(f.body_size / 2 + 1);
+        }
+        if f.loop_depth > 0 {
+            self.counted_loop(f.loop_depth, f.body_size / 2 + 1);
+        }
+        for sw in &f.switches {
+            self.switch(sw);
+        }
+        for &callee in &f.callees {
+            encode::mov_ri32(&mut self.asm.buf, Reg::RDI, self.rng.random_range(0..1024));
+            let l = self.entry_labels[callee];
+            self.asm.call(l);
+        }
+
+        // Branch into another function's shared block.
+        if let Some(host) = f.shares_with {
+            let shared = self.shared_labels[&host];
+            encode::cmp_ri(&mut self.asm.buf, Reg::RDI, 0x6FFF);
+            self.asm.jcc(Cond::E, shared);
+        }
+
+        // Outlined cold block.
+        if f.cold_block {
+            let cold = self.asm.label();
+            let resume = self.asm.label();
+            encode::cmp_ri(&mut self.asm.buf, Reg::RSI, 0x5FFF);
+            self.asm.jcc(Cond::E, cold);
+            self.asm.bind(resume);
+            self.cold_jobs.push(ColdJob {
+                func_idx: f.idx,
+                cold_label: cold,
+                resume,
+                body: f.body_size / 2 + 2,
+            });
+        }
+
+        // Shared error block hosted here: peers cond-branch to it; it
+        // falls through from our own body too.
+        if f.hosts_shared {
+            let shared = self.asm.here();
+            self.shared_labels.insert(f.idx, shared);
+            let shared_start = self.asm.pos();
+            self.straightline(2);
+            self.epilogue_ret(f.frame);
+            self.shared_spans.insert(f.idx, (shared_start, self.asm.pos()));
+        } else if f.noreturn {
+            match f.noreturn_callee {
+                Some(callee) => {
+                    let call_addr = TEXT_BASE + self.asm.pos() as u64;
+                    let l = self.entry_labels[callee];
+                    self.asm.call(l);
+                    self.truth.noreturn_calls.push(call_addr);
+                }
+                None => encode::hlt(&mut self.asm.buf),
+            }
+        } else if let Some(target) = f.tail_call {
+            // Teardown then jump: the classic optimized tail call.
+            if f.frame {
+                encode::leave(&mut self.asm.buf);
+            }
+            let l = self.entry_labels[target];
+            self.asm.jmp(l);
+        } else {
+            // If the function calls a non-returning function through the
+            // error path, the call is the last thing on that path.
+            self.epilogue_ret(f.frame);
+        }
+
+        // Error-path tail: call the non-returning function.
+        if let Some((l, callee)) = l_err {
+            self.asm.bind(l);
+            let call_addr = TEXT_BASE + self.asm.pos() as u64;
+            let cl = self.entry_labels[callee];
+            self.asm.call(cl);
+            self.truth.noreturn_calls.push(call_addr);
+        }
+
+        let end = self.asm.pos();
+        self.truth.functions.push(FuncTruth {
+            name: f.name.clone(),
+            entry: TEXT_BASE + start as u64,
+            ranges: vec![(TEXT_BASE + start as u64, TEXT_BASE + end as u64)],
+            noreturn: f.noreturn,
+            has_symbol: f.has_symbol,
+        });
+        let _ = plan;
+    }
+}
+
+/// Generate a binary from `cfg`.
+pub fn generate(cfg: &GenConfig) -> Generated {
+    let prog = plan(cfg);
+    let mut e = Emitter {
+        asm: Asm::new(),
+        rng: StdRng::seed_from_u64(cfg.seed ^ 0x9E37_79B9_7F4A_7C15),
+        entry_labels: Vec::new(),
+        tables: Vec::new(),
+        cold_jobs: Vec::new(),
+        shared_spans: HashMap::new(),
+        shared_labels: HashMap::new(),
+        truth: GroundTruth::default(),
+    };
+    for _ in 0..prog.funcs.len() {
+        let l = e.asm.label();
+        e.entry_labels.push(l);
+    }
+
+    // Hot code.
+    for f in &prog.funcs {
+        e.emit_function(f, &prog);
+    }
+
+    // Cold regions (after all hot code — the `.cold` layout).
+    let cold_jobs = std::mem::take(&mut e.cold_jobs);
+    let mut cold_spans: HashMap<usize, (usize, usize)> = HashMap::new();
+    for job in cold_jobs {
+        e.asm.align(16);
+        let start = e.asm.pos();
+        e.asm.bind(job.cold_label);
+        e.straightline(job.body);
+        e.asm.jmp(job.resume);
+        cold_spans.insert(job.func_idx, (start, e.asm.pos()));
+    }
+    e.asm.int3_pad(16);
+
+    // Attach shared + cold spans to truths.
+    for (i, f) in prog.funcs.iter().enumerate() {
+        if let Some(host) = f.shares_with {
+            let (lo, hi) = e.shared_spans[&host];
+            e.truth.functions[i]
+                .ranges
+                .push((TEXT_BASE + lo as u64, TEXT_BASE + hi as u64));
+        }
+        if let Some(&(lo, hi)) = cold_spans.get(&i) {
+            e.truth.functions[i]
+                .ranges
+                .push((TEXT_BASE + lo as u64, TEXT_BASE + hi as u64));
+        }
+    }
+
+    // Resolve all branches.
+    let tables = std::mem::take(&mut e.tables);
+    let mut truth = std::mem::take(&mut e.truth);
+    let asm = std::mem::take(&mut e.asm);
+    // Capture label offsets before finish() consumes the assembler.
+    let case_offsets: Vec<Vec<usize>> = tables
+        .iter()
+        .map(|t| t.case_labels.iter().map(|&l| asm.offset_of(l)).collect())
+        .collect();
+    let text = asm.finish();
+
+    // Fill jump tables.
+    let mut rodata = vec![0u8; prog.rodata_size];
+    for (t, offs) in tables.iter().zip(&case_offsets) {
+        let table_vaddr = RODATA_BASE + t.table_off as u64;
+        match t.kind {
+            SwitchKind::Absolute => {
+                for (j, &off) in offs.iter().enumerate() {
+                    let v = TEXT_BASE + off as u64;
+                    let at = t.table_off + j * 8;
+                    rodata[at..at + 8].copy_from_slice(&v.to_le_bytes());
+                }
+            }
+            SwitchKind::Relative => {
+                for (j, &off) in offs.iter().enumerate() {
+                    let v = (TEXT_BASE + off as u64) as i64 - table_vaddr as i64;
+                    let at = t.table_off + j * 4;
+                    rodata[at..at + 4].copy_from_slice(&(v as i32).to_le_bytes());
+                }
+            }
+        }
+    }
+
+    truth.normalize();
+
+    // Debug info.
+    let dbg = cfg
+        .debug_info
+        .then(|| debug::build_debug(cfg, &truth, &text));
+
+    // ELF assembly.
+    let mut b = ElfBuilder::new(EM_X86_64);
+    b.entry(truth.functions.first().map(|f| f.entry).unwrap_or(TEXT_BASE));
+    b.add_section(
+        ".text",
+        SecType::ProgBits,
+        SecFlags::ALLOC.with(SecFlags::EXEC),
+        TEXT_BASE,
+        16,
+        text.clone(),
+    );
+    b.add_section(".rodata", SecType::ProgBits, SecFlags::ALLOC, RODATA_BASE, 8, rodata.clone());
+    let mut num_symbols = 0;
+    for f in &truth.functions {
+        if f.has_symbol {
+            let size = f.ranges.first().map(|&(lo, hi)| hi - lo).unwrap_or(0);
+            b.add_symbol(&f.name, f.entry, size, SymBind::Global, SymType::Func, ".text");
+            num_symbols += 1;
+        }
+    }
+    let mut debug_size = 0usize;
+    if let Some(sections) = &dbg {
+        debug_size = sections.total_len();
+        b.add_section(".debug_info", SecType::ProgBits, SecFlags::default(), 0, 1, sections.info.clone());
+        b.add_section(".debug_abbrev", SecType::ProgBits, SecFlags::default(), 0, 1, sections.abbrev.clone());
+        b.add_section(".debug_str", SecType::ProgBits, SecFlags::default(), 0, 1, sections.strs.clone());
+        b.add_section(".debug_line", SecType::ProgBits, SecFlags::default(), 0, 1, sections.line.clone());
+        b.add_section(".debug_ranges", SecType::ProgBits, SecFlags::default(), 0, 1, sections.ranges.clone());
+    }
+    let elf = b.build().expect("builder invariants hold");
+
+    let stats = GenStats {
+        text_size: text.len(),
+        rodata_size: rodata.len(),
+        debug_size,
+        total_size: elf.len(),
+        num_funcs: truth.functions.len(),
+        num_symbols,
+    };
+    Generated { elf, truth, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pba_isa::x86::decode_one;
+
+    fn small() -> Generated {
+        generate(&GenConfig { num_funcs: 24, seed: 7, ..Default::default() })
+    }
+
+    #[test]
+    fn generates_parseable_elf() {
+        let g = small();
+        let elf = pba_elf::Elf::parse(g.elf.clone()).unwrap();
+        assert!(elf.section(".text").is_some());
+        assert!(elf.section(".rodata").is_some());
+        assert!(elf.section(".debug_info").is_some());
+        assert!(!elf.symbols.is_empty());
+        assert_eq!(elf.entry, g.truth.functions[0].entry);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&GenConfig { num_funcs: 16, seed: 3, ..Default::default() });
+        let b = generate(&GenConfig { num_funcs: 16, seed: 3, ..Default::default() });
+        assert_eq!(a.elf, b.elf);
+        assert_eq!(a.truth, b.truth);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&GenConfig { num_funcs: 16, seed: 3, ..Default::default() });
+        let b = generate(&GenConfig { num_funcs: 16, seed: 4, ..Default::default() });
+        assert_ne!(a.elf, b.elf);
+    }
+
+    #[test]
+    fn every_function_entry_decodes() {
+        let g = small();
+        let elf = pba_elf::Elf::parse(g.elf).unwrap();
+        let text = elf.section_data(".text").unwrap();
+        for f in &g.truth.functions {
+            let off = (f.entry - TEXT_BASE) as usize;
+            let i = decode_one(&text[off..], f.entry).expect("entry decodes");
+            assert_eq!(i.op, pba_isa::Op::Endbr, "{} entry starts with endbr64", f.name);
+        }
+    }
+
+    #[test]
+    fn whole_text_linearly_decodes_function_bodies() {
+        // Every byte of every truth range must decode as part of a valid
+        // instruction chain starting at the range start.
+        let g = small();
+        let elf = pba_elf::Elf::parse(g.elf).unwrap();
+        let text = elf.section_data(".text").unwrap();
+        for f in &g.truth.functions {
+            for &(lo, hi) in &f.ranges {
+                let mut at = (lo - TEXT_BASE) as usize;
+                let end = (hi - TEXT_BASE) as usize;
+                while at < end {
+                    let i = decode_one(&text[at..], TEXT_BASE + at as u64)
+                        .unwrap_or_else(|e| panic!("{}: {:#x}: {e}", f.name, TEXT_BASE + at as u64));
+                    at += i.len as usize;
+                }
+                assert_eq!(at, end, "{}: ranges end on an instruction boundary", f.name);
+            }
+        }
+    }
+
+    #[test]
+    fn jump_tables_point_into_text() {
+        let g = generate(&GenConfig { num_funcs: 60, pct_switch: 0.5, seed: 11, ..Default::default() });
+        assert!(!g.truth.jump_tables.is_empty());
+        let elf = pba_elf::Elf::parse(g.elf).unwrap();
+        let ro = elf.section_data(".rodata").unwrap();
+        let text_lo = TEXT_BASE;
+        let text_hi = TEXT_BASE + elf.section(".text").unwrap().size;
+        for jt in &g.truth.jump_tables {
+            let off = (jt.table_addr - RODATA_BASE) as usize;
+            for j in 0..jt.entries as usize {
+                let target = match jt.stride {
+                    8 => u64::from_le_bytes(ro[off + j * 8..off + j * 8 + 8].try_into().unwrap()),
+                    _ => {
+                        let rel =
+                            i32::from_le_bytes(ro[off + j * 4..off + j * 4 + 4].try_into().unwrap());
+                        (jt.table_addr as i64 + rel as i64) as u64
+                    }
+                };
+                assert!(
+                    (text_lo..text_hi).contains(&target),
+                    "table {:#x} entry {j} -> {target:#x} outside text",
+                    jt.table_addr
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truth_ranges_do_not_overlap_across_functions_except_shared() {
+        let g = small();
+        // Hot (first) ranges must be disjoint.
+        let mut hot: Vec<(u64, u64)> = g.truth.functions.iter().map(|f| f.ranges[0]).collect();
+        hot.sort_unstable();
+        for w in hot.windows(2) {
+            assert!(w[0].1 <= w[1].0, "hot ranges overlap: {:?} {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn noreturn_calls_are_recorded() {
+        let g = generate(&GenConfig {
+            num_funcs: 40,
+            pct_noreturn: 0.15,
+            pct_error_path: 0.3,
+            seed: 5,
+            ..Default::default()
+        });
+        assert!(!g.truth.noreturn_calls.is_empty());
+        // Each recorded site decodes as a call.
+        let elf = pba_elf::Elf::parse(g.elf).unwrap();
+        let text = elf.section_data(".text").unwrap();
+        for &addr in &g.truth.noreturn_calls {
+            let off = (addr - TEXT_BASE) as usize;
+            let i = decode_one(&text[off..], addr).unwrap();
+            assert!(matches!(i.op, pba_isa::Op::Call { .. }), "site {addr:#x} is {i:?}");
+        }
+    }
+
+    #[test]
+    fn stats_reflect_sections() {
+        let g = small();
+        assert!(g.stats.text_size > 0);
+        assert!(g.stats.debug_size > 0);
+        assert_eq!(g.stats.num_funcs, g.truth.functions.len());
+        assert!(g.stats.num_symbols <= g.stats.num_funcs);
+        assert!(g.stats.total_size >= g.stats.text_size + g.stats.debug_size);
+    }
+}

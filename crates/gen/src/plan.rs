@@ -1,0 +1,370 @@
+//! Program planning: decide, before any bytes are emitted, which
+//! functions exist, how they call each other, and which challenging
+//! constructs each one contains.
+//!
+//! Planning ahead of emission matters for one structural reason: jump
+//! tables live in `.rodata` at addresses the dispatch code embeds, so
+//! table locations must be fixed before `.text` is assembled. The plan
+//! also guarantees global invariants the ground truth depends on: every
+//! symbol-less function is called by a symboled one, non-returning
+//! chains bottom out in an exit-like leaf, and shared-block pairs are
+//! emitted in the right order.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Jump-table dispatch style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchKind {
+    /// `jmp [table + idx*8]` with 8-byte absolute entries.
+    Absolute,
+    /// `lea` + `movsxd` + `add` + `jmp reg` with 4-byte relative entries.
+    Relative,
+}
+
+/// A planned switch statement.
+#[derive(Debug, Clone)]
+pub struct SwitchPlan {
+    /// Number of cases.
+    pub cases: usize,
+    /// Dispatch style.
+    pub kind: SwitchKind,
+    /// If true the guard is emitted as an index mask (`and idx, N-1`)
+    /// instead of `cmp`+`ja`, which the slicing analysis cannot bound —
+    /// forcing the over-approximation path the finalization stage cleans
+    /// up. Case count is a power of two.
+    pub unbounded_guard: bool,
+    /// Preassigned `.rodata` offset of the table.
+    pub table_off: usize,
+}
+
+/// What one function contains.
+#[derive(Debug, Clone)]
+pub struct FuncPlan {
+    /// Function index (also names it).
+    pub idx: usize,
+    /// Mangled or plain symbol name.
+    pub name: String,
+    /// Whether a symbol-table entry is emitted.
+    pub has_symbol: bool,
+    /// Straight-line instruction budget per block.
+    pub body_size: usize,
+    /// Number of if/else diamonds.
+    pub diamonds: usize,
+    /// Number of counted loops (possibly nested).
+    pub loop_depth: usize,
+    /// Functions this one calls (by index).
+    pub callees: Vec<usize>,
+    /// Planned switches.
+    pub switches: Vec<SwitchPlan>,
+    /// This function never returns: its body ends in `hlt` or a call to
+    /// another non-returning function instead of `ret`.
+    pub noreturn: bool,
+    /// For non-returning wrappers: the non-returning callee index.
+    pub noreturn_callee: Option<usize>,
+    /// Emit a conditional error path: `jcc err; ...; err: call <noret>`.
+    pub error_path_callee: Option<usize>,
+    /// Tail-call target (emitted as teardown + `jmp` instead of `ret`).
+    pub tail_call: Option<usize>,
+    /// Emit an outlined cold block (placed after all hot code).
+    pub cold_block: bool,
+    /// Use a frame (push rbp / mov rbp,rsp / sub rsp).
+    pub frame: bool,
+    /// This function hosts a shared error block that `shared_into` peers
+    /// branch into.
+    pub hosts_shared: bool,
+    /// Branch into the shared block hosted by this function index.
+    pub shares_with: Option<usize>,
+}
+
+/// Generator configuration. See [`crate::profiles`] for presets.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// RNG seed (everything is deterministic given the seed).
+    pub seed: u64,
+    /// Number of functions.
+    pub num_funcs: usize,
+    /// Average straight-line instructions per block.
+    pub body_size: usize,
+    /// Fraction of functions containing a switch.
+    pub pct_switch: f64,
+    /// Fraction ending in a tail call.
+    pub pct_tailcall: f64,
+    /// Fraction that never return (includes wrappers).
+    pub pct_noreturn: f64,
+    /// Fraction with a conditional call to a non-returning function.
+    pub pct_error_path: f64,
+    /// Fraction with an outlined cold block.
+    pub pct_cold: f64,
+    /// Fraction participating in shared-block pairs.
+    pub pct_shared: f64,
+    /// Fraction WITHOUT a symbol (discovered only via calls).
+    pub pct_nosym: f64,
+    /// Case-count range for switches.
+    pub switch_cases: (usize, usize),
+    /// Average out-degree of the call graph.
+    pub avg_calls: f64,
+    /// Generate debug info (.debug_* sections).
+    pub debug_info: bool,
+    /// Functions per compile unit in the debug info.
+    pub funcs_per_cu: usize,
+    /// Multiplier on debug-string bloat (models template-heavy C++).
+    pub debug_name_bloat: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            seed: 42,
+            num_funcs: 64,
+            body_size: 8,
+            pct_switch: 0.15,
+            pct_tailcall: 0.08,
+            pct_noreturn: 0.06,
+            pct_error_path: 0.10,
+            pct_cold: 0.08,
+            pct_shared: 0.08,
+            pct_nosym: 0.10,
+            switch_cases: (3, 9),
+            avg_calls: 1.5,
+            debug_info: true,
+            funcs_per_cu: 8,
+            debug_name_bloat: 1,
+        }
+    }
+}
+
+/// Mangle a function name in the subset `pba-elf`'s demangler supports.
+fn mangle(idx: usize, rng: &mut StdRng) -> String {
+    let base = format!("fn_{idx:05}");
+    match rng.random_range(0..3u32) {
+        0 => base, // plain C name
+        1 => format!("_Z{}{}i", base.len(), base),
+        _ => format!("_Z{}{}PKcm", base.len(), base),
+    }
+}
+
+/// The full program plan plus rodata layout.
+#[derive(Debug)]
+pub struct ProgramPlan {
+    /// Per-function plans, in emission order.
+    pub funcs: Vec<FuncPlan>,
+    /// Total `.rodata` bytes reserved for jump tables.
+    pub rodata_size: usize,
+}
+
+/// Build a program plan from the configuration.
+#[allow(clippy::needless_range_loop)]
+pub fn plan(cfg: &GenConfig) -> ProgramPlan {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.num_funcs.max(2);
+
+    // --- choose non-returning functions: leaves + wrappers ---
+    let n_noret = ((n as f64 * cfg.pct_noreturn) as usize).max(1);
+    // The last `n_noret` indices are non-returning; the very last is the
+    // exit-like leaf, earlier ones wrap the next one (chains exercise the
+    // non-returning dependency serialisation of Section 4.3).
+    let noret_start = n - n_noret;
+
+    let mut funcs: Vec<FuncPlan> = (0..n)
+        .map(|i| {
+            let noreturn = i >= noret_start;
+            FuncPlan {
+                idx: i,
+                name: mangle(i, &mut rng),
+                has_symbol: true,
+                body_size: 1 + rng.random_range(cfg.body_size / 2..=cfg.body_size * 3 / 2),
+                diamonds: rng.random_range(0..3),
+                loop_depth: rng.random_range(0..3),
+                callees: vec![],
+                switches: vec![],
+                noreturn,
+                noreturn_callee: (noreturn && i + 1 < n).then_some(i + 1),
+                error_path_callee: None,
+                tail_call: None,
+                cold_block: false,
+                frame: rng.random_bool(0.7),
+                hosts_shared: false,
+                shares_with: None,
+            }
+        })
+        .collect();
+
+    // --- call graph: function i calls only higher non-noret indices
+    // (acyclic, so every function terminates structurally) ---
+    for i in 0..noret_start {
+        let n_calls = rng.random_range(0..=(cfg.avg_calls * 2.0) as usize);
+        for _ in 0..n_calls {
+            if i + 1 < noret_start {
+                let callee = rng.random_range(i + 1..noret_start);
+                funcs[i].callees.push(callee);
+            }
+        }
+    }
+    // Function 0 is main: make sure it calls enough roots that everything
+    // is reachable; ensure every function has at least one caller.
+    for i in 1..noret_start {
+        let has_caller = funcs[..i].iter().any(|f| f.callees.contains(&i));
+        if !has_caller {
+            let caller = if i == 1 { 0 } else { rng.random_range(0..i) };
+            funcs[caller].callees.push(i);
+        }
+    }
+
+    // --- challenging constructs (returning functions only) ---
+    let mut rodata_off = 0usize;
+    for i in 0..noret_start {
+        // switches
+        if rng.random_bool(cfg.pct_switch) {
+            let unbounded = rng.random_bool(0.25);
+            let cases = if unbounded {
+                1 << rng.random_range(2..4u32) // 4 or 8 (power of two mask)
+            } else {
+                rng.random_range(cfg.switch_cases.0..=cfg.switch_cases.1)
+            };
+            let kind = if rng.random_bool(0.5) { SwitchKind::Absolute } else { SwitchKind::Relative };
+            let entry = match kind {
+                SwitchKind::Absolute => 8,
+                SwitchKind::Relative => 4,
+            };
+            funcs[i].switches.push(SwitchPlan {
+                cases,
+                kind,
+                unbounded_guard: unbounded,
+                table_off: rodata_off,
+            });
+            rodata_off += cases * entry;
+            // Tables are adjacent on purpose: the finalization stage's
+            // "compilers do not emit overlapping jump tables" cleanup
+            // needs a next table to clamp against.
+        }
+        // error paths into a non-returning function
+        if rng.random_bool(cfg.pct_error_path) {
+            funcs[i].error_path_callee = Some(rng.random_range(noret_start..n));
+        }
+        // tail calls to a later returning function
+        if rng.random_bool(cfg.pct_tailcall) && i + 1 < noret_start {
+            funcs[i].tail_call = Some(rng.random_range(i + 1..noret_start));
+        }
+        // cold blocks
+        if rng.random_bool(cfg.pct_cold) {
+            funcs[i].cold_block = true;
+        }
+    }
+
+    // --- shared-block pairs: an earlier function hosts, a later one
+    // branches in (host must be emitted first so the address is bound) ---
+    let n_shared = (noret_start as f64 * cfg.pct_shared / 2.0) as usize;
+    for _ in 0..n_shared {
+        if noret_start < 3 {
+            break;
+        }
+        let host = rng.random_range(0..noret_start - 1);
+        let user = rng.random_range(host + 1..noret_start);
+        if funcs[host].hosts_shared || funcs[user].shares_with.is_some() || host == user {
+            continue;
+        }
+        funcs[host].hosts_shared = true;
+        funcs[user].shares_with = Some(host);
+    }
+
+    // --- symbol removal (never main, never shared hosts: symbol-less
+    // functions must still be discoverable via a direct call) ---
+    for i in 1..noret_start {
+        if rng.random_bool(cfg.pct_nosym) && !funcs[i].hosts_shared {
+            funcs[i].has_symbol = false;
+        }
+    }
+
+    // Reserve a tail pad in rodata so the last table has a "next table"
+    // boundary to clamp against.
+    rodata_off += 8;
+
+    ProgramPlan { funcs, rodata_size: rodata_off.max(8) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_deterministic() {
+        let cfg = GenConfig::default();
+        let a = plan(&cfg);
+        let b = plan(&cfg);
+        assert_eq!(a.funcs.len(), b.funcs.len());
+        for (x, y) in a.funcs.iter().zip(&b.funcs) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.callees, y.callees);
+            assert_eq!(x.switches.len(), y.switches.len());
+        }
+    }
+
+    #[test]
+    fn every_returning_function_is_reachable() {
+        let p = plan(&GenConfig { num_funcs: 50, ..Default::default() });
+        let noret_start = p.funcs.iter().position(|f| f.noreturn).unwrap_or(p.funcs.len());
+        for i in 1..noret_start {
+            let called = p.funcs[..i].iter().any(|f| f.callees.contains(&i));
+            assert!(called, "function {i} unreachable");
+        }
+    }
+
+    #[test]
+    fn nosym_functions_have_callers() {
+        let p = plan(&GenConfig { num_funcs: 80, pct_nosym: 0.3, ..Default::default() });
+        for f in &p.funcs {
+            if !f.has_symbol {
+                let called = p.funcs.iter().any(|g| g.callees.contains(&f.idx));
+                assert!(called, "symbol-less {} uncallable", f.idx);
+            }
+        }
+    }
+
+    #[test]
+    fn noreturn_chain_bottoms_out() {
+        let p = plan(&GenConfig { num_funcs: 40, pct_noreturn: 0.2, ..Default::default() });
+        let norets: Vec<&FuncPlan> = p.funcs.iter().filter(|f| f.noreturn).collect();
+        assert!(!norets.is_empty());
+        // The last one is the leaf.
+        let leaf = norets.last().unwrap();
+        assert!(leaf.noreturn_callee.is_none());
+        // Wrappers reference strictly later indices (acyclic chain).
+        for f in &norets[..norets.len() - 1] {
+            assert!(f.noreturn_callee.unwrap() > f.idx);
+        }
+    }
+
+    #[test]
+    fn shared_pairs_ordered_host_first() {
+        let p = plan(&GenConfig { num_funcs: 100, pct_shared: 0.4, ..Default::default() });
+        for f in &p.funcs {
+            if let Some(host) = f.shares_with {
+                assert!(host < f.idx, "host must be emitted before the user");
+                assert!(p.funcs[host].hosts_shared);
+            }
+        }
+    }
+
+    #[test]
+    fn switch_tables_are_adjacent() {
+        let p = plan(&GenConfig { num_funcs: 120, pct_switch: 0.5, ..Default::default() });
+        let mut offs: Vec<(usize, usize)> = p
+            .funcs
+            .iter()
+            .flat_map(|f| f.switches.iter())
+            .map(|s| {
+                let entry = match s.kind {
+                    SwitchKind::Absolute => 8,
+                    SwitchKind::Relative => 4,
+                };
+                (s.table_off, s.table_off + s.cases * entry)
+            })
+            .collect();
+        offs.sort_unstable();
+        for w in offs.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "tables must be back-to-back");
+        }
+        assert!(!offs.is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! Exact ground truth emitted alongside each generated binary.
+//!
+//! The paper approximates ground truth from DWARF ranges, RTL dumps of
+//! jump-table sizes, and `REG_NORETURN` annotations (Section 8.1). The
+//! generator *knows* these facts, so the checker compares against exact
+//! data — any mismatch is a parser defect (or a faithfully reproduced
+//! heuristic limitation), never ground-truth noise.
+
+use serde::{Deserialize, Serialize};
+
+/// Ground truth for one function.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct FuncTruth {
+    /// Symbol name (empty for symbol-less functions discovered via
+    /// calls).
+    pub name: String,
+    /// Entry address.
+    pub entry: u64,
+    /// Covered `[lo, hi)` ranges: the hot span plus any outlined cold
+    /// spans and shared blocks.
+    pub ranges: Vec<(u64, u64)>,
+    /// Whether the function never returns.
+    pub noreturn: bool,
+    /// Whether a symbol-table entry exists for it.
+    pub has_symbol: bool,
+}
+
+/// Ground truth for one jump table.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct JumpTableTruth {
+    /// Address of the indirect jump instruction.
+    pub jump_addr: u64,
+    /// Table location in `.rodata`.
+    pub table_addr: u64,
+    /// Number of entries (the paper's primary jump-table metric).
+    pub entries: u64,
+    /// Entry stride in bytes (8 = absolute, 4 = PIC-relative).
+    pub stride: u8,
+    /// Whether the guard uses a pattern the analysis cannot bound
+    /// (forces over-approximation + finalization cleanup).
+    pub unbounded_guard: bool,
+}
+
+/// Everything the checker compares.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct GroundTruth {
+    /// Per-function truth, sorted by entry.
+    pub functions: Vec<FuncTruth>,
+    /// Per-jump-table truth, sorted by jump address.
+    pub jump_tables: Vec<JumpTableTruth>,
+    /// Addresses of `call` instructions whose callee never returns.
+    pub noreturn_calls: Vec<u64>,
+}
+
+impl GroundTruth {
+    /// Canonical ordering for comparisons: ranges are sorted and
+    /// adjacent/overlapping spans merged (a shared or cold span can land
+    /// contiguous with the hot span, where the address-space projection
+    /// is indistinguishable from one range).
+    pub fn normalize(&mut self) {
+        self.functions.sort_by_key(|f| f.entry);
+        for f in &mut self.functions {
+            f.ranges.sort_unstable();
+            let mut merged: Vec<(u64, u64)> = Vec::with_capacity(f.ranges.len());
+            for &(lo, hi) in &f.ranges {
+                match merged.last_mut() {
+                    Some(last) if lo <= last.1 => last.1 = last.1.max(hi),
+                    _ => merged.push((lo, hi)),
+                }
+            }
+            f.ranges = merged;
+        }
+        self.jump_tables.sort_by_key(|j| j.jump_addr);
+        self.noreturn_calls.sort_unstable();
+    }
+
+    /// The function containing `addr`, if any.
+    pub fn function_at(&self, addr: u64) -> Option<&FuncTruth> {
+        self.functions
+            .iter()
+            .find(|f| f.ranges.iter().any(|&(lo, hi)| addr >= lo && addr < hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_sorts_everything() {
+        let mut t = GroundTruth {
+            functions: vec![
+                FuncTruth {
+                    name: "b".into(),
+                    entry: 0x200,
+                    ranges: vec![(0x300, 0x310), (0x200, 0x250)],
+                    noreturn: false,
+                    has_symbol: true,
+                },
+                FuncTruth {
+                    name: "a".into(),
+                    entry: 0x100,
+                    ranges: vec![(0x100, 0x150)],
+                    noreturn: true,
+                    has_symbol: true,
+                },
+            ],
+            jump_tables: vec![],
+            noreturn_calls: vec![0x500, 0x120],
+        };
+        t.normalize();
+        assert_eq!(t.functions[0].entry, 0x100);
+        assert_eq!(t.functions[1].ranges, vec![(0x200, 0x250), (0x300, 0x310)]);
+        assert_eq!(t.noreturn_calls, vec![0x120, 0x500]);
+    }
+
+    #[test]
+    fn function_at_spans_cold_ranges() {
+        let t = GroundTruth {
+            functions: vec![FuncTruth {
+                name: "f".into(),
+                entry: 0x100,
+                ranges: vec![(0x100, 0x150), (0x900, 0x940)],
+                noreturn: false,
+                has_symbol: true,
+            }],
+            ..Default::default()
+        };
+        assert_eq!(t.function_at(0x120).unwrap().name, "f");
+        assert_eq!(t.function_at(0x930).unwrap().name, "f");
+        assert!(t.function_at(0x200).is_none());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = GroundTruth {
+            functions: vec![FuncTruth {
+                name: "x".into(),
+                entry: 1,
+                ranges: vec![(1, 2)],
+                noreturn: false,
+                has_symbol: false,
+            }],
+            jump_tables: vec![JumpTableTruth {
+                jump_addr: 10,
+                table_addr: 100,
+                entries: 4,
+                stride: 8,
+                unbounded_guard: false,
+            }],
+            noreturn_calls: vec![7],
+        };
+        let s = serde_json::to_string(&t).unwrap();
+        let back: GroundTruth = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, t);
+    }
+}

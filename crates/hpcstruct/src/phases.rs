@@ -1,0 +1,327 @@
+//! The seven-phase hpcstruct pipeline with per-phase timing.
+
+use crate::structure::{FuncStruct, InlineScope, LoopStruct, StmtRange, StructFile};
+use pba_dwarf::decode::DebugSlices;
+use pba_dwarf::{DebugInfo, InlinedSub};
+use pba_elf::Elf;
+use pba_loops::loop_forest;
+use pba_parse::{parse as parse_cfg, ParseConfig, ParseInput};
+use rayon::prelude::*;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Names of the seven phases, matching the paper's Figure 2 numbering.
+pub const PHASE_NAMES: [&str; 7] = [
+    "1:read",
+    "2:dwarf-parallel",
+    "3:linemap-serial",
+    "4:cfg-parallel",
+    "5:skeleton",
+    "6:query-parallel",
+    "7:serialize",
+];
+
+/// Wall time per phase, in seconds.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct PhaseTimes {
+    /// Seconds per phase, indexed like [`PHASE_NAMES`].
+    pub seconds: [f64; 7],
+}
+
+impl PhaseTimes {
+    /// End-to-end time.
+    pub fn total(&self) -> f64 {
+        self.seconds.iter().sum()
+    }
+
+    /// The parallel DWARF phase (Table 2's "DWARF" column).
+    pub fn dwarf(&self) -> f64 {
+        self.seconds[1]
+    }
+
+    /// The parallel CFG phase (Table 2's "CFG" column).
+    pub fn cfg(&self) -> f64 {
+        self.seconds[3]
+    }
+}
+
+/// Configuration.
+#[derive(Debug, Clone)]
+pub struct HsConfig {
+    /// Worker threads (0 = all available).
+    pub threads: usize,
+    /// Load-module name recorded in the structure file.
+    pub name: String,
+}
+
+impl Default for HsConfig {
+    fn default() -> Self {
+        HsConfig { threads: 0, name: "a.out".into() }
+    }
+}
+
+/// Output: the structure document, its serialized text, and timings.
+#[derive(Debug)]
+pub struct HsOutput {
+    /// The structure document.
+    pub structure: StructFile,
+    /// Serialized form.
+    pub text: String,
+    /// Per-phase wall times.
+    pub times: PhaseTimes,
+}
+
+/// Global line map: `(addr, unit index, file index, line)` sorted by
+/// address — "a serial structure optimized for accelerated lookup"
+/// (paper phase 3, including its resistance to parallelization).
+struct LineMap {
+    entries: Vec<(u64, u32, u32, u32)>,
+    files: Vec<Vec<String>>,
+}
+
+impl LineMap {
+    fn build(di: &DebugInfo) -> LineMap {
+        let mut entries = Vec::with_capacity(di.line_row_count());
+        let mut files = Vec::with_capacity(di.units.len());
+        for (ui, u) in di.units.iter().enumerate() {
+            for r in &u.line_table.rows {
+                entries.push((r.addr, ui as u32, r.file, r.line));
+            }
+            files.push(u.files.clone());
+        }
+        entries.sort_unstable();
+        LineMap { entries, files }
+    }
+
+    fn lookup(&self, addr: u64) -> Option<(&str, u32)> {
+        let i = match self.entries.binary_search_by_key(&addr, |e| e.0) {
+            Ok(i) => i,
+            Err(0) => return None,
+            Err(i) => i - 1,
+        };
+        let (_, ui, fi, line) = self.entries[i];
+        let name = self
+            .files
+            .get(ui as usize)
+            .and_then(|f| f.get(fi as usize))
+            .map(String::as_str)
+            .unwrap_or("??");
+        Some((name, line))
+    }
+}
+
+fn convert_inline(files: &[String], inl: &InlinedSub) -> InlineScope {
+    InlineScope {
+        name: inl.name.clone(),
+        lo: inl.low_pc,
+        hi: inl.high_pc,
+        call_file: files
+            .get(inl.call_file as usize)
+            .cloned()
+            .unwrap_or_else(|| "??".into()),
+        call_line: inl.call_line,
+        children: inl.children.iter().map(|c| convert_inline(files, c)).collect(),
+    }
+}
+
+/// Run the full pipeline on an ELF image.
+pub fn analyze(bytes: &[u8], cfg: &HsConfig) -> Result<HsOutput, String> {
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        cfg.threads
+    };
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let mut times = PhaseTimes::default();
+
+    // Phase 1: read/ingest.
+    let t = Instant::now();
+    let elf = Elf::parse(bytes.to_vec()).map_err(|e| e.to_string())?;
+    times.seconds[0] = t.elapsed().as_secs_f64();
+
+    // Phase 2: parallel DWARF parse.
+    let t = Instant::now();
+    let di = pool
+        .install(|| pba_dwarf::decode_parallel(DebugSlices::from_elf(&elf)))
+        .map_err(|e| e.to_string())?;
+    times.seconds[1] = t.elapsed().as_secs_f64();
+
+    // Phase 3: serial line-map construction.
+    let t = Instant::now();
+    let linemap = LineMap::build(&di);
+    times.seconds[2] = t.elapsed().as_secs_f64();
+
+    // Phase 4: parallel CFG construction.
+    let t = Instant::now();
+    let input = ParseInput::from_elf(&elf).map_err(|e| e.to_string())?;
+    let parse_res = parse_cfg(&input, &ParseConfig { threads, ..Default::default() });
+    times.seconds[3] = t.elapsed().as_secs_f64();
+    let cfg_graph = parse_res.cfg;
+
+    // Phase 5: skeleton construction (serial).
+    let t = Instant::now();
+    let mut skeleton: Vec<FuncStruct> = cfg_graph
+        .functions
+        .values()
+        .map(|f| FuncStruct {
+            name: pba_elf::demangle::pretty_name(&f.name),
+            entry: f.entry,
+            ranges: f.ranges(&cfg_graph),
+            loops: Vec::new(),
+            stmts: Vec::new(),
+            inlines: Vec::new(),
+        })
+        .collect();
+    skeleton.sort_by_key(|f| f.entry);
+    times.seconds[4] = t.elapsed().as_secs_f64();
+
+    // Phase 6: parallel queries (loops, statements, inline scopes).
+    let t = Instant::now();
+    // Map entries to DWARF subprograms once.
+    let subprogram_of: std::collections::HashMap<u64, (usize, usize)> = di
+        .units
+        .iter()
+        .enumerate()
+        .flat_map(|(ui, u)| {
+            u.subprograms
+                .iter()
+                .enumerate()
+                .map(move |(si, sp)| (sp.low_pc(), (ui, si)))
+        })
+        .collect();
+    pool.install(|| {
+        skeleton.par_iter_mut().for_each(|fs| {
+            // Loops (AC2).
+            if let Some(func) = cfg_graph.functions.get(&fs.entry) {
+                let view = pba_dataflow::FuncView::new(&cfg_graph, func);
+                let forest = loop_forest(&view);
+                fs.loops = forest
+                    .loops
+                    .iter()
+                    .map(|l| LoopStruct { header: l.header, depth: l.depth, blocks: l.size() })
+                    .collect();
+                fs.loops.sort_by_key(|l| (l.depth, l.header));
+            }
+            // Statement ranges (AC3): walk covered ranges, coalescing
+            // consecutive addresses with the same line.
+            for &(lo, hi) in &fs.ranges {
+                let mut cur: Option<StmtRange> = None;
+                for insn in cfg_graph.code.insns(lo, hi) {
+                    let here = linemap.lookup(insn.addr);
+                    match (&mut cur, here) {
+                        (Some(c), Some((f, l))) if c.file == f && c.line == l => c.hi = insn.end(),
+                        (prev, Some((f, l))) => {
+                            if let Some(done) = prev.take() {
+                                fs.stmts.push(done);
+                            }
+                            *prev = Some(StmtRange {
+                                lo: insn.addr,
+                                hi: insn.end(),
+                                file: f.to_string(),
+                                line: l,
+                            });
+                        }
+                        (prev, None) => {
+                            if let Some(done) = prev.take() {
+                                fs.stmts.push(done);
+                            }
+                        }
+                    }
+                }
+                if let Some(done) = cur.take() {
+                    fs.stmts.push(done);
+                }
+            }
+            // Inline scopes (AC4).
+            if let Some(&(ui, si)) = subprogram_of.get(&fs.entry) {
+                let unit = &di.units[ui];
+                fs.inlines = unit.subprograms[si]
+                    .inlines
+                    .iter()
+                    .map(|inl| convert_inline(&unit.files, inl))
+                    .collect();
+            }
+        });
+    });
+    times.seconds[5] = t.elapsed().as_secs_f64();
+
+    // Phase 7: serialization (parallel per function, serial concat).
+    let t = Instant::now();
+    let structure = StructFile { load_module: cfg.name.clone(), functions: skeleton };
+    let chunks: Vec<String> =
+        pool.install(|| structure.functions.par_iter().map(|f| f.to_text()).collect());
+    let mut text = format!("<LM n=\"{}\">\n", structure.load_module);
+    for c in chunks {
+        text.push_str(&c);
+    }
+    text.push_str("</LM>\n");
+    times.seconds[6] = t.elapsed().as_secs_f64();
+
+    Ok(HsOutput { structure, text, times })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pba_gen::{generate, GenConfig};
+
+    fn sample() -> Vec<u8> {
+        generate(&GenConfig { num_funcs: 30, seed: 77, ..Default::default() }).elf
+    }
+
+    #[test]
+    fn pipeline_produces_structure() {
+        let out = analyze(&sample(), &HsConfig { threads: 2, name: "test.so".into() }).unwrap();
+        assert!(!out.structure.functions.is_empty());
+        assert!(out.structure.stmt_count() > 0, "line info recovered");
+        assert!(out.structure.loop_count() > 0, "loops recovered");
+        assert!(out.text.contains("<LM n=\"test.so\">"));
+        assert_eq!(out.times.seconds.len(), PHASE_NAMES.len());
+        assert!(out.times.total() > 0.0);
+    }
+
+    #[test]
+    fn statements_map_to_generated_files() {
+        let out = analyze(&sample(), &HsConfig { threads: 1, name: "t".into() }).unwrap();
+        let f = &out.structure.functions[0];
+        assert!(!f.stmts.is_empty());
+        assert!(
+            f.stmts.iter().all(|s| s.file.contains("module_")),
+            "files come from the generated CUs: {:?}",
+            f.stmts.first()
+        );
+        // Statement ranges are sorted and non-overlapping within a
+        // function range walk.
+        for w in f.stmts.windows(2) {
+            assert!(w[0].lo < w[1].lo || w[0].hi <= w[1].lo);
+        }
+    }
+
+    #[test]
+    fn inline_scopes_recovered() {
+        let out = analyze(&sample(), &HsConfig { threads: 2, name: "t".into() }).unwrap();
+        let total_inlines: usize = out.structure.functions.iter().map(|f| f.inlines.len()).sum();
+        assert!(total_inlines > 0, "generator emits inline trees");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_output() {
+        let bytes = sample();
+        let a = analyze(&bytes, &HsConfig { threads: 1, name: "t".into() }).unwrap();
+        let b = analyze(&bytes, &HsConfig { threads: 4, name: "t".into() }).unwrap();
+        assert_eq!(a.structure, b.structure);
+        assert_eq!(a.text, b.text);
+    }
+
+    #[test]
+    fn stripped_binary_still_works() {
+        // No debug info: structure limited to CFG-derived facts.
+        let g = generate(&GenConfig { num_funcs: 10, seed: 5, debug_info: false, ..Default::default() });
+        let out = analyze(&g.elf, &HsConfig { threads: 2, name: "s".into() }).unwrap();
+        assert!(!out.structure.functions.is_empty());
+        assert_eq!(out.structure.stmt_count(), 0);
+    }
+}

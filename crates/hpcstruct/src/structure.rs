@@ -1,0 +1,181 @@
+//! The recovered program structure ("structure file").
+//!
+//! Mirrors hpcstruct's output document: a load module containing
+//! functions; functions containing loops, statement (line) ranges and
+//! inlined scopes. The serialization is a simple indented text format —
+//! stable, diffable, and cheap to emit in parallel per function.
+
+use serde::Serialize;
+
+/// A loop within a function.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct LoopStruct {
+    /// Header block start address.
+    pub header: u64,
+    /// Nesting depth (1 = outermost).
+    pub depth: u32,
+    /// Number of member blocks.
+    pub blocks: usize,
+}
+
+/// A contiguous address range attributed to one source line.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct StmtRange {
+    /// First address.
+    pub lo: u64,
+    /// One past the last address.
+    pub hi: u64,
+    /// Source file name.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// An inlined call scope (AC4).
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct InlineScope {
+    /// Name of the inlined function.
+    pub name: String,
+    /// Covered range.
+    pub lo: u64,
+    /// End of covered range.
+    pub hi: u64,
+    /// Call-site file.
+    pub call_file: String,
+    /// Call-site line.
+    pub call_line: u32,
+    /// Nested inline scopes.
+    pub children: Vec<InlineScope>,
+}
+
+/// Structure recovered for one function.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct FuncStruct {
+    /// Demangled (pretty) name.
+    pub name: String,
+    /// Entry address.
+    pub entry: u64,
+    /// Covered `[lo, hi)` ranges.
+    pub ranges: Vec<(u64, u64)>,
+    /// Loops, outermost first.
+    pub loops: Vec<LoopStruct>,
+    /// Statement ranges, address-sorted.
+    pub stmts: Vec<StmtRange>,
+    /// Inlined scopes.
+    pub inlines: Vec<InlineScope>,
+}
+
+/// A complete structure file.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct StructFile {
+    /// Load-module name.
+    pub load_module: String,
+    /// Functions sorted by entry address.
+    pub functions: Vec<FuncStruct>,
+}
+
+fn write_inline(out: &mut String, scope: &InlineScope, indent: usize) {
+    use std::fmt::Write;
+    let pad = "  ".repeat(indent);
+    writeln!(
+        out,
+        "{pad}<A n=\"{}\" lo=\"{:#x}\" hi=\"{:#x}\" f=\"{}\" l=\"{}\">",
+        scope.name, scope.lo, scope.hi, scope.call_file, scope.call_line
+    )
+    .unwrap();
+    for c in &scope.children {
+        write_inline(out, c, indent + 1);
+    }
+    writeln!(out, "{pad}</A>").unwrap();
+}
+
+impl FuncStruct {
+    /// Serialize this function's subtree.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(256);
+        let ranges: Vec<String> =
+            self.ranges.iter().map(|(lo, hi)| format!("{lo:#x}-{hi:#x}")).collect();
+        writeln!(out, "  <F n=\"{}\" entry=\"{:#x}\" v=\"{}\">", self.name, self.entry, ranges.join(","))
+            .unwrap();
+        for l in &self.loops {
+            writeln!(out, "    <L head=\"{:#x}\" depth=\"{}\" blocks=\"{}\"/>", l.header, l.depth, l.blocks)
+                .unwrap();
+        }
+        for s in &self.stmts {
+            writeln!(out, "    <S lo=\"{:#x}\" hi=\"{:#x}\" f=\"{}\" l=\"{}\"/>", s.lo, s.hi, s.file, s.line)
+                .unwrap();
+        }
+        for i in &self.inlines {
+            write_inline(&mut out, i, 2);
+        }
+        writeln!(out, "  </F>").unwrap();
+        out
+    }
+}
+
+impl StructFile {
+    /// Serialize the full document.
+    pub fn to_text(&self) -> String {
+        let mut out = format!("<LM n=\"{}\">\n", self.load_module);
+        for f in &self.functions {
+            out.push_str(&f.to_text());
+        }
+        out.push_str("</LM>\n");
+        out
+    }
+
+    /// Total statement count (reporting).
+    pub fn stmt_count(&self) -> usize {
+        self.functions.iter().map(|f| f.stmts.len()).sum()
+    }
+
+    /// Total loop count.
+    pub fn loop_count(&self) -> usize {
+        self.functions.iter().map(|f| f.loops.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StructFile {
+        StructFile {
+            load_module: "a.out".into(),
+            functions: vec![FuncStruct {
+                name: "main".into(),
+                entry: 0x401000,
+                ranges: vec![(0x401000, 0x401080)],
+                loops: vec![LoopStruct { header: 0x401020, depth: 1, blocks: 3 }],
+                stmts: vec![StmtRange { lo: 0x401000, hi: 0x401008, file: "m.c".into(), line: 3 }],
+                inlines: vec![InlineScope {
+                    name: "helper".into(),
+                    lo: 0x401010,
+                    hi: 0x401030,
+                    call_file: "m.c".into(),
+                    call_line: 5,
+                    children: vec![],
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn serialization_contains_all_elements() {
+        let text = sample().to_text();
+        assert!(text.contains("<LM n=\"a.out\">"));
+        assert!(text.contains("<F n=\"main\""));
+        assert!(text.contains("<L head=\"0x401020\" depth=\"1\""));
+        assert!(text.contains("<S lo=\"0x401000\""));
+        assert!(text.contains("<A n=\"helper\""));
+        assert!(text.ends_with("</LM>\n"));
+    }
+
+    #[test]
+    fn counts() {
+        let s = sample();
+        assert_eq!(s.stmt_count(), 1);
+        assert_eq!(s.loop_count(), 1);
+    }
+}

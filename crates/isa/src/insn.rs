@@ -1,0 +1,560 @@
+//! The architecture-independent instruction representation.
+//!
+//! An [`Insn`] carries a semantic [`Op`] — a small, explicit operation
+//! language (mov/lea/ALU/shift/compare/stack/control-flow) — rather than
+//! raw opcode bytes. Three consumers drive its design:
+//!
+//! * the **CFG parser** only looks at [`Insn::control_flow`];
+//! * **backward slicing + the jump-table evaluator** interpret `Mov`,
+//!   `Lea`, `Alu`, `Shift` and `Cmp` over [`MemRef`] operands;
+//! * **liveness / stack-height analysis** consume [`Insn::regs_read`] /
+//!   [`Insn::regs_written`] and the stack-pointer-affecting ops.
+//!
+//! Anything outside the modeled subset decodes to [`Op::Other`] with
+//! conservative register sets, so analyses stay sound on unknown code.
+
+use crate::reg::{Reg, RegSet};
+
+/// A memory operand: `[base + index*scale + disp]`.
+///
+/// RIP-relative operands are materialized at decode time: the decoder
+/// resolves `[rip + d]` to the absolute address and stores it in `disp`
+/// with no base register (`rip_based` records the provenance, which the
+/// jump-table analysis uses to recognize PIC table bases).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// Base register, if any.
+    pub base: Option<Reg>,
+    /// Index register, if any.
+    pub index: Option<Reg>,
+    /// Scale applied to the index register (1, 2, 4 or 8).
+    pub scale: u8,
+    /// Displacement. For `rip_based` operands this is the already-resolved
+    /// absolute address.
+    pub disp: i64,
+    /// True if this operand was RIP-relative in the encoding.
+    pub rip_based: bool,
+}
+
+impl MemRef {
+    /// Absolute-address operand (`[disp]` or resolved RIP-relative).
+    pub fn absolute(addr: u64) -> MemRef {
+        MemRef { base: None, index: None, scale: 1, disp: addr as i64, rip_based: true }
+    }
+
+    /// Plain `[base + disp]` operand.
+    pub fn base_disp(base: Reg, disp: i64) -> MemRef {
+        MemRef { base: Some(base), index: None, scale: 1, disp, rip_based: false }
+    }
+
+    /// `[base + index*scale + disp]` operand.
+    pub fn base_index(base: Option<Reg>, index: Reg, scale: u8, disp: i64) -> MemRef {
+        MemRef { base, index: Some(index), scale, disp, rip_based: false }
+    }
+
+    /// Registers read when this operand's address is computed.
+    pub fn regs(&self) -> RegSet {
+        let mut s = RegSet::EMPTY;
+        if let Some(b) = self.base {
+            s.insert(b);
+        }
+        if let Some(i) = self.index {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+/// A readable operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// Register contents.
+    Reg(Reg),
+    /// Immediate (sign-extended to 64 bits at decode time).
+    Imm(i64),
+    /// Memory load of `width` bytes.
+    Mem(MemRef, u8),
+}
+
+impl Value {
+    /// Registers read to evaluate this value.
+    pub fn regs_read(&self) -> RegSet {
+        match self {
+            Value::Reg(r) => RegSet::of(*r),
+            Value::Imm(_) => RegSet::EMPTY,
+            Value::Mem(m, _) => m.regs(),
+        }
+    }
+}
+
+/// A writable operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Place {
+    /// Register destination.
+    Reg(Reg),
+    /// Memory store of `width` bytes.
+    Mem(MemRef, u8),
+}
+
+impl Place {
+    /// Registers read to compute the destination address (memory only).
+    pub fn regs_read(&self) -> RegSet {
+        match self {
+            Place::Reg(_) => RegSet::EMPTY,
+            Place::Mem(m, _) => m.regs(),
+        }
+    }
+
+    /// Register written, if the destination is a register.
+    pub fn reg_written(&self) -> Option<Reg> {
+        match self {
+            Place::Reg(r) => Some(*r),
+            Place::Mem(..) => None,
+        }
+    }
+}
+
+/// Binary ALU operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluKind {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Imul,
+}
+
+/// Shift operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShiftKind {
+    Shl,
+    Shr,
+    Sar,
+}
+
+/// Condition codes for conditional branches (x86 naming; rv-lite maps onto
+/// the same set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// `jo`
+    O,
+    /// `jno`
+    No,
+    /// `jb` / unsigned <
+    B,
+    /// `jae` / unsigned >=
+    Ae,
+    /// `je`
+    E,
+    /// `jne`
+    Ne,
+    /// `jbe` / unsigned <=
+    Be,
+    /// `ja` / unsigned >
+    A,
+    /// `js`
+    S,
+    /// `jns`
+    Ns,
+    /// `jl` / signed <
+    L,
+    /// `jge` / signed >=
+    Ge,
+    /// `jle` / signed <=
+    Le,
+    /// `jg` / signed >
+    G,
+}
+
+impl Cond {
+    /// x86 condition-code nibble (for `0F 8x` / `7x` encodings).
+    pub fn x86_cc(self) -> u8 {
+        match self {
+            Cond::O => 0x0,
+            Cond::No => 0x1,
+            Cond::B => 0x2,
+            Cond::Ae => 0x3,
+            Cond::E => 0x4,
+            Cond::Ne => 0x5,
+            Cond::Be => 0x6,
+            Cond::A => 0x7,
+            Cond::S => 0x8,
+            Cond::Ns => 0x9,
+            Cond::L => 0xC,
+            Cond::Ge => 0xD,
+            Cond::Le => 0xE,
+            Cond::G => 0xF,
+        }
+    }
+
+    /// Inverse mapping of [`Cond::x86_cc`].
+    pub fn from_x86_cc(cc: u8) -> Option<Cond> {
+        Some(match cc {
+            0x0 => Cond::O,
+            0x1 => Cond::No,
+            0x2 => Cond::B,
+            0x3 => Cond::Ae,
+            0x4 => Cond::E,
+            0x5 => Cond::Ne,
+            0x6 => Cond::Be,
+            0x7 => Cond::A,
+            0x8 => Cond::S,
+            0x9 => Cond::Ns,
+            0xC => Cond::L,
+            0xD => Cond::Ge,
+            0xE => Cond::Le,
+            0xF => Cond::G,
+            _ => return None,
+        })
+    }
+}
+
+/// The semantic operation of one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// `dst <- src`, optionally sign-extending a narrower source
+    /// (`movsxd`). `width` is the source width in bytes.
+    Mov { dst: Place, src: Value, width: u8, sign_extend: bool },
+    /// `dst <- &mem` (address computation, no memory access).
+    Lea { dst: Reg, mem: MemRef },
+    /// `dst <- dst <kind> src`; sets FLAGS.
+    Alu { kind: AluKind, dst: Place, src: Value, width: u8 },
+    /// `dst <- dst <kind> amount`; sets FLAGS.
+    Shift { kind: ShiftKind, dst: Place, amount: Value, width: u8 },
+    /// FLAGS <- compare(a, b).
+    Cmp { a: Value, b: Value, width: u8 },
+    /// FLAGS <- test(a, b) (bitwise-and compare).
+    Test { a: Value, b: Value, width: u8 },
+    /// Push onto the machine stack.
+    Push { src: Value },
+    /// Pop from the machine stack.
+    Pop { dst: Place },
+    /// `mov rsp, rbp; pop rbp` — the frame teardown the tail-call
+    /// heuristic looks for.
+    Leave,
+    /// No-operation of any encoded length.
+    Nop,
+    /// Direct unconditional jump to an absolute target.
+    Jmp { target: u64 },
+    /// Conditional jump to an absolute target.
+    Jcc { cond: Cond, target: u64 },
+    /// Indirect jump through a register or memory operand (jump-table
+    /// candidate).
+    JmpInd { src: Value },
+    /// Direct call to an absolute target.
+    Call { target: u64 },
+    /// Indirect call through a register or memory operand.
+    CallInd { src: Value },
+    /// Return to caller.
+    Ret,
+    /// `endbr64` (CET landing pad; a strong function-entry hint).
+    Endbr,
+    /// `ud2` — guaranteed trap; ends a block with no successors.
+    Ud2,
+    /// `hlt` — no fallthrough in user code.
+    Hlt,
+    /// `int3` padding.
+    Int3,
+    /// Unmodeled instruction with conservative register effects.
+    Other { reads: RegSet, writes: RegSet },
+}
+
+/// Control-flow category derived from [`Op`]; this is the entire interface
+/// the CFG parser consumes (paper Section 3's edge-creating operations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ControlFlow {
+    /// Not a control-flow instruction; execution falls through.
+    Fallthrough,
+    /// Unconditional direct branch.
+    Branch { target: u64 },
+    /// Conditional direct branch (fallthrough on the false side).
+    CondBranch { target: u64 },
+    /// Indirect branch (jump-table candidate).
+    IndirectBranch,
+    /// Direct call (fallthrough governed by non-returning analysis).
+    Call { target: u64 },
+    /// Indirect call.
+    IndirectCall,
+    /// Return.
+    Ret,
+    /// Execution cannot continue (ud2 / hlt): block ends, no successors.
+    Halt,
+}
+
+/// One decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Insn {
+    /// Virtual address of the first byte.
+    pub addr: u64,
+    /// Encoded length in bytes.
+    pub len: u8,
+    /// Semantic operation.
+    pub op: Op,
+}
+
+impl Insn {
+    /// Address of the byte following this instruction.
+    #[inline]
+    pub fn end(&self) -> u64 {
+        self.addr + self.len as u64
+    }
+
+    /// The control-flow category (see [`ControlFlow`]).
+    pub fn control_flow(&self) -> ControlFlow {
+        match self.op {
+            Op::Jmp { target } => ControlFlow::Branch { target },
+            Op::Jcc { target, .. } => ControlFlow::CondBranch { target },
+            Op::JmpInd { .. } => ControlFlow::IndirectBranch,
+            Op::Call { target } => ControlFlow::Call { target },
+            Op::CallInd { .. } => ControlFlow::IndirectCall,
+            Op::Ret => ControlFlow::Ret,
+            // int3 traps: treat as a block terminator with no successors
+            // so inter-function padding never glues regions together.
+            Op::Ud2 | Op::Hlt | Op::Int3 => ControlFlow::Halt,
+            _ => ControlFlow::Fallthrough,
+        }
+    }
+
+    /// Whether this instruction terminates a basic block.
+    #[inline]
+    pub fn is_cti(&self) -> bool {
+        !matches!(self.control_flow(), ControlFlow::Fallthrough)
+    }
+
+    /// Registers read by this instruction (including address computation
+    /// and implicit stack-pointer reads).
+    pub fn regs_read(&self) -> RegSet {
+        use Op::*;
+        match self.op {
+            Mov { dst, src, .. } => src.regs_read().union(dst.regs_read()),
+            Lea { mem, .. } => mem.regs(),
+            Alu { dst, src, .. } => {
+                // dst is both read and written (read-modify-write).
+                let dst_read = match dst {
+                    Place::Reg(r) => RegSet::of(r),
+                    Place::Mem(m, _) => m.regs(),
+                };
+                dst_read.union(src.regs_read())
+            }
+            Shift { dst, amount, .. } => {
+                let dst_read = match dst {
+                    Place::Reg(r) => RegSet::of(r),
+                    Place::Mem(m, _) => m.regs(),
+                };
+                dst_read.union(amount.regs_read())
+            }
+            Cmp { a, b, .. } | Test { a, b, .. } => a.regs_read().union(b.regs_read()),
+            Push { src } => src.regs_read().union(RegSet::of(Reg::RSP)),
+            Pop { dst } => dst.regs_read().union(RegSet::of(Reg::RSP)),
+            Leave => RegSet::of(Reg::RBP),
+            Jcc { .. } => RegSet::of(Reg::FLAGS),
+            JmpInd { src } | CallInd { src } => {
+                let mut s = src.regs_read();
+                if matches!(self.op, CallInd { .. }) {
+                    s.insert(Reg::RSP);
+                }
+                s
+            }
+            Call { .. } => RegSet::of(Reg::RSP),
+            Ret => RegSet::of(Reg::RSP),
+            Other { reads, .. } => reads,
+            Nop | Jmp { .. } | Endbr | Ud2 | Hlt | Int3 => RegSet::EMPTY,
+        }
+    }
+
+    /// Registers written by this instruction (including implicit
+    /// stack-pointer updates and FLAGS).
+    pub fn regs_written(&self) -> RegSet {
+        use Op::*;
+        match self.op {
+            Mov { dst, .. } | Pop { dst } => {
+                let mut s = dst.reg_written().map(RegSet::of).unwrap_or(RegSet::EMPTY);
+                if matches!(self.op, Pop { .. }) {
+                    s.insert(Reg::RSP);
+                }
+                s
+            }
+            Lea { dst, .. } => RegSet::of(dst),
+            Alu { dst, .. } | Shift { dst, .. } => {
+                let mut s = dst.reg_written().map(RegSet::of).unwrap_or(RegSet::EMPTY);
+                s.insert(Reg::FLAGS);
+                s
+            }
+            Cmp { .. } | Test { .. } => RegSet::of(Reg::FLAGS),
+            Push { .. } => RegSet::of(Reg::RSP),
+            Leave => RegSet::from_iter([Reg::RSP, Reg::RBP]),
+            Call { .. } | CallInd { .. } => {
+                // A call clobbers the caller-saved set at the call boundary;
+                // liveness handles that at the call site. Here we record the
+                // architectural writes only.
+                RegSet::of(Reg::RSP)
+            }
+            Ret => RegSet::of(Reg::RSP),
+            Other { writes, .. } => writes,
+            Nop | Jmp { .. } | Jcc { .. } | JmpInd { .. } | Endbr | Ud2 | Hlt | Int3 => {
+                RegSet::EMPTY
+            }
+        }
+    }
+
+    /// Short mnemonic-like name, used by BinFeat's instruction n-grams.
+    pub fn mnemonic(&self) -> &'static str {
+        use Op::*;
+        match self.op {
+            Mov { sign_extend: true, .. } => "movsxd",
+            Mov { .. } => "mov",
+            Lea { .. } => "lea",
+            Alu { kind, .. } => match kind {
+                AluKind::Add => "add",
+                AluKind::Sub => "sub",
+                AluKind::And => "and",
+                AluKind::Or => "or",
+                AluKind::Xor => "xor",
+                AluKind::Imul => "imul",
+            },
+            Shift { kind, .. } => match kind {
+                ShiftKind::Shl => "shl",
+                ShiftKind::Shr => "shr",
+                ShiftKind::Sar => "sar",
+            },
+            Cmp { .. } => "cmp",
+            Test { .. } => "test",
+            Push { .. } => "push",
+            Pop { .. } => "pop",
+            Leave => "leave",
+            Nop => "nop",
+            Jmp { .. } => "jmp",
+            Jcc { .. } => "jcc",
+            JmpInd { .. } => "jmp*",
+            Call { .. } => "call",
+            CallInd { .. } => "call*",
+            Ret => "ret",
+            Endbr => "endbr64",
+            Ud2 => "ud2",
+            Hlt => "hlt",
+            Int3 => "int3",
+            Other { .. } => "other",
+        }
+    }
+
+    /// Whether this instruction tears down a stack frame — the signal the
+    /// paper's tail-call heuristic (3) looks for immediately before a
+    /// branch (`leave`, `pop rbp`, or an `add rsp, imm` epilogue).
+    pub fn is_frame_teardown(&self) -> bool {
+        match self.op {
+            Op::Leave => true,
+            Op::Pop { dst: Place::Reg(Reg::RBP) } => true,
+            Op::Alu { kind: AluKind::Add, dst: Place::Reg(Reg::RSP), src: Value::Imm(n), .. } => {
+                n > 0
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn insn(op: Op) -> Insn {
+        Insn { addr: 0x1000, len: 3, op }
+    }
+
+    #[test]
+    fn control_flow_classification() {
+        assert_eq!(
+            insn(Op::Jmp { target: 0x2000 }).control_flow(),
+            ControlFlow::Branch { target: 0x2000 }
+        );
+        assert_eq!(
+            insn(Op::Jcc { cond: Cond::E, target: 0x2000 }).control_flow(),
+            ControlFlow::CondBranch { target: 0x2000 }
+        );
+        assert_eq!(insn(Op::Ret).control_flow(), ControlFlow::Ret);
+        assert_eq!(insn(Op::Ud2).control_flow(), ControlFlow::Halt);
+        assert_eq!(insn(Op::Nop).control_flow(), ControlFlow::Fallthrough);
+        assert!(insn(Op::Ret).is_cti());
+        assert!(!insn(Op::Leave).is_cti());
+    }
+
+    #[test]
+    fn mov_reads_and_writes() {
+        let i = insn(Op::Mov {
+            dst: Place::Reg(Reg::RAX),
+            src: Value::Mem(MemRef::base_index(Some(Reg::RBX), Reg::RCX, 8, 16), 8),
+            width: 8,
+            sign_extend: false,
+        });
+        assert_eq!(i.regs_read(), RegSet::from_iter([Reg::RBX, Reg::RCX]));
+        assert_eq!(i.regs_written(), RegSet::of(Reg::RAX));
+    }
+
+    #[test]
+    fn alu_is_read_modify_write_and_sets_flags() {
+        let i = insn(Op::Alu {
+            kind: AluKind::Add,
+            dst: Place::Reg(Reg::RAX),
+            src: Value::Reg(Reg::RBX),
+            width: 8,
+        });
+        assert!(i.regs_read().contains(Reg::RAX));
+        assert!(i.regs_read().contains(Reg::RBX));
+        assert!(i.regs_written().contains(Reg::RAX));
+        assert!(i.regs_written().contains(Reg::FLAGS));
+    }
+
+    #[test]
+    fn jcc_reads_flags() {
+        let i = insn(Op::Jcc { cond: Cond::A, target: 0 });
+        assert_eq!(i.regs_read(), RegSet::of(Reg::FLAGS));
+    }
+
+    #[test]
+    fn push_pop_touch_rsp() {
+        let push = insn(Op::Push { src: Value::Reg(Reg::RBP) });
+        assert!(push.regs_read().contains(Reg::RSP));
+        assert!(push.regs_read().contains(Reg::RBP));
+        assert!(push.regs_written().contains(Reg::RSP));
+        let pop = insn(Op::Pop { dst: Place::Reg(Reg::RBP) });
+        assert!(pop.regs_written().contains(Reg::RBP));
+        assert!(pop.regs_written().contains(Reg::RSP));
+    }
+
+    #[test]
+    fn frame_teardown_detection() {
+        assert!(insn(Op::Leave).is_frame_teardown());
+        assert!(insn(Op::Pop { dst: Place::Reg(Reg::RBP) }).is_frame_teardown());
+        assert!(insn(Op::Alu {
+            kind: AluKind::Add,
+            dst: Place::Reg(Reg::RSP),
+            src: Value::Imm(24),
+            width: 8
+        })
+        .is_frame_teardown());
+        assert!(!insn(Op::Alu {
+            kind: AluKind::Sub,
+            dst: Place::Reg(Reg::RSP),
+            src: Value::Imm(24),
+            width: 8
+        })
+        .is_frame_teardown());
+        assert!(!insn(Op::Nop).is_frame_teardown());
+    }
+
+    #[test]
+    fn cond_cc_round_trip() {
+        for cc in 0u8..16 {
+            if let Some(c) = Cond::from_x86_cc(cc) {
+                assert_eq!(c.x86_cc(), cc);
+            }
+        }
+    }
+
+    #[test]
+    fn memref_regs() {
+        let m = MemRef::base_index(Some(Reg::RDI), Reg::RSI, 4, -8);
+        assert_eq!(m.regs(), RegSet::from_iter([Reg::RDI, Reg::RSI]));
+        assert_eq!(MemRef::absolute(0x5000).regs(), RegSet::EMPTY);
+    }
+}

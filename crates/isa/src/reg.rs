@@ -1,0 +1,271 @@
+//! Register model shared by every architecture.
+//!
+//! Both supported ISAs fit in sixteen general-purpose registers plus the
+//! program counter and a flags register, so a register is a small integer
+//! and a register set is a 32-bit mask. Liveness analysis over these masks
+//! is branch-free bit math, which matters: BinFeat's data-flow feature pass
+//! runs liveness over every block of every function.
+
+use std::fmt;
+
+/// A machine register, identified by a small integer.
+///
+/// For x86-64 the mapping is the hardware encoding order:
+/// `RAX=0, RCX=1, RDX=2, RBX=3, RSP=4, RBP=5, RSI=6, RDI=7, R8..R15=8..15`,
+/// then [`Reg::RIP`] and [`Reg::FLAGS`] as pseudo-registers. rv-lite uses
+/// `r0..r15` with the same pseudo-registers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    pub const RAX: Reg = Reg(0);
+    pub const RCX: Reg = Reg(1);
+    pub const RDX: Reg = Reg(2);
+    pub const RBX: Reg = Reg(3);
+    pub const RSP: Reg = Reg(4);
+    pub const RBP: Reg = Reg(5);
+    pub const RSI: Reg = Reg(6);
+    pub const RDI: Reg = Reg(7);
+    pub const R8: Reg = Reg(8);
+    pub const R9: Reg = Reg(9);
+    pub const R10: Reg = Reg(10);
+    pub const R11: Reg = Reg(11);
+    pub const R12: Reg = Reg(12);
+    pub const R13: Reg = Reg(13);
+    pub const R14: Reg = Reg(14);
+    pub const R15: Reg = Reg(15);
+    /// Program counter pseudo-register (RIP / pc).
+    pub const RIP: Reg = Reg(16);
+    /// Condition-flags pseudo-register (RFLAGS / cc).
+    pub const FLAGS: Reg = Reg(17);
+
+    /// Number of distinct register ids (GPRs + pseudo-registers).
+    pub const COUNT: usize = 18;
+
+    /// The hardware encoding index for a GPR (panics for pseudo-registers).
+    #[inline]
+    pub fn hw(self) -> u8 {
+        debug_assert!(self.0 < 16, "pseudo-register has no hardware encoding");
+        self.0
+    }
+
+    /// Is this one of the sixteen general-purpose registers?
+    #[inline]
+    pub fn is_gpr(self) -> bool {
+        self.0 < 16
+    }
+
+    /// x86-64 System V integer argument registers, in order.
+    pub const SYSV_ARGS: [Reg; 6] = [Reg::RDI, Reg::RSI, Reg::RDX, Reg::RCX, Reg::R8, Reg::R9];
+
+    /// x86-64 System V caller-saved (volatile) registers.
+    pub fn sysv_caller_saved() -> RegSet {
+        let mut s = RegSet::EMPTY;
+        for r in [
+            Reg::RAX,
+            Reg::RCX,
+            Reg::RDX,
+            Reg::RSI,
+            Reg::RDI,
+            Reg::R8,
+            Reg::R9,
+            Reg::R10,
+            Reg::R11,
+        ] {
+            s.insert(r);
+        }
+        s
+    }
+
+    /// x86-64 System V callee-saved registers.
+    pub fn sysv_callee_saved() -> RegSet {
+        let mut s = RegSet::EMPTY;
+        for r in [Reg::RBX, Reg::RBP, Reg::R12, Reg::R13, Reg::R14, Reg::R15] {
+            s.insert(r);
+        }
+        s
+    }
+}
+
+const X86_NAMES: [&str; 18] = [
+    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi", "r8", "r9", "r10", "r11", "r12",
+    "r13", "r14", "r15", "rip", "flags",
+];
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if (self.0 as usize) < X86_NAMES.len() {
+            write!(f, "%{}", X86_NAMES[self.0 as usize])
+        } else {
+            write!(f, "%r?{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A set of registers as a bit mask over [`Reg`] ids.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RegSet(pub u32);
+
+impl RegSet {
+    /// The empty set.
+    pub const EMPTY: RegSet = RegSet(0);
+
+    /// Set containing every GPR plus RIP and FLAGS.
+    pub const ALL: RegSet = RegSet((1 << Reg::COUNT) - 1);
+
+    /// Singleton set.
+    #[inline]
+    pub fn of(r: Reg) -> RegSet {
+        RegSet(1 << r.0)
+    }
+
+    /// Build from an iterator of registers.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter(regs: impl IntoIterator<Item = Reg>) -> RegSet {
+        let mut s = RegSet::EMPTY;
+        for r in regs {
+            s.insert(r);
+        }
+        s
+    }
+
+    /// Add a register.
+    #[inline]
+    pub fn insert(&mut self, r: Reg) {
+        self.0 |= 1 << r.0;
+    }
+
+    /// Remove a register.
+    #[inline]
+    pub fn remove(&mut self, r: Reg) {
+        self.0 &= !(1 << r.0);
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(self, r: Reg) -> bool {
+        self.0 & (1 << r.0) != 0
+    }
+
+    /// Set union.
+    #[inline]
+    pub fn union(self, other: RegSet) -> RegSet {
+        RegSet(self.0 | other.0)
+    }
+
+    /// Set difference (`self \ other`).
+    #[inline]
+    pub fn minus(self, other: RegSet) -> RegSet {
+        RegSet(self.0 & !other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub fn intersect(self, other: RegSet) -> RegSet {
+        RegSet(self.0 & other.0)
+    }
+
+    /// Number of registers in the set.
+    #[inline]
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Is the set empty?
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterate members in ascending id order.
+    pub fn iter(self) -> impl Iterator<Item = Reg> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros() as u8;
+                bits &= bits - 1;
+                Some(Reg(i))
+            }
+        })
+    }
+}
+
+impl fmt::Debug for RegSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, r) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Reg> for RegSet {
+    fn from_iter<T: IntoIterator<Item = Reg>>(iter: T) -> Self {
+        RegSet::from_iter(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = RegSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(Reg::RAX);
+        s.insert(Reg::R15);
+        assert!(s.contains(Reg::RAX));
+        assert!(s.contains(Reg::R15));
+        assert!(!s.contains(Reg::RBX));
+        assert_eq!(s.len(), 2);
+        s.remove(Reg::RAX);
+        assert!(!s.contains(Reg::RAX));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = RegSet::from_iter([Reg::RAX, Reg::RBX, Reg::RCX]);
+        let b = RegSet::from_iter([Reg::RBX, Reg::RDX]);
+        assert_eq!(a.union(b).len(), 4);
+        assert_eq!(a.minus(b), RegSet::from_iter([Reg::RAX, Reg::RCX]));
+        assert_eq!(a.intersect(b), RegSet::of(Reg::RBX));
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let s = RegSet::from_iter([Reg::R9, Reg::RAX, Reg::RSP]);
+        let v: Vec<Reg> = s.iter().collect();
+        assert_eq!(v, vec![Reg::RAX, Reg::RSP, Reg::R9]);
+    }
+
+    #[test]
+    fn sysv_partition() {
+        // Caller-saved and callee-saved GPR sets are disjoint and, with
+        // RSP, cover all 16 GPRs.
+        let caller = Reg::sysv_caller_saved();
+        let callee = Reg::sysv_callee_saved();
+        assert!(caller.intersect(callee).is_empty());
+        assert_eq!(caller.union(callee).len() + 1, 16); // +1 for RSP
+    }
+
+    #[test]
+    fn all_contains_pseudo_regs() {
+        assert!(RegSet::ALL.contains(Reg::RIP));
+        assert!(RegSet::ALL.contains(Reg::FLAGS));
+        assert_eq!(RegSet::ALL.len() as usize, Reg::COUNT);
+    }
+}

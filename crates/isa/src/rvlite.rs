@@ -1,0 +1,284 @@
+//! rv-lite: a fixed-width load/store ISA for the architecture-independent
+//! layer.
+//!
+//! Dyninst runs the same CFG-construction algorithms on x86-64 and Power;
+//! the paper's LLNL1 and Camellia binaries are Power. We reproduce that
+//! multi-architecture obligation with a deliberately small fixed-width ISA
+//! so tests can prove the parser, data-flow and loop analyses never peek
+//! behind the [`crate::insn::Op`] abstraction.
+//!
+//! Every instruction is 8 bytes:
+//!
+//! ```text
+//! byte 0      opcode
+//! byte 1      rd (low nibble) | rs (high nibble)
+//! bytes 2-3   aux (condition code / extra register), little endian
+//! bytes 4-7   imm (i32), little endian
+//! ```
+//!
+//! Branch displacements are relative to the *next* instruction, like x86
+//! rel32, so the decoder materializes absolute targets the same way.
+
+use crate::insn::{AluKind, Cond, Insn, MemRef, Op, Place, Value};
+use crate::reg::Reg;
+use crate::{Arch, DecodeError, Decoder};
+
+/// Instruction width in bytes.
+pub const ILEN: usize = 8;
+
+// Opcode bytes.
+const OP_NOP: u8 = 0x01;
+const OP_MOVI: u8 = 0x02;
+const OP_MOV: u8 = 0x03;
+const OP_ADD: u8 = 0x04;
+const OP_SUB: u8 = 0x05;
+const OP_XOR: u8 = 0x06;
+const OP_ADDI: u8 = 0x07;
+const OP_LOAD: u8 = 0x08;
+const OP_STORE: u8 = 0x09;
+const OP_CMPI: u8 = 0x0A;
+const OP_BR: u8 = 0x0B;
+const OP_BCC: u8 = 0x0C;
+const OP_CALL: u8 = 0x0D;
+const OP_RET: u8 = 0x0E;
+const OP_JIND: u8 = 0x0F;
+const OP_HALT: u8 = 0x10;
+const OP_LOADIX: u8 = 0x11;
+const OP_LEA: u8 = 0x12;
+const OP_CALLIND: u8 = 0x13;
+
+/// The rv-lite decoder singleton.
+pub struct RvLiteDecoder;
+
+impl Decoder for RvLiteDecoder {
+    fn arch(&self) -> Arch {
+        Arch::RvLite
+    }
+
+    fn max_len(&self) -> usize {
+        ILEN
+    }
+
+    fn decode(&self, code: &[u8], addr: u64) -> Result<Insn, DecodeError> {
+        decode_one(code, addr)
+    }
+}
+
+/// Decode one rv-lite instruction.
+pub fn decode_one(code: &[u8], addr: u64) -> Result<Insn, DecodeError> {
+    let w = code.get(..ILEN).ok_or(DecodeError::Truncated)?;
+    let opcode = w[0];
+    let rd = Reg(w[1] & 0xF);
+    let rs = Reg(w[1] >> 4);
+    let aux = u16::from_le_bytes([w[2], w[3]]);
+    let imm = i32::from_le_bytes([w[4], w[5], w[6], w[7]]) as i64;
+    let next = addr + ILEN as u64;
+    let rel_target = next.wrapping_add(imm as u64);
+
+    let op = match opcode {
+        OP_NOP => Op::Nop,
+        OP_MOVI => Op::Mov { dst: Place::Reg(rd), src: Value::Imm(imm), width: 8, sign_extend: false },
+        OP_MOV => Op::Mov { dst: Place::Reg(rd), src: Value::Reg(rs), width: 8, sign_extend: false },
+        OP_ADD => Op::Alu { kind: AluKind::Add, dst: Place::Reg(rd), src: Value::Reg(rs), width: 8 },
+        OP_SUB => Op::Alu { kind: AluKind::Sub, dst: Place::Reg(rd), src: Value::Reg(rs), width: 8 },
+        OP_XOR => Op::Alu { kind: AluKind::Xor, dst: Place::Reg(rd), src: Value::Reg(rs), width: 8 },
+        OP_ADDI => Op::Alu { kind: AluKind::Add, dst: Place::Reg(rd), src: Value::Imm(imm), width: 8 },
+        OP_LOAD => Op::Mov {
+            dst: Place::Reg(rd),
+            src: Value::Mem(MemRef::base_disp(rs, imm), 8),
+            width: 8,
+            sign_extend: false,
+        },
+        OP_STORE => Op::Mov {
+            dst: Place::Mem(MemRef::base_disp(rs, imm), 8),
+            src: Value::Reg(rd),
+            width: 8,
+            sign_extend: false,
+        },
+        OP_CMPI => Op::Cmp { a: Value::Reg(rd), b: Value::Imm(imm), width: 8 },
+        OP_BR => Op::Jmp { target: rel_target },
+        OP_BCC => {
+            let cond = Cond::from_x86_cc((aux & 0xF) as u8)
+                .ok_or(DecodeError::Unsupported { addr, byte: opcode })?;
+            Op::Jcc { cond, target: rel_target }
+        }
+        OP_CALL => Op::Call { target: rel_target },
+        OP_RET => Op::Ret,
+        OP_JIND => Op::JmpInd { src: Value::Reg(rs) },
+        OP_HALT => Op::Hlt,
+        OP_LOADIX => {
+            // rd <- [rs + rt*8 + imm], rt in aux low nibble.
+            let rt = Reg((aux & 0xF) as u8);
+            Op::Mov {
+                dst: Place::Reg(rd),
+                src: Value::Mem(MemRef::base_index(Some(rs), rt, 8, imm), 8),
+                width: 8,
+                sign_extend: false,
+            }
+        }
+        OP_LEA => Op::Lea { dst: rd, mem: MemRef::absolute(imm as u64) },
+        OP_CALLIND => Op::CallInd { src: Value::Reg(rs) },
+        byte => return Err(DecodeError::Unsupported { addr, byte }),
+    };
+    Ok(Insn { addr, len: ILEN as u8, op })
+}
+
+/// Minimal assembler for rv-lite, mirroring the x86 [`crate::x86::encode`]
+/// surface the generator needs.
+pub mod encode {
+    use super::*;
+
+    fn emit(buf: &mut Vec<u8>, opcode: u8, rd: u8, rs: u8, aux: u16, imm: i32) {
+        buf.push(opcode);
+        buf.push((rd & 0xF) | (rs << 4));
+        buf.extend_from_slice(&aux.to_le_bytes());
+        buf.extend_from_slice(&imm.to_le_bytes());
+    }
+
+    /// A patchable branch displacement site (field offset, next-insn offset).
+    pub type Rel32Site = crate::x86::encode::Rel32Site;
+
+    /// `nop`.
+    pub fn nop(buf: &mut Vec<u8>) {
+        emit(buf, OP_NOP, 0, 0, 0, 0);
+    }
+
+    /// `movi rd, imm`.
+    pub fn movi(buf: &mut Vec<u8>, rd: Reg, imm: i32) {
+        emit(buf, OP_MOVI, rd.0, 0, 0, imm);
+    }
+
+    /// `add rd, rs`.
+    pub fn add(buf: &mut Vec<u8>, rd: Reg, rs: Reg) {
+        emit(buf, OP_ADD, rd.0, rs.0, 0, 0);
+    }
+
+    /// `addi rd, imm`.
+    pub fn addi(buf: &mut Vec<u8>, rd: Reg, imm: i32) {
+        emit(buf, OP_ADDI, rd.0, 0, 0, imm);
+    }
+
+    /// `cmpi rd, imm`.
+    pub fn cmpi(buf: &mut Vec<u8>, rd: Reg, imm: i32) {
+        emit(buf, OP_CMPI, rd.0, 0, 0, imm);
+    }
+
+    /// `br rel` — returns the patch site.
+    pub fn br(buf: &mut Vec<u8>) -> Rel32Site {
+        emit(buf, OP_BR, 0, 0, 0, 0);
+        Rel32Site { field: buf.len() - 4, next: buf.len() }
+    }
+
+    /// `bcc cond, rel` — returns the patch site.
+    pub fn bcc(buf: &mut Vec<u8>, cond: Cond) -> Rel32Site {
+        emit(buf, OP_BCC, 0, 0, cond.x86_cc() as u16, 0);
+        Rel32Site { field: buf.len() - 4, next: buf.len() }
+    }
+
+    /// `call rel` — returns the patch site.
+    pub fn call(buf: &mut Vec<u8>) -> Rel32Site {
+        emit(buf, OP_CALL, 0, 0, 0, 0);
+        Rel32Site { field: buf.len() - 4, next: buf.len() }
+    }
+
+    /// `ret`.
+    pub fn ret(buf: &mut Vec<u8>) {
+        emit(buf, OP_RET, 0, 0, 0, 0);
+    }
+
+    /// `halt`.
+    pub fn halt(buf: &mut Vec<u8>) {
+        emit(buf, OP_HALT, 0, 0, 0, 0);
+    }
+
+    /// `jind rs`.
+    pub fn jind(buf: &mut Vec<u8>, rs: Reg) {
+        emit(buf, OP_JIND, 0, rs.0, 0, 0);
+    }
+
+    /// `loadix rd, [rs + rt*8 + imm]`.
+    pub fn loadix(buf: &mut Vec<u8>, rd: Reg, rs: Reg, rt: Reg, imm: i32) {
+        emit(buf, OP_LOADIX, rd.0, rs.0, rt.0 as u16, imm);
+    }
+
+    /// `lea rd, absolute`.
+    pub fn lea_abs(buf: &mut Vec<u8>, rd: Reg, addr: i32) {
+        emit(buf, OP_LEA, rd.0, 0, 0, addr);
+    }
+
+    /// Patch a displacement site to land on buffer offset `target`.
+    pub use crate::x86::encode::patch_rel32;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::ControlFlow;
+
+    #[test]
+    fn fixed_width_decoding() {
+        let mut buf = vec![];
+        encode::nop(&mut buf);
+        encode::movi(&mut buf, Reg(3), 42);
+        encode::ret(&mut buf);
+        assert_eq!(buf.len(), 3 * ILEN);
+        let i0 = decode_one(&buf, 0).unwrap();
+        assert_eq!(i0.op, Op::Nop);
+        assert_eq!(i0.len as usize, ILEN);
+        let i1 = decode_one(&buf[ILEN..], ILEN as u64).unwrap();
+        assert_eq!(
+            i1.op,
+            Op::Mov { dst: Place::Reg(Reg(3)), src: Value::Imm(42), width: 8, sign_extend: false }
+        );
+        let i2 = decode_one(&buf[2 * ILEN..], 2 * ILEN as u64).unwrap();
+        assert_eq!(i2.op, Op::Ret);
+    }
+
+    #[test]
+    fn branch_targets_are_absolute() {
+        let mut buf = vec![];
+        let site = encode::br(&mut buf);
+        encode::nop(&mut buf);
+        let target = buf.len();
+        encode::ret(&mut buf);
+        encode::patch_rel32(&mut buf, site, target);
+        let i = decode_one(&buf, 0x8000).unwrap();
+        assert_eq!(i.control_flow(), ControlFlow::Branch { target: 0x8000 + target as u64 });
+    }
+
+    #[test]
+    fn conditional_branch_carries_condition() {
+        let mut buf = vec![];
+        let site = encode::bcc(&mut buf, Cond::A);
+        encode::patch_rel32(&mut buf, site, 64);
+        let i = decode_one(&buf, 0).unwrap();
+        assert_eq!(i.op, Op::Jcc { cond: Cond::A, target: 64 });
+    }
+
+    #[test]
+    fn loadix_for_jump_tables() {
+        let mut buf = vec![];
+        encode::loadix(&mut buf, Reg(1), Reg(2), Reg(3), 0x100);
+        let i = decode_one(&buf, 0).unwrap();
+        assert_eq!(
+            i.op,
+            Op::Mov {
+                dst: Place::Reg(Reg(1)),
+                src: Value::Mem(MemRef::base_index(Some(Reg(2)), Reg(3), 8, 0x100), 8),
+                width: 8,
+                sign_extend: false,
+            }
+        );
+    }
+
+    #[test]
+    fn truncated_stream() {
+        assert_eq!(decode_one(&[0x01, 0, 0], 0), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn unknown_opcode() {
+        let buf = [0xEEu8, 0, 0, 0, 0, 0, 0, 0];
+        assert!(matches!(decode_one(&buf, 0), Err(DecodeError::Unsupported { .. })));
+    }
+}

@@ -1,0 +1,637 @@
+//! x86-64 instruction encoder — the exact inverse of the decoder.
+//!
+//! The workload generator assembles real machine code with these helpers
+//! using two-pass label resolution: control-flow emitters return a
+//! [`Rel32Site`] naming the displacement field, and the generator patches
+//! it once the target's offset is known. RIP-relative data references work
+//! the same way via [`lea_rip`].
+//!
+//! Every form emitted here is covered by the decoder; the round-trip
+//! property test in `tests/roundtrip.rs` enforces that invariant.
+
+use crate::insn::{AluKind, Cond, MemRef, ShiftKind};
+use crate::reg::Reg;
+
+/// A patchable 32-bit displacement: `field` is the buffer offset of the 4
+/// displacement bytes, `next` the offset just past the instruction (the
+/// reference point for rel32/RIP arithmetic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rel32Site {
+    /// Offset of the 4-byte little-endian displacement within the buffer.
+    pub field: usize,
+    /// Offset of the first byte after the instruction.
+    pub next: usize,
+}
+
+/// Patch `site` so the displacement resolves to buffer offset `target`.
+///
+/// Both offsets are relative to the same load base, so the base cancels:
+/// `rel32 = target - site.next`.
+pub fn patch_rel32(buf: &mut [u8], site: Rel32Site, target: usize) {
+    let rel = (target as i64 - site.next as i64) as i32;
+    buf[site.field..site.field + 4].copy_from_slice(&rel.to_le_bytes());
+}
+
+fn rex(w: bool, r: u8, x: u8, b: u8) -> u8 {
+    0x40 | ((w as u8) << 3) | ((r & 1) << 2) | ((x & 1) << 1) | (b & 1)
+}
+
+/// ModRM with a register r/m operand.
+fn modrm_rr(buf: &mut Vec<u8>, w: bool, opcodes: &[u8], reg: Reg, rm: Reg) {
+    let rex_byte = rex(w, reg.hw() >> 3, 0, rm.hw() >> 3);
+    if rex_byte != 0x40 || w {
+        buf.push(rex_byte);
+    }
+    buf.extend_from_slice(opcodes);
+    buf.push(0xC0 | ((reg.hw() & 7) << 3) | (rm.hw() & 7));
+}
+
+/// ModRM + SIB + displacement for a memory operand. Returns the buffer
+/// offset of a 4-byte displacement if one was emitted as the final field
+/// (used by RIP-relative patching), else `None`.
+fn modrm_mem(buf: &mut Vec<u8>, w: bool, opcodes: &[u8], reg_field: u8, mem: &MemRef) -> Option<usize> {
+    assert!(!mem.rip_based, "use the *_rip emitters for RIP-relative operands");
+    let (rex_x, rex_b) = (
+        mem.index.map(|r| r.hw() >> 3).unwrap_or(0),
+        mem.base.map(|r| r.hw() >> 3).unwrap_or(0),
+    );
+    let rex_byte = rex(w, reg_field >> 3, rex_x, rex_b);
+    if rex_byte != 0x40 || w {
+        buf.push(rex_byte);
+    }
+    buf.extend_from_slice(opcodes);
+
+    let reg3 = (reg_field & 7) << 3;
+    let scale_bits = match mem.scale {
+        1 => 0u8,
+        2 => 1,
+        4 => 2,
+        8 => 3,
+        s => panic!("bad scale {s}"),
+    };
+
+    match (mem.base, mem.index) {
+        (None, None) => {
+            // [disp32] absolute: SIB with base=101, index=100, mod=00.
+            buf.push(reg3 | 0x04);
+            buf.push(0x25);
+            let at = buf.len();
+            buf.extend_from_slice(&(mem.disp as i32).to_le_bytes());
+            Some(at)
+        }
+        (None, Some(idx)) => {
+            // [index*scale + disp32]: SIB base=101 mod=00.
+            assert!(idx.hw() & 7 != 4 || idx.hw() >> 3 == 1, "RSP cannot be an index");
+            buf.push(reg3 | 0x04);
+            buf.push((scale_bits << 6) | ((idx.hw() & 7) << 3) | 0x05);
+            let at = buf.len();
+            buf.extend_from_slice(&(mem.disp as i32).to_le_bytes());
+            Some(at)
+        }
+        (Some(base), index) => {
+            let need_sib = index.is_some() || (base.hw() & 7) == 4;
+            // RBP/R13 base with mod=00 means something else; force disp8.
+            let force_disp = (base.hw() & 7) == 5;
+            let (mod_bits, disp_len) = if mem.disp == 0 && !force_disp {
+                (0x00u8, 0usize)
+            } else if i8::try_from(mem.disp).is_ok() {
+                (0x40, 1)
+            } else {
+                (0x80, 4)
+            };
+            if need_sib {
+                buf.push(mod_bits | reg3 | 0x04);
+                let idx_bits = match index {
+                    Some(idx) => {
+                        assert!(
+                            !(idx.hw() & 7 == 4 && idx.hw() >> 3 == 0),
+                            "RSP cannot be an index"
+                        );
+                        (idx.hw() & 7) << 3
+                    }
+                    None => 4 << 3,
+                };
+                buf.push((scale_bits << 6) | idx_bits | (base.hw() & 7));
+            } else {
+                buf.push(mod_bits | reg3 | (base.hw() & 7));
+            }
+            match disp_len {
+                0 => None,
+                1 => {
+                    buf.push(mem.disp as i8 as u8);
+                    None
+                }
+                _ => {
+                    let at = buf.len();
+                    buf.extend_from_slice(&(mem.disp as i32).to_le_bytes());
+                    Some(at)
+                }
+            }
+        }
+    }
+}
+
+// ---- stack ----
+
+/// `push r64`.
+pub fn push_r(buf: &mut Vec<u8>, r: Reg) {
+    if r.hw() >= 8 {
+        buf.push(0x41);
+    }
+    buf.push(0x50 + (r.hw() & 7));
+}
+
+/// `pop r64`.
+pub fn pop_r(buf: &mut Vec<u8>, r: Reg) {
+    if r.hw() >= 8 {
+        buf.push(0x41);
+    }
+    buf.push(0x58 + (r.hw() & 7));
+}
+
+// ---- moves ----
+
+/// `mov dst, src` (64-bit register-to-register).
+pub fn mov_rr(buf: &mut Vec<u8>, dst: Reg, src: Reg) {
+    modrm_rr(buf, true, &[0x89], src, dst);
+}
+
+/// `mov r32, imm32` (zero-extends to 64 bits).
+pub fn mov_ri32(buf: &mut Vec<u8>, dst: Reg, imm: u32) {
+    if dst.hw() >= 8 {
+        buf.push(0x41);
+    }
+    buf.push(0xB8 + (dst.hw() & 7));
+    buf.extend_from_slice(&imm.to_le_bytes());
+}
+
+/// `movabs r64, imm64`.
+pub fn mov_ri64(buf: &mut Vec<u8>, dst: Reg, imm: u64) {
+    buf.push(rex(true, 0, 0, dst.hw() >> 3));
+    buf.push(0xB8 + (dst.hw() & 7));
+    buf.extend_from_slice(&imm.to_le_bytes());
+}
+
+/// `mov dst, [mem]` — `width` 4 or 8 bytes.
+pub fn mov_load(buf: &mut Vec<u8>, dst: Reg, mem: &MemRef, width: u8) {
+    modrm_mem(buf, width == 8, &[0x8B], dst.hw(), mem);
+}
+
+/// `mov [mem], src` — `width` 4 or 8 bytes.
+pub fn mov_store(buf: &mut Vec<u8>, mem: &MemRef, src: Reg, width: u8) {
+    modrm_mem(buf, width == 8, &[0x89], src.hw(), mem);
+}
+
+/// `movsxd r64, dword [mem]`.
+pub fn movsxd(buf: &mut Vec<u8>, dst: Reg, mem: &MemRef) {
+    modrm_mem(buf, true, &[0x63], dst.hw(), mem);
+}
+
+/// `lea r64, [mem]` (non-RIP form).
+pub fn lea(buf: &mut Vec<u8>, dst: Reg, mem: &MemRef) {
+    modrm_mem(buf, true, &[0x8D], dst.hw(), mem);
+}
+
+/// `lea r64, [rip + rel32]`; patch the returned site to the target offset.
+pub fn lea_rip(buf: &mut Vec<u8>, dst: Reg) -> Rel32Site {
+    buf.push(rex(true, dst.hw() >> 3, 0, 0));
+    buf.push(0x8D);
+    buf.push(((dst.hw() & 7) << 3) | 0x05);
+    let field = buf.len();
+    buf.extend_from_slice(&[0; 4]);
+    Rel32Site { field, next: buf.len() }
+}
+
+// ---- ALU ----
+
+fn alu_opcode_mr(kind: AluKind) -> u8 {
+    match kind {
+        AluKind::Add => 0x01,
+        AluKind::Or => 0x09,
+        AluKind::And => 0x21,
+        AluKind::Sub => 0x29,
+        AluKind::Xor => 0x31,
+        AluKind::Imul => unreachable!("imul uses 0F AF"),
+    }
+}
+
+fn alu_ext(kind: AluKind) -> u8 {
+    match kind {
+        AluKind::Add => 0,
+        AluKind::Or => 1,
+        AluKind::And => 4,
+        AluKind::Sub => 5,
+        AluKind::Xor => 6,
+        AluKind::Imul => unreachable!("imul has no group-1 form"),
+    }
+}
+
+/// `op dst, src` (64-bit register forms; `imul` via `0F AF`).
+pub fn alu_rr(buf: &mut Vec<u8>, kind: AluKind, dst: Reg, src: Reg) {
+    if kind == AluKind::Imul {
+        modrm_rr(buf, true, &[0x0F, 0xAF], dst, src);
+    } else {
+        modrm_rr(buf, true, &[alu_opcode_mr(kind)], src, dst);
+    }
+}
+
+/// `op dst, imm` (64-bit; picks the `83 ib` short form when it fits).
+pub fn alu_ri(buf: &mut Vec<u8>, kind: AluKind, dst: Reg, imm: i32) {
+    let ext = alu_ext(kind);
+    if i8::try_from(imm).is_ok() {
+        modrm_rr(buf, true, &[0x83], Reg(ext), dst);
+        buf.push(imm as i8 as u8);
+    } else {
+        modrm_rr(buf, true, &[0x81], Reg(ext), dst);
+        buf.extend_from_slice(&imm.to_le_bytes());
+    }
+}
+
+/// `xor r32, r32` — the canonical zeroing idiom.
+pub fn xor_zero32(buf: &mut Vec<u8>, r: Reg) {
+    modrm_rr(buf, false, &[0x31], r, r);
+}
+
+/// `cmp a, imm` (64-bit).
+pub fn cmp_ri(buf: &mut Vec<u8>, a: Reg, imm: i32) {
+    if i8::try_from(imm).is_ok() {
+        modrm_rr(buf, true, &[0x83], Reg(7), a);
+        buf.push(imm as i8 as u8);
+    } else {
+        modrm_rr(buf, true, &[0x81], Reg(7), a);
+        buf.extend_from_slice(&imm.to_le_bytes());
+    }
+}
+
+/// `cmp a, b` (64-bit, `39 /r` form: compares a with b).
+pub fn cmp_rr(buf: &mut Vec<u8>, a: Reg, b: Reg) {
+    modrm_rr(buf, true, &[0x39], b, a);
+}
+
+/// `test a, b` (64-bit).
+pub fn test_rr(buf: &mut Vec<u8>, a: Reg, b: Reg) {
+    modrm_rr(buf, true, &[0x85], b, a);
+}
+
+/// `shl/shr/sar r64, imm8`.
+pub fn shift_ri(buf: &mut Vec<u8>, kind: ShiftKind, r: Reg, imm: u8) {
+    let ext = match kind {
+        ShiftKind::Shl => 4,
+        ShiftKind::Shr => 5,
+        ShiftKind::Sar => 7,
+    };
+    modrm_rr(buf, true, &[0xC1], Reg(ext), r);
+    buf.push(imm);
+}
+
+// ---- control flow ----
+
+/// `jmp rel32` with a patchable target.
+pub fn jmp_rel32(buf: &mut Vec<u8>) -> Rel32Site {
+    buf.push(0xE9);
+    let field = buf.len();
+    buf.extend_from_slice(&[0; 4]);
+    Rel32Site { field, next: buf.len() }
+}
+
+/// `jcc rel32` with a patchable target.
+pub fn jcc_rel32(buf: &mut Vec<u8>, cond: Cond) -> Rel32Site {
+    buf.push(0x0F);
+    buf.push(0x80 | cond.x86_cc());
+    let field = buf.len();
+    buf.extend_from_slice(&[0; 4]);
+    Rel32Site { field, next: buf.len() }
+}
+
+/// `call rel32` with a patchable target.
+pub fn call_rel32(buf: &mut Vec<u8>) -> Rel32Site {
+    buf.push(0xE8);
+    let field = buf.len();
+    buf.extend_from_slice(&[0; 4]);
+    Rel32Site { field, next: buf.len() }
+}
+
+/// `jmp [base + index*scale + disp]` — the CISC jump-table dispatch.
+pub fn jmp_ind_mem(buf: &mut Vec<u8>, mem: &MemRef) {
+    modrm_mem(buf, false, &[0xFF], 4, mem);
+}
+
+/// `jmp r64`.
+pub fn jmp_ind_reg(buf: &mut Vec<u8>, r: Reg) {
+    if r.hw() >= 8 {
+        buf.push(0x41);
+    }
+    buf.push(0xFF);
+    buf.push(0xE0 | (r.hw() & 7));
+}
+
+/// `call r64`.
+pub fn call_ind_reg(buf: &mut Vec<u8>, r: Reg) {
+    if r.hw() >= 8 {
+        buf.push(0x41);
+    }
+    buf.push(0xFF);
+    buf.push(0xD0 | (r.hw() & 7));
+}
+
+/// `ret`.
+pub fn ret(buf: &mut Vec<u8>) {
+    buf.push(0xC3);
+}
+
+/// `leave`.
+pub fn leave(buf: &mut Vec<u8>) {
+    buf.push(0xC9);
+}
+
+/// `ud2`.
+pub fn ud2(buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&[0x0F, 0x0B]);
+}
+
+/// `hlt`.
+pub fn hlt(buf: &mut Vec<u8>) {
+    buf.push(0xF4);
+}
+
+/// `int3`.
+pub fn int3(buf: &mut Vec<u8>) {
+    buf.push(0xCC);
+}
+
+/// `endbr64`.
+pub fn endbr64(buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&[0xF3, 0x0F, 0x1E, 0xFA]);
+}
+
+/// Emit `n` bytes of padding using the canonical nop forms (1-, 4-, 5-byte
+/// nops and `int3` never decode as anything else).
+pub fn nop_pad(buf: &mut Vec<u8>, n: usize) {
+    let mut left = n;
+    while left >= 5 {
+        buf.extend_from_slice(&[0x0F, 0x1F, 0x44, 0x00, 0x00]);
+        left -= 5;
+    }
+    while left >= 4 {
+        buf.extend_from_slice(&[0x0F, 0x1F, 0x40, 0x00]);
+        left -= 4;
+    }
+    while left > 0 {
+        buf.push(0x90);
+        left -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{Op, Place, Value};
+    use crate::x86::decode_one;
+
+    fn decode(buf: &[u8]) -> Op {
+        decode_one(buf, 0x1000).expect("decodes").op
+    }
+
+    #[test]
+    fn push_pop_round_trip() {
+        for r in (0..16).map(Reg) {
+            if !r.is_gpr() {
+                continue;
+            }
+            let mut b = vec![];
+            push_r(&mut b, r);
+            assert_eq!(decode(&b), Op::Push { src: Value::Reg(r) }, "push {r}");
+            let mut b = vec![];
+            pop_r(&mut b, r);
+            assert_eq!(decode(&b), Op::Pop { dst: Place::Reg(r) }, "pop {r}");
+        }
+    }
+
+    #[test]
+    fn mov_rr_round_trip() {
+        for d in [Reg::RAX, Reg::RSP, Reg::R8, Reg::R15] {
+            for s in [Reg::RBP, Reg::RDI, Reg::R12] {
+                let mut b = vec![];
+                mov_rr(&mut b, d, s);
+                assert_eq!(
+                    decode(&b),
+                    Op::Mov { dst: Place::Reg(d), src: Value::Reg(s), width: 8, sign_extend: false }
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mem_forms_round_trip() {
+        let cases = [
+            MemRef::base_disp(Reg::RDI, 0),
+            MemRef::base_disp(Reg::RBP, -8), // forces disp8 (mod00 rm101 is RIP)
+            MemRef::base_disp(Reg::R13, 0),  // same for r13
+            MemRef::base_disp(Reg::RSP, 16), // forces SIB
+            MemRef::base_disp(Reg::R12, 0),  // same for r12
+            MemRef::base_disp(Reg::RAX, 0x1234),
+            MemRef::base_index(Some(Reg::RBX), Reg::RCX, 8, 0),
+            MemRef::base_index(Some(Reg::R9), Reg::R10, 4, -32),
+            MemRef::base_index(None, Reg::RAX, 8, 0x601000),
+            MemRef { base: None, index: None, scale: 1, disp: 0x402000, rip_based: false },
+        ];
+        for m in cases {
+            let mut b = vec![];
+            mov_load(&mut b, Reg::RAX, &m, 8);
+            match decode(&b) {
+                Op::Mov { src: Value::Mem(got, 8), .. } => {
+                    assert_eq!(got.base, m.base, "{m:?}");
+                    assert_eq!(got.index, m.index, "{m:?}");
+                    if got.index.is_some() {
+                        assert_eq!(got.scale, m.scale, "{m:?}");
+                    }
+                    assert_eq!(got.disp, m.disp, "{m:?}");
+                }
+                other => panic!("bad decode of {m:?}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lea_rip_patching() {
+        let mut b = vec![];
+        let site = lea_rip(&mut b, Reg::RDX);
+        // Append 3 nops, then "place the target" right after them.
+        nop_pad(&mut b, 3);
+        let target = b.len();
+        patch_rel32(&mut b, site, target);
+        // Decoding at base 0x400000: absolute = 0x400000 + target.
+        let i = decode_one(&b, 0x400000).unwrap();
+        assert_eq!(
+            i.op,
+            Op::Lea { dst: Reg::RDX, mem: MemRef::absolute(0x400000 + target as u64) }
+        );
+    }
+
+    #[test]
+    fn branch_patching() {
+        let mut b = vec![];
+        let j = jmp_rel32(&mut b);
+        nop_pad(&mut b, 7);
+        let target = b.len();
+        ret(&mut b);
+        patch_rel32(&mut b, j, target);
+        let i = decode_one(&b, 0x5000).unwrap();
+        assert_eq!(i.op, Op::Jmp { target: 0x5000 + target as u64 });
+    }
+
+    #[test]
+    fn jcc_all_conditions_round_trip() {
+        for cc in 0..16u8 {
+            let Some(cond) = Cond::from_x86_cc(cc) else { continue };
+            let mut b = vec![];
+            let site = jcc_rel32(&mut b, cond);
+            patch_rel32(&mut b, site, 0x40);
+            match decode(&b) {
+                Op::Jcc { cond: got, target } => {
+                    assert_eq!(got, cond);
+                    assert_eq!(target, 0x1000 + 0x40);
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn alu_forms_round_trip() {
+        use AluKind::*;
+        for kind in [Add, Sub, And, Or, Xor] {
+            let mut b = vec![];
+            alu_rr(&mut b, kind, Reg::RAX, Reg::R11);
+            match decode(&b) {
+                Op::Alu { kind: k, dst: Place::Reg(Reg::RAX), src: Value::Reg(Reg::R11), width: 8 } => {
+                    assert_eq!(k, kind)
+                }
+                other => panic!("{other:?}"),
+            }
+            for imm in [1i32, -1, 127, 128, -129, 0x7fff_ffff] {
+                let mut b = vec![];
+                alu_ri(&mut b, kind, Reg::RDX, imm);
+                match decode(&b) {
+                    Op::Alu { kind: k, dst: Place::Reg(Reg::RDX), src: Value::Imm(v), width: 8 } => {
+                        assert_eq!((k, v), (kind, imm as i64))
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+        }
+        let mut b = vec![];
+        alu_rr(&mut b, Imul, Reg::RCX, Reg::RDI);
+        match decode(&b) {
+            Op::Alu { kind: Imul, dst: Place::Reg(Reg::RCX), src: Value::Reg(Reg::RDI), .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn cmp_test_shift_round_trip() {
+        let mut b = vec![];
+        cmp_ri(&mut b, Reg::RSI, 42);
+        assert_eq!(decode(&b), Op::Cmp { a: Value::Reg(Reg::RSI), b: Value::Imm(42), width: 8 });
+
+        let mut b = vec![];
+        cmp_rr(&mut b, Reg::RAX, Reg::RBX);
+        assert_eq!(decode(&b), Op::Cmp { a: Value::Reg(Reg::RAX), b: Value::Reg(Reg::RBX), width: 8 });
+
+        let mut b = vec![];
+        test_rr(&mut b, Reg::RDI, Reg::RDI);
+        assert_eq!(decode(&b), Op::Test { a: Value::Reg(Reg::RDI), b: Value::Reg(Reg::RDI), width: 8 });
+
+        for kind in [ShiftKind::Shl, ShiftKind::Shr, ShiftKind::Sar] {
+            let mut b = vec![];
+            shift_ri(&mut b, kind, Reg::R9, 3);
+            match decode(&b) {
+                Op::Shift { kind: k, dst: Place::Reg(Reg::R9), amount: Value::Imm(3), width: 8 } => {
+                    assert_eq!(k, kind)
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn indirect_round_trip() {
+        let mut b = vec![];
+        jmp_ind_reg(&mut b, Reg::R11);
+        assert_eq!(decode(&b), Op::JmpInd { src: Value::Reg(Reg::R11) });
+
+        let mut b = vec![];
+        call_ind_reg(&mut b, Reg::RAX);
+        assert_eq!(decode(&b), Op::CallInd { src: Value::Reg(Reg::RAX) });
+
+        let m = MemRef::base_index(None, Reg::RDX, 8, 0x700000);
+        let mut b = vec![];
+        jmp_ind_mem(&mut b, &m);
+        match decode(&b) {
+            Op::JmpInd { src: Value::Mem(got, 8) } => {
+                assert_eq!(got.index, Some(Reg::RDX));
+                assert_eq!(got.scale, 8);
+                assert_eq!(got.disp, 0x700000);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn movsxd_round_trip() {
+        let m = MemRef::base_index(Some(Reg::RDI), Reg::RAX, 4, 0);
+        let mut b = vec![];
+        movsxd(&mut b, Reg::RAX, &m);
+        assert_eq!(
+            decode(&b),
+            Op::Mov {
+                dst: Place::Reg(Reg::RAX),
+                src: Value::Mem(m, 4),
+                width: 4,
+                sign_extend: true
+            }
+        );
+    }
+
+    #[test]
+    fn nop_pad_decodes_to_nops_exactly() {
+        for n in 1..=23 {
+            let mut b = vec![];
+            nop_pad(&mut b, n);
+            assert_eq!(b.len(), n);
+            let mut at = 0usize;
+            while at < b.len() {
+                let i = decode_one(&b[at..], at as u64).unwrap();
+                assert_eq!(i.op, Op::Nop);
+                at += i.len as usize;
+            }
+            assert_eq!(at, n);
+        }
+    }
+
+    #[test]
+    fn mov_imm_round_trip() {
+        let mut b = vec![];
+        mov_ri32(&mut b, Reg::R10, 0xDEAD_BEEF);
+        assert_eq!(
+            decode(&b),
+            Op::Mov {
+                dst: Place::Reg(Reg::R10),
+                src: Value::Imm(0xDEAD_BEEF),
+                width: 4,
+                sign_extend: false
+            }
+        );
+        let mut b = vec![];
+        mov_ri64(&mut b, Reg::RBX, 0x1234_5678_9ABC_DEF0);
+        assert_eq!(
+            decode(&b),
+            Op::Mov {
+                dst: Place::Reg(Reg::RBX),
+                src: Value::Imm(0x1234_5678_9ABC_DEF0u64 as i64),
+                width: 8,
+                sign_extend: false
+            }
+        );
+    }
+}

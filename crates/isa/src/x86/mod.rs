@@ -1,0 +1,889 @@
+//! From-scratch x86-64 decoder for the compiler-generated subset.
+//!
+//! Coverage is driven by what GCC/Clang emit for integer code — the same
+//! scoping decision Dyninst's CFG parser effectively makes (floating
+//! point/SIMD instructions never terminate blocks and contribute nothing
+//! to jump-table slices, so they may decode to [`Op::Other`]):
+//!
+//! * prefixes: REX (all bits), `66` operand-size, `F3` (as part of
+//!   `endbr64`), full ModRM/SIB including RIP-relative and no-base/no-index
+//!   forms;
+//! * data movement: `mov` (reg/mem/imm, 8/32/64-bit), `movsxd`, `movzx`,
+//!   `lea`;
+//! * ALU: `add sub and or xor cmp test imul`, immediate group 1
+//!   (`81`/`83`), shifts (`shl shr sar`), `inc dec`;
+//! * stack: `push pop leave`;
+//! * control flow: `jmp` (rel8/rel32/indirect), `jcc` (rel8/rel32),
+//!   `call` (rel32/indirect), `ret`, `ud2`, `hlt`, `int3`, `endbr64`,
+//!   single- and multi-byte `nop`.
+//!
+//! The companion [`encode`] module is the inverse function used by the
+//! workload generator; `proptest` round-trips every form through both.
+
+pub mod encode;
+
+use crate::insn::{AluKind, Cond, Insn, MemRef, Op, Place, ShiftKind, Value};
+use crate::reg::Reg;
+use crate::{Arch, DecodeError, Decoder};
+
+/// Decoded REX prefix bits (all zero when absent).
+#[derive(Clone, Copy, Default)]
+struct Rex {
+    w: bool,
+    r: u8,
+    x: u8,
+    b: u8,
+}
+
+/// The register-or-memory half of a ModRM operand.
+enum Rm {
+    R(Reg),
+    M(MemRef),
+}
+
+/// Result of ModRM/SIB decoding: `reg` field, r/m operand, bytes consumed
+/// (ModRM + SIB + displacement).
+struct ModRm {
+    reg: u8,
+    rm: Rm,
+    consumed: usize,
+}
+
+fn byte(code: &[u8], i: usize) -> Result<u8, DecodeError> {
+    code.get(i).copied().ok_or(DecodeError::Truncated)
+}
+
+fn imm8(code: &[u8], i: usize) -> Result<i64, DecodeError> {
+    Ok(byte(code, i)? as i8 as i64)
+}
+
+fn imm32(code: &[u8], i: usize) -> Result<i64, DecodeError> {
+    let b = code.get(i..i + 4).ok_or(DecodeError::Truncated)?;
+    Ok(i32::from_le_bytes(b.try_into().unwrap()) as i64)
+}
+
+fn imm64(code: &[u8], i: usize) -> Result<i64, DecodeError> {
+    let b = code.get(i..i + 8).ok_or(DecodeError::Truncated)?;
+    Ok(i64::from_le_bytes(b.try_into().unwrap()))
+}
+
+/// Decode a ModRM byte (and any SIB/displacement) starting at `code[at]`.
+///
+/// RIP-relative operands are returned with `rip_based == true` and the raw
+/// *relative* displacement in `disp`; [`resolve_rip`] rewrites them to
+/// absolute once the total instruction length is known.
+fn decode_modrm(code: &[u8], at: usize, rex: Rex) -> Result<ModRm, DecodeError> {
+    let modrm = byte(code, at)?;
+    let mod_ = modrm >> 6;
+    let reg = ((modrm >> 3) & 7) | (rex.r << 3);
+    let rm_bits = modrm & 7;
+
+    if mod_ == 3 {
+        return Ok(ModRm { reg, rm: Rm::R(Reg(rm_bits | (rex.b << 3))), consumed: 1 });
+    }
+
+    let mut consumed = 1usize;
+    let mut base: Option<Reg> = None;
+    let mut index: Option<Reg> = None;
+    let mut scale = 1u8;
+    let mut rip_based = false;
+    let mut need_disp32_for_base = false;
+
+    if rm_bits == 4 {
+        // SIB byte follows.
+        let sib = byte(code, at + 1)?;
+        consumed += 1;
+        let ss = sib >> 6;
+        let idx_bits = (sib >> 3) & 7;
+        let base_bits = sib & 7;
+        // index == 100b with REX.X == 0 means "no index"; with REX.X it is r12.
+        if !(idx_bits == 4 && rex.x == 0) {
+            index = Some(Reg(idx_bits | (rex.x << 3)));
+            scale = 1 << ss;
+        }
+        if base_bits == 5 && mod_ == 0 {
+            // No base register; disp32 follows.
+            need_disp32_for_base = true;
+        } else {
+            base = Some(Reg(base_bits | (rex.b << 3)));
+        }
+    } else if rm_bits == 5 && mod_ == 0 {
+        // RIP-relative: disp32 follows.
+        rip_based = true;
+    } else {
+        base = Some(Reg(rm_bits | (rex.b << 3)));
+    }
+
+    let disp = match mod_ {
+        0 if rip_based || need_disp32_for_base => {
+            let d = imm32(code, at + consumed)?;
+            consumed += 4;
+            d
+        }
+        0 => 0,
+        1 => {
+            let d = imm8(code, at + consumed)?;
+            consumed += 1;
+            d
+        }
+        2 => {
+            let d = imm32(code, at + consumed)?;
+            consumed += 4;
+            d
+        }
+        _ => unreachable!(),
+    };
+
+    Ok(ModRm { reg, rm: Rm::M(MemRef { base, index, scale, disp, rip_based }), consumed })
+}
+
+/// Rewrite raw RIP-relative displacements to absolute addresses now that
+/// the instruction end address is known.
+fn resolve_rip_mem(m: MemRef, end: u64) -> MemRef {
+    if m.rip_based {
+        MemRef { disp: end.wrapping_add(m.disp as u64) as i64, ..m }
+    } else {
+        m
+    }
+}
+
+fn resolve_rip(op: Op, end: u64) -> Op {
+    let fix_v = |v: Value| match v {
+        Value::Mem(m, w) => Value::Mem(resolve_rip_mem(m, end), w),
+        other => other,
+    };
+    let fix_p = |p: Place| match p {
+        Place::Mem(m, w) => Place::Mem(resolve_rip_mem(m, end), w),
+        other => other,
+    };
+    match op {
+        Op::Mov { dst, src, width, sign_extend } => {
+            Op::Mov { dst: fix_p(dst), src: fix_v(src), width, sign_extend }
+        }
+        Op::Lea { dst, mem } => Op::Lea { dst, mem: resolve_rip_mem(mem, end) },
+        Op::Alu { kind, dst, src, width } => {
+            Op::Alu { kind, dst: fix_p(dst), src: fix_v(src), width }
+        }
+        Op::Shift { kind, dst, amount, width } => {
+            Op::Shift { kind, dst: fix_p(dst), amount: fix_v(amount), width }
+        }
+        Op::Cmp { a, b, width } => Op::Cmp { a: fix_v(a), b: fix_v(b), width },
+        Op::Test { a, b, width } => Op::Test { a: fix_v(a), b: fix_v(b), width },
+        Op::Push { src } => Op::Push { src: fix_v(src) },
+        Op::Pop { dst } => Op::Pop { dst: fix_p(dst) },
+        Op::JmpInd { src } => Op::JmpInd { src: fix_v(src) },
+        Op::CallInd { src } => Op::CallInd { src: fix_v(src) },
+        other => other,
+    }
+}
+
+fn rm_to_value(rm: Rm, width: u8) -> Value {
+    match rm {
+        Rm::R(r) => Value::Reg(r),
+        Rm::M(m) => Value::Mem(m, width),
+    }
+}
+
+fn rm_to_place(rm: Rm, width: u8) -> Place {
+    match rm {
+        Rm::R(r) => Place::Reg(r),
+        Rm::M(m) => Place::Mem(m, width),
+    }
+}
+
+/// The x86-64 decoder singleton.
+pub struct X86Decoder;
+
+impl Decoder for X86Decoder {
+    fn arch(&self) -> Arch {
+        Arch::X86_64
+    }
+
+    fn max_len(&self) -> usize {
+        15
+    }
+
+    fn decode(&self, code: &[u8], addr: u64) -> Result<Insn, DecodeError> {
+        decode_one(code, addr)
+    }
+}
+
+/// Decode one instruction at `addr` from `code[0..]`.
+pub fn decode_one(code: &[u8], addr: u64) -> Result<Insn, DecodeError> {
+    let mut i = 0usize;
+    let mut rex = Rex::default();
+    let mut opsize16 = false;
+    let mut rep = false;
+
+    // Prefix scan. Compiler output uses at most a few prefixes; cap at 4 to
+    // refuse pathological streams.
+    for _ in 0..4 {
+        match byte(code, i)? {
+            b @ 0x40..=0x4F => {
+                rex = Rex { w: b & 8 != 0, r: (b >> 2) & 1, x: (b >> 1) & 1, b: b & 1 };
+                i += 1;
+                // REX must be the last prefix before the opcode.
+                break;
+            }
+            0x66 => {
+                opsize16 = true;
+                i += 1;
+            }
+            0xF3 => {
+                rep = true;
+                i += 1;
+            }
+            _ => break,
+        }
+    }
+
+    let width: u8 = if rex.w {
+        8
+    } else if opsize16 {
+        2
+    } else {
+        4
+    };
+
+    let opcode = byte(code, i)?;
+    i += 1;
+
+    // Helper to finish construction.
+    let finish = |op: Op, len: usize| -> Result<Insn, DecodeError> {
+        let len = len as u8;
+        let end = addr + len as u64;
+        Ok(Insn { addr, len, op: resolve_rip(op, end) })
+    };
+
+    match opcode {
+        // ---- two-byte opcodes ----
+        0x0F => {
+            let op2 = byte(code, i)?;
+            i += 1;
+            match op2 {
+                0x0B => finish(Op::Ud2, i),
+                0x1E if rep => {
+                    // F3 0F 1E FA = endbr64
+                    if byte(code, i)? == 0xFA {
+                        finish(Op::Endbr, i + 1)
+                    } else {
+                        Err(DecodeError::Unsupported { addr, byte: op2 })
+                    }
+                }
+                0x1F => {
+                    // Multi-byte NOP: 0F 1F /0
+                    let m = decode_modrm(code, i, rex)?;
+                    finish(Op::Nop, i + m.consumed)
+                }
+                0x80..=0x8F => {
+                    // jcc rel32
+                    let rel = imm32(code, i)?;
+                    i += 4;
+                    let cond = Cond::from_x86_cc(op2 & 0xF)
+                        .ok_or(DecodeError::Unsupported { addr, byte: op2 })?;
+                    let target = (addr + i as u64).wrapping_add(rel as u64);
+                    finish(Op::Jcc { cond, target }, i)
+                }
+                0xAF => {
+                    // imul r, r/m
+                    let m = decode_modrm(code, i, rex)?;
+                    i += m.consumed;
+                    finish(
+                        Op::Alu {
+                            kind: AluKind::Imul,
+                            dst: Place::Reg(Reg(m.reg)),
+                            src: rm_to_value(m.rm, width),
+                            width,
+                        },
+                        i,
+                    )
+                }
+                0xB6 | 0xB7 => {
+                    // movzx r, r/m8 / r/m16 — zero extension, model as Mov.
+                    let src_w = if op2 == 0xB6 { 1 } else { 2 };
+                    let m = decode_modrm(code, i, rex)?;
+                    i += m.consumed;
+                    finish(
+                        Op::Mov {
+                            dst: Place::Reg(Reg(m.reg)),
+                            src: rm_to_value(m.rm, src_w),
+                            width: src_w,
+                            sign_extend: false,
+                        },
+                        i,
+                    )
+                }
+                0xBE | 0xBF => {
+                    // movsx r, r/m8 / r/m16
+                    let src_w = if op2 == 0xBE { 1 } else { 2 };
+                    let m = decode_modrm(code, i, rex)?;
+                    i += m.consumed;
+                    finish(
+                        Op::Mov {
+                            dst: Place::Reg(Reg(m.reg)),
+                            src: rm_to_value(m.rm, src_w),
+                            width: src_w,
+                            sign_extend: true,
+                        },
+                        i,
+                    )
+                }
+                _ => Err(DecodeError::Unsupported { addr, byte: op2 }),
+            }
+        }
+
+        // ---- ALU r/m, r and r, r/m forms ----
+        0x01 | 0x09 | 0x21 | 0x29 | 0x31 | 0x39 => {
+            let kind = match opcode {
+                0x01 => AluKind::Add,
+                0x09 => AluKind::Or,
+                0x21 => AluKind::And,
+                0x29 => AluKind::Sub,
+                0x31 => AluKind::Xor,
+                _ => AluKind::Sub, // 0x39 cmp handled below
+            };
+            let m = decode_modrm(code, i, rex)?;
+            i += m.consumed;
+            if opcode == 0x39 {
+                finish(
+                    Op::Cmp {
+                        a: rm_to_value(m.rm, width),
+                        b: Value::Reg(Reg(m.reg)),
+                        width,
+                    },
+                    i,
+                )
+            } else {
+                finish(
+                    Op::Alu {
+                        kind,
+                        dst: rm_to_place(m.rm, width),
+                        src: Value::Reg(Reg(m.reg)),
+                        width,
+                    },
+                    i,
+                )
+            }
+        }
+        0x03 | 0x0B_u8 | 0x23 | 0x2B | 0x33 | 0x3B => {
+            let m = decode_modrm(code, i, rex)?;
+            i += m.consumed;
+            if opcode == 0x3B {
+                finish(
+                    Op::Cmp {
+                        a: Value::Reg(Reg(m.reg)),
+                        b: rm_to_value(m.rm, width),
+                        width,
+                    },
+                    i,
+                )
+            } else {
+                let kind = match opcode {
+                    0x03 => AluKind::Add,
+                    0x0B => AluKind::Or,
+                    0x23 => AluKind::And,
+                    0x2B => AluKind::Sub,
+                    _ => AluKind::Xor,
+                };
+                finish(
+                    Op::Alu {
+                        kind,
+                        dst: Place::Reg(Reg(m.reg)),
+                        src: rm_to_value(m.rm, width),
+                        width,
+                    },
+                    i,
+                )
+            }
+        }
+
+        // push/pop r64
+        0x50..=0x57 => {
+            let r = Reg((opcode - 0x50) | (rex.b << 3));
+            finish(Op::Push { src: Value::Reg(r) }, i)
+        }
+        0x58..=0x5F => {
+            let r = Reg((opcode - 0x58) | (rex.b << 3));
+            finish(Op::Pop { dst: Place::Reg(r) }, i)
+        }
+
+        // movsxd r64, r/m32
+        0x63 => {
+            let m = decode_modrm(code, i, rex)?;
+            i += m.consumed;
+            finish(
+                Op::Mov {
+                    dst: Place::Reg(Reg(m.reg)),
+                    src: rm_to_value(m.rm, 4),
+                    width: 4,
+                    sign_extend: true,
+                },
+                i,
+            )
+        }
+
+        // push imm32 / imm8
+        0x68 => {
+            let v = imm32(code, i)?;
+            finish(Op::Push { src: Value::Imm(v) }, i + 4)
+        }
+        0x6A => {
+            let v = imm8(code, i)?;
+            finish(Op::Push { src: Value::Imm(v) }, i + 1)
+        }
+
+        // jcc rel8
+        0x70..=0x7F => {
+            let rel = imm8(code, i)?;
+            i += 1;
+            let cond = Cond::from_x86_cc(opcode & 0xF)
+                .ok_or(DecodeError::Unsupported { addr, byte: opcode })?;
+            let target = (addr + i as u64).wrapping_add(rel as u64);
+            finish(Op::Jcc { cond, target }, i)
+        }
+
+        // group 1: ALU r/m, imm
+        0x81 | 0x83 => {
+            let m = decode_modrm(code, i, rex)?;
+            i += m.consumed;
+            let imm = if opcode == 0x81 {
+                let v = imm32(code, i)?;
+                i += 4;
+                v
+            } else {
+                let v = imm8(code, i)?;
+                i += 1;
+                v
+            };
+            let op = match m.reg & 7 {
+                0 => Op::Alu { kind: AluKind::Add, dst: rm_to_place(m.rm, width), src: Value::Imm(imm), width },
+                1 => Op::Alu { kind: AluKind::Or, dst: rm_to_place(m.rm, width), src: Value::Imm(imm), width },
+                4 => Op::Alu { kind: AluKind::And, dst: rm_to_place(m.rm, width), src: Value::Imm(imm), width },
+                5 => Op::Alu { kind: AluKind::Sub, dst: rm_to_place(m.rm, width), src: Value::Imm(imm), width },
+                6 => Op::Alu { kind: AluKind::Xor, dst: rm_to_place(m.rm, width), src: Value::Imm(imm), width },
+                7 => Op::Cmp { a: rm_to_value(m.rm, width), b: Value::Imm(imm), width },
+                _ => return Err(DecodeError::Unsupported { addr, byte: opcode }),
+            };
+            finish(op, i)
+        }
+
+        // test r/m, r
+        0x85 => {
+            let m = decode_modrm(code, i, rex)?;
+            i += m.consumed;
+            finish(
+                Op::Test { a: rm_to_value(m.rm, width), b: Value::Reg(Reg(m.reg)), width },
+                i,
+            )
+        }
+
+        // mov r/m, r and mov r, r/m
+        0x89 => {
+            let m = decode_modrm(code, i, rex)?;
+            i += m.consumed;
+            finish(
+                Op::Mov {
+                    dst: rm_to_place(m.rm, width),
+                    src: Value::Reg(Reg(m.reg)),
+                    width,
+                    sign_extend: false,
+                },
+                i,
+            )
+        }
+        0x8B => {
+            let m = decode_modrm(code, i, rex)?;
+            i += m.consumed;
+            finish(
+                Op::Mov {
+                    dst: Place::Reg(Reg(m.reg)),
+                    src: rm_to_value(m.rm, width),
+                    width,
+                    sign_extend: false,
+                },
+                i,
+            )
+        }
+
+        // lea r, m
+        0x8D => {
+            let m = decode_modrm(code, i, rex)?;
+            i += m.consumed;
+            match m.rm {
+                Rm::M(mem) => finish(Op::Lea { dst: Reg(m.reg), mem }, i),
+                Rm::R(_) => Err(DecodeError::Unsupported { addr, byte: opcode }),
+            }
+        }
+
+        // nop
+        0x90 => finish(Op::Nop, i),
+
+        // mov r, imm32/imm64
+        0xB8..=0xBF => {
+            let r = Reg((opcode - 0xB8) | (rex.b << 3));
+            if rex.w {
+                let v = imm64(code, i)?;
+                finish(
+                    Op::Mov { dst: Place::Reg(r), src: Value::Imm(v), width: 8, sign_extend: false },
+                    i + 8,
+                )
+            } else {
+                // mov r32, imm32 zero-extends.
+                let v = imm32(code, i)? as u32 as i64;
+                finish(
+                    Op::Mov { dst: Place::Reg(r), src: Value::Imm(v), width: 4, sign_extend: false },
+                    i + 4,
+                )
+            }
+        }
+
+        // shift group 2 with imm8
+        0xC1 => {
+            let m = decode_modrm(code, i, rex)?;
+            i += m.consumed;
+            let amt = imm8(code, i)?;
+            i += 1;
+            let kind = match m.reg & 7 {
+                4 => ShiftKind::Shl,
+                5 => ShiftKind::Shr,
+                7 => ShiftKind::Sar,
+                _ => return Err(DecodeError::Unsupported { addr, byte: opcode }),
+            };
+            finish(
+                Op::Shift { kind, dst: rm_to_place(m.rm, width), amount: Value::Imm(amt), width },
+                i,
+            )
+        }
+
+        // ret (with and without pop count)
+        0xC2 => {
+            let _pop = code.get(i..i + 2).ok_or(DecodeError::Truncated)?;
+            finish(Op::Ret, i + 2)
+        }
+        0xC3 => finish(Op::Ret, i),
+
+        // mov r/m, imm32
+        0xC7 => {
+            let m = decode_modrm(code, i, rex)?;
+            i += m.consumed;
+            let v = imm32(code, i)?;
+            i += 4;
+            finish(
+                Op::Mov { dst: rm_to_place(m.rm, width), src: Value::Imm(v), width, sign_extend: false },
+                i,
+            )
+        }
+
+        0xC9 => finish(Op::Leave, i),
+        0xCC => finish(Op::Int3, i),
+
+        // call rel32
+        0xE8 => {
+            let rel = imm32(code, i)?;
+            i += 4;
+            let target = (addr + i as u64).wrapping_add(rel as u64);
+            finish(Op::Call { target }, i)
+        }
+        // jmp rel32 / rel8
+        0xE9 => {
+            let rel = imm32(code, i)?;
+            i += 4;
+            let target = (addr + i as u64).wrapping_add(rel as u64);
+            finish(Op::Jmp { target }, i)
+        }
+        0xEB => {
+            let rel = imm8(code, i)?;
+            i += 1;
+            let target = (addr + i as u64).wrapping_add(rel as u64);
+            finish(Op::Jmp { target }, i)
+        }
+
+        0xF4 => finish(Op::Hlt, i),
+
+        // group 5: inc/dec/call/jmp/push r/m
+        0xFF => {
+            let m = decode_modrm(code, i, rex)?;
+            i += m.consumed;
+            match m.reg & 7 {
+                0 => finish(
+                    Op::Alu { kind: AluKind::Add, dst: rm_to_place(m.rm, width), src: Value::Imm(1), width },
+                    i,
+                ),
+                1 => finish(
+                    Op::Alu { kind: AluKind::Sub, dst: rm_to_place(m.rm, width), src: Value::Imm(1), width },
+                    i,
+                ),
+                2 => finish(Op::CallInd { src: rm_to_value(m.rm, 8) }, i),
+                4 => finish(Op::JmpInd { src: rm_to_value(m.rm, 8) }, i),
+                6 => finish(Op::Push { src: rm_to_value(m.rm, 8) }, i),
+                _ => Err(DecodeError::Unsupported { addr, byte: opcode }),
+            }
+        }
+
+        other => Err(DecodeError::Unsupported { addr, byte: other }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::ControlFlow;
+
+    fn dec(bytes: &[u8], addr: u64) -> Insn {
+        decode_one(bytes, addr).unwrap_or_else(|e| panic!("decode {bytes:02x?}: {e}"))
+    }
+
+    #[test]
+    fn simple_ops() {
+        assert_eq!(dec(&[0x90], 0).op, Op::Nop);
+        assert_eq!(dec(&[0xC3], 0).op, Op::Ret);
+        assert_eq!(dec(&[0xC9], 0).op, Op::Leave);
+        assert_eq!(dec(&[0x0F, 0x0B], 0).op, Op::Ud2);
+        assert_eq!(dec(&[0xF4], 0).op, Op::Hlt);
+        assert_eq!(dec(&[0xCC], 0).op, Op::Int3);
+        assert_eq!(dec(&[0xF3, 0x0F, 0x1E, 0xFA], 0).op, Op::Endbr);
+    }
+
+    #[test]
+    fn push_pop_rex() {
+        assert_eq!(dec(&[0x55], 0).op, Op::Push { src: Value::Reg(Reg::RBP) });
+        assert_eq!(dec(&[0x41, 0x57], 0).op, Op::Push { src: Value::Reg(Reg::R15) });
+        assert_eq!(dec(&[0x5D], 0).op, Op::Pop { dst: Place::Reg(Reg::RBP) });
+        assert_eq!(dec(&[0x41, 0x5C], 0).op, Op::Pop { dst: Place::Reg(Reg::R12) });
+    }
+
+    #[test]
+    fn mov_rr_64() {
+        // 48 89 E5 = mov rbp, rsp
+        let i = dec(&[0x48, 0x89, 0xE5], 0);
+        assert_eq!(
+            i.op,
+            Op::Mov {
+                dst: Place::Reg(Reg::RBP),
+                src: Value::Reg(Reg::RSP),
+                width: 8,
+                sign_extend: false
+            }
+        );
+    }
+
+    #[test]
+    fn mov_load_base_disp() {
+        // 48 8B 47 10 = mov rax, [rdi+0x10]
+        let i = dec(&[0x48, 0x8B, 0x47, 0x10], 0);
+        assert_eq!(
+            i.op,
+            Op::Mov {
+                dst: Place::Reg(Reg::RAX),
+                src: Value::Mem(MemRef::base_disp(Reg::RDI, 0x10), 8),
+                width: 8,
+                sign_extend: false
+            }
+        );
+    }
+
+    #[test]
+    fn mov_imm64() {
+        // 48 B8 imm64 = movabs rax, 0x1122334455667788
+        let mut b = vec![0x48, 0xB8];
+        b.extend_from_slice(&0x1122334455667788u64.to_le_bytes());
+        let i = dec(&b, 0);
+        assert_eq!(
+            i.op,
+            Op::Mov {
+                dst: Place::Reg(Reg::RAX),
+                src: Value::Imm(0x1122334455667788),
+                width: 8,
+                sign_extend: false
+            }
+        );
+        assert_eq!(i.len, 10);
+    }
+
+    #[test]
+    fn rel_branches_compute_absolute_targets() {
+        // EB 05 at 0x1000 -> target 0x1007
+        let i = dec(&[0xEB, 0x05], 0x1000);
+        assert_eq!(i.control_flow(), ControlFlow::Branch { target: 0x1007 });
+        // E9 rel32 backwards
+        let mut b = vec![0xE9];
+        b.extend_from_slice(&(-0x10i32).to_le_bytes());
+        let i = dec(&b, 0x2000);
+        assert_eq!(i.control_flow(), ControlFlow::Branch { target: 0x2005 - 0x10 });
+        // E8 rel32 call
+        let mut b = vec![0xE8];
+        b.extend_from_slice(&0x100i32.to_le_bytes());
+        let i = dec(&b, 0x3000);
+        assert_eq!(i.control_flow(), ControlFlow::Call { target: 0x3105 });
+    }
+
+    #[test]
+    fn jcc_forms() {
+        // 74 02 = je +2
+        let i = dec(&[0x74, 0x02], 0x100);
+        assert_eq!(i.op, Op::Jcc { cond: Cond::E, target: 0x104 });
+        // 0F 87 rel32 = ja
+        let mut b = vec![0x0F, 0x87];
+        b.extend_from_slice(&8i32.to_le_bytes());
+        let i = dec(&b, 0x100);
+        assert_eq!(i.op, Op::Jcc { cond: Cond::A, target: 0x10E });
+    }
+
+    #[test]
+    fn rip_relative_lea_is_absolute() {
+        // 48 8D 05 disp32 = lea rax, [rip+disp]
+        let mut b = vec![0x48, 0x8D, 0x05];
+        b.extend_from_slice(&0x20i32.to_le_bytes());
+        let i = dec(&b, 0x400000);
+        // end = 0x400007, so target = 0x400027
+        assert_eq!(
+            i.op,
+            Op::Lea { dst: Reg::RAX, mem: MemRef::absolute(0x400027) }
+        );
+    }
+
+    #[test]
+    fn jump_table_load_sib() {
+        // 8B 04 B8 = mov eax, [rax + rdi*4]
+        let i = dec(&[0x8B, 0x04, 0xB8], 0);
+        assert_eq!(
+            i.op,
+            Op::Mov {
+                dst: Place::Reg(Reg::RAX),
+                src: Value::Mem(MemRef::base_index(Some(Reg::RAX), Reg::RDI, 4, 0), 4),
+                width: 4,
+                sign_extend: false
+            }
+        );
+    }
+
+    #[test]
+    fn indirect_jump_through_table() {
+        // FF 24 C5 disp32 = jmp [rax*8 + disp32]
+        let mut b = vec![0xFF, 0x24, 0xC5];
+        b.extend_from_slice(&0x601000i32.to_le_bytes());
+        let i = dec(&b, 0);
+        match i.op {
+            Op::JmpInd { src: Value::Mem(m, 8) } => {
+                assert_eq!(m.base, None);
+                assert_eq!(m.index, Some(Reg::RAX));
+                assert_eq!(m.scale, 8);
+                assert_eq!(m.disp, 0x601000);
+            }
+            other => panic!("bad decode: {other:?}"),
+        }
+        assert_eq!(i.control_flow(), ControlFlow::IndirectBranch);
+    }
+
+    #[test]
+    fn indirect_jump_register() {
+        // FF E0 = jmp rax
+        let i = dec(&[0xFF, 0xE0], 0);
+        assert_eq!(i.op, Op::JmpInd { src: Value::Reg(Reg::RAX) });
+        // 41 FF E3 = jmp r11
+        let i = dec(&[0x41, 0xFF, 0xE3], 0);
+        assert_eq!(i.op, Op::JmpInd { src: Value::Reg(Reg::R11) });
+    }
+
+    #[test]
+    fn movsxd_table_entry() {
+        // 48 63 04 87 = movsxd rax, dword [rdi + rax*4]
+        let i = dec(&[0x48, 0x63, 0x04, 0x87], 0);
+        assert_eq!(
+            i.op,
+            Op::Mov {
+                dst: Place::Reg(Reg::RAX),
+                src: Value::Mem(MemRef::base_index(Some(Reg::RDI), Reg::RAX, 4, 0), 4),
+                width: 4,
+                sign_extend: true
+            }
+        );
+    }
+
+    #[test]
+    fn group1_alu_imm() {
+        // 48 83 EC 20 = sub rsp, 0x20
+        let i = dec(&[0x48, 0x83, 0xEC, 0x20], 0);
+        assert_eq!(
+            i.op,
+            Op::Alu {
+                kind: AluKind::Sub,
+                dst: Place::Reg(Reg::RSP),
+                src: Value::Imm(0x20),
+                width: 8
+            }
+        );
+        // 48 81 C4 00 01 00 00 = add rsp, 0x100
+        let mut b = vec![0x48, 0x81, 0xC4];
+        b.extend_from_slice(&0x100i32.to_le_bytes());
+        let i = dec(&b, 0);
+        assert_eq!(
+            i.op,
+            Op::Alu {
+                kind: AluKind::Add,
+                dst: Place::Reg(Reg::RSP),
+                src: Value::Imm(0x100),
+                width: 8
+            }
+        );
+        // 48 83 F8 05 = cmp rax, 5
+        let i = dec(&[0x48, 0x83, 0xF8, 0x05], 0);
+        assert_eq!(i.op, Op::Cmp { a: Value::Reg(Reg::RAX), b: Value::Imm(5), width: 8 });
+    }
+
+    #[test]
+    fn multibyte_nops() {
+        // 0F 1F 40 00 (4-byte nop), 0F 1F 44 00 00 (5-byte nop)
+        assert_eq!(dec(&[0x0F, 0x1F, 0x40, 0x00], 0).len, 4);
+        assert_eq!(dec(&[0x0F, 0x1F, 0x44, 0x00, 0x00], 0).len, 5);
+        assert_eq!(dec(&[0x0F, 0x1F, 0x44, 0x00, 0x00], 0).op, Op::Nop);
+    }
+
+    #[test]
+    fn truncated_and_unsupported() {
+        assert_eq!(decode_one(&[], 0), Err(DecodeError::Truncated));
+        assert_eq!(decode_one(&[0xE9, 0x01], 0), Err(DecodeError::Truncated));
+        assert!(matches!(
+            decode_one(&[0x06], 0),
+            Err(DecodeError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn call_indirect_register() {
+        // FF D0 = call rax
+        let i = dec(&[0xFF, 0xD0], 0);
+        assert_eq!(i.op, Op::CallInd { src: Value::Reg(Reg::RAX) });
+        assert_eq!(i.control_flow(), ControlFlow::IndirectCall);
+    }
+
+    #[test]
+    fn r13_base_needs_disp8() {
+        // 41 8B 45 00 = mov eax, [r13+0] (r13 base forces mod=01 disp8)
+        let i = dec(&[0x41, 0x8B, 0x45, 0x00], 0);
+        assert_eq!(
+            i.op,
+            Op::Mov {
+                dst: Place::Reg(Reg::RAX),
+                src: Value::Mem(MemRef::base_disp(Reg::R13, 0), 4),
+                width: 4,
+                sign_extend: false
+            }
+        );
+    }
+
+    #[test]
+    fn r12_index_via_rex_x() {
+        // 4A 8B 04 A3 = mov rax, [rbx + r12*4]
+        let i = dec(&[0x4A, 0x8B, 0x04, 0xA3], 0);
+        assert_eq!(
+            i.op,
+            Op::Mov {
+                dst: Place::Reg(Reg::RAX),
+                src: Value::Mem(MemRef::base_index(Some(Reg::RBX), Reg::R12, 4, 0), 8),
+                width: 8,
+                sign_extend: false
+            }
+        );
+    }
+}

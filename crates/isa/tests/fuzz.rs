@@ -1,0 +1,61 @@
+//! Robustness: the decoders must never panic, whatever bytes they see,
+//! and every successful decode must report a sane length. Binary
+//! analysis routinely lands mid-instruction (over-approximated jump
+//! tables do exactly that), so this is a load-bearing property, not
+//! hygiene.
+
+use pba_isa::{decoder_for, Arch};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1024))]
+
+    #[test]
+    fn x86_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..32), addr in any::<u32>()) {
+        let d = decoder_for(Arch::X86_64);
+        #[allow(clippy::single_match)]
+        match d.decode(&bytes, addr as u64) {
+            Ok(i) => {
+                prop_assert!(i.len >= 1);
+                prop_assert!(i.len as usize <= bytes.len());
+                prop_assert!(i.len as usize <= d.max_len());
+                prop_assert_eq!(i.addr, addr as u64);
+                // Derived queries must not panic either.
+                let _ = i.control_flow();
+                let _ = i.regs_read();
+                let _ = i.regs_written();
+                let _ = i.mnemonic();
+                let _ = i.is_frame_teardown();
+            }
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn rvlite_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..16), addr in any::<u32>()) {
+        let d = decoder_for(Arch::RvLite);
+        if let Ok(i) = d.decode(&bytes, addr as u64) {
+            prop_assert_eq!(i.len as usize, 8);
+            let _ = i.control_flow();
+            let _ = i.regs_read();
+            let _ = i.regs_written();
+        }
+    }
+
+    /// Linear decoding of arbitrary bytes always makes progress and
+    /// terminates (the parser's linear-parse loop depends on this).
+    #[test]
+    fn linear_walk_terminates(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let d = decoder_for(Arch::X86_64);
+        let mut at = 0usize;
+        let mut steps = 0usize;
+        while at < bytes.len() {
+            match d.decode(&bytes[at..], at as u64) {
+                Ok(i) => at += i.len as usize,
+                Err(_) => break,
+            }
+            steps += 1;
+            prop_assert!(steps <= bytes.len(), "no progress");
+        }
+    }
+}

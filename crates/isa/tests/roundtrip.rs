@@ -1,0 +1,194 @@
+//! Property tests: every form the encoder can produce decodes back to the
+//! same semantic operation, at the right length, from any load address.
+//!
+//! This is the contract the workload generator and the parser rely on: the
+//! bytes `pba-gen` emits must mean to the decoder exactly what the
+//! generator intended, or ground truth comparisons are meaningless.
+
+use pba_isa::insn::{AluKind, Cond, MemRef, Op, Place, ShiftKind, Value};
+use pba_isa::reg::Reg;
+use pba_isa::x86::{decode_one, encode};
+use proptest::prelude::*;
+
+fn arb_gpr() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg)
+}
+
+/// GPRs usable as an index register (RSP cannot be encoded as an index).
+fn arb_index() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_filter("rsp is not an index", |r| *r != 4).prop_map(Reg)
+}
+
+fn arb_scale() -> impl Strategy<Value = u8> {
+    prop::sample::select(vec![1u8, 2, 4, 8])
+}
+
+fn arb_disp() -> impl Strategy<Value = i64> {
+    prop_oneof![
+        Just(0i64),
+        (-128i64..128),
+        (-(1i64 << 31)..(1i64 << 31)),
+    ]
+}
+
+fn arb_mem() -> impl Strategy<Value = MemRef> {
+    (arb_gpr(), prop::option::of(arb_index()), arb_scale(), arb_disp()).prop_map(
+        |(base, index, scale, disp)| MemRef {
+            base: Some(base),
+            index,
+            scale: if index.is_some() { scale } else { 1 },
+            disp,
+            rip_based: false,
+        },
+    )
+}
+
+fn arb_addr() -> impl Strategy<Value = u64> {
+    prop_oneof![Just(0u64), Just(0x40_0000), any::<u32>().prop_map(|x| x as u64)]
+}
+
+/// Compare decoded memory operands, normalizing the don't-care scale of
+/// index-free operands.
+fn mem_eq(a: &MemRef, b: &MemRef) -> bool {
+    a.base == b.base
+        && a.index == b.index
+        && a.disp == b.disp
+        && (a.index.is_none() || a.scale == b.scale)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn mov_load_round_trips(dst in arb_gpr(), mem in arb_mem(), w in prop::sample::select(vec![4u8, 8]), addr in arb_addr()) {
+        let mut buf = vec![];
+        encode::mov_load(&mut buf, dst, &mem, w);
+        let i = decode_one(&buf, addr).unwrap();
+        prop_assert_eq!(i.len as usize, buf.len());
+        match i.op {
+            Op::Mov { dst: Place::Reg(d), src: Value::Mem(m, mw), width, sign_extend: false } => {
+                prop_assert_eq!(d, dst);
+                prop_assert!(mem_eq(&m, &mem), "{:?} != {:?}", m, mem);
+                prop_assert_eq!(mw, w);
+                prop_assert_eq!(width, w);
+            }
+            other => prop_assert!(false, "decoded {:?}", other),
+        }
+    }
+
+    #[test]
+    fn mov_store_round_trips(src in arb_gpr(), mem in arb_mem(), addr in arb_addr()) {
+        let mut buf = vec![];
+        encode::mov_store(&mut buf, &mem, src, 8);
+        let i = decode_one(&buf, addr).unwrap();
+        match i.op {
+            Op::Mov { dst: Place::Mem(m, 8), src: Value::Reg(s), .. } => {
+                prop_assert_eq!(s, src);
+                prop_assert!(mem_eq(&m, &mem));
+            }
+            other => prop_assert!(false, "decoded {:?}", other),
+        }
+    }
+
+    #[test]
+    fn lea_round_trips(dst in arb_gpr(), mem in arb_mem(), addr in arb_addr()) {
+        let mut buf = vec![];
+        encode::lea(&mut buf, dst, &mem);
+        let i = decode_one(&buf, addr).unwrap();
+        match i.op {
+            Op::Lea { dst: d, mem: m } => {
+                prop_assert_eq!(d, dst);
+                prop_assert!(mem_eq(&m, &mem));
+            }
+            other => prop_assert!(false, "decoded {:?}", other),
+        }
+    }
+
+    #[test]
+    fn alu_ri_round_trips(kind in prop::sample::select(vec![AluKind::Add, AluKind::Sub, AluKind::And, AluKind::Or, AluKind::Xor]),
+                          dst in arb_gpr(), imm in any::<i32>()) {
+        let mut buf = vec![];
+        encode::alu_ri(&mut buf, kind, dst, imm);
+        let i = decode_one(&buf, 0).unwrap();
+        match i.op {
+            Op::Alu { kind: k, dst: Place::Reg(d), src: Value::Imm(v), width: 8 } => {
+                prop_assert_eq!(k, kind);
+                prop_assert_eq!(d, dst);
+                prop_assert_eq!(v, imm as i64);
+            }
+            other => prop_assert!(false, "decoded {:?}", other),
+        }
+    }
+
+    #[test]
+    fn branch_patching_resolves(addr in arb_addr(), pad in 0usize..64, cc in 0u8..16) {
+        let Some(cond) = Cond::from_x86_cc(cc) else { return Ok(()); };
+        let mut buf = vec![];
+        let site = encode::jcc_rel32(&mut buf, cond);
+        encode::nop_pad(&mut buf, pad);
+        let target_off = buf.len();
+        encode::ret(&mut buf);
+        encode::patch_rel32(&mut buf, site, target_off);
+        let i = decode_one(&buf, addr).unwrap();
+        match i.op {
+            Op::Jcc { cond: c, target } => {
+                prop_assert_eq!(c, cond);
+                prop_assert_eq!(target, addr + target_off as u64);
+            }
+            other => prop_assert!(false, "decoded {:?}", other),
+        }
+    }
+
+    #[test]
+    fn linear_decode_of_random_straightline_code(ops in prop::collection::vec(0u8..6, 1..40), addr in arb_addr()) {
+        // Build a straight-line block from a menu of non-CTI instructions,
+        // then check a linear decode walk visits exactly the boundaries the
+        // encoder produced.
+        let mut buf = vec![];
+        let mut bounds = vec![];
+        for op in &ops {
+            bounds.push(buf.len());
+            match op {
+                0 => encode::push_r(&mut buf, Reg::RBP),
+                1 => encode::mov_rr(&mut buf, Reg::RBP, Reg::RSP),
+                2 => encode::alu_ri(&mut buf, AluKind::Sub, Reg::RSP, 32),
+                3 => encode::mov_ri32(&mut buf, Reg::RAX, 7),
+                4 => encode::shift_ri(&mut buf, ShiftKind::Shl, Reg::RAX, 2),
+                _ => encode::nop_pad(&mut buf, 5),
+            }
+        }
+        bounds.push(buf.len());
+        let mut at = 0usize;
+        let mut seen = vec![];
+        while at < buf.len() {
+            seen.push(at);
+            let i = decode_one(&buf[at..], addr + at as u64).unwrap();
+            prop_assert!(!i.is_cti());
+            at += i.len as usize;
+        }
+        seen.push(buf.len());
+        prop_assert_eq!(seen, bounds);
+    }
+}
+
+#[test]
+fn rvlite_program_round_trips() {
+    use pba_isa::rvlite::{self, encode as renc, ILEN};
+    let mut buf = vec![];
+    renc::movi(&mut buf, Reg(1), 5);
+    renc::cmpi(&mut buf, Reg(1), 10);
+    let b = renc::bcc(&mut buf, Cond::Ge);
+    renc::addi(&mut buf, Reg(1), 1);
+    let target = buf.len();
+    renc::ret(&mut buf);
+    renc::patch_rel32(&mut buf, b, target);
+
+    let mut at = 0;
+    let mut kinds = vec![];
+    while at < buf.len() {
+        let i = rvlite::decode_one(&buf[at..], at as u64).unwrap();
+        kinds.push(i.mnemonic());
+        at += ILEN;
+    }
+    assert_eq!(kinds, vec!["mov", "cmp", "jcc", "add", "ret"]);
+}

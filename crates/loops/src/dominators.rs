@@ -1,0 +1,187 @@
+//! Immediate dominators (Cooper-Harvey-Kennedy "A Simple, Fast Dominance
+//! Algorithm").
+
+use pba_dataflow::CfgView;
+use std::collections::HashMap;
+
+/// A computed dominator tree over one function's blocks.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// Blocks in reverse postorder (entry first).
+    pub rpo: Vec<u64>,
+    /// Immediate dominator per block (the entry maps to itself).
+    pub idom: HashMap<u64, u64>,
+}
+
+impl DomTree {
+    /// Does `a` dominate `b`? (Reflexive: every block dominates itself.)
+    pub fn dominates(&self, a: u64, b: u64) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            let Some(&parent) = self.idom.get(&cur) else { return false };
+            if parent == cur {
+                return cur == a;
+            }
+            cur = parent;
+        }
+    }
+
+    /// Immediate dominator of `b`, or `None` for the entry / unreachable
+    /// blocks.
+    pub fn idom_of(&self, b: u64) -> Option<u64> {
+        self.idom.get(&b).copied().filter(|&p| p != b)
+    }
+}
+
+/// Depth-first reverse postorder from the entry. Unreachable blocks are
+/// excluded (they cannot participate in natural loops).
+fn reverse_postorder(view: &dyn CfgView) -> Vec<u64> {
+    let mut order = Vec::new();
+    let mut state: HashMap<u64, u8> = HashMap::new(); // 0 absent, 1 open, 2 done
+    // Iterative DFS with explicit post-visit marker.
+    let mut stack: Vec<(u64, bool)> = vec![(view.entry(), false)];
+    while let Some((n, post)) = stack.pop() {
+        if post {
+            order.push(n);
+            continue;
+        }
+        if state.contains_key(&n) {
+            continue;
+        }
+        state.insert(n, 1);
+        stack.push((n, true));
+        for (s, _) in view.succ_edges(n) {
+            if !state.contains_key(&s) {
+                stack.push((s, false));
+            }
+        }
+    }
+    order.reverse();
+    order
+}
+
+/// Compute the dominator tree of the function in `view`.
+pub fn dominators(view: &dyn CfgView) -> DomTree {
+    let rpo = reverse_postorder(view);
+    let index: HashMap<u64, usize> = rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+    let entry = view.entry();
+
+    let mut idom: Vec<Option<usize>> = vec![None; rpo.len()];
+    if rpo.is_empty() {
+        return DomTree { rpo, idom: HashMap::new() };
+    }
+    idom[0] = Some(0);
+
+    let intersect = |idom: &[Option<usize>], mut a: usize, mut b: usize| -> usize {
+        while a != b {
+            while a > b {
+                a = idom[a].expect("processed");
+            }
+            while b > a {
+                b = idom[b].expect("processed");
+            }
+        }
+        a
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (i, &b) in rpo.iter().enumerate().skip(1) {
+            let mut new_idom: Option<usize> = None;
+            for (p, _) in view.pred_edges(b) {
+                let Some(&pi) = index.get(&p) else { continue };
+                if idom[pi].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => pi,
+                    Some(cur) => intersect(&idom, cur, pi),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[i] != Some(ni) {
+                    idom[i] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    let map: HashMap<u64, u64> = rpo
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &b)| idom[i].map(|d| (b, rpo[d])))
+        .collect();
+    let _ = entry;
+    DomTree { rpo, idom: map }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pba_cfg::EdgeKind;
+    use pba_dataflow::view::VecView;
+
+    fn view(entry: u64, blocks: &[u64], edges: &[(u64, u64)]) -> VecView {
+        VecView {
+            entry_block: entry,
+            block_data: blocks.iter().map(|&b| (b, b + 1, vec![])).collect(),
+            edges: edges.iter().map(|&(a, b)| (a, b, EdgeKind::Direct)).collect(),
+        }
+    }
+
+    #[test]
+    fn diamond() {
+        // 1 -> 2, 3 ; 2 -> 4 ; 3 -> 4
+        let v = view(1, &[1, 2, 3, 4], &[(1, 2), (1, 3), (2, 4), (3, 4)]);
+        let d = dominators(&v);
+        assert_eq!(d.idom_of(2), Some(1));
+        assert_eq!(d.idom_of(3), Some(1));
+        assert_eq!(d.idom_of(4), Some(1), "join point dominated by the fork");
+        assert!(d.dominates(1, 4));
+        assert!(!d.dominates(2, 4));
+        assert!(d.dominates(4, 4));
+    }
+
+    #[test]
+    fn chain() {
+        let v = view(1, &[1, 2, 3], &[(1, 2), (2, 3)]);
+        let d = dominators(&v);
+        assert_eq!(d.idom_of(3), Some(2));
+        assert!(d.dominates(1, 3));
+        assert_eq!(d.idom_of(1), None, "entry has no idom");
+    }
+
+    #[test]
+    fn loop_back_edge() {
+        // 1 -> 2 -> 3 -> 2, 3 -> 4
+        let v = view(1, &[1, 2, 3, 4], &[(1, 2), (2, 3), (3, 2), (3, 4)]);
+        let d = dominators(&v);
+        assert_eq!(d.idom_of(2), Some(1));
+        assert_eq!(d.idom_of(3), Some(2));
+        assert!(d.dominates(2, 3), "header dominates the back-edge source");
+    }
+
+    #[test]
+    fn unreachable_blocks_ignored() {
+        let v = view(1, &[1, 2, 99], &[(1, 2)]);
+        let d = dominators(&v);
+        assert_eq!(d.rpo, vec![1, 2]);
+        assert_eq!(d.idom_of(99), None);
+        assert!(!d.dominates(1, 99));
+    }
+
+    #[test]
+    fn irreducible_graph_terminates() {
+        // 1 -> 2, 3 ; 2 <-> 3 (two-way) ; both -> 4.
+        let v = view(1, &[1, 2, 3, 4], &[(1, 2), (1, 3), (2, 3), (3, 2), (2, 4), (3, 4)]);
+        let d = dominators(&v);
+        assert_eq!(d.idom_of(2), Some(1));
+        assert_eq!(d.idom_of(3), Some(1));
+        assert_eq!(d.idom_of(4), Some(1));
+    }
+}

@@ -1,0 +1,82 @@
+//! Parse-engine configuration, including the ablation toggles DESIGN.md
+//! calls out.
+
+/// How newly discovered functions are scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheduling {
+    /// Spawn a task per function the moment it is discovered (the
+    /// improved design of Section 6.3).
+    Task,
+    /// Level-synchronous rounds: analyze the current function set with a
+    /// parallel for, collect discoveries, repeat (Listing 2's literal
+    /// structure; ablation baseline).
+    Rounds,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct ParseConfig {
+    /// Worker threads (1 = the serial baseline).
+    pub threads: usize,
+    /// Function scheduling strategy.
+    pub scheduling: Scheduling,
+    /// Eagerly notify callers when a `ret` is found (Section 5.3). When
+    /// off, call fall-throughs wait for full callee traversal — the
+    /// serialization ablation.
+    pub eager_noreturn: bool,
+    /// Per-task decode cache (Section 6.3's thread-local cache).
+    pub decode_cache: bool,
+    /// Upper bound on scanned jump-table entries when no bound was
+    /// recovered (over-approximation cap; finalization clamps further).
+    pub max_jt_entries: usize,
+    /// Safety cap on post-traversal jump-table re-analysis rounds (the
+    /// fixed-point iteration of Section 5.3). The fixed point is driven
+    /// by monotone inputs (the discovered-table set and the graph only
+    /// grow), so it converges long before a generous cap; the cap only
+    /// guards against pathological inputs.
+    pub jt_refine_rounds: usize,
+}
+
+impl Default for ParseConfig {
+    fn default() -> Self {
+        ParseConfig {
+            threads: 0, // 0 = use all available parallelism
+            scheduling: Scheduling::Task,
+            eager_noreturn: true,
+            decode_cache: true,
+            max_jt_entries: 1024,
+            jt_refine_rounds: 32,
+        }
+    }
+}
+
+impl ParseConfig {
+    /// Effective thread count.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_the_paper_configuration() {
+        let c = ParseConfig::default();
+        assert_eq!(c.scheduling, Scheduling::Task);
+        assert!(c.eager_noreturn);
+        assert!(c.decode_cache);
+        assert!(c.effective_threads() >= 1);
+    }
+
+    #[test]
+    fn explicit_thread_count_respected() {
+        let c = ParseConfig { threads: 7, ..Default::default() };
+        assert_eq!(c.effective_threads(), 7);
+    }
+}

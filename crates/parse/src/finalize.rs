@@ -1,0 +1,352 @@
+//! CFG finalization (paper Section 5.4): remove wrong elements,
+//! determine function boundaries. No new CFG elements are added.
+//!
+//! 1. **Jump-table finalization** — only now are all table locations
+//!    known, so unbounded (over-approximated) tables are clamped at the
+//!    next table's start ("compilers do not emit overlapping jump
+//!    tables") and their excess indirect edges removed (`O_ER`).
+//! 2. **Tail-call correction + function boundaries** — iterative
+//!    parallel graph search: compute per-function block membership over
+//!    intra-procedural edges, then apply the three correction rules;
+//!    each edge flips at most once, guaranteeing convergence.
+//! 3. **Function-entry cleanup** — non-seeded functions with no incoming
+//!    inter-procedural edges are removed, and blocks unreachable from
+//!    any surviving function are dropped.
+
+use crate::state::{RawJumpTable, State};
+use crate::ParseResult;
+use pba_cfg::{Block, Cfg, Edge, EdgeKind, Function, RetStatus};
+use rayon::prelude::*;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// Clamp over-approximated jump tables against the next table start.
+fn clamp_jump_tables(state: &State<'_>) -> Vec<(u64, u64)> {
+    let mut tables: Vec<RawJumpTable> =
+        state.jts.snapshot().into_iter().map(|(_, v)| v.read().clone()).collect();
+    tables.sort_by_key(|t| t.table_addr);
+    let starts: Vec<u64> = tables.iter().filter(|t| t.stride > 0).map(|t| t.table_addr).collect();
+
+    let mut removed = Vec::new();
+    for t in &tables {
+        if t.stride == 0 {
+            continue;
+        }
+        if !t.bounded {
+            // The next table that starts after ours bounds our extent.
+            if let Some(next) = starts.iter().copied().find(|&s| s > t.table_addr) {
+                let max_entries = ((next - t.table_addr) / t.stride as u64) as usize;
+                if t.targets.len() > max_entries {
+                    if let Some(mut acc) = state.jts.find_mut(&t.block_end) {
+                        acc.targets.truncate(max_entries);
+                    }
+                }
+            }
+        }
+        // Drop every indirect edge at this jump that is not in the final
+        // target set — covers both the clamp above and stale edges from
+        // earlier (wider) refinement rounds.
+        let final_targets: Vec<u64> = state
+            .jts
+            .find(&t.block_end)
+            .map(|a| a.targets.clone())
+            .unwrap_or_default();
+        if let Some(mut acc) = state.edges.find_mut(&t.block_end) {
+            acc.retain(|&(d, k)| {
+                let keep = k != EdgeKind::Indirect || final_targets.contains(&d);
+                if !keep {
+                    removed.push((t.block_end, d));
+                    state.stats.jt_edges_clamped.inc();
+                }
+                keep
+            });
+        }
+    }
+    removed
+}
+
+/// Merge split remnants whose boundary has lost all incoming control
+/// flow. A bogus (since removed) indirect target mid-block leaves a pair
+/// `[a, b) →ft [b, c)` where `b` is not a real control-flow boundary any
+/// more; merging restores the original block (and with it, clean linear
+/// decoding). Only pure split artifacts qualify: the fall-through must
+/// be `[a, b)`'s sole out-edge and `[b, c)`'s sole in-edge.
+fn merge_split_remnants(state: &State<'_>) {
+    loop {
+        // In-degree over all current edges.
+        let mut indeg: HashMap<u64, usize> = HashMap::new();
+        let snapshot = state.edges.snapshot();
+        for (_, list) in &snapshot {
+            for &(dst, _) in list.read().iter() {
+                *indeg.entry(dst).or_insert(0) += 1;
+            }
+        }
+        let mut merged_any = false;
+        for (src_end, list) in &snapshot {
+            let is_pure_ft = {
+                let l = list.read();
+                l.len() == 1 && l[0] == (*src_end, EdgeKind::Fallthrough)
+            };
+            if !is_pure_ft || indeg.get(src_end).copied().unwrap_or(0) != 1 {
+                continue;
+            }
+            let b = *src_end;
+            // A function entry is a real boundary even with no incoming
+            // edges (multi-entry functions, Power-style secondary
+            // entries): never merge it away.
+            if state.funcs.contains_key(&b) {
+                continue;
+            }
+            // [a, b) and [b, c) must both exist.
+            let Some(a) = state.block_ends.find(&b).map(|x| *x) else { continue };
+            let Some(c) = state.blocks.find(&b).map(|x| x.end) else { continue };
+            if c == 0 || a == b {
+                continue;
+            }
+            // Merge: extend [a, b) to c, drop [b, c) and the artifact.
+            if let Some(mut acc) = state.blocks.find_mut(&a) {
+                acc.end = c;
+            }
+            state.blocks.remove(&b);
+            state.block_ends.remove(&b);
+            if let Some(mut acc) = state.block_ends.find_mut(&c) {
+                *acc = a;
+            }
+            state.edges.remove(&b);
+            merged_any = true;
+        }
+        if !merged_any {
+            break;
+        }
+    }
+}
+
+/// Compute one function's member blocks by intra-procedural
+/// reachability.
+fn membership(
+    entry: u64,
+    adj: &HashMap<u64, Vec<(u64, EdgeKind)>>,
+    blocks: &BTreeMap<u64, u64>,
+) -> BTreeSet<u64> {
+    let mut seen = BTreeSet::new();
+    if !blocks.contains_key(&entry) {
+        return seen;
+    }
+    let mut work = vec![entry];
+    while let Some(b) = work.pop() {
+        if !seen.insert(b) {
+            continue;
+        }
+        if let Some(out) = adj.get(&b) {
+            for &(dst, kind) in out {
+                if !kind.is_interprocedural() && blocks.contains_key(&dst) && !seen.contains(&dst) {
+                    work.push(dst);
+                }
+            }
+        }
+    }
+    seen
+}
+
+/// Finalize: consume the traversal state, return the CFG + stats.
+pub fn finalize(state: State<'_>) -> ParseResult {
+    // ---- step 1: jump-table clamping + split repair ----
+    clamp_jump_tables(&state);
+    merge_split_remnants(&state);
+
+    // ---- materialize blocks & edges ----
+    let blocks: BTreeMap<u64, u64> = state
+        .blocks
+        .snapshot()
+        .into_iter()
+        .filter_map(|(s, rec)| {
+            let end = rec.read().end;
+            (end > s).then_some((s, end))
+        })
+        .collect();
+    // end → start mapping for edge source resolution.
+    let end_to_start: HashMap<u64, u64> = blocks.iter().map(|(&s, &e)| (e, s)).collect();
+
+    // Edge set keyed by (source block start, dst, kind); kinds mutable
+    // for tail-call correction.
+    let mut edge_map: HashMap<(u64, u64), EdgeKind> = HashMap::new();
+    for (src_end, list) in state.edges.snapshot() {
+        let Some(&src) = end_to_start.get(&src_end) else { continue };
+        for &(dst, kind) in list.read().iter() {
+            if !blocks.contains_key(&dst) {
+                continue;
+            }
+            // Prefer the "stronger" kind if duplicates exist.
+            edge_map.entry((src, dst)).or_insert(kind);
+            if kind != EdgeKind::Fallthrough {
+                edge_map.insert((src, dst), kind);
+            }
+        }
+    }
+
+    // Function set: entry → (name, status, seeded).
+    let mut funcs: BTreeMap<u64, (Option<String>, RetStatus, bool)> = state
+        .funcs
+        .snapshot()
+        .into_iter()
+        .filter(|(entry, _)| blocks.contains_key(entry))
+        .map(|(entry, st)| {
+            let st = st.read();
+            (entry, (st.name.clone(), st.status, st.seeded))
+        })
+        .collect();
+
+    // ---- step 2: tail-call correction + boundaries (iterative) ----
+    let mut flipped: HashSet<(u64, u64)> = HashSet::new();
+    for _round in 0..4 {
+        // Adjacency with current kinds.
+        let mut adj: HashMap<u64, Vec<(u64, EdgeKind)>> = HashMap::new();
+        let mut in_edges: HashMap<u64, Vec<(u64, EdgeKind)>> = HashMap::new();
+        for (&(src, dst), &kind) in &edge_map {
+            adj.entry(src).or_default().push((dst, kind));
+            in_edges.entry(dst).or_default().push((src, kind));
+        }
+
+        // Parallel membership computation.
+        let entries: Vec<u64> = funcs.keys().copied().collect();
+        let members: Vec<(u64, BTreeSet<u64>)> = entries
+            .par_iter()
+            .map(|&f| (f, membership(f, &adj, &blocks)))
+            .collect();
+        let block_owners: HashMap<u64, Vec<u64>> = {
+            let mut m: HashMap<u64, Vec<u64>> = HashMap::new();
+            for (f, set) in &members {
+                for &b in set {
+                    m.entry(b).or_default().push(*f);
+                }
+            }
+            m
+        };
+        let member_of: HashMap<u64, BTreeSet<u64>> = members.into_iter().collect();
+
+        let mut flips: Vec<((u64, u64), EdgeKind)> = Vec::new();
+        for (&(src, dst), &kind) in &edge_map {
+            if flipped.contains(&(src, dst)) {
+                continue;
+            }
+            match kind {
+                EdgeKind::Direct => {
+                    // Rule 1: not a tail call, but the target has a CALL
+                    // incoming edge → it is a function entry; correct to
+                    // tail call. Also canonicalize the paper's Listing 1
+                    // ambiguity: if another branch into the same target
+                    // was classified as a tail call, this one must agree
+                    // (otherwise the final CFG would depend on analysis
+                    // order).
+                    let has_entry_in = in_edges
+                        .get(&dst)
+                        .map(|v| {
+                            v.iter().any(|&(s, k)| {
+                                k == EdgeKind::Call || (k == EdgeKind::TailCall && s != src)
+                            })
+                        })
+                        .unwrap_or(false);
+                    if has_entry_in {
+                        flips.push(((src, dst), EdgeKind::TailCall));
+                    }
+                }
+                EdgeKind::TailCall => {
+                    // Rule 2: target inside the source's own function
+                    // boundary (reachable without this edge) → not a
+                    // tail call.
+                    let intra = block_owners
+                        .get(&src)
+                        .map(|owners| {
+                            owners.iter().any(|f| {
+                                member_of.get(f).map(|m| m.contains(&dst)).unwrap_or(false)
+                            })
+                        })
+                        .unwrap_or(false);
+                    if intra {
+                        flips.push(((src, dst), EdgeKind::Direct));
+                        continue;
+                    }
+                    // Rule 3: the target's only incoming edge is this
+                    // one → outlined code block, not a tail call.
+                    let only_in = in_edges
+                        .get(&dst)
+                        .map(|v| v.len() == 1 && v[0].0 == src)
+                        .unwrap_or(true);
+                    let is_seeded = funcs.get(&dst).map(|f| f.2).unwrap_or(false);
+                    if only_in && !is_seeded {
+                        flips.push(((src, dst), EdgeKind::Direct));
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        if flips.is_empty() {
+            break;
+        }
+        for ((src, dst), new_kind) in flips {
+            edge_map.insert((src, dst), new_kind);
+            flipped.insert((src, dst));
+            state.stats.tailcall_flips.inc();
+            // A new tail call labels a function entry (O_FEI).
+            if new_kind == EdgeKind::TailCall {
+                funcs.entry(dst).or_insert_with(|| (None, RetStatus::Unset, false));
+            }
+        }
+    }
+
+    // ---- step 3: function-entry cleanup ----
+    // Interprocedural in-edges per entry under final kinds.
+    let mut interproc_in: HashSet<u64> = HashSet::new();
+    for (&(_, dst), &kind) in &edge_map {
+        if kind.is_interprocedural() {
+            interproc_in.insert(dst);
+        }
+    }
+    funcs.retain(|entry, (_, _, seeded)| *seeded || interproc_in.contains(entry));
+
+    // Final membership under final kinds.
+    let mut adj: HashMap<u64, Vec<(u64, EdgeKind)>> = HashMap::new();
+    for (&(src, dst), &kind) in &edge_map {
+        adj.entry(src).or_default().push((dst, kind));
+    }
+    let entries: Vec<u64> = funcs.keys().copied().collect();
+    let memberships: Vec<(u64, BTreeSet<u64>)> = entries
+        .par_iter()
+        .map(|&f| (f, membership(f, &adj, &blocks)))
+        .collect();
+
+    let mut live_blocks: BTreeSet<u64> = BTreeSet::new();
+    for (_, m) in &memberships {
+        live_blocks.extend(m.iter().copied());
+    }
+
+    let final_blocks: BTreeMap<u64, Block> = blocks
+        .iter()
+        .filter(|(s, _)| live_blocks.contains(s))
+        .map(|(&s, &e)| (s, Block { start: s, end: e }))
+        .collect();
+    let final_edges: BTreeSet<Edge> = edge_map
+        .iter()
+        .filter(|(&(src, dst), _)| live_blocks.contains(&src) && live_blocks.contains(&dst))
+        .map(|(&(src, dst), &kind)| Edge { src, dst, kind })
+        .collect();
+    let final_funcs: BTreeMap<u64, Function> = memberships
+        .into_iter()
+        .map(|(entry, m)| {
+            let (name, status, _) = funcs.get(&entry).cloned().unwrap_or((None, RetStatus::Unset, false));
+            let status = if status == RetStatus::Unset { RetStatus::NoReturn } else { status };
+            (
+                entry,
+                Function {
+                    entry,
+                    name: name.unwrap_or_else(|| format!("fn_{entry:x}")),
+                    blocks: m.into_iter().collect(),
+                    ret_status: status,
+                },
+            )
+        })
+        .collect();
+
+    let cfg = Cfg::new(final_blocks, final_edges, final_funcs, state.input.code.clone());
+    ParseResult { cfg, stats: state.stats }
+}

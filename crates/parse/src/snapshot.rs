@@ -1,0 +1,113 @@
+//! In-flight function view for mid-parse analyses.
+//!
+//! Jump-table analysis and the fixed-point re-analysis run *while the
+//! CFG is still growing*. This view snapshots one function's currently
+//! known intra-procedural subgraph — blocks reachable from the entry
+//! over non-inter-procedural edges — which is monotonically growing, so
+//! a stale snapshot can only under-approximate (and the fixed-point
+//! rounds recover whatever was missed; Section 5.3).
+
+use crate::state::State;
+use pba_cfg::EdgeKind;
+use pba_dataflow::CfgView;
+use pba_isa::Insn;
+use std::collections::{HashMap, HashSet};
+
+/// Snapshot of one function's known subgraph.
+pub struct SnapshotView {
+    entry: u64,
+    ranges: HashMap<u64, u64>,
+    succs: HashMap<u64, Vec<(u64, EdgeKind)>>,
+    preds: HashMap<u64, Vec<(u64, EdgeKind)>>,
+    code: std::sync::Arc<pba_cfg::CodeRegion>,
+}
+
+impl SnapshotView {
+    /// Build by BFS from `entry` over intra-procedural edges. If
+    /// `ensure_block` is set and the BFS did not reach it (the path from
+    /// the entry is still being parsed), the block is added in isolation
+    /// so jump-table analysis can at least classify the dispatch form.
+    pub fn build(state: &State<'_>, entry: u64, ensure_block: Option<u64>) -> SnapshotView {
+        let mut ranges = HashMap::new();
+        let mut succs: HashMap<u64, Vec<(u64, EdgeKind)>> = HashMap::new();
+        let mut preds: HashMap<u64, Vec<(u64, EdgeKind)>> = HashMap::new();
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut work = vec![entry];
+        while let Some(b) = work.pop() {
+            if !seen.insert(b) {
+                continue;
+            }
+            let Some(rec) = state.blocks.find(&b) else { continue };
+            let end = rec.end;
+            drop(rec);
+            if end == 0 {
+                continue; // still being parsed
+            }
+            ranges.insert(b, end);
+            if let Some(edges) = state.edges.find(&end) {
+                for &(dst, kind) in edges.iter() {
+                    if kind.is_interprocedural() {
+                        continue;
+                    }
+                    succs.entry(b).or_default().push((dst, kind));
+                    preds.entry(dst).or_default().push((b, kind));
+                    work.push(dst);
+                }
+            }
+        }
+        if let Some(b) = ensure_block {
+            if let std::collections::hash_map::Entry::Vacant(e) = ranges.entry(b) {
+                if let Some(rec) = state.blocks.find(&b) {
+                    if rec.end != 0 {
+                        e.insert(rec.end);
+                    }
+                }
+            }
+        }
+        // Drop edges whose target was never materialized as a block.
+        for v in succs.values_mut() {
+            v.retain(|(d, _)| ranges.contains_key(d));
+        }
+        for (_, v) in preds.iter_mut() {
+            v.retain(|(s, _)| ranges.contains_key(s));
+        }
+        SnapshotView { entry, ranges, succs, preds, code: state.input.code.clone() }
+    }
+
+    /// Number of blocks captured.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// True when the entry block has not been materialized yet.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+}
+
+impl CfgView for SnapshotView {
+    fn entry(&self) -> u64 {
+        self.entry
+    }
+
+    fn blocks(&self) -> Vec<u64> {
+        self.ranges.keys().copied().collect()
+    }
+
+    fn block_range(&self, block: u64) -> (u64, u64) {
+        (block, self.ranges.get(&block).copied().unwrap_or(block))
+    }
+
+    fn succ_edges(&self, block: u64) -> Vec<(u64, EdgeKind)> {
+        self.succs.get(&block).cloned().unwrap_or_default()
+    }
+
+    fn pred_edges(&self, block: u64) -> Vec<(u64, EdgeKind)> {
+        self.preds.get(&block).cloned().unwrap_or_default()
+    }
+
+    fn insns(&self, block: u64) -> Vec<Insn> {
+        let (s, e) = self.block_range(block);
+        self.code.insns(s, e)
+    }
+}

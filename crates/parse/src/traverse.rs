@@ -1,0 +1,613 @@
+//! The parallel control-flow traversal engine (paper Listings 2-3).
+//!
+//! Work items are `(function context, block start)` pairs. Under task
+//! scheduling, discovering a function spawns its traversal immediately
+//! into the enclosing rayon scope; under rounds scheduling, discoveries
+//! queue for the next level-synchronous batch (the ablation baseline).
+//! The outer loop also drives the inter-round consequences: deferred
+//! non-returning resolution, the jump-table fixed point, and the final
+//! ret-sweep for functions whose entry block was parsed inside another
+//! function's traversal.
+
+use crate::config::{ParseConfig, Scheduling};
+use crate::finalize;
+use crate::input::ParseInput;
+use crate::jumptable::{decide, eval_targets};
+use crate::snapshot::SnapshotView;
+use crate::state::{CallDisposition, RawJumpTable, RegisterOutcome, State};
+use crate::ParseResult;
+use crossbeam::queue::SegQueue;
+use pba_cfg::EdgeKind;
+use pba_dataflow::analyze_indirect_jump;
+use pba_dataflow::CfgView;
+use pba_isa::{ControlFlow, Insn};
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// One traversal work item.
+#[derive(Debug, Clone, Copy)]
+pub struct Work {
+    /// Function context the traversal is attributed to.
+    pub func: u64,
+    /// Block start to parse from.
+    pub start: u64,
+}
+
+/// Where new work goes.
+pub enum Sched<'a, 'scope> {
+    /// Spawn into the live rayon scope (task parallelism).
+    Task(&'a rayon::Scope<'scope>, &'scope SegQueue<Work>),
+    /// Queue for the next round (level-synchronous ablation).
+    Rounds(&'a SegQueue<Work>),
+}
+
+/// Result of linear parsing one block.
+struct ParsedBlock {
+    end: u64,
+    term: Option<Insn>,
+    teardown_before: bool,
+}
+
+/// Per-thread decode cache (paper Section 6.3): every address this
+/// thread has decoded maps to the end/terminator of the block it falls
+/// in, so branching into the middle of already-analyzed code skips
+/// re-decoding. Keyed by a per-parse run id so concurrent or repeated
+/// parses never observe each other's entries.
+type DecodeCache = HashMap<u64, (u64, u64, bool)>;
+
+thread_local! {
+    static TLS_CACHE: std::cell::RefCell<(u64, DecodeCache)> =
+        std::cell::RefCell::new((0, HashMap::new()));
+}
+
+fn linear_parse<'i>(state: &State<'i>, start: u64) -> ParsedBlock {
+    if state.cfg.decode_cache {
+        let hit = TLS_CACHE.with(|c| {
+            let mut c = c.borrow_mut();
+            if c.0 != state.run_id {
+                c.0 = state.run_id;
+                c.1.clear();
+            }
+            c.1.get(&start).copied()
+        });
+        if let Some((end, term_start, td)) = hit {
+            state.stats.cache_hits.inc();
+            let term = state.input.code.decode(term_start);
+            return ParsedBlock { end, term, teardown_before: td };
+        }
+    }
+    let code = &state.input.code;
+    let mut at = start;
+    let mut teardown = false;
+    let mut visited: Vec<u64> = Vec::new();
+    loop {
+        let Some(insn) = code.decode(at) else {
+            state.stats.decode_errors.inc();
+            return ParsedBlock { end: at, term: None, teardown_before: false };
+        };
+        state.stats.insns_decoded.inc();
+        if insn.is_cti() {
+            if state.cfg.decode_cache {
+                let end = insn.end();
+                let term_start = insn.addr;
+                TLS_CACHE.with(|c| {
+                    let mut c = c.borrow_mut();
+                    if c.0 != state.run_id {
+                        c.0 = state.run_id;
+                        c.1.clear();
+                    }
+                    // Record every visited boundary: a later branch into
+                    // the middle of this code resolves without decoding.
+                    // The teardown flag holds for any start at or before
+                    // the penultimate instruction; the terminator's own
+                    // address sees no preceding instruction.
+                    for &a in &visited {
+                        c.1.insert(a, (end, term_start, teardown));
+                    }
+                    c.1.insert(term_start, (end, term_start, false));
+                });
+            }
+            return ParsedBlock { end: insn.end(), term: Some(insn), teardown_before: teardown };
+        }
+        visited.push(at);
+        teardown = insn.is_frame_teardown();
+        at = insn.end();
+        if !code.contains(at) {
+            return ParsedBlock { end: at, term: None, teardown_before: false };
+        }
+    }
+}
+
+/// Traverse from the work item's start in its function context
+/// (Listing 3).
+fn traverse<'i: 'scope, 'scope>(state: &'scope State<'i>, sched: &Sched<'_, 'scope>, w: Work) {
+    let mut worklist = vec![w.start];
+    while let Some(b) = worklist.pop() {
+        let pb = linear_parse(state, b);
+        if pb.end == b {
+            // Undecodable from the first byte: retract the block.
+            state.blocks.remove(&b);
+            continue;
+        }
+        match state.register_end(b, pb.end) {
+            RegisterOutcome::CreateEdges => {
+                create_edges(state, sched, w.func, b, &pb, &mut worklist)
+            }
+            RegisterOutcome::SplitDone => {}
+        }
+    }
+}
+
+/// Handle a newly created function: traverse it, or — if its entry block
+/// already exists from another function's traversal — scan the existing
+/// subgraph for `ret`s so its status is not falsely `NoReturn`.
+fn enter_function<'i: 'scope, 'scope>(
+    state: &'scope State<'i>,
+    sched: &Sched<'_, 'scope>,
+    entry: u64,
+) {
+    if state.create_block(entry) {
+        submit(state, sched, Work { func: entry, start: entry });
+    } else {
+        scan_existing(state, sched, entry);
+    }
+}
+
+/// Re-walk already-parsed blocks under a new function context.
+fn scan_existing<'i: 'scope, 'scope>(
+    state: &'scope State<'i>,
+    sched: &Sched<'_, 'scope>,
+    entry: u64,
+) {
+    let view = SnapshotView::build(state, entry, None);
+    for b in view.blocks() {
+        let (s, e) = view.block_range(b);
+        if let Some(term) = state.input.code.insns(s, e).last() {
+            if matches!(term.control_flow(), ControlFlow::Ret) {
+                let resumed = state.notify_returns(entry);
+                process_resumed(state, sched, resumed);
+            }
+        }
+        // Tail-call dependencies out of this subgraph.
+        if let Some(edges) = state.edges.find(&e) {
+            for &(dst, kind) in edges.iter() {
+                if kind == EdgeKind::TailCall {
+                    let resumed = state.add_tail_dependency(entry, dst);
+                    process_resumed(state, sched, resumed);
+                }
+            }
+        }
+    }
+}
+
+/// Create the call fall-through edges + parse work for resumed waiters.
+fn process_resumed<'i: 'scope, 'scope>(
+    state: &'scope State<'i>,
+    sched: &Sched<'_, 'scope>,
+    resumed: Vec<(u64, u64)>,
+) {
+    for (call_end, caller) in resumed {
+        state.add_edge(call_end, call_end, EdgeKind::CallFallthrough);
+        if state.input.valid_code_addr(call_end) && state.create_block(call_end) {
+            submit(state, sched, Work { func: caller, start: call_end });
+        }
+    }
+}
+
+fn submit<'i: 'scope, 'scope>(state: &'scope State<'i>, sched: &Sched<'_, 'scope>, w: Work) {
+    match sched {
+        Sched::Task(scope, queue) => {
+            let q = *queue;
+            scope.spawn(move |s| traverse(state, &Sched::Task(s, q), w));
+        }
+        Sched::Rounds(q) => q.push(w),
+    }
+}
+
+/// Invariant 3: the registering thread creates all out-edges.
+fn create_edges<'i: 'scope, 'scope>(
+    state: &'scope State<'i>,
+    sched: &Sched<'_, 'scope>,
+    fctx: u64,
+    block_start: u64,
+    pb: &ParsedBlock,
+    worklist: &mut Vec<u64>,
+) {
+    let e = pb.end;
+    let Some(term) = pb.term else { return };
+    let valid = |t: u64| state.input.valid_code_addr(t);
+
+    match term.control_flow() {
+        ControlFlow::Branch { target } if valid(target) => {
+            // Tail-call heuristics (Section 2.1): branch to a known
+            // function entry, or a frame-teardown branch to new code.
+            let is_entry = state.funcs.contains_key(&target);
+            if is_entry {
+                state.add_edge(e, target, EdgeKind::TailCall);
+                if state.create_function(target, None, false) {
+                    enter_function(state, sched, target);
+                }
+                let resumed = state.add_tail_dependency(fctx, target);
+                process_resumed(state, sched, resumed);
+            } else if state.blocks.contains_key(&target) && !pb.teardown_before {
+                // Known block, no teardown: intra-procedural branch.
+                state.add_edge(e, target, EdgeKind::Direct);
+            } else if pb.teardown_before {
+                // Teardown before the branch: tail call to a new
+                // function (O_FEI).
+                state.add_edge(e, target, EdgeKind::TailCall);
+                if state.create_function(target, None, false) {
+                    enter_function(state, sched, target);
+                }
+                let resumed = state.add_tail_dependency(fctx, target);
+                process_resumed(state, sched, resumed);
+            } else {
+                state.add_edge(e, target, EdgeKind::Direct);
+                if state.create_block(target) {
+                    worklist.push(target);
+                }
+            }
+        }
+        ControlFlow::Branch { .. } => {} // branch out of the region
+        ControlFlow::CondBranch { target } => {
+            if valid(target) {
+                state.add_edge(e, target, EdgeKind::CondTaken);
+                if state.create_block(target) {
+                    worklist.push(target);
+                }
+            }
+            if valid(e) {
+                state.add_edge(e, e, EdgeKind::CondNotTaken);
+                if state.create_block(e) {
+                    worklist.push(e);
+                }
+            }
+        }
+        ControlFlow::Call { target } if valid(target) => {
+            state.add_edge(e, target, EdgeKind::Call);
+            if state.create_function(target, None, false) {
+                enter_function(state, sched, target);
+            }
+            match state.call_disposition(target, e, fctx) {
+                CallDisposition::Fallthrough => {
+                    state.add_edge(e, e, EdgeKind::CallFallthrough);
+                    if valid(e) && state.create_block(e) {
+                        worklist.push(e);
+                    }
+                }
+                CallDisposition::NoFallthrough => {}
+                CallDisposition::Waiting => {}
+            }
+        }
+        ControlFlow::Call { .. } | ControlFlow::IndirectCall => {
+            // Callee outside the region (PLT-like) or indirect: assume it
+            // returns, as Dyninst does.
+            state.add_edge(e, e, EdgeKind::CallFallthrough);
+            if valid(e) && state.create_block(e) {
+                worklist.push(e);
+            }
+        }
+        ControlFlow::Ret => {
+            let resumed = state.notify_returns(fctx);
+            process_resumed(state, sched, resumed);
+        }
+        ControlFlow::Halt => {}
+        ControlFlow::IndirectBranch => {
+            let new_blocks = analyze_jump_table(state, fctx, block_start, e);
+            for t in new_blocks {
+                worklist.push(t);
+            }
+        }
+        ControlFlow::Fallthrough => unreachable!("non-CTI cannot terminate a block"),
+    }
+}
+
+/// Run jump-table analysis for the indirect jump whose block ends at
+/// `e`. Adds indirect edges; returns the newly created target blocks
+/// (to be parsed by the caller in this function context).
+fn analyze_jump_table(state: &State<'_>, fctx: u64, block_start: u64, e: u64) -> Vec<u64> {
+    let view = SnapshotView::build(state, fctx, Some(block_start));
+    let facts = analyze_indirect_jump(&view, block_start);
+    let Some(decision) = decide(&facts) else {
+        // Record the unresolved jump so the post-quiescence fixed point
+        // retries it with a fuller (and possibly re-split) subgraph —
+        // the paper's "repeat the analysis of a jump table after more
+        // control flow paths are created" (Section 5.3).
+        state.jts.insert(
+            e,
+            RawJumpTable {
+                func: fctx,
+                block_start,
+                block_end: e,
+                table_addr: 0,
+                stride: 0,
+                relative: false,
+                targets: Vec::new(),
+                bounded: false,
+            },
+        );
+        return Vec::new();
+    };
+    let (table_addr, stride, relative) = match decision.form {
+        pba_dataflow::JumpTableForm::Absolute { table, scale, .. } => (table, scale, false),
+        pba_dataflow::JumpTableForm::Relative { table, scale, .. } => (table, scale, true),
+    };
+    if decision.bound.is_none() {
+        // No guard bound recovered: an unbounded scan now would plant
+        // over-approximated edges that can split not-yet-parsed code
+        // mid-instruction. Defer target creation to the post-quiescence
+        // fixed point, where other discovered tables clamp the scan —
+        // the paper's delay-vs-monotonicity balance of Section 5.3.
+        state.stats.jt_unbounded.inc();
+        state.jts.insert(
+            e,
+            RawJumpTable {
+                func: fctx,
+                block_start,
+                block_end: e,
+                table_addr,
+                stride,
+                relative,
+                targets: Vec::new(),
+                bounded: false,
+            },
+        );
+        return Vec::new();
+    }
+    let (targets, bounded) = eval_targets(state.input, &decision, state.cfg.max_jt_entries);
+    state.stats.jt_bounded.inc();
+    {
+        let (mut acc, _) = state.jts.insert_with(e, || RawJumpTable {
+            func: fctx,
+            block_start,
+            block_end: e,
+            table_addr,
+            stride,
+            relative,
+            targets: Vec::new(),
+            bounded,
+        });
+        acc.targets = targets.clone();
+        acc.bounded = bounded;
+        acc.block_start = block_start;
+    }
+    let mut new_blocks = Vec::new();
+    for t in targets {
+        state.add_edge(e, t, EdgeKind::Indirect);
+        if state.create_block(t) {
+            new_blocks.push(t);
+        }
+    }
+    new_blocks
+}
+
+/// Post-quiescence jump-table fixed point (Section 5.3): re-analyze each
+/// recorded table with the now-larger function subgraph; queue any new
+/// targets for another traversal round. Returns true if anything new
+/// appeared.
+fn refine_jump_tables(state: &State<'_>, queue: &SegQueue<Work>) -> bool {
+    let tables: Vec<(u64, RawJumpTable)> = state
+        .jts
+        .snapshot()
+        .into_iter()
+        .map(|(k, v)| (k, v.read().clone()))
+        .collect();
+    let changed: Vec<bool> = tables
+        .par_iter()
+        .map(|(e, jt)| {
+            // The jump's block may have been split since discovery; the
+            // current owner of the end is the block that actually holds
+            // the indirect jump now.
+            let cur_start = state
+                .block_ends
+                .find(e)
+                .map(|a| *a)
+                .unwrap_or(jt.block_start);
+            let view = SnapshotView::build(state, jt.func, Some(cur_start));
+            let facts = analyze_indirect_jump(&view, cur_start);
+            let Some(decision) = decide(&facts) else { return false };
+            let (table_addr, stride, relative) = match decision.form {
+                pba_dataflow::JumpTableForm::Absolute { table, scale, .. } => (table, scale, false),
+                pba_dataflow::JumpTableForm::Relative { table, scale, .. } => (table, scale, true),
+            };
+            // Unbounded tables are clamped here against every table
+            // location known so far ("compilers do not emit overlapping
+            // jump tables"); the finalization pass re-clamps as a
+            // safety net for tables discovered even later.
+            let max_entries = if decision.bound.is_some() {
+                state.cfg.max_jt_entries
+            } else {
+                let next = state
+                    .jts
+                    .snapshot()
+                    .into_iter()
+                    .filter_map(|(_, v)| {
+                        let v = v.read();
+                        (v.stride > 0 && v.table_addr > table_addr).then_some(v.table_addr)
+                    })
+                    .min();
+                match next {
+                    Some(n) if stride > 0 => {
+                        (((n - table_addr) / stride as u64) as usize).min(state.cfg.max_jt_entries)
+                    }
+                    _ => state.cfg.max_jt_entries,
+                }
+            };
+            let (targets, bounded) = eval_targets(state.input, &decision, max_entries);
+            let mut any_new = false;
+            let mut stale: Vec<u64> = Vec::new();
+            {
+                let Some(mut acc) = state.jts.find_mut(e) else { return false };
+                if targets != acc.targets || bounded != acc.bounded || acc.stride == 0 {
+                    // Targets dropped by a tighter clamp leave stale
+                    // indirect edges behind; collect them for removal
+                    // (O_ER is commutative, so this is safe here).
+                    stale = acc
+                        .targets
+                        .iter()
+                        .copied()
+                        .filter(|t| !targets.contains(t))
+                        .collect();
+                    acc.targets = targets.clone();
+                    acc.bounded = bounded;
+                    acc.block_start = cur_start;
+                    acc.table_addr = table_addr;
+                    acc.stride = stride;
+                    acc.relative = relative;
+                    any_new = true;
+                }
+            }
+            if !stale.is_empty() {
+                if let Some(mut acc) = state.edges.find_mut(e) {
+                    acc.retain(|&(d, k)| {
+                        !(k == EdgeKind::Indirect && stale.contains(&d))
+                    });
+                }
+            }
+            if any_new {
+                for t in &targets {
+                    state.add_edge(*e, *t, EdgeKind::Indirect);
+                    if state.create_block(*t) {
+                        queue.push(Work { func: jt.func, start: *t });
+                    }
+                }
+            }
+            any_new
+        })
+        .collect();
+    changed.into_iter().any(|c| c)
+}
+
+/// Final sweep: functions still `Unset` whose reachable subgraph
+/// contains a `ret` (parsed under another traversal context) become
+/// `Returns`, and tail-call edges out of the subgraph are re-registered
+/// as status dependencies — the traversal context that first parsed a
+/// shared block may not be every function that owns it. Returns resumed
+/// call sites from dependencies on already-returning targets.
+fn ret_sweep(state: &State<'_>) -> Vec<(u64, u64)> {
+    let entries: Vec<u64> = state.funcs.snapshot_keys();
+    let resumed: Vec<Vec<(u64, u64)>> = entries
+        .par_iter()
+        .map(|&f| {
+            let unset = state
+                .funcs
+                .find(&f)
+                .map(|a| a.status == pba_cfg::RetStatus::Unset)
+                .unwrap_or(false);
+            if !unset {
+                return Vec::new();
+            }
+            let mut resumed = Vec::new();
+            let view = SnapshotView::build(state, f, None);
+            let mut found_ret = false;
+            for b in view.blocks() {
+                let (s, e) = view.block_range(b);
+                if !found_ret {
+                    if let Some(term) = state.input.code.insns(s, e).last() {
+                        if matches!(term.control_flow(), ControlFlow::Ret) {
+                            if let Some(mut acc) = state.funcs.find_mut(&f) {
+                                acc.has_ret = true;
+                            }
+                            found_ret = true;
+                        }
+                    }
+                }
+                if let Some(edges) = state.edges.find(&e) {
+                    let tail_targets: Vec<u64> = edges
+                        .iter()
+                        .filter(|&&(_, k)| k == EdgeKind::TailCall)
+                        .map(|&(d, _)| d)
+                        .collect();
+                    drop(edges);
+                    for dst in tail_targets {
+                        resumed.extend(state.add_tail_dependency(f, dst));
+                    }
+                }
+            }
+            resumed
+        })
+        .collect();
+    resumed.into_iter().flatten().collect()
+}
+
+/// Run the full engine: init, traversal rounds, status resolution,
+/// jump-table fixed point, finalization.
+pub fn run(input: &ParseInput, cfg: &ParseConfig) -> ParseResult {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(cfg.effective_threads())
+        .build()
+        .expect("thread pool");
+
+    pool.install(|| {
+        let state = State::new(input, cfg);
+        // Stage 1: parallel function initialization from the symbol
+        // table (Listing 2 line 1).
+        input.seeds.par_iter().for_each(|(addr, name)| {
+            if input.code.contains(*addr) {
+                state.create_function(*addr, Some(name.clone()), true);
+            }
+        });
+
+        let queue: SegQueue<Work> = SegQueue::new();
+        for f in state.funcs.snapshot_keys() {
+            if state.create_block(f) {
+                queue.push(Work { func: f, start: f });
+            }
+        }
+
+        let mut jt_rounds_left = cfg.jt_refine_rounds;
+        loop {
+            // Drain pending work into a batch.
+            let mut batch = Vec::new();
+            while let Some(w) = queue.pop() {
+                batch.push(w);
+            }
+            if !batch.is_empty() {
+                match cfg.scheduling {
+                    Scheduling::Task => {
+                        rayon::scope(|s| {
+                            for w in batch {
+                                let stref: &State<'_> = &state;
+                                let q = &queue;
+                                s.spawn(move |s2| traverse(stref, &Sched::Task(s2, q), w));
+                            }
+                        });
+                    }
+                    Scheduling::Rounds => {
+                        batch
+                            .par_iter()
+                            .for_each(|w| traverse(&state, &Sched::Rounds(&queue), *w));
+                    }
+                }
+                continue;
+            }
+
+            // Quiesced: resolve statuses (no-op in eager mode unless a
+            // scan set has_ret late), then the jump-table fixed point.
+            // Always loop after resuming call sites: even when their
+            // fall-through blocks already exist, the new summary edges
+            // can make further `ret`s reachable for the next sweep.
+            let mut resumed = ret_sweep(&state);
+            resumed.extend(state.resolve_statuses());
+            if !resumed.is_empty() {
+                process_resumed(&state, &Sched::Rounds(&queue), resumed);
+                continue;
+            }
+            if jt_rounds_left > 0 && refine_jump_tables(&state, &queue) {
+                // Something changed: even without new blocks, new edges
+                // can alter status reachability — loop so the sweep and
+                // resolution re-run.
+                jt_rounds_left -= 1;
+                continue;
+            }
+            if queue.is_empty() {
+                break;
+            }
+        }
+        state.close_statuses();
+        // Finalization runs inside the sized pool so its parallel steps
+        // use the configured thread count (Table 2's CFG column times
+        // the whole construction, finalization included).
+        finalize::finalize(state)
+    })
+}

@@ -1,0 +1,368 @@
+//! End-to-end parses of generated binaries: ground-truth agreement,
+//! serial≡parallel determinism, and targeted construct tests.
+
+use pba_cfg::{EdgeKind, RetStatus};
+use pba_gen::{generate, GenConfig};
+use pba_parse::{parse, parse_parallel, parse_serial, ParseConfig, ParseInput, Scheduling};
+
+fn input_for(g: &pba_gen::Generated) -> ParseInput {
+    let elf = pba_elf::Elf::parse(g.elf.clone()).unwrap();
+    ParseInput::from_elf(&elf).unwrap()
+}
+
+#[test]
+fn finds_every_symboled_function() {
+    let g = generate(&GenConfig { num_funcs: 40, seed: 101, ..Default::default() });
+    let input = input_for(&g);
+    let r = parse_serial(&input);
+    for f in &g.truth.functions {
+        if f.has_symbol {
+            assert!(
+                r.cfg.functions.contains_key(&f.entry),
+                "{} at {:#x} missing",
+                f.name,
+                f.entry
+            );
+        }
+    }
+}
+
+#[test]
+fn discovers_symbolless_functions_via_calls() {
+    let g = generate(&GenConfig { num_funcs: 60, seed: 102, pct_nosym: 0.3, ..Default::default() });
+    let input = input_for(&g);
+    let r = parse_serial(&input);
+    let nosym: Vec<_> = g.truth.functions.iter().filter(|f| !f.has_symbol).collect();
+    assert!(!nosym.is_empty(), "workload must contain symbol-less functions");
+    for f in nosym {
+        assert!(
+            r.cfg.functions.contains_key(&f.entry),
+            "unsymboled {} at {:#x} not discovered",
+            f.name,
+            f.entry
+        );
+    }
+}
+
+#[test]
+fn function_ranges_match_ground_truth() {
+    let g = generate(&GenConfig { num_funcs: 50, seed: 103, ..Default::default() });
+    let input = input_for(&g);
+    let r = parse_serial(&input);
+    let mut mismatches = Vec::new();
+    for f in &g.truth.functions {
+        let Some(parsed) = r.cfg.functions.get(&f.entry) else {
+            mismatches.push(format!("{} missing", f.name));
+            continue;
+        };
+        let got = parsed.ranges(&r.cfg);
+        let mut want = f.ranges.clone();
+        want.sort_unstable();
+        // The parser's ranges must cover the truth entry range start and
+        // agree on total coverage.
+        if got != want {
+            mismatches.push(format!("{}: got {:x?} want {:x?}", f.name, got, want));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "{} range mismatches:\n{}",
+        mismatches.len(),
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn jump_table_sizes_match_ground_truth() {
+    let g = generate(&GenConfig {
+        num_funcs: 80,
+        seed: 104,
+        pct_switch: 0.5,
+        ..Default::default()
+    });
+    let input = input_for(&g);
+    let r = parse_serial(&input);
+    assert!(!g.truth.jump_tables.is_empty());
+    for jt in &g.truth.jump_tables {
+        // Find the block ending with this indirect jump.
+        let jump_block = r
+            .cfg
+            .blocks
+            .values()
+            .find(|b| b.contains(jt.jump_addr))
+            .unwrap_or_else(|| panic!("no block contains jump at {:#x}", jt.jump_addr));
+        let indirect_targets: std::collections::BTreeSet<u64> = r
+            .cfg
+            .out_edges(jump_block.start)
+            .iter()
+            .filter(|e| e.kind == EdgeKind::Indirect)
+            .map(|e| e.dst)
+            .collect();
+        // Distinct targets can be fewer than entries (duplicate cases),
+        // so compare against the distinct truth target count.
+        assert!(
+            !indirect_targets.is_empty(),
+            "jump table at {:#x} unresolved (table {:#x}, bounded={})",
+            jt.jump_addr,
+            jt.table_addr,
+            !jt.unbounded_guard
+        );
+        assert!(
+            indirect_targets.len() as u64 <= jt.entries,
+            "jump at {:#x}: {} targets exceed {} truth entries",
+            jt.jump_addr,
+            indirect_targets.len(),
+            jt.entries
+        );
+    }
+}
+
+#[test]
+fn noreturn_functions_identified() {
+    let g = generate(&GenConfig {
+        num_funcs: 50,
+        seed: 105,
+        pct_noreturn: 0.15,
+        pct_error_path: 0.25,
+        ..Default::default()
+    });
+    let input = input_for(&g);
+    let r = parse_serial(&input);
+    for f in &g.truth.functions {
+        let Some(parsed) = r.cfg.functions.get(&f.entry) else { continue };
+        if f.noreturn {
+            assert_eq!(
+                parsed.ret_status,
+                RetStatus::NoReturn,
+                "{} should be NoReturn",
+                f.name
+            );
+        } else {
+            assert_eq!(parsed.ret_status, RetStatus::Returns, "{} should return", f.name);
+        }
+    }
+}
+
+#[test]
+fn no_fallthrough_after_noreturn_calls() {
+    let g = generate(&GenConfig {
+        num_funcs: 50,
+        seed: 106,
+        pct_noreturn: 0.15,
+        pct_error_path: 0.3,
+        ..Default::default()
+    });
+    let input = input_for(&g);
+    let r = parse_serial(&input);
+    assert!(!g.truth.noreturn_calls.is_empty());
+    for &call_addr in &g.truth.noreturn_calls {
+        let Some(block) = r.cfg.blocks.values().find(|b| b.contains(call_addr)) else {
+            continue;
+        };
+        let has_ft = r
+            .cfg
+            .out_edges(block.start)
+            .iter()
+            .any(|e| e.kind == EdgeKind::CallFallthrough);
+        assert!(
+            !has_ft,
+            "call at {call_addr:#x} to non-returning callee must have no fall-through"
+        );
+    }
+}
+
+#[test]
+fn parallel_equals_serial_all_thread_counts() {
+    let g = generate(&GenConfig {
+        num_funcs: 60,
+        seed: 107,
+        pct_switch: 0.3,
+        pct_shared: 0.2,
+        pct_cold: 0.2,
+        pct_tailcall: 0.15,
+        pct_noreturn: 0.1,
+        ..Default::default()
+    });
+    let input = input_for(&g);
+    let base = parse_serial(&input).cfg.canonical();
+    for threads in [2, 4, 8] {
+        let got = parse_parallel(&input, threads).cfg.canonical();
+        assert_eq!(got, base, "thread count {threads} changed the CFG");
+    }
+}
+
+#[test]
+fn parallel_repeated_runs_are_deterministic() {
+    let g = generate(&GenConfig { num_funcs: 40, seed: 108, ..Default::default() });
+    let input = input_for(&g);
+    let first = parse_parallel(&input, 4).cfg.canonical();
+    for _ in 0..4 {
+        assert_eq!(parse_parallel(&input, 4).cfg.canonical(), first);
+    }
+}
+
+#[test]
+fn rounds_scheduling_matches_task_scheduling() {
+    let g = generate(&GenConfig { num_funcs: 40, seed: 109, ..Default::default() });
+    let input = input_for(&g);
+    let task = parse(&input, &ParseConfig { threads: 4, scheduling: Scheduling::Task, ..Default::default() });
+    let rounds =
+        parse(&input, &ParseConfig { threads: 4, scheduling: Scheduling::Rounds, ..Default::default() });
+    assert_eq!(task.cfg.canonical(), rounds.cfg.canonical());
+}
+
+#[test]
+fn deferred_noreturn_matches_eager() {
+    let g = generate(&GenConfig {
+        num_funcs: 40,
+        seed: 110,
+        pct_noreturn: 0.15,
+        pct_error_path: 0.3,
+        ..Default::default()
+    });
+    let input = input_for(&g);
+    let eager = parse(&input, &ParseConfig { threads: 2, eager_noreturn: true, ..Default::default() });
+    let deferred =
+        parse(&input, &ParseConfig { threads: 2, eager_noreturn: false, ..Default::default() });
+    assert_eq!(eager.cfg.canonical(), deferred.cfg.canonical());
+}
+
+#[test]
+fn decode_cache_does_not_change_results() {
+    let g = generate(&GenConfig { num_funcs: 40, seed: 111, pct_shared: 0.3, ..Default::default() });
+    let input = input_for(&g);
+    let on = parse(&input, &ParseConfig { threads: 2, decode_cache: true, ..Default::default() });
+    let off = parse(&input, &ParseConfig { threads: 2, decode_cache: false, ..Default::default() });
+    assert_eq!(on.cfg.canonical(), off.cfg.canonical());
+}
+
+#[test]
+fn shared_blocks_belong_to_both_functions() {
+    let g = generate(&GenConfig {
+        num_funcs: 60,
+        seed: 112,
+        pct_shared: 0.4,
+        ..Default::default()
+    });
+    let input = input_for(&g);
+    let r = parse_serial(&input);
+    // Functions whose truth has a second range equal to another
+    // function's sub-range are shared users.
+    let mut found_shared = false;
+    for f in &g.truth.functions {
+        if f.ranges.len() < 2 {
+            continue;
+        }
+        let Some(parsed) = r.cfg.functions.get(&f.entry) else { continue };
+        let got = parsed.ranges(&r.cfg);
+        for want in &f.ranges[1..] {
+            let covered = got.iter().any(|(lo, hi)| lo <= &want.0 && &want.1 <= hi);
+            if covered {
+                found_shared = true;
+            }
+            assert!(
+                covered,
+                "{}: extra range {:x?} not covered by parsed ranges {:x?}",
+                f.name, want, got
+            );
+        }
+    }
+    assert!(found_shared, "workload must include shared/cold ranges");
+}
+
+#[test]
+fn stats_are_plausible() {
+    let g = generate(&GenConfig { num_funcs: 30, seed: 113, ..Default::default() });
+    let input = input_for(&g);
+    let r = parse_serial(&input);
+    let s = r.stats.snapshot();
+    assert!(s.insns_decoded > 0);
+    assert!(s.blocks_created as usize >= r.cfg.blocks.len());
+    assert!(s.funcs_created as usize >= r.cfg.functions.len());
+    assert!(s.ends_registered > 0);
+}
+
+#[test]
+fn rvlite_program_parses() {
+    use pba_isa::rvlite::encode as renc;
+    use pba_isa::{Arch, reg::Reg};
+    // f0: movi r1,3 ; cmpi r1,5 ; bcc GE over ; addi r1, 1 ; over: call f1 ; ret
+    // f1: ret
+    let mut code = vec![];
+    renc::movi(&mut code, Reg(1), 3);
+    renc::cmpi(&mut code, Reg(1), 5);
+    let b = renc::bcc(&mut code, pba_isa::insn::Cond::Ge);
+    renc::addi(&mut code, Reg(1), 1);
+    let over = code.len();
+    renc::patch_rel32(&mut code, b, over);
+    let c = renc::call(&mut code);
+    renc::ret(&mut code);
+    let f1 = code.len();
+    renc::patch_rel32(&mut code, c, f1);
+    renc::ret(&mut code);
+
+    let region = pba_cfg::CodeRegion::new(Arch::RvLite, 0x1000, code);
+    let input = ParseInput::from_parts(
+        region,
+        vec![],
+        vec![(0x1000, "f0".into()), (0x1000 + f1 as u64, "f1".into())],
+    );
+    let r = parse_serial(&input);
+    assert_eq!(r.cfg.functions.len(), 2);
+    let f0 = &r.cfg.functions[&0x1000];
+    assert_eq!(f0.ret_status, RetStatus::Returns);
+    // Blocks: entry [0..bcc-end), then two successors, the join, etc.
+    assert!(r.cfg.blocks.len() >= 4, "blocks: {:?}", r.cfg.blocks);
+    // The conditional edge pair exists.
+    let entry_block = &r.cfg.blocks[&0x1000];
+    let kinds: Vec<EdgeKind> = r.cfg.out_edges(entry_block.start).iter().map(|e| e.kind).collect();
+    assert!(kinds.contains(&EdgeKind::CondTaken));
+    assert!(kinds.contains(&EdgeKind::CondNotTaken));
+}
+
+#[test]
+fn listing1_tail_call_consistency() {
+    // The paper's Listing 1: two functions branch to the same target;
+    // one with teardown, one without. Whatever the analysis order, the
+    // finalization must produce a consistent answer for both.
+    use pba_isa::insn::AluKind;
+    use pba_isa::reg::Reg;
+    use pba_isa::x86::encode;
+    let base = 0x1000u64;
+    let mut code = vec![];
+    // A: push rbp; mov rbp, rsp; leave; jmp T
+    encode::push_r(&mut code, Reg::RBP);
+    encode::mov_rr(&mut code, Reg::RBP, Reg::RSP);
+    encode::leave(&mut code);
+    let ja = encode::jmp_rel32(&mut code);
+    // B: mov rsi, 1 (no teardown); jmp T
+    let b_off = code.len();
+    encode::mov_ri32(&mut code, Reg::RSI, 1);
+    let jb = encode::jmp_rel32(&mut code);
+    // T: add rax, 1; ret
+    let t_off = code.len();
+    encode::alu_ri(&mut code, AluKind::Add, Reg::RAX, 1);
+    encode::ret(&mut code);
+    encode::patch_rel32(&mut code, ja, t_off);
+    encode::patch_rel32(&mut code, jb, t_off);
+
+    let t_addr = base + t_off as u64;
+    let region = pba_cfg::CodeRegion::new(pba_isa::Arch::X86_64, base, code);
+    let input = ParseInput::from_parts(
+        region,
+        vec![],
+        vec![(base, "A".into()), (base + b_off as u64, "B".into())],
+    );
+    // Parse many times with varying thread counts: the answer for B's
+    // branch must always be the same.
+    let reference = parse_serial(&input).cfg.canonical();
+    for threads in [1, 2, 4] {
+        for _ in 0..3 {
+            let got = parse_parallel(&input, threads).cfg.canonical();
+            assert_eq!(got, reference, "inconsistent tail-call results at {threads} threads");
+        }
+    }
+    // And the shared target block exists exactly once.
+    let r = parse_serial(&input);
+    assert!(r.cfg.blocks.contains_key(&t_addr));
+}

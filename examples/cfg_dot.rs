@@ -1,0 +1,78 @@
+//! Export one function's CFG as Graphviz dot — the classic binary
+//! analysis debugging workflow.
+//!
+//! ```text
+//! cargo run --example cfg_dot --release [-- <function-name>]
+//! ```
+
+use pba::cfg::EdgeKind;
+use pba::gen::{generate, GenConfig};
+use pba::parse::{parse_parallel, ParseInput};
+
+fn main() {
+    let wanted = std::env::args().nth(1);
+    let binary = generate(&GenConfig { num_funcs: 16, seed: 3, pct_switch: 0.5, ..Default::default() });
+    let elf = pba::elf::Elf::parse(binary.elf.clone()).unwrap();
+    let input = ParseInput::from_elf(&elf).unwrap();
+    let result = parse_parallel(&input, 2);
+
+    // Pick the requested function, or the one with the most interesting
+    // shape (a jump table).
+    let func = match &wanted {
+        Some(name) => result
+            .cfg
+            .functions
+            .values()
+            .find(|f| f.name.contains(name.as_str()))
+            .unwrap_or_else(|| panic!("no function matching {name:?}")),
+        None => result
+            .cfg
+            .functions
+            .values()
+            .max_by_key(|f| {
+                f.blocks
+                    .iter()
+                    .flat_map(|b| result.cfg.out_edges(*b))
+                    .filter(|e| e.kind == EdgeKind::Indirect)
+                    .count()
+                    * 100
+                    + f.blocks.len()
+            })
+            .expect("some function"),
+    };
+
+    println!("digraph \"{}\" {{", func.name);
+    println!("  node [shape=box fontname=\"monospace\"];");
+    for &b in &func.blocks {
+        let blk = &result.cfg.blocks[&b];
+        let insns = result.cfg.code.insns(blk.start, blk.end);
+        let label: Vec<String> =
+            insns.iter().map(|i| format!("{:#x}: {}", i.addr, i.mnemonic())).collect();
+        println!("  \"b{:x}\" [label=\"{}\"];", b, label.join("\\l") + "\\l");
+    }
+    for &b in &func.blocks {
+        for e in result.cfg.out_edges(b) {
+            let (style, color) = match e.kind {
+                EdgeKind::Fallthrough => ("solid", "black"),
+                EdgeKind::CondTaken => ("solid", "darkgreen"),
+                EdgeKind::CondNotTaken => ("solid", "red"),
+                EdgeKind::Direct => ("solid", "blue"),
+                EdgeKind::Indirect => ("dashed", "purple"),
+                EdgeKind::Call => ("bold", "gray"),
+                EdgeKind::CallFallthrough => ("dotted", "black"),
+                EdgeKind::TailCall => ("bold", "orange"),
+            };
+            println!(
+                "  \"b{:x}\" -> \"b{:x}\" [style={style} color={color} label=\"{:?}\"];",
+                b, e.dst, e.kind
+            );
+        }
+    }
+    println!("}}");
+    eprintln!(
+        "// {} blocks, function {} at {:#x}; pipe into `dot -Tsvg` to render",
+        func.blocks.len(),
+        func.name,
+        func.entry
+    );
+}

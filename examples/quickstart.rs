@@ -1,0 +1,58 @@
+//! Quickstart: generate a binary, parse its CFG in parallel, and walk
+//! the result.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use pba::gen::{generate, GenConfig};
+use pba::parse::{parse_parallel, ParseInput};
+
+fn main() {
+    // A small synthetic binary with all the challenging constructs:
+    // shared code, jump tables, non-returning functions, tail calls.
+    let binary = generate(&GenConfig { num_funcs: 24, seed: 7, ..Default::default() });
+    println!(
+        "generated ELF: {} bytes, {} functions ({} with symbols)",
+        binary.stats.total_size, binary.stats.num_funcs, binary.stats.num_symbols
+    );
+
+    let elf = pba::elf::Elf::parse(binary.elf.clone()).expect("well-formed ELF");
+    let input = ParseInput::from_elf(&elf).expect(".text present");
+
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let result = parse_parallel(&input, threads);
+
+    println!(
+        "parsed: {} functions, {} blocks, {} edges ({} threads)",
+        result.cfg.functions.len(),
+        result.cfg.blocks.len(),
+        result.cfg.edges.len(),
+        threads
+    );
+    let s = result.stats.snapshot();
+    println!(
+        "work: {} instructions decoded, {} block splits, {} call sites waited on callee status",
+        s.insns_decoded, s.split_iterations, s.noreturn_waits
+    );
+
+    // Walk one function.
+    let f = result.cfg.functions.values().max_by_key(|f| f.blocks.len()).unwrap();
+    println!("\nlargest function: {} at {:#x} ({} blocks)", f.name, f.entry, f.blocks.len());
+    for &b in f.blocks.iter().take(8) {
+        let blk = &result.cfg.blocks[&b];
+        let term = result.cfg.code.insns(blk.start, blk.end).last().map(|i| i.mnemonic());
+        println!(
+            "  block [{:#x}, {:#x})  {:2} insns  ends with {}",
+            blk.start,
+            blk.end,
+            result.cfg.code.insns(blk.start, blk.end).len(),
+            term.unwrap_or("?")
+        );
+    }
+
+    // Per-function loop analysis over the read-only CFG (Listing 7).
+    let view = pba::dataflow::FuncView::new(&result.cfg, f);
+    let forest = pba::loops::loop_forest(&view);
+    println!("loops: {} (max nesting depth {})", forest.loops.len(), forest.max_depth());
+}

@@ -1,0 +1,157 @@
+//! `pba` — command-line front end for parallel binary analysis.
+//!
+//! ```text
+//! pba functions <elf> [--threads N]     list functions with block/edge counts
+//! pba blocks <elf> <function-name>      dump one function's blocks
+//! pba struct <elf> [--threads N]        recover program structure (hpcstruct)
+//! pba stats <elf> [--threads N]         parse-work statistics
+//! pba selftest [--funcs N]              generate a binary and check ground truth
+//! ```
+
+use pba::gen::{generate, GenConfig};
+use pba::hpcstruct::{analyze, HsConfig};
+use pba::parse::{parse_parallel, ParseInput, ParseResult};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  pba functions <elf> [--threads N]\n  pba blocks <elf> <name>\n  \
+         pba struct <elf> [--threads N]\n  pba stats <elf> [--threads N]\n  pba selftest [--funcs N]"
+    );
+    std::process::exit(2)
+}
+
+fn flag(args: &[String], name: &str) -> Option<usize> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+}
+
+fn load(path: &str, threads: usize) -> ParseResult {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| {
+        eprintln!("pba: cannot read {path}: {e}");
+        std::process::exit(1)
+    });
+    let elf = pba::elf::Elf::parse(bytes).unwrap_or_else(|e| {
+        eprintln!("pba: {path}: {e}");
+        std::process::exit(1)
+    });
+    let input = ParseInput::from_elf(&elf).unwrap_or_else(|e| {
+        eprintln!("pba: {path}: {e}");
+        std::process::exit(1)
+    });
+    parse_parallel(&input, threads)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = flag(&args, "--threads")
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    match args.first().map(String::as_str) {
+        Some("functions") => {
+            let path = args.get(1).unwrap_or_else(|| usage());
+            let r = load(path, threads);
+            println!("{:<40} {:>18} {:>7} {:>7}  status", "name", "entry", "blocks", "edges");
+            for f in r.cfg.functions.values() {
+                let edges: usize = f.blocks.iter().map(|b| r.cfg.out_edges(*b).len()).sum();
+                println!(
+                    "{:<40} {:>#18x} {:>7} {:>7}  {:?}",
+                    pba::elf::demangle::pretty_name(&f.name),
+                    f.entry,
+                    f.blocks.len(),
+                    edges,
+                    f.ret_status
+                );
+            }
+        }
+        Some("blocks") => {
+            let path = args.get(1).unwrap_or_else(|| usage());
+            let name = args.get(2).unwrap_or_else(|| usage());
+            let r = load(path, threads);
+            let f = r
+                .cfg
+                .functions
+                .values()
+                .find(|f| f.name.contains(name.as_str()) || pba::elf::demangle::pretty_name(&f.name).contains(name.as_str()))
+                .unwrap_or_else(|| {
+                    eprintln!("pba: no function matching {name:?}");
+                    std::process::exit(1)
+                });
+            println!("{} at {:#x}:", f.name, f.entry);
+            for &b in &f.blocks {
+                let blk = &r.cfg.blocks[&b];
+                println!("  block [{:#x}, {:#x})", blk.start, blk.end);
+                for i in r.cfg.code.insns(blk.start, blk.end) {
+                    println!("    {:#x}  {}", i.addr, i.mnemonic());
+                }
+                for e in r.cfg.out_edges(b) {
+                    println!("    -> {:#x} ({:?})", e.dst, e.kind);
+                }
+            }
+        }
+        Some("struct") => {
+            let path = args.get(1).unwrap_or_else(|| usage());
+            let bytes = std::fs::read(path).unwrap_or_else(|e| {
+                eprintln!("pba: cannot read {path}: {e}");
+                std::process::exit(1)
+            });
+            let out = analyze(&bytes, &HsConfig { threads, name: path.clone() })
+                .unwrap_or_else(|e| {
+                    eprintln!("pba: {e}");
+                    std::process::exit(1)
+                });
+            print!("{}", out.text);
+            eprintln!(
+                "# {} functions, {} loops, {} statements in {:.1} ms",
+                out.structure.functions.len(),
+                out.structure.loop_count(),
+                out.structure.stmt_count(),
+                out.times.total() * 1e3
+            );
+        }
+        Some("stats") => {
+            let path = args.get(1).unwrap_or_else(|| usage());
+            let t = std::time::Instant::now();
+            let r = load(path, threads);
+            let dt = t.elapsed().as_secs_f64();
+            let s = r.stats.snapshot();
+            println!("parsed in {:.1} ms on {threads} threads", dt * 1e3);
+            println!("functions          {:>10}", r.cfg.functions.len());
+            println!("blocks             {:>10}", r.cfg.blocks.len());
+            println!("edges              {:>10}", r.cfg.edges.len());
+            println!("insns decoded      {:>10}", s.insns_decoded);
+            println!("cache hits         {:>10}", s.cache_hits);
+            println!("split iterations   {:>10}", s.split_iterations);
+            println!("noreturn waits     {:>10}", s.noreturn_waits);
+            println!("noreturn resumes   {:>10}", s.noreturn_resumes);
+            println!("jts bounded        {:>10}", s.jt_bounded);
+            println!("jts unbounded      {:>10}", s.jt_unbounded);
+            println!("jt edges clamped   {:>10}", s.jt_edges_clamped);
+            println!("tailcall flips     {:>10}", s.tailcall_flips);
+        }
+        Some("selftest") => {
+            let funcs = flag(&args, "--funcs").unwrap_or(64);
+            let g = generate(&GenConfig { num_funcs: funcs, seed: 0x5E1F, ..Default::default() });
+            let elf = pba::elf::Elf::parse(g.elf.clone()).unwrap();
+            let input = ParseInput::from_elf(&elf).unwrap();
+            let r = parse_parallel(&input, threads);
+            let mut bad = 0;
+            for f in &g.truth.functions {
+                let ok = r
+                    .cfg
+                    .functions
+                    .get(&f.entry)
+                    .map(|pf| {
+                        let mut want = f.ranges.clone();
+                        want.sort_unstable();
+                        pf.ranges(&r.cfg) == want
+                    })
+                    .unwrap_or(false);
+                if !ok {
+                    bad += 1;
+                    eprintln!("mismatch: {} at {:#x}", f.name, f.entry);
+                }
+            }
+            println!("selftest: {}/{} functions exact", g.truth.functions.len() - bad, g.truth.functions.len());
+            std::process::exit(if bad == 0 { 0 } else { 1 });
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,58 @@
+//! # pba — Parallel Binary Analysis
+//!
+//! A from-scratch Rust implementation of **"Parallel Binary Code
+//! Analysis"** (Meng, Anderson, Mellor-Crummey, Krentel, Miller,
+//! Milaković — PPoPP 2021): multithreaded control-flow-graph
+//! construction from binaries, plus the substrate stack it needs and
+//! the two application case studies the paper evaluates.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pba::gen::{generate, GenConfig};
+//! use pba::parse::{parse_parallel, ParseInput};
+//!
+//! // Generate a synthetic test binary (or bring your own ELF64 bytes).
+//! let binary = generate(&GenConfig { num_funcs: 16, seed: 1, ..Default::default() });
+//! let elf = pba::elf::Elf::parse(binary.elf.clone()).unwrap();
+//!
+//! // Parse its control-flow graph on 4 threads.
+//! let input = ParseInput::from_elf(&elf).unwrap();
+//! let result = parse_parallel(&input, 4);
+//! assert!(!result.cfg.functions.is_empty());
+//!
+//! // The CFG is now read-only: run any analysis in parallel.
+//! for f in result.cfg.functions.values() {
+//!     let view = pba::dataflow::FuncView::new(&result.cfg, f);
+//!     let loops = pba::loops::loop_forest(&view);
+//!     let _ = loops.max_depth();
+//! }
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`concurrent`] | `pba-concurrent` | accessor-style concurrent hash map (TBB analogue), striped sets, counters |
+//! | [`elf`] | `pba-elf` | ELF64 reader/writer, mini-demangler, multi-keyed parallel symbol table |
+//! | [`isa`] | `pba-isa` | architecture-independent instructions; x86-64 + rv-lite codecs |
+//! | [`dwarf`] | `pba-dwarf` | DWARF-modeled debug info: encoder + parallel per-CU decoder |
+//! | [`cfg`] | `pba-cfg` | CFG model, the six-operation algebra, the partial order |
+//! | [`dataflow`] | `pba-dataflow` | liveness, stack height, slicing + jump-table evaluation |
+//! | [`loops`] | `pba-loops` | dominators, natural loops, nesting forests |
+//! | [`parse`] | `pba-parse` | the serial & parallel CFG construction engine |
+//! | [`gen`] | `pba-gen` | synthetic workload generator with exact ground truth |
+//! | [`hpcstruct`] | `pba-hpcstruct` | program-structure recovery (performance analysis) |
+//! | [`binfeat`] | `pba-binfeat` | forensic feature extraction |
+
+pub use pba_binfeat as binfeat;
+pub use pba_cfg as cfg;
+pub use pba_concurrent as concurrent;
+pub use pba_dataflow as dataflow;
+pub use pba_dwarf as dwarf;
+pub use pba_elf as elf;
+pub use pba_gen as gen;
+pub use pba_hpcstruct as hpcstruct;
+pub use pba_isa as isa;
+pub use pba_loops as loops;
+pub use pba_parse as parse;
