@@ -31,7 +31,11 @@ fn bench_parse(c: &mut Criterion) {
             b.iter(|| {
                 black_box(parse(
                     &input,
-                    &ParseConfig { threads: n, scheduling: Scheduling::Rounds, ..Default::default() },
+                    &ParseConfig {
+                        threads: n,
+                        scheduling: Scheduling::Rounds,
+                        ..Default::default()
+                    },
                 ))
             })
         });

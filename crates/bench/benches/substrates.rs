@@ -59,7 +59,12 @@ fn bench_maps(c: &mut Criterion) {
 }
 
 fn bench_dwarf(c: &mut Criterion) {
-    let g = generate(&GenConfig { num_funcs: 400, seed: 0xD4AF, debug_name_bloat: 8, ..Default::default() });
+    let g = generate(&GenConfig {
+        num_funcs: 400,
+        seed: 0xD4AF,
+        debug_name_bloat: 8,
+        ..Default::default()
+    });
     let elf = pba_elf::Elf::parse(g.elf).unwrap();
     let mut group = c.benchmark_group("dwarf-decode");
     group.sample_size(10);
@@ -73,17 +78,28 @@ fn bench_dwarf(c: &mut Criterion) {
 }
 
 fn bench_symtab(c: &mut Criterion) {
-    let g = generate(&GenConfig { num_funcs: 600, seed: 0x57AB, debug_info: false, ..Default::default() });
+    let g = generate(&GenConfig {
+        num_funcs: 600,
+        seed: 0x57AB,
+        debug_info: false,
+        ..Default::default()
+    });
     let elf = pba_elf::Elf::parse(g.elf).unwrap();
     let mut group = c.benchmark_group("symbol-table");
     group.sample_size(10);
     group.bench_function("serial", |b| b.iter(|| black_box(IndexedSymbols::build_serial(&elf))));
-    group.bench_function("parallel", |b| b.iter(|| black_box(IndexedSymbols::build_parallel(&elf))));
+    group
+        .bench_function("parallel", |b| b.iter(|| black_box(IndexedSymbols::build_parallel(&elf))));
     group.finish();
 }
 
 fn bench_decode(c: &mut Criterion) {
-    let g = generate(&GenConfig { num_funcs: 200, seed: 0xDEC0, debug_info: false, ..Default::default() });
+    let g = generate(&GenConfig {
+        num_funcs: 200,
+        seed: 0xDEC0,
+        debug_info: false,
+        ..Default::default()
+    });
     let elf = pba_elf::Elf::parse(g.elf).unwrap();
     let text = elf.section_data(".text").unwrap().to_vec();
     c.bench_function("x86-linear-decode", |b| {

@@ -21,19 +21,13 @@ fn main() {
 
     let configs: Vec<(&str, ParseConfig)> = vec![
         ("baseline (task, eager, cache)", ParseConfig { threads, ..Default::default() }),
-        (
-            "deferred noreturn",
-            ParseConfig { threads, eager_noreturn: false, ..Default::default() },
-        ),
+        ("deferred noreturn", ParseConfig { threads, eager_noreturn: false, ..Default::default() }),
         ("no decode cache", ParseConfig { threads, decode_cache: false, ..Default::default() }),
         (
             "rounds scheduling",
             ParseConfig { threads, scheduling: Scheduling::Rounds, ..Default::default() },
         ),
-        (
-            "serial (1 thread)",
-            ParseConfig { threads: 1, ..Default::default() },
-        ),
+        ("serial (1 thread)", ParseConfig { threads: 1, ..Default::default() }),
     ];
 
     println!(

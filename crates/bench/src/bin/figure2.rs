@@ -18,7 +18,9 @@ fn main() {
     let out = analyze(&g.elf, &HsConfig { threads, name: "TensorFlow".into() }).expect("hpcstruct");
     let total = out.times.total();
 
-    println!("Figure 2: hpcstruct phase trace on the TensorFlow-class binary ({threads} threads)\n");
+    println!(
+        "Figure 2: hpcstruct phase trace on the TensorFlow-class binary ({threads} threads)\n"
+    );
     const WIDTH: usize = 60;
     for (i, name) in PHASE_NAMES.iter().enumerate() {
         let t = out.times.seconds[i];

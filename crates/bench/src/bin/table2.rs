@@ -38,8 +38,8 @@ fn main() {
         if let Some((bd, bc, bt)) = base {
             // Speedup row at the largest thread count.
             let n = *threads.last().unwrap();
-            let out =
-                analyze(&g.elf, &HsConfig { threads: n, name: p.name().into() }).expect("hpcstruct");
+            let out = analyze(&g.elf, &HsConfig { threads: n, name: p.name().into() })
+                .expect("hpcstruct");
             t.row(vec![
                 format!("{} speedup", p.name()),
                 format!("@{n}"),
@@ -50,7 +50,5 @@ fn main() {
         }
     }
     println!("{}", t.render());
-    println!(
-        "paper reference @16 threads: DWARF x7.8-14.4, CFG x8.9-25.2, end-to-end x5.8-8.1"
-    );
+    println!("paper reference @16 threads: DWARF x7.8-14.4, CFG x8.9-25.2, end-to-end x5.8-8.1");
 }

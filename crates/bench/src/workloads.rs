@@ -30,10 +30,7 @@ pub fn sweep_threads() -> Vec<usize> {
         }
     }
     let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    [1usize, 2, 4, 8, 16, 32, 64]
-        .into_iter()
-        .filter(|&t| t <= (avail * 4).max(2))
-        .collect()
+    [1usize, 2, 4, 8, 16, 32, 64].into_iter().filter(|&t| t <= (avail * 4).max(2)).collect()
 }
 
 /// Median-of-N timing helper (seconds).

@@ -14,10 +14,8 @@ pub fn cosine(a: &FeatureIndex, b: &FeatureIndex) -> f64 {
     }
     // Iterate the smaller map for the dot product.
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    let dot: f64 = small
-        .iter()
-        .filter_map(|(k, &va)| large.get(k).map(|&vb| va as f64 * vb as f64))
-        .sum();
+    let dot: f64 =
+        small.iter().filter_map(|(k, &va)| large.get(k).map(|&vb| va as f64 * vb as f64)).sum();
     let na: f64 = a.values().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt();
     let nb: f64 = b.values().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt();
     if na == 0.0 || nb == 0.0 {
@@ -58,7 +56,12 @@ mod tests {
     use pba_gen::{generate, GenConfig};
 
     fn features(seed: u64, funcs: usize) -> FeatureIndex {
-        let g = generate(&GenConfig { seed, num_funcs: funcs, debug_info: false, ..Default::default() });
+        let g = generate(&GenConfig {
+            seed,
+            num_funcs: funcs,
+            debug_info: false,
+            ..Default::default()
+        });
         extract_binary(&g.elf, 1).unwrap().index
     }
 

@@ -29,4 +29,4 @@ pub mod order;
 pub use callgraph::CallGraph;
 pub use model::{Block, Cfg, CodeRegion, Edge, EdgeKind, Function, RetStatus};
 pub use ops::{AbsGraph, CodeOracle, SyntheticCode};
-pub use order::graph_le;
+pub use order::{graph_le, postorder, reverse_postorder};

@@ -203,7 +203,8 @@ impl Cfg {
         functions: BTreeMap<u64, Function>,
         code: Arc<CodeRegion>,
     ) -> Cfg {
-        let mut cfg = Cfg { blocks, edges, functions, code, succs: HashMap::new(), preds: HashMap::new() };
+        let mut cfg =
+            Cfg { blocks, edges, functions, code, succs: HashMap::new(), preds: HashMap::new() };
         cfg.index();
         cfg
     }
@@ -241,11 +242,7 @@ impl Cfg {
 
     /// The block containing `addr`, if any.
     pub fn block_at(&self, addr: u64) -> Option<&Block> {
-        self.blocks
-            .range(..=addr)
-            .next_back()
-            .map(|(_, b)| b)
-            .filter(|b| b.contains(addr))
+        self.blocks.range(..=addr).next_back().map(|(_, b)| b).filter(|b| b.contains(addr))
     }
 
     /// Total instruction count (re-decodes; cheap enough for reporting).

@@ -213,6 +213,7 @@ impl AbsGraph {
             if t < e {
                 self.blocks.insert(s, t); // [s, t)
                 self.blocks.insert(t, e); // [t, e)
+
                 // Edge identity is (src_end, dst): incoming edges keep
                 // dst == s (now [s,t)), outgoing keep src_end == e (now
                 // [t,e)). Only the implicit fall-through must be added.
@@ -265,7 +266,8 @@ impl AbsGraph {
     pub fn o_iec(&mut self, targets: &[u64], end: u64) -> bool {
         let mut changed = false;
         for &t in targets {
-            changed |= self.edges.insert(AbsEdge { src_end: end, dst: t, kind: EdgeKind::Indirect });
+            changed |=
+                self.edges.insert(AbsEdge { src_end: end, dst: t, kind: EdgeKind::Indirect });
             self.ensure_target(t);
         }
         changed
@@ -295,9 +297,10 @@ impl AbsGraph {
                 continue;
             }
             if let Some(&end) = self.blocks.get(&n) {
-                for e in self.edges.range(
-                    AbsEdge { src_end: end, dst: 0, kind: EdgeKind::Fallthrough }..,
-                ) {
+                for e in self
+                    .edges
+                    .range(AbsEdge { src_end: end, dst: 0, kind: EdgeKind::Fallthrough }..)
+                {
                     if e.src_end != end {
                         break;
                     }
@@ -405,6 +408,7 @@ mod tests {
         let mut g = AbsGraph::initial([0x00]);
         g.o_ber(&code, 0x00); // [0x00, 0x09)
         g.o_dec(&code, 0x00); // edges to 0x10 and 0x09
+
         // Now resolve candidate 0x09, then a branch target lands at 0x04.
         g.o_ber(&code, 0x09); // [0x09, 0x10)
         g.o_dec(&code, 0x09); // jmp -> 0x04: candidate 0x04
@@ -418,9 +422,11 @@ mod tests {
         for e in edges_before {
             assert!(g.edges.contains(&e), "lost {e:?}");
         }
-        assert!(g
-            .edges
-            .contains(&AbsEdge { src_end: 0x04, dst: 0x04, kind: EdgeKind::Fallthrough }));
+        assert!(g.edges.contains(&AbsEdge {
+            src_end: 0x04,
+            dst: 0x04,
+            kind: EdgeKind::Fallthrough
+        }));
     }
 
     #[test]
@@ -428,9 +434,9 @@ mod tests {
         let code = stream();
         let mut g = AbsGraph::initial([0x09]);
         g.o_ber(&code, 0x09); // [0x09, 0x10)
-        // Candidate at 0x00: linear end would be 0x09, but block at 0x09
-        // exists? No — early ending happens when a block starts *inside*
-        // [t, e0). 0x09 is not inside [0x00, 0x09). So linear.
+                              // Candidate at 0x00: linear end would be 0x09, but block at 0x09
+                              // exists? No — early ending happens when a block starts *inside*
+                              // [t, e0). 0x09 is not inside [0x00, 0x09). So linear.
         g.candidates.insert(0x00);
         g.o_ber(&code, 0x00);
         assert_eq!(g.blocks.get(&0x00), Some(&0x09));
@@ -441,9 +447,11 @@ mod tests {
         g.candidates.insert(0x00);
         g.o_ber(&code, 0x00);
         assert_eq!(g.blocks.get(&0x00), Some(&0x04), "early end at the existing block");
-        assert!(g
-            .edges
-            .contains(&AbsEdge { src_end: 0x04, dst: 0x04, kind: EdgeKind::Fallthrough }));
+        assert!(g.edges.contains(&AbsEdge {
+            src_end: 0x04,
+            dst: 0x04,
+            kind: EdgeKind::Fallthrough
+        }));
     }
 
     #[test]
@@ -469,9 +477,11 @@ mod tests {
         // Cond edges from 0x09-end block? The cond at 0x04 ends at 0x09:
         // taken -> 0x10, fallthrough -> 0x09.
         assert!(g.edges.contains(&AbsEdge { src_end: 0x09, dst: 0x10, kind: EdgeKind::CondTaken }));
-        assert!(g
-            .edges
-            .contains(&AbsEdge { src_end: 0x09, dst: 0x09, kind: EdgeKind::CondNotTaken }));
+        assert!(g.edges.contains(&AbsEdge {
+            src_end: 0x09,
+            dst: 0x09,
+            kind: EdgeKind::CondNotTaken
+        }));
         assert!(g.edges.contains(&AbsEdge { src_end: 0x10, dst: 0x04, kind: EdgeKind::Direct }));
     }
 
@@ -485,9 +495,11 @@ mod tests {
         ]);
         let g = construct_reference(&code, &[0x00]);
         assert!(g.funcs.contains(&0x20));
-        assert!(g
-            .edges
-            .contains(&AbsEdge { src_end: 0x05, dst: 0x05, kind: EdgeKind::CallFallthrough }));
+        assert!(g.edges.contains(&AbsEdge {
+            src_end: 0x05,
+            dst: 0x05,
+            kind: EdgeKind::CallFallthrough
+        }));
         assert!(g.blocks.contains_key(&0x05));
     }
 
@@ -501,9 +513,7 @@ mod tests {
         code.noreturn_entries.insert(0x20);
         let g = construct_reference(&code, &[0x00]);
         assert!(
-            !g.edges
-                .iter()
-                .any(|e| e.kind == EdgeKind::CallFallthrough),
+            !g.edges.iter().any(|e| e.kind == EdgeKind::CallFallthrough),
             "no fall-through past a non-returning callee"
         );
         assert!(!g.blocks.contains_key(&0x05), "0x05 must stay undiscovered");

@@ -139,9 +139,8 @@ impl<K: Hash + Eq + Clone, V> ConcurrentHashMap<K, V> {
     /// Create a map with `shards` shards (rounded up to a power of two).
     pub fn with_shards(shards: usize) -> Self {
         let n = shards.next_power_of_two().max(1);
-        let shards: Box<[Shard<K, V>]> = (0..n)
-            .map(|_| RwLock::new(HashMap::with_hasher(FxBuildHasher::default())))
-            .collect();
+        let shards: Box<[Shard<K, V>]> =
+            (0..n).map(|_| RwLock::new(HashMap::with_hasher(FxBuildHasher::default()))).collect();
         ConcurrentHashMap {
             shard_shift: 64 - n.trailing_zeros(),
             shards,
@@ -154,11 +153,7 @@ impl<K: Hash + Eq + Clone, V> ConcurrentHashMap<K, V> {
     fn shard_for(&self, key: &K) -> &Shard<K, V> {
         let h = self.hasher.hash_one(key);
         // For a single shard the shift is 64, which is UB for `>>`; mask it.
-        let idx = if self.shards.len() == 1 {
-            0
-        } else {
-            (h >> self.shard_shift) as usize
-        };
+        let idx = if self.shards.len() == 1 { 0 } else { (h >> self.shard_shift) as usize };
         &self.shards[idx]
     }
 

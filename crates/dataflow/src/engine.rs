@@ -1,0 +1,475 @@
+//! The generic dataflow engine: one fixpoint, many analyses, two
+//! executors.
+//!
+//! The paper's thesis is that once the CFG is finalized and read-only,
+//! *any* client analysis can run in parallel. This module is the
+//! machinery that makes that true for dataflow analyses rather than
+//! per-analysis luck: an analysis describes itself as a
+//! [`DataflowSpec`] — direction, lattice bottom, boundary fact, meet,
+//! and block transfer — and an executor drives the Kildall worklist to
+//! the least fixpoint. Because every spec here is monotone over a
+//! finite-height lattice, the fixpoint is *unique*, so the
+//! [`SerialExecutor`] (priority worklist in reverse postorder, from
+//! [`pba_cfg::order`]) and the [`ParallelExecutor`] (round-based rayon
+//! worklist, after the `parallel-dataflow` exemplar) are interchangeable
+//! by construction — the property `tests/engine_equiv.rs` checks on
+//! randomized binaries.
+//!
+//! Two levels of parallelism mirror the paper's phase structure:
+//! *within* a function via [`ParallelExecutor`], and *across* functions
+//! via [`run_all`] / [`run_per_function`], which fan work over a
+//! size-sorted function list on a sized rayon pool (the Listing 7
+//! `schedule(dynamic)` shape). BinFeat's data-flow stage and
+//! hpcstruct's phase 6 go through [`run_per_function`] so each pays
+//! for exactly the analysis it consumes.
+
+use crate::liveness::{liveness_on, LivenessResult};
+use crate::reaching::{reaching_defs_on, ReachingDefs};
+use crate::stack::{stack_heights_on, StackResult};
+use crate::view::{CfgView, FuncView};
+use pba_cfg::order::reverse_postorder;
+use rayon::prelude::*;
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
+
+/// Which way facts flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow entry → exits (e.g. reaching definitions, stack height).
+    Forward,
+    /// Facts flow exits → entry (e.g. liveness).
+    Backward,
+}
+
+/// A dataflow analysis, described declaratively.
+///
+/// Implementations must be monotone: `transfer` may only grow (in the
+/// lattice order implied by `meet`) when its input grows. Every spec in
+/// this crate is; the engine's executor-independence depends on it.
+pub trait DataflowSpec {
+    /// The lattice element attached to each block boundary.
+    type Fact: Clone + PartialEq + Send + Sync;
+
+    /// Which way facts flow.
+    fn direction(&self) -> Direction;
+
+    /// The lattice bottom for `block` (the "no information yet" value
+    /// every boundary starts from).
+    fn bottom(&self, block: u64) -> Self::Fact;
+
+    /// The fact injected at direction-source blocks: the function entry
+    /// for forward problems, the exit blocks for backward ones.
+    fn boundary(&self, block: u64) -> Self::Fact;
+
+    /// Join `incoming` into `into` (the lattice meet/join).
+    fn meet(&self, into: &mut Self::Fact, incoming: &Self::Fact);
+
+    /// Apply `block`'s transfer function to its direction-input fact.
+    fn transfer(&self, block: u64, input: &Self::Fact) -> Self::Fact;
+}
+
+/// Fixpoint facts per block, in direction-relative terms: `input` is the
+/// fact flowing *into* the block (at block entry for forward problems,
+/// at block exit for backward ones) and `output` is `transfer(input)`.
+#[derive(Debug, Clone, Default)]
+pub struct DataflowResults<F> {
+    /// Fact flowing into each block (direction-relative).
+    pub input: HashMap<u64, F>,
+    /// Fact flowing out of each block (direction-relative).
+    pub output: HashMap<u64, F>,
+}
+
+/// The CFG shape the executors iterate over, precomputed once per
+/// function from a [`CfgView`]: dense indices, successor/predecessor
+/// adjacency and the entry block.
+pub struct FlowGraph {
+    /// Block start addresses, in dense-index order.
+    pub blocks: Vec<u64>,
+    index: HashMap<u64, usize>,
+    succs: Vec<Vec<usize>>,
+    preds: Vec<Vec<usize>>,
+    entry: Option<usize>,
+}
+
+impl FlowGraph {
+    /// Capture `view`'s intra-procedural shape.
+    pub fn build(view: &dyn CfgView) -> FlowGraph {
+        let blocks = view.blocks();
+        let index: HashMap<u64, usize> = blocks.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+        let mut succs = vec![Vec::new(); blocks.len()];
+        let mut preds = vec![Vec::new(); blocks.len()];
+        for (i, &b) in blocks.iter().enumerate() {
+            for (s, _) in view.succ_edges(b) {
+                if let Some(&j) = index.get(&s) {
+                    succs[i].push(j);
+                    preds[j].push(i);
+                }
+            }
+        }
+        let entry = index.get(&view.entry()).copied();
+        FlowGraph { blocks, index, succs, preds, entry }
+    }
+
+    /// Direction-sources: blocks whose input carries the boundary fact.
+    fn sources(&self, dir: Direction) -> Vec<usize> {
+        match dir {
+            Direction::Forward => self.entry.into_iter().collect(),
+            Direction::Backward => {
+                (0..self.blocks.len()).filter(|&i| self.succs[i].is_empty()).collect()
+            }
+        }
+    }
+
+    /// Edges pointing into a block, under `dir`.
+    fn dir_preds(&self, dir: Direction) -> &[Vec<usize>] {
+        match dir {
+            Direction::Forward => &self.preds,
+            Direction::Backward => &self.succs,
+        }
+    }
+
+    /// Edges leaving a block, under `dir`.
+    fn dir_succs(&self, dir: Direction) -> &[Vec<usize>] {
+        match dir {
+            Direction::Forward => &self.succs,
+            Direction::Backward => &self.preds,
+        }
+    }
+
+    /// Worklist priority: rank in the direction-appropriate reverse
+    /// postorder (so along acyclic paths a block's inputs settle before
+    /// the block is visited).
+    fn priority(&self, dir: Direction) -> Vec<usize> {
+        let roots: Vec<u64> = self.sources(dir).iter().map(|&i| self.blocks[i]).collect();
+        let dsuccs = self.dir_succs(dir);
+        let succs_of = |b: u64| -> Vec<u64> {
+            dsuccs[self.index[&b]].iter().map(|&j| self.blocks[j]).collect()
+        };
+        let rpo = reverse_postorder(&self.blocks, &roots, &succs_of);
+        let mut rank = vec![0usize; self.blocks.len()];
+        for (r, b) in rpo.iter().enumerate() {
+            rank[self.index[b]] = r;
+        }
+        rank
+    }
+}
+
+/// One shared step: recompute block `b`'s input by meeting its
+/// direction-predecessors' outputs (plus the boundary fact at sources).
+fn recompute_input<S: DataflowSpec>(
+    spec: &S,
+    graph: &FlowGraph,
+    is_source: &[bool],
+    out: &[S::Fact],
+    dir: Direction,
+    b: usize,
+) -> S::Fact {
+    let addr = graph.blocks[b];
+    let mut input = if is_source[b] { spec.boundary(addr) } else { spec.bottom(addr) };
+    for &p in &graph.dir_preds(dir)[b] {
+        spec.meet(&mut input, &out[p]);
+    }
+    input
+}
+
+/// Package the dense fact vectors as address-keyed results.
+fn package<F: Clone>(graph: &FlowGraph, input: Vec<F>, output: Vec<F>) -> DataflowResults<F> {
+    DataflowResults {
+        input: graph.blocks.iter().copied().zip(input).collect(),
+        output: graph.blocks.iter().copied().zip(output).collect(),
+    }
+}
+
+/// Something that can drive a [`DataflowSpec`] to its fixpoint.
+pub trait DataflowExecutor {
+    /// Run `spec` over `graph` to the least fixpoint. (`Sync` so specs
+    /// can cross executor threads; serial execution doesn't exercise it.)
+    fn run<S: DataflowSpec + Sync>(&self, spec: &S, graph: &FlowGraph) -> DataflowResults<S::Fact>;
+}
+
+/// Priority-worklist serial executor.
+///
+/// Blocks are visited in reverse postorder (direction-adjusted), the
+/// order that settles acyclic regions in one pass; every block is
+/// visited at least once so the results cover the whole function.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerialExecutor;
+
+impl DataflowExecutor for SerialExecutor {
+    fn run<S: DataflowSpec + Sync>(&self, spec: &S, graph: &FlowGraph) -> DataflowResults<S::Fact> {
+        let n = graph.blocks.len();
+        let dir = spec.direction();
+        let mut is_source = vec![false; n];
+        for s in graph.sources(dir) {
+            is_source[s] = true;
+        }
+        let rank = graph.priority(dir);
+
+        let mut input: Vec<S::Fact> = graph.blocks.iter().map(|&b| spec.bottom(b)).collect();
+        let mut output: Vec<S::Fact> = graph.blocks.iter().map(|&b| spec.bottom(b)).collect();
+
+        // Min-heap on RPO rank (BinaryHeap is a max-heap; invert).
+        let mut heap: BinaryHeap<(std::cmp::Reverse<usize>, usize)> =
+            (0..n).map(|i| (std::cmp::Reverse(rank[i]), i)).collect();
+        let mut queued = vec![true; n];
+
+        while let Some((_, b)) = heap.pop() {
+            queued[b] = false;
+            let inp = recompute_input(spec, graph, &is_source, &output, dir, b);
+            let outp = spec.transfer(graph.blocks[b], &inp);
+            input[b] = inp;
+            if outp != output[b] {
+                output[b] = outp;
+                for &s in &graph.dir_succs(dir)[b] {
+                    if !queued[s] {
+                        queued[s] = true;
+                        heap.push((std::cmp::Reverse(rank[s]), s));
+                    }
+                }
+            }
+        }
+        package(graph, input, output)
+    }
+}
+
+/// Round-based parallel executor (the shape of the
+/// `gabizon103/parallel-dataflow` exemplar): each round recomputes every
+/// dirty block from a snapshot of the current outputs on a rayon pool,
+/// then merges and marks direction-successors of changed blocks dirty.
+///
+/// Reads within a round may see the previous round's facts; monotonicity
+/// makes that a matter of round count, not of the fixpoint reached.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParallelExecutor {
+    /// Worker threads for the intra-function rounds. 0 = inherit the
+    /// ambient rayon context (no pool is built — the cheap, composable
+    /// default under an enclosing `install`); an explicit count builds a
+    /// dedicated pool per `run`, which is for ablations, not hot paths.
+    pub threads: usize,
+}
+
+impl DataflowExecutor for ParallelExecutor {
+    fn run<S: DataflowSpec + Sync>(&self, spec: &S, graph: &FlowGraph) -> DataflowResults<S::Fact> {
+        let n = graph.blocks.len();
+        let dir = spec.direction();
+        let mut is_source = vec![false; n];
+        for s in graph.sources(dir) {
+            is_source[s] = true;
+        }
+
+        let mut input: Vec<S::Fact> = graph.blocks.iter().map(|&b| spec.bottom(b)).collect();
+        let mut output: Vec<S::Fact> = graph.blocks.iter().map(|&b| spec.bottom(b)).collect();
+
+        let pool = match self.threads {
+            0 => None,
+            t => Some(rayon::ThreadPoolBuilder::new().num_threads(t).build().expect("pool")),
+        };
+
+        let mut dirty: BTreeSet<usize> = (0..n).collect();
+        while !dirty.is_empty() {
+            let batch: Vec<usize> = std::mem::take(&mut dirty).into_iter().collect();
+            let is_source_ref = &is_source;
+            let output_ref = &output;
+            let round = || {
+                batch
+                    .par_iter()
+                    .map(|&b| {
+                        let inp = recompute_input(spec, graph, is_source_ref, output_ref, dir, b);
+                        let outp = spec.transfer(graph.blocks[b], &inp);
+                        (b, inp, outp)
+                    })
+                    .collect()
+            };
+            let results: Vec<(usize, S::Fact, S::Fact)> = match &pool {
+                Some(p) => p.install(round),
+                None => round(),
+            };
+            for (b, inp, outp) in results {
+                input[b] = inp;
+                if outp != output[b] {
+                    output[b] = outp;
+                    dirty.extend(graph.dir_succs(dir)[b].iter().copied());
+                }
+            }
+        }
+        package(graph, input, output)
+    }
+}
+
+/// Executor selection for APIs that take it as a runtime value.
+#[derive(Debug, Clone, Copy, Default)]
+pub enum ExecutorKind {
+    /// [`SerialExecutor`].
+    #[default]
+    Serial,
+    /// [`ParallelExecutor`] with its thread count (0 = inherit the
+    /// ambient rayon context — see [`ParallelExecutor::threads`]; note
+    /// that inside [`run_per_function`] workers the ambient context is
+    /// serial, so `Parallel(0)` there degrades to serial execution).
+    Parallel(usize),
+}
+
+impl ExecutorKind {
+    /// Run `spec` over `graph` with the selected executor.
+    pub fn run<S: DataflowSpec + Sync>(
+        &self,
+        spec: &S,
+        graph: &FlowGraph,
+    ) -> DataflowResults<S::Fact> {
+        match *self {
+            ExecutorKind::Serial => SerialExecutor.run(spec, graph),
+            ExecutorKind::Parallel(threads) => ParallelExecutor { threads }.run(spec, graph),
+        }
+    }
+}
+
+/// The three standard per-function analyses, engine-computed.
+#[derive(Debug)]
+pub struct FuncAnalyses {
+    /// Backward register liveness (AC6).
+    pub liveness: LivenessResult,
+    /// Forward reaching definitions.
+    pub reaching: ReachingDefs,
+    /// Forward stack-height analysis.
+    pub stack: StackResult,
+}
+
+/// Run the three standard analyses over every function of a finalized
+/// CFG, fanning functions across a rayon pool of `threads` workers.
+///
+/// This is the paper's "parallel analysis over a read-only CFG" phase:
+/// functions are size-sorted (largest first) for load balance, and each
+/// function runs the [`SerialExecutor`] — across-function parallelism is
+/// where the throughput is; use [`run_all_with`] to pick a different
+/// per-function executor.
+pub fn run_all(cfg: &pba_cfg::Cfg, threads: usize) -> HashMap<u64, FuncAnalyses> {
+    run_all_with(cfg, threads, ExecutorKind::Serial)
+}
+
+/// [`run_all`] with an explicit per-function executor.
+pub fn run_all_with(
+    cfg: &pba_cfg::Cfg,
+    threads: usize,
+    exec: ExecutorKind,
+) -> HashMap<u64, FuncAnalyses> {
+    run_per_function(cfg, threads, |view| {
+        // One graph serves all three fixpoints.
+        let graph = FlowGraph::build(view);
+        FuncAnalyses {
+            liveness: liveness_on(view, &graph, exec),
+            reaching: reaching_defs_on(view, &graph, exec),
+            stack: stack_heights_on(view, &graph, exec),
+        }
+    })
+}
+
+/// The whole-binary fan-out underneath [`run_all`]: apply `analyze` to a
+/// view of every function, size-sorted largest-first across a rayon pool
+/// of `threads` workers, keyed by function entry.
+///
+/// Consumers needing only one analysis (BinFeat wants liveness,
+/// hpcstruct phase 6 wants stack heights) go through this directly
+/// rather than paying for all three.
+pub fn run_per_function<T: Send>(
+    cfg: &pba_cfg::Cfg,
+    threads: usize,
+    analyze: impl Fn(&FuncView<'_>) -> T + Sync,
+) -> HashMap<u64, T> {
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("run_all pool");
+    let workers = pool.current_num_threads().max(1);
+    let mut funcs: Vec<&pba_cfg::Function> = cfg.functions.values().collect();
+    funcs.sort_by_key(|f| std::cmp::Reverse(f.blocks.len()));
+    // Stripe the size-sorted list across workers so static contiguous
+    // chunking (what the in-repo rayon shim does — no work stealing)
+    // hands every worker one function from each size tier instead of
+    // giving worker 0 all the giants.
+    let striped: Vec<&pba_cfg::Function> =
+        (0..workers).flat_map(|k| funcs.iter().skip(k).step_by(workers).copied()).collect();
+    let results: Vec<(u64, T)> = pool.install(|| {
+        striped
+            .par_iter()
+            .map(|f| {
+                let view = FuncView::new(cfg, f);
+                (f.entry, analyze(&view))
+            })
+            .collect()
+    });
+    results.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::VecView;
+    use pba_cfg::EdgeKind;
+
+    /// A toy forward "block counting" spec: each block's output is
+    /// `max(inputs) + 1`; the fixpoint is the longest acyclic distance
+    /// from entry, saturating on cycles at the block count (capped).
+    struct Depth {
+        cap: u32,
+    }
+
+    impl DataflowSpec for Depth {
+        type Fact = u32;
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+        fn bottom(&self, _b: u64) -> u32 {
+            0
+        }
+        fn boundary(&self, _b: u64) -> u32 {
+            1
+        }
+        fn meet(&self, into: &mut u32, incoming: &u32) {
+            *into = (*into).max(*incoming);
+        }
+        fn transfer(&self, _b: u64, input: &u32) -> u32 {
+            (*input + 1).min(self.cap)
+        }
+    }
+
+    fn diamond() -> VecView {
+        VecView {
+            entry_block: 1,
+            block_data: vec![(1, 2, vec![]), (2, 3, vec![]), (3, 4, vec![]), (4, 5, vec![])],
+            edges: vec![
+                (1, 2, EdgeKind::CondTaken),
+                (1, 3, EdgeKind::CondNotTaken),
+                (2, 4, EdgeKind::Direct),
+                (3, 4, EdgeKind::Fallthrough),
+            ],
+        }
+    }
+
+    #[test]
+    fn serial_reaches_expected_fixpoint() {
+        let view = diamond();
+        let graph = FlowGraph::build(&view);
+        let r = SerialExecutor.run(&Depth { cap: 100 }, &graph);
+        assert_eq!(r.input[&1], 1);
+        assert_eq!(r.output[&1], 2);
+        assert_eq!(r.input[&4], 3, "join takes the max over both arms");
+    }
+
+    #[test]
+    fn executors_agree_on_cyclic_graph() {
+        let mut view = diamond();
+        view.edges.push((4, 1, EdgeKind::Direct)); // loop back
+        let graph = FlowGraph::build(&view);
+        let spec = Depth { cap: 17 };
+        let a = SerialExecutor.run(&spec, &graph);
+        let b = ParallelExecutor { threads: 4 }.run(&spec, &graph);
+        for blk in graph.blocks.iter() {
+            assert_eq!(a.input[blk], b.input[blk]);
+            assert_eq!(a.output[blk], b.output[blk]);
+        }
+    }
+
+    #[test]
+    fn backward_sources_are_exit_blocks() {
+        let view = diamond();
+        let graph = FlowGraph::build(&view);
+        assert_eq!(graph.sources(Direction::Backward), vec![3], "block 4 at dense index 3");
+        assert_eq!(graph.sources(Direction::Forward), vec![0]);
+    }
+}

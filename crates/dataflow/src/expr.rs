@@ -54,10 +54,7 @@ impl Expr {
             None => Expr::Const(0),
         };
         if let Some(i) = m.index {
-            e = Expr::Add(
-                Box::new(e),
-                Box::new(Expr::Mul(Box::new(Expr::Reg(i)), m.scale as u64)),
-            );
+            e = Expr::Add(Box::new(e), Box::new(Expr::Mul(Box::new(Expr::Reg(i)), m.scale as u64)));
         }
         if m.disp != 0 {
             e = Expr::Add(Box::new(e), Box::new(Expr::Const(m.disp as u64)));

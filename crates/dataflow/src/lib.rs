@@ -22,7 +22,23 @@
 //! All analyses run over the [`view::CfgView`] trait so they work both on
 //! finalized [`pba_cfg::Cfg`] functions and on the parser's in-flight
 //! function snapshots.
+//!
+//! ## The engine
+//!
+//! The fixpoint machinery itself lives in [`engine`]: analyses describe
+//! themselves as a [`engine::DataflowSpec`] (direction, lattice bottom,
+//! boundary fact, meet, block transfer) and an executor drives the
+//! worklist — [`engine::SerialExecutor`] with a reverse-postorder
+//! priority queue, or [`engine::ParallelExecutor`] with a round-based
+//! rayon worklist. Monotone specs over finite lattices have a unique
+//! least fixpoint, so the two executors return identical results by
+//! construction (property-tested in `tests/engine_equiv.rs`). Liveness,
+//! reaching definitions and stack height are all spec'd this way;
+//! [`engine::run_all`] fans all three across the functions of a
+//! finalized CFG on a sized rayon pool — the paper's "parallel analysis
+//! over a read-only CFG" phase.
 
+pub mod engine;
 pub mod expr;
 pub mod liveness;
 pub mod reaching;
@@ -30,9 +46,16 @@ pub mod slice;
 pub mod stack;
 pub mod view;
 
+pub use engine::{
+    run_all, run_all_with, run_per_function, DataflowExecutor, DataflowResults, DataflowSpec,
+    Direction, ExecutorKind, FlowGraph, FuncAnalyses, ParallelExecutor, SerialExecutor,
+};
 pub use expr::Expr;
-pub use liveness::{liveness, LivenessResult};
-pub use reaching::{reaching_defs, Def, ReachingDefs};
+pub use liveness::{liveness, liveness_on, liveness_with, LivenessResult};
+pub use reaching::{reaching_defs, reaching_defs_on, reaching_defs_with, Def, ReachingDefs};
 pub use slice::{analyze_indirect_jump, JumpTableForm, PathFact};
-pub use stack::{stack_heights, Height, StackResult};
+pub use stack::{
+    stack_heights, stack_heights_and_extent, stack_heights_on, stack_heights_with, Height,
+    StackResult,
+};
 pub use view::{CfgView, FuncView};

@@ -2,14 +2,16 @@
 //!
 //! Classic may-liveness over bit-mask register sets: a register is live
 //! at a point if some path to a use avoids an intervening definition.
-//! Block-level transfer functions are precomputed (`gen`/`kill` masks);
-//! the fixpoint iterates a worklist in reverse topological order.
+//! Block-level transfer functions are precomputed (`gen`/`kill` masks)
+//! into a [`LivenessSpec`]; the fixpoint itself is the generic engine's
+//! ([`crate::engine`]), so liveness runs under either executor.
 //!
 //! ABI boundary conditions (System V):
 //! * at `ret`: the return register and callee-saved registers are live;
 //! * at a call: argument registers are considered used and caller-saved
 //!   registers killed (the callee may clobber them).
 
+use crate::engine::{DataflowSpec, Direction, ExecutorKind, FlowGraph};
 use crate::view::CfgView;
 use pba_isa::{ControlFlow, Reg, RegSet};
 use std::collections::HashMap;
@@ -55,66 +57,84 @@ fn transfer_insn(i: &pba_isa::Insn, mut live: RegSet) -> RegSet {
     }
 }
 
-/// Run liveness over one function.
+/// Liveness as a [`DataflowSpec`]: backward may-analysis whose facts are
+/// [`RegSet`] masks, with `gen`/`kill` precomputed per block.
+pub struct LivenessSpec {
+    gen: HashMap<u64, RegSet>,
+    kill: HashMap<u64, RegSet>,
+}
+
+impl LivenessSpec {
+    /// Precompute block transfer masks from `view`.
+    pub fn build(view: &dyn CfgView) -> LivenessSpec {
+        let blocks = view.blocks();
+        let mut gen = HashMap::with_capacity(blocks.len());
+        let mut kill = HashMap::with_capacity(blocks.len());
+        for &b in &blocks {
+            let insns = view.insns(b);
+            let mut g = RegSet::EMPTY;
+            let mut k = RegSet::EMPTY;
+            // Forward scan: a read is gen only if not already killed.
+            for i in &insns {
+                match i.control_flow() {
+                    ControlFlow::Call { .. } | ControlFlow::IndirectCall => {
+                        g = g.union(RegSet::from_iter(Reg::SYSV_ARGS).minus(k));
+                        k = k.union(Reg::sysv_caller_saved());
+                    }
+                    _ => {
+                        g = g.union(i.regs_read().minus(k));
+                        k = k.union(i.regs_written());
+                    }
+                }
+            }
+            gen.insert(b, g);
+            kill.insert(b, k);
+        }
+        LivenessSpec { gen, kill }
+    }
+}
+
+impl DataflowSpec for LivenessSpec {
+    type Fact = RegSet;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn bottom(&self, _block: u64) -> RegSet {
+        RegSet::EMPTY
+    }
+
+    fn boundary(&self, _block: u64) -> RegSet {
+        exit_live()
+    }
+
+    fn meet(&self, into: &mut RegSet, incoming: &RegSet) {
+        *into = into.union(*incoming);
+    }
+
+    fn transfer(&self, block: u64, input: &RegSet) -> RegSet {
+        self.gen[&block].union(input.minus(self.kill[&block]))
+    }
+}
+
+/// Run liveness over one function (serial executor).
 pub fn liveness(view: &dyn CfgView) -> LivenessResult {
-    let blocks = view.blocks();
-    let mut gen = HashMap::with_capacity(blocks.len());
-    let mut kill = HashMap::with_capacity(blocks.len());
-    for &b in &blocks {
-        let insns = view.insns(b);
-        let mut g = RegSet::EMPTY;
-        let mut k = RegSet::EMPTY;
-        // Forward scan: a read is gen only if not already killed.
-        for i in &insns {
-            match i.control_flow() {
-                ControlFlow::Call { .. } | ControlFlow::IndirectCall => {
-                    g = g.union(RegSet::from_iter(Reg::SYSV_ARGS).minus(k));
-                    k = k.union(Reg::sysv_caller_saved());
-                }
-                _ => {
-                    g = g.union(i.regs_read().minus(k));
-                    k = k.union(i.regs_written());
-                }
-            }
-        }
-        gen.insert(b, g);
-        kill.insert(b, k);
-    }
+    liveness_with(view, ExecutorKind::Serial)
+}
 
-    let mut res = LivenessResult::default();
-    for &b in &blocks {
-        let is_exit = view.succ_edges(b).is_empty();
-        res.live_out.insert(b, if is_exit { exit_live() } else { RegSet::EMPTY });
-        res.live_in.insert(b, RegSet::EMPTY);
-    }
+/// Run liveness over one function with an explicit executor.
+pub fn liveness_with(view: &dyn CfgView, exec: ExecutorKind) -> LivenessResult {
+    liveness_on(view, &FlowGraph::build(view), exec)
+}
 
-    // Worklist to fixpoint.
-    let mut work: Vec<u64> = blocks.clone();
-    while let Some(b) = work.pop() {
-        let out = res.live_out[&b];
-        let new_in = gen[&b].union(out.minus(kill[&b]));
-        if new_in != res.live_in[&b] {
-            res.live_in.insert(b, new_in);
-            for (p, _) in view.pred_edges(b) {
-                let merged = res.live_out[&p].union(new_in);
-                if merged != res.live_out[&p] {
-                    res.live_out.insert(p, merged);
-                    work.push(p);
-                }
-            }
-        } else {
-            // Even without change, make sure predecessors saw our in-set
-            // at least once (initial propagation).
-            for (p, _) in view.pred_edges(b) {
-                let merged = res.live_out[&p].union(new_in);
-                if merged != res.live_out[&p] {
-                    res.live_out.insert(p, merged);
-                    work.push(p);
-                }
-            }
-        }
-    }
-    res
+/// [`liveness_with`] over a prebuilt [`FlowGraph`] (so whole-binary
+/// drivers can share one graph across all three analyses).
+pub fn liveness_on(view: &dyn CfgView, graph: &FlowGraph, exec: ExecutorKind) -> LivenessResult {
+    let spec = LivenessSpec::build(view);
+    let r = exec.run(&spec, graph);
+    // Direction-relative input is the block's live-out set.
+    LivenessResult { live_in: r.output, live_out: r.input }
 }
 
 /// Walk a block's instructions backward to compute liveness *before*

@@ -3,8 +3,11 @@
 //! The forward companion to liveness: which definition sites can supply
 //! a register's value at each point. Feature extractors and slicing
 //! refinements consume the def-use chains; the analysis is the standard
-//! gen/kill bit-vector fixpoint with definitions indexed densely.
+//! gen/kill bit-vector problem with definitions indexed densely,
+//! expressed as a [`ReachingSpec`] and solved by the generic engine
+//! ([`crate::engine`]).
 
+use crate::engine::{DataflowSpec, Direction, ExecutorKind, FlowGraph};
 use crate::view::CfgView;
 use pba_isa::Reg;
 use std::collections::HashMap;
@@ -18,9 +21,10 @@ pub struct Def {
     pub reg: Reg,
 }
 
-/// Dense bitset over definition ids.
+/// Dense bitset over definition ids (the engine fact of
+/// [`ReachingSpec`]).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
-struct BitSet(Vec<u64>);
+pub struct BitSet(Vec<u64>);
 
 impl BitSet {
     fn with_len(n: usize) -> BitSet {
@@ -31,7 +35,6 @@ impl BitSet {
         self.0[i / 64] |= 1 << (i % 64);
     }
 
-    #[allow(dead_code)]
     fn get(&self, i: usize) -> bool {
         self.0[i / 64] & (1 << (i % 64)) != 0
     }
@@ -48,12 +51,7 @@ impl BitSet {
 
     fn transfer(&self, gen: &BitSet, kill: &BitSet) -> BitSet {
         BitSet(
-            self.0
-                .iter()
-                .zip(&gen.0)
-                .zip(&kill.0)
-                .map(|((&inn, &g), &k)| (inn & !k) | g)
-                .collect(),
+            self.0.iter().zip(&gen.0).zip(&kill.0).map(|((&inn, &g), &k)| (inn & !k) | g).collect(),
         )
     }
 
@@ -78,6 +76,7 @@ impl BitSet {
 pub struct ReachingDefs {
     /// All definition sites, indexed by id.
     pub defs: Vec<Def>,
+    def_ids: HashMap<Def, usize>,
     reach_in: HashMap<u64, BitSet>,
 }
 
@@ -90,14 +89,24 @@ impl ReachingDefs {
             .unwrap_or_default()
     }
 
+    /// Whether `def` reaches the entry of `block` (O(1) point lookup,
+    /// no materialization).
+    pub fn def_reaches_entry(&self, block: u64, def: Def) -> bool {
+        let Some(&id) = self.def_ids.get(&def) else { return false };
+        self.reach_in.get(&block).is_some_and(|s| s.get(id))
+    }
+
     /// Definitions of `reg` reaching the *use* at instruction `addr`
     /// within `block` (walks the block forward applying kills).
-    pub fn defs_reaching_use(&self, view: &dyn CfgView, block: u64, addr: u64, reg: Reg) -> Vec<Def> {
-        let mut live: Vec<Def> = self
-            .reaching_at_entry(block)
-            .into_iter()
-            .filter(|d| d.reg == reg)
-            .collect();
+    pub fn defs_reaching_use(
+        &self,
+        view: &dyn CfgView,
+        block: u64,
+        addr: u64,
+        reg: Reg,
+    ) -> Vec<Def> {
+        let mut live: Vec<Def> =
+            self.reaching_at_entry(block).into_iter().filter(|d| d.reg == reg).collect();
         for i in view.insns(block) {
             if i.addr >= addr {
                 break;
@@ -112,73 +121,121 @@ impl ReachingDefs {
     }
 }
 
-/// Run reaching definitions over one function.
+/// Reaching definitions as a [`DataflowSpec`]: forward bit-vector
+/// problem whose facts are dense [`BitSet`]s over definition ids.
+pub struct ReachingSpec {
+    /// All definition sites, indexed by bit position.
+    defs: Vec<Def>,
+    /// Reverse index: definition site → bit position.
+    def_ids: HashMap<Def, usize>,
+    /// Bit count (defs.len()).
+    n: usize,
+    gen: HashMap<u64, BitSet>,
+    kill: HashMap<u64, BitSet>,
+}
+
+impl ReachingSpec {
+    /// Index every definition site in `view` and precompute per-block
+    /// gen/kill vectors.
+    pub fn build(view: &dyn CfgView) -> ReachingSpec {
+        let blocks = view.blocks();
+
+        // Index all defs.
+        let mut defs: Vec<Def> = Vec::new();
+        let mut def_ids: HashMap<Def, usize> = HashMap::new();
+        for &b in &blocks {
+            for i in view.insns(b) {
+                for r in i.regs_written().iter() {
+                    let d = Def { addr: i.addr, reg: r };
+                    let next = defs.len();
+                    def_ids.entry(d).or_insert_with(|| {
+                        defs.push(d);
+                        next
+                    });
+                }
+            }
+        }
+        let n = defs.len();
+
+        // Per-register def id lists (for kills).
+        let mut by_reg: HashMap<Reg, Vec<usize>> = HashMap::new();
+        for (i, d) in defs.iter().enumerate() {
+            by_reg.entry(d.reg).or_default().push(i);
+        }
+
+        // Block gen/kill.
+        let mut gen: HashMap<u64, BitSet> = HashMap::new();
+        let mut kill: HashMap<u64, BitSet> = HashMap::new();
+        for &b in &blocks {
+            let mut g = BitSet::with_len(n);
+            let mut k = BitSet::with_len(n);
+            for i in view.insns(b) {
+                for r in i.regs_written().iter() {
+                    // A new def of r kills all other defs of r. Note the
+                    // historical quirk (kept for result stability, pinned
+                    // by tests/engine_equiv.rs): earlier same-block gens
+                    // of r are killed but not retracted from `g`, so they
+                    // still flow out of the block — an over-approximation
+                    // in the same spirit as the paper's union-over-paths
+                    // jump-table facts.
+                    for &other in by_reg.get(&r).into_iter().flatten() {
+                        k.set(other);
+                    }
+                    let id = def_ids[&Def { addr: i.addr, reg: r }];
+                    // un-kill & gen this def.
+                    k.0[id / 64] &= !(1 << (id % 64));
+                    g.0[id / 64] &= !(1 << (id % 64));
+                    g.set(id);
+                }
+            }
+            gen.insert(b, g);
+            kill.insert(b, k);
+        }
+        ReachingSpec { defs, def_ids, n, gen, kill }
+    }
+}
+
+impl DataflowSpec for ReachingSpec {
+    type Fact = BitSet;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn bottom(&self, _block: u64) -> BitSet {
+        BitSet::with_len(self.n)
+    }
+
+    fn boundary(&self, _block: u64) -> BitSet {
+        // Nothing reaches the function entry from outside.
+        BitSet::with_len(self.n)
+    }
+
+    fn meet(&self, into: &mut BitSet, incoming: &BitSet) {
+        into.union_with(incoming);
+    }
+
+    fn transfer(&self, block: u64, input: &BitSet) -> BitSet {
+        input.transfer(&self.gen[&block], &self.kill[&block])
+    }
+}
+
+/// Run reaching definitions over one function (serial executor).
 pub fn reaching_defs(view: &dyn CfgView) -> ReachingDefs {
-    let blocks = view.blocks();
+    reaching_defs_with(view, ExecutorKind::Serial)
+}
 
-    // Index all defs.
-    let mut defs: Vec<Def> = Vec::new();
-    let mut def_ids: HashMap<Def, usize> = HashMap::new();
-    for &b in &blocks {
-        for i in view.insns(b) {
-            for r in i.regs_written().iter() {
-                let d = Def { addr: i.addr, reg: r };
-                let next = defs.len();
-                def_ids.entry(d).or_insert_with(|| {
-                    defs.push(d);
-                    next
-                });
-            }
-        }
-    }
-    let n = defs.len();
+/// Run reaching definitions over one function with an explicit executor.
+pub fn reaching_defs_with(view: &dyn CfgView, exec: ExecutorKind) -> ReachingDefs {
+    reaching_defs_on(view, &FlowGraph::build(view), exec)
+}
 
-    // Per-register def id lists (for kills).
-    let mut by_reg: HashMap<Reg, Vec<usize>> = HashMap::new();
-    for (i, d) in defs.iter().enumerate() {
-        by_reg.entry(d.reg).or_default().push(i);
-    }
-
-    // Block gen/kill.
-    let mut gen: HashMap<u64, BitSet> = HashMap::new();
-    let mut kill: HashMap<u64, BitSet> = HashMap::new();
-    for &b in &blocks {
-        let mut g = BitSet::with_len(n);
-        let mut k = BitSet::with_len(n);
-        for i in view.insns(b) {
-            for r in i.regs_written().iter() {
-                // A new def of r kills all other defs of r (including
-                // earlier gens in this block).
-                for &other in by_reg.get(&r).into_iter().flatten() {
-                    k.set(other);
-                }
-                let id = def_ids[&Def { addr: i.addr, reg: r }];
-                // un-kill & gen this def.
-                k.0[id / 64] &= !(1 << (id % 64));
-                g.0[id / 64] &= !(1 << (id % 64));
-                g.set(id);
-            }
-        }
-        gen.insert(b, g);
-        kill.insert(b, k);
-    }
-
-    // Fixpoint.
-    let mut reach_in: HashMap<u64, BitSet> =
-        blocks.iter().map(|&b| (b, BitSet::with_len(n))).collect();
-    let mut work: Vec<u64> = blocks.clone();
-    while let Some(b) = work.pop() {
-        let out = reach_in[&b].transfer(&gen[&b], &kill[&b]);
-        for (s, _) in view.succ_edges(b) {
-            if let Some(inn) = reach_in.get_mut(&s) {
-                if inn.union_with(&out) {
-                    work.push(s);
-                }
-            }
-        }
-    }
-
-    ReachingDefs { defs, reach_in }
+/// [`reaching_defs_with`] over a prebuilt [`FlowGraph`] (so whole-binary
+/// drivers can share one graph across all three analyses).
+pub fn reaching_defs_on(view: &dyn CfgView, graph: &FlowGraph, exec: ExecutorKind) -> ReachingDefs {
+    let spec = ReachingSpec::build(view);
+    let r = exec.run(&spec, graph);
+    ReachingDefs { defs: spec.defs, def_ids: spec.def_ids, reach_in: r.input }
 }
 
 #[cfg(test)]
@@ -256,11 +313,8 @@ mod tests {
             ],
         };
         let rd = reaching_defs(&view);
-        let at_join: Vec<Def> = rd
-            .reaching_at_entry(0x4000)
-            .into_iter()
-            .filter(|d| d.reg == Reg::RAX)
-            .collect();
+        let at_join: Vec<Def> =
+            rd.reaching_at_entry(0x4000).into_iter().filter(|d| d.reg == Reg::RAX).collect();
         assert_eq!(at_join.len(), 2, "both definitions reach the join: {at_join:?}");
         assert!(at_join.contains(&Def { addr: d1, reg: Reg::RAX }));
         assert!(at_join.contains(&Def { addr: d2, reg: Reg::RAX }));
@@ -294,11 +348,8 @@ mod tests {
             ],
         };
         let rd = reaching_defs(&view);
-        let at_loop: Vec<Def> = rd
-            .reaching_at_entry(0x2000)
-            .into_iter()
-            .filter(|d| d.reg == Reg::RCX)
-            .collect();
+        let at_loop: Vec<Def> =
+            rd.reaching_at_entry(0x2000).into_iter().filter(|d| d.reg == Reg::RCX).collect();
         // Both the init and the in-loop redefinition reach the header.
         assert_eq!(at_loop.len(), 2, "{at_loop:?}");
         assert!(at_loop.iter().any(|d| d.addr == 0x1000));

@@ -92,9 +92,11 @@ fn reverse_transfer(i: &Insn, wanted: Expr) -> Expr {
             let v = match src {
                 Value::Reg(s) => Expr::Reg(s),
                 Value::Imm(imm) => Expr::Const(imm as u64),
-                Value::Mem(m, w) => {
-                    Expr::Load { width: w, sext: sign_extend && width == 4, addr: Box::new(Expr::of_mem(&m)) }
-                }
+                Value::Mem(m, w) => Expr::Load {
+                    width: w,
+                    sext: sign_extend && width == 4,
+                    addr: Box::new(Expr::of_mem(&m)),
+                },
             };
             wanted.subst(r, &v)
         }
@@ -103,10 +105,9 @@ fn reverse_transfer(i: &Insn, wanted: Expr) -> Expr {
             let old = Expr::Reg(r);
             let v = match (kind, &src) {
                 (AluKind::Xor, Value::Reg(s)) if *s == r => Expr::Const(0),
-                (AluKind::Add, _) => Expr::Add(
-                    Box::new(old),
-                    Box::new(Expr::of_value(&src, 8, false)),
-                ),
+                (AluKind::Add, _) => {
+                    Expr::Add(Box::new(old), Box::new(Expr::of_value(&src, 8, false)))
+                }
                 (AluKind::Sub, Value::Imm(n)) => {
                     Expr::Add(Box::new(old), Box::new(Expr::Const((-n) as u64)))
                 }
@@ -139,13 +140,19 @@ fn reverse_transfer(i: &Insn, wanted: Expr) -> Expr {
 
 /// Extract a bound from a predecessor's terminator: `cmp r, N` followed
 /// by a conditional branch whose `kind`-side edge we arrived through.
-fn bound_from_pred(insns: &[Insn], edge_kind: EdgeKind, tracked: pba_isa::RegSet) -> Option<(Reg, u64)> {
+fn bound_from_pred(
+    insns: &[Insn],
+    edge_kind: EdgeKind,
+    tracked: pba_isa::RegSet,
+) -> Option<(Reg, u64)> {
     let term = insns.last()?;
     let Op::Jcc { cond, .. } = term.op else { return None };
     // Find the last flags-setting compare before the terminator.
-    let cmp = insns.iter().rev().skip(1).find(|i| {
-        matches!(i.op, Op::Cmp { .. } | Op::Test { .. } | Op::Alu { .. })
-    })?;
+    let cmp = insns
+        .iter()
+        .rev()
+        .skip(1)
+        .find(|i| matches!(i.op, Op::Cmp { .. } | Op::Test { .. } | Op::Alu { .. }))?;
     let Op::Cmp { a: Value::Reg(r), b: Value::Imm(n), .. } = cmp.op else { return None };
     if !tracked.contains(r) || n < 0 {
         return None;
@@ -306,7 +313,12 @@ pub fn analyze_indirect_jump(view: &dyn CfgView, jump_block: u64) -> Vec<PathFac
             let pinsns = view.insns(p);
             let pbound = bound_from_pred(&pinsns, kind, expr.free_regs());
             let e = walk_back(&pinsns, 0, expr.clone());
-            stack.push(Job { block: p, expr: e, bound: job.bound.or(pbound), depth: job.depth + 1 });
+            stack.push(Job {
+                block: p,
+                expr: e,
+                bound: job.bound.or(pbound),
+                depth: job.depth + 1,
+            });
         }
     }
     facts
@@ -427,7 +439,8 @@ mod tests {
         encode::jmp_ind_reg(&mut code, Reg::RAX);
         let insns = decode_seq(&code, 0x1000);
         let end = 0x1000 + code.len() as u64;
-        let view = VecView { entry_block: 0x1000, block_data: vec![(0x1000, end, insns)], edges: vec![] };
+        let view =
+            VecView { entry_block: 0x1000, block_data: vec![(0x1000, end, insns)], edges: vec![] };
         let facts = analyze_indirect_jump(&view, 0x1000);
         assert!(facts.iter().all(|f| f.form.is_none()));
     }
@@ -437,8 +450,11 @@ mod tests {
         let mut code = vec![];
         encode::ret(&mut code);
         let insns = decode_seq(&code, 0x1000);
-        let view =
-            VecView { entry_block: 0x1000, block_data: vec![(0x1000, 0x1001, insns)], edges: vec![] };
+        let view = VecView {
+            entry_block: 0x1000,
+            block_data: vec![(0x1000, 0x1001, insns)],
+            edges: vec![],
+        };
         assert!(analyze_indirect_jump(&view, 0x1000).is_empty());
     }
 

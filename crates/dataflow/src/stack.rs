@@ -10,6 +10,7 @@
 //! `leave` (`mov rsp, rbp; pop rbp`) restores a known height when the
 //! prologue established `mov rbp, rsp`.
 
+use crate::engine::{DataflowSpec, Direction, ExecutorKind, FlowGraph};
 use crate::view::CfgView;
 use pba_isa::{insn::AluKind, ControlFlow, Op, Place, Reg, Value};
 use std::collections::HashMap;
@@ -61,7 +62,8 @@ impl Frame {
         Frame { sp: Height::Known(0), fp: Height::Top }
     }
 
-    fn join(self, other: Frame) -> Frame {
+    /// Component-wise lattice join.
+    pub fn join(self, other: Frame) -> Frame {
         Frame { sp: self.sp.join(other.sp), fp: self.fp.join(other.fp) }
     }
 }
@@ -129,37 +131,109 @@ impl StackResult {
     }
 }
 
-/// Run the forward fixpoint over one function.
-pub fn stack_heights(view: &dyn CfgView) -> StackResult {
-    let mut res = StackResult::default();
-    let blocks = view.blocks();
-    for &b in &blocks {
-        res.at_entry.insert(b, Frame { sp: Height::Bottom, fp: Height::Bottom });
-        res.at_exit.insert(b, Frame { sp: Height::Bottom, fp: Height::Bottom });
-    }
-    let entry = view.entry();
-    res.at_entry.insert(entry, Frame::entry());
+/// Frame state meaning "control never reaches here".
+const UNREACHED: Frame = Frame { sp: Height::Bottom, fp: Height::Bottom };
 
-    let mut work = vec![entry];
-    while let Some(b) = work.pop() {
-        let mut f = res.at_entry[&b];
-        for i in view.insns(b) {
-            f = transfer(&i, f);
+/// Stack-height analysis as a [`DataflowSpec`]: forward problem over the
+/// [`Frame`] lattice, with each block's instructions pre-decoded.
+pub struct StackSpec {
+    insns: HashMap<u64, Vec<pba_isa::Insn>>,
+}
+
+impl StackSpec {
+    /// Pre-decode every block of `view`.
+    pub fn build(view: &dyn CfgView) -> StackSpec {
+        StackSpec { insns: view.blocks().iter().map(|&b| (b, view.insns(b))).collect() }
+    }
+}
+
+impl DataflowSpec for StackSpec {
+    type Fact = Frame;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn bottom(&self, _block: u64) -> Frame {
+        UNREACHED
+    }
+
+    fn boundary(&self, _block: u64) -> Frame {
+        Frame::entry()
+    }
+
+    fn meet(&self, into: &mut Frame, incoming: &Frame) {
+        *into = into.join(*incoming);
+    }
+
+    fn transfer(&self, block: u64, input: &Frame) -> Frame {
+        // An unreached block stays unreached: instruction effects like
+        // `leave` (which forces fp to Top) must not manufacture facts on
+        // blocks no path has delivered a frame to.
+        if *input == UNREACHED {
+            return UNREACHED;
         }
-        if f != res.at_exit[&b] {
-            res.at_exit.insert(b, f);
-            for (s, _) in view.succ_edges(b) {
-                if let Some(&cur) = res.at_entry.get(&s) {
-                    let joined = cur.join(f);
-                    if joined != cur {
-                        res.at_entry.insert(s, joined);
-                        work.push(s);
-                    }
-                }
-            }
+        let mut f = *input;
+        for i in &self.insns[&block] {
+            f = transfer(i, f);
+        }
+        f
+    }
+}
+
+/// Run the forward fixpoint over one function (serial executor).
+pub fn stack_heights(view: &dyn CfgView) -> StackResult {
+    stack_heights_with(view, ExecutorKind::Serial)
+}
+
+/// Run the forward fixpoint over one function with an explicit executor.
+pub fn stack_heights_with(view: &dyn CfgView, exec: ExecutorKind) -> StackResult {
+    stack_heights_on(view, &FlowGraph::build(view), exec)
+}
+
+/// [`stack_heights_with`] over a prebuilt [`FlowGraph`] (so whole-binary
+/// drivers can share one graph across all three analyses).
+pub fn stack_heights_on(view: &dyn CfgView, graph: &FlowGraph, exec: ExecutorKind) -> StackResult {
+    let spec = StackSpec::build(view);
+    let r = exec.run(&spec, graph);
+    StackResult { at_entry: r.input, at_exit: r.output }
+}
+
+/// Run the fixpoint and also report the function's maximum downward
+/// stack extent in bytes — the deepest `Known` height observed at any
+/// block boundary *or between instructions* (a single-block leaf's
+/// push/pop depth is invisible at block boundaries alone). Returns
+/// `None` when the analysis never bounds the height. Reuses the spec's
+/// decoded instructions, so the binary's text is decoded exactly once.
+pub fn stack_heights_and_extent(
+    view: &dyn CfgView,
+    exec: ExecutorKind,
+) -> (StackResult, Option<i64>) {
+    let spec = StackSpec::build(view);
+    let graph = FlowGraph::build(view);
+    let r = exec.run(&spec, &graph);
+    let res = StackResult { at_entry: r.input, at_exit: r.output };
+
+    let mut min_known: Option<i64> = None;
+    let mut note = |h: Height| {
+        if let Height::Known(v) = h {
+            min_known = Some(min_known.map_or(v, |m| m.min(v)));
+        }
+    };
+    for (&b, insns) in &spec.insns {
+        let Some(&frame) = res.at_entry.get(&b) else { continue };
+        // Unreached blocks can never contribute a Known height.
+        if frame == UNREACHED {
+            continue;
+        }
+        note(frame.sp);
+        let mut f = frame;
+        for i in insns {
+            f = transfer(i, f);
+            note(f.sp);
         }
     }
-    res
+    (res, min_known.map(|m| -m.min(0)))
 }
 
 #[cfg(test)]

@@ -174,11 +174,7 @@ fn read_ranges(ranges: &[u8], off: u64) -> Result<Vec<(u64, u64)>> {
 }
 
 /// Read the attributes of one DIE into a map keyed by attribute id.
-fn read_die_attrs(
-    body: &[u8],
-    at: &mut usize,
-    abbrev: &Abbrev,
-) -> Result<HashMap<u64, AttrVal>> {
+fn read_die_attrs(body: &[u8], at: &mut usize, abbrev: &Abbrev) -> Result<HashMap<u64, AttrVal>> {
     let mut vals = HashMap::with_capacity(abbrev.attrs.len());
     for &(attr, form) in &abbrev.attrs {
         let v = read_form(body, at, form)?;
@@ -201,11 +197,7 @@ struct UnitCtx<'a> {
     abbrevs: &'a HashMap<u64, Abbrev>,
 }
 
-fn decode_inlined_tree(
-    body: &[u8],
-    at: &mut usize,
-    ctx: &UnitCtx<'_>,
-) -> Result<Vec<InlinedSub>> {
+fn decode_inlined_tree(body: &[u8], at: &mut usize, ctx: &UnitCtx<'_>) -> Result<Vec<InlinedSub>> {
     let mut out = Vec::new();
     loop {
         let (code, n) = read_uleb(&body[*at..]).ok_or(DwarfError::Truncated("DIE code"))?;
@@ -218,7 +210,8 @@ fn decode_inlined_tree(
             .get(&code)
             .ok_or_else(|| DwarfError::Bad(format!("unknown abbrev {code}")))?;
         let vals = read_die_attrs(body, at, abbrev)?;
-        let children = if abbrev.has_children { decode_inlined_tree(body, at, ctx)? } else { Vec::new() };
+        let children =
+            if abbrev.has_children { decode_inlined_tree(body, at, ctx)? } else { Vec::new() };
         if abbrev.tag == DW_TAG_INLINED_SUBROUTINE {
             let low = vals.get(&DW_AT_LOW_PC).map(|v| v.as_u64()).unwrap_or(0);
             let size = vals.get(&DW_AT_HIGH_PC).map(|v| v.as_u64()).unwrap_or(0);
@@ -323,9 +316,7 @@ fn decode_line_program(line_sec: &[u8], off: u64) -> Result<(Vec<String>, LineTa
                     line = 1;
                 }
                 0x02 => {
-                    let b = unit
-                        .get(at + 1..at + 9)
-                        .ok_or(DwarfError::Truncated("set_address"))?;
+                    let b = unit.get(at + 1..at + 9).ok_or(DwarfError::Truncated("set_address"))?;
                     addr = u64::from_le_bytes(b.try_into().unwrap());
                 }
                 _ => {} // define_file etc.: skip by length
@@ -338,12 +329,14 @@ fn decode_line_program(line_sec: &[u8], off: u64) -> Result<(Vec<String>, LineTa
                     rows.push(LineRow { addr, file: (file.max(1) - 1) as u32, line: line as u32 });
                 }
                 2 => {
-                    let (v, n) = read_uleb(&unit[at..]).ok_or(DwarfError::Truncated("advance_pc"))?;
+                    let (v, n) =
+                        read_uleb(&unit[at..]).ok_or(DwarfError::Truncated("advance_pc"))?;
                     at += n;
                     addr += v * min_insn;
                 }
                 3 => {
-                    let (v, n) = read_sleb(&unit[at..]).ok_or(DwarfError::Truncated("advance_line"))?;
+                    let (v, n) =
+                        read_sleb(&unit[at..]).ok_or(DwarfError::Truncated("advance_line"))?;
                     at += n;
                     line += v;
                 }
@@ -357,7 +350,8 @@ fn decode_line_program(line_sec: &[u8], off: u64) -> Result<(Vec<String>, LineTa
                     addr += ((255 - opcode_base) as u64 / line_range) * min_insn;
                 }
                 9 => {
-                    let b = unit.get(at..at + 2).ok_or(DwarfError::Truncated("fixed_advance_pc"))?;
+                    let b =
+                        unit.get(at..at + 2).ok_or(DwarfError::Truncated("fixed_advance_pc"))?;
                     addr += u16::from_le_bytes(b.try_into().unwrap()) as u64;
                     at += 2;
                 }
@@ -365,7 +359,8 @@ fn decode_line_program(line_sec: &[u8], off: u64) -> Result<(Vec<String>, LineTa
                     // Skip operands of other standard opcodes by table.
                     let nargs = std_lens.get(opcode as usize - 1).copied().unwrap_or(0);
                     for _ in 0..nargs {
-                        let (_, n) = read_uleb(&unit[at..]).ok_or(DwarfError::Truncated("std arg"))?;
+                        let (_, n) =
+                            read_uleb(&unit[at..]).ok_or(DwarfError::Truncated("std arg"))?;
                         at += n;
                     }
                 }
@@ -425,10 +420,8 @@ fn decode_unit(
     // Root DIE: compile unit.
     let (code, n) = read_uleb(&unit[at..]).ok_or(DwarfError::Truncated("CU DIE"))?;
     at += n;
-    let abbrev = ctx
-        .abbrevs
-        .get(&code)
-        .ok_or_else(|| DwarfError::Bad(format!("unknown abbrev {code}")))?;
+    let abbrev =
+        ctx.abbrevs.get(&code).ok_or_else(|| DwarfError::Bad(format!("unknown abbrev {code}")))?;
     if abbrev.tag != DW_TAG_COMPILE_UNIT {
         return Err(DwarfError::Bad("root DIE is not a compile unit".into()));
     }
@@ -457,7 +450,8 @@ fn decode_unit(
                 .get(&code)
                 .ok_or_else(|| DwarfError::Bad(format!("unknown abbrev {code}")))?;
             let vals = read_die_attrs(unit, &mut at, ab)?;
-            let children = if ab.has_children { decode_inlined_tree(unit, &mut at, ctx)? } else { Vec::new() };
+            let children =
+                if ab.has_children { decode_inlined_tree(unit, &mut at, ctx)? } else { Vec::new() };
             if ab.tag == DW_TAG_SUBPROGRAM {
                 let ranges = if let Some(roff) = vals.get(&DW_AT_RANGES) {
                     read_ranges(ctx.ranges, roff.as_u64())?
@@ -526,10 +520,8 @@ pub fn decode_serial(s: DebugSlices<'_>) -> Result<DebugInfo> {
     let abbrevs = parse_abbrevs(s.abbrev)?;
     let slices = index_units(s.info)?;
     let ctx = UnitCtx { strs: s.strs, ranges: s.ranges, abbrevs: &abbrevs };
-    let units: Vec<CompileUnit> = slices
-        .iter()
-        .map(|&sl| decode_unit(s.info, sl, s.line, &ctx))
-        .collect::<Result<_>>()?;
+    let units: Vec<CompileUnit> =
+        slices.iter().map(|&sl| decode_unit(s.info, sl, s.line, &ctx)).collect::<Result<_>>()?;
     Ok(DebugInfo { units })
 }
 

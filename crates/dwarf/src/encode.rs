@@ -255,7 +255,8 @@ fn encode_line_program(out: &mut Vec<u8>, files: &[String], table: &LineTable) -
         let pc_adv = row.addr - cur_addr;
         let line_inc = row.line as i64 - cur_line;
         // Try a special opcode first.
-        let special = if line_inc >= LINE_BASE as i64 && line_inc <= (LINE_BASE as i64 + LINE_RANGE as i64 - 1)
+        let special = if line_inc >= LINE_BASE as i64
+            && line_inc <= (LINE_BASE as i64 + LINE_RANGE as i64 - 1)
         {
             let op = (line_inc - LINE_BASE as i64)
                 + (LINE_RANGE as i64) * pc_adv as i64
@@ -386,7 +387,10 @@ mod tests {
     fn line_program_has_header_and_end_sequence() {
         let mut sec = Vec::new();
         let table = LineTable {
-            rows: vec![LineRow { addr: 0x400000, file: 0, line: 1 }, LineRow { addr: 0x400004, file: 0, line: 2 }],
+            rows: vec![
+                LineRow { addr: 0x400000, file: 0, line: 1 },
+                LineRow { addr: 0x400004, file: 0, line: 2 },
+            ],
         };
         let off = encode_line_program(&mut sec, &["main.c".into()], &table);
         assert_eq!(off, 0);

@@ -91,10 +91,7 @@ fn u64_at(b: &[u8], at: usize, what: &'static str) -> Result<u64, ElfError> {
 /// Read a NUL-terminated string out of a string-table slice.
 pub fn strtab_get(tab: &[u8], off: usize) -> Result<String, ElfError> {
     let rest = tab.get(off..).ok_or(ElfError::BadString { offset: off })?;
-    let end = rest
-        .iter()
-        .position(|&c| c == 0)
-        .ok_or(ElfError::BadString { offset: off })?;
+    let end = rest.iter().position(|&c| c == 0).ok_or(ElfError::BadString { offset: off })?;
     String::from_utf8(rest[..end].to_vec()).map_err(|_| ElfError::BadString { offset: off })
 }
 
@@ -200,7 +197,8 @@ impl Elf {
                 // Entry 0 is the reserved null symbol.
                 let at = symtab.offset as usize + i * SYM_SIZE;
                 let name_off = u32_at(b, at, "st_name")? as usize;
-                let info = *b.get(at + 4).ok_or(ElfError::Truncated { what: "st_info", offset: at })?;
+                let info =
+                    *b.get(at + 4).ok_or(ElfError::Truncated { what: "st_info", offset: at })?;
                 let shndx = u16_at(b, at + 6, "st_shndx")?;
                 let value = u64_at(b, at + 8, "st_value")?;
                 let size = u64_at(b, at + 16, "st_size")?;
@@ -270,7 +268,10 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        assert_eq!(Elf::parse(vec![]).unwrap_err(), ElfError::Truncated { what: "ELF header", offset: 0 });
+        assert_eq!(
+            Elf::parse(vec![]).unwrap_err(),
+            ElfError::Truncated { what: "ELF header", offset: 0 }
+        );
         assert_eq!(Elf::parse(vec![0u8; 64]).unwrap_err(), ElfError::BadMagic);
         let mut almost = vec![0u8; 64];
         almost[..4].copy_from_slice(&ELF_MAGIC);

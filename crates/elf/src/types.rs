@@ -215,7 +215,8 @@ mod tests {
         for b in [SymBind::Local, SymBind::Global, SymBind::Weak] {
             assert_eq!(SymBind::from_raw(b.raw()), b);
         }
-        for t in [SymType::NoType, SymType::Object, SymType::Func, SymType::Section, SymType::File] {
+        for t in [SymType::NoType, SymType::Object, SymType::Func, SymType::Section, SymType::File]
+        {
             assert_eq!(SymType::from_raw(t.raw()), t);
         }
     }

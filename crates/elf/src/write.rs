@@ -144,6 +144,7 @@ impl ElfBuilder {
         if !self.symbols.is_empty() {
             let mut strtab = StrTab::new();
             let mut symtab = vec![0u8; SYM_SIZE]; // null symbol
+
             // Section indices: +1 for the null section at index 0.
             let index_of = |sections: &[PendingSection], name: &str| -> Option<u16> {
                 sections.iter().position(|s| s.name == name).map(|i| (i + 1) as u16)
@@ -152,7 +153,10 @@ impl ElfBuilder {
             self.symbols.sort_by_key(|s| s.bind != SymBind::Local);
             for sym in &self.symbols {
                 let shndx = index_of(&self.sections, &sym.section).ok_or_else(|| {
-                    ElfError::Builder(format!("symbol {} references unknown section {}", sym.name, sym.section))
+                    ElfError::Builder(format!(
+                        "symbol {} references unknown section {}",
+                        sym.name, sym.section
+                    ))
                 })?;
                 let name_off = strtab.add(&sym.name);
                 symtab.extend_from_slice(&name_off.to_le_bytes());
@@ -400,10 +404,7 @@ mod tests {
         assert_eq!(off, 4);
         assert_eq!(elf.read_vaddr(0x401004, 2).unwrap(), &[0xC9, 0xC3]);
         // .rodata
-        assert_eq!(
-            elf.read_vaddr(0x402000, 8).unwrap(),
-            &0x401000u64.to_le_bytes()
-        );
+        assert_eq!(elf.read_vaddr(0x402000, 8).unwrap(), &0x401000u64.to_le_bytes());
         assert!(elf.vaddr_to_section(0x500000).is_none());
         assert!(elf.read_vaddr(0x402000 + 30, 8).is_none());
     }
@@ -437,8 +438,22 @@ mod tests {
     #[test]
     fn nobits_takes_no_file_space() {
         let mut b = ElfBuilder::new(EM_X86_64);
-        b.add_section(".bss", SecType::NoBits, SecFlags::ALLOC.with(SecFlags::WRITE), 0x5000, 8, vec![0; 4096]);
-        b.add_section(".text", SecType::ProgBits, SecFlags::ALLOC.with(SecFlags::EXEC), 0x1000, 1, vec![0xC3]);
+        b.add_section(
+            ".bss",
+            SecType::NoBits,
+            SecFlags::ALLOC.with(SecFlags::WRITE),
+            0x5000,
+            8,
+            vec![0; 4096],
+        );
+        b.add_section(
+            ".text",
+            SecType::ProgBits,
+            SecFlags::ALLOC.with(SecFlags::EXEC),
+            0x1000,
+            1,
+            vec![0xC3],
+        );
         let img = b.build().unwrap();
         assert!(img.len() < 1024, "bss contents must not be serialized; got {}", img.len());
         let elf = Elf::parse(img).unwrap();

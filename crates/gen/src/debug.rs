@@ -166,8 +166,18 @@ mod tests {
 
     #[test]
     fn name_bloat_inflates_debug_str() {
-        let lean = generate(&GenConfig { num_funcs: 20, seed: 9, debug_name_bloat: 1, ..Default::default() });
-        let fat = generate(&GenConfig { num_funcs: 20, seed: 9, debug_name_bloat: 16, ..Default::default() });
+        let lean = generate(&GenConfig {
+            num_funcs: 20,
+            seed: 9,
+            debug_name_bloat: 1,
+            ..Default::default()
+        });
+        let fat = generate(&GenConfig {
+            num_funcs: 20,
+            seed: 9,
+            debug_name_bloat: 16,
+            ..Default::default()
+        });
         assert!(
             fat.stats.debug_size > lean.stats.debug_size * 2,
             "bloat {} vs lean {}",
@@ -182,8 +192,10 @@ mod tests {
         let elf = pba_elf::Elf::parse(g.elf).unwrap();
         let di = decode_parallel(DebugSlices::from_elf(&elf)).unwrap();
         for f in &g.truth.functions {
-            let covered = di.units.iter().any(|u| u.line_table.lookup(f.entry).is_some()
-                && u.subprograms.iter().any(|s| s.contains(f.entry)));
+            let covered = di.units.iter().any(|u| {
+                u.line_table.lookup(f.entry).is_some()
+                    && u.subprograms.iter().any(|s| s.contains(f.entry))
+            });
             assert!(covered, "{} at {:#x} has line info", f.name, f.entry);
         }
     }

@@ -365,14 +365,10 @@ pub fn generate(cfg: &GenConfig) -> Generated {
     for (i, f) in prog.funcs.iter().enumerate() {
         if let Some(host) = f.shares_with {
             let (lo, hi) = e.shared_spans[&host];
-            e.truth.functions[i]
-                .ranges
-                .push((TEXT_BASE + lo as u64, TEXT_BASE + hi as u64));
+            e.truth.functions[i].ranges.push((TEXT_BASE + lo as u64, TEXT_BASE + hi as u64));
         }
         if let Some(&(lo, hi)) = cold_spans.get(&i) {
-            e.truth.functions[i]
-                .ranges
-                .push((TEXT_BASE + lo as u64, TEXT_BASE + hi as u64));
+            e.truth.functions[i].ranges.push((TEXT_BASE + lo as u64, TEXT_BASE + hi as u64));
         }
     }
 
@@ -381,10 +377,8 @@ pub fn generate(cfg: &GenConfig) -> Generated {
     let mut truth = std::mem::take(&mut e.truth);
     let asm = std::mem::take(&mut e.asm);
     // Capture label offsets before finish() consumes the assembler.
-    let case_offsets: Vec<Vec<usize>> = tables
-        .iter()
-        .map(|t| t.case_labels.iter().map(|&l| asm.offset_of(l)).collect())
-        .collect();
+    let case_offsets: Vec<Vec<usize>> =
+        tables.iter().map(|t| t.case_labels.iter().map(|&l| asm.offset_of(l)).collect()).collect();
     let text = asm.finish();
 
     // Fill jump tables.
@@ -412,9 +406,7 @@ pub fn generate(cfg: &GenConfig) -> Generated {
     truth.normalize();
 
     // Debug info.
-    let dbg = cfg
-        .debug_info
-        .then(|| debug::build_debug(cfg, &truth, &text));
+    let dbg = cfg.debug_info.then(|| debug::build_debug(cfg, &truth, &text));
 
     // ELF assembly.
     let mut b = ElfBuilder::new(EM_X86_64);
@@ -439,11 +431,46 @@ pub fn generate(cfg: &GenConfig) -> Generated {
     let mut debug_size = 0usize;
     if let Some(sections) = &dbg {
         debug_size = sections.total_len();
-        b.add_section(".debug_info", SecType::ProgBits, SecFlags::default(), 0, 1, sections.info.clone());
-        b.add_section(".debug_abbrev", SecType::ProgBits, SecFlags::default(), 0, 1, sections.abbrev.clone());
-        b.add_section(".debug_str", SecType::ProgBits, SecFlags::default(), 0, 1, sections.strs.clone());
-        b.add_section(".debug_line", SecType::ProgBits, SecFlags::default(), 0, 1, sections.line.clone());
-        b.add_section(".debug_ranges", SecType::ProgBits, SecFlags::default(), 0, 1, sections.ranges.clone());
+        b.add_section(
+            ".debug_info",
+            SecType::ProgBits,
+            SecFlags::default(),
+            0,
+            1,
+            sections.info.clone(),
+        );
+        b.add_section(
+            ".debug_abbrev",
+            SecType::ProgBits,
+            SecFlags::default(),
+            0,
+            1,
+            sections.abbrev.clone(),
+        );
+        b.add_section(
+            ".debug_str",
+            SecType::ProgBits,
+            SecFlags::default(),
+            0,
+            1,
+            sections.strs.clone(),
+        );
+        b.add_section(
+            ".debug_line",
+            SecType::ProgBits,
+            SecFlags::default(),
+            0,
+            1,
+            sections.line.clone(),
+        );
+        b.add_section(
+            ".debug_ranges",
+            SecType::ProgBits,
+            SecFlags::default(),
+            0,
+            1,
+            sections.ranges.clone(),
+        );
     }
     let elf = b.build().expect("builder invariants hold");
 
@@ -517,8 +544,9 @@ mod tests {
                 let mut at = (lo - TEXT_BASE) as usize;
                 let end = (hi - TEXT_BASE) as usize;
                 while at < end {
-                    let i = decode_one(&text[at..], TEXT_BASE + at as u64)
-                        .unwrap_or_else(|e| panic!("{}: {:#x}: {e}", f.name, TEXT_BASE + at as u64));
+                    let i = decode_one(&text[at..], TEXT_BASE + at as u64).unwrap_or_else(|e| {
+                        panic!("{}: {:#x}: {e}", f.name, TEXT_BASE + at as u64)
+                    });
                     at += i.len as usize;
                 }
                 assert_eq!(at, end, "{}: ranges end on an instruction boundary", f.name);
@@ -528,7 +556,8 @@ mod tests {
 
     #[test]
     fn jump_tables_point_into_text() {
-        let g = generate(&GenConfig { num_funcs: 60, pct_switch: 0.5, seed: 11, ..Default::default() });
+        let g =
+            generate(&GenConfig { num_funcs: 60, pct_switch: 0.5, seed: 11, ..Default::default() });
         assert!(!g.truth.jump_tables.is_empty());
         let elf = pba_elf::Elf::parse(g.elf).unwrap();
         let ro = elf.section_data(".rodata").unwrap();
@@ -540,8 +569,9 @@ mod tests {
                 let target = match jt.stride {
                     8 => u64::from_le_bytes(ro[off + j * 8..off + j * 8 + 8].try_into().unwrap()),
                     _ => {
-                        let rel =
-                            i32::from_le_bytes(ro[off + j * 4..off + j * 4 + 4].try_into().unwrap());
+                        let rel = i32::from_le_bytes(
+                            ro[off + j * 4..off + j * 4 + 4].try_into().unwrap(),
+                        );
                         (jt.table_addr as i64 + rel as i64) as u64
                     }
                 };

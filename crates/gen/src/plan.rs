@@ -222,7 +222,8 @@ pub fn plan(cfg: &GenConfig) -> ProgramPlan {
             } else {
                 rng.random_range(cfg.switch_cases.0..=cfg.switch_cases.1)
             };
-            let kind = if rng.random_bool(0.5) { SwitchKind::Absolute } else { SwitchKind::Relative };
+            let kind =
+                if rng.random_bool(0.5) { SwitchKind::Absolute } else { SwitchKind::Relative };
             let entry = match kind {
                 SwitchKind::Absolute => 8,
                 SwitchKind::Relative => 4,

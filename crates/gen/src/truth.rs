@@ -76,9 +76,7 @@ impl GroundTruth {
 
     /// The function containing `addr`, if any.
     pub fn function_at(&self, addr: u64) -> Option<&FuncTruth> {
-        self.functions
-            .iter()
-            .find(|f| f.ranges.iter().any(|&(lo, hi)| addr >= lo && addr < hi))
+        self.functions.iter().find(|f| f.ranges.iter().any(|&(lo, hi)| addr >= lo && addr < hi))
     }
 }
 

@@ -115,10 +115,7 @@ fn convert_inline(files: &[String], inl: &InlinedSub) -> InlineScope {
         name: inl.name.clone(),
         lo: inl.low_pc,
         hi: inl.high_pc,
-        call_file: files
-            .get(inl.call_file as usize)
-            .cloned()
-            .unwrap_or_else(|| "??".into()),
+        call_file: files.get(inl.call_file as usize).cloned().unwrap_or_else(|| "??".into()),
         call_line: inl.call_line,
         children: inl.children.iter().map(|c| convert_inline(files, c)).collect(),
     }
@@ -131,10 +128,8 @@ pub fn analyze(bytes: &[u8], cfg: &HsConfig) -> Result<HsOutput, String> {
     } else {
         cfg.threads
     };
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .map_err(|e| e.to_string())?;
+    let pool =
+        rayon::ThreadPoolBuilder::new().num_threads(threads).build().map_err(|e| e.to_string())?;
     let mut times = PhaseTimes::default();
 
     // Phase 1: read/ingest.
@@ -170,6 +165,7 @@ pub fn analyze(bytes: &[u8], cfg: &HsConfig) -> Result<HsOutput, String> {
             name: pba_elf::demangle::pretty_name(&f.name),
             entry: f.entry,
             ranges: f.ranges(&cfg_graph),
+            frame_bytes: None,
             loops: Vec::new(),
             stmts: Vec::new(),
             inlines: Vec::new(),
@@ -178,18 +174,21 @@ pub fn analyze(bytes: &[u8], cfg: &HsConfig) -> Result<HsOutput, String> {
     skeleton.sort_by_key(|f| f.entry);
     times.seconds[4] = t.elapsed().as_secs_f64();
 
-    // Phase 6: parallel queries (loops, statements, inline scopes).
+    // Phase 6: parallel queries (loops, statements, inline scopes,
+    // stack frames). The dataflow engine's whole-binary driver fans the
+    // per-function stack analysis across the pool once; the
+    // per-function closures below then read its results.
     let t = Instant::now();
+    let frame_of = pba_dataflow::run_per_function(&cfg_graph, threads, |view| {
+        pba_dataflow::stack_heights_and_extent(view, pba_dataflow::ExecutorKind::Serial).1
+    });
     // Map entries to DWARF subprograms once.
     let subprogram_of: std::collections::HashMap<u64, (usize, usize)> = di
         .units
         .iter()
         .enumerate()
         .flat_map(|(ui, u)| {
-            u.subprograms
-                .iter()
-                .enumerate()
-                .map(move |(si, sp)| (sp.low_pc(), (ui, si)))
+            u.subprograms.iter().enumerate().map(move |(si, sp)| (sp.low_pc(), (ui, si)))
         })
         .collect();
     pool.install(|| {
@@ -204,6 +203,11 @@ pub fn analyze(bytes: &[u8], cfg: &HsConfig) -> Result<HsOutput, String> {
                     .map(|l| LoopStruct { header: l.header, depth: l.depth, blocks: l.size() })
                     .collect();
                 fs.loops.sort_by_key(|l| (l.depth, l.header));
+            }
+            // Stack frame extent, precomputed by the dataflow engine's
+            // whole-binary pass above.
+            if let Some(&extent) = frame_of.get(&fs.entry) {
+                fs.frame_bytes = extent;
             }
             // Statement ranges (AC3): walk covered ranges, coalescing
             // consecutive addresses with the same line.
@@ -319,7 +323,12 @@ mod tests {
     #[test]
     fn stripped_binary_still_works() {
         // No debug info: structure limited to CFG-derived facts.
-        let g = generate(&GenConfig { num_funcs: 10, seed: 5, debug_info: false, ..Default::default() });
+        let g = generate(&GenConfig {
+            num_funcs: 10,
+            seed: 5,
+            debug_info: false,
+            ..Default::default()
+        });
         let out = analyze(&g.elf, &HsConfig { threads: 2, name: "s".into() }).unwrap();
         assert!(!out.structure.functions.is_empty());
         assert_eq!(out.structure.stmt_count(), 0);

@@ -57,6 +57,9 @@ pub struct FuncStruct {
     pub entry: u64,
     /// Covered `[lo, hi)` ranges.
     pub ranges: Vec<(u64, u64)>,
+    /// Maximum stack-frame extent in bytes (from the dataflow engine's
+    /// stack-height analysis), when the analysis bounds it.
+    pub frame_bytes: Option<i64>,
     /// Loops, outermost first.
     pub loops: Vec<LoopStruct>,
     /// Statement ranges, address-sorted.
@@ -96,15 +99,33 @@ impl FuncStruct {
         let mut out = String::with_capacity(256);
         let ranges: Vec<String> =
             self.ranges.iter().map(|(lo, hi)| format!("{lo:#x}-{hi:#x}")).collect();
-        writeln!(out, "  <F n=\"{}\" entry=\"{:#x}\" v=\"{}\">", self.name, self.entry, ranges.join(","))
-            .unwrap();
+        let frame = match self.frame_bytes {
+            Some(n) => format!(" frame=\"{n}\""),
+            None => String::new(),
+        };
+        writeln!(
+            out,
+            "  <F n=\"{}\" entry=\"{:#x}\" v=\"{}\"{frame}>",
+            self.name,
+            self.entry,
+            ranges.join(",")
+        )
+        .unwrap();
         for l in &self.loops {
-            writeln!(out, "    <L head=\"{:#x}\" depth=\"{}\" blocks=\"{}\"/>", l.header, l.depth, l.blocks)
-                .unwrap();
+            writeln!(
+                out,
+                "    <L head=\"{:#x}\" depth=\"{}\" blocks=\"{}\"/>",
+                l.header, l.depth, l.blocks
+            )
+            .unwrap();
         }
         for s in &self.stmts {
-            writeln!(out, "    <S lo=\"{:#x}\" hi=\"{:#x}\" f=\"{}\" l=\"{}\"/>", s.lo, s.hi, s.file, s.line)
-                .unwrap();
+            writeln!(
+                out,
+                "    <S lo=\"{:#x}\" hi=\"{:#x}\" f=\"{}\" l=\"{}\"/>",
+                s.lo, s.hi, s.file, s.line
+            )
+            .unwrap();
         }
         for i in &self.inlines {
             write_inline(&mut out, i, 2);
@@ -147,6 +168,7 @@ mod tests {
                 name: "main".into(),
                 entry: 0x401000,
                 ranges: vec![(0x401000, 0x401080)],
+                frame_bytes: Some(0x28),
                 loops: vec![LoopStruct { header: 0x401020, depth: 1, blocks: 3 }],
                 stmts: vec![StmtRange { lo: 0x401000, hi: 0x401008, file: "m.c".into(), line: 3 }],
                 inlines: vec![InlineScope {
@@ -166,6 +188,7 @@ mod tests {
         let text = sample().to_text();
         assert!(text.contains("<LM n=\"a.out\">"));
         assert!(text.contains("<F n=\"main\""));
+        assert!(text.contains("frame=\"40\""));
         assert!(text.contains("<L head=\"0x401020\" depth=\"1\""));
         assert!(text.contains("<S lo=\"0x401000\""));
         assert!(text.contains("<A n=\"helper\""));

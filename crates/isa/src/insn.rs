@@ -445,9 +445,9 @@ impl Insn {
         match self.op {
             Op::Leave => true,
             Op::Pop { dst: Place::Reg(Reg::RBP) } => true,
-            Op::Alu { kind: AluKind::Add, dst: Place::Reg(Reg::RSP), src: Value::Imm(n), .. } => {
-                n > 0
-            }
+            Op::Alu {
+                kind: AluKind::Add, dst: Place::Reg(Reg::RSP), src: Value::Imm(n), ..
+            } => n > 0,
             _ => false,
         }
     }

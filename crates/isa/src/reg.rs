@@ -61,17 +61,9 @@ impl Reg {
     /// x86-64 System V caller-saved (volatile) registers.
     pub fn sysv_caller_saved() -> RegSet {
         let mut s = RegSet::EMPTY;
-        for r in [
-            Reg::RAX,
-            Reg::RCX,
-            Reg::RDX,
-            Reg::RSI,
-            Reg::RDI,
-            Reg::R8,
-            Reg::R9,
-            Reg::R10,
-            Reg::R11,
-        ] {
+        for r in
+            [Reg::RAX, Reg::RCX, Reg::RDX, Reg::RSI, Reg::RDI, Reg::R8, Reg::R9, Reg::R10, Reg::R11]
+        {
             s.insert(r);
         }
         s
@@ -88,8 +80,8 @@ impl Reg {
 }
 
 const X86_NAMES: [&str; 18] = [
-    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi", "r8", "r9", "r10", "r11", "r12",
-    "r13", "r14", "r15", "rip", "flags",
+    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi", "r8", "r9", "r10", "r11", "r12", "r13",
+    "r14", "r15", "rip", "flags",
 ];
 
 impl fmt::Debug for Reg {

@@ -77,12 +77,24 @@ pub fn decode_one(code: &[u8], addr: u64) -> Result<Insn, DecodeError> {
 
     let op = match opcode {
         OP_NOP => Op::Nop,
-        OP_MOVI => Op::Mov { dst: Place::Reg(rd), src: Value::Imm(imm), width: 8, sign_extend: false },
-        OP_MOV => Op::Mov { dst: Place::Reg(rd), src: Value::Reg(rs), width: 8, sign_extend: false },
-        OP_ADD => Op::Alu { kind: AluKind::Add, dst: Place::Reg(rd), src: Value::Reg(rs), width: 8 },
-        OP_SUB => Op::Alu { kind: AluKind::Sub, dst: Place::Reg(rd), src: Value::Reg(rs), width: 8 },
-        OP_XOR => Op::Alu { kind: AluKind::Xor, dst: Place::Reg(rd), src: Value::Reg(rs), width: 8 },
-        OP_ADDI => Op::Alu { kind: AluKind::Add, dst: Place::Reg(rd), src: Value::Imm(imm), width: 8 },
+        OP_MOVI => {
+            Op::Mov { dst: Place::Reg(rd), src: Value::Imm(imm), width: 8, sign_extend: false }
+        }
+        OP_MOV => {
+            Op::Mov { dst: Place::Reg(rd), src: Value::Reg(rs), width: 8, sign_extend: false }
+        }
+        OP_ADD => {
+            Op::Alu { kind: AluKind::Add, dst: Place::Reg(rd), src: Value::Reg(rs), width: 8 }
+        }
+        OP_SUB => {
+            Op::Alu { kind: AluKind::Sub, dst: Place::Reg(rd), src: Value::Reg(rs), width: 8 }
+        }
+        OP_XOR => {
+            Op::Alu { kind: AluKind::Xor, dst: Place::Reg(rd), src: Value::Reg(rs), width: 8 }
+        }
+        OP_ADDI => {
+            Op::Alu { kind: AluKind::Add, dst: Place::Reg(rd), src: Value::Imm(imm), width: 8 }
+        }
         OP_LOAD => Op::Mov {
             dst: Place::Reg(rd),
             src: Value::Mem(MemRef::base_disp(rs, imm), 8),

@@ -49,12 +49,16 @@ fn modrm_rr(buf: &mut Vec<u8>, w: bool, opcodes: &[u8], reg: Reg, rm: Reg) {
 /// ModRM + SIB + displacement for a memory operand. Returns the buffer
 /// offset of a 4-byte displacement if one was emitted as the final field
 /// (used by RIP-relative patching), else `None`.
-fn modrm_mem(buf: &mut Vec<u8>, w: bool, opcodes: &[u8], reg_field: u8, mem: &MemRef) -> Option<usize> {
+fn modrm_mem(
+    buf: &mut Vec<u8>,
+    w: bool,
+    opcodes: &[u8],
+    reg_field: u8,
+    mem: &MemRef,
+) -> Option<usize> {
     assert!(!mem.rip_based, "use the *_rip emitters for RIP-relative operands");
-    let (rex_x, rex_b) = (
-        mem.index.map(|r| r.hw() >> 3).unwrap_or(0),
-        mem.base.map(|r| r.hw() >> 3).unwrap_or(0),
-    );
+    let (rex_x, rex_b) =
+        (mem.index.map(|r| r.hw() >> 3).unwrap_or(0), mem.base.map(|r| r.hw() >> 3).unwrap_or(0));
     let rex_byte = rex(w, reg_field >> 3, rex_x, rex_b);
     if rex_byte != 0x40 || w {
         buf.push(rex_byte);
@@ -415,7 +419,12 @@ mod tests {
                 mov_rr(&mut b, d, s);
                 assert_eq!(
                     decode(&b),
-                    Op::Mov { dst: Place::Reg(d), src: Value::Reg(s), width: 8, sign_extend: false }
+                    Op::Mov {
+                        dst: Place::Reg(d),
+                        src: Value::Reg(s),
+                        width: 8,
+                        sign_extend: false
+                    }
                 );
             }
         }
@@ -504,7 +513,12 @@ mod tests {
             let mut b = vec![];
             alu_rr(&mut b, kind, Reg::RAX, Reg::R11);
             match decode(&b) {
-                Op::Alu { kind: k, dst: Place::Reg(Reg::RAX), src: Value::Reg(Reg::R11), width: 8 } => {
+                Op::Alu {
+                    kind: k,
+                    dst: Place::Reg(Reg::RAX),
+                    src: Value::Reg(Reg::R11),
+                    width: 8,
+                } => {
                     assert_eq!(k, kind)
                 }
                 other => panic!("{other:?}"),
@@ -513,7 +527,12 @@ mod tests {
                 let mut b = vec![];
                 alu_ri(&mut b, kind, Reg::RDX, imm);
                 match decode(&b) {
-                    Op::Alu { kind: k, dst: Place::Reg(Reg::RDX), src: Value::Imm(v), width: 8 } => {
+                    Op::Alu {
+                        kind: k,
+                        dst: Place::Reg(Reg::RDX),
+                        src: Value::Imm(v),
+                        width: 8,
+                    } => {
                         assert_eq!((k, v), (kind, imm as i64))
                     }
                     other => panic!("{other:?}"),
@@ -523,7 +542,9 @@ mod tests {
         let mut b = vec![];
         alu_rr(&mut b, Imul, Reg::RCX, Reg::RDI);
         match decode(&b) {
-            Op::Alu { kind: Imul, dst: Place::Reg(Reg::RCX), src: Value::Reg(Reg::RDI), .. } => {}
+            Op::Alu {
+                kind: Imul, dst: Place::Reg(Reg::RCX), src: Value::Reg(Reg::RDI), ..
+            } => {}
             other => panic!("{other:?}"),
         }
     }
@@ -536,17 +557,28 @@ mod tests {
 
         let mut b = vec![];
         cmp_rr(&mut b, Reg::RAX, Reg::RBX);
-        assert_eq!(decode(&b), Op::Cmp { a: Value::Reg(Reg::RAX), b: Value::Reg(Reg::RBX), width: 8 });
+        assert_eq!(
+            decode(&b),
+            Op::Cmp { a: Value::Reg(Reg::RAX), b: Value::Reg(Reg::RBX), width: 8 }
+        );
 
         let mut b = vec![];
         test_rr(&mut b, Reg::RDI, Reg::RDI);
-        assert_eq!(decode(&b), Op::Test { a: Value::Reg(Reg::RDI), b: Value::Reg(Reg::RDI), width: 8 });
+        assert_eq!(
+            decode(&b),
+            Op::Test { a: Value::Reg(Reg::RDI), b: Value::Reg(Reg::RDI), width: 8 }
+        );
 
         for kind in [ShiftKind::Shl, ShiftKind::Shr, ShiftKind::Sar] {
             let mut b = vec![];
             shift_ri(&mut b, kind, Reg::R9, 3);
             match decode(&b) {
-                Op::Shift { kind: k, dst: Place::Reg(Reg::R9), amount: Value::Imm(3), width: 8 } => {
+                Op::Shift {
+                    kind: k,
+                    dst: Place::Reg(Reg::R9),
+                    amount: Value::Imm(3),
+                    width: 8,
+                } => {
                     assert_eq!(k, kind)
                 }
                 other => panic!("{other:?}"),

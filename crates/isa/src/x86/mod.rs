@@ -345,14 +345,7 @@ pub fn decode_one(code: &[u8], addr: u64) -> Result<Insn, DecodeError> {
             let m = decode_modrm(code, i, rex)?;
             i += m.consumed;
             if opcode == 0x39 {
-                finish(
-                    Op::Cmp {
-                        a: rm_to_value(m.rm, width),
-                        b: Value::Reg(Reg(m.reg)),
-                        width,
-                    },
-                    i,
-                )
+                finish(Op::Cmp { a: rm_to_value(m.rm, width), b: Value::Reg(Reg(m.reg)), width }, i)
             } else {
                 finish(
                     Op::Alu {
@@ -369,14 +362,7 @@ pub fn decode_one(code: &[u8], addr: u64) -> Result<Insn, DecodeError> {
             let m = decode_modrm(code, i, rex)?;
             i += m.consumed;
             if opcode == 0x3B {
-                finish(
-                    Op::Cmp {
-                        a: Value::Reg(Reg(m.reg)),
-                        b: rm_to_value(m.rm, width),
-                        width,
-                    },
-                    i,
-                )
+                finish(Op::Cmp { a: Value::Reg(Reg(m.reg)), b: rm_to_value(m.rm, width), width }, i)
             } else {
                 let kind = match opcode {
                     0x03 => AluKind::Add,
@@ -456,11 +442,36 @@ pub fn decode_one(code: &[u8], addr: u64) -> Result<Insn, DecodeError> {
                 v
             };
             let op = match m.reg & 7 {
-                0 => Op::Alu { kind: AluKind::Add, dst: rm_to_place(m.rm, width), src: Value::Imm(imm), width },
-                1 => Op::Alu { kind: AluKind::Or, dst: rm_to_place(m.rm, width), src: Value::Imm(imm), width },
-                4 => Op::Alu { kind: AluKind::And, dst: rm_to_place(m.rm, width), src: Value::Imm(imm), width },
-                5 => Op::Alu { kind: AluKind::Sub, dst: rm_to_place(m.rm, width), src: Value::Imm(imm), width },
-                6 => Op::Alu { kind: AluKind::Xor, dst: rm_to_place(m.rm, width), src: Value::Imm(imm), width },
+                0 => Op::Alu {
+                    kind: AluKind::Add,
+                    dst: rm_to_place(m.rm, width),
+                    src: Value::Imm(imm),
+                    width,
+                },
+                1 => Op::Alu {
+                    kind: AluKind::Or,
+                    dst: rm_to_place(m.rm, width),
+                    src: Value::Imm(imm),
+                    width,
+                },
+                4 => Op::Alu {
+                    kind: AluKind::And,
+                    dst: rm_to_place(m.rm, width),
+                    src: Value::Imm(imm),
+                    width,
+                },
+                5 => Op::Alu {
+                    kind: AluKind::Sub,
+                    dst: rm_to_place(m.rm, width),
+                    src: Value::Imm(imm),
+                    width,
+                },
+                6 => Op::Alu {
+                    kind: AluKind::Xor,
+                    dst: rm_to_place(m.rm, width),
+                    src: Value::Imm(imm),
+                    width,
+                },
                 7 => Op::Cmp { a: rm_to_value(m.rm, width), b: Value::Imm(imm), width },
                 _ => return Err(DecodeError::Unsupported { addr, byte: opcode }),
             };
@@ -471,10 +482,7 @@ pub fn decode_one(code: &[u8], addr: u64) -> Result<Insn, DecodeError> {
         0x85 => {
             let m = decode_modrm(code, i, rex)?;
             i += m.consumed;
-            finish(
-                Op::Test { a: rm_to_value(m.rm, width), b: Value::Reg(Reg(m.reg)), width },
-                i,
-            )
+            finish(Op::Test { a: rm_to_value(m.rm, width), b: Value::Reg(Reg(m.reg)), width }, i)
         }
 
         // mov r/m, r and mov r, r/m
@@ -524,14 +532,24 @@ pub fn decode_one(code: &[u8], addr: u64) -> Result<Insn, DecodeError> {
             if rex.w {
                 let v = imm64(code, i)?;
                 finish(
-                    Op::Mov { dst: Place::Reg(r), src: Value::Imm(v), width: 8, sign_extend: false },
+                    Op::Mov {
+                        dst: Place::Reg(r),
+                        src: Value::Imm(v),
+                        width: 8,
+                        sign_extend: false,
+                    },
                     i + 8,
                 )
             } else {
                 // mov r32, imm32 zero-extends.
                 let v = imm32(code, i)? as u32 as i64;
                 finish(
-                    Op::Mov { dst: Place::Reg(r), src: Value::Imm(v), width: 4, sign_extend: false },
+                    Op::Mov {
+                        dst: Place::Reg(r),
+                        src: Value::Imm(v),
+                        width: 4,
+                        sign_extend: false,
+                    },
                     i + 4,
                 )
             }
@@ -569,7 +587,12 @@ pub fn decode_one(code: &[u8], addr: u64) -> Result<Insn, DecodeError> {
             let v = imm32(code, i)?;
             i += 4;
             finish(
-                Op::Mov { dst: rm_to_place(m.rm, width), src: Value::Imm(v), width, sign_extend: false },
+                Op::Mov {
+                    dst: rm_to_place(m.rm, width),
+                    src: Value::Imm(v),
+                    width,
+                    sign_extend: false,
+                },
                 i,
             )
         }
@@ -606,11 +629,21 @@ pub fn decode_one(code: &[u8], addr: u64) -> Result<Insn, DecodeError> {
             i += m.consumed;
             match m.reg & 7 {
                 0 => finish(
-                    Op::Alu { kind: AluKind::Add, dst: rm_to_place(m.rm, width), src: Value::Imm(1), width },
+                    Op::Alu {
+                        kind: AluKind::Add,
+                        dst: rm_to_place(m.rm, width),
+                        src: Value::Imm(1),
+                        width,
+                    },
                     i,
                 ),
                 1 => finish(
-                    Op::Alu { kind: AluKind::Sub, dst: rm_to_place(m.rm, width), src: Value::Imm(1), width },
+                    Op::Alu {
+                        kind: AluKind::Sub,
+                        dst: rm_to_place(m.rm, width),
+                        src: Value::Imm(1),
+                        width,
+                    },
                     i,
                 ),
                 2 => finish(Op::CallInd { src: rm_to_value(m.rm, 8) }, i),
@@ -736,10 +769,7 @@ mod tests {
         b.extend_from_slice(&0x20i32.to_le_bytes());
         let i = dec(&b, 0x400000);
         // end = 0x400007, so target = 0x400027
-        assert_eq!(
-            i.op,
-            Op::Lea { dst: Reg::RAX, mem: MemRef::absolute(0x400027) }
-        );
+        assert_eq!(i.op, Op::Lea { dst: Reg::RAX, mem: MemRef::absolute(0x400027) });
     }
 
     #[test]
@@ -843,10 +873,7 @@ mod tests {
     fn truncated_and_unsupported() {
         assert_eq!(decode_one(&[], 0), Err(DecodeError::Truncated));
         assert_eq!(decode_one(&[0xE9, 0x01], 0), Err(DecodeError::Truncated));
-        assert!(matches!(
-            decode_one(&[0x06], 0),
-            Err(DecodeError::Unsupported { .. })
-        ));
+        assert!(matches!(decode_one(&[0x06], 0), Err(DecodeError::Unsupported { .. })));
     }
 
     #[test]

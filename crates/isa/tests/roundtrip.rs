@@ -24,11 +24,7 @@ fn arb_scale() -> impl Strategy<Value = u8> {
 }
 
 fn arb_disp() -> impl Strategy<Value = i64> {
-    prop_oneof![
-        Just(0i64),
-        (-128i64..128),
-        (-(1i64 << 31)..(1i64 << 31)),
-    ]
+    prop_oneof![Just(0i64), -128i64..128, -(1i64 << 31)..(1i64 << 31),]
 }
 
 fn arb_mem() -> impl Strategy<Value = MemRef> {

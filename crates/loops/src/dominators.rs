@@ -41,6 +41,7 @@ impl DomTree {
 fn reverse_postorder(view: &dyn CfgView) -> Vec<u64> {
     let mut order = Vec::new();
     let mut state: HashMap<u64, u8> = HashMap::new(); // 0 absent, 1 open, 2 done
+
     // Iterative DFS with explicit post-visit marker.
     let mut stack: Vec<(u64, bool)> = vec![(view.entry(), false)];
     while let Some((n, post)) = stack.pop() {
@@ -111,11 +112,8 @@ pub fn dominators(view: &dyn CfgView) -> DomTree {
         }
     }
 
-    let map: HashMap<u64, u64> = rpo
-        .iter()
-        .enumerate()
-        .filter_map(|(i, &b)| idom[i].map(|d| (b, rpo[d])))
-        .collect();
+    let map: HashMap<u64, u64> =
+        rpo.iter().enumerate().filter_map(|(i, &b)| idom[i].map(|d| (b, rpo[d]))).collect();
     let _ = entry;
     DomTree { rpo, idom: map }
 }

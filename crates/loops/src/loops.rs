@@ -46,12 +46,7 @@ pub struct LoopForest {
 impl LoopForest {
     /// Nesting depth of `block`: 0 if not in any loop.
     pub fn depth_of(&self, block: u64) -> u32 {
-        self.loops
-            .iter()
-            .filter(|l| l.contains(block))
-            .map(|l| l.depth)
-            .max()
-            .unwrap_or(0)
+        self.loops.iter().filter(|l| l.contains(block)).map(|l| l.depth).max().unwrap_or(0)
     }
 
     /// Maximum nesting depth in the function.
@@ -118,7 +113,8 @@ pub fn forest_with_doms(view: &dyn CfgView, dom: &DomTree) -> LoopForest {
         // The smallest strictly-containing loop is the parent: scan from
         // the end (smallest first) among earlier (larger) loops.
         for j in (0..i).rev() {
-            let contains = loops[j].body.is_superset(&loops[i].body) && loops[j].header != loops[i].header;
+            let contains =
+                loops[j].body.is_superset(&loops[i].body) && loops[j].header != loops[i].header;
             if contains {
                 // Candidate; pick the *smallest* containing loop.
                 match parent[i] {
@@ -203,11 +199,8 @@ mod tests {
         // outer: 2..5 ; inner: 3..4
         // 1 -> 2 -> 3 -> 4 -> 3 (inner back), 4 -> 5 -> 2 (outer back),
         // 5 -> 6
-        let v = view(
-            1,
-            &[1, 2, 3, 4, 5, 6],
-            &[(1, 2), (2, 3), (3, 4), (4, 3), (4, 5), (5, 2), (5, 6)],
-        );
+        let v =
+            view(1, &[1, 2, 3, 4, 5, 6], &[(1, 2), (2, 3), (3, 4), (4, 3), (4, 5), (5, 2), (5, 6)]);
         let f = loop_forest(&v);
         assert_eq!(f.loops.len(), 2);
         let outer = f.loops.iter().find(|l| l.header == 2).unwrap();

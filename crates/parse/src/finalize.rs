@@ -45,11 +45,8 @@ fn clamp_jump_tables(state: &State<'_>) -> Vec<(u64, u64)> {
         // Drop every indirect edge at this jump that is not in the final
         // target set — covers both the clamp above and stale edges from
         // earlier (wider) refinement rounds.
-        let final_targets: Vec<u64> = state
-            .jts
-            .find(&t.block_end)
-            .map(|a| a.targets.clone())
-            .unwrap_or_default();
+        let final_targets: Vec<u64> =
+            state.jts.find(&t.block_end).map(|a| a.targets.clone()).unwrap_or_default();
         if let Some(mut acc) = state.edges.find_mut(&t.block_end) {
             acc.retain(|&(d, k)| {
                 let keep = k != EdgeKind::Indirect || final_targets.contains(&d);
@@ -208,10 +205,8 @@ pub fn finalize(state: State<'_>) -> ParseResult {
 
         // Parallel membership computation.
         let entries: Vec<u64> = funcs.keys().copied().collect();
-        let members: Vec<(u64, BTreeSet<u64>)> = entries
-            .par_iter()
-            .map(|&f| (f, membership(f, &adj, &blocks)))
-            .collect();
+        let members: Vec<(u64, BTreeSet<u64>)> =
+            entries.par_iter().map(|&f| (f, membership(f, &adj, &blocks))).collect();
         let block_owners: HashMap<u64, Vec<u64>> = {
             let mut m: HashMap<u64, Vec<u64>> = HashMap::new();
             for (f, set) in &members {
@@ -267,10 +262,8 @@ pub fn finalize(state: State<'_>) -> ParseResult {
                     }
                     // Rule 3: the target's only incoming edge is this
                     // one → outlined code block, not a tail call.
-                    let only_in = in_edges
-                        .get(&dst)
-                        .map(|v| v.len() == 1 && v[0].0 == src)
-                        .unwrap_or(true);
+                    let only_in =
+                        in_edges.get(&dst).map(|v| v.len() == 1 && v[0].0 == src).unwrap_or(true);
                     let is_seeded = funcs.get(&dst).map(|f| f.2).unwrap_or(false);
                     if only_in && !is_seeded {
                         flips.push(((src, dst), EdgeKind::Direct));
@@ -310,10 +303,8 @@ pub fn finalize(state: State<'_>) -> ParseResult {
         adj.entry(src).or_default().push((dst, kind));
     }
     let entries: Vec<u64> = funcs.keys().copied().collect();
-    let memberships: Vec<(u64, BTreeSet<u64>)> = entries
-        .par_iter()
-        .map(|&f| (f, membership(f, &adj, &blocks)))
-        .collect();
+    let memberships: Vec<(u64, BTreeSet<u64>)> =
+        entries.par_iter().map(|&f| (f, membership(f, &adj, &blocks))).collect();
 
     let mut live_blocks: BTreeSet<u64> = BTreeSet::new();
     for (_, m) in &memberships {
@@ -333,7 +324,8 @@ pub fn finalize(state: State<'_>) -> ParseResult {
     let final_funcs: BTreeMap<u64, Function> = memberships
         .into_iter()
         .map(|(entry, m)| {
-            let (name, status, _) = funcs.get(&entry).cloned().unwrap_or((None, RetStatus::Unset, false));
+            let (name, status, _) =
+                funcs.get(&entry).cloned().unwrap_or((None, RetStatus::Unset, false));
             let status = if status == RetStatus::Unset { RetStatus::NoReturn } else { status };
             (
                 entry,

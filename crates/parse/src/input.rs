@@ -37,9 +37,7 @@ impl ParseInput {
     /// (machine → architecture) and every allocated non-executable
     /// progbits section as data.
     pub fn from_elf(elf: &Elf) -> Result<ParseInput, ElfError> {
-        let text = elf
-            .section(".text")
-            .ok_or(ElfError::BadOffset { what: ".text", value: 0 })?;
+        let text = elf.section(".text").ok_or(ElfError::BadOffset { what: ".text", value: 0 })?;
         let arch = match elf.machine {
             pba_elf::types::EM_RVLITE => Arch::RvLite,
             _ => Arch::X86_64,
@@ -74,7 +72,11 @@ impl ParseInput {
     }
 
     /// Construct directly (tests, rv-lite programs).
-    pub fn from_parts(code: CodeRegion, data: Vec<(u64, Vec<u8>)>, seeds: Vec<(u64, String)>) -> ParseInput {
+    pub fn from_parts(
+        code: CodeRegion,
+        data: Vec<(u64, Vec<u8>)>,
+        seeds: Vec<(u64, String)>,
+    ) -> ParseInput {
         ParseInput { code: Arc::new(code), data, seeds }
     }
 

@@ -170,7 +170,11 @@ impl<'i> State<'i> {
             if inserted {
                 self.stats.ends_registered.inc();
                 self.set_block_end(cur_start, cur_end);
-                return if first { RegisterOutcome::CreateEdges } else { RegisterOutcome::SplitDone };
+                return if first {
+                    RegisterOutcome::CreateEdges
+                } else {
+                    RegisterOutcome::SplitDone
+                };
             }
             let xi = *acc;
             if xi == cur_start {
@@ -482,19 +486,14 @@ mod tests {
         let cfg = ParseConfig::default();
         let s = State::new(&input, &cfg);
         s.create_function(0x2000, None, false); // callee
+
         // Caller waits.
-        assert_eq!(
-            s.call_disposition(0x2000, 0x1100, 0x1000),
-            CallDisposition::Waiting
-        );
+        assert_eq!(s.call_disposition(0x2000, 0x1100, 0x1000), CallDisposition::Waiting);
         // Callee's ret found → waiter resumed.
         let resumed = s.notify_returns(0x2000);
         assert_eq!(resumed, vec![(0x1100, 0x1000)]);
         // Later calls see Returns directly.
-        assert_eq!(
-            s.call_disposition(0x2000, 0x1200, 0x1000),
-            CallDisposition::Fallthrough
-        );
+        assert_eq!(s.call_disposition(0x2000, 0x1200, 0x1000), CallDisposition::Fallthrough);
     }
 
     #[test]
@@ -504,6 +503,7 @@ mod tests {
         let s = State::new(&input, &cfg);
         s.create_function(0xA0, None, false); // F
         s.create_function(0xB0, None, false); // D
+
         // F tail-calls D; a caller of F waits.
         assert_eq!(s.call_disposition(0xA0, 0x50, 0x40), CallDisposition::Waiting);
         assert!(s.add_tail_dependency(0xA0, 0xB0).is_empty());

@@ -386,23 +386,15 @@ fn analyze_jump_table(state: &State<'_>, fctx: u64, block_start: u64, e: u64) ->
 /// targets for another traversal round. Returns true if anything new
 /// appeared.
 fn refine_jump_tables(state: &State<'_>, queue: &SegQueue<Work>) -> bool {
-    let tables: Vec<(u64, RawJumpTable)> = state
-        .jts
-        .snapshot()
-        .into_iter()
-        .map(|(k, v)| (k, v.read().clone()))
-        .collect();
+    let tables: Vec<(u64, RawJumpTable)> =
+        state.jts.snapshot().into_iter().map(|(k, v)| (k, v.read().clone())).collect();
     let changed: Vec<bool> = tables
         .par_iter()
         .map(|(e, jt)| {
             // The jump's block may have been split since discovery; the
             // current owner of the end is the block that actually holds
             // the indirect jump now.
-            let cur_start = state
-                .block_ends
-                .find(e)
-                .map(|a| *a)
-                .unwrap_or(jt.block_start);
+            let cur_start = state.block_ends.find(e).map(|a| *a).unwrap_or(jt.block_start);
             let view = SnapshotView::build(state, jt.func, Some(cur_start));
             let facts = analyze_indirect_jump(&view, cur_start);
             let Some(decision) = decide(&facts) else { return false };
@@ -442,12 +434,7 @@ fn refine_jump_tables(state: &State<'_>, queue: &SegQueue<Work>) -> bool {
                     // Targets dropped by a tighter clamp leave stale
                     // indirect edges behind; collect them for removal
                     // (O_ER is commutative, so this is safe here).
-                    stale = acc
-                        .targets
-                        .iter()
-                        .copied()
-                        .filter(|t| !targets.contains(t))
-                        .collect();
+                    stale = acc.targets.iter().copied().filter(|t| !targets.contains(t)).collect();
                     acc.targets = targets.clone();
                     acc.bounded = bounded;
                     acc.block_start = cur_start;
@@ -459,9 +446,7 @@ fn refine_jump_tables(state: &State<'_>, queue: &SegQueue<Work>) -> bool {
             }
             if !stale.is_empty() {
                 if let Some(mut acc) = state.edges.find_mut(e) {
-                    acc.retain(|&(d, k)| {
-                        !(k == EdgeKind::Indirect && stale.contains(&d))
-                    });
+                    acc.retain(|&(d, k)| !(k == EdgeKind::Indirect && stale.contains(&d)));
                 }
             }
             if any_new {
@@ -574,9 +559,7 @@ pub fn run(input: &ParseInput, cfg: &ParseConfig) -> ParseResult {
                         });
                     }
                     Scheduling::Rounds => {
-                        batch
-                            .par_iter()
-                            .for_each(|w| traverse(&state, &Sched::Rounds(&queue), *w));
+                        batch.par_iter().for_each(|w| traverse(&state, &Sched::Rounds(&queue), *w));
                     }
                 }
                 continue;

@@ -60,11 +60,7 @@ fn call_to_exit_suppresses_fallthrough() {
     let r = parse_serial(&input);
     let mainf = &r.cfg.functions[&main];
     assert_eq!(mainf.blocks.len(), 1, "nothing after the exit call is reachable");
-    let no_ft = r
-        .cfg
-        .out_edges(main)
-        .iter()
-        .all(|e| e.kind != EdgeKind::CallFallthrough);
+    let no_ft = r.cfg.out_edges(main).iter().all(|e| e.kind != EdgeKind::CallFallthrough);
     assert!(no_ft, "no fall-through past exit: {:?}", r.cfg.out_edges(main));
     let exitf = r.cfg.functions.values().find(|f| f.name == "exit").unwrap();
     assert_eq!(exitf.ret_status, RetStatus::NoReturn);
@@ -119,9 +115,7 @@ fn noreturn_cycle_closes() {
         assert_eq!(r.cfg.functions[&a].ret_status, RetStatus::NoReturn);
         assert_eq!(r.cfg.functions[&b].ret_status, RetStatus::NoReturn);
         assert_eq!(r.cfg.functions[&main].ret_status, RetStatus::NoReturn);
-        let main_has_ft = r
-            .cfg
-            .functions[&main]
+        let main_has_ft = r.cfg.functions[&main]
             .blocks
             .iter()
             .flat_map(|blk| r.cfg.out_edges(*blk))

@@ -17,12 +17,7 @@ fn finds_every_symboled_function() {
     let r = parse_serial(&input);
     for f in &g.truth.functions {
         if f.has_symbol {
-            assert!(
-                r.cfg.functions.contains_key(&f.entry),
-                "{} at {:#x} missing",
-                f.name,
-                f.entry
-            );
+            assert!(r.cfg.functions.contains_key(&f.entry), "{} at {:#x} missing", f.name, f.entry);
         }
     }
 }
@@ -74,12 +69,8 @@ fn function_ranges_match_ground_truth() {
 
 #[test]
 fn jump_table_sizes_match_ground_truth() {
-    let g = generate(&GenConfig {
-        num_funcs: 80,
-        seed: 104,
-        pct_switch: 0.5,
-        ..Default::default()
-    });
+    let g =
+        generate(&GenConfig { num_funcs: 80, seed: 104, pct_switch: 0.5, ..Default::default() });
     let input = input_for(&g);
     let r = parse_serial(&input);
     assert!(!g.truth.jump_tables.is_empty());
@@ -131,12 +122,7 @@ fn noreturn_functions_identified() {
     for f in &g.truth.functions {
         let Some(parsed) = r.cfg.functions.get(&f.entry) else { continue };
         if f.noreturn {
-            assert_eq!(
-                parsed.ret_status,
-                RetStatus::NoReturn,
-                "{} should be NoReturn",
-                f.name
-            );
+            assert_eq!(parsed.ret_status, RetStatus::NoReturn, "{} should be NoReturn", f.name);
         } else {
             assert_eq!(parsed.ret_status, RetStatus::Returns, "{} should return", f.name);
         }
@@ -159,11 +145,8 @@ fn no_fallthrough_after_noreturn_calls() {
         let Some(block) = r.cfg.blocks.values().find(|b| b.contains(call_addr)) else {
             continue;
         };
-        let has_ft = r
-            .cfg
-            .out_edges(block.start)
-            .iter()
-            .any(|e| e.kind == EdgeKind::CallFallthrough);
+        let has_ft =
+            r.cfg.out_edges(block.start).iter().any(|e| e.kind == EdgeKind::CallFallthrough);
         assert!(
             !has_ft,
             "call at {call_addr:#x} to non-returning callee must have no fall-through"
@@ -205,9 +188,14 @@ fn parallel_repeated_runs_are_deterministic() {
 fn rounds_scheduling_matches_task_scheduling() {
     let g = generate(&GenConfig { num_funcs: 40, seed: 109, ..Default::default() });
     let input = input_for(&g);
-    let task = parse(&input, &ParseConfig { threads: 4, scheduling: Scheduling::Task, ..Default::default() });
-    let rounds =
-        parse(&input, &ParseConfig { threads: 4, scheduling: Scheduling::Rounds, ..Default::default() });
+    let task = parse(
+        &input,
+        &ParseConfig { threads: 4, scheduling: Scheduling::Task, ..Default::default() },
+    );
+    let rounds = parse(
+        &input,
+        &ParseConfig { threads: 4, scheduling: Scheduling::Rounds, ..Default::default() },
+    );
     assert_eq!(task.cfg.canonical(), rounds.cfg.canonical());
 }
 
@@ -221,7 +209,8 @@ fn deferred_noreturn_matches_eager() {
         ..Default::default()
     });
     let input = input_for(&g);
-    let eager = parse(&input, &ParseConfig { threads: 2, eager_noreturn: true, ..Default::default() });
+    let eager =
+        parse(&input, &ParseConfig { threads: 2, eager_noreturn: true, ..Default::default() });
     let deferred =
         parse(&input, &ParseConfig { threads: 2, eager_noreturn: false, ..Default::default() });
     assert_eq!(eager.cfg.canonical(), deferred.cfg.canonical());
@@ -229,7 +218,8 @@ fn deferred_noreturn_matches_eager() {
 
 #[test]
 fn decode_cache_does_not_change_results() {
-    let g = generate(&GenConfig { num_funcs: 40, seed: 111, pct_shared: 0.3, ..Default::default() });
+    let g =
+        generate(&GenConfig { num_funcs: 40, seed: 111, pct_shared: 0.3, ..Default::default() });
     let input = input_for(&g);
     let on = parse(&input, &ParseConfig { threads: 2, decode_cache: true, ..Default::default() });
     let off = parse(&input, &ParseConfig { threads: 2, decode_cache: false, ..Default::default() });
@@ -238,12 +228,8 @@ fn decode_cache_does_not_change_results() {
 
 #[test]
 fn shared_blocks_belong_to_both_functions() {
-    let g = generate(&GenConfig {
-        num_funcs: 60,
-        seed: 112,
-        pct_shared: 0.4,
-        ..Default::default()
-    });
+    let g =
+        generate(&GenConfig { num_funcs: 60, seed: 112, pct_shared: 0.4, ..Default::default() });
     let input = input_for(&g);
     let r = parse_serial(&input);
     // Functions whose truth has a second range equal to another
@@ -285,7 +271,7 @@ fn stats_are_plausible() {
 #[test]
 fn rvlite_program_parses() {
     use pba_isa::rvlite::encode as renc;
-    use pba_isa::{Arch, reg::Reg};
+    use pba_isa::{reg::Reg, Arch};
     // f0: movi r1,3 ; cmpi r1,5 ; bcc GE over ; addi r1, 1 ; over: call f1 ; ret
     // f1: ret
     let mut code = vec![];

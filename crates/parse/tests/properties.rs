@@ -8,29 +8,23 @@ use pba_parse::{parse, parse_parallel, parse_serial, ParseConfig, ParseInput, Sc
 use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = GenConfig> {
-    (
-        any::<u64>(),
-        8usize..40,
-        0.0f64..0.5,
-        0.0f64..0.2,
-        0.0f64..0.2,
-        0.0f64..0.3,
-        0.0f64..0.25,
-    )
-        .prop_map(|(seed, num_funcs, pct_switch, pct_tailcall, pct_noreturn, pct_nosym, pct_shared)| {
-            GenConfig {
-                seed,
-                num_funcs,
-                pct_switch,
-                pct_tailcall,
-                pct_noreturn,
-                pct_nosym,
-                pct_shared,
-                pct_cold: pct_shared / 2.0,
-                debug_info: false,
-                ..Default::default()
-            }
-        })
+    (any::<u64>(), 8usize..40, 0.0f64..0.5, 0.0f64..0.2, 0.0f64..0.2, 0.0f64..0.3, 0.0f64..0.25)
+        .prop_map(
+            |(seed, num_funcs, pct_switch, pct_tailcall, pct_noreturn, pct_nosym, pct_shared)| {
+                GenConfig {
+                    seed,
+                    num_funcs,
+                    pct_switch,
+                    pct_tailcall,
+                    pct_noreturn,
+                    pct_nosym,
+                    pct_shared,
+                    pct_cold: pct_shared / 2.0,
+                    debug_info: false,
+                    ..Default::default()
+                }
+            },
+        )
 }
 
 fn input_for(g: &pba_gen::Generated) -> ParseInput {

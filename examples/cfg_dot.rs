@@ -11,7 +11,8 @@ use pba::parse::{parse_parallel, ParseInput};
 
 fn main() {
     let wanted = std::env::args().nth(1);
-    let binary = generate(&GenConfig { num_funcs: 16, seed: 3, pct_switch: 0.5, ..Default::default() });
+    let binary =
+        generate(&GenConfig { num_funcs: 16, seed: 3, pct_switch: 0.5, ..Default::default() });
     let elf = pba::elf::Elf::parse(binary.elf.clone()).unwrap();
     let input = ParseInput::from_elf(&elf).unwrap();
     let result = parse_parallel(&input, 2);

@@ -1,0 +1,144 @@
+//! Offline shim for the `criterion` subset this workspace's benches use.
+//!
+//! No statistics engine: each benchmark is timed over a fixed batch of
+//! iterations after a short warmup, and the mean per-iteration time is
+//! printed. Good enough to eyeball the serial-vs-parallel ratios the
+//! benches exist for; swap in real criterion when a registry is
+//! available.
+
+use std::time::{Duration, Instant};
+
+/// Per-benchmark iteration driver.
+pub struct Bencher {
+    /// Measured mean per-iteration time, filled by [`Bencher::iter`].
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f` over a fixed batch of iterations (with warmup).
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        std::hint::black_box(f());
+        // Aim for ~1s of measurement, capped to keep huge cases bounded.
+        let probe = Instant::now();
+        std::hint::black_box(f());
+        let one = probe.elapsed();
+        let target = Duration::from_millis(300);
+        let iters = if one.is_zero() {
+            1000
+        } else {
+            (target.as_nanos() / one.as_nanos().max(1)).clamp(1, 1000) as u64
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed() / iters as u32;
+        self.iters = iters;
+    }
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { name: format!("{}/{}", name.into(), parameter) }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; the shim's fixed batching ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity; the shim's fixed batching ignores it.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into()), f);
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.name), |b| f(b, input));
+        self
+    }
+
+    /// End the group.
+    pub fn finish(&mut self) {}
+}
+
+fn run_one(label: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+    f(&mut b);
+    println!("bench {label:<44} {:>12.3?}  ({} iters)", b.elapsed, b.iters);
+}
+
+/// Benchmark registry/driver (API subset of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _parent: self }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&id.into(), f);
+        self
+    }
+}
+
+/// Re-export matching criterion's (the std one is what benches import).
+pub use std::hint::black_box;
+
+/// Collect benchmark functions under a group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,84 @@
+//! Offline shim for the `crossbeam` subset this workspace uses: the
+//! unbounded MPMC [`queue::SegQueue`]. Lock-based rather than lock-free —
+//! the parser's work distribution is coarse enough that a mutexed deque
+//! is not the bottleneck, and the container has no crates.io access.
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Unbounded MPMC FIFO queue (API subset of `crossbeam::queue::SegQueue`).
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> SegQueue<T> {
+        /// Create an empty queue.
+        pub fn new() -> SegQueue<T> {
+            SegQueue { inner: Mutex::new(VecDeque::new()) }
+        }
+
+        /// Enqueue at the back.
+        pub fn push(&self, value: T) {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner()).push_back(value);
+        }
+
+        /// Dequeue from the front.
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner()).pop_front()
+        }
+
+        /// Number of queued items (racy by nature).
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+
+        /// Whether the queue is empty (racy by nature).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_order() {
+            let q = SegQueue::new();
+            q.push(1);
+            q.push(2);
+            assert_eq!(q.pop(), Some(1));
+            assert_eq!(q.pop(), Some(2));
+            assert_eq!(q.pop(), None);
+        }
+
+        #[test]
+        fn concurrent_producers_consumers() {
+            let q = std::sync::Arc::new(SegQueue::new());
+            let mut handles = vec![];
+            for t in 0..4 {
+                let q = q.clone();
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..100 {
+                        q.push(t * 100 + i);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            assert_eq!(n, 400);
+        }
+    }
+}

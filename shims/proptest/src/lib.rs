@@ -1,0 +1,246 @@
+//! Offline shim for the `proptest` subset this workspace uses.
+//!
+//! Same programming model — composable [`strategy::Strategy`] values, a
+//! `proptest!` macro running N random cases, `prop_assert*` /
+//! `prop_assume` control flow — minus shrinking: a failing case reports
+//! its (deterministic) seed and values instead of a minimized one.
+//! Generation is seeded per test name, so failures reproduce exactly
+//! under `cargo test`.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    /// `prop::collection`, `prop::sample`, … — the crate root under its
+    /// conventional short alias.
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Sample uniformly from the type's domain.
+        fn arb(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arb(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arb(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`crate::any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Any(std::marker::PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arb(rng)
+        }
+    }
+}
+
+/// The canonical strategy for `T`'s whole domain.
+pub fn any<T: arbitrary::Arbitrary>() -> arbitrary::Any<T> {
+    arbitrary::Any::default()
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy type of [`ANY`].
+    #[derive(Clone, Copy)]
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Uniform boolean strategy.
+    pub const ANY: AnyBool = AnyBool;
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy choosing uniformly among fixed options.
+    pub struct Select<T>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len())].clone()
+        }
+    }
+
+    /// Choose uniformly from `options` (must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select of empty options");
+        Select(options)
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `None` a quarter of the time.
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    /// Lift `inner` to `Option`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Admissible element-count range for collection strategies.
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi_inclusive: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        }
+    }
+
+    /// Strategy producing vectors of `element` samples.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi_inclusive - self.size.lo + 1;
+            let len = self.size.lo + rng.below(span);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vectors of `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    struct Wrapped(u64);
+
+    fn arb_wrapped() -> impl Strategy<Value = Wrapped> {
+        (1u64..100).prop_map(Wrapped)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u32..17, y in -4i64..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-4..=4).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_maps(w in arb_wrapped(), flag in prop::bool::ANY, pick in prop::sample::select(vec![1u8, 2, 4, 8])) {
+            prop_assert!(w.0 >= 1 && w.0 < 100);
+            prop_assert!([1u8, 2, 4, 8].contains(&pick));
+            let _ = flag;
+        }
+
+        #[test]
+        fn vec_and_option(xs in prop::collection::vec(any::<u8>(), 0..12), o in prop::option::of(0u8..3)) {
+            prop_assert!(xs.len() < 12);
+            if let Some(v) = o { prop_assert!(v < 3); }
+        }
+
+        #[test]
+        fn oneof_and_filter(d in prop_oneof![Just(0i64), -128i64..128, 1i64..=9],
+                            odd in (0u32..100).prop_filter("odd only", |x| x % 2 == 1)) {
+            prop_assert!((-128..128).contains(&d));
+            prop_assert_eq!(odd % 2, 1);
+        }
+
+        #[test]
+        fn regex_strings(s in "[a-z_][a-z0-9_]{0,24}") {
+            prop_assert!(!s.is_empty() && s.len() <= 25);
+            let first = s.chars().next().unwrap();
+            prop_assert!(first.is_ascii_lowercase() || first == '_');
+        }
+
+        #[test]
+        fn flat_map_dependent(pair in (1usize..8).prop_flat_map(|n| (Just(n), prop::collection::vec(0u8..10, n)))) {
+            prop_assert_eq!(pair.0, pair.1.len());
+        }
+
+        #[test]
+        fn assume_rejects(x in 0u32..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! The [`Strategy`] trait and its combinators.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a dependent strategy from each value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keep only values passing `pred` (documented by `whence`).
+    fn prop_filter<F, W>(self, whence: W, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        W: Into<String>,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, pred, whence: whence.into() }
+    }
+
+    /// Type-erase this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+    whence: String,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        // Local rejection sampling; a filter too tight to satisfy within
+        // the budget is a bug in the strategy, so fail loudly.
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 10000 candidates: {}", self.whence);
+    }
+}
+
+/// Constant strategy.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Object-safe carrier used by [`BoxedStrategy`] and `prop_oneof!`.
+trait DynStrategy<V> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Uniform choice among equally weighted alternatives (`prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Build from pre-boxed options (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Union<V> {
+        assert!(!options.is_empty(), "prop_oneof of zero options");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// Uniform choice among equally weighted strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Types whose ranges act as strategies. A single blanket impl keeps
+/// untyped integer literals unifiable with the use site's type.
+pub trait SampleValue: Sized {
+    /// Sample from `[lo, hi)` (`inclusive == false`) or `[lo, hi]`.
+    fn sample_range(lo: Self, hi: Self, inclusive: bool, rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_sample_value {
+    ($($t:ty),*) => {$(
+        impl SampleValue for $t {
+            fn sample_range(lo: $t, hi: $t, inclusive: bool, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (lo as i128, hi as i128);
+                let span = if inclusive { hi - lo + 1 } else { hi - lo };
+                assert!(span > 0, "empty range strategy");
+                if span as u128 > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (lo + (rng.next_u64() % span as u128 as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_value!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleValue for f64 {
+    fn sample_range(lo: f64, hi: f64, _inclusive: bool, rng: &mut TestRng) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+impl<T: SampleValue> Strategy for Range<T>
+where
+    T: Copy,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_range(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleValue> Strategy for RangeInclusive<T>
+where
+    T: Copy,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_range(*self.start(), *self.end(), true, rng)
+    }
+}
+
+/// A `&str` is a strategy for strings matching it as a simple regex:
+/// literal characters and `[...]` classes, each optionally quantified
+/// with `{m}`, `{m,n}`, `?`, `*` or `+` (unbounded capped at 8).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_regex(self);
+        let mut out = String::new();
+        for (chars, lo, hi) in &atoms {
+            let n = lo + rng.below(hi - lo + 1);
+            for _ in 0..n {
+                out.push(chars[rng.below(chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// Parse the regex subset into `(candidate chars, min, max)` atoms.
+fn parse_regex(pattern: &str) -> Vec<(Vec<char>, usize, usize)> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let class: Vec<char> = match c {
+            '[' => {
+                let mut raw = Vec::new();
+                for c in chars.by_ref() {
+                    if c == ']' {
+                        break;
+                    }
+                    raw.push(c);
+                }
+                let mut set = Vec::new();
+                let mut i = 0;
+                while i < raw.len() {
+                    // `a-z` range, unless '-' is the trailing literal.
+                    if i + 2 < raw.len() && raw[i + 1] == '-' {
+                        for x in (raw[i] as u32)..=(raw[i + 2] as u32) {
+                            if let Some(ch) = char::from_u32(x) {
+                                set.push(ch);
+                            }
+                        }
+                        i += 3;
+                    } else {
+                        set.push(raw[i]);
+                        i += 1;
+                    }
+                }
+                set
+            }
+            '\\' => vec![chars.next().expect("dangling escape in regex strategy")],
+            c => vec![c],
+        };
+        // Optional quantifier.
+        let (lo, hi) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((a, b)) => {
+                        (a.trim().parse().expect("bad {m,n}"), b.trim().parse().expect("bad {m,n}"))
+                    }
+                    None => {
+                        let n = spec.trim().parse().expect("bad {m}");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(!class.is_empty(), "empty character class in regex strategy");
+        atoms.push((class, lo, hi));
+    }
+    atoms
+}
+
+/// A vector of strategies generates a vector of one value each.
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        self.iter().map(|s| s.generate(rng)).collect()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9)
+}

@@ -1,0 +1,174 @@
+//! Offline shim for the `rand` 0.9 subset this workspace uses:
+//! `StdRng::seed_from_u64`, `Rng::random_range`, `Rng::random_bool`.
+//!
+//! The generator is xoshiro256** seeded via SplitMix64 — deterministic
+//! across runs and platforms, which is what `pba-gen`'s reproducible
+//! workloads actually require of it. Range sampling uses modulo
+//! reduction; the tiny bias is irrelevant for workload synthesis.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable RNG constructor trait (API subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Construct deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling trait (API subset of `rand::Rng`).
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from an integer or float range.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_from(&mut || self.next_u64())
+    }
+
+    /// Bernoulli sample: `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        // 53 bits of mantissa → uniform in [0, 1).
+        let x = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        x < p
+    }
+}
+
+/// Types uniformly sampleable over `[lo, hi)` / `[lo, hi]`.
+///
+/// The single blanket `SampleRange` impl below goes through this trait so
+/// that untyped integer literals in `random_range(1..3)` unify with the
+/// use site's type, exactly as with real rand's `SampleUniform`.
+pub trait SampleUniform: Sized {
+    /// Sample from `[lo, hi)` (`inclusive == false`) or `[lo, hi]`.
+    fn sample_range(lo: Self, hi: Self, inclusive: bool, next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(lo: $t, hi: $t, inclusive: bool, next: &mut dyn FnMut() -> u64) -> $t {
+                let (lo, hi) = (lo as i128, hi as i128);
+                let span = if inclusive { hi - lo + 1 } else { hi - lo };
+                assert!(span > 0, "empty random_range");
+                if span as u128 > u64::MAX as u128 {
+                    // Full-width domain: every bit pattern is in range.
+                    return next() as $t;
+                }
+                let span = span as u128 as u64;
+                (lo + (next() % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range(lo: f64, hi: f64, _inclusive: bool, next: &mut dyn FnMut() -> u64) -> f64 {
+        let unit = (next() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+/// A range that a value of type `T` can be sampled from.
+pub trait SampleRange<T> {
+    /// Sample using the provided bit source.
+    fn sample_from(self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from(self, next: &mut dyn FnMut() -> u64) -> T {
+        T::sample_range(self.start, self.end, false, next)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from(self, next: &mut dyn FnMut() -> u64) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_range(lo, hi, true, next)
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (stand-in for `rand::rngs::StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = r.random_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: i64 = r.random_range(-50..=50);
+            assert!((-50..=50).contains(&y));
+            let f: f64 = r.random_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_probability_sane() {
+        let mut r = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| r.random_bool(0.3)).count();
+        assert!((2500..3500).contains(&hits), "{hits}");
+    }
+}

@@ -1,0 +1,404 @@
+//! Offline shim for the `rayon` subset this workspace uses.
+//!
+//! The container has no crates.io access, so this crate provides real
+//! (std-thread) data parallelism behind rayon's API shape:
+//!
+//! * `par_iter()` / `par_iter_mut()` / `into_par_iter()` producing an
+//!   eager, order-preserving [`ParIter`] whose combinators each run as
+//!   one chunked fork/join pass;
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`], which scope an
+//!   effective thread count rather than owning persistent workers;
+//! * [`scope`] with nested [`Scope::spawn`], backed by a shared task
+//!   queue drained by scoped worker threads.
+//!
+//! Semantics match rayon where the workspace depends on them:
+//! deterministic output order for `map`/`collect`, all tasks complete
+//! before `scope` returns, and `install` bounds the parallelism of
+//! everything called inside it. Work-stealing granularity does not —
+//! chunks are static — which costs load balance on skewed inputs, not
+//! correctness.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+thread_local! {
+    /// Effective thread count for parallel ops started on this thread.
+    /// 0 = use all available hardware parallelism.
+    static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The thread count parallel operations on this thread will use.
+pub fn current_num_threads() -> usize {
+    let n = CURRENT_THREADS.with(|c| c.get());
+    if n == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        n
+    }
+}
+
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let prev = CURRENT_THREADS.with(|c| c.replace(n));
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT_THREADS.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Evaluate `f` over `items` on up to [`current_num_threads`] threads,
+/// preserving item order in the result.
+fn run_chunked<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    let threads = current_num_threads().min(items.len()).max(1);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Static chunking: split into `threads` nearly equal runs.
+    let len = items.len();
+    let base = len / threads;
+    let extra = len % threads;
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    for i in 0..threads {
+        let take = base + usize::from(i < extra);
+        chunks.push(it.by_ref().take(take).collect());
+    }
+    let mut out: Vec<Vec<R>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                s.spawn(move || {
+                    // Workers run their chunk serially; nested parallel ops
+                    // inside a worker stay serial to avoid oversubscription
+                    // (rayon achieves the same via depth-first stealing).
+                    with_threads(1, || chunk.into_iter().map(f).collect::<Vec<R>>())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rayon shim worker panicked")).collect()
+    });
+    let mut flat = Vec::with_capacity(len);
+    for v in &mut out {
+        flat.append(v);
+    }
+    flat
+}
+
+/// An eager, order-preserving parallel iterator: each combinator is one
+/// chunked fork/join pass over already-materialized items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map, preserving order.
+    pub fn map<R: Send>(self, f: impl Fn(T) -> R + Sync) -> ParIter<R> {
+        ParIter { items: run_chunked(self.items, &f) }
+    }
+
+    /// Parallel filter_map, preserving order.
+    pub fn filter_map<R: Send>(self, f: impl Fn(T) -> Option<R> + Sync) -> ParIter<R> {
+        ParIter { items: run_chunked(self.items, &f).into_iter().flatten().collect() }
+    }
+
+    /// Parallel filter, preserving order.
+    pub fn filter(self, f: impl Fn(&T) -> bool + Sync) -> ParIter<T> {
+        ParIter {
+            items: run_chunked(self.items, &|t| if f(&t) { Some(t) } else { None })
+                .into_iter()
+                .flatten()
+                .collect(),
+        }
+    }
+
+    /// Parallel for_each.
+    pub fn for_each(self, f: impl Fn(T) + Sync) {
+        run_chunked(self.items, &|t| f(t));
+    }
+
+    /// Collect the (already ordered) results into any `FromIterator`
+    /// collection — including `Result<Vec<_>, E>` like rayon.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+/// `.par_iter()` entry point (rayon's `IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Send + 'a;
+    /// Borrow `self` as a parallel iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// `.par_iter_mut()` entry point (rayon's `IntoParallelRefMutIterator`).
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Mutably borrowed item type.
+    type Item: Send + 'a;
+    /// Mutably borrow `self` as a parallel iterator.
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter { items: self.iter_mut().collect() }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter { items: self.iter_mut().collect() }
+    }
+}
+
+/// `.into_par_iter()` entry point (rayon's `IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Owned item type.
+    type Item: Send;
+    /// Consume `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send, S> IntoParallelIterator for std::collections::HashSet<T, S> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self.into_iter().collect() }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced by the shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a sized [`ThreadPool`].
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Set the worker count (0 = all available).
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { threads: self.num_threads })
+    }
+}
+
+/// A "pool" that scopes an effective thread count: parallel operations
+/// started inside [`ThreadPool::install`] use at most this many threads.
+/// Workers are spawned per operation rather than parked, trading latency
+/// (~10µs per fork/join) for zero idle cost.
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count in effect.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        with_threads(self.threads, f)
+    }
+
+    /// The pool's configured size (resolving 0 to the hardware count).
+    pub fn current_num_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+type ScopeTask<'scope> = Box<dyn FnOnce(&Scope<'scope>) + Send + 'scope>;
+
+struct ScopeState<'scope> {
+    queue: VecDeque<ScopeTask<'scope>>,
+    /// Tasks queued or running.
+    outstanding: usize,
+}
+
+/// A fork/join scope: tasks spawned into it (including transitively, from
+/// other tasks) all complete before [`scope`] returns.
+pub struct Scope<'scope> {
+    state: Mutex<ScopeState<'scope>>,
+    cv: Condvar,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queue `body` to run inside this scope.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        let mut s = self.state.lock().unwrap();
+        s.outstanding += 1;
+        s.queue.push_back(Box::new(body));
+        drop(s);
+        self.cv.notify_one();
+    }
+}
+
+/// Create a scope, run `op` in it, then drain every spawned task on up to
+/// [`current_num_threads`] worker threads before returning `op`'s result.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let sc = Scope {
+        state: Mutex::new(ScopeState { queue: VecDeque::new(), outstanding: 0 }),
+        cv: Condvar::new(),
+    };
+    let result = op(&sc);
+    let workers = current_num_threads().max(1);
+    std::thread::scope(|ts| {
+        for _ in 0..workers {
+            ts.spawn(|| {
+                let mut s = sc.state.lock().unwrap();
+                loop {
+                    if let Some(task) = s.queue.pop_front() {
+                        drop(s);
+                        {
+                            // Decrement on unwind too: a panicking task
+                            // must not strand siblings in cv.wait (the
+                            // panic still propagates — thread::scope
+                            // re-raises it once every worker exits).
+                            struct Done<'a, 'scope>(&'a Scope<'scope>);
+                            impl Drop for Done<'_, '_> {
+                                fn drop(&mut self) {
+                                    let mut s = self.0.state.lock().unwrap();
+                                    s.outstanding -= 1;
+                                    if s.outstanding == 0 {
+                                        self.0.cv.notify_all();
+                                    }
+                                }
+                            }
+                            let _done = Done(&sc);
+                            task(&sc);
+                        }
+                        s = sc.state.lock().unwrap();
+                    } else if s.outstanding == 0 {
+                        return;
+                    } else {
+                        // Queue empty but tasks in flight may spawn more.
+                        s = sc.cv.wait(s).unwrap();
+                    }
+                }
+            });
+        }
+    });
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_type() {
+        let v = vec![1u32, 2, 3];
+        let ok: Result<Vec<u32>, String> = v.par_iter().map(|&x| Ok(x)).collect();
+        assert_eq!(ok.unwrap(), vec![1, 2, 3]);
+        let err: Result<Vec<u32>, String> =
+            v.par_iter().map(|&x| if x == 2 { Err("no".into()) } else { Ok(x) }).collect();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place() {
+        let mut v: Vec<u64> = (0..100).collect();
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(v[0], 1);
+        assert_eq!(v[99], 100);
+    }
+
+    #[test]
+    fn install_bounds_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+    }
+
+    #[test]
+    fn scope_runs_nested_spawns() {
+        let count = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..10 {
+                s.spawn(|s2| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                    s2.spawn(|_| {
+                        count.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 20);
+    }
+}

@@ -1,0 +1,160 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline
+//! serde shim, written against `proc_macro` directly (no syn/quote —
+//! the container has no crates.io access).
+//!
+//! Supports exactly what the workspace derives on: non-generic structs
+//! with named fields. Field types are never inspected; the generated
+//! impls delegate to the field types' own trait impls.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of a derive input we support.
+struct StructDef {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Extract the struct name and named-field list from a derive input.
+fn parse_struct(input: TokenStream) -> Result<StructDef, String> {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes (`#[...]`, including doc comments) and visibility.
+    let name = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Consume the attribute group.
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                match s.as_str() {
+                    "pub" => {
+                        // `pub(crate)` and friends carry a group.
+                        if let Some(TokenTree::Group(g)) = iter.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                iter.next();
+                            }
+                        }
+                    }
+                    "struct" => match iter.next() {
+                        Some(TokenTree::Ident(name)) => break name.to_string(),
+                        other => return Err(format!("expected struct name, got {other:?}")),
+                    },
+                    "enum" | "union" => {
+                        return Err("serde shim derives support structs only".into())
+                    }
+                    _ => {}
+                }
+            }
+            Some(_) => {}
+            None => return Err("no struct found in derive input".into()),
+        }
+    };
+    // Find the brace-delimited field body (skipping any generics would go
+    // here; the workspace derives only on non-generic types).
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err("serde shim derives do not support generics".into())
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err("serde shim derives need named fields".into())
+            }
+            Some(_) => {}
+            None => return Err("struct has no field body".into()),
+        }
+    };
+
+    // Walk the body: `[attrs] [pub] name : Type ,` — commas inside angle
+    // brackets belong to the type, so track `<`/`>` depth. Bracketed
+    // delimiters (tuples, arrays) are opaque groups already.
+    let mut fields = Vec::new();
+    let mut toks = body.stream().into_iter().peekable();
+    loop {
+        // Skip field attributes and visibility.
+        let field = loop {
+            match toks.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => return Err(format!("unexpected token in fields: {other}")),
+                None => return Ok(StructDef { name, fields }),
+            }
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected ':' after field {field}, got {other:?}")),
+        }
+        // Consume the type up to a top-level comma.
+        let mut angle_depth = 0usize;
+        loop {
+            match toks.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1)
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => {}
+                None => break,
+            }
+        }
+        fields.push(field);
+    }
+}
+
+/// Generate `impl serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = match parse_struct(input) {
+        Ok(d) => d,
+        Err(e) => panic!("derive(Serialize): {e}"),
+    };
+    let pushes: String = def
+        .fields
+        .iter()
+        .map(|f| {
+            format!("fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));")
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\n\
+                 ::serde::Value::Object(fields)\n\
+             }}\n\
+         }}",
+        name = def.name,
+    )
+    .parse()
+    .expect("derive(Serialize): generated code parses")
+}
+
+/// Generate `impl serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = match parse_struct(input) {
+        Ok(d) => d,
+        Err(e) => panic!("derive(Deserialize): {e}"),
+    };
+    let inits: String =
+        def.fields.iter().map(|f| format!("{f}: ::serde::__field(value, \"{f}\")?,")).collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}",
+        name = def.name,
+    )
+    .parse()
+    .expect("derive(Deserialize): generated code parses")
+}

@@ -69,7 +69,10 @@ fn main() {
                 .cfg
                 .functions
                 .values()
-                .find(|f| f.name.contains(name.as_str()) || pba::elf::demangle::pretty_name(&f.name).contains(name.as_str()))
+                .find(|f| {
+                    f.name.contains(name.as_str())
+                        || pba::elf::demangle::pretty_name(&f.name).contains(name.as_str())
+                })
                 .unwrap_or_else(|| {
                     eprintln!("pba: no function matching {name:?}");
                     std::process::exit(1)
@@ -92,8 +95,8 @@ fn main() {
                 eprintln!("pba: cannot read {path}: {e}");
                 std::process::exit(1)
             });
-            let out = analyze(&bytes, &HsConfig { threads, name: path.clone() })
-                .unwrap_or_else(|e| {
+            let out =
+                analyze(&bytes, &HsConfig { threads, name: path.clone() }).unwrap_or_else(|e| {
                     eprintln!("pba: {e}");
                     std::process::exit(1)
                 });
@@ -149,7 +152,11 @@ fn main() {
                     eprintln!("mismatch: {} at {:#x}", f.name, f.entry);
                 }
             }
-            println!("selftest: {}/{} functions exact", g.truth.functions.len() - bad, g.truth.functions.len());
+            println!(
+                "selftest: {}/{} functions exact",
+                g.truth.functions.len() - bad,
+                g.truth.functions.len()
+            );
             std::process::exit(if bad == 0 { 0 } else { 1 });
         }
         _ => usage(),

@@ -21,7 +21,13 @@
 //! let result = parse_parallel(&input, 4);
 //! assert!(!result.cfg.functions.is_empty());
 //!
-//! // The CFG is now read-only: run any analysis in parallel.
+//! // The CFG is now read-only: run any analysis in parallel. The
+//! // dataflow engine fans liveness, reaching defs and stack height
+//! // across all functions on a sized pool...
+//! let analyses = pba::dataflow::run_all(&result.cfg, 4);
+//! assert_eq!(analyses.len(), result.cfg.functions.len());
+//!
+//! // ...and per-function analyses run on either engine executor.
 //! for f in result.cfg.functions.values() {
 //!     let view = pba::dataflow::FuncView::new(&result.cfg, f);
 //!     let loops = pba::loops::loop_forest(&view);
@@ -37,8 +43,8 @@
 //! | [`elf`] | `pba-elf` | ELF64 reader/writer, mini-demangler, multi-keyed parallel symbol table |
 //! | [`isa`] | `pba-isa` | architecture-independent instructions; x86-64 + rv-lite codecs |
 //! | [`dwarf`] | `pba-dwarf` | DWARF-modeled debug info: encoder + parallel per-CU decoder |
-//! | [`cfg`] | `pba-cfg` | CFG model, the six-operation algebra, the partial order |
-//! | [`dataflow`] | `pba-dataflow` | liveness, stack height, slicing + jump-table evaluation |
+//! | [`cfg`] | `pba-cfg` | CFG model, the six-operation algebra, the partial order + traversal orders |
+//! | [`dataflow`] | `pba-dataflow` | generic dataflow engine (`DataflowSpec` + serial/rayon executors), liveness, reaching defs, stack height, slicing + jump-table evaluation |
 //! | [`loops`] | `pba-loops` | dominators, natural loops, nesting forests |
 //! | [`parse`] | `pba-parse` | the serial & parallel CFG construction engine |
 //! | [`gen`] | `pba-gen` | synthetic workload generator with exact ground truth |

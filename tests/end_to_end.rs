@@ -72,7 +72,8 @@ fn determinism_across_the_whole_system() {
 fn reparse_of_rewritten_elf_is_stable() {
     // Round-trip: generated ELF → parse → rebuild a minimal ELF with the
     // same text → parse again → same code structure.
-    let g = generate(&GenConfig { num_funcs: 20, seed: 31, debug_info: false, ..Default::default() });
+    let g =
+        generate(&GenConfig { num_funcs: 20, seed: 31, debug_info: false, ..Default::default() });
     let elf = pba::elf::Elf::parse(g.elf.clone()).unwrap();
     let input = ParseInput::from_elf(&elf).unwrap();
     let first = parse_serial(&input);
@@ -112,7 +113,8 @@ fn reparse_of_rewritten_elf_is_stable() {
 fn stripped_binary_parses_from_entry_point() {
     // Remove all symbols: the parser must still discover code from the
     // entry point through calls (Section 9, "stripped binaries").
-    let g = generate(&GenConfig { num_funcs: 20, seed: 77, debug_info: false, ..Default::default() });
+    let g =
+        generate(&GenConfig { num_funcs: 20, seed: 77, debug_info: false, ..Default::default() });
     let elf = pba::elf::Elf::parse(g.elf.clone()).unwrap();
     let text = elf.section_data(".text").unwrap().to_vec();
     let rodata = elf.section_data(".rodata").unwrap().to_vec();
@@ -126,8 +128,14 @@ fn stripped_binary_parses_from_entry_point() {
         16,
         text,
     );
-    b.add_section(".rodata", pba::elf::SecType::ProgBits, pba::elf::SecFlags::ALLOC,
-        elf.section(".rodata").unwrap().addr, 8, rodata);
+    b.add_section(
+        ".rodata",
+        pba::elf::SecType::ProgBits,
+        pba::elf::SecFlags::ALLOC,
+        elf.section(".rodata").unwrap().addr,
+        8,
+        rodata,
+    );
     let stripped = b.build().unwrap();
 
     let elf2 = pba::elf::Elf::parse(stripped).unwrap();
@@ -158,8 +166,8 @@ fn algebra_reference_agrees_with_engine_on_synthetic_code() {
     // (pba-parse) must agree on block boundaries for code both
     // understand. Build a small rv-lite program for both.
     use pba::cfg::ops::{construct_reference, SynCf, SynInsn, SyntheticCode};
-    use pba::isa::rvlite::{encode as renc, ILEN};
     use pba::isa::reg::Reg;
+    use pba::isa::rvlite::{encode as renc, ILEN};
 
     // movi; cmpi; bcc +2insn; addi; ret  (diamond-ish)
     let mut code = vec![];
