@@ -2,7 +2,7 @@
 
 use pba_cfg::{Cfg, EdgeKind, Function};
 use pba_concurrent::fxhash::FxBuildHasher;
-use pba_dataflow::{liveness, FuncView};
+use pba_dataflow::{liveness, CfgView, FuncView};
 use pba_loops::loop_forest;
 use pba_parse::{parse as parse_cfg, ParseConfig, ParseInput};
 use rayon::prelude::*;
@@ -164,20 +164,26 @@ pub fn extract_binary(bytes: &[u8], threads: usize) -> Result<BinaryFeatures, St
     res.t_cf = run_stage(&|f, v| control_flow_features(&cfg, f, v));
 
     // DF stage: one whole-binary engine pass computes every function's
-    // liveness across the pool (the dataflow engine's fan-out driver),
-    // then feature folding reads the precomputed results. Both halves
-    // count toward the stage time.
+    // liveness across the pool (the dataflow engine's fan-out driver)
+    // and folds its features *inside the same closure*, so each
+    // `LivenessResult` is dropped the moment its features are hashed —
+    // no per-function analysis state is retained for the stage's
+    // duration and the function list is walked once, not twice.
     let t = Instant::now();
-    let liveness_of = pba_dataflow::run_per_function(&cfg, threads.max(1), |view| {
-        pba_dataflow::liveness_with(view, pba_dataflow::ExecutorKind::Serial)
+    let df_features = pba_dataflow::run_per_function(&cfg, threads.max(1), |view| {
+        let live = pba_dataflow::liveness_with(view, pba_dataflow::ExecutorKind::Serial);
+        let mut v = Vec::new();
+        if let Some(f) = cfg.functions.get(&view.entry()) {
+            data_flow_features_from(&cfg, f, &live, &mut v);
+        }
+        v
     });
-    let t_analysis = t.elapsed().as_secs_f64();
-    res.t_df = t_analysis
-        + run_stage(&|f, v| {
-            if let Some(live) = liveness_of.get(&f.entry) {
-                data_flow_features_from(&cfg, f, live, v);
-            }
-        });
+    for v in df_features.into_values() {
+        for feat in v {
+            *res.index.entry(feat).or_insert(0) += 1;
+        }
+    }
+    res.t_df = t.elapsed().as_secs_f64();
     Ok(res)
 }
 

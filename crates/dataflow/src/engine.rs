@@ -28,6 +28,7 @@ use crate::reaching::{reaching_defs_on, ReachingDefs};
 use crate::stack::{stack_heights_on, StackResult};
 use crate::view::{CfgView, FuncView};
 use pba_cfg::order::reverse_postorder;
+use pba_cfg::EdgeKind;
 use rayon::prelude::*;
 use std::collections::{BTreeSet, BinaryHeap, HashMap};
 
@@ -65,6 +66,26 @@ pub trait DataflowSpec {
 
     /// Apply `block`'s transfer function to its direction-input fact.
     fn transfer(&self, block: u64, input: &Self::Fact) -> Self::Fact;
+
+    /// Optional edge transfer: adjust the fact flowing along the CFG
+    /// edge `src → dst` (of `kind`) before it is met into the receiving
+    /// block's input. `fact` is the value leaving the direction-
+    /// predecessor (the source block's output for forward problems, the
+    /// destination block's output for backward ones). Return `None` for
+    /// identity — the default, which costs no clone; specs whose
+    /// transfer depends on *how* control reached a block (e.g. the
+    /// taken/not-taken side of a guarding branch in [`crate::slice`])
+    /// override it.
+    fn edge_transfer(
+        &self,
+        src: u64,
+        dst: u64,
+        kind: EdgeKind,
+        fact: &Self::Fact,
+    ) -> Option<Self::Fact> {
+        let _ = (src, dst, kind, fact);
+        None
+    }
 }
 
 /// Fixpoint facts per block, in direction-relative terms: `input` is the
@@ -85,8 +106,8 @@ pub struct FlowGraph {
     /// Block start addresses, in dense-index order.
     pub blocks: Vec<u64>,
     index: HashMap<u64, usize>,
-    succs: Vec<Vec<usize>>,
-    preds: Vec<Vec<usize>>,
+    succs: Vec<Vec<(usize, EdgeKind)>>,
+    preds: Vec<Vec<(usize, EdgeKind)>>,
     entry: Option<usize>,
 }
 
@@ -98,10 +119,10 @@ impl FlowGraph {
         let mut succs = vec![Vec::new(); blocks.len()];
         let mut preds = vec![Vec::new(); blocks.len()];
         for (i, &b) in blocks.iter().enumerate() {
-            for (s, _) in view.succ_edges(b) {
+            for (s, kind) in view.succ_edges(b) {
                 if let Some(&j) = index.get(&s) {
-                    succs[i].push(j);
-                    preds[j].push(i);
+                    succs[i].push((j, kind));
+                    preds[j].push((i, kind));
                 }
             }
         }
@@ -120,7 +141,7 @@ impl FlowGraph {
     }
 
     /// Edges pointing into a block, under `dir`.
-    fn dir_preds(&self, dir: Direction) -> &[Vec<usize>] {
+    fn dir_preds(&self, dir: Direction) -> &[Vec<(usize, EdgeKind)>] {
         match dir {
             Direction::Forward => &self.preds,
             Direction::Backward => &self.succs,
@@ -128,7 +149,7 @@ impl FlowGraph {
     }
 
     /// Edges leaving a block, under `dir`.
-    fn dir_succs(&self, dir: Direction) -> &[Vec<usize>] {
+    fn dir_succs(&self, dir: Direction) -> &[Vec<(usize, EdgeKind)>] {
         match dir {
             Direction::Forward => &self.succs,
             Direction::Backward => &self.preds,
@@ -142,7 +163,7 @@ impl FlowGraph {
         let roots: Vec<u64> = self.sources(dir).iter().map(|&i| self.blocks[i]).collect();
         let dsuccs = self.dir_succs(dir);
         let succs_of = |b: u64| -> Vec<u64> {
-            dsuccs[self.index[&b]].iter().map(|&j| self.blocks[j]).collect()
+            dsuccs[self.index[&b]].iter().map(|&(j, _)| self.blocks[j]).collect()
         };
         let rpo = reverse_postorder(&self.blocks, &roots, &succs_of);
         let mut rank = vec![0usize; self.blocks.len()];
@@ -155,6 +176,8 @@ impl FlowGraph {
 
 /// One shared step: recompute block `b`'s input by meeting its
 /// direction-predecessors' outputs (plus the boundary fact at sources).
+/// Each incoming fact first passes the spec's [`DataflowSpec::edge_transfer`]
+/// for the CFG edge it arrives over (identity unless overridden).
 fn recompute_input<S: DataflowSpec>(
     spec: &S,
     graph: &FlowGraph,
@@ -165,8 +188,17 @@ fn recompute_input<S: DataflowSpec>(
 ) -> S::Fact {
     let addr = graph.blocks[b];
     let mut input = if is_source[b] { spec.boundary(addr) } else { spec.bottom(addr) };
-    for &p in &graph.dir_preds(dir)[b] {
-        spec.meet(&mut input, &out[p]);
+    for &(p, kind) in &graph.dir_preds(dir)[b] {
+        // Reconstruct the CFG-oriented edge: forward problems receive
+        // facts along `p → b`, backward ones along `b → p`.
+        let (src, dst) = match dir {
+            Direction::Forward => (graph.blocks[p], addr),
+            Direction::Backward => (addr, graph.blocks[p]),
+        };
+        match spec.edge_transfer(src, dst, kind, &out[p]) {
+            Some(adjusted) => spec.meet(&mut input, &adjusted),
+            None => spec.meet(&mut input, &out[p]),
+        }
     }
     input
 }
@@ -219,7 +251,7 @@ impl DataflowExecutor for SerialExecutor {
             input[b] = inp;
             if outp != output[b] {
                 output[b] = outp;
-                for &s in &graph.dir_succs(dir)[b] {
+                for &(s, _) in &graph.dir_succs(dir)[b] {
                     if !queued[s] {
                         queued[s] = true;
                         heap.push((std::cmp::Reverse(rank[s]), s));
@@ -287,7 +319,7 @@ impl DataflowExecutor for ParallelExecutor {
                 input[b] = inp;
                 if outp != output[b] {
                     output[b] = outp;
-                    dirty.extend(graph.dir_succs(dir)[b].iter().copied());
+                    dirty.extend(graph.dir_succs(dir)[b].iter().map(|&(s, _)| s));
                 }
             }
         }

@@ -11,7 +11,11 @@
 use pba_isa::{MemRef, Reg, RegSet, Value};
 
 /// A symbolic value.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Ord`/`Hash` are derived (structural) so expressions can serve as
+/// set members — the engine-backed slicing lattice keeps its per-block
+/// path states in ordered sets keyed by the expression.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Expr {
     /// Unknown.
     Top,

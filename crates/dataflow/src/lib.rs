@@ -12,6 +12,24 @@
 //!   each path. Results are *unioned over paths* — the paper's Section
 //!   5.3 fix that makes `O_IEC` monotonic at the cost of possible
 //!   over-approximation (cleaned up during finalization).
+//!
+//!   Since the engine refactor the backward walk is itself a
+//!   [`engine::DataflowSpec`] ([`slice::SliceSpec`]): the lattice fact is
+//!   a bounded, ordered set of per-path states `(Expr, Option<(Reg,
+//!   bound)>, depth)` at each block boundary, the meet is set union
+//!   (union-over-paths *is* the join), the block transfer substitutes
+//!   definitions backward through the block, and the engine's
+//!   edge-kind-aware [`engine::DataflowSpec::edge_transfer`] hook
+//!   attaches guard bounds from `cmp`+`jcc` terminators according to
+//!   which branch side the path arrived through. Sets exceeding
+//!   [`slice::MAX_PATHS`] widen to the classified forms they already
+//!   contain (guard-bounded forms kept preferentially, up to the hard
+//!   cap) — widening gives up on still-ambiguous paths, not on proven
+//!   dispatch patterns. Widening is sticky per block, so its one
+//!   non-monotone (output-shrinking) step happens at most once per
+//!   block, and path states stop crossing edges at
+//!   [`slice::MAX_DEPTH`]; together these make the fixpoint terminate
+//!   unconditionally.
 //! * **register liveness** (AC6) — classic backward may-analysis over
 //!   [`pba_isa::RegSet`] bit masks; BinFeat's data-flow features are live
 //!   register counts.
@@ -53,7 +71,10 @@ pub use engine::{
 pub use expr::Expr;
 pub use liveness::{liveness, liveness_on, liveness_with, LivenessResult};
 pub use reaching::{reaching_defs, reaching_defs_on, reaching_defs_with, Def, ReachingDefs};
-pub use slice::{analyze_indirect_jump, JumpTableForm, PathFact};
+pub use slice::{
+    analyze_indirect_jump, slice_indirect_jump, JumpTableForm, PathFact, PathSet, PathState,
+    SliceOutcome, SliceSpec,
+};
 pub use stack::{
     stack_heights, stack_heights_and_extent, stack_heights_on, stack_heights_with, Height,
     StackResult,

@@ -35,6 +35,10 @@ impl BitSet {
         self.0[i / 64] |= 1 << (i % 64);
     }
 
+    fn clear(&mut self, i: usize) {
+        self.0[i / 64] &= !(1 << (i % 64));
+    }
+
     fn get(&self, i: usize) -> bool {
         self.0[i / 64] & (1 << (i % 64)) != 0
     }
@@ -171,20 +175,20 @@ impl ReachingSpec {
             let mut k = BitSet::with_len(n);
             for i in view.insns(b) {
                 for r in i.regs_written().iter() {
-                    // A new def of r kills all other defs of r. Note the
-                    // historical quirk (kept for result stability, pinned
-                    // by tests/engine_equiv.rs): earlier same-block gens
-                    // of r are killed but not retracted from `g`, so they
-                    // still flow out of the block — an over-approximation
-                    // in the same spirit as the paper's union-over-paths
-                    // jump-table facts.
+                    // A new def of r kills all other defs of r —
+                    // *including* earlier gens of r in this same block,
+                    // whose gen bits are retracted so only the last def
+                    // per register flows out of the block. (A historical
+                    // quirk kept earlier same-block gens alive; fixed
+                    // deliberately, with the oracle in
+                    // tests/engine_equiv.rs updated in the same change.)
                     for &other in by_reg.get(&r).into_iter().flatten() {
                         k.set(other);
+                        g.clear(other);
                     }
                     let id = def_ids[&Def { addr: i.addr, reg: r }];
                     // un-kill & gen this def.
-                    k.0[id / 64] &= !(1 << (id % 64));
-                    g.0[id / 64] &= !(1 << (id % 64));
+                    k.clear(id);
                     g.set(id);
                 }
             }
@@ -276,6 +280,40 @@ mod tests {
         let rd = reaching_defs(&view);
         let reaching = rd.defs_reaching_use(&view, 0x1000, use_at, Reg::RAX);
         assert_eq!(reaching, vec![Def { addr: second_def, reg: Reg::RAX }]);
+    }
+
+    #[test]
+    fn same_block_redef_retracts_earlier_gen() {
+        // b0: mov rax, 1 ; mov rax, 2 ; jmp b1     b1: ret
+        //
+        // Only the *last* def of rax may reach b1: the earlier def is
+        // killed within the block and its gen bit must be retracted too
+        // (the historical quirk let both flow out).
+        let mut c0 = vec![];
+        encode::mov_ri32(&mut c0, Reg::RAX, 1);
+        let second_def = c0.len() as u64 + 0x1000;
+        encode::mov_ri32(&mut c0, Reg::RAX, 2);
+        let j = encode::jmp_rel32(&mut c0);
+        encode::patch_rel32(&mut c0, j, 0x1000);
+        let mut c1 = vec![];
+        encode::ret(&mut c1);
+
+        let view = VecView {
+            entry_block: 0x1000,
+            block_data: vec![
+                (0x1000, 0x1000 + c0.len() as u64, decode_seq(&c0, 0x1000)),
+                (0x2000, 0x2001, decode_seq(&c1, 0x2000)),
+            ],
+            edges: vec![(0x1000, 0x2000, EdgeKind::Direct)],
+        };
+        let rd = reaching_defs(&view);
+        let at_succ: Vec<Def> =
+            rd.reaching_at_entry(0x2000).into_iter().filter(|d| d.reg == Reg::RAX).collect();
+        assert_eq!(
+            at_succ,
+            vec![Def { addr: second_def, reg: Reg::RAX }],
+            "only the last same-block def reaches the successor"
+        );
     }
 
     #[test]

@@ -1,22 +1,39 @@
-//! Backward slicing + symbolic evaluation of indirect-jump targets.
+//! Backward slicing + symbolic evaluation of indirect-jump targets,
+//! expressed as a [`DataflowSpec`] over the generic engine.
 //!
-//! From the indirect jump, walk definitions backward — first within the
-//! jump's block, then across intra-procedural predecessor edges (bounded
-//! depth and path count) — substituting each definition into the target
-//! expression. Along the way, collect `cmp index, N` + conditional-branch
-//! facts that bound the index on this path.
+//! From the indirect jump, definitions are walked backward — first
+//! within the jump's block, then across intra-procedural predecessor
+//! edges — substituting each definition into the target expression.
+//! Along the way, `cmp index, N` + conditional-branch facts that bound
+//! the index on a path are collected via the engine's edge-kind-aware
+//! [`DataflowSpec::edge_transfer`] hook.
 //!
-//! Results are reported **per path** and the caller unions them: this is
-//! the paper's monotonicity fix ("taking the union of the targets
-//! discovered along different paths, essentially ignoring instructions
-//! or path conditions that fail analysis", Section 5.3). A path whose
-//! expression degenerates to `Top` contributes nothing instead of
-//! failing the whole analysis.
+//! The lattice fact ([`PathSet`]) is a bounded set of per-path states
+//! `(Expr, Option<(Reg, u64)>, depth)`; the meet is set union, so the
+//! fixpoint *is* the paper's union-over-paths ("taking the union of the
+//! targets discovered along different paths, essentially ignoring
+//! instructions or path conditions that fail analysis", Section 5.3). A
+//! path whose expression degenerates to `Top` contributes nothing
+//! instead of failing the whole analysis, and a set exceeding
+//! [`MAX_PATHS`] widens to the classified forms it already proved
+//! (bounded forms kept preferentially, up to the hard cap). Widening is
+//! *sticky per block* — once a block widens it keeps widening — so the
+//! single output-shrinking (non-monotone) step happens at most once per
+//! block and the fixpoint cannot oscillate; combined with states dying
+//! at [`MAX_DEPTH`] edge crossings, termination is unconditional.
+//!
+//! [`analyze_indirect_jump`] is a thin wrapper that builds the
+//! [`SliceSpec`], runs it under the [`SerialExecutor`], and reads the
+//! per-path facts back out of the block boundaries.
 
+use crate::engine::{
+    DataflowExecutor, DataflowResults, DataflowSpec, Direction, FlowGraph, SerialExecutor,
+};
 use crate::expr::Expr;
 use crate::view::CfgView;
 use pba_cfg::EdgeKind;
 use pba_isa::{insn::AluKind, insn::Cond, insn::ShiftKind, Insn, Op, Place, Reg, Value};
+use std::collections::{BTreeSet, HashMap};
 
 /// Recognized jump-table dispatch forms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -213,115 +230,357 @@ fn classify(e: &Expr) -> Option<JumpTableForm> {
     None
 }
 
-/// Maximum blocks walked backward on one path.
-const MAX_DEPTH: usize = 8;
-/// Maximum total paths explored.
-const MAX_PATHS: usize = 64;
+/// Maximum blocks walked backward on one path (edge crossings).
+pub const MAX_DEPTH: usize = 8;
+/// Maximum path states held per block fact before widening.
+pub const MAX_PATHS: usize = 64;
 
-/// Analyze the indirect jump terminating `jump_block`. Returns one
-/// [`PathFact`] per explored path (empty if the terminator is not an
-/// indirect jump).
-pub fn analyze_indirect_jump(view: &dyn CfgView, jump_block: u64) -> Vec<PathFact> {
-    let insns = view.insns(jump_block);
-    let Some(term) = insns.last() else { return vec![] };
-    let Op::JmpInd { src } = term.op else { return vec![] };
+/// One backward path's state at a block boundary: the symbolic target
+/// expression as seen from here, the guard bound captured closest to the
+/// jump (if any), and how many edges the path has crossed.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PathState {
+    /// Symbolic jump-target expression at this boundary.
+    pub expr: Expr,
+    /// First `(index reg, exclusive bound)` guard met on the path.
+    pub bound: Option<(Reg, u64)>,
+    /// Edge crossings from the jump block (caps at [`MAX_DEPTH`]).
+    pub depth: usize,
+}
 
-    let wanted = Expr::of_value(&src, 8, false);
-    let mut facts = Vec::new();
-    let mut paths = 0usize;
-
-    // Depth-first over (block, position-exhausted expression, bound).
-    struct Job {
-        block: u64,
-        expr: Expr,
-        bound: Option<(Reg, u64)>,
-        depth: usize,
+impl PathState {
+    /// The per-path result this state contributes to the union.
+    fn fact(&self) -> PathFact {
+        if self.expr.has_top() {
+            // Dead path: contributes nothing (union semantics).
+            return PathFact { form: None, bound: None };
+        }
+        match classify(&self.expr) {
+            Some(f) => PathFact {
+                form: Some(f),
+                bound: self.bound.and_then(|(r, b)| (f.index() == r).then_some(b)),
+            },
+            None => PathFact { form: None, bound: None },
+        }
     }
 
-    // Backward walk through a block, stopping as soon as the expression
-    // classifies: substituting past the resolution point would let
-    // unrelated (or, in over-approximated split blocks, garbage)
-    // definitions clobber an already-complete dispatch pattern.
-    let walk_back = |insns: &[Insn], skip_last: usize, mut expr: Expr| -> Expr {
-        for i in insns.iter().rev().skip(skip_last) {
-            if classify(&expr).is_some() {
-                break;
-            }
-            expr = reverse_transfer(i, expr);
+    /// Terminal states stop crossing edges: the path died (`Top`),
+    /// resolved completely (form + matching bound), or hit the depth cap.
+    fn is_terminal(&self) -> bool {
+        if self.depth >= MAX_DEPTH || self.expr.has_top() {
+            return true;
         }
-        expr.simplify()
-    };
+        match classify(&self.expr) {
+            Some(f) => self.bound.is_some_and(|(r, _)| f.index() == r),
+            None => false,
+        }
+    }
+}
 
-    // First: walk the jump block itself (excluding the terminator).
-    let start_expr = walk_back(&insns, 1, wanted);
+/// The [`SliceSpec`] lattice fact: a bounded set of path states, ordered
+/// for deterministic iteration. Union is the meet; exceeding
+/// [`MAX_PATHS`] widens the set to the bare classified forms it already
+/// contains (see [`PathSet::widen`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PathSet {
+    /// The per-path states.
+    pub states: BTreeSet<PathState>,
+}
 
-    let mut stack = vec![Job { block: jump_block, expr: start_expr, bound: None, depth: 0 }];
-    while let Some(job) = stack.pop() {
-        if paths >= MAX_PATHS {
+impl PathSet {
+    /// The widening operator. Keeps only states whose expression already
+    /// classifies as a dispatch form — frozen at [`MAX_DEPTH`] so they
+    /// stop propagating — and collapses everything else into a single
+    /// `Top` marker. Still-ambiguous paths are given up on, the same
+    /// trade the old DFS made with its global path cap; classified
+    /// states survive up to the hard [`MAX_PATHS`] cap, those carrying
+    /// a guard bound kept preferentially (a bounded form is what makes
+    /// the eventual table scan exact, so it is the last thing to drop).
+    ///
+    /// Note this is *unconditional*: whether to widen is decided per
+    /// block by [`SliceSpec::transfer`], stickily — see there for why.
+    fn widen(&mut self) {
+        let classified = self
+            .states
+            .iter()
+            .filter(|s| !s.expr.has_top() && classify(&s.expr).is_some())
+            .map(|s| PathState { expr: s.expr.clone(), bound: s.bound, depth: MAX_DEPTH });
+        let (bounded, bare): (Vec<PathState>, Vec<PathState>) =
+            classified.partition(|s| s.bound.is_some());
+        let kept: BTreeSet<PathState> = bounded.into_iter().chain(bare).take(MAX_PATHS).collect();
+        self.states = kept;
+        self.states.insert(PathState { expr: Expr::Top, bound: None, depth: MAX_DEPTH });
+    }
+}
+
+/// Backward walk through a block, stopping as soon as the expression
+/// classifies: substituting past the resolution point would let
+/// unrelated (or, in over-approximated split blocks, garbage)
+/// definitions clobber an already-complete dispatch pattern.
+fn walk_back(insns: &[Insn], skip_last: usize, mut expr: Expr) -> Expr {
+    for i in insns.iter().rev().skip(skip_last) {
+        if classify(&expr).is_some() {
             break;
         }
-        let expr = job.expr.simplify();
-        if expr.has_top() {
-            // Dead path: contributes nothing (union semantics).
-            paths += 1;
-            facts.push(PathFact { form: None, bound: None });
-            continue;
-        }
-        let form = classify(&expr);
-        let resolved = form.is_some();
-        if resolved || job.depth >= MAX_DEPTH {
-            paths += 1;
-            let bound = match (form, job.bound) {
-                (Some(f), Some((r, b))) if f.index() == r => Some(b),
-                _ => None,
-            };
-            // The form is complete once classify succeeds *and* a bound
-            // was found; if no bound yet, walking further back may find
-            // the guard. The bare form is recorded immediately as a
-            // fallback so a Top-degenerating predecessor path cannot
-            // erase a resolved dispatch pattern (union-over-paths).
-            if bound.is_some() || job.depth >= MAX_DEPTH {
-                facts.push(PathFact { form, bound });
-                continue;
+        expr = reverse_transfer(i, expr);
+    }
+    expr.simplify()
+}
+
+/// Backward jump-table slicing as a [`DataflowSpec`].
+///
+/// * **Fact**: [`PathSet`] — bounded set of `(expr, bound, depth)` path
+///   states at each block boundary (entry side, since the problem is
+///   backward).
+/// * **Meet**: set union.
+/// * **Transfer**: walk every state's expression backward through the
+///   block's instructions, then enforce [`MAX_PATHS`] by sticky
+///   widening; the jump block additionally injects the seed state (the
+///   target expression walked back from the terminator).
+/// * **Edge transfer**: crossing the CFG edge `p → b` backward drops
+///   terminal states, bumps `depth`, and attaches the guard bound
+///   extracted from `p`'s `cmp`+`jcc` terminator for the edge kind
+///   actually taken — the part a direction-only engine cannot express,
+///   hence [`DataflowSpec::edge_transfer`].
+pub struct SliceSpec {
+    jump_block: u64,
+    seed: PathSet,
+    /// Decoded instructions of every block in the jump's backward cone
+    /// (the blocks within [`MAX_DEPTH`] predecessor edges) — the only
+    /// blocks a path state can ever reach, so the only ones worth
+    /// decoding or iterating (the old DFS had the same locality).
+    insns: HashMap<u64, Vec<Insn>>,
+    /// Blocks whose transfer has widened, stickily: once a block widens
+    /// it keeps widening. Widening shrinks a fact (non-monotone), so
+    /// without stickiness a cyclic CFG straddling [`MAX_PATHS`] could
+    /// oscillate between widened and unwidened fixpoint candidates and
+    /// the executor's worklist would never drain. Sticky widening means
+    /// each block takes the one non-monotone step at most once; between
+    /// and after those finitely many events the system is monotone, so
+    /// the fixpoint iteration terminates.
+    widened_blocks: std::sync::Mutex<std::collections::HashSet<u64>>,
+}
+
+impl SliceSpec {
+    /// Build the spec for the indirect jump terminating `jump_block`.
+    /// Returns `None` when the block's terminator is not an indirect
+    /// jump.
+    pub fn build(view: &dyn CfgView, jump_block: u64) -> Option<SliceSpec> {
+        let jinsns = view.insns(jump_block);
+        let term = jinsns.last()?;
+        let Op::JmpInd { src } = term.op else { return None };
+
+        let wanted = Expr::of_value(&src, 8, false);
+        // The seed: the jump block walked backward, excluding the
+        // terminator itself.
+        let start_expr = walk_back(&jinsns, 1, wanted);
+        let mut seed = PathSet::default();
+        seed.states.insert(PathState { expr: start_expr, bound: None, depth: 0 });
+
+        // BFS the backward cone: blocks within MAX_DEPTH predecessor
+        // edges of the jump. States die at MAX_DEPTH crossings, so
+        // facts outside the cone are empty by construction and the rest
+        // of the function need not be decoded at all.
+        let known: std::collections::HashSet<u64> = view.blocks().into_iter().collect();
+        let mut insns: HashMap<u64, Vec<Insn>> = HashMap::new();
+        insns.insert(jump_block, jinsns);
+        let mut frontier = vec![jump_block];
+        for _ in 0..MAX_DEPTH {
+            let mut next = Vec::new();
+            for b in frontier {
+                for (p, _) in view.pred_edges(b) {
+                    if known.contains(&p) && !insns.contains_key(&p) {
+                        insns.insert(p, view.insns(p));
+                        next.push(p);
+                    }
+                }
             }
-            facts.push(PathFact { form, bound: None });
-            let preds = view.pred_edges(job.block);
-            if preds.is_empty() {
-                continue;
+            if next.is_empty() {
+                break;
             }
-            for (p, kind) in preds {
-                let pinsns = view.insns(p);
-                let pbound = bound_from_pred(&pinsns, kind, expr.free_regs());
-                let e = walk_back(&pinsns, 0, expr.clone());
-                stack.push(Job {
-                    block: p,
-                    expr: e,
-                    bound: job.bound.or(pbound),
-                    depth: job.depth + 1,
-                });
+            frontier = next;
+        }
+        Some(SliceSpec {
+            jump_block,
+            seed,
+            insns,
+            widened_blocks: std::sync::Mutex::new(std::collections::HashSet::new()),
+        })
+    }
+
+    /// The [`FlowGraph`] restricted to the jump's backward cone — what
+    /// the spec should be executed over. Running over the full function
+    /// graph is equally correct (facts outside the cone stay empty) but
+    /// pays per-block fixpoint overhead for blocks that can never
+    /// contribute.
+    pub fn cone_graph(&self, view: &dyn CfgView) -> FlowGraph {
+        FlowGraph::build(&ConeView { inner: view, members: &self.insns })
+    }
+
+    /// Union the per-path facts found at every block boundary of a
+    /// fixpoint run — terminated paths rest where they terminated, so
+    /// the whole boundary map is the answer. Blocks are visited in
+    /// ascending address order for a deterministic fact list.
+    pub fn collect_facts(&self, results: &DataflowResults<PathSet>) -> Vec<PathFact> {
+        let mut blocks: Vec<u64> = results.output.keys().copied().collect();
+        blocks.sort_unstable();
+        let mut facts = Vec::new();
+        for b in blocks {
+            for s in &results.output[&b].states {
+                facts.push(s.fact());
             }
-            continue;
         }
-        // Unresolved: continue into predecessors.
-        let preds = view.pred_edges(job.block);
-        if preds.is_empty() {
-            paths += 1;
-            facts.push(PathFact { form: None, bound: None });
-            continue;
+        facts
+    }
+
+    /// Whether any block's transfer widened during the run (the sticky
+    /// set is the single source of truth for widening).
+    pub fn any_widened(&self) -> bool {
+        !self.widened_blocks.lock().expect("widened_blocks").is_empty()
+    }
+}
+
+impl DataflowSpec for SliceSpec {
+    type Fact = PathSet;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn bottom(&self, _block: u64) -> PathSet {
+        PathSet::default()
+    }
+
+    fn boundary(&self, _block: u64) -> PathSet {
+        // Nothing enters at exit blocks; the only source of states is
+        // the jump block's transfer injecting the seed.
+        PathSet::default()
+    }
+
+    fn meet(&self, into: &mut PathSet, incoming: &PathSet) {
+        // Plain union: the MAX_PATHS bound is enforced (stickily, per
+        // block) by `transfer`, which knows which block it is at.
+        into.states.extend(incoming.states.iter().cloned());
+    }
+
+    fn transfer(&self, block: u64, input: &PathSet) -> PathSet {
+        let empty = Vec::new();
+        let insns = self.insns.get(&block).unwrap_or(&empty);
+        let mut out = PathSet { states: BTreeSet::new() };
+        for s in &input.states {
+            let expr = walk_back(insns, 0, s.expr.clone());
+            out.states.insert(PathState { expr, bound: s.bound, depth: s.depth });
         }
-        for (p, kind) in preds {
-            let pinsns = view.insns(p);
-            let pbound = bound_from_pred(&pinsns, kind, expr.free_regs());
-            let e = walk_back(&pinsns, 0, expr.clone());
-            stack.push(Job {
-                block: p,
-                expr: e,
-                bound: job.bound.or(pbound),
-                depth: job.depth + 1,
+        // Sticky widening (see `widened_blocks`): a block that once
+        // exceeded MAX_PATHS keeps widening even if its input later
+        // shrinks, so the one output-shrinking step happens at most
+        // once per block and the fixpoint cannot oscillate.
+        {
+            let mut sticky = self.widened_blocks.lock().expect("widened_blocks");
+            if sticky.contains(&block) || out.states.len() > MAX_PATHS {
+                sticky.insert(block);
+                drop(sticky);
+                out.widen();
+            }
+        }
+        if block == self.jump_block {
+            // The seed joins after widening: the jump block's own state
+            // is the anchor of the whole analysis and must survive even
+            // when a cycle floods the block past the cap.
+            out.states.extend(self.seed.states.iter().cloned());
+        }
+        out
+    }
+
+    fn edge_transfer(&self, src: u64, dst: u64, kind: EdgeKind, fact: &PathSet) -> Option<PathSet> {
+        let _ = dst;
+        let mut out = PathSet { states: BTreeSet::new() };
+        let empty = Vec::new();
+        let src_insns = self.insns.get(&src).unwrap_or(&empty);
+        for s in fact.states.iter().filter(|s| !s.is_terminal()) {
+            // The bound closest to the jump wins; tracked registers are
+            // those of the expression *before* it is walked through the
+            // guard block (the guard compares the value the dispatch
+            // consumes).
+            let pbound = bound_from_pred(src_insns, kind, s.expr.free_regs());
+            out.states.insert(PathState {
+                expr: s.expr.clone(),
+                bound: s.bound.or(pbound),
+                depth: s.depth + 1,
             });
         }
+        Some(out)
     }
-    facts
+}
+
+/// A [`CfgView`] restricted to the jump's backward cone: only the
+/// member blocks and the edges among them are visible, so the
+/// [`FlowGraph`] (and hence the fixpoint) ranges over exactly the
+/// blocks the slice can touch.
+struct ConeView<'a> {
+    inner: &'a dyn CfgView,
+    members: &'a HashMap<u64, Vec<Insn>>,
+}
+
+impl CfgView for ConeView<'_> {
+    fn entry(&self) -> u64 {
+        self.inner.entry()
+    }
+
+    fn blocks(&self) -> Vec<u64> {
+        // Sorted for a deterministic dense order regardless of the
+        // inner view's iteration order.
+        let mut v: Vec<u64> = self.members.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn block_range(&self, block: u64) -> (u64, u64) {
+        self.inner.block_range(block)
+    }
+
+    fn succ_edges(&self, block: u64) -> Vec<(u64, EdgeKind)> {
+        let mut v = self.inner.succ_edges(block);
+        v.retain(|(d, _)| self.members.contains_key(d));
+        v
+    }
+
+    fn pred_edges(&self, block: u64) -> Vec<(u64, EdgeKind)> {
+        let mut v = self.inner.pred_edges(block);
+        v.retain(|(s, _)| self.members.contains_key(s));
+        v
+    }
+
+    fn insns(&self, block: u64) -> Vec<Insn> {
+        self.members.get(&block).cloned().unwrap_or_default()
+    }
+}
+
+/// Everything one engine-backed slicing run produced.
+#[derive(Debug, Clone)]
+pub struct SliceOutcome {
+    /// Per-path facts, unioned over every block boundary.
+    pub facts: Vec<PathFact>,
+    /// Whether any block's path set hit [`MAX_PATHS`] and widened.
+    pub widened: bool,
+}
+
+/// Run the engine-backed slice for the indirect jump terminating
+/// `jump_block`. Returns `None` if the terminator is not an indirect
+/// jump.
+pub fn slice_indirect_jump(view: &dyn CfgView, jump_block: u64) -> Option<SliceOutcome> {
+    let spec = SliceSpec::build(view, jump_block)?;
+    let graph = spec.cone_graph(view);
+    let results = SerialExecutor.run(&spec, &graph);
+    Some(SliceOutcome { widened: spec.any_widened(), facts: spec.collect_facts(&results) })
+}
+
+/// Analyze the indirect jump terminating `jump_block`: a thin wrapper
+/// that runs [`SliceSpec`] under the [`SerialExecutor`] and unions the
+/// per-path facts arriving at every block boundary. Returns an empty
+/// vector if the terminator is not an indirect jump.
+pub fn analyze_indirect_jump(view: &dyn CfgView, jump_block: u64) -> Vec<PathFact> {
+    slice_indirect_jump(view, jump_block).map(|o| o.facts).unwrap_or_default()
 }
 
 #[cfg(test)]
@@ -456,6 +715,197 @@ mod tests {
             edges: vec![],
         };
         assert!(analyze_indirect_jump(&view, 0x1000).is_empty());
+    }
+
+    /// A jump block whose predecessor subgraph is detached from the
+    /// function entry (the parser's `ensure_block` snapshots produce
+    /// exactly this shape mid-parse): the slice must still classify the
+    /// dispatch and recover the guard bound from the unreachable pred.
+    #[test]
+    fn unreachable_pred_jump_block_still_classifies() {
+        let mut entry = vec![];
+        encode::ret(&mut entry);
+        let entry_insns = decode_seq(&entry, 0x1000);
+
+        let mut guard = vec![];
+        encode::cmp_ri(&mut guard, Reg::RDI, 4);
+        let j = encode::jcc_rel32(&mut guard, Cond::A);
+        encode::patch_rel32(&mut guard, j, 0x200);
+        let guard_insns = decode_seq(&guard, 0x4000);
+        let guard_end = 0x4000 + guard.len() as u64;
+
+        let mut disp = vec![];
+        encode::jmp_ind_mem(&mut disp, &MemRef::base_index(None, Reg::RDI, 8, 0x601000));
+        let disp_insns = decode_seq(&disp, 0x2000);
+        let disp_end = 0x2000 + disp.len() as u64;
+
+        let view = VecView {
+            entry_block: 0x1000,
+            block_data: vec![
+                (0x1000, 0x1001, entry_insns),
+                (0x4000, guard_end, guard_insns),
+                (0x2000, disp_end, disp_insns),
+            ],
+            // No path from the entry to the guard or the jump block.
+            edges: vec![
+                (0x4000, 0x2000, EdgeKind::CondNotTaken),
+                (0x4000, 0x5000, EdgeKind::CondTaken),
+            ],
+        };
+        let facts = analyze_indirect_jump(&view, 0x2000);
+        let hit = facts
+            .iter()
+            .filter(|f| f.form.is_some())
+            .max_by_key(|f| f.bound.is_some())
+            .expect("detached subgraph must still classify");
+        assert_eq!(
+            hit.form,
+            Some(JumpTableForm::Absolute { table: 0x601000, scale: 8, index: Reg::RDI })
+        );
+        assert_eq!(hit.bound, Some(5));
+    }
+
+    /// A flags-clobbering `Alu` between the `cmp` and the `jcc` means
+    /// the branch no longer tests the compare — `bound_from_pred`
+    /// (correctly, if silently) refuses the bound, and the table is
+    /// analyzed as unbounded. Pins the behavior the parser's unbounded
+    /// scan path depends on.
+    #[test]
+    fn flags_clobber_between_cmp_and_jcc_drops_bound() {
+        let mut guard = vec![];
+        encode::cmp_ri(&mut guard, Reg::RDI, 4);
+        // `add rsi, 1` rewrites the flags the `ja` consumes.
+        encode::alu_ri(&mut guard, AluKind::Add, Reg::RSI, 1);
+        let j = encode::jcc_rel32(&mut guard, Cond::A);
+        encode::patch_rel32(&mut guard, j, 0x200);
+        let guard_insns = decode_seq(&guard, 0x1000);
+        let guard_end = 0x1000 + guard.len() as u64;
+
+        let mut disp = vec![];
+        encode::jmp_ind_mem(&mut disp, &MemRef::base_index(None, Reg::RDI, 8, 0x601000));
+        let disp_insns = decode_seq(&disp, 0x2000);
+        let disp_end = 0x2000 + disp.len() as u64;
+
+        let view = VecView {
+            entry_block: 0x1000,
+            block_data: vec![(0x1000, guard_end, guard_insns), (0x2000, disp_end, disp_insns)],
+            edges: vec![
+                (0x1000, 0x2000, EdgeKind::CondNotTaken),
+                (0x1000, 0x3000, EdgeKind::CondTaken),
+            ],
+        };
+        let facts = analyze_indirect_jump(&view, 0x2000);
+        assert!(facts.iter().any(|f| f.form.is_some()), "form still classifies");
+        assert!(
+            facts.iter().all(|f| f.bound.is_none()),
+            "clobbered guard must not contribute a bound: {facts:?}"
+        );
+    }
+
+    /// A chain of 8 diamonds whose arms perturb the jump register fans
+    /// out into 2^7 = 128 distinct path states mid-chain — past
+    /// `MAX_PATHS` — so the fact sets widen. The widened (ambiguous)
+    /// paths are given up on, but the direct bypass path that resolves
+    /// the PIC-style dispatch survives, bound included, and every
+    /// per-block fact stays bounded.
+    #[test]
+    fn widened_diamond_cfg_keeps_resolved_path() {
+        // guard: cmp rsi, 7 ; ja default
+        let mut guard = vec![];
+        encode::cmp_ri(&mut guard, Reg::RSI, 7);
+        let j = encode::jcc_rel32(&mut guard, Cond::A);
+        encode::patch_rel32(&mut guard, j, 0x300);
+        let guard_insns = decode_seq(&guard, 0x1000);
+        let guard_end = 0x1000 + guard.len() as u64;
+
+        // t: lea rcx, [rip+T] ; movsxd rax, [rcx + rsi*4] ; add rax, rcx
+        let mut t = vec![];
+        let lea_site = encode::lea_rip(&mut t, Reg::RCX);
+        encode::movsxd(&mut t, Reg::RAX, &MemRef::base_index(Some(Reg::RCX), Reg::RSI, 4, 0));
+        encode::alu_rr(&mut t, AluKind::Add, Reg::RAX, Reg::RCX);
+        encode::patch_rel32(&mut t, lea_site, 0x100); // table at 0x2100
+        let t_insns = decode_seq(&t, 0x2000);
+        let t_end = 0x2000 + t.len() as u64;
+
+        // jump block: jmp rax
+        let mut jb = vec![];
+        encode::jmp_ind_reg(&mut jb, Reg::RAX);
+        let jb_insns = decode_seq(&jb, 0x9000);
+        let jb_end = 0x9000 + jb.len() as u64;
+
+        let arm_a = |i: u64| 0x3000 + i * 0x100;
+        let arm_b = |i: u64| 0x3000 + i * 0x100 + 0x80;
+
+        let mut block_data = vec![
+            (0x1000, guard_end, guard_insns),
+            (0x2000, t_end, t_insns),
+            (0x9000, jb_end, jb_insns),
+        ];
+        let mut edges = vec![
+            (0x1000, 0x2000, EdgeKind::CondNotTaken),
+            (0x1000, 0x7000, EdgeKind::CondTaken),
+            // The bypass: dispatch straight after t resolves the form.
+            (0x2000, 0x9000, EdgeKind::Direct),
+            (0x2000, arm_a(1), EdgeKind::CondTaken),
+            (0x2000, arm_b(1), EdgeKind::CondNotTaken),
+        ];
+        for i in 1..=8u64 {
+            // Arm A is a no-op for the sliced register; arm B shifts it
+            // by a per-diamond power of two so every path's accumulated
+            // constant is distinct (2^7 states by mid-chain).
+            let mut a = vec![];
+            encode::alu_ri(&mut a, AluKind::Add, Reg::RAX, 0);
+            let mut b = vec![];
+            encode::alu_ri(&mut b, AluKind::Add, Reg::RAX, 1 << i);
+            let a_insns = decode_seq(&a, arm_a(i));
+            let b_insns = decode_seq(&b, arm_b(i));
+            block_data.push((arm_a(i), arm_a(i) + a.len() as u64, a_insns));
+            block_data.push((arm_b(i), arm_b(i) + b.len() as u64, b_insns));
+            if i < 8 {
+                for src in [arm_a(i), arm_b(i)] {
+                    edges.push((src, arm_a(i + 1), EdgeKind::CondTaken));
+                    edges.push((src, arm_b(i + 1), EdgeKind::CondNotTaken));
+                }
+            } else {
+                edges.push((arm_a(i), 0x9000, EdgeKind::Direct));
+                edges.push((arm_b(i), 0x9000, EdgeKind::Direct));
+            }
+        }
+        let view = VecView { entry_block: 0x1000, block_data, edges };
+
+        let outcome = slice_indirect_jump(&view, 0x9000).expect("indirect jump");
+        assert!(outcome.widened, "the diamond fan-out must trip MAX_PATHS widening");
+        let hit = outcome
+            .facts
+            .iter()
+            .filter(|f| f.form.is_some())
+            .max_by_key(|f| f.bound.is_some())
+            .expect("bypass path must survive widening");
+        assert_eq!(
+            hit.form,
+            Some(JumpTableForm::Relative {
+                table: 0x2100,
+                base: 0x2100,
+                scale: 4,
+                width: 4,
+                index: Reg::RSI
+            })
+        );
+        assert_eq!(hit.bound, Some(8));
+
+        // Spec-level: no block's fixpoint fact may exceed the widening
+        // cap (+1 for the Top marker widening leaves behind, +1 for the
+        // jump block's seed which joins after widening).
+        let spec = SliceSpec::build(&view, 0x9000).expect("spec");
+        let graph = spec.cone_graph(&view);
+        let results = SerialExecutor.run(&spec, &graph);
+        for (b, fact) in &results.output {
+            assert!(
+                fact.states.len() <= MAX_PATHS + 2,
+                "block {b:#x} holds {} states",
+                fact.states.len()
+            );
+        }
     }
 
     #[test]

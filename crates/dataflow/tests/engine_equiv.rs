@@ -3,9 +3,11 @@
 //! 1. `SerialExecutor` and `ParallelExecutor` (1/2/4/8 threads) reach
 //!    identical fixpoints for all three analyses — the engine's central
 //!    "interchangeable by construction" claim;
-//! 2. the engine reproduces the pre-refactor bespoke worklist loops
-//!    byte-for-byte (the original fixpoints are kept here as reference
-//!    implementations);
+//! 2. the engine reproduces the bespoke worklist loops byte-for-byte
+//!    (the original fixpoints are kept here as reference
+//!    implementations; the reaching-defs oracle carries the deliberate
+//!    gen-retraction fix — a later same-block redefinition now retracts
+//!    the earlier def's gen bits);
 //! 3. `run_all` agrees with per-function invocation.
 
 use pba_dataflow::engine::ExecutorKind;
@@ -152,9 +154,11 @@ fn reference_reaching(view: &dyn CfgView) -> HashMap<u64, Vec<Def>> {
         }
     }
     let by_reg = |r: Reg| all_defs.iter().copied().filter(move |d| d.reg == r);
-    // Pre-refactor gen/kill quirk preserved: a later same-block redef
-    // kills earlier defs of the register but does NOT retract their gen
-    // bits, so both still flow out of the block (see `ReachingSpec`).
+    // Gen-retracting semantics (matching `ReachingSpec`): a later
+    // same-block redef kills earlier defs of the register AND retracts
+    // their gen bits, so only the last def per register flows out of the
+    // block. (The pre-refactor loops kept earlier same-block gens alive;
+    // that quirk was fixed deliberately and this oracle changed with it.)
     let transfer = |b: u64, inn: &HashSet<Def>| -> HashSet<Def> {
         let mut gen: HashSet<Def> = HashSet::new();
         let mut kill: HashSet<Def> = HashSet::new();
@@ -163,6 +167,7 @@ fn reference_reaching(view: &dyn CfgView) -> HashMap<u64, Vec<Def>> {
                 let this = Def { addr: i.addr, reg: r };
                 kill.extend(by_reg(r));
                 kill.remove(&this);
+                gen.retain(|d| d.reg != r);
                 gen.insert(this);
             }
         }

@@ -36,32 +36,21 @@ impl DomTree {
     }
 }
 
-/// Depth-first reverse postorder from the entry. Unreachable blocks are
-/// excluded (they cannot participate in natural loops).
+/// Reverse postorder from the entry, via the repo's one RPO definition
+/// ([`pba_cfg::order::reverse_postorder`]). Unreachable blocks are
+/// excluded (they cannot participate in natural loops): the generic
+/// order appends them after the reachable postorder, which puts them
+/// *before* the entry once reversed — the reachable region is exactly
+/// the suffix starting at the entry.
 fn reverse_postorder(view: &dyn CfgView) -> Vec<u64> {
-    let mut order = Vec::new();
-    let mut state: HashMap<u64, u8> = HashMap::new(); // 0 absent, 1 open, 2 done
-
-    // Iterative DFS with explicit post-visit marker.
-    let mut stack: Vec<(u64, bool)> = vec![(view.entry(), false)];
-    while let Some((n, post)) = stack.pop() {
-        if post {
-            order.push(n);
-            continue;
-        }
-        if state.contains_key(&n) {
-            continue;
-        }
-        state.insert(n, 1);
-        stack.push((n, true));
-        for (s, _) in view.succ_edges(n) {
-            if !state.contains_key(&s) {
-                stack.push((s, false));
-            }
-        }
+    let blocks = view.blocks();
+    let entry = view.entry();
+    let succs = |b: u64| -> Vec<u64> { view.succ_edges(b).into_iter().map(|(s, _)| s).collect() };
+    let mut full = pba_cfg::order::reverse_postorder(&blocks, &[entry], &succs);
+    match full.iter().position(|&b| b == entry) {
+        Some(at) => full.split_off(at),
+        None => Vec::new(),
     }
-    order.reverse();
-    order
 }
 
 /// Compute the dominator tree of the function in `view`.

@@ -36,6 +36,9 @@ pub struct ParseStats {
     /// Jump tables scanned without a recovered bound
     /// (over-approximated until finalization).
     pub jt_unbounded: Counter,
+    /// Slicing runs whose path-state set hit the lattice cap and
+    /// widened to bare classified forms (`pba_dataflow::SliceSpec`).
+    pub jt_widened: Counter,
     /// Indirect-jump edges removed by finalization clamping.
     pub jt_edges_clamped: Counter,
     /// Tail-call decisions flipped during finalization.
@@ -59,6 +62,7 @@ pub struct StatsSnapshot {
     pub noreturn_resumes: u64,
     pub jt_bounded: u64,
     pub jt_unbounded: u64,
+    pub jt_widened: u64,
     pub jt_edges_clamped: u64,
     pub tailcall_flips: u64,
     pub decode_errors: u64,
@@ -80,6 +84,7 @@ impl ParseStats {
             noreturn_resumes: self.noreturn_resumes.get(),
             jt_bounded: self.jt_bounded.get(),
             jt_unbounded: self.jt_unbounded.get(),
+            jt_widened: self.jt_widened.get(),
             jt_edges_clamped: self.jt_edges_clamped.get(),
             tailcall_flips: self.tailcall_flips.get(),
             decode_errors: self.decode_errors.get(),

@@ -18,7 +18,7 @@ use crate::state::{CallDisposition, RawJumpTable, RegisterOutcome, State};
 use crate::ParseResult;
 use crossbeam::queue::SegQueue;
 use pba_cfg::EdgeKind;
-use pba_dataflow::analyze_indirect_jump;
+use pba_dataflow::slice_indirect_jump;
 use pba_dataflow::CfgView;
 use pba_isa::{ControlFlow, Insn};
 use rayon::prelude::*;
@@ -305,9 +305,23 @@ fn create_edges<'i: 'scope, 'scope>(
 /// Run jump-table analysis for the indirect jump whose block ends at
 /// `e`. Adds indirect edges; returns the newly created target blocks
 /// (to be parsed by the caller in this function context).
+/// Run the engine-backed slice over a snapshot, folding the widening
+/// signal into the parse stats.
+fn sliced_facts(state: &State<'_>, view: &SnapshotView, block: u64) -> Vec<pba_dataflow::PathFact> {
+    match slice_indirect_jump(view, block) {
+        Some(outcome) => {
+            if outcome.widened {
+                state.stats.jt_widened.inc();
+            }
+            outcome.facts
+        }
+        None => Vec::new(),
+    }
+}
+
 fn analyze_jump_table(state: &State<'_>, fctx: u64, block_start: u64, e: u64) -> Vec<u64> {
     let view = SnapshotView::build(state, fctx, Some(block_start));
-    let facts = analyze_indirect_jump(&view, block_start);
+    let facts = sliced_facts(state, &view, block_start);
     let Some(decision) = decide(&facts) else {
         // Record the unresolved jump so the post-quiescence fixed point
         // retries it with a fuller (and possibly re-split) subgraph —
@@ -396,7 +410,7 @@ fn refine_jump_tables(state: &State<'_>, queue: &SegQueue<Work>) -> bool {
             // the indirect jump now.
             let cur_start = state.block_ends.find(e).map(|a| *a).unwrap_or(jt.block_start);
             let view = SnapshotView::build(state, jt.func, Some(cur_start));
-            let facts = analyze_indirect_jump(&view, cur_start);
+            let facts = sliced_facts(state, &view, cur_start);
             let Some(decision) = decide(&facts) else { return false };
             let (table_addr, stride, relative) = match decision.form {
                 pba_dataflow::JumpTableForm::Absolute { table, scale, .. } => (table, scale, false),
