@@ -15,31 +15,9 @@
 
 use pba_bench::report::{secs, Table};
 use pba_bench::workloads::{sweep_threads, time_median, workload};
-use pba_dataflow::{slice_indirect_jump, FuncView};
+use pba_dataflow::{collect_indirect_jumps, slice_indirect_jump_with, ExecutorKind, FuncView};
 use pba_gen::Profile;
-use pba_isa::ControlFlow;
 use rayon::prelude::*;
-
-/// `(function entry, jump block)` pairs for every indirect-jump
-/// terminator in the CFG.
-fn collect_jumps(cfg: &pba_cfg::Cfg) -> Vec<(u64, u64)> {
-    let mut jumps = Vec::new();
-    for f in cfg.functions.values() {
-        for &b in &f.blocks {
-            let Some(blk) = cfg.blocks.get(&b) else { continue };
-            let is_ind = cfg
-                .code
-                .insns(blk.start, blk.end)
-                .last()
-                .is_some_and(|i| matches!(i.control_flow(), ControlFlow::IndirectBranch));
-            if is_ind {
-                jumps.push((f.entry, b));
-            }
-        }
-    }
-    jumps.sort_unstable();
-    jumps
-}
 
 fn main() {
     let g = workload(Profile::Server, 0x51CE);
@@ -49,8 +27,8 @@ fn main() {
     let parsed = pba_parse::parse_parallel(&input, avail);
     let cfg = parsed.cfg;
 
-    let jumps = collect_jumps(&cfg);
-    let slice_all = |threads: usize| -> (usize, usize, usize) {
+    let jumps = collect_indirect_jumps(&cfg);
+    let slice_all = |threads: usize, exec: ExecutorKind| -> (usize, usize, usize) {
         let pool =
             rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("slice pool");
         let tallies: Vec<(usize, usize, usize)> = pool.install(|| {
@@ -59,7 +37,7 @@ fn main() {
                 .map(|&(func, block)| {
                     let f = &cfg.functions[&func];
                     let view = FuncView::new(&cfg, f);
-                    match slice_indirect_jump(&view, block) {
+                    match slice_indirect_jump_with(&view, block, exec) {
                         Some(o) => (
                             usize::from(o.facts.iter().any(|p| p.form.is_some())),
                             usize::from(o.facts.iter().any(|p| p.bound.is_some())),
@@ -73,7 +51,12 @@ fn main() {
         tallies.into_iter().fold((0, 0, 0), |a, t| (a.0 + t.0, a.1 + t.1, a.2 + t.2))
     };
 
-    let (forms, bounds, widened) = slice_all(1);
+    let (forms, bounds, widened) = slice_all(1, ExecutorKind::Serial);
+    assert_eq!(
+        (forms, bounds, widened),
+        slice_all(1, ExecutorKind::Parallel(0)),
+        "executors must agree on the classification tally"
+    );
     println!(
         "Jump-table slice sweep: Server-class binary, {} functions, {} indirect jumps\n\
          ({} classified, {} with a guard bound, {} widened past MAX_PATHS)\n",
@@ -86,20 +69,34 @@ fn main() {
 
     let reps = 3;
     let baseline = time_median(reps, || {
-        std::hint::black_box(slice_all(1));
+        std::hint::black_box(slice_all(1, ExecutorKind::Serial));
     });
 
-    let mut table = Table::new(&["threads", "slice all jumps", "speedup"]);
+    let mut table = Table::new(&["threads", "serial exec", "speedup", "parallel exec", "speedup"]);
     for threads in sweep_threads() {
         let t = time_median(reps, || {
-            std::hint::black_box(slice_all(threads));
+            std::hint::black_box(slice_all(threads, ExecutorKind::Serial));
         });
-        table.row(vec![threads.to_string(), secs(t), format!("{:.2}x", baseline / t)]);
+        // Within-fixpoint parallelism: each jump's SliceSpec runs the
+        // round-based executor on the ambient (stealing) pool.
+        let tp = time_median(reps, || {
+            std::hint::black_box(slice_all(threads, ExecutorKind::Parallel(0)));
+        });
+        table.row(vec![
+            threads.to_string(),
+            secs(t),
+            format!("{:.2}x", baseline / t),
+            secs(tp),
+            format!("{:.2}x", baseline / tp),
+        ]);
     }
     println!("{}", table.render());
     println!(
-        "baseline (1 thread): {}; each jump runs the engine-backed SliceSpec \
-         fixpoint under the serial executor, parallelism is across jumps",
+        "baseline (1 thread, serial executor): {}; each jump runs the \
+         engine-backed SliceSpec fixpoint — the serial-exec column fans \
+         jumps across the pool, the parallel-exec column additionally \
+         runs each fixpoint's rounds on it (executors agree by the \
+         slice_equiv test)",
         secs(baseline)
     );
 }

@@ -1,0 +1,159 @@
+//! Static chunking vs work stealing on a skewed workload.
+//!
+//! The paper's speedups rest on dynamic load balancing: traversal and
+//! analysis tasks are wildly skewed, and one huge function serializes a
+//! statically-chunked pool. This binary measures exactly that, on the
+//! `pba-gen` `Skewed` profile (one multi-thousand-block function among
+//! hundreds of tiny ones), running the three standard per-function
+//! analyses three ways at each thread count:
+//!
+//! * **static** — contiguous chunks of the size-sorted function list,
+//!   one thread per chunk, no redistribution: the discipline the
+//!   pre-refactor rayon shim imposed (the worst case lands the giant
+//!   plus the next-largest functions on one thread);
+//! * **stealing** — [`pba_dataflow::run_per_function`] on the
+//!   deque-based work-stealing pool (serial per-function executor);
+//! * **auto** — the same fan-out with [`ExecutorKind::Auto`], which
+//!   additionally runs the giant's fixpoints on the round-based
+//!   parallel executor so idle workers can steal *within* it.
+//!
+//! Steal/execute/split counters from the pool (`rayon::stats`, backed
+//! by `pba_concurrent::stats::Counter`) are reported per row, so the
+//! stealing activity behind each speedup is visible. On a 1-CPU
+//! container the rows show parity (the acceptance bar); with real
+//! cores the stealing rows pull ahead on this profile by construction.
+//!
+//! ```text
+//! cargo run --release -p pba-bench --bin steal
+//! PBA_STEAL_THREADS=1,2,4,8 cargo run --release -p pba-bench --bin steal
+//! ```
+
+use pba_bench::report::{secs, Table};
+use pba_bench::workloads::{time_median, workload};
+use pba_dataflow::{
+    liveness_on, reaching_defs_on, run_all_with, stack_heights_on, ExecutorKind, FlowGraph,
+    FuncView, AUTO_BLOCK_THRESHOLD,
+};
+use pba_gen::Profile;
+
+/// Thread ladder: `PBA_STEAL_THREADS`/`PBA_THREADS`, else the issue's
+/// 1/2/4/8 (fixed rather than clamped to the host so the sweep table is
+/// comparable across machines; on few cores the extra rows just show
+/// oversubscription parity).
+fn steal_threads() -> Vec<usize> {
+    for var in ["PBA_STEAL_THREADS", "PBA_THREADS"] {
+        if let Ok(s) = std::env::var(var) {
+            let v: Vec<usize> = s.split(',').filter_map(|x| x.trim().parse().ok()).collect();
+            if !v.is_empty() {
+                return v;
+            }
+        }
+    }
+    vec![1, 2, 4, 8]
+}
+
+/// The per-function work both schedulers distribute: the three standard
+/// analyses under the serial executor (what `run_all_with` does inside
+/// its closure).
+fn analyze(cfg: &pba_cfg::Cfg, f: &pba_cfg::Function) {
+    let view = FuncView::new(cfg, f);
+    let graph = FlowGraph::build(&view);
+    std::hint::black_box(liveness_on(&view, &graph, ExecutorKind::Serial));
+    std::hint::black_box(reaching_defs_on(&view, &graph, ExecutorKind::Serial));
+    std::hint::black_box(stack_heights_on(&view, &graph, ExecutorKind::Serial));
+}
+
+/// Static baseline: size-sorted list split into `threads` contiguous
+/// chunks, each pinned to one std thread. No queues, no stealing —
+/// the giant's chunk finishes last, everyone else idles.
+fn static_chunked(cfg: &pba_cfg::Cfg, threads: usize) {
+    let mut funcs: Vec<&pba_cfg::Function> = cfg.functions.values().collect();
+    funcs.sort_by_key(|f| std::cmp::Reverse(f.blocks.len()));
+    let threads = threads.min(funcs.len()).max(1);
+    let len = funcs.len();
+    let base = len / threads;
+    let extra = len % threads;
+    std::thread::scope(|s| {
+        let mut at = 0usize;
+        for k in 0..threads {
+            let take = base + usize::from(k < extra);
+            let chunk = &funcs[at..at + take];
+            at += take;
+            s.spawn(move || {
+                for f in chunk {
+                    analyze(cfg, f);
+                }
+            });
+        }
+    });
+}
+
+fn main() {
+    let g = workload(Profile::Skewed, 0x57EA);
+    let elf = pba_elf::Elf::parse(g.elf.clone()).expect("well-formed ELF");
+    let input = pba_parse::ParseInput::from_elf(&elf).expect(".text present");
+    let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cfg = pba_parse::parse_parallel(&input, avail).cfg;
+
+    let blocks: usize = cfg.functions.values().map(|f| f.blocks.len()).sum();
+    let giant = cfg.functions.values().map(|f| f.blocks.len()).max().unwrap_or(0);
+    println!(
+        "Steal sweep: Skewed-class binary, {} functions, {} member blocks\n\
+         (largest function: {} blocks — {} the Auto threshold of {}; {} available cores)\n",
+        cfg.functions.len(),
+        blocks,
+        giant,
+        if giant >= AUTO_BLOCK_THRESHOLD { "past" } else { "below" },
+        AUTO_BLOCK_THRESHOLD,
+        avail
+    );
+
+    let reps = 3;
+    let baseline = time_median(reps, || static_chunked(&cfg, 1));
+
+    let mut table = Table::new(&[
+        "threads",
+        "static",
+        "speedup",
+        "stealing",
+        "speedup",
+        "auto exec",
+        "speedup",
+        "steals",
+        "splits",
+        "executed",
+    ]);
+    for threads in steal_threads() {
+        let t_static = time_median(reps, || static_chunked(&cfg, threads));
+        rayon::stats::reset();
+        let t_steal = time_median(reps, || {
+            std::hint::black_box(run_all_with(&cfg, threads, ExecutorKind::Serial));
+        });
+        let steals = rayon::stats::TASKS_STOLEN.get();
+        let splits = rayon::stats::TASKS_SPLIT.get();
+        let executed = rayon::stats::TASKS_EXECUTED.get();
+        let t_auto = time_median(reps, || {
+            std::hint::black_box(run_all_with(&cfg, threads, ExecutorKind::Auto));
+        });
+        table.row(vec![
+            threads.to_string(),
+            secs(t_static),
+            format!("{:.2}x", baseline / t_static),
+            secs(t_steal),
+            format!("{:.2}x", baseline / t_steal),
+            secs(t_auto),
+            format!("{:.2}x", baseline / t_auto),
+            steals.to_string(),
+            splits.to_string(),
+            executed.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "baseline (1 thread, static): {}; counters cover the {reps} stealing-row \
+         reps (serial per-function executor); 'auto exec' switches functions \
+         with >= {} blocks to the round-based parallel executor",
+        secs(baseline),
+        AUTO_BLOCK_THRESHOLD
+    );
+}

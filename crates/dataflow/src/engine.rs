@@ -327,6 +327,14 @@ impl DataflowExecutor for ParallelExecutor {
     }
 }
 
+/// Block count at which [`ExecutorKind::Auto`] switches a function
+/// from the serial to the round-based parallel executor. Below it, a
+/// round's fork/join overhead dwarfs the transfer work; above it, the
+/// per-round batches are wide enough for idle pool workers to steal a
+/// useful share (the `pba-gen` Skewed-profile giant functions the
+/// `steal` benchmark measures sit well past it).
+pub const AUTO_BLOCK_THRESHOLD: usize = 2048;
+
 /// Executor selection for APIs that take it as a runtime value.
 #[derive(Debug, Clone, Copy, Default)]
 pub enum ExecutorKind {
@@ -334,10 +342,18 @@ pub enum ExecutorKind {
     #[default]
     Serial,
     /// [`ParallelExecutor`] with its thread count (0 = inherit the
-    /// ambient rayon context — see [`ParallelExecutor::threads`]; note
-    /// that inside [`run_per_function`] workers the ambient context is
-    /// serial, so `Parallel(0)` there degrades to serial execution).
+    /// ambient rayon context — see [`ParallelExecutor::threads`]. Since
+    /// the work-stealing shim, `Parallel(0)` composes with
+    /// [`run_per_function`]: a worker's nested rounds split into its
+    /// own deque, where idle pool workers steal them).
     Parallel(usize),
+    /// Pick per function: [`SerialExecutor`] below
+    /// [`AUTO_BLOCK_THRESHOLD`] blocks, [`ParallelExecutor`] (ambient
+    /// threads) at or above it. The right default for whole-binary
+    /// drivers on skewed workloads: the one giant function goes
+    /// round-based (stealable), the thousands of small ones stay on
+    /// the cheap serial worklist.
+    Auto,
 }
 
 impl ExecutorKind {
@@ -350,6 +366,13 @@ impl ExecutorKind {
         match *self {
             ExecutorKind::Serial => SerialExecutor.run(spec, graph),
             ExecutorKind::Parallel(threads) => ParallelExecutor { threads }.run(spec, graph),
+            ExecutorKind::Auto => {
+                if graph.blocks.len() >= AUTO_BLOCK_THRESHOLD {
+                    ParallelExecutor { threads: 0 }.run(spec, graph)
+                } else {
+                    SerialExecutor.run(spec, graph)
+                }
+            }
         }
     }
 }
@@ -407,17 +430,15 @@ pub fn run_per_function<T: Send>(
     analyze: impl Fn(&FuncView<'_>) -> T + Sync,
 ) -> HashMap<u64, T> {
     let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("run_all pool");
-    let workers = pool.current_num_threads().max(1);
     let mut funcs: Vec<&pba_cfg::Function> = cfg.functions.values().collect();
+    // Largest first: starting the giants early gives the stealing pool
+    // the whole run to rebalance around them. (The size-striping this
+    // list used to need under the static-chunking shim is gone — the
+    // deque-based pool splits the index range and idle workers steal,
+    // so skew is handled by the scheduler, not the submission order.)
     funcs.sort_by_key(|f| std::cmp::Reverse(f.blocks.len()));
-    // Stripe the size-sorted list across workers so static contiguous
-    // chunking (what the in-repo rayon shim does — no work stealing)
-    // hands every worker one function from each size tier instead of
-    // giving worker 0 all the giants.
-    let striped: Vec<&pba_cfg::Function> =
-        (0..workers).flat_map(|k| funcs.iter().skip(k).step_by(workers).copied()).collect();
     let results: Vec<(u64, T)> = pool.install(|| {
-        striped
+        funcs
             .par_iter()
             .map(|f| {
                 let view = FuncView::new(cfg, f);
@@ -494,6 +515,37 @@ mod tests {
         for blk in graph.blocks.iter() {
             assert_eq!(a.input[blk], b.input[blk]);
             assert_eq!(a.output[blk], b.output[blk]);
+        }
+    }
+
+    #[test]
+    fn auto_matches_serial_on_both_sides_of_the_threshold() {
+        // Small graph (serial side).
+        let view = diamond();
+        let graph = FlowGraph::build(&view);
+        let spec = Depth { cap: 100 };
+        let serial = SerialExecutor.run(&spec, &graph);
+        let auto = ExecutorKind::Auto.run(&spec, &graph);
+        for blk in graph.blocks.iter() {
+            assert_eq!(serial.input[blk], auto.input[blk]);
+            assert_eq!(serial.output[blk], auto.output[blk]);
+        }
+
+        // A chain longer than the threshold (parallel side).
+        let n = AUTO_BLOCK_THRESHOLD as u64 + 10;
+        let view = VecView {
+            entry_block: 1,
+            block_data: (1..=n).map(|b| (b, b + 1, vec![])).collect(),
+            edges: (1..n).map(|b| (b, b + 1, EdgeKind::Direct)).collect(),
+        };
+        let graph = FlowGraph::build(&view);
+        assert!(graph.blocks.len() >= AUTO_BLOCK_THRESHOLD);
+        let spec = Depth { cap: u32::MAX };
+        let serial = SerialExecutor.run(&spec, &graph);
+        let auto = ExecutorKind::Auto.run(&spec, &graph);
+        for blk in graph.blocks.iter() {
+            assert_eq!(serial.input[blk], auto.input[blk]);
+            assert_eq!(serial.output[blk], auto.output[blk]);
         }
     }
 

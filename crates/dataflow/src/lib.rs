@@ -67,13 +67,14 @@ pub mod view;
 pub use engine::{
     run_all, run_all_with, run_per_function, DataflowExecutor, DataflowResults, DataflowSpec,
     Direction, ExecutorKind, FlowGraph, FuncAnalyses, ParallelExecutor, SerialExecutor,
+    AUTO_BLOCK_THRESHOLD,
 };
 pub use expr::Expr;
 pub use liveness::{liveness, liveness_on, liveness_with, LivenessResult};
 pub use reaching::{reaching_defs, reaching_defs_on, reaching_defs_with, Def, ReachingDefs};
 pub use slice::{
-    analyze_indirect_jump, slice_indirect_jump, JumpTableForm, PathFact, PathSet, PathState,
-    SliceOutcome, SliceSpec,
+    analyze_indirect_jump, collect_indirect_jumps, slice_indirect_jump, slice_indirect_jump_with,
+    JumpTableForm, PathFact, PathSet, PathState, SliceOutcome, SliceSpec,
 };
 pub use stack::{
     stack_heights, stack_heights_and_extent, stack_heights_on, stack_heights_with, Height,

@@ -23,12 +23,12 @@
 //! at [`MAX_DEPTH`] edge crossings, termination is unconditional.
 //!
 //! [`analyze_indirect_jump`] is a thin wrapper that builds the
-//! [`SliceSpec`], runs it under the [`SerialExecutor`], and reads the
-//! per-path facts back out of the block boundaries.
+//! [`SliceSpec`], runs it under the [`crate::engine::SerialExecutor`]
+//! (see [`slice_indirect_jump_with`] for an explicit executor — the
+//! spec is executor-agnostic), and reads the per-path facts back out
+//! of the block boundaries.
 
-use crate::engine::{
-    DataflowExecutor, DataflowResults, DataflowSpec, Direction, FlowGraph, SerialExecutor,
-};
+use crate::engine::{DataflowResults, DataflowSpec, Direction, FlowGraph};
 use crate::expr::Expr;
 use crate::view::CfgView;
 use pba_cfg::EdgeKind;
@@ -128,6 +128,11 @@ fn reverse_transfer(i: &Insn, wanted: Expr) -> Expr {
                 (AluKind::Sub, Value::Imm(n)) => {
                     Expr::Add(Box::new(old), Box::new(Expr::Const((-n) as u64)))
                 }
+                // inc/dec are add/sub 1 as far as the value goes (their
+                // difference — not writing CF — matters to the guard
+                // analysis, not to the symbolic walk).
+                (AluKind::Inc, _) => Expr::Add(Box::new(old), Box::new(Expr::Const(1))),
+                (AluKind::Dec, _) => Expr::Add(Box::new(old), Box::new(Expr::Const(u64::MAX))),
                 // Masking (`and idx, N-1`) only narrows the index range;
                 // treating it as identity over-approximates the target
                 // set, which union-over-paths tolerates and finalization
@@ -157,6 +162,14 @@ fn reverse_transfer(i: &Insn, wanted: Expr) -> Expr {
 
 /// Extract a bound from a predecessor's terminator: `cmp r, N` followed
 /// by a conditional branch whose `kind`-side edge we arrived through.
+///
+/// The `cmp` need not be adjacent to the `jcc`: the scan walks back
+/// over any instruction that does not write a flag the condition reads
+/// ([`Insn::flags_written`] vs [`Cond::flags_read`]) — so a `mov`, a
+/// `lea`, or an `inc`/`dec` (no CF write) between a `cmp` and the
+/// CF-consuming `jb`/`jae` keeps the bound, while anything genuinely
+/// redefining a consumed flag (including unmodeled instructions, which
+/// conservatively write all flags) stops the scan.
 fn bound_from_pred(
     insns: &[Insn],
     edge_kind: EdgeKind,
@@ -164,12 +177,10 @@ fn bound_from_pred(
 ) -> Option<(Reg, u64)> {
     let term = insns.last()?;
     let Op::Jcc { cond, .. } = term.op else { return None };
-    // Find the last flags-setting compare before the terminator.
-    let cmp = insns
-        .iter()
-        .rev()
-        .skip(1)
-        .find(|i| matches!(i.op, Op::Cmp { .. } | Op::Test { .. } | Op::Alu { .. }))?;
+    // Find the instruction that last defined the flags the branch
+    // consumes; it must be the guarding compare.
+    let consumed = cond.flags_read();
+    let cmp = insns.iter().rev().skip(1).find(|i| i.flags_written().intersects(consumed))?;
     let Op::Cmp { a: Value::Reg(r), b: Value::Imm(n), .. } = cmp.op else { return None };
     if !tracked.contains(r) || n < 0 {
         return None;
@@ -569,14 +580,54 @@ pub struct SliceOutcome {
 /// `jump_block`. Returns `None` if the terminator is not an indirect
 /// jump.
 pub fn slice_indirect_jump(view: &dyn CfgView, jump_block: u64) -> Option<SliceOutcome> {
+    slice_indirect_jump_with(view, jump_block, crate::engine::ExecutorKind::Serial)
+}
+
+/// [`slice_indirect_jump`] under an explicit executor. Below
+/// [`MAX_PATHS`] the spec is monotone, so both executors reach the same
+/// fixpoint by construction. Widening is the caveat: whether a block
+/// ever sees an input big enough to trip its sticky bit depends on
+/// which *intermediate* predecessor outputs the schedule publishes, so
+/// executor agreement on widening-heavy graphs is an empirical
+/// property, not an a-priori one — `tests/slice_equiv.rs` pins it on
+/// the generated corpus and on a fan-out that widens, and both
+/// executors are individually deterministic, so any divergence shows
+/// up as a hard test failure rather than a flake.
+pub fn slice_indirect_jump_with(
+    view: &dyn CfgView,
+    jump_block: u64,
+    exec: crate::engine::ExecutorKind,
+) -> Option<SliceOutcome> {
     let spec = SliceSpec::build(view, jump_block)?;
     let graph = spec.cone_graph(view);
-    let results = SerialExecutor.run(&spec, &graph);
+    let results = exec.run(&spec, &graph);
     Some(SliceOutcome { widened: spec.any_widened(), facts: spec.collect_facts(&results) })
 }
 
+/// Every `(function entry, jump block)` pair of a finalized CFG whose
+/// block terminator is an indirect branch — the work list a
+/// whole-binary slicing sweep fans out over (shared by the slice bench
+/// and the executor-equivalence tests). Sorted for determinism.
+pub fn collect_indirect_jumps(cfg: &pba_cfg::Cfg) -> Vec<(u64, u64)> {
+    let mut jumps = Vec::new();
+    for f in cfg.functions.values() {
+        for &b in &f.blocks {
+            let Some(blk) = cfg.blocks.get(&b) else { continue };
+            let is_ind =
+                cfg.code.insns(blk.start, blk.end).last().is_some_and(|i| {
+                    matches!(i.control_flow(), pba_isa::ControlFlow::IndirectBranch)
+                });
+            if is_ind {
+                jumps.push((f.entry, b));
+            }
+        }
+    }
+    jumps.sort_unstable();
+    jumps
+}
+
 /// Analyze the indirect jump terminating `jump_block`: a thin wrapper
-/// that runs [`SliceSpec`] under the [`SerialExecutor`] and unions the
+/// that runs [`SliceSpec`] under the [`crate::engine::SerialExecutor`] and unions the
 /// per-path facts arriving at every block boundary. Returns an empty
 /// vector if the terminator is not an indirect jump.
 pub fn analyze_indirect_jump(view: &dyn CfgView, jump_block: u64) -> Vec<PathFact> {
@@ -586,6 +637,7 @@ pub fn analyze_indirect_jump(view: &dyn CfgView, jump_block: u64) -> Vec<PathFac
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::{DataflowExecutor, SerialExecutor};
     use crate::view::VecView;
     use pba_isa::x86::{decode_one, encode};
     use pba_isa::MemRef;
@@ -765,13 +817,61 @@ mod tests {
         assert_eq!(hit.bound, Some(5));
     }
 
-    /// A flags-clobbering `Alu` between the `cmp` and the `jcc` means
-    /// the branch no longer tests the compare — `bound_from_pred`
-    /// (correctly, if silently) refuses the bound, and the table is
-    /// analyzed as unbounded. Pins the behavior the parser's unbounded
-    /// scan path depends on.
+    /// An `Alu` that does not write the flags the branch consumes must
+    /// NOT drop the guard bound: `inc` leaves CF untouched, and `jae`
+    /// reads only CF, so the branch still tests the `cmp`.
+    ///
+    /// This deliberately flips the old pinned expectation
+    /// (`flags_clobber_between_cmp_and_jcc_drops_bound`), which treated
+    /// *every* `Alu` between the `cmp` and the `jcc` as a clobber; the
+    /// per-kind flag tracking (`Insn::flags_written`) recovers these
+    /// bounds. The genuine-clobber case is pinned separately below.
     #[test]
-    fn flags_clobber_between_cmp_and_jcc_drops_bound() {
+    fn non_flag_writing_alu_between_cmp_and_jcc_keeps_bound() {
+        let mut guard = vec![];
+        encode::cmp_ri(&mut guard, Reg::RDI, 4);
+        // `inc rsi` writes ZF/SF/OF/PF/AF but spares CF — the only flag
+        // the `jae` consumes.
+        encode::inc_r(&mut guard, Reg::RSI);
+        let j = encode::jcc_rel32(&mut guard, Cond::Ae);
+        encode::patch_rel32(&mut guard, j, 0x200);
+        let guard_insns = decode_seq(&guard, 0x1000);
+        let guard_end = 0x1000 + guard.len() as u64;
+
+        let mut disp = vec![];
+        encode::jmp_ind_mem(&mut disp, &MemRef::base_index(None, Reg::RDI, 8, 0x601000));
+        let disp_insns = decode_seq(&disp, 0x2000);
+        let disp_end = 0x2000 + disp.len() as u64;
+
+        let view = VecView {
+            entry_block: 0x1000,
+            block_data: vec![(0x1000, guard_end, guard_insns), (0x2000, disp_end, disp_insns)],
+            edges: vec![
+                (0x1000, 0x2000, EdgeKind::CondNotTaken),
+                (0x1000, 0x3000, EdgeKind::CondTaken),
+            ],
+        };
+        let facts = analyze_indirect_jump(&view, 0x2000);
+        let hit = facts
+            .iter()
+            .filter(|f| f.form.is_some())
+            .max_by_key(|f| f.bound.is_some())
+            .expect("form classifies");
+        assert_eq!(
+            hit.bound,
+            Some(4),
+            "cmp rdi,4 ; inc rsi ; jae default → r < 4 survives: {facts:?}"
+        );
+    }
+
+    /// A genuine flags clobber between the `cmp` and the `jcc` — an
+    /// `add` rewriting CF, which the `ja` consumes — means the branch
+    /// no longer tests the compare: `bound_from_pred` (correctly, if
+    /// silently) refuses the bound, and the table is analyzed as
+    /// unbounded. Pins the behavior the parser's unbounded scan path
+    /// depends on.
+    #[test]
+    fn genuine_flags_clobber_between_cmp_and_jcc_drops_bound() {
         let mut guard = vec![];
         encode::cmp_ri(&mut guard, Reg::RDI, 4);
         // `add rsi, 1` rewrites the flags the `ja` consumes.

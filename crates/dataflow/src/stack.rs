@@ -87,6 +87,11 @@ pub fn transfer(i: &pba_isa::Insn, f: Frame) -> Frame {
         Op::Alu { kind: AluKind::Add, dst: Place::Reg(Reg::RSP), src: Value::Imm(n), .. } => {
             out.sp = f.sp.offset(n)
         }
+        // inc/dec rsp adjust by exactly one byte (their decoded Imm(1)
+        // is the increment, and unlike add/sub they spare CF — which
+        // matters to the guard analysis, not to heights).
+        Op::Alu { kind: AluKind::Inc, dst: Place::Reg(Reg::RSP), .. } => out.sp = f.sp.offset(1),
+        Op::Alu { kind: AluKind::Dec, dst: Place::Reg(Reg::RSP), .. } => out.sp = f.sp.offset(-1),
         Op::Alu { dst: Place::Reg(Reg::RSP), .. } => out.sp = Height::Top,
         Op::Mov { dst: Place::Reg(Reg::RBP), src: Value::Reg(Reg::RSP), .. } => out.fp = f.sp,
         Op::Mov { dst: Place::Reg(Reg::RSP), src: Value::Reg(Reg::RBP), .. } => out.sp = f.fp,
@@ -276,6 +281,23 @@ mod tests {
         assert_eq!(heights[1], Height::Known(-8)); // mov rbp
         assert_eq!(heights[2], Height::Known(-0x28)); // after sub
         assert_eq!(heights[3], Height::Known(0), "leave restores entry height");
+    }
+
+    #[test]
+    fn inc_dec_rsp_track_one_byte() {
+        // dec rsp ; dec rsp ; inc rsp — heights must stay Known (inc/dec
+        // decode as their own AluKind since the flag-tracking change;
+        // they still adjust the pointer by exactly 1).
+        let mut code = vec![];
+        encode::dec_r(&mut code, Reg::RSP);
+        encode::dec_r(&mut code, Reg::RSP);
+        encode::inc_r(&mut code, Reg::RSP);
+        let insns = decode_seq(&code, 0);
+        let mut f = Frame::entry();
+        for i in &insns {
+            f = transfer(i, f);
+        }
+        assert_eq!(f.sp, Height::Known(-1));
     }
 
     #[test]

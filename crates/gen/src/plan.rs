@@ -110,6 +110,14 @@ pub struct GenConfig {
     pub funcs_per_cu: usize,
     /// Multiplier on debug-string bloat (models template-heavy C++).
     pub debug_name_bloat: usize,
+    /// Number of "huge" functions: the first `huge_funcs` returning
+    /// functions after main get [`GenConfig::huge_diamonds`] diamonds
+    /// (~3 blocks each) instead of the random 0..3. Models the skew the
+    /// paper's dynamic load balancing exists for — one function whose
+    /// traversal/analysis dwarfs everything else (the `Skewed` profile).
+    pub huge_funcs: usize,
+    /// Diamond count per huge function (0 disables the skew override).
+    pub huge_diamonds: usize,
 }
 
 impl Default for GenConfig {
@@ -130,6 +138,8 @@ impl Default for GenConfig {
             debug_info: true,
             funcs_per_cu: 8,
             debug_name_bloat: 1,
+            huge_funcs: 0,
+            huge_diamonds: 0,
         }
     }
 }
@@ -189,6 +199,18 @@ pub fn plan(cfg: &GenConfig) -> ProgramPlan {
             }
         })
         .collect();
+
+    // --- skew override: a handful of giant functions (applied after
+    // the base loop so the RNG draw sequence — and thus every other
+    // function — is identical with the knob off) ---
+    if cfg.huge_diamonds > 0 {
+        for i in 1..=cfg.huge_funcs.min(noret_start.saturating_sub(1)) {
+            funcs[i].diamonds = cfg.huge_diamonds;
+            // Diamonds carry the block count; loops would only stretch
+            // the serial fixpoint without adding width.
+            funcs[i].loop_depth = 0;
+        }
+    }
 
     // --- call graph: function i calls only higher non-noret indices
     // (acyclic, so every function terminates structurally) ---

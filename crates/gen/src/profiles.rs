@@ -35,6 +35,13 @@ pub enum Profile {
     Coreutils,
     /// Apache/Redis/Nginx-class server binaries (forensics corpus).
     Server,
+    /// Load-balance stress: one huge multi-thousand-block function
+    /// (think a generated parser or an unrolled numeric kernel) among
+    /// hundreds of tiny ones. A statically-chunked scheduler serializes
+    /// on the giant; the work-stealing pool (and the `ExecutorKind`
+    /// auto heuristic) is measured against exactly this shape by
+    /// `pba-bench --bin steal`.
+    Skewed,
 }
 
 impl Profile {
@@ -51,6 +58,7 @@ impl Profile {
             Profile::TensorFlow => "TensorFlow",
             Profile::Coreutils => "coreutils",
             Profile::Server => "server",
+            Profile::Skewed => "skewed",
         }
     }
 
@@ -114,6 +122,20 @@ impl Profile {
                 debug_info: false, // forensics corpora are near-stripped
                 ..Default::default()
             },
+            Profile::Skewed => GenConfig {
+                seed,
+                num_funcs: 400,
+                body_size: 6,
+                pct_switch: 0.05,
+                // One giant: ~1400 diamonds ≈ 4200+ blocks, past the
+                // ExecutorKind::Auto threshold; everything else stays
+                // a handful of blocks.
+                huge_funcs: 1,
+                huge_diamonds: 1400,
+                debug_name_bloat: 1,
+                debug_info: false, // the steal sweep only parses .text
+                ..Default::default()
+            },
         }
     }
 }
@@ -149,6 +171,26 @@ mod tests {
     fn server_class_has_no_debug() {
         let g = generate(&Profile::Server.config(3));
         assert_eq!(g.stats.debug_size, 0);
+    }
+
+    #[test]
+    fn skewed_profile_is_dominated_by_one_function() {
+        let g = generate(&Profile::Skewed.config(4));
+        // The giant must hold the (vast) majority of the text bytes.
+        let sizes: Vec<u64> = g
+            .truth
+            .functions
+            .iter()
+            .map(|f| f.ranges.iter().map(|&(s, e)| e - s).sum::<u64>())
+            .collect();
+        let total: u64 = sizes.iter().sum();
+        let max = *sizes.iter().max().unwrap();
+        assert!(
+            max * 2 > total,
+            "one function must dominate: max {max} of {total} across {} funcs",
+            sizes.len()
+        );
+        assert!(sizes.len() > 300, "plus many tiny functions");
     }
 
     #[test]

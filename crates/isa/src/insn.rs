@@ -123,6 +123,58 @@ pub enum AluKind {
     Or,
     Xor,
     Imul,
+    /// `inc` — decoded distinctly from `add r, 1` because it does NOT
+    /// write CF (the flag the unsigned guard conditions consume); see
+    /// [`Insn::flags_written`].
+    Inc,
+    /// `dec` — like [`AluKind::Inc`], leaves CF untouched.
+    Dec,
+}
+
+/// The x86 status flags an instruction writes or a condition reads, as
+/// a bitmask. "Writes" is conservative: a flag an instruction leaves
+/// *undefined* (e.g. ZF after `imul`) counts as written, since its
+/// pre-instruction value cannot be relied on afterwards either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Flags(u8);
+
+impl Flags {
+    /// No flags.
+    pub const EMPTY: Flags = Flags(0);
+    /// Carry.
+    pub const CF: Flags = Flags(1 << 0);
+    /// Zero.
+    pub const ZF: Flags = Flags(1 << 1);
+    /// Sign.
+    pub const SF: Flags = Flags(1 << 2);
+    /// Overflow.
+    pub const OF: Flags = Flags(1 << 3);
+    /// Parity.
+    pub const PF: Flags = Flags(1 << 4);
+    /// Adjust.
+    pub const AF: Flags = Flags(1 << 5);
+    /// Every status flag.
+    pub const ALL: Flags = Flags(0b11_1111);
+    /// Every status flag except CF — what `inc`/`dec` write.
+    pub const ALL_BUT_CF: Flags = Flags(0b11_1110);
+
+    /// Set union.
+    #[inline]
+    pub fn union(self, other: Flags) -> Flags {
+        Flags(self.0 | other.0)
+    }
+
+    /// Whether the two sets share any flag.
+    #[inline]
+    pub fn intersects(self, other: Flags) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Whether no flags are set.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
 }
 
 /// Shift operation kinds.
@@ -185,6 +237,20 @@ impl Cond {
             Cond::Ge => 0xD,
             Cond::Le => 0xE,
             Cond::G => 0xF,
+        }
+    }
+
+    /// The status flags this condition consumes (what the preceding
+    /// compare must have defined for the branch to test it).
+    pub fn flags_read(self) -> Flags {
+        match self {
+            Cond::O | Cond::No => Flags::OF,
+            Cond::B | Cond::Ae => Flags::CF,
+            Cond::E | Cond::Ne => Flags::ZF,
+            Cond::Be | Cond::A => Flags::CF.union(Flags::ZF),
+            Cond::S | Cond::Ns => Flags::SF,
+            Cond::L | Cond::Ge => Flags::SF.union(Flags::OF),
+            Cond::Le | Cond::G => Flags::SF.union(Flags::OF).union(Flags::ZF),
         }
     }
 
@@ -398,6 +464,29 @@ impl Insn {
         }
     }
 
+    /// Status flags this instruction writes (or leaves undefined, which
+    /// counts as written — see [`Flags`]). This is what lets a guard
+    /// analysis decide whether an instruction between a `cmp` and the
+    /// `jcc` consuming it actually disturbs the tested flags: `inc`/
+    /// `dec` spare CF, `mov`/`lea` spare everything.
+    pub fn flags_written(&self) -> Flags {
+        match self.op {
+            // inc/dec: every arithmetic flag except carry.
+            Op::Alu { kind: AluKind::Inc | AluKind::Dec, .. } => Flags::ALL_BUT_CF,
+            // add/sub/and/or/xor define all flags; imul defines CF/OF
+            // and leaves the rest undefined — all written either way.
+            Op::Alu { .. } => Flags::ALL,
+            // A zero-count shift leaves the flags untouched; any other
+            // count writes CF/OF/SF/ZF/PF (AF undefined).
+            Op::Shift { amount: Value::Imm(0), .. } => Flags::EMPTY,
+            Op::Shift { .. } => Flags::ALL,
+            Op::Cmp { .. } | Op::Test { .. } => Flags::ALL,
+            // Unmodeled instructions: trust the conservative RegSet.
+            Op::Other { writes, .. } if writes.contains(Reg::FLAGS) => Flags::ALL,
+            _ => Flags::EMPTY,
+        }
+    }
+
     /// Short mnemonic-like name, used by BinFeat's instruction n-grams.
     pub fn mnemonic(&self) -> &'static str {
         use Op::*;
@@ -412,6 +501,8 @@ impl Insn {
                 AluKind::Or => "or",
                 AluKind::Xor => "xor",
                 AluKind::Imul => "imul",
+                AluKind::Inc => "inc",
+                AluKind::Dec => "dec",
             },
             Shift { kind, .. } => match kind {
                 ShiftKind::Shl => "shl",
@@ -448,6 +539,9 @@ impl Insn {
             Op::Alu {
                 kind: AluKind::Add, dst: Place::Reg(Reg::RSP), src: Value::Imm(n), ..
             } => n > 0,
+            // inc rsp releases one byte — same upward adjustment as
+            // `add rsp, 1`, which counted before inc became its own kind.
+            Op::Alu { kind: AluKind::Inc, dst: Place::Reg(Reg::RSP), .. } => true,
             _ => false,
         }
     }
@@ -540,6 +634,61 @@ mod tests {
         })
         .is_frame_teardown());
         assert!(!insn(Op::Nop).is_frame_teardown());
+    }
+
+    #[test]
+    fn flag_tracking_distinguishes_inc_from_add() {
+        let inc = insn(Op::Alu {
+            kind: AluKind::Inc,
+            dst: Place::Reg(Reg::RSI),
+            src: Value::Imm(1),
+            width: 8,
+        });
+        let add = insn(Op::Alu {
+            kind: AluKind::Add,
+            dst: Place::Reg(Reg::RSI),
+            src: Value::Imm(1),
+            width: 8,
+        });
+        // jae consumes only CF: inc spares it, add rewrites it.
+        assert!(!inc.flags_written().intersects(Cond::Ae.flags_read()));
+        assert!(add.flags_written().intersects(Cond::Ae.flags_read()));
+        // ja additionally consumes ZF, which inc does write.
+        assert!(inc.flags_written().intersects(Cond::A.flags_read()));
+        // inc still reports FLAGS as a written register (liveness view).
+        assert!(inc.regs_written().contains(Reg::FLAGS));
+    }
+
+    #[test]
+    fn flag_writes_by_op_class() {
+        let mov = insn(Op::Mov {
+            dst: Place::Reg(Reg::RAX),
+            src: Value::Reg(Reg::RBX),
+            width: 8,
+            sign_extend: false,
+        });
+        assert!(mov.flags_written().is_empty());
+        assert!(insn(Op::Lea { dst: Reg::RAX, mem: MemRef::absolute(0x10) })
+            .flags_written()
+            .is_empty());
+        assert_eq!(
+            insn(Op::Cmp { a: Value::Reg(Reg::RAX), b: Value::Imm(1), width: 8 }).flags_written(),
+            Flags::ALL
+        );
+        // Zero-count shifts leave the flags alone; real counts do not.
+        let shift = |k: i64| {
+            insn(Op::Shift {
+                kind: ShiftKind::Shl,
+                dst: Place::Reg(Reg::RAX),
+                amount: Value::Imm(k),
+                width: 8,
+            })
+        };
+        assert!(shift(0).flags_written().is_empty());
+        assert_eq!(shift(3).flags_written(), Flags::ALL);
+        // Unmodeled instructions follow their conservative RegSet.
+        let other = insn(Op::Other { reads: RegSet::EMPTY, writes: RegSet::of(Reg::FLAGS) });
+        assert_eq!(other.flags_written(), Flags::ALL);
     }
 
     #[test]

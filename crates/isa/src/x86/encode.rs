@@ -216,6 +216,7 @@ fn alu_opcode_mr(kind: AluKind) -> u8 {
         AluKind::Sub => 0x29,
         AluKind::Xor => 0x31,
         AluKind::Imul => unreachable!("imul uses 0F AF"),
+        AluKind::Inc | AluKind::Dec => unreachable!("inc/dec use FF /0 and FF /1"),
     }
 }
 
@@ -227,7 +228,18 @@ fn alu_ext(kind: AluKind) -> u8 {
         AluKind::Sub => 5,
         AluKind::Xor => 6,
         AluKind::Imul => unreachable!("imul has no group-1 form"),
+        AluKind::Inc | AluKind::Dec => unreachable!("inc/dec use FF /0 and FF /1"),
     }
+}
+
+/// `inc r64` (`FF /0` — unlike `add r, 1`, leaves CF untouched).
+pub fn inc_r(buf: &mut Vec<u8>, r: Reg) {
+    modrm_rr(buf, true, &[0xFF], Reg(0), r);
+}
+
+/// `dec r64` (`FF /1` — unlike `sub r, 1`, leaves CF untouched).
+pub fn dec_r(buf: &mut Vec<u8>, r: Reg) {
+    modrm_rr(buf, true, &[0xFF], Reg(1), r);
 }
 
 /// `op dst, src` (64-bit register forms; `imul` via `0F AF`).
@@ -502,6 +514,32 @@ mod tests {
                     assert_eq!(target, 0x1000 + 0x40);
                 }
                 other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn inc_dec_round_trip() {
+        for r in [Reg::RAX, Reg::RSI, Reg::R11] {
+            let mut b = vec![];
+            inc_r(&mut b, r);
+            match decode(&b) {
+                Op::Alu {
+                    kind: AluKind::Inc, dst: Place::Reg(got), src: Value::Imm(1), ..
+                } => {
+                    assert_eq!(got, r)
+                }
+                other => panic!("inc {r}: {other:?}"),
+            }
+            let mut b = vec![];
+            dec_r(&mut b, r);
+            match decode(&b) {
+                Op::Alu {
+                    kind: AluKind::Dec, dst: Place::Reg(got), src: Value::Imm(1), ..
+                } => {
+                    assert_eq!(got, r)
+                }
+                other => panic!("dec {r}: {other:?}"),
             }
         }
     }

@@ -628,9 +628,12 @@ pub fn decode_one(code: &[u8], addr: u64) -> Result<Insn, DecodeError> {
             let m = decode_modrm(code, i, rex)?;
             i += m.consumed;
             match m.reg & 7 {
+                // inc/dec carry their own AluKind: they behave like
+                // add/sub 1 for dataflow but do not write CF, which the
+                // guard-bound analysis distinguishes (Insn::flags_written).
                 0 => finish(
                     Op::Alu {
-                        kind: AluKind::Add,
+                        kind: AluKind::Inc,
                         dst: rm_to_place(m.rm, width),
                         src: Value::Imm(1),
                         width,
@@ -639,7 +642,7 @@ pub fn decode_one(code: &[u8], addr: u64) -> Result<Insn, DecodeError> {
                 ),
                 1 => finish(
                     Op::Alu {
-                        kind: AluKind::Sub,
+                        kind: AluKind::Dec,
                         dst: rm_to_place(m.rm, width),
                         src: Value::Imm(1),
                         width,

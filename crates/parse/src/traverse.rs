@@ -2,8 +2,14 @@
 //!
 //! Work items are `(function context, block start)` pairs. Under task
 //! scheduling, discovering a function spawns its traversal immediately
-//! into the enclosing rayon scope; under rounds scheduling, discoveries
-//! queue for the next level-synchronous batch (the ablation baseline).
+//! into the enclosing rayon scope — onto the discovering worker's own
+//! deque, from which idle workers steal, so one function whose
+//! traversal explodes (a `Skewed`-profile giant) sheds its discoveries
+//! to the rest of the pool instead of serializing it. Under rounds
+//! scheduling, discoveries queue for the next level-synchronous batch
+//! (the ablation baseline). Both schedulings produce canonically
+//! identical CFGs at any thread count (the commutativity invariants of
+//! Section 4, pinned by the equivalence tests).
 //! The outer loop also drives the inter-round consequences: deferred
 //! non-returning resolution, the jump-table fixed point, and the final
 //! ret-sweep for functions whose entry block was parsed inside another
@@ -302,9 +308,6 @@ fn create_edges<'i: 'scope, 'scope>(
     }
 }
 
-/// Run jump-table analysis for the indirect jump whose block ends at
-/// `e`. Adds indirect edges; returns the newly created target blocks
-/// (to be parsed by the caller in this function context).
 /// Run the engine-backed slice over a snapshot, folding the widening
 /// signal into the parse stats.
 fn sliced_facts(state: &State<'_>, view: &SnapshotView, block: u64) -> Vec<pba_dataflow::PathFact> {
@@ -319,6 +322,9 @@ fn sliced_facts(state: &State<'_>, view: &SnapshotView, block: u64) -> Vec<pba_d
     }
 }
 
+/// Run jump-table analysis for the indirect jump whose block ends at
+/// `e`. Adds indirect edges; returns the newly created target blocks
+/// (to be parsed by the caller in this function context).
 fn analyze_jump_table(state: &State<'_>, fctx: u64, block_start: u64, e: u64) -> Vec<u64> {
     let view = SnapshotView::build(state, fctx, Some(block_start));
     let facts = sliced_facts(state, &view, block_start);

@@ -1,7 +1,151 @@
 //! Offline shim for the `crossbeam` subset this workspace uses: the
-//! unbounded MPMC [`queue::SegQueue`]. Lock-based rather than lock-free —
-//! the parser's work distribution is coarse enough that a mutexed deque
-//! is not the bottleneck, and the container has no crates.io access.
+//! unbounded MPMC [`queue::SegQueue`] and the work-stealing
+//! [`deque`] (`Worker`/`Stealer`, the `crossbeam-deque` API shape).
+//! Lock-based rather than lock-free — the work items distributed over
+//! these structures (traversal tasks, per-function analyses, split
+//! index ranges) are coarse enough that a mutexed deque is not the
+//! bottleneck, and the container has no crates.io access.
+
+pub mod deque {
+    //! Chase–Lev style work-stealing deque: the owner pushes and pops at
+    //! one end (LIFO, so its own most-recently-split work runs first,
+    //! depth-first), thieves steal from the other end (FIFO, so they
+    //! take the oldest — and, under recursive splitting, largest —
+    //! pending task). The discipline is Chase–Lev's; the implementation
+    //! is a mutexed `VecDeque` rather than the lock-free array, which
+    //! keeps the owner/thief protocol trivially linearizable (the
+    //! property the proptest model check in `shims/rayon` leans on).
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt (API subset of `crossbeam_deque::Steal`).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The deque was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The attempt lost a race and should be retried. The lock-based
+        /// shim never produces this; it exists for API compatibility.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen value, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                Steal::Empty | Steal::Retry => None,
+            }
+        }
+    }
+
+    /// Owner handle: LIFO push/pop at the back.
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    /// Thief handle: FIFO steal from the front. Cloneable; any number of
+    /// thieves may race.
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Create an empty LIFO worker deque.
+        pub fn new_lifo() -> Worker<T> {
+            Worker { inner: Arc::new(Mutex::new(VecDeque::new())) }
+        }
+
+        /// Owner push (back).
+        pub fn push(&self, task: T) {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner()).push_back(task);
+        }
+
+        /// Owner pop (back — the most recently pushed task).
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner()).pop_back()
+        }
+
+        /// Whether the deque is empty (racy by nature).
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner()).is_empty()
+        }
+
+        /// Number of queued tasks (racy by nature).
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+
+        /// A thief handle onto this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Thief steal (front — the oldest task).
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().unwrap_or_else(|e| e.into_inner()).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the deque is empty (racy by nature).
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner()).is_empty()
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Stealer<T> {
+            Stealer { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn owner_is_lifo_thief_is_fifo() {
+            let w = Worker::new_lifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(s.steal(), Steal::Success(1), "thief takes the oldest");
+            assert_eq!(w.pop(), Some(3), "owner takes the newest");
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(w.pop(), None);
+            assert_eq!(s.steal(), Steal::Empty);
+        }
+
+        #[test]
+        fn concurrent_thieves_take_each_task_once() {
+            let w = Worker::new_lifo();
+            for i in 0..1000 {
+                w.push(i);
+            }
+            let mut handles = vec![];
+            for _ in 0..4 {
+                let s = w.stealer();
+                handles.push(std::thread::spawn(move || {
+                    let mut got = vec![];
+                    while let Some(t) = s.steal().success() {
+                        got.push(t);
+                    }
+                    got
+                }));
+            }
+            let mut all: Vec<i32> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..1000).collect::<Vec<_>>());
+        }
+    }
+}
 
 pub mod queue {
     use std::collections::VecDeque;

@@ -1,0 +1,102 @@
+//! Model check of the work-stealing deque: random owner/thief op
+//! interleavings against a `VecDeque` reference model (the lock-based
+//! deque is linearizable, so the sequential model is the full spec),
+//! plus a threaded stress run asserting exactly-once delivery and FIFO
+//! steal order under a live owner.
+
+use crossbeam::deque::{Steal, Worker};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any interleaving of owner push/pop and thief steal behaves as
+    /// the model: owner LIFO at the back, thief FIFO at the front.
+    #[test]
+    fn interleavings_match_sequential_model(
+        ops in prop::collection::vec((0u8..3, any::<u16>()), 1..200),
+    ) {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        let mut model: VecDeque<u16> = VecDeque::new();
+        for (kind, v) in ops {
+            match kind {
+                0 => {
+                    w.push(v);
+                    model.push_back(v);
+                }
+                1 => prop_assert_eq!(w.pop(), model.pop_back()),
+                _ => {
+                    let got = match s.steal() {
+                        Steal::Success(x) => Some(x),
+                        Steal::Empty | Steal::Retry => None,
+                    };
+                    prop_assert_eq!(got, model.pop_front());
+                }
+            }
+            prop_assert_eq!(w.len(), model.len());
+        }
+        while let Some(expect) = model.pop_back() {
+            prop_assert_eq!(w.pop(), Some(expect));
+        }
+        prop_assert_eq!(w.pop(), None);
+        prop_assert!(s.is_empty());
+    }
+}
+
+/// With the owner pushing/popping live and thieves stealing, every
+/// pushed value is delivered exactly once, and each thief's haul is
+/// strictly increasing (the front of the deque only ever advances, so
+/// FIFO steals of an ascending push sequence must ascend).
+#[test]
+fn threaded_owner_thief_exactly_once_fifo() {
+    const N: u32 = 20_000;
+    let w = Worker::new_lifo();
+    let done = std::sync::atomic::AtomicBool::new(false);
+    let (owner_got, thief_hauls) = std::thread::scope(|ts| {
+        let thieves: Vec<_> = (0..3)
+            .map(|_| {
+                let s = w.stealer();
+                let done = &done;
+                ts.spawn(move || {
+                    let mut haul = vec![];
+                    loop {
+                        match s.steal() {
+                            Steal::Success(v) => haul.push(v),
+                            Steal::Empty | Steal::Retry => {
+                                if done.load(std::sync::atomic::Ordering::Acquire) && s.is_empty() {
+                                    return haul;
+                                }
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        let mut owner_got = vec![];
+        for v in 0..N {
+            w.push(v);
+            // Interleave owner pops so both ends are exercised.
+            if v % 3 == 0 {
+                if let Some(x) = w.pop() {
+                    owner_got.push(x);
+                }
+            }
+        }
+        while let Some(x) = w.pop() {
+            owner_got.push(x);
+        }
+        done.store(true, std::sync::atomic::Ordering::Release);
+        let hauls: Vec<Vec<u32>> = thieves.into_iter().map(|t| t.join().unwrap()).collect();
+        (owner_got, hauls)
+    });
+    for haul in &thief_hauls {
+        assert!(haul.windows(2).all(|p| p[0] < p[1]), "steals must be FIFO (ascending)");
+    }
+    let mut all: Vec<u32> =
+        owner_got.into_iter().chain(thief_hauls.into_iter().flatten()).collect();
+    all.sort_unstable();
+    assert_eq!(all, (0..N).collect::<Vec<_>>(), "every task exactly once");
+}

@@ -1,99 +1,492 @@
 //! Offline shim for the `rayon` subset this workspace uses.
 //!
 //! The container has no crates.io access, so this crate provides real
-//! (std-thread) data parallelism behind rayon's API shape:
+//! data parallelism behind rayon's API shape — since the work-stealing
+//! refactor, with rayon's *scheduling discipline* too:
 //!
+//! * a persistent **work-stealing pool** per pool size (same-size
+//!   [`ThreadPool`]s share one process-lived registry; a lazily-built
+//!   global pool serves everything else): each worker owns a Chase–Lev
+//!   style deque ([`crossbeam::deque`]) it pushes and pops LIFO, idle
+//!   workers steal FIFO from their siblings, and an injector queue
+//!   receives work submitted from non-worker threads;
 //! * `par_iter()` / `par_iter_mut()` / `into_par_iter()` producing an
-//!   eager, order-preserving [`ParIter`] whose combinators each run as
-//!   one chunked fork/join pass;
-//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`], which scope an
-//!   effective thread count rather than owning persistent workers;
-//! * [`scope`] with nested [`Scope::spawn`], backed by a shared task
-//!   queue drained by scoped worker threads.
+//!   order-preserving [`ParIter`] whose combinators run as **splittable
+//!   index-range tasks**: one root task over `0..len` splits in half
+//!   until it reaches the grain size, leaving the right halves in the
+//!   owner's deque for thieves — skewed item costs rebalance
+//!   dynamically instead of riding out a static chunk assignment;
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`], which scope all
+//!   parallel operations (and their stealing) to the pool's workers;
+//! * [`scope`] with nested [`Scope::spawn`]: tasks spawned from a
+//!   worker go to that worker's own deque (depth-first, stealable),
+//!   tasks spawned from outside the pool go to the injector.
 //!
 //! Semantics match rayon where the workspace depends on them:
-//! deterministic output order for `map`/`collect`, all tasks complete
-//! before `scope` returns, and `install` bounds the parallelism of
-//! everything called inside it. Work-stealing granularity does not —
-//! chunks are static — which costs load balance on skewed inputs, not
-//! correctness.
+//! deterministic output order for `map`/`collect` (results are written
+//! into their slot by index, so scheduling order never shows),
+//! all tasks complete before `scope` returns, panics propagate after
+//! the scope/operation drains, and `install` bounds the parallelism of
+//! everything called inside it. A pool of `n` threads runs `n - 1`
+//! persistent workers plus the calling thread, which executes tasks
+//! while it waits — so `num_threads(1)` degrades to strictly serial
+//! execution on the caller, with no queue handoff.
+//!
+//! Scheduling activity is observable through [`stats`]
+//! (cache-line-padded [`pba_concurrent::stats::Counter`]s): tasks
+//! executed, tasks obtained by stealing, and range splits. The steal
+//! benchmark (`pba-bench --bin steal`) reports them per sweep row.
 
-use std::cell::Cell;
-use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use crossbeam::deque::{Stealer, Worker};
+use crossbeam::queue::SegQueue;
+use std::any::Any;
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
 }
 
+/// Scheduler work counters, exposed for benchmarks. Monotonic and
+/// global (all pools share them); [`stats::reset`] zeroes them between
+/// measurement rows.
+pub mod stats {
+    pub use pba_concurrent::stats::Counter;
+
+    /// Tasks executed, by anyone (workers and waiting callers).
+    pub static TASKS_EXECUTED: Counter = Counter::new();
+    /// Tasks obtained by stealing from another worker's deque.
+    pub static TASKS_STOLEN: Counter = Counter::new();
+    /// Index-range splits performed by parallel-iterator tasks.
+    pub static TASKS_SPLIT: Counter = Counter::new();
+
+    /// Zero all counters (between benchmark iterations).
+    pub fn reset() {
+        TASKS_EXECUTED.reset();
+        TASKS_STOLEN.reset();
+        TASKS_SPLIT.reset();
+    }
+}
+
+/// An erased, heap-allocated task. Lifetimes are erased on submission;
+/// soundness comes from the submitting construct (scope or parallel
+/// operation) blocking until its latch counts every task complete.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Erase a task's lifetime so it can sit in a persistent worker's deque.
+///
+/// # Safety
+/// The caller must not return from the stack frame owning the data the
+/// task borrows until the task has finished executing.
+unsafe fn erase<'a>(task: Box<dyn FnOnce() + Send + 'a>) -> Task {
+    std::mem::transmute::<Box<dyn FnOnce() + Send + 'a>, Task>(task)
+}
+
+/// A raw pointer that may cross threads (the pointee outlives the tasks
+/// referencing it — same contract as [`erase`]).
+struct SendPtr<T>(*const T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    /// Get the pointer (method access keeps closures capturing the
+    /// whole Send wrapper, not the raw field).
+    fn get(self) -> *const T {
+        self.0
+    }
+}
+
+/// A mutable raw pointer that may cross threads (disjoint index ranges
+/// guarantee exclusive access per element).
+struct SendMutPtr<T>(*mut T);
+unsafe impl<T> Send for SendMutPtr<T> {}
+unsafe impl<T> Sync for SendMutPtr<T> {}
+impl<T> Clone for SendMutPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendMutPtr<T> {}
+impl<T> SendMutPtr<T> {
+    /// See [`SendPtr::get`].
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+/// The persistent pool behind a [`ThreadPool`] (or the global default):
+/// `n_effective - 1` parked worker threads, each owning a deque, plus
+/// an injector for work arriving from non-worker threads. The calling
+/// thread of a parallel operation acts as the remaining executor.
+struct Registry {
+    /// Configured parallelism (workers + the participating caller).
+    n_effective: usize,
+    /// Per-worker deques (owner end).
+    deques: Vec<Worker<Task>>,
+    /// Per-worker deques (thief end), index-aligned with `deques`.
+    stealers: Vec<Stealer<Task>>,
+    /// FIFO queue for tasks submitted from outside the pool.
+    injector: SegQueue<Task>,
+    /// Sleep lock: workers park on `cv` holding this; submitters notify
+    /// under it, which makes the park/submit race lossless.
+    sleep: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Registry {
+    /// Build a registry of `num_threads` effective threads (0 = all
+    /// available) and spawn its persistent workers.
+    fn new(num_threads: usize) -> Arc<Registry> {
+        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let n = if num_threads == 0 { hw } else { num_threads };
+        let workers = n.saturating_sub(1);
+        let deques: Vec<Worker<Task>> = (0..workers).map(|_| Worker::new_lifo()).collect();
+        let stealers: Vec<Stealer<Task>> = deques.iter().map(|d| d.stealer()).collect();
+        let reg = Arc::new(Registry {
+            n_effective: n.max(1),
+            deques,
+            stealers,
+            injector: SegQueue::new(),
+            sleep: Mutex::new(()),
+            cv: Condvar::new(),
+        });
+        for i in 0..workers {
+            let r = Arc::clone(&reg);
+            std::thread::Builder::new()
+                .name(format!("pba-rayon-{i}"))
+                .spawn(move || worker_main(r, i))
+                .expect("spawn pool worker");
+        }
+        reg
+    }
+
+    /// Enqueue a task: onto the submitting worker's own deque when the
+    /// submitter belongs to this registry (owner-LIFO), else onto the
+    /// injector. Wakes a parked worker either way.
+    fn submit(self: &Arc<Registry>, task: Task) {
+        match ctx_owner_index(self) {
+            Some(i) => self.deques[i].push(task),
+            None => self.injector.push(task),
+        }
+        // Notify under the sleep lock: a worker checks queue emptiness
+        // while holding it, so the push above is either seen by that
+        // check or this notify lands after the worker started waiting.
+        let _guard = self.sleep.lock().unwrap_or_else(|e| e.into_inner());
+        self.cv.notify_one();
+    }
+
+    /// Find one runnable task: own deque (LIFO) first, then the
+    /// injector, then steal (FIFO) from siblings round-robin.
+    fn find_task(&self, owner: Option<usize>) -> Option<Task> {
+        if let Some(i) = owner {
+            if let Some(t) = self.deques[i].pop() {
+                return Some(t);
+            }
+        }
+        if let Some(t) = self.injector.pop() {
+            return Some(t);
+        }
+        let k = self.stealers.len();
+        let start = owner.map(|i| i + 1).unwrap_or(0);
+        for off in 0..k {
+            let j = (start + off) % k;
+            if owner == Some(j) {
+                continue;
+            }
+            if let Some(t) = self.stealers[j].steal().success() {
+                stats::TASKS_STOLEN.inc();
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Whether any queue holds a task (checked under the sleep lock
+    /// before a worker parks).
+    fn any_queued(&self) -> bool {
+        !self.injector.is_empty() || self.deques.iter().any(|d| !d.is_empty())
+    }
+}
+
+fn execute(task: Task) {
+    stats::TASKS_EXECUTED.inc();
+    task();
+}
+
+/// Persistent worker main loop: run tasks forever, parking when the
+/// whole registry is drained. Registries are cached for the process
+/// lifetime (see [`pooled_registry`]), so workers are never torn down —
+/// they park, exactly like rayon's global pool.
+fn worker_main(reg: Arc<Registry>, index: usize) {
+    CTX.with(|c| {
+        let mut c = c.borrow_mut();
+        c.registry = Some(Arc::clone(&reg));
+        c.worker_of = Some((Arc::clone(&reg), index));
+    });
+    loop {
+        if let Some(t) = reg.find_task(Some(index)) {
+            execute(t);
+            continue;
+        }
+        let guard = reg.sleep.lock().unwrap_or_else(|e| e.into_inner());
+        if reg.any_queued() {
+            continue;
+        }
+        drop(reg.cv.wait(guard).unwrap_or_else(|e| e.into_inner()));
+    }
+}
+
+/// Countdown latch for one scope or parallel operation: tracks
+/// outstanding tasks; the final decrement notifies the waiting caller.
+struct Latch {
+    counter: std::sync::atomic::AtomicUsize,
+    mutex: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new() -> Latch {
+        Latch {
+            counter: std::sync::atomic::AtomicUsize::new(0),
+            mutex: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn increment(&self) {
+        self.counter.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Count one task complete. The decrement happens *inside* the
+    /// latch's critical section: the counter can only reach zero while
+    /// the mutex is held, so a waiter that observes `done()` and then
+    /// acquires the mutex (see [`wait_with_work`]'s exit path) cannot
+    /// return — and free the latch — before this thread's last access
+    /// to it (the unlock) has completed. Without that ordering the
+    /// final notify could race the caller popping the stack frame the
+    /// latch lives in (use-after-free).
+    fn decrement(&self) {
+        let _guard = self.mutex.lock().unwrap_or_else(|e| e.into_inner());
+        if self.counter.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.counter.load(Ordering::SeqCst) == 0
+    }
+}
+
+/// Block until `latch` drains, executing pool tasks while waiting (the
+/// caller is the pool's n-th executor; with a 1-thread pool it is the
+/// *only* one).
+fn wait_with_work(reg: &Arc<Registry>, latch: &Latch) {
+    let owner = ctx_owner_index(reg);
+    loop {
+        if latch.done() {
+            break;
+        }
+        if let Some(t) = reg.find_task(owner) {
+            execute(t);
+            continue;
+        }
+        let guard = latch.mutex.lock().unwrap_or_else(|e| e.into_inner());
+        if latch.done() {
+            break;
+        }
+        // Tasks queued after the scan above are handled by the pool's
+        // workers; the final decrement notifies this condvar.
+        drop(latch.cv.wait(guard).unwrap_or_else(|e| e.into_inner()));
+    }
+    // Synchronize with the final decrementer before returning: the
+    // counter only reaches zero inside the latch's critical section
+    // (see Latch::decrement), so this acquire blocks until that
+    // section's unlock — after which the caller may safely free the
+    // latch.
+    drop(latch.mutex.lock().unwrap_or_else(|e| e.into_inner()));
+}
+
+struct Ctx {
+    /// Registry parallel operations on this thread use ([`install`]
+    /// override, or the worker's own pool). `None` = global pool.
+    registry: Option<Arc<Registry>>,
+    /// Set on persistent worker threads: which registry and slot.
+    worker_of: Option<(Arc<Registry>, usize)>,
+}
+
 thread_local! {
-    /// Effective thread count for parallel ops started on this thread.
-    /// 0 = use all available hardware parallelism.
-    static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+    static CTX: RefCell<Ctx> = const { RefCell::new(Ctx { registry: None, worker_of: None }) };
+}
+
+fn global_registry() -> Arc<Registry> {
+    static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+    Arc::clone(GLOBAL.get_or_init(|| Registry::new(0)))
+}
+
+/// Registry for a requested pool size, cached process-wide: building a
+/// `ThreadPool` of a size seen before is a map lookup, not an OS-thread
+/// spawn — `run_per_function`-style code that builds a pool per call
+/// pays the worker spawn cost once per distinct size, ever. Size 0 (all
+/// available) resolves to the global registry.
+fn pooled_registry(num_threads: usize) -> Arc<Registry> {
+    if num_threads == 0 {
+        return global_registry();
+    }
+    static CACHE: OnceLock<Mutex<std::collections::HashMap<usize, Arc<Registry>>>> =
+        OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(std::collections::HashMap::new()));
+    let mut cache = cache.lock().unwrap_or_else(|e| e.into_inner());
+    Arc::clone(cache.entry(num_threads).or_insert_with(|| Registry::new(num_threads)))
+}
+
+fn current_registry() -> Arc<Registry> {
+    CTX.with(|c| c.borrow().registry.clone()).unwrap_or_else(global_registry)
+}
+
+/// This thread's worker slot in `reg`, if it is one of `reg`'s workers.
+fn ctx_owner_index(reg: &Arc<Registry>) -> Option<usize> {
+    CTX.with(|c| {
+        c.borrow().worker_of.as_ref().filter(|(r, _)| Arc::ptr_eq(r, reg)).map(|&(_, i)| i)
+    })
 }
 
 /// The thread count parallel operations on this thread will use.
 pub fn current_num_threads() -> usize {
-    let n = CURRENT_THREADS.with(|c| c.get());
-    if n == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    } else {
-        n
-    }
+    current_registry().n_effective
 }
 
-fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
-    let prev = CURRENT_THREADS.with(|c| c.replace(n));
-    struct Restore(usize);
-    impl Drop for Restore {
-        fn drop(&mut self) {
-            CURRENT_THREADS.with(|c| c.set(self.0));
+// ---------------------------------------------------------------------
+// Splittable index-range jobs (the substrate under ParIter).
+// ---------------------------------------------------------------------
+
+/// One parallel operation over `0..len`: a root task splits itself in
+/// half until ranges reach `grain`, pushing right halves for thieves.
+struct IndexJob<'a> {
+    registry: &'a Arc<Registry>,
+    latch: Latch,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    grain: usize,
+    body: &'a (dyn Fn(usize) + Sync),
+}
+
+impl IndexJob<'_> {
+    fn spawn_range(&self, lo: usize, hi: usize) {
+        self.latch.increment();
+        let ptr = SendPtr(self as *const IndexJob);
+        let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            let job = unsafe { &*ptr.get() };
+            job.run_range(lo, hi);
+        });
+        // Safety: `run_index_job` waits on the latch before returning,
+        // so `self` (and everything `body` borrows) outlives the task.
+        self.registry.submit(unsafe { erase(task) });
+    }
+
+    fn run_range(&self, lo: usize, mut hi: usize) {
+        while hi - lo > self.grain {
+            let mid = lo + (hi - lo) / 2;
+            stats::TASKS_SPLIT.inc();
+            self.spawn_range(mid, hi);
+            hi = mid;
         }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            for i in lo..hi {
+                (self.body)(i);
+            }
+        }));
+        if let Err(p) = result {
+            self.panic.lock().unwrap_or_else(|e| e.into_inner()).get_or_insert(p);
+        }
+        self.latch.decrement();
     }
-    let _restore = Restore(prev);
-    f()
 }
 
-/// Evaluate `f` over `items` on up to [`current_num_threads`] threads,
-/// preserving item order in the result.
-fn run_chunked<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
-    let threads = current_num_threads().min(items.len()).max(1);
+/// Run `body(i)` for every `i in 0..len` on the current registry,
+/// splitting the index range for dynamic load balance. Each index runs
+/// exactly once; panics propagate after the whole range drains.
+fn run_index_job(len: usize, body: &(dyn Fn(usize) + Sync)) {
+    if len == 0 {
+        return;
+    }
+    let registry = current_registry();
+    let threads = registry.n_effective.min(len);
     if threads <= 1 {
-        return items.into_iter().map(f).collect();
+        // Strictly serial: no queues, no latch, panics unwind directly.
+        for i in 0..len {
+            body(i);
+        }
+        return;
     }
-    // Static chunking: split into `threads` nearly equal runs.
-    let len = items.len();
-    let base = len / threads;
-    let extra = len % threads;
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
-    let mut it = items.into_iter();
-    for i in 0..threads {
-        let take = base + usize::from(i < extra);
-        chunks.push(it.by_ref().take(take).collect());
+    // Grain: ~8 leaves per executor, so stealing has granularity to
+    // rebalance skew without drowning tiny items in task overhead.
+    let grain = (len / (threads * 8)).max(1);
+    let job =
+        IndexJob { registry: &registry, latch: Latch::new(), panic: Mutex::new(None), grain, body };
+    job.spawn_range(0, len);
+    wait_with_work(&registry, &job.latch);
+    let panic = job.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+    if let Some(p) = panic {
+        resume_unwind(p);
     }
-    let mut out: Vec<Vec<R>> = std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| {
-                s.spawn(move || {
-                    // Workers run their chunk serially; nested parallel ops
-                    // inside a worker stay serial to avoid oversubscription
-                    // (rayon achieves the same via depth-first stealing).
-                    with_threads(1, || chunk.into_iter().map(f).collect::<Vec<R>>())
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("rayon shim worker panicked")).collect()
-    });
-    let mut flat = Vec::with_capacity(len);
-    for v in &mut out {
-        flat.append(v);
-    }
-    flat
 }
 
-/// An eager, order-preserving parallel iterator: each combinator is one
-/// chunked fork/join pass over already-materialized items.
+/// Parallel map `items -> Vec<R>`, preserving order: each range task
+/// moves its items out by index and writes results into their slots.
+fn par_map_vec<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    let len = items.len();
+    let mut items = ManuallyDrop::new(items);
+    let src = SendMutPtr(items.as_mut_ptr());
+    let mut out: Vec<MaybeUninit<R>> = Vec::with_capacity(len);
+    // Safety: MaybeUninit needs no initialization; every slot is
+    // written exactly once below before being read.
+    unsafe { out.set_len(len) };
+    let dst = SendMutPtr(out.as_mut_ptr());
+    run_index_job(len, &|i| {
+        // Safety: index ranges are disjoint and each index runs exactly
+        // once, so the reads (moving T out) and writes are exclusive.
+        unsafe {
+            let v = src.get().add(i).read();
+            (*dst.get().add(i)).write(f(v));
+        }
+    });
+    // All elements were moved out; release the source buffer without
+    // running destructors. (On panic the buffers leak — propagation
+    // beats double-drop.)
+    unsafe {
+        items.set_len(0);
+        ManuallyDrop::drop(&mut items);
+    }
+    let mut out = ManuallyDrop::new(out);
+    // Safety: every slot is initialized; MaybeUninit<R> and R share layout.
+    unsafe { Vec::from_raw_parts(out.as_mut_ptr() as *mut R, len, out.capacity()) }
+}
+
+/// Parallel for_each over owned items (no output buffer).
+fn par_consume<T: Send>(items: Vec<T>, f: &(impl Fn(T) + Sync)) {
+    let len = items.len();
+    let mut items = ManuallyDrop::new(items);
+    let src = SendMutPtr(items.as_mut_ptr());
+    run_index_job(len, &|i| {
+        // Safety: as in `par_map_vec`, each index is consumed once.
+        unsafe { f(src.get().add(i).read()) }
+    });
+    unsafe {
+        items.set_len(0);
+        ManuallyDrop::drop(&mut items);
+    }
+}
+
+/// An order-preserving parallel iterator over materialized items; each
+/// combinator is one splittable index-range pass on the stealing pool.
 pub struct ParIter<T> {
     items: Vec<T>,
 }
@@ -101,18 +494,18 @@ pub struct ParIter<T> {
 impl<T: Send> ParIter<T> {
     /// Parallel map, preserving order.
     pub fn map<R: Send>(self, f: impl Fn(T) -> R + Sync) -> ParIter<R> {
-        ParIter { items: run_chunked(self.items, &f) }
+        ParIter { items: par_map_vec(self.items, &f) }
     }
 
     /// Parallel filter_map, preserving order.
     pub fn filter_map<R: Send>(self, f: impl Fn(T) -> Option<R> + Sync) -> ParIter<R> {
-        ParIter { items: run_chunked(self.items, &f).into_iter().flatten().collect() }
+        ParIter { items: par_map_vec(self.items, &f).into_iter().flatten().collect() }
     }
 
     /// Parallel filter, preserving order.
     pub fn filter(self, f: impl Fn(&T) -> bool + Sync) -> ParIter<T> {
         ParIter {
-            items: run_chunked(self.items, &|t| if f(&t) { Some(t) } else { None })
+            items: par_map_vec(self.items, &|t| if f(&t) { Some(t) } else { None })
                 .into_iter()
                 .flatten()
                 .collect(),
@@ -121,7 +514,7 @@ impl<T: Send> ParIter<T> {
 
     /// Parallel for_each.
     pub fn for_each(self, f: impl Fn(T) + Sync) {
-        run_chunked(self.items, &|t| f(t));
+        par_consume(self.items, &f);
     }
 
     /// Collect the (already ordered) results into any `FromIterator`
@@ -239,115 +632,112 @@ impl ThreadPoolBuilder {
         self
     }
 
-    /// Build the pool.
+    /// Build the pool. Workers are spawned the first time a size is
+    /// requested and shared by every later same-size pool (see
+    /// [`pooled_registry`]).
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool { threads: self.num_threads })
+        Ok(ThreadPool { registry: pooled_registry(self.num_threads) })
     }
 }
 
-/// A "pool" that scopes an effective thread count: parallel operations
-/// started inside [`ThreadPool::install`] use at most this many threads.
-/// Workers are spawned per operation rather than parked, trading latency
-/// (~10µs per fork/join) for zero idle cost.
+/// A persistent work-stealing pool of `n - 1` parked workers; the
+/// thread calling [`ThreadPool::install`] participates as the n-th
+/// executor while it waits, so a 1-thread pool runs everything on the
+/// caller. Same-size pools share one process-lived registry; dropping a
+/// `ThreadPool` just drops the handle — the workers stay parked, like
+/// rayon's global pool.
 pub struct ThreadPool {
-    threads: usize,
+    registry: Arc<Registry>,
 }
 
 impl ThreadPool {
-    /// Run `f` with this pool's thread count in effect.
+    /// Run `f` with this pool as the ambient registry: parallel
+    /// operations (and scopes) started inside use — and are bounded
+    /// by — this pool's workers.
     pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
-        with_threads(self.threads, f)
-    }
-
-    /// The pool's configured size (resolving 0 to the hardware count).
-    pub fn current_num_threads(&self) -> usize {
-        if self.threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-        } else {
-            self.threads
+        let prev = CTX.with(|c| c.borrow_mut().registry.replace(Arc::clone(&self.registry)));
+        struct Restore(Option<Arc<Registry>>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let prev = self.0.take();
+                CTX.with(|c| c.borrow_mut().registry = prev);
+            }
         }
+        // Restore the previous context verbatim — `None` stays `None`
+        // (current_registry falls back to the global pool lazily;
+        // instantiating it here would spawn its workers for nothing).
+        let _restore = Restore(prev);
+        f()
+    }
+
+    /// The pool's effective parallelism (resolving 0 to the hardware
+    /// count).
+    pub fn current_num_threads(&self) -> usize {
+        self.registry.n_effective
     }
 }
 
-type ScopeTask<'scope> = Box<dyn FnOnce(&Scope<'scope>) + Send + 'scope>;
-
-struct ScopeState<'scope> {
-    queue: VecDeque<ScopeTask<'scope>>,
-    /// Tasks queued or running.
-    outstanding: usize,
-}
-
-/// A fork/join scope: tasks spawned into it (including transitively, from
-/// other tasks) all complete before [`scope`] returns.
+/// A fork/join scope: tasks spawned into it (including transitively,
+/// from other tasks) all complete before [`scope`] returns.
 pub struct Scope<'scope> {
-    state: Mutex<ScopeState<'scope>>,
-    cv: Condvar,
+    registry: Arc<Registry>,
+    latch: Latch,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    marker: PhantomData<&'scope mut &'scope ()>,
 }
 
 impl<'scope> Scope<'scope> {
-    /// Queue `body` to run inside this scope.
+    /// Submit `body` to run inside this scope: onto the spawning
+    /// worker's own deque when called from a pool worker (idle workers
+    /// steal it), onto the injector otherwise.
     pub fn spawn<F>(&self, body: F)
     where
         F: FnOnce(&Scope<'scope>) + Send + 'scope,
     {
-        let mut s = self.state.lock().unwrap();
-        s.outstanding += 1;
-        s.queue.push_back(Box::new(body));
-        drop(s);
-        self.cv.notify_one();
+        self.latch.increment();
+        let ptr = SendPtr(self as *const Scope<'scope>);
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let sc = unsafe { &*ptr.get() };
+            let result = catch_unwind(AssertUnwindSafe(|| body(sc)));
+            if let Err(p) = result {
+                sc.panic.lock().unwrap_or_else(|e| e.into_inner()).get_or_insert(p);
+            }
+            sc.latch.decrement();
+        });
+        // Safety: `scope` waits on the latch before returning, so the
+        // Scope and all 'scope borrows outlive the task.
+        self.registry.submit(unsafe { erase(task) });
     }
 }
 
-/// Create a scope, run `op` in it, then drain every spawned task on up to
-/// [`current_num_threads`] worker threads before returning `op`'s result.
+/// Create a scope on the current registry, run `op` in it, then work
+/// until every spawned task (and their transitive spawns) completes.
+/// The first panic — from `op` or any task — propagates after the
+/// scope drains.
 pub fn scope<'scope, OP, R>(op: OP) -> R
 where
     OP: FnOnce(&Scope<'scope>) -> R + Send,
     R: Send,
 {
+    let registry = current_registry();
     let sc = Scope {
-        state: Mutex::new(ScopeState { queue: VecDeque::new(), outstanding: 0 }),
-        cv: Condvar::new(),
+        registry: Arc::clone(&registry),
+        latch: Latch::new(),
+        panic: Mutex::new(None),
+        marker: PhantomData,
     };
-    let result = op(&sc);
-    let workers = current_num_threads().max(1);
-    std::thread::scope(|ts| {
-        for _ in 0..workers {
-            ts.spawn(|| {
-                let mut s = sc.state.lock().unwrap();
-                loop {
-                    if let Some(task) = s.queue.pop_front() {
-                        drop(s);
-                        {
-                            // Decrement on unwind too: a panicking task
-                            // must not strand siblings in cv.wait (the
-                            // panic still propagates — thread::scope
-                            // re-raises it once every worker exits).
-                            struct Done<'a, 'scope>(&'a Scope<'scope>);
-                            impl Drop for Done<'_, '_> {
-                                fn drop(&mut self) {
-                                    let mut s = self.0.state.lock().unwrap();
-                                    s.outstanding -= 1;
-                                    if s.outstanding == 0 {
-                                        self.0.cv.notify_all();
-                                    }
-                                }
-                            }
-                            let _done = Done(&sc);
-                            task(&sc);
-                        }
-                        s = sc.state.lock().unwrap();
-                    } else if s.outstanding == 0 {
-                        return;
-                    } else {
-                        // Queue empty but tasks in flight may spawn more.
-                        s = sc.cv.wait(s).unwrap();
-                    }
-                }
-            });
+    let result = catch_unwind(AssertUnwindSafe(|| op(&sc)));
+    wait_with_work(&registry, &sc.latch);
+    let task_panic = sc.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+    match result {
+        Err(p) => resume_unwind(p),
+        Ok(r) => {
+            if let Some(p) = task_panic {
+                resume_unwind(p);
+            }
+            r
         }
-    });
-    result
+    }
 }
 
 #[cfg(test)]
@@ -387,6 +777,37 @@ mod tests {
     }
 
     #[test]
+    fn install_nests_and_restores() {
+        let outer = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let inner = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let ambient = current_num_threads();
+        outer.install(|| {
+            assert_eq!(current_num_threads(), 3);
+            inner.install(|| {
+                assert_eq!(current_num_threads(), 2);
+                // Parallel ops inside see the inner pool.
+                let v: Vec<usize> = (0..64usize).collect();
+                let out: Vec<usize> = v.par_iter().map(|&x| x + 1).collect();
+                assert_eq!(out[63], 64);
+            });
+            assert_eq!(current_num_threads(), 3, "inner install must restore");
+        });
+        assert_eq!(current_num_threads(), ambient, "outer install must restore");
+    }
+
+    #[test]
+    fn collect_order_is_deterministic_across_pools() {
+        let v: Vec<u64> = (0..5000).collect();
+        let reference: Vec<u64> = v.iter().map(|&x| x.wrapping_mul(0x9E37_79B9)).collect();
+        for threads in [1usize, 2, 4, 8] {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let got: Vec<u64> =
+                pool.install(|| v.par_iter().map(|&x| x.wrapping_mul(0x9E37_79B9)).collect());
+            assert_eq!(got, reference, "order must not depend on scheduling ({threads} threads)");
+        }
+    }
+
+    #[test]
     fn scope_runs_nested_spawns() {
         let count = AtomicUsize::new(0);
         scope(|s| {
@@ -400,5 +821,101 @@ mod tests {
             }
         });
         assert_eq!(count.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn scope_completes_deep_spawn_chains_before_returning() {
+        // A chain of tasks each spawning the next: scope must not return
+        // until the transitively-last task has run.
+        fn chain(s: &Scope<'_>, left: usize, count: &'static AtomicUsize) {
+            count.fetch_add(1, Ordering::Relaxed);
+            if left > 0 {
+                s.spawn(move |s2| chain(s2, left - 1, count));
+            }
+        }
+        static COUNT: AtomicUsize = AtomicUsize::new(0);
+        COUNT.store(0, Ordering::Relaxed);
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            scope(|s| s.spawn(|s2| chain(s2, 99, &COUNT)));
+        });
+        assert_eq!(COUNT.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn skewed_tasks_complete_with_correct_results() {
+        // One item ~1000x the cost of the rest: the stealing pool must
+        // still produce every result, in order, with the skewed item
+        // not blocking the others' completion.
+        let costs: Vec<u64> = (0..200).map(|i| if i == 7 { 200_000 } else { 200 }).collect();
+        let spin = |n: u64| -> u64 {
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc = acc.wrapping_add(std::hint::black_box(i ^ acc).rotate_left(7));
+            }
+            acc
+        };
+        let reference: Vec<u64> = costs.iter().map(|&c| spin(c)).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let got: Vec<u64> = pool.install(|| costs.par_iter().map(|&c| spin(c)).collect());
+        assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn one_thread_pool_is_strictly_serial() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let main_id = std::thread::current().id();
+        pool.install(|| {
+            (0..32usize).collect::<Vec<_>>().par_iter().for_each(|_| {
+                assert_eq!(std::thread::current().id(), main_id);
+            });
+        });
+    }
+
+    #[test]
+    fn stats_count_executed_tasks() {
+        // Not exact (other tests run concurrently and share the global
+        // counters), but a parallel run must count at least its own
+        // executed leaf tasks.
+        let before = stats::TASKS_EXECUTED.get();
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let v: Vec<usize> = (0..256).collect();
+        let s: usize = pool.install(|| v.par_iter().map(|&x| x).collect::<Vec<_>>()).iter().sum();
+        assert_eq!(s, 255 * 128);
+        assert!(stats::TASKS_EXECUTED.get() > before, "parallel run must execute tasks");
+    }
+
+    #[test]
+    fn panic_in_map_propagates() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| {
+                let v: Vec<usize> = (0..64).collect();
+                let _: Vec<usize> =
+                    v.par_iter().map(|&x| if x == 33 { panic!("boom") } else { x }).collect();
+            })
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn panic_in_scope_task_propagates_after_drain() {
+        let ran = std::sync::Arc::new(AtomicUsize::new(0));
+        let ran2 = std::sync::Arc::clone(&ran);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            scope(|s| {
+                let r = std::sync::Arc::clone(&ran2);
+                s.spawn(move |_| {
+                    r.fetch_add(1, Ordering::Relaxed);
+                    panic!("task boom");
+                });
+                let r = std::sync::Arc::clone(&ran2);
+                s.spawn(move |_| {
+                    r.fetch_add(1, Ordering::Relaxed);
+                });
+            })
+        }));
+        assert!(result.is_err(), "task panic must propagate");
+        assert_eq!(ran.load(Ordering::Relaxed), 2, "sibling task still runs");
     }
 }
