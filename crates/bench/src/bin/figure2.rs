@@ -6,8 +6,9 @@
 
 use pba_bench::report::secs;
 use pba_bench::workload;
+use pba_driver::analyze;
 use pba_gen::Profile;
-use pba_hpcstruct::{analyze, HsConfig, PHASE_NAMES};
+use pba_hpcstruct::{HsConfig, PHASE_NAMES};
 
 fn main() {
     let threads = std::env::var("PBA_THREADS")

@@ -4,8 +4,9 @@
 
 use pba_bench::report::Table;
 use pba_bench::{sweep_threads, workload};
+use pba_driver::analyze;
 use pba_gen::Profile;
-use pba_hpcstruct::{analyze, HsConfig};
+use pba_hpcstruct::HsConfig;
 
 fn geomean(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()

@@ -1,0 +1,90 @@
+//! Session amortization: both application case studies on one binary,
+//! measured by *parse count*, not wall clock.
+//!
+//! Pre-redesign, hpcstruct and BinFeat each re-parsed the ELF, re-decoded
+//! the DWARF and re-built the CFG for themselves. A `pba::Session` is
+//! the shared handle the paper's architecture implies: the parallel
+//! phase builds the CFG once and every consumer queries the same
+//! read-only artifacts. This bench runs structure recovery + feature
+//! extraction twice — once as two independent sessions (the old
+//! per-consumer shape) and once sharing a session — and reports the
+//! artifact compute counts. The counts are machine-independent, so the
+//! amortization is visible even on a 1-CPU container where wall-clock
+//! deltas drown in noise.
+
+use pba_bench::report::{secs, Table};
+use pba_bench::workload;
+use pba_driver::{Session, SessionConfig};
+use pba_gen::Profile;
+
+fn config(threads: usize) -> SessionConfig {
+    SessionConfig::default().with_threads(threads).with_name("Server")
+}
+
+fn main() {
+    let threads = std::env::var("PBA_THREADS")
+        .ok()
+        .and_then(|s| s.split(',').next_back().and_then(|x| x.trim().parse().ok()))
+        .unwrap_or(0); // 0 = all available
+    let g = workload(Profile::Server, 0x5E55);
+    println!(
+        "\nSession amortization: hpcstruct + BinFeat on one Server-class binary \
+         ({} threads)\n",
+        if threads == 0 { "all".to_string() } else { threads.to_string() }
+    );
+
+    let mut t = Table::new(&[
+        "Scenario",
+        "CFG parses",
+        "DWARF decodes",
+        "ELF parses",
+        "struct",
+        "features",
+    ]);
+
+    // Two sessions: the pre-redesign shape, one handle per consumer.
+    let s_struct = Session::open(g.elf.clone(), config(threads));
+    let t0 = std::time::Instant::now();
+    s_struct.structure().expect("structure");
+    let dt_struct = t0.elapsed().as_secs_f64();
+    let s_feat = Session::open(g.elf.clone(), config(threads));
+    let t0 = std::time::Instant::now();
+    s_feat.features().expect("features");
+    let dt_feat = t0.elapsed().as_secs_f64();
+    let (a, b) = (s_struct.stats(), s_feat.stats());
+    t.row(vec![
+        "separate sessions".into(),
+        (a.cfg_parses + b.cfg_parses).to_string(),
+        (a.dwarf_decodes + b.dwarf_decodes).to_string(),
+        (a.elf_parses + b.elf_parses).to_string(),
+        secs(dt_struct),
+        secs(dt_feat),
+    ]);
+
+    // One session: struct + features share every artifact.
+    let shared = Session::open(g.elf.clone(), config(threads));
+    let t0 = std::time::Instant::now();
+    shared.structure().expect("structure");
+    let dt_struct = t0.elapsed().as_secs_f64();
+    let t0 = std::time::Instant::now();
+    let feats = shared.features().expect("features");
+    let dt_feat = t0.elapsed().as_secs_f64();
+    let s = shared.stats();
+    t.row(vec![
+        "one session".into(),
+        s.cfg_parses.to_string(),
+        s.dwarf_decodes.to_string(),
+        s.elf_parses.to_string(),
+        secs(dt_struct),
+        secs(dt_feat),
+    ]);
+    println!("{}", t.render());
+
+    println!(
+        "features' CFG stage on the shared session took {} (artifact fetch, not a parse)",
+        secs(feats.t_cfg)
+    );
+    assert_eq!(s.cfg_parses, 1, "shared session must parse the CFG exactly once");
+    assert_eq!(s.dwarf_decodes, 1);
+    println!("OK: struct+features on one session = 1 CFG parse (vs 2 separate)");
+}

@@ -4,8 +4,9 @@
 
 use pba_bench::report::{secs, speedup, Table};
 use pba_bench::{sweep_threads, workload};
+use pba_driver::analyze;
 use pba_gen::Profile;
-use pba_hpcstruct::{analyze, HsConfig};
+use pba_hpcstruct::HsConfig;
 
 fn main() {
     let threads = sweep_threads();

@@ -8,7 +8,7 @@
 
 use pba_bench::report::{secs, speedup, Table};
 use pba_bench::workloads::{scale, sweep_threads};
-use pba_binfeat::analyze_corpus;
+use pba_driver::analyze_corpus;
 use pba_gen::{generate, Profile};
 
 fn main() {

@@ -6,8 +6,13 @@
 //! and each stage parallelizes within the binary, matching the paper's
 //! setup (node-level parallelism across binaries is called out as
 //! orthogonal in Section 9).
+//!
+//! [`analyze_corpus_with`] owns the merge/reduction; the per-binary
+//! extractor is injected so the byte-level entry point can live in
+//! `pba-driver` (one `pba::Session` per binary, unified `pba::Error`)
+//! without this crate depending on the session layer.
 
-use crate::features::{extract_binary, FeatureIndex};
+use crate::features::{BinaryFeatures, FeatureIndex};
 use serde::Serialize;
 
 /// Aggregate stage times over the corpus (seconds).
@@ -31,7 +36,7 @@ impl StageTimes {
 }
 
 /// Corpus extraction result.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct CorpusReport {
     /// Global feature index across all binaries.
     pub index: FeatureIndex,
@@ -41,11 +46,17 @@ pub struct CorpusReport {
     pub binaries: usize,
 }
 
-/// Extract features from every binary with `threads` worker threads.
-pub fn analyze_corpus(binaries: &[Vec<u8>], threads: usize) -> Result<CorpusReport, String> {
+/// Extract features from every binary with the supplied per-binary
+/// extractor, merging indexes and accumulating stage times. Stops at
+/// the first extraction error. `pba::binfeat::analyze_corpus` is this
+/// function with a session-backed extractor.
+pub fn analyze_corpus_with<E>(
+    binaries: &[Vec<u8>],
+    mut extract: impl FnMut(&[u8]) -> Result<BinaryFeatures, E>,
+) -> Result<CorpusReport, E> {
     let mut report = CorpusReport { binaries: binaries.len(), ..Default::default() };
     for bytes in binaries {
-        let r = extract_binary(bytes, threads)?;
+        let r = extract(bytes)?;
         report.times.cfg += r.t_cfg;
         report.times.insn += r.t_if;
         report.times.control += r.t_cf;
@@ -60,7 +71,10 @@ pub fn analyze_corpus(binaries: &[Vec<u8>], threads: usize) -> Result<CorpusRepo
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::features::extract_cfg_features;
+    use pba_dataflow::ExecutorKind;
     use pba_gen::{generate, GenConfig};
+    use pba_parse::{parse_parallel, ParseInput};
 
     fn corpus(n: usize) -> Vec<Vec<u8>> {
         (0..n)
@@ -76,23 +90,40 @@ mod tests {
             .collect()
     }
 
+    fn extract(bytes: &[u8], threads: usize) -> Result<BinaryFeatures, String> {
+        let elf = pba_elf::Elf::parse(bytes.to_vec()).map_err(|e| e.to_string())?;
+        let input = ParseInput::from_elf(&elf).map_err(|e| e.to_string())?;
+        let parsed = parse_parallel(&input, threads);
+        let mut bf = extract_cfg_features(&parsed.cfg, threads, ExecutorKind::Serial);
+        bf.t_cfg = 1e-9; // caller-owned slot; nonzero so totals include it
+        Ok(bf)
+    }
+
     #[test]
     fn corpus_merges_indexes() {
         let c = corpus(4);
-        let r = analyze_corpus(&c, 2).unwrap();
+        let r = analyze_corpus_with(&c, |b| extract(b, 2)).unwrap();
         assert_eq!(r.binaries, 4);
         assert!(!r.index.is_empty());
         assert!(r.times.total() > 0.0);
         // Union must dominate any single binary's index size.
-        let single = extract_binary(&c[0], 2).unwrap();
+        let single = extract(&c[0], 2).unwrap();
         assert!(r.index.len() >= single.index.len());
     }
 
     #[test]
     fn corpus_deterministic() {
         let c = corpus(3);
-        let a = analyze_corpus(&c, 1).unwrap();
-        let b = analyze_corpus(&c, 4).unwrap();
+        let a = analyze_corpus_with(&c, |b| extract(b, 1)).unwrap();
+        let b = analyze_corpus_with(&c, |b| extract(b, 4)).unwrap();
         assert_eq!(a.index, b.index);
+    }
+
+    #[test]
+    fn extractor_errors_propagate() {
+        let c = corpus(2);
+        let err: Result<CorpusReport, String> =
+            analyze_corpus_with(&c, |_| Err("broken".to_string()));
+        assert_eq!(err.unwrap_err(), "broken");
     }
 }

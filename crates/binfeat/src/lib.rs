@@ -20,11 +20,19 @@
 //! descending size** ("sorting is important as functions will have
 //! different sizes"), with per-function feature vectors merged into a
 //! global index by parallel reduction (Section 7.2).
+//!
+//! Since the `pba::Session` redesign the CFG itself arrives through the
+//! session's memoized artifact cache: this crate extracts from a
+//! read-only [`pba_cfg::Cfg`] ([`extract_cfg_features`]) and owns the
+//! corpus reduction ([`analyze_corpus_with`]); the byte-level entry
+//! points (`extract_binary`, `analyze_corpus`) are thin session
+//! wrappers in `pba-driver`, re-exported under `pba::binfeat` with the
+//! unified `pba::Error`.
 
 pub mod corpus;
 pub mod features;
 pub mod similarity;
 
-pub use corpus::{analyze_corpus, CorpusReport, StageTimes};
-pub use features::{extract_binary, BinaryFeatures, FeatureIndex};
+pub use corpus::{analyze_corpus_with, CorpusReport, StageTimes};
+pub use features::{extract_cfg_features, BinaryFeatures, FeatureIndex};
 pub use similarity::{cosine, jaccard, rank};

@@ -52,8 +52,10 @@ pub fn rank(query: &FeatureIndex, corpus: &[FeatureIndex]) -> Vec<(usize, f64)> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::features::extract_binary;
+    use crate::features::extract_cfg_features;
+    use pba_dataflow::ExecutorKind;
     use pba_gen::{generate, GenConfig};
+    use pba_parse::{parse_parallel, ParseInput};
 
     fn features(seed: u64, funcs: usize) -> FeatureIndex {
         let g = generate(&GenConfig {
@@ -62,7 +64,10 @@ mod tests {
             debug_info: false,
             ..Default::default()
         });
-        extract_binary(&g.elf, 1).unwrap().index
+        let elf = pba_elf::Elf::parse(g.elf.clone()).unwrap();
+        let input = ParseInput::from_elf(&elf).unwrap();
+        let parsed = parse_parallel(&input, 1);
+        extract_cfg_features(&parsed.cfg, 1, ExecutorKind::Serial).index
     }
 
     #[test]

@@ -21,15 +21,18 @@
 //! The crate also provides the small supporting cast used across the
 //! workspace: a fast integer-friendly hasher ([`fxhash`]), a concurrent
 //! monotonic counter set for machine-independent work metrics ([`stats`]),
-//! and a lock-striped integer set ([`AddressSet`]) used for visited-address
-//! tracking.
+//! a lock-striped integer set ([`AddressSet`]) used for visited-address
+//! tracking, and a block-or-share lazy cell ([`Memo`]) that memoizes a
+//! session's analysis artifacts exactly once across threads.
 
 pub mod chm;
 pub mod fxhash;
 pub mod iset;
+pub mod memo;
 pub mod stats;
 
 pub use chm::{ConcurrentHashMap, MapStats, ReadAccessor, WriteAccessor};
 pub use fxhash::{fx_hash_u64, FxBuildHasher, FxHasher};
 pub use iset::AddressSet;
+pub use memo::Memo;
 pub use stats::Counter;

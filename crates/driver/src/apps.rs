@@ -1,0 +1,37 @@
+//! Byte-level application entry points, as thin session layers.
+//!
+//! These keep the historical signatures (`analyze(bytes, …)`,
+//! `extract_binary(bytes, …)`, `analyze_corpus(binaries, …)`) but each
+//! is now a `Session` underneath — one parse per binary no matter how
+//! many consumers ask, and the unified [`Error`] instead of `String`.
+
+use crate::error::Error;
+use crate::session::{Session, SessionConfig};
+use pba_binfeat::{analyze_corpus_with, BinaryFeatures, CorpusReport};
+use pba_hpcstruct::{HsConfig, HsOutput};
+
+/// Run the full hpcstruct pipeline on an ELF image (paper Figure 2):
+/// a one-binary session driven to its `structure()` artifact.
+pub fn analyze(bytes: &[u8], cfg: &HsConfig) -> Result<HsOutput, Error> {
+    let config = SessionConfig::default().with_threads(cfg.threads).with_name(cfg.name.clone());
+    let session = Session::open(bytes.to_vec(), config);
+    session.structure()?;
+    // The session is ours alone: take the artifact out instead of
+    // cloning a structure tree per call.
+    session.into_structure().expect("structure just computed")
+}
+
+/// Parse one binary and extract all feature families (paper Table 3):
+/// a one-binary session driven to its `features()` artifact.
+pub fn extract_binary(bytes: &[u8], threads: usize) -> Result<BinaryFeatures, Error> {
+    let session = Session::open(bytes.to_vec(), SessionConfig::default().with_threads(threads));
+    session.features()?;
+    // One feature index per corpus binary: move it, don't clone it.
+    session.into_features().expect("features just computed")
+}
+
+/// Extract features from every binary of a corpus with `threads` worker
+/// threads (0 = all available), merging the per-binary indexes.
+pub fn analyze_corpus(binaries: &[Vec<u8>], threads: usize) -> Result<CorpusReport, Error> {
+    analyze_corpus_with(binaries, |bytes| extract_binary(bytes, threads))
+}

@@ -1,0 +1,348 @@
+//! The session: one handle per binary, every artifact computed at most
+//! once.
+
+use crate::error::Error;
+use pba_binfeat::BinaryFeatures;
+use pba_cfg::Cfg;
+use pba_concurrent::{Counter, Memo};
+use pba_dataflow::{ExecutorKind, FuncAnalyses};
+use pba_dwarf::decode::DebugSlices;
+use pba_dwarf::DebugInfo;
+use pba_elf::Elf;
+use pba_hpcstruct::{analyze_artifacts, ArtifactTimes, HsConfig, HsOutput};
+use pba_loops::{loop_forest, LoopForest};
+use pba_parse::stats::StatsSnapshot;
+use pba_parse::{ParseConfig, ParseInput, ParseResult};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One configuration surface for the whole stack.
+///
+/// Everything that used to be plumbed separately — a bare `threads:
+/// usize` here, an `HsConfig` there, a `ParseConfig` underneath — lives
+/// in one place with one convention: **`threads: 0` means "all
+/// available", everywhere.**
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Worker threads for every parallel phase (0 = all available).
+    pub threads: usize,
+    /// Per-function dataflow executor for the analysis phases
+    /// (`dataflow()`, the structure query phase, the BinFeat DF stage).
+    /// Results are executor-independent; this is a performance knob.
+    pub executor: ExecutorKind,
+    /// Parse-engine options (scheduling, ablation toggles). Its
+    /// `threads` field is overridden by [`SessionConfig::threads`] so
+    /// there is exactly one thread knob.
+    pub parse: ParseConfig,
+    /// Load-module name recorded in the structure file.
+    pub name: String,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            threads: 0,
+            executor: ExecutorKind::Serial,
+            parse: ParseConfig::default(),
+            name: "a.out".into(),
+        }
+    }
+}
+
+impl SessionConfig {
+    /// Set the worker-thread count (0 = all available).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Set the per-function dataflow executor.
+    pub fn with_executor(mut self, executor: ExecutorKind) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// Set the load-module name used by `structure()`.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The thread count after applying the 0 = all-available rule.
+    /// The mapping is owned by [`ParseConfig::effective_threads`] so
+    /// the convention has exactly one definition.
+    pub fn effective_threads(&self) -> usize {
+        ParseConfig { threads: self.threads, ..self.parse.clone() }.effective_threads()
+    }
+}
+
+/// How many times each artifact was actually computed in this session.
+///
+/// Every field is 0 or 1 once the session quiesces (per-function loop
+/// forests: at most one per distinct entry) — that *is* the session
+/// contract, and the memoization tests plus the `pba-bench --bin
+/// session` parse-count column assert it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// ELF image parses.
+    pub elf_parses: u64,
+    /// DWARF decodes.
+    pub dwarf_decodes: u64,
+    /// CFG constructions (the expensive one the paper parallelizes).
+    pub cfg_parses: u64,
+    /// Whole-binary `run_all` dataflow sweeps.
+    pub dataflow_runs: u64,
+    /// hpcstruct structure builds.
+    pub structure_builds: u64,
+    /// BinFeat feature extractions.
+    pub feature_builds: u64,
+    /// Per-function loop-forest computations.
+    pub loop_forests: u64,
+}
+
+/// A lazily-memoized analysis session over one binary.
+///
+/// `Session` is *the* entry point to the stack: open it once, then ask
+/// for artifacts — [`elf`](Session::elf), [`debug_info`](Session::debug_info),
+/// [`cfg`](Session::cfg), [`dataflow`](Session::dataflow),
+/// [`loop_forest`](Session::loop_forest), [`structure`](Session::structure),
+/// [`features`](Session::features). Each is computed at most once per
+/// session, concurrent callers block on the in-flight computation and
+/// then share the result (via [`pba_concurrent::Memo`] /
+/// [`pba_concurrent::ConcurrentHashMap`]), and failures are memoized
+/// just like successes. A future server shards and caches exactly this
+/// handle: one session per binary, artifacts reused across requests.
+pub struct Session {
+    config: SessionConfig,
+    /// The raw image, consumed by the first `elf()` computation.
+    bytes: Mutex<Option<Vec<u8>>>,
+    elf: Memo<Result<Elf, Error>>,
+    debug: Memo<Result<DebugInfo, Error>>,
+    parse: Memo<Result<ParseResult, Error>>,
+    dataflow: Memo<Result<HashMap<u64, FuncAnalyses>, Error>>,
+    structure: Memo<Result<HsOutput, Error>>,
+    features: Memo<Result<BinaryFeatures, Error>>,
+    loops: pba_concurrent::ConcurrentHashMap<u64, Option<Arc<LoopForest>>>,
+    loop_computes: Counter,
+}
+
+impl Session {
+    /// Open a session over a raw ELF image. Nothing is parsed yet;
+    /// every artifact is computed on first use.
+    pub fn open(bytes: Vec<u8>, config: SessionConfig) -> Session {
+        Session {
+            config,
+            bytes: Mutex::new(Some(bytes)),
+            elf: Memo::new(),
+            debug: Memo::new(),
+            parse: Memo::new(),
+            dataflow: Memo::new(),
+            structure: Memo::new(),
+            features: Memo::new(),
+            loops: pba_concurrent::ConcurrentHashMap::new(),
+            loop_computes: Counter::new(),
+        }
+    }
+
+    /// Open a session over an already-parsed ELF image (the `elf()`
+    /// artifact arrives pre-computed; its parse count stays 0).
+    pub fn from_elf(elf: Elf, config: SessionConfig) -> Session {
+        Session {
+            config,
+            bytes: Mutex::new(None),
+            elf: Memo::ready(Ok(elf)),
+            debug: Memo::new(),
+            parse: Memo::new(),
+            dataflow: Memo::new(),
+            structure: Memo::new(),
+            features: Memo::new(),
+            loops: pba_concurrent::ConcurrentHashMap::new(),
+            loop_computes: Counter::new(),
+        }
+    }
+
+    /// Open a session over a file on disk.
+    pub fn open_path(path: &str, config: SessionConfig) -> Result<Session, Error> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| Error::Io { path: path.to_string(), message: e.to_string() })?;
+        Ok(Session::open(bytes, config))
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// The parsed ELF image.
+    pub fn elf(&self) -> Result<&Elf, Error> {
+        self.elf
+            .get_or_compute(|| {
+                let bytes = self
+                    .bytes
+                    .lock()
+                    .expect("bytes lock")
+                    .take()
+                    .expect("image bytes consumed exactly once");
+                Elf::parse(bytes).map_err(Error::from)
+            })
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    /// The decoded debug information (parallel per-CU decode on the
+    /// session's pool). Empty (not an error) for stripped binaries.
+    pub fn debug_info(&self) -> Result<&DebugInfo, Error> {
+        self.debug
+            .get_or_compute(|| {
+                let elf = self.elf()?;
+                self.pool()
+                    .install(|| pba_dwarf::decode_parallel(DebugSlices::from_elf(elf)))
+                    .map_err(Error::from)
+            })
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    fn parse_result(&self) -> Result<&ParseResult, Error> {
+        self.parse
+            .get_or_compute(|| {
+                let elf = self.elf()?;
+                let input = ParseInput::from_elf(elf)?;
+                let mut pc = self.config.parse.clone();
+                pc.threads = self.config.threads;
+                Ok(pba_parse::parse(&input, &pc))
+            })
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    /// The finalized control-flow graph (the paper's parallel phase).
+    pub fn cfg(&self) -> Result<&Cfg, Error> {
+        self.parse_result().map(|r| &r.cfg)
+    }
+
+    /// Machine-independent work counters from the CFG parse.
+    pub fn parse_stats(&self) -> Result<StatsSnapshot, Error> {
+        self.parse_result().map(|r| r.stats.snapshot())
+    }
+
+    /// The three standard dataflow analyses (liveness, reaching defs,
+    /// stack height) for every function, keyed by entry — the engine's
+    /// `run_all` facts, fanned across the session's pool once.
+    pub fn dataflow(&self) -> Result<&HashMap<u64, FuncAnalyses>, Error> {
+        self.dataflow
+            .get_or_compute(|| {
+                let cfg = self.cfg()?;
+                Ok(pba_dataflow::run_all_with(cfg, self.config.threads, self.config.executor))
+            })
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    /// The natural-loop forest of one function, memoized per entry:
+    /// concurrent callers of the same entry block on the winner's
+    /// computation (TBB-style accessor locking) and share one `Arc`.
+    pub fn loop_forest(&self, entry: u64) -> Result<Arc<LoopForest>, Error> {
+        let cfg = self.cfg()?;
+        let func = cfg
+            .functions
+            .get(&entry)
+            .ok_or_else(|| Error::FunctionNotFound(format!("{entry:#x}")))?;
+        // Insert an empty slot (cheap, under the shard lock), then
+        // compute under the *entry* lock: the insert winner fills the
+        // slot while racers block on the accessor and find it filled.
+        let (mut slot, _) = self.loops.insert_with(entry, || None);
+        if let Some(forest) = slot.as_ref() {
+            return Ok(Arc::clone(forest));
+        }
+        let view = pba_dataflow::FuncView::new(cfg, func);
+        let forest = Arc::new(loop_forest(&view));
+        *slot = Some(Arc::clone(&forest));
+        self.loop_computes.inc();
+        Ok(forest)
+    }
+
+    /// The recovered program structure (the hpcstruct case study),
+    /// phase-timed. Artifact phases report the time this call spent
+    /// *obtaining* each artifact — near zero when another accessor
+    /// already paid for it.
+    pub fn structure(&self) -> Result<&HsOutput, Error> {
+        self.structure
+            .get_or_compute(|| {
+                let t = Instant::now();
+                let _elf = self.elf()?;
+                let read = t.elapsed().as_secs_f64();
+                let t = Instant::now();
+                let di = self.debug_info()?;
+                let dwarf = t.elapsed().as_secs_f64();
+                let t = Instant::now();
+                let cfg = self.cfg()?;
+                let cfg_secs = t.elapsed().as_secs_f64();
+                let hs = HsConfig { threads: self.config.threads, name: self.config.name.clone() };
+                Ok(analyze_artifacts(
+                    di,
+                    cfg,
+                    &hs,
+                    self.config.executor,
+                    ArtifactTimes { read, dwarf, cfg: cfg_secs },
+                ))
+            })
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    /// The forensic feature index (the BinFeat case study), stage-timed.
+    /// `t_cfg` is the time this call spent obtaining the CFG artifact —
+    /// near zero when it was already memoized.
+    pub fn features(&self) -> Result<&BinaryFeatures, Error> {
+        self.features
+            .get_or_compute(|| {
+                let t = Instant::now();
+                let cfg = self.cfg()?;
+                let t_cfg = t.elapsed().as_secs_f64();
+                let mut bf = pba_binfeat::extract_cfg_features(
+                    cfg,
+                    self.config.threads,
+                    self.config.executor,
+                );
+                bf.t_cfg = t_cfg;
+                Ok(bf)
+            })
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    /// Consume the session and take its structure artifact out without
+    /// cloning (None if `structure()` was never driven to completion).
+    pub fn into_structure(self) -> Option<Result<HsOutput, Error>> {
+        self.structure.into_inner()
+    }
+
+    /// Consume the session and take its feature artifact out without
+    /// cloning (None if `features()` was never driven to completion).
+    pub fn into_features(self) -> Option<Result<BinaryFeatures, Error>> {
+        self.features.into_inner()
+    }
+
+    /// Compute counts per artifact (each 0 or 1 after quiescence —
+    /// the at-most-once contract, measurable).
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            elf_parses: self.elf.computes(),
+            dwarf_decodes: self.debug.computes(),
+            cfg_parses: self.parse.computes(),
+            dataflow_runs: self.dataflow.computes(),
+            structure_builds: self.structure.computes(),
+            feature_builds: self.features.computes(),
+            loop_forests: self.loop_computes.get(),
+        }
+    }
+
+    /// A rayon pool sized by the session config (0 = all available).
+    /// Pools of equal size share one cached process-lived registry, so
+    /// this is cheap to call per artifact.
+    fn pool(&self) -> rayon::ThreadPool {
+        rayon::ThreadPoolBuilder::new().num_threads(self.config.threads).build().expect("pool")
+    }
+}

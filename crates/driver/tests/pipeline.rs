@@ -1,0 +1,114 @@
+//! End-to-end behavior of the byte-level entry points over sessions —
+//! including the tests that lived next to `hpcstruct::analyze` and
+//! `binfeat::analyze_corpus` before the session redesign.
+
+use pba_driver::{analyze, analyze_corpus, Session, SessionConfig};
+use pba_gen::{generate, GenConfig};
+use pba_hpcstruct::{HsConfig, PHASE_NAMES};
+
+fn sample() -> Vec<u8> {
+    generate(&GenConfig { num_funcs: 30, seed: 77, ..Default::default() }).elf
+}
+
+#[test]
+fn pipeline_produces_structure() {
+    let out = analyze(&sample(), &HsConfig { threads: 2, name: "test.so".into() }).unwrap();
+    assert!(!out.structure.functions.is_empty());
+    assert!(out.structure.stmt_count() > 0, "line info recovered");
+    assert!(out.structure.loop_count() > 0, "loops recovered");
+    assert!(out.text.contains("<LM n=\"test.so\">"));
+    assert_eq!(out.times.seconds.len(), PHASE_NAMES.len());
+    assert!(out.times.total() > 0.0);
+}
+
+#[test]
+fn inline_scopes_recovered() {
+    let out = analyze(&sample(), &HsConfig { threads: 2, name: "t".into() }).unwrap();
+    let total_inlines: usize = out.structure.functions.iter().map(|f| f.inlines.len()).sum();
+    assert!(total_inlines > 0, "generator emits inline trees");
+}
+
+#[test]
+fn thread_count_does_not_change_output() {
+    let bytes = sample();
+    let a = analyze(&bytes, &HsConfig { threads: 1, name: "t".into() }).unwrap();
+    let b = analyze(&bytes, &HsConfig { threads: 4, name: "t".into() }).unwrap();
+    assert_eq!(a.structure, b.structure);
+    assert_eq!(a.text, b.text);
+}
+
+#[test]
+fn stripped_binary_still_works() {
+    // No debug info: structure limited to CFG-derived facts.
+    let g =
+        generate(&GenConfig { num_funcs: 10, seed: 5, debug_info: false, ..Default::default() });
+    let out = analyze(&g.elf, &HsConfig { threads: 2, name: "s".into() }).unwrap();
+    assert!(!out.structure.functions.is_empty());
+    assert_eq!(out.structure.stmt_count(), 0);
+}
+
+#[test]
+fn malformed_image_is_an_error_not_a_panic() {
+    let err = analyze(b"definitely not an elf", &HsConfig::default()).unwrap_err();
+    assert_eq!(err.exit_code(), 65);
+}
+
+fn corpus(n: usize) -> Vec<Vec<u8>> {
+    (0..n)
+        .map(|i| {
+            generate(&GenConfig {
+                num_funcs: 12,
+                seed: 1000 + i as u64,
+                debug_info: false,
+                ..Default::default()
+            })
+            .elf
+        })
+        .collect()
+}
+
+#[test]
+fn corpus_merges_indexes() {
+    let c = corpus(4);
+    let r = analyze_corpus(&c, 2).unwrap();
+    assert_eq!(r.binaries, 4);
+    assert!(!r.index.is_empty());
+    assert!(r.times.total() > 0.0);
+    // Union must dominate any single binary's index size.
+    let single = pba_driver::extract_binary(&c[0], 2).unwrap();
+    assert!(r.index.len() >= single.index.len());
+}
+
+#[test]
+fn corpus_deterministic() {
+    let c = corpus(3);
+    let a = analyze_corpus(&c, 1).unwrap();
+    let b = analyze_corpus(&c, 4).unwrap();
+    assert_eq!(a.index, b.index);
+}
+
+#[test]
+fn corpus_surfaces_broken_binaries_as_errors() {
+    let mut c = corpus(2);
+    c.push(vec![0u8; 8]);
+    let err = analyze_corpus(&c, 2).unwrap_err();
+    assert!(matches!(err, pba_driver::Error::Elf(_)), "got {err:?}");
+}
+
+#[test]
+fn struct_and_features_on_one_session_share_the_parse() {
+    // The amortization the redesign exists for: both case studies on
+    // the same handle, one CFG construction.
+    let session = Session::open(sample(), SessionConfig::default().with_threads(2).with_name("t"));
+    let hs = session.structure().unwrap().clone();
+    let bf = session.features().unwrap();
+    assert!(!hs.structure.functions.is_empty());
+    assert!(!bf.index.is_empty());
+    let stats = session.stats();
+    assert_eq!(stats.cfg_parses, 1, "struct+features must share one parse: {stats:?}");
+    assert_eq!(stats.dwarf_decodes, 1);
+    // The features call found the CFG already memoized, so its CFG
+    // stage time is the fetch, not a parse. (Timing is wall-clock, so
+    // only assert the sign, not a ratio.)
+    assert!(bf.t_cfg >= 0.0);
+}

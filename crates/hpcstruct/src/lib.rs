@@ -17,12 +17,20 @@
 //!    ranges, inline scopes);
 //! 7. serialize the structure file.
 //!
-//! [`analyze`] returns both the structure document and the per-phase
-//! wall times, which the bench harness prints as Figure 2 and
-//! aggregates into Table 2's DWARF/CFG/total columns.
+//! Phases 1, 2 and 4 produce the shared analysis *artifacts* (ELF,
+//! debug info, CFG); since the `pba::Session` redesign they live behind
+//! the session's memoized accessors so every consumer computes them at
+//! most once per binary. This crate owns the artifact-level remainder:
+//! [`analyze_artifacts`] runs phases 3 and 5–7 over a read-only
+//! [`pba_dwarf::DebugInfo`] and [`pba_cfg::Cfg`] and returns both the
+//! structure document and the per-phase wall times, which the bench
+//! harness prints as Figure 2 and aggregates into Table 2's
+//! DWARF/CFG/total columns. The byte-level `analyze` entry point is a
+//! thin session wrapper in `pba-driver` (re-exported as
+//! `pba::hpcstruct::analyze`).
 
 pub mod phases;
 pub mod structure;
 
-pub use phases::{analyze, HsConfig, HsOutput, PhaseTimes, PHASE_NAMES};
+pub use phases::{analyze_artifacts, ArtifactTimes, HsConfig, HsOutput, PhaseTimes, PHASE_NAMES};
 pub use structure::{FuncStruct, InlineScope, LoopStruct, StmtRange, StructFile};

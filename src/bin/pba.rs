@@ -1,21 +1,31 @@
 //! `pba` — command-line front end for parallel binary analysis.
 //!
 //! ```text
-//! pba functions <elf> [--threads N]     list functions with block/edge counts
+//! pba functions <elf> [options]         list functions with block/edge counts
 //! pba blocks <elf> <function-name>      dump one function's blocks
-//! pba struct <elf> [--threads N]        recover program structure (hpcstruct)
-//! pba stats <elf> [--threads N]         parse-work statistics
-//! pba selftest [--funcs N]              generate a binary and check ground truth
+//! pba struct <elf> [options]            recover program structure (hpcstruct)
+//! pba stats <elf> [options]             parse-work statistics
+//! pba selftest [--funcs N] [options]    generate a binary and check ground truth
+//!
+//! options:
+//!   --threads N                   worker threads (0 = all available; default 0)
+//!   --executor serial|parallel|auto   per-function dataflow executor
 //! ```
+//!
+//! Every subcommand drives one [`Session`]: artifacts are parsed
+//! lazily, memoized, and shared — the CLI is the same thin layer over
+//! the session that a future daemon mode would be, where `struct` after
+//! `functions` on the same file reuses the parse. Errors flow out as
+//! [`pba::Error`] and are mapped to exit codes exactly once, in `main`.
 
 use pba::gen::{generate, GenConfig};
-use pba::hpcstruct::{analyze, HsConfig};
-use pba::parse::{parse_parallel, ParseInput, ParseResult};
+use pba::{Error, ExecutorKind, Session, SessionConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  pba functions <elf> [--threads N]\n  pba blocks <elf> <name>\n  \
-         pba struct <elf> [--threads N]\n  pba stats <elf> [--threads N]\n  pba selftest [--funcs N]"
+        "usage:\n  pba functions <elf> [--threads N] [--executor serial|parallel|auto]\n  \
+         pba blocks <elf> <name>\n  pba struct <elf> [--threads N] [--executor E]\n  \
+         pba stats <elf> [--threads N]\n  pba selftest [--funcs N]"
     );
     std::process::exit(2)
 }
@@ -24,33 +34,45 @@ fn flag(args: &[String], name: &str) -> Option<usize> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
 }
 
-fn load(path: &str, threads: usize) -> ParseResult {
-    let bytes = std::fs::read(path).unwrap_or_else(|e| {
-        eprintln!("pba: cannot read {path}: {e}");
-        std::process::exit(1)
-    });
-    let elf = pba::elf::Elf::parse(bytes).unwrap_or_else(|e| {
-        eprintln!("pba: {path}: {e}");
-        std::process::exit(1)
-    });
-    let input = ParseInput::from_elf(&elf).unwrap_or_else(|e| {
-        eprintln!("pba: {path}: {e}");
-        std::process::exit(1)
-    });
-    parse_parallel(&input, threads)
+/// Build the one configuration surface from the command line.
+fn config(args: &[String], name: &str) -> SessionConfig {
+    let threads = flag(args, "--threads").unwrap_or(0); // 0 = all available
+    let executor = match args
+        .iter()
+        .position(|a| a == "--executor")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        None => ExecutorKind::Serial,
+        Some("serial") => ExecutorKind::Serial,
+        Some("parallel") => ExecutorKind::Parallel(0),
+        Some("auto") => ExecutorKind::Auto,
+        Some(_) => usage(),
+    };
+    SessionConfig::default().with_threads(threads).with_executor(executor).with_name(name)
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let threads = flag(&args, "--threads")
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    // The single place analysis errors become exit codes.
+    match run(&args) {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("pba: {e}");
+            std::process::exit(e.exit_code());
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<i32, Error> {
     match args.first().map(String::as_str) {
         Some("functions") => {
             let path = args.get(1).unwrap_or_else(|| usage());
-            let r = load(path, threads);
+            let session = Session::open_path(path, config(args, path))?;
+            let cfg = session.cfg()?;
             println!("{:<40} {:>18} {:>7} {:>7}  status", "name", "entry", "blocks", "edges");
-            for f in r.cfg.functions.values() {
-                let edges: usize = f.blocks.iter().map(|b| r.cfg.out_edges(*b).len()).sum();
+            for f in cfg.functions.values() {
+                let edges: usize = f.blocks.iter().map(|b| cfg.out_edges(*b).len()).sum();
                 println!(
                     "{:<40} {:>#18x} {:>7} {:>7}  {:?}",
                     pba::elf::demangle::pretty_name(&f.name),
@@ -60,46 +82,38 @@ fn main() {
                     f.ret_status
                 );
             }
+            Ok(0)
         }
         Some("blocks") => {
             let path = args.get(1).unwrap_or_else(|| usage());
             let name = args.get(2).unwrap_or_else(|| usage());
-            let r = load(path, threads);
-            let f = r
-                .cfg
+            let session = Session::open_path(path, config(args, path))?;
+            let cfg = session.cfg()?;
+            let f = cfg
                 .functions
                 .values()
                 .find(|f| {
                     f.name.contains(name.as_str())
                         || pba::elf::demangle::pretty_name(&f.name).contains(name.as_str())
                 })
-                .unwrap_or_else(|| {
-                    eprintln!("pba: no function matching {name:?}");
-                    std::process::exit(1)
-                });
+                .ok_or_else(|| Error::FunctionNotFound(name.clone()))?;
             println!("{} at {:#x}:", f.name, f.entry);
             for &b in &f.blocks {
-                let blk = &r.cfg.blocks[&b];
+                let blk = &cfg.blocks[&b];
                 println!("  block [{:#x}, {:#x})", blk.start, blk.end);
-                for i in r.cfg.code.insns(blk.start, blk.end) {
+                for i in cfg.code.insns(blk.start, blk.end) {
                     println!("    {:#x}  {}", i.addr, i.mnemonic());
                 }
-                for e in r.cfg.out_edges(b) {
+                for e in cfg.out_edges(b) {
                     println!("    -> {:#x} ({:?})", e.dst, e.kind);
                 }
             }
+            Ok(0)
         }
         Some("struct") => {
             let path = args.get(1).unwrap_or_else(|| usage());
-            let bytes = std::fs::read(path).unwrap_or_else(|e| {
-                eprintln!("pba: cannot read {path}: {e}");
-                std::process::exit(1)
-            });
-            let out =
-                analyze(&bytes, &HsConfig { threads, name: path.clone() }).unwrap_or_else(|e| {
-                    eprintln!("pba: {e}");
-                    std::process::exit(1)
-                });
+            let session = Session::open_path(path, config(args, path))?;
+            let out = session.structure()?;
             print!("{}", out.text);
             eprintln!(
                 "# {} functions, {} loops, {} statements in {:.1} ms",
@@ -108,17 +122,20 @@ fn main() {
                 out.structure.stmt_count(),
                 out.times.total() * 1e3
             );
+            Ok(0)
         }
         Some("stats") => {
             let path = args.get(1).unwrap_or_else(|| usage());
+            let session = Session::open_path(path, config(args, path))?;
             let t = std::time::Instant::now();
-            let r = load(path, threads);
+            let cfg = session.cfg()?;
             let dt = t.elapsed().as_secs_f64();
-            let s = r.stats.snapshot();
+            let s = session.parse_stats()?;
+            let threads = session.config().effective_threads();
             println!("parsed in {:.1} ms on {threads} threads", dt * 1e3);
-            println!("functions          {:>10}", r.cfg.functions.len());
-            println!("blocks             {:>10}", r.cfg.blocks.len());
-            println!("edges              {:>10}", r.cfg.edges.len());
+            println!("functions          {:>10}", cfg.functions.len());
+            println!("blocks             {:>10}", cfg.blocks.len());
+            println!("edges              {:>10}", cfg.edges.len());
             println!("insns decoded      {:>10}", s.insns_decoded);
             println!("cache hits         {:>10}", s.cache_hits);
             println!("split iterations   {:>10}", s.split_iterations);
@@ -128,23 +145,22 @@ fn main() {
             println!("jts unbounded      {:>10}", s.jt_unbounded);
             println!("jt edges clamped   {:>10}", s.jt_edges_clamped);
             println!("tailcall flips     {:>10}", s.tailcall_flips);
+            Ok(0)
         }
         Some("selftest") => {
-            let funcs = flag(&args, "--funcs").unwrap_or(64);
+            let funcs = flag(args, "--funcs").unwrap_or(64);
             let g = generate(&GenConfig { num_funcs: funcs, seed: 0x5E1F, ..Default::default() });
-            let elf = pba::elf::Elf::parse(g.elf.clone()).unwrap();
-            let input = ParseInput::from_elf(&elf).unwrap();
-            let r = parse_parallel(&input, threads);
+            let session = Session::open(g.elf.clone(), config(args, "selftest"));
+            let cfg = session.cfg()?;
             let mut bad = 0;
             for f in &g.truth.functions {
-                let ok = r
-                    .cfg
+                let ok = cfg
                     .functions
                     .get(&f.entry)
                     .map(|pf| {
                         let mut want = f.ranges.clone();
                         want.sort_unstable();
-                        pf.ranges(&r.cfg) == want
+                        pf.ranges(cfg) == want
                     })
                     .unwrap_or(false);
                 if !ok {
@@ -157,7 +173,7 @@ fn main() {
                 g.truth.functions.len() - bad,
                 g.truth.functions.len()
             );
-            std::process::exit(if bad == 0 { 0 } else { 1 });
+            Ok(if bad == 0 { 0 } else { 1 })
         }
         _ => usage(),
     }

@@ -8,38 +8,47 @@
 //!
 //! ## Quick start
 //!
+//! The entry point is a [`Session`]: one handle per binary, one
+//! configuration surface, and every analysis artifact computed lazily,
+//! at most once, shared by all consumers.
+//!
 //! ```
 //! use pba::gen::{generate, GenConfig};
-//! use pba::parse::{parse_parallel, ParseInput};
+//! use pba::{Session, SessionConfig};
 //!
 //! // Generate a synthetic test binary (or bring your own ELF64 bytes).
 //! let binary = generate(&GenConfig { num_funcs: 16, seed: 1, ..Default::default() });
-//! let elf = pba::elf::Elf::parse(binary.elf.clone()).unwrap();
 //!
-//! // Parse its control-flow graph on 4 threads.
-//! let input = ParseInput::from_elf(&elf).unwrap();
-//! let result = parse_parallel(&input, 4);
-//! assert!(!result.cfg.functions.is_empty());
+//! // One session per binary. threads: 0 = all available, everywhere.
+//! let session = Session::open(binary.elf.clone(), SessionConfig::default().with_threads(4));
 //!
-//! // The CFG is now read-only: run any analysis in parallel. The
-//! // dataflow engine fans liveness, reaching defs and stack height
-//! // across all functions on a sized pool...
-//! let analyses = pba::dataflow::run_all(&result.cfg, 4);
-//! assert_eq!(analyses.len(), result.cfg.functions.len());
+//! // The CFG is parsed in parallel on first use, then memoized.
+//! let cfg = session.cfg().unwrap();
+//! assert!(!cfg.functions.is_empty());
 //!
-//! // ...and per-function analyses run on either engine executor.
-//! for f in result.cfg.functions.values() {
-//!     let view = pba::dataflow::FuncView::new(&result.cfg, f);
-//!     let loops = pba::loops::loop_forest(&view);
-//!     let _ = loops.max_depth();
-//! }
+//! // Downstream artifacts reuse it: dataflow facts for every function...
+//! let facts = session.dataflow().unwrap();
+//! assert_eq!(facts.len(), cfg.functions.len());
+//!
+//! // ...per-function loop forests...
+//! let entry = *cfg.functions.keys().next().unwrap();
+//! let forest = session.loop_forest(entry).unwrap();
+//! let _ = forest.max_depth();
+//!
+//! // ...and both application case studies, off the same single parse.
+//! let structure = session.structure().unwrap();
+//! let features = session.features().unwrap();
+//! assert!(!structure.structure.functions.is_empty());
+//! assert!(!features.index.is_empty());
+//! assert_eq!(session.stats().cfg_parses, 1); // everything above: one CFG parse
 //! ```
 //!
 //! ## Crate map
 //!
 //! | module | crate | contents |
 //! |---|---|---|
-//! | [`concurrent`] | `pba-concurrent` | accessor-style concurrent hash map (TBB analogue), striped sets, counters |
+//! | [`session`] | `pba-driver` | the [`Session`] handle: lazily-memoized artifact accessors, [`SessionConfig`], unified [`Error`] |
+//! | [`concurrent`] | `pba-concurrent` | accessor-style concurrent hash map (TBB analogue), striped sets, counters, the block-or-share [`concurrent::Memo`] cell |
 //! | [`elf`] | `pba-elf` | ELF64 reader/writer, mini-demangler, multi-keyed parallel symbol table |
 //! | [`isa`] | `pba-isa` | architecture-independent instructions; x86-64 + rv-lite codecs |
 //! | [`dwarf`] | `pba-dwarf` | DWARF-modeled debug info: encoder + parallel per-CU decoder |
@@ -51,14 +60,33 @@
 //! | [`hpcstruct`] | `pba-hpcstruct` | program-structure recovery (performance analysis) |
 //! | [`binfeat`] | `pba-binfeat` | forensic feature extraction |
 
-pub use pba_binfeat as binfeat;
 pub use pba_cfg as cfg;
 pub use pba_concurrent as concurrent;
 pub use pba_dataflow as dataflow;
+pub use pba_driver as session;
 pub use pba_dwarf as dwarf;
 pub use pba_elf as elf;
 pub use pba_gen as gen;
-pub use pba_hpcstruct as hpcstruct;
 pub use pba_isa as isa;
 pub use pba_loops as loops;
 pub use pba_parse as parse;
+
+pub use pba_driver::{Error, ExecutorKind, Session, SessionConfig, SessionStats};
+
+/// Program-structure recovery (the hpcstruct case study). The
+/// byte-level [`hpcstruct::analyze`] is a thin session layer from
+/// `pba-driver`; the artifact-level pipeline and structure types come
+/// from `pba-hpcstruct`.
+pub mod hpcstruct {
+    pub use pba_driver::analyze;
+    pub use pba_hpcstruct::*;
+}
+
+/// Forensic feature extraction (the BinFeat case study). The byte-level
+/// [`binfeat::extract_binary`] / [`binfeat::analyze_corpus`] are thin
+/// session layers from `pba-driver`; feature families, corpus reduction
+/// and similarity scoring come from `pba-binfeat`.
+pub mod binfeat {
+    pub use pba_binfeat::*;
+    pub use pba_driver::{analyze_corpus, extract_binary};
+}
