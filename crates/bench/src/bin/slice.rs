@@ -15,7 +15,7 @@
 
 use pba_bench::report::{secs, Table};
 use pba_bench::workloads::{sweep_threads, time_median, workload};
-use pba_dataflow::{collect_indirect_jumps, slice_indirect_jump_with, ExecutorKind, FuncView};
+use pba_dataflow::{collect_indirect_jumps, slice_indirect_jump_with, BinaryIr, ExecutorKind};
 use pba_gen::Profile;
 use rayon::prelude::*;
 
@@ -28,6 +28,9 @@ fn main() {
     let cfg = parsed.cfg;
 
     let jumps = collect_indirect_jumps(&cfg);
+    // One decode-once IR for the whole sweep: the timed loops measure
+    // slicing, not per-jump re-decoding.
+    let ir = BinaryIr::build(&cfg, avail);
     let slice_all = |threads: usize, exec: ExecutorKind| -> (usize, usize, usize) {
         let pool =
             rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("slice pool");
@@ -35,9 +38,8 @@ fn main() {
             jumps
                 .par_iter()
                 .map(|&(func, block)| {
-                    let f = &cfg.functions[&func];
-                    let view = FuncView::new(&cfg, f);
-                    match slice_indirect_jump_with(&view, block, exec) {
+                    let fir = ir.func(func).expect("function IR");
+                    match slice_indirect_jump_with(fir, block, exec) {
                         Some(o) => (
                             usize::from(o.facts.iter().any(|p| p.form.is_some())),
                             usize::from(o.facts.iter().any(|p| p.bound.is_some())),

@@ -28,11 +28,12 @@
 //! PBA_STEAL_THREADS=1,2,4,8 cargo run --release -p pba-bench --bin steal
 //! ```
 
+use pba_bench::harness::run_static_chunked;
 use pba_bench::report::{secs, Table};
 use pba_bench::workloads::{time_median, workload};
 use pba_dataflow::{
-    liveness_on, reaching_defs_on, run_all_with, stack_heights_on, ExecutorKind, FlowGraph,
-    FuncView, AUTO_BLOCK_THRESHOLD,
+    liveness_on, reaching_defs_on, run_all_with, stack_heights_on, ExecutorKind, FuncIr,
+    AUTO_BLOCK_THRESHOLD,
 };
 use pba_gen::Profile;
 
@@ -54,38 +55,23 @@ fn steal_threads() -> Vec<usize> {
 
 /// The per-function work both schedulers distribute: the three standard
 /// analyses under the serial executor (what `run_all_with` does inside
-/// its closure).
+/// its closure), off a freshly built per-function IR (matching the
+/// stealing rows, which also build one inside `run_per_function`).
 fn analyze(cfg: &pba_cfg::Cfg, f: &pba_cfg::Function) {
-    let view = FuncView::new(cfg, f);
-    let graph = FlowGraph::build(&view);
-    std::hint::black_box(liveness_on(&view, &graph, ExecutorKind::Serial));
-    std::hint::black_box(reaching_defs_on(&view, &graph, ExecutorKind::Serial));
-    std::hint::black_box(stack_heights_on(&view, &graph, ExecutorKind::Serial));
+    let ir = FuncIr::build(cfg, f);
+    let graph = ir.graph();
+    std::hint::black_box(liveness_on(&ir, graph, ExecutorKind::Serial));
+    std::hint::black_box(reaching_defs_on(&ir, graph, ExecutorKind::Serial));
+    std::hint::black_box(stack_heights_on(&ir, graph, ExecutorKind::Serial));
 }
 
-/// Static baseline: size-sorted list split into `threads` contiguous
-/// chunks, each pinned to one std thread. No queues, no stealing —
-/// the giant's chunk finishes last, everyone else idles.
+/// Static baseline: size-sorted list split into contiguous chunks by
+/// the shared harness (`pba_bench::harness::run_static_chunked`) — the
+/// giant's chunk finishes last, everyone else idles.
 fn static_chunked(cfg: &pba_cfg::Cfg, threads: usize) {
     let mut funcs: Vec<&pba_cfg::Function> = cfg.functions.values().collect();
     funcs.sort_by_key(|f| std::cmp::Reverse(f.blocks.len()));
-    let threads = threads.min(funcs.len()).max(1);
-    let len = funcs.len();
-    let base = len / threads;
-    let extra = len % threads;
-    std::thread::scope(|s| {
-        let mut at = 0usize;
-        for k in 0..threads {
-            let take = base + usize::from(k < extra);
-            let chunk = &funcs[at..at + take];
-            at += take;
-            s.spawn(move || {
-                for f in chunk {
-                    analyze(cfg, f);
-                }
-            });
-        }
-    });
+    run_static_chunked(&funcs, threads, |f| analyze(cfg, f));
 }
 
 fn main() {

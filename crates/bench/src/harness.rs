@@ -1,0 +1,69 @@
+//! Shared scheduling baselines for the ablation binaries.
+//!
+//! The steal sweep's static contiguous-chunking baseline used to live
+//! inline in `--bin steal`; the `--bin ir` sweep needs the identical
+//! discipline, so it is lifted here (closing the ROADMAP item about
+//! copying it per ablation).
+
+/// Static baseline: split `items` into `threads` contiguous chunks,
+/// each pinned to one std thread, no queues, no redistribution — the
+/// discipline the pre-refactor rayon shim imposed. With a size-sorted
+/// list the chunk holding the giants finishes last while everyone else
+/// idles; that gap is exactly what the work-stealing rows beat.
+///
+/// Callers sort `items` however they want to be chunked (the sweeps use
+/// largest-first, matching `run_per_function`'s submission order).
+pub fn run_static_chunked<T: Sync>(items: &[T], threads: usize, work: impl Fn(&T) + Sync) {
+    if items.is_empty() {
+        return;
+    }
+    let threads = threads.min(items.len()).max(1);
+    let len = items.len();
+    let base = len / threads;
+    let extra = len % threads;
+    let work = &work;
+    std::thread::scope(|s| {
+        let mut at = 0usize;
+        for k in 0..threads {
+            let take = base + usize::from(k < extra);
+            let chunk = &items[at..at + take];
+            at += take;
+            s.spawn(move || {
+                for item in chunk {
+                    work(item);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn visits_every_item_exactly_once() {
+        let items: Vec<u64> = (0..101).collect();
+        for threads in [1, 2, 4, 7] {
+            let sum = AtomicU64::new(0);
+            let count = AtomicU64::new(0);
+            run_static_chunked(&items, threads, |&i| {
+                sum.fetch_add(i, Ordering::Relaxed);
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(count.load(Ordering::Relaxed), 101);
+            assert_eq!(sum.load(Ordering::Relaxed), 100 * 101 / 2);
+        }
+    }
+
+    #[test]
+    fn empty_and_oversubscribed_are_fine() {
+        run_static_chunked::<u64>(&[], 4, |_| unreachable!("no items"));
+        let count = AtomicU64::new(0);
+        run_static_chunked(&[1u64, 2], 16, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 2);
+    }
+}

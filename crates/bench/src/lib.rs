@@ -5,6 +5,8 @@
 //!   table binaries don't regenerate identical inputs;
 //! * [`check`] — the Section 8.1 ground-truth checker (function ranges,
 //!   jump-table sizes, non-returning calls);
+//! * [`harness`] — shared scheduling baselines (static contiguous
+//!   chunking) reused across the steal and ir sweeps;
 //! * [`report`] — plain-text table formatting shared by the binaries.
 //!
 //! Environment knobs:
@@ -14,6 +16,7 @@
 //!   (default `1,2,4,8,16,32,64` clamped by available parallelism ×4).
 
 pub mod check;
+pub mod harness;
 pub mod report;
 pub mod workloads;
 

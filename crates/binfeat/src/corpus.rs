@@ -94,7 +94,8 @@ mod tests {
         let elf = pba_elf::Elf::parse(bytes.to_vec()).map_err(|e| e.to_string())?;
         let input = ParseInput::from_elf(&elf).map_err(|e| e.to_string())?;
         let parsed = parse_parallel(&input, threads);
-        let mut bf = extract_cfg_features(&parsed.cfg, threads, ExecutorKind::Serial);
+        let ir = pba_dataflow::BinaryIr::build(&parsed.cfg, threads);
+        let mut bf = extract_cfg_features(&parsed.cfg, &ir, threads, ExecutorKind::Serial);
         bf.t_cfg = 1e-9; // caller-owned slot; nonzero so totals include it
         Ok(bf)
     }

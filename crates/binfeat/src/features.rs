@@ -2,7 +2,7 @@
 
 use pba_cfg::{Cfg, EdgeKind, Function};
 use pba_concurrent::fxhash::FxBuildHasher;
-use pba_dataflow::{liveness, CfgView, ExecutorKind, FuncView};
+use pba_dataflow::{liveness_on, BinaryIr, CfgView, ExecutorKind, FuncIr};
 use pba_loops::loop_forest;
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -35,12 +35,11 @@ fn h(parts: &impl Hash) -> u64 {
     FxBuildHasher::default().hash_one(parts)
 }
 
-/// Instruction features: mnemonic n-grams, n = 1..3.
-pub fn instruction_features(cfg: &Cfg, f: &Function, out: &mut Vec<u64>) {
-    for &b in &f.blocks {
-        let Some(blk) = cfg.blocks.get(&b) else { continue };
-        let mns: Vec<&'static str> =
-            cfg.code.insns(blk.start, blk.end).iter().map(|i| i.mnemonic()).collect();
+/// Instruction features: mnemonic n-grams, n = 1..3, off the function's
+/// decode-once arena.
+pub fn instruction_features(ir: &FuncIr, out: &mut Vec<u64>) {
+    for &b in ir.blocks() {
+        let mns: Vec<&'static str> = ir.insns(b).iter().map(|i| i.mnemonic()).collect();
         for w in 1..=3usize {
             for win in mns.windows(w) {
                 out.push(h(&("if", win)));
@@ -49,18 +48,17 @@ pub fn instruction_features(cfg: &Cfg, f: &Function, out: &mut Vec<u64>) {
     }
 }
 
-/// Control-flow features: per-block graphlets and loop nesting.
-pub fn control_flow_features(cfg: &Cfg, f: &Function, out: &mut Vec<u64>) {
-    let view = FuncView::new(cfg, f);
-    let forest = loop_forest(&view);
-    for &b in &f.blocks {
+/// Control-flow features: per-block graphlets and loop nesting. Degrees
+/// and edge kinds come from the full CFG (inter-procedural edges
+/// included — they are part of the signature); instructions and loops
+/// come from the shared IR, so the block terminator costs a slice
+/// lookup, not a block decode.
+pub fn control_flow_features(cfg: &Cfg, ir: &FuncIr, out: &mut Vec<u64>) {
+    let forest = loop_forest(ir);
+    for &b in ir.blocks() {
         let out_deg = cfg.out_edges(b).len() as u32;
         let in_deg = cfg.in_edges(b).len() as u32;
-        let term = cfg
-            .blocks
-            .get(&b)
-            .and_then(|blk| cfg.code.insns(blk.start, blk.end).last().map(|i| i.mnemonic()))
-            .unwrap_or("none");
+        let term = ir.insns(b).last().map(|i| i.mnemonic()).unwrap_or("none");
         let depth = forest.depth_of(b);
         out.push(h(&("cf-graphlet", in_deg.min(4), out_deg.min(4), term)));
         out.push(h(&("cf-loopdepth", depth)));
@@ -85,56 +83,62 @@ pub fn control_flow_features(cfg: &Cfg, f: &Function, out: &mut Vec<u64>) {
 
 /// Data-flow features: live-register counts at block entries.
 pub fn data_flow_features(cfg: &Cfg, f: &Function, out: &mut Vec<u64>) {
-    let view = FuncView::new(cfg, f);
-    let live = liveness(&view);
-    data_flow_features_from(cfg, f, &live, out);
+    let ir = FuncIr::build(cfg, f);
+    let live = liveness_on(&ir, ir.graph(), ExecutorKind::Serial);
+    data_flow_features_from(&ir, &live, out);
 }
 
 /// [`data_flow_features`] from a precomputed liveness result — the shape
 /// [`extract_cfg_features`] uses so the whole-binary engine driver
-/// (`pba_dataflow::run_per_function`) computes each function's analyses
-/// exactly once.
+/// (`pba_dataflow::run_per_function_ir`) computes each function's
+/// analyses exactly once, over the shared decode-once arena.
 pub fn data_flow_features_from(
-    cfg: &Cfg,
-    f: &Function,
+    ir: &FuncIr,
     live: &pba_dataflow::LivenessResult,
     out: &mut Vec<u64>,
 ) {
-    let view = FuncView::new(cfg, f);
-    for &b in &f.blocks {
+    for &b in ir.blocks() {
         out.push(h(&("df-livein", live.live_in_count(b).min(18))));
     }
-    // Per-instruction liveness on the entry block (a finer-grained
-    // signature the paper's DF stage pays for).
-    if let Some(&entry) = f.blocks.first() {
-        for (_, set) in pba_dataflow::liveness::per_insn_liveness(&view, live, entry) {
+    // Per-instruction liveness on the lowest-addressed block (a
+    // finer-grained signature the paper's DF stage pays for).
+    if let Some(&entry) = ir.blocks().first() {
+        for (_, set) in pba_dataflow::liveness::per_insn_liveness(ir, live, entry) {
             out.push(h(&("df-insn-live", set.len().min(18))));
         }
     }
 }
 
-/// Extract all three feature families from an already-constructed CFG,
-/// timing each stage separately. `threads` sizes the rayon pool (0 =
-/// all available), `exec` picks the per-function dataflow executor, and
-/// the stage structure mirrors Listing 7 (parallel `for
-/// schedule(dynamic)` over size-sorted functions with a reduction).
+/// Extract all three feature families from an already-constructed CFG
+/// and its shared decode-once [`BinaryIr`], timing each stage
+/// separately. `threads` sizes the rayon pool (0 = all available),
+/// `exec` picks the per-function dataflow executor, and the stage
+/// structure mirrors Listing 7 (parallel `for schedule(dynamic)` over
+/// size-sorted functions with a reduction). No stage decodes an
+/// instruction: every read is a borrow of the IR's arenas.
 ///
-/// The CFG stage itself lives behind the `pba::Session` artifact cache;
-/// `t_cfg` is left at zero here and filled in by the session with the
-/// time it spent obtaining the CFG (≈0 when another consumer already
-/// paid for the parse — the amortization the session exists to provide).
-pub fn extract_cfg_features(cfg: &Cfg, threads: usize, exec: ExecutorKind) -> BinaryFeatures {
+/// The CFG/IR stage itself lives behind the `pba::Session` artifact
+/// cache; `t_cfg` is left at zero here and filled in by the session
+/// with the time it spent obtaining the artifacts (≈0 when another
+/// consumer already paid — the amortization the session exists to
+/// provide).
+pub fn extract_cfg_features(
+    cfg: &Cfg,
+    ir: &BinaryIr,
+    threads: usize,
+    exec: ExecutorKind,
+) -> BinaryFeatures {
     let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("pool");
 
     let mut res = BinaryFeatures::default();
 
     // Sort functions by decreasing size for load balance (Listing 7).
-    let mut funcs: Vec<&Function> = cfg.functions.values().collect();
-    funcs.sort_by_key(|f| std::cmp::Reverse(f.blocks.len()));
+    let mut funcs: Vec<&FuncIr> = ir.funcs().collect();
+    funcs.sort_by_key(|f| std::cmp::Reverse(f.blocks().len()));
 
     // Each stage: parallel map over functions + reduction into the
     // index (the paper's "parallelized with a reduction operation").
-    let mut run_stage = |extract: &(dyn Fn(&Function, &mut Vec<u64>) + Sync)| -> f64 {
+    let mut run_stage = |extract: &(dyn Fn(&FuncIr, &mut Vec<u64>) + Sync)| -> f64 {
         let t = Instant::now();
         let partial: Vec<Vec<u64>> = pool.install(|| {
             funcs
@@ -154,22 +158,20 @@ pub fn extract_cfg_features(cfg: &Cfg, threads: usize, exec: ExecutorKind) -> Bi
         t.elapsed().as_secs_f64()
     };
 
-    res.t_if = run_stage(&|f, v| instruction_features(cfg, f, v));
+    res.t_if = run_stage(&|f, v| instruction_features(f, v));
     res.t_cf = run_stage(&|f, v| control_flow_features(cfg, f, v));
 
     // DF stage: one whole-binary engine pass computes every function's
-    // liveness across the pool (the dataflow engine's fan-out driver)
-    // and folds its features *inside the same closure*, so each
+    // liveness across the pool (the dataflow engine's IR-backed fan-out
+    // driver) and folds its features *inside the same closure*, so each
     // `LivenessResult` is dropped the moment its features are hashed —
     // no per-function analysis state is retained for the stage's
     // duration and the function list is walked once, not twice.
     let t = Instant::now();
-    let df_features = pba_dataflow::run_per_function(cfg, threads, |view| {
-        let live = pba_dataflow::liveness_with(view, exec);
+    let df_features = pba_dataflow::run_per_function_ir(ir, threads, |fir| {
+        let live = liveness_on(fir, fir.graph(), exec);
         let mut v = Vec::new();
-        if let Some(f) = cfg.functions.get(&view.entry()) {
-            data_flow_features_from(cfg, f, &live, &mut v);
-        }
+        data_flow_features_from(fir, &live, &mut v);
         v
     });
     for v in df_features.into_values() {
@@ -198,7 +200,8 @@ mod tests {
         let elf = pba_elf::Elf::parse(bytes.to_vec()).unwrap();
         let input = ParseInput::from_elf(&elf).unwrap();
         let parsed = parse_parallel(&input, threads);
-        extract_cfg_features(&parsed.cfg, threads, ExecutorKind::Serial)
+        let ir = pba_dataflow::BinaryIr::build(&parsed.cfg, threads);
+        extract_cfg_features(&parsed.cfg, &ir, threads, ExecutorKind::Serial)
     }
 
     #[test]

@@ -67,7 +67,8 @@ mod tests {
         let elf = pba_elf::Elf::parse(g.elf.clone()).unwrap();
         let input = ParseInput::from_elf(&elf).unwrap();
         let parsed = parse_parallel(&input, 1);
-        extract_cfg_features(&parsed.cfg, 1, ExecutorKind::Serial).index
+        let ir = pba_dataflow::BinaryIr::build(&parsed.cfg, 1);
+        extract_cfg_features(&parsed.cfg, &ir, 1, ExecutorKind::Serial).index
     }
 
     #[test]

@@ -137,12 +137,26 @@ pub struct CodeRegion {
     pub base: u64,
     /// The text bytes.
     pub bytes: Vec<u8>,
+    /// Instructions decoded from this region through block reads
+    /// ([`CodeRegion::insns`] — the path every analysis consumer takes;
+    /// clones share the counter). The decode-once invariant of the
+    /// shared analysis IR is asserted against exactly this number.
+    decodes: Arc<pba_concurrent::Counter>,
 }
 
 impl CodeRegion {
     /// Construct a region.
     pub fn new(arch: Arch, base: u64, bytes: Vec<u8>) -> CodeRegion {
-        CodeRegion { arch, base, bytes }
+        CodeRegion { arch, base, bytes, decodes: Arc::new(pba_concurrent::Counter::new()) }
+    }
+
+    /// How many instructions block reads ([`CodeRegion::insns`]) have
+    /// decoded from this region so far (across all clones sharing it).
+    /// Monotonic; sample before/after a pipeline to measure its decode
+    /// work. Counted once per block read, not per instruction, so the
+    /// hot decode loop shares no cache line between threads.
+    pub fn decode_count(&self) -> u64 {
+        self.decodes.get()
     }
 
     /// Does `addr` fall within this region?
@@ -161,7 +175,8 @@ impl CodeRegion {
 
     /// Iterate the instructions of `[start, end)` in address order.
     /// Stops early on a decode failure (which a finalized CFG's blocks
-    /// never trigger).
+    /// never trigger). Adds the decoded count to [`Self::decode_count`]
+    /// in one batched increment.
     pub fn insns(&self, start: u64, end: u64) -> Vec<Insn> {
         let mut out = Vec::new();
         let mut at = start;
@@ -173,6 +188,9 @@ impl CodeRegion {
                 }
                 None => break,
             }
+        }
+        if !out.is_empty() {
+            self.decodes.add(out.len() as u64);
         }
         out
     }

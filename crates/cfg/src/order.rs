@@ -132,6 +132,54 @@ pub fn reverse_postorder(
     po
 }
 
+/// Reverse-postorder *ranks* over a dense-index adjacency: `succs[i]`
+/// lists the successors of block `i` as `(index, payload)` pairs and
+/// `roots` seeds the traversal. Returns `rank[i]` = position of block
+/// `i` in the reverse postorder; blocks unreachable from the roots are
+/// ranked after the reachable region in ascending index order (the same
+/// total-order convention as [`postorder`]). No address maps, no
+/// per-block allocation — this is the form the dataflow engine's
+/// worklist priority consumes.
+pub fn rpo_ranks_dense<E>(succs: &[Vec<(usize, E)>], roots: &[usize]) -> Vec<u32> {
+    let n = succs.len();
+    let mut seen = vec![false; n];
+    let mut po: Vec<usize> = Vec::with_capacity(n);
+    // Iterative DFS: (block, next successor index to try).
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    for &root in roots {
+        if root >= n || seen[root] {
+            continue;
+        }
+        seen[root] = true;
+        stack.push((root, 0));
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            if let Some(&(s, _)) = succs[b].get(*i) {
+                *i += 1;
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                po.push(b);
+                stack.pop();
+            }
+        }
+    }
+    let reachable = po.len();
+    let mut rank = vec![0u32; n];
+    for (r, &b) in po.iter().rev().enumerate() {
+        rank[b] = r as u32;
+    }
+    let mut next = reachable as u32;
+    for (b, &was_seen) in seen.iter().enumerate() {
+        if !was_seen {
+            rank[b] = next;
+            next += 1;
+        }
+    }
+    rank
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

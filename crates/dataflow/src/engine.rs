@@ -15,22 +15,33 @@
 //! by construction — the property `tests/engine_equiv.rs` checks on
 //! randomized binaries.
 //!
+//! Since the decode-once refactor the hot loop is also
+//! *allocation-free*: facts live in dense `Vec`s indexed by block, the
+//! worklist priority is the [`FlowGraph`]'s memoized dense RPO ranks
+//! (computed at most once per direction, shared by every analysis that
+//! reuses the graph), and each visit recomputes its input into a reused
+//! scratch fact and writes its output through
+//! [`DataflowSpec::transfer_into`] — no per-visit fact allocation for
+//! the bit-vector analyses.
+//!
 //! Two levels of parallelism mirror the paper's phase structure:
 //! *within* a function via [`ParallelExecutor`], and *across* functions
-//! via [`run_all`] / [`run_per_function`], which fan work over a
-//! size-sorted function list on a sized rayon pool (the Listing 7
-//! `schedule(dynamic)` shape). BinFeat's data-flow stage and
-//! hpcstruct's phase 6 go through [`run_per_function`] so each pays
-//! for exactly the analysis it consumes.
+//! via [`run_all`] / [`run_per_function`] (or their
+//! [`crate::ir::BinaryIr`]-backed twins [`run_all_ir`] /
+//! [`run_per_function_ir`], which reuse one decoded IR instead of
+//! rebuilding it), fanning work over a size-sorted function list on a
+//! sized rayon pool (the Listing 7 `schedule(dynamic)` shape).
 
+use crate::ir::{BinaryIr, FuncIr};
 use crate::liveness::{liveness_on, LivenessResult};
 use crate::reaching::{reaching_defs_on, ReachingDefs};
 use crate::stack::{stack_heights_on, StackResult};
-use crate::view::{CfgView, FuncView};
-use pba_cfg::order::reverse_postorder;
+use crate::view::CfgView;
+use pba_cfg::order::rpo_ranks_dense;
 use pba_cfg::EdgeKind;
 use rayon::prelude::*;
 use std::collections::{BTreeSet, BinaryHeap, HashMap};
+use std::sync::{Arc, OnceLock};
 
 /// Which way facts flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +78,17 @@ pub trait DataflowSpec {
     /// Apply `block`'s transfer function to its direction-input fact.
     fn transfer(&self, block: u64, input: &Self::Fact) -> Self::Fact;
 
+    /// Apply `block`'s transfer function, writing the result into `out`
+    /// (whose prior contents are arbitrary and must be fully
+    /// overwritten). The executors call *this* on their hot path with a
+    /// reused scratch fact; the default falls back to [`Self::transfer`]
+    /// and costs one fact allocation per visit, so specs whose facts
+    /// heap-allocate (bit vectors, sets) should override it with an
+    /// in-place computation.
+    fn transfer_into(&self, block: u64, input: &Self::Fact, out: &mut Self::Fact) {
+        *out = self.transfer(block, input);
+    }
+
     /// Optional edge transfer: adjust the fact flowing along the CFG
     /// edge `src → dst` (of `kind`) before it is met into the receiving
     /// block's input. `fact` is the value leaving the direction-
@@ -88,46 +110,140 @@ pub trait DataflowSpec {
     }
 }
 
+/// What [`DataflowResults::into_dense`] yields: the shared block list
+/// and address index, then the dense input and output fact vectors.
+pub type DenseResults<F> = (Arc<Vec<u64>>, Arc<HashMap<u64, usize>>, Vec<F>, Vec<F>);
+
 /// Fixpoint facts per block, in direction-relative terms: `input` is the
 /// fact flowing *into* the block (at block entry for forward problems,
 /// at block exit for backward ones) and `output` is `transfer(input)`.
+///
+/// Facts are stored densely, indexed like the [`FlowGraph`]'s block
+/// list (shared by `Arc`, so packaging a result allocates nothing per
+/// block); [`DataflowResults::input_at`] / [`DataflowResults::output_at`]
+/// are the thin address-keyed accessors for consumers that still think
+/// in block addresses.
 #[derive(Debug, Clone, Default)]
 pub struct DataflowResults<F> {
-    /// Fact flowing into each block (direction-relative).
-    pub input: HashMap<u64, F>,
-    /// Fact flowing out of each block (direction-relative).
-    pub output: HashMap<u64, F>,
+    blocks: Arc<Vec<u64>>,
+    index: Arc<HashMap<u64, usize>>,
+    /// Fact flowing into each block (dense, graph order).
+    pub input: Vec<F>,
+    /// Fact flowing out of each block (dense, graph order).
+    pub output: Vec<F>,
+}
+
+impl<F> DataflowResults<F> {
+    /// Block addresses, in dense-index order (the fact vectors' order).
+    pub fn blocks(&self) -> &[u64] {
+        &self.blocks
+    }
+
+    /// Dense index of `block`, if it is in the graph.
+    pub fn index_of(&self, block: u64) -> Option<usize> {
+        self.index.get(&block).copied()
+    }
+
+    /// The input fact of `block` (address-keyed compatibility accessor).
+    pub fn input_at(&self, block: u64) -> Option<&F> {
+        self.index_of(block).map(|i| &self.input[i])
+    }
+
+    /// The output fact of `block` (address-keyed compatibility accessor).
+    pub fn output_at(&self, block: u64) -> Option<&F> {
+        self.index_of(block).map(|i| &self.output[i])
+    }
+
+    /// `(block, input fact)` pairs in dense order.
+    pub fn iter_input(&self) -> impl Iterator<Item = (u64, &F)> {
+        self.blocks.iter().copied().zip(self.input.iter())
+    }
+
+    /// `(block, output fact)` pairs in dense order.
+    pub fn iter_output(&self) -> impl Iterator<Item = (u64, &F)> {
+        self.blocks.iter().copied().zip(self.output.iter())
+    }
+
+    /// Decompose into the shared block list/index and the dense fact
+    /// vectors — how the client analyses repackage engine results into
+    /// their own dense result types without copying.
+    pub fn into_dense(self) -> DenseResults<F> {
+        (self.blocks, self.index, self.input, self.output)
+    }
+}
+
+/// Per-direction traversal metadata, computed at most once per graph.
+#[derive(Debug)]
+struct DirInfo {
+    /// `is_source[i]`: does block `i`'s input carry the boundary fact?
+    is_source: Vec<bool>,
+    /// Worklist priority: rank in the direction-appropriate reverse
+    /// postorder, computed directly on dense indices.
+    rank: Vec<u32>,
 }
 
 /// The CFG shape the executors iterate over, precomputed once per
 /// function from a [`CfgView`]: dense indices, successor/predecessor
-/// adjacency and the entry block.
+/// adjacency, the entry block, and (memoized per direction) the
+/// RPO ranks the serial worklist prioritizes by. Shared via
+/// [`crate::ir::FuncIr`], one graph serves every analysis of a function
+/// and the rank computation happens at most once per direction.
+#[derive(Debug)]
 pub struct FlowGraph {
-    /// Block start addresses, in dense-index order.
-    pub blocks: Vec<u64>,
-    index: HashMap<u64, usize>,
+    /// Block start addresses, in dense-index order (shared with the
+    /// results packaged from this graph).
+    pub blocks: Arc<Vec<u64>>,
+    index: Arc<HashMap<u64, usize>>,
     succs: Vec<Vec<(usize, EdgeKind)>>,
     preds: Vec<Vec<(usize, EdgeKind)>>,
     entry: Option<usize>,
+    fwd: OnceLock<DirInfo>,
+    bwd: OnceLock<DirInfo>,
 }
 
 impl FlowGraph {
     /// Capture `view`'s intra-procedural shape.
     pub fn build(view: &dyn CfgView) -> FlowGraph {
-        let blocks = view.blocks();
+        let blocks: Vec<u64> = view.blocks().to_vec();
+        let entry = view.entry();
+        let mut edges = Vec::new();
+        for &b in &blocks {
+            for &(s, kind) in view.succ_edges(b) {
+                edges.push((b, s, kind));
+            }
+        }
+        FlowGraph::from_parts(blocks, entry, &edges)
+    }
+
+    /// Assemble a graph from an explicit block list and edge list
+    /// (edges whose endpoints are not in `blocks` are dropped). This is
+    /// what [`crate::ir::FuncIr`] and the slice's cone restriction use
+    /// to build graphs without an intermediate view.
+    pub fn from_parts(blocks: Vec<u64>, entry: u64, edges: &[(u64, u64, EdgeKind)]) -> FlowGraph {
         let index: HashMap<u64, usize> = blocks.iter().enumerate().map(|(i, &b)| (b, i)).collect();
         let mut succs = vec![Vec::new(); blocks.len()];
         let mut preds = vec![Vec::new(); blocks.len()];
-        for (i, &b) in blocks.iter().enumerate() {
-            for (s, kind) in view.succ_edges(b) {
-                if let Some(&j) = index.get(&s) {
-                    succs[i].push((j, kind));
-                    preds[j].push((i, kind));
-                }
+        for &(src, dst, kind) in edges {
+            if let (Some(&i), Some(&j)) = (index.get(&src), index.get(&dst)) {
+                succs[i].push((j, kind));
+                preds[j].push((i, kind));
             }
         }
-        let entry = index.get(&view.entry()).copied();
-        FlowGraph { blocks, index, succs, preds, entry }
+        let entry = index.get(&entry).copied();
+        FlowGraph {
+            blocks: Arc::new(blocks),
+            index: Arc::new(index),
+            succs,
+            preds,
+            entry,
+            fwd: OnceLock::new(),
+            bwd: OnceLock::new(),
+        }
+    }
+
+    /// Dense index of `block`, if present.
+    pub fn index_of(&self, block: u64) -> Option<usize> {
+        self.index.get(&block).copied()
     }
 
     /// Direction-sources: blocks whose input carries the boundary fact.
@@ -156,38 +272,55 @@ impl FlowGraph {
         }
     }
 
-    /// Worklist priority: rank in the direction-appropriate reverse
-    /// postorder (so along acyclic paths a block's inputs settle before
-    /// the block is visited).
-    fn priority(&self, dir: Direction) -> Vec<usize> {
-        let roots: Vec<u64> = self.sources(dir).iter().map(|&i| self.blocks[i]).collect();
-        let dsuccs = self.dir_succs(dir);
-        let succs_of = |b: u64| -> Vec<u64> {
-            dsuccs[self.index[&b]].iter().map(|&(j, _)| self.blocks[j]).collect()
+    /// The direction's sources and RPO ranks, computed on first use and
+    /// memoized — every later analysis over this graph (and every
+    /// executor run) reuses them.
+    fn dir_info(&self, dir: Direction) -> &DirInfo {
+        let cell = match dir {
+            Direction::Forward => &self.fwd,
+            Direction::Backward => &self.bwd,
         };
-        let rpo = reverse_postorder(&self.blocks, &roots, &succs_of);
-        let mut rank = vec![0usize; self.blocks.len()];
-        for (r, b) in rpo.iter().enumerate() {
-            rank[self.index[b]] = r;
-        }
-        rank
+        cell.get_or_init(|| {
+            let sources = self.sources(dir);
+            let mut is_source = vec![false; self.blocks.len()];
+            for &s in &sources {
+                is_source[s] = true;
+            }
+            let rank = rpo_ranks_dense(self.dir_succs(dir), &sources);
+            DirInfo { is_source, rank }
+        })
     }
 }
 
+/// The per-block seed facts (boundary at direction-sources, bottom
+/// elsewhere), computed once per run so the hot loop can reset its
+/// scratch input by `clone_from` instead of re-asking the spec.
+fn seed_facts<S: DataflowSpec>(spec: &S, graph: &FlowGraph, info: &DirInfo) -> Vec<S::Fact> {
+    graph
+        .blocks
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| if info.is_source[i] { spec.boundary(b) } else { spec.bottom(b) })
+        .collect()
+}
+
 /// One shared step: recompute block `b`'s input by meeting its
-/// direction-predecessors' outputs (plus the boundary fact at sources).
-/// Each incoming fact first passes the spec's [`DataflowSpec::edge_transfer`]
-/// for the CFG edge it arrives over (identity unless overridden).
-fn recompute_input<S: DataflowSpec>(
+/// direction-predecessors' outputs into `into`, which the caller has
+/// already reset to the block's seed fact (boundary at sources, bottom
+/// elsewhere) — by `clone_from` on a reused scratch in the serial loop,
+/// or by the initializing clone itself in the parallel rounds. Each
+/// incoming fact first passes the spec's
+/// [`DataflowSpec::edge_transfer`] for the CFG edge it arrives over
+/// (identity unless overridden).
+fn recompute_input_into<S: DataflowSpec>(
     spec: &S,
     graph: &FlowGraph,
-    is_source: &[bool],
     out: &[S::Fact],
     dir: Direction,
     b: usize,
-) -> S::Fact {
+    into: &mut S::Fact,
+) {
     let addr = graph.blocks[b];
-    let mut input = if is_source[b] { spec.boundary(addr) } else { spec.bottom(addr) };
     for &(p, kind) in &graph.dir_preds(dir)[b] {
         // Reconstruct the CFG-oriented edge: forward problems receive
         // facts along `p → b`, backward ones along `b → p`.
@@ -196,18 +329,20 @@ fn recompute_input<S: DataflowSpec>(
             Direction::Backward => (addr, graph.blocks[p]),
         };
         match spec.edge_transfer(src, dst, kind, &out[p]) {
-            Some(adjusted) => spec.meet(&mut input, &adjusted),
-            None => spec.meet(&mut input, &out[p]),
+            Some(adjusted) => spec.meet(into, &adjusted),
+            None => spec.meet(into, &out[p]),
         }
     }
-    input
 }
 
-/// Package the dense fact vectors as address-keyed results.
-fn package<F: Clone>(graph: &FlowGraph, input: Vec<F>, output: Vec<F>) -> DataflowResults<F> {
+/// Package the dense fact vectors as results sharing the graph's block
+/// list and index.
+fn package<F>(graph: &FlowGraph, input: Vec<F>, output: Vec<F>) -> DataflowResults<F> {
     DataflowResults {
-        input: graph.blocks.iter().copied().zip(input).collect(),
-        output: graph.blocks.iter().copied().zip(output).collect(),
+        blocks: Arc::clone(&graph.blocks),
+        index: Arc::clone(&graph.index),
+        input,
+        output,
     }
 }
 
@@ -220,9 +355,12 @@ pub trait DataflowExecutor {
 
 /// Priority-worklist serial executor.
 ///
-/// Blocks are visited in reverse postorder (direction-adjusted), the
-/// order that settles acyclic regions in one pass; every block is
-/// visited at least once so the results cover the whole function.
+/// Blocks are visited in reverse postorder (direction-adjusted, ranks
+/// memoized on the graph), the order that settles acyclic regions in
+/// one pass; every block is visited at least once so the results cover
+/// the whole function. The visit loop owns two scratch facts and writes
+/// through [`DataflowSpec::transfer_into`] / `clone_from`, so specs
+/// with in-place transfers run the whole fixpoint without allocating.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SerialExecutor;
 
@@ -230,31 +368,33 @@ impl DataflowExecutor for SerialExecutor {
     fn run<S: DataflowSpec + Sync>(&self, spec: &S, graph: &FlowGraph) -> DataflowResults<S::Fact> {
         let n = graph.blocks.len();
         let dir = spec.direction();
-        let mut is_source = vec![false; n];
-        for s in graph.sources(dir) {
-            is_source[s] = true;
-        }
-        let rank = graph.priority(dir);
-
         let mut input: Vec<S::Fact> = graph.blocks.iter().map(|&b| spec.bottom(b)).collect();
         let mut output: Vec<S::Fact> = graph.blocks.iter().map(|&b| spec.bottom(b)).collect();
+        if n == 0 {
+            return package(graph, input, output);
+        }
+        let info = graph.dir_info(dir);
+        let seeds = seed_facts(spec, graph, info);
 
         // Min-heap on RPO rank (BinaryHeap is a max-heap; invert).
-        let mut heap: BinaryHeap<(std::cmp::Reverse<usize>, usize)> =
-            (0..n).map(|i| (std::cmp::Reverse(rank[i]), i)).collect();
+        let mut heap: BinaryHeap<(std::cmp::Reverse<u32>, usize)> =
+            (0..n).map(|i| (std::cmp::Reverse(info.rank[i]), i)).collect();
         let mut queued = vec![true; n];
 
+        let mut in_scratch = spec.bottom(graph.blocks[0]);
+        let mut out_scratch = spec.bottom(graph.blocks[0]);
         while let Some((_, b)) = heap.pop() {
             queued[b] = false;
-            let inp = recompute_input(spec, graph, &is_source, &output, dir, b);
-            let outp = spec.transfer(graph.blocks[b], &inp);
-            input[b] = inp;
-            if outp != output[b] {
-                output[b] = outp;
+            in_scratch.clone_from(&seeds[b]);
+            recompute_input_into(spec, graph, &output, dir, b, &mut in_scratch);
+            spec.transfer_into(graph.blocks[b], &in_scratch, &mut out_scratch);
+            input[b].clone_from(&in_scratch);
+            if out_scratch != output[b] {
+                std::mem::swap(&mut output[b], &mut out_scratch);
                 for &(s, _) in &graph.dir_succs(dir)[b] {
                     if !queued[s] {
                         queued[s] = true;
-                        heap.push((std::cmp::Reverse(rank[s]), s));
+                        heap.push((std::cmp::Reverse(info.rank[s]), s));
                     }
                 }
             }
@@ -283,13 +423,13 @@ impl DataflowExecutor for ParallelExecutor {
     fn run<S: DataflowSpec + Sync>(&self, spec: &S, graph: &FlowGraph) -> DataflowResults<S::Fact> {
         let n = graph.blocks.len();
         let dir = spec.direction();
-        let mut is_source = vec![false; n];
-        for s in graph.sources(dir) {
-            is_source[s] = true;
-        }
-
         let mut input: Vec<S::Fact> = graph.blocks.iter().map(|&b| spec.bottom(b)).collect();
         let mut output: Vec<S::Fact> = graph.blocks.iter().map(|&b| spec.bottom(b)).collect();
+        if n == 0 {
+            return package(graph, input, output);
+        }
+        let info = graph.dir_info(dir);
+        let seeds = seed_facts(spec, graph, info);
 
         let pool = match self.threads {
             0 => None,
@@ -299,14 +439,17 @@ impl DataflowExecutor for ParallelExecutor {
         let mut dirty: BTreeSet<usize> = (0..n).collect();
         while !dirty.is_empty() {
             let batch: Vec<usize> = std::mem::take(&mut dirty).into_iter().collect();
-            let is_source_ref = &is_source;
+            let seeds_ref = &seeds;
             let output_ref = &output;
             let round = || {
                 batch
                     .par_iter()
                     .map(|&b| {
-                        let inp = recompute_input(spec, graph, is_source_ref, output_ref, dir, b);
-                        let outp = spec.transfer(graph.blocks[b], &inp);
+                        // The initializing clone IS the seed reset.
+                        let mut inp = seeds_ref[b].clone();
+                        recompute_input_into(spec, graph, output_ref, dir, b, &mut inp);
+                        let mut outp = inp.clone();
+                        spec.transfer_into(graph.blocks[b], &inp, &mut outp);
                         (b, inp, outp)
                     })
                     .collect()
@@ -388,6 +531,18 @@ pub struct FuncAnalyses {
     pub stack: StackResult,
 }
 
+/// The three standard analyses of one function, off its IR — one
+/// decoded arena, one graph, memoized RPO ranks shared by all three
+/// fixpoints.
+fn func_analyses(ir: &FuncIr, exec: ExecutorKind) -> FuncAnalyses {
+    let graph = ir.graph();
+    FuncAnalyses {
+        liveness: liveness_on(ir, graph, exec),
+        reaching: reaching_defs_on(ir, graph, exec),
+        stack: stack_heights_on(ir, graph, exec),
+    }
+}
+
 /// Run the three standard analyses over every function of a finalized
 /// CFG, fanning functions across a rayon pool of `threads` workers.
 ///
@@ -395,7 +550,9 @@ pub struct FuncAnalyses {
 /// functions are size-sorted (largest first) for load balance, and each
 /// function runs the [`SerialExecutor`] — across-function parallelism is
 /// where the throughput is; use [`run_all_with`] to pick a different
-/// per-function executor.
+/// per-function executor. Each call decodes every function's blocks
+/// once; callers holding a [`BinaryIr`] should use [`run_all_ir`] and
+/// decode *nothing*.
 pub fn run_all(cfg: &pba_cfg::Cfg, threads: usize) -> HashMap<u64, FuncAnalyses> {
     run_all_with(cfg, threads, ExecutorKind::Serial)
 }
@@ -406,20 +563,21 @@ pub fn run_all_with(
     threads: usize,
     exec: ExecutorKind,
 ) -> HashMap<u64, FuncAnalyses> {
-    run_per_function(cfg, threads, |view| {
-        // One graph serves all three fixpoints.
-        let graph = FlowGraph::build(view);
-        FuncAnalyses {
-            liveness: liveness_on(view, &graph, exec),
-            reaching: reaching_defs_on(view, &graph, exec),
-            stack: stack_heights_on(view, &graph, exec),
-        }
-    })
+    run_per_function(cfg, threads, |ir| func_analyses(ir, exec))
 }
 
-/// The whole-binary fan-out underneath [`run_all`]: apply `analyze` to a
-/// view of every function, size-sorted largest-first across a rayon pool
-/// of `threads` workers, keyed by function entry.
+/// [`run_all_with`] over a prebuilt [`BinaryIr`]: no decoding, no graph
+/// building — the analyses only run fixpoints.
+pub fn run_all_ir(ir: &BinaryIr, threads: usize, exec: ExecutorKind) -> HashMap<u64, FuncAnalyses> {
+    run_per_function_ir(ir, threads, |fir| func_analyses(fir, exec))
+}
+
+/// The whole-binary fan-out underneath [`run_all`]: apply `analyze` to
+/// the IR of every function, size-sorted largest-first across a rayon
+/// pool of `threads` workers, keyed by function entry. Each function's
+/// [`FuncIr`] is built (blocks decoded once) inside the closure and
+/// dropped with it; callers that keep the IRs should build a
+/// [`BinaryIr`] and use [`run_per_function_ir`].
 ///
 /// Consumers needing only one analysis (BinFeat wants liveness,
 /// hpcstruct phase 6 wants stack heights) go through this directly
@@ -427,7 +585,7 @@ pub fn run_all_with(
 pub fn run_per_function<T: Send>(
     cfg: &pba_cfg::Cfg,
     threads: usize,
-    analyze: impl Fn(&FuncView<'_>) -> T + Sync,
+    analyze: impl Fn(&FuncIr) -> T + Sync,
 ) -> HashMap<u64, T> {
     let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("run_all pool");
     let mut funcs: Vec<&pba_cfg::Function> = cfg.functions.values().collect();
@@ -441,11 +599,27 @@ pub fn run_per_function<T: Send>(
         funcs
             .par_iter()
             .map(|f| {
-                let view = FuncView::new(cfg, f);
-                (f.entry, analyze(&view))
+                let ir = FuncIr::build(cfg, f);
+                (f.entry, analyze(&ir))
             })
             .collect()
     });
+    results.into_iter().collect()
+}
+
+/// [`run_per_function`] over a prebuilt [`BinaryIr`]: the same
+/// largest-first fan-out, but every closure borrows its function's
+/// already-decoded IR instead of rebuilding it.
+pub fn run_per_function_ir<T: Send>(
+    ir: &BinaryIr,
+    threads: usize,
+    analyze: impl Fn(&FuncIr) -> T + Sync,
+) -> HashMap<u64, T> {
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("run_all pool");
+    let mut funcs: Vec<&FuncIr> = ir.funcs().collect();
+    funcs.sort_by_key(|f| std::cmp::Reverse(f.blocks().len()));
+    let results: Vec<(u64, T)> =
+        pool.install(|| funcs.par_iter().map(|fir| (fir.entry(), analyze(fir))).collect());
     results.into_iter().collect()
 }
 
@@ -454,12 +628,22 @@ mod tests {
     use super::*;
     use crate::view::VecView;
     use pba_cfg::EdgeKind;
+    use pba_concurrent::Counter;
 
     /// A toy forward "block counting" spec: each block's output is
     /// `max(inputs) + 1`; the fixpoint is the longest acyclic distance
     /// from entry, saturating on cycles at the block count (capped).
+    /// Counts its `transfer_into` calls so tests can pin that the
+    /// executors actually drive the in-place path.
     struct Depth {
         cap: u32,
+        into_calls: Counter,
+    }
+
+    impl Depth {
+        fn new(cap: u32) -> Depth {
+            Depth { cap, into_calls: Counter::new() }
+        }
     }
 
     impl DataflowSpec for Depth {
@@ -479,42 +663,49 @@ mod tests {
         fn transfer(&self, _b: u64, input: &u32) -> u32 {
             (*input + 1).min(self.cap)
         }
+        fn transfer_into(&self, b: u64, input: &u32, out: &mut u32) {
+            self.into_calls.inc();
+            *out = self.transfer(b, input);
+        }
     }
 
     fn diamond() -> VecView {
-        VecView {
-            entry_block: 1,
-            block_data: vec![(1, 2, vec![]), (2, 3, vec![]), (3, 4, vec![]), (4, 5, vec![])],
-            edges: vec![
+        VecView::new(
+            1,
+            vec![(1, 2, vec![]), (2, 3, vec![]), (3, 4, vec![]), (4, 5, vec![])],
+            vec![
                 (1, 2, EdgeKind::CondTaken),
                 (1, 3, EdgeKind::CondNotTaken),
                 (2, 4, EdgeKind::Direct),
                 (3, 4, EdgeKind::Fallthrough),
             ],
-        }
+        )
     }
 
     #[test]
     fn serial_reaches_expected_fixpoint() {
         let view = diamond();
         let graph = FlowGraph::build(&view);
-        let r = SerialExecutor.run(&Depth { cap: 100 }, &graph);
-        assert_eq!(r.input[&1], 1);
-        assert_eq!(r.output[&1], 2);
-        assert_eq!(r.input[&4], 3, "join takes the max over both arms");
+        let r = SerialExecutor.run(&Depth::new(100), &graph);
+        assert_eq!(r.input_at(1), Some(&1));
+        assert_eq!(r.output_at(1), Some(&2));
+        assert_eq!(r.input_at(4), Some(&3), "join takes the max over both arms");
     }
 
     #[test]
-    fn executors_agree_on_cyclic_graph() {
+    fn executors_agree_on_cyclic_graph_and_use_transfer_into() {
         let mut view = diamond();
         view.edges.push((4, 1, EdgeKind::Direct)); // loop back
         let graph = FlowGraph::build(&view);
-        let spec = Depth { cap: 17 };
+        let spec = Depth::new(17);
         let a = SerialExecutor.run(&spec, &graph);
+        let serial_calls = spec.into_calls.get();
+        assert!(serial_calls > 0, "serial hot loop goes through transfer_into");
         let b = ParallelExecutor { threads: 4 }.run(&spec, &graph);
-        for blk in graph.blocks.iter() {
-            assert_eq!(a.input[blk], b.input[blk]);
-            assert_eq!(a.output[blk], b.output[blk]);
+        assert!(spec.into_calls.get() > serial_calls, "parallel rounds too");
+        for &blk in graph.blocks.iter() {
+            assert_eq!(a.input_at(blk), b.input_at(blk));
+            assert_eq!(a.output_at(blk), b.output_at(blk));
         }
     }
 
@@ -523,29 +714,29 @@ mod tests {
         // Small graph (serial side).
         let view = diamond();
         let graph = FlowGraph::build(&view);
-        let spec = Depth { cap: 100 };
+        let spec = Depth::new(100);
         let serial = SerialExecutor.run(&spec, &graph);
         let auto = ExecutorKind::Auto.run(&spec, &graph);
-        for blk in graph.blocks.iter() {
-            assert_eq!(serial.input[blk], auto.input[blk]);
-            assert_eq!(serial.output[blk], auto.output[blk]);
+        for &blk in graph.blocks.iter() {
+            assert_eq!(serial.input_at(blk), auto.input_at(blk));
+            assert_eq!(serial.output_at(blk), auto.output_at(blk));
         }
 
         // A chain longer than the threshold (parallel side).
         let n = AUTO_BLOCK_THRESHOLD as u64 + 10;
-        let view = VecView {
-            entry_block: 1,
-            block_data: (1..=n).map(|b| (b, b + 1, vec![])).collect(),
-            edges: (1..n).map(|b| (b, b + 1, EdgeKind::Direct)).collect(),
-        };
+        let view = VecView::new(
+            1,
+            (1..=n).map(|b| (b, b + 1, vec![])).collect(),
+            (1..n).map(|b| (b, b + 1, EdgeKind::Direct)).collect(),
+        );
         let graph = FlowGraph::build(&view);
         assert!(graph.blocks.len() >= AUTO_BLOCK_THRESHOLD);
-        let spec = Depth { cap: u32::MAX };
+        let spec = Depth::new(u32::MAX);
         let serial = SerialExecutor.run(&spec, &graph);
         let auto = ExecutorKind::Auto.run(&spec, &graph);
-        for blk in graph.blocks.iter() {
-            assert_eq!(serial.input[blk], auto.input[blk]);
-            assert_eq!(serial.output[blk], auto.output[blk]);
+        for &blk in graph.blocks.iter() {
+            assert_eq!(serial.input_at(blk), auto.input_at(blk));
+            assert_eq!(serial.output_at(blk), auto.output_at(blk));
         }
     }
 
@@ -553,7 +744,20 @@ mod tests {
     fn backward_sources_are_exit_blocks() {
         let view = diamond();
         let graph = FlowGraph::build(&view);
-        assert_eq!(graph.sources(Direction::Backward), vec![3], "block 4 at dense index 3");
-        assert_eq!(graph.sources(Direction::Forward), vec![0]);
+        assert_eq!(
+            graph.dir_info(Direction::Backward).is_source,
+            vec![false, false, false, true],
+            "block 4 at dense index 3"
+        );
+        assert_eq!(graph.dir_info(Direction::Forward).is_source, vec![true, false, false, false]);
+    }
+
+    #[test]
+    fn rank_memoization_computes_once_per_direction() {
+        let view = diamond();
+        let graph = FlowGraph::build(&view);
+        let a = graph.dir_info(Direction::Forward) as *const DirInfo;
+        let b = graph.dir_info(Direction::Forward) as *const DirInfo;
+        assert_eq!(a, b, "same memoized DirInfo");
     }
 }

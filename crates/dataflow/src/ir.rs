@@ -1,0 +1,345 @@
+//! The decode-once analysis IR: per-function instruction arenas plus
+//! everything every client analysis re-derived per run before.
+//!
+//! The paper's premise is that the finalized CFG is a read-only artifact
+//! every analysis shares. In practice the *CFG* was shared but the
+//! expensive derivatives were not: each analysis re-decoded block bytes,
+//! rebuilt the dense [`FlowGraph`], and re-ranked it in reverse
+//! postorder. [`FuncIr`] is those artifacts computed **once** per
+//! function — one decoded-instruction arena (`Vec<Insn>` + per-block
+//! index ranges), the intra-procedural adjacency, the graph with its
+//! memoized RPO ranks, and per-block summary bits (terminator kind,
+//! `ends_in_call`) — behind the borrowing [`CfgView`] API, so liveness,
+//! reaching defs, stack analysis, slicing, hpcstruct's query phases and
+//! BinFeat's extractors all read the same slices. [`BinaryIr`] is the
+//! whole-binary map of them, decoding each unique block exactly once
+//! (shared blocks are copied into each owning function's arena, not
+//! re-decoded); `pba::Session::ir()` memoizes it so *decode-once* is a
+//! structural invariant of the session, not per-consumer luck —
+//! measured by `pba-bench --bin ir` against
+//! [`pba_cfg::CodeRegion::decode_count`].
+
+use crate::engine::FlowGraph;
+use crate::view::CfgView;
+use pba_cfg::{Cfg, EdgeKind, Function};
+use pba_isa::{ControlFlow, Insn};
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// Precomputed facts about one block, answered without touching the
+/// arena (let alone re-decoding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSummary {
+    /// Control-flow category of the block's last instruction
+    /// (`None` for an empty block).
+    pub terminator: Option<ControlFlow>,
+    /// Whether the block ends in a (direct or indirect) call — the bit
+    /// liveness consults at call boundaries.
+    pub ends_in_call: bool,
+}
+
+impl BlockSummary {
+    fn of(insns: &[Insn]) -> BlockSummary {
+        let terminator = insns.last().map(|i| i.control_flow());
+        let ends_in_call =
+            matches!(terminator, Some(ControlFlow::Call { .. }) | Some(ControlFlow::IndirectCall));
+        BlockSummary { terminator, ends_in_call }
+    }
+}
+
+/// One function's analysis IR: decoded instruction arena, byte ranges,
+/// intra-procedural adjacency, block summaries, and the shared
+/// [`FlowGraph`] (dense indices + memoized RPO ranks). Built once,
+/// borrowed everywhere — implements [`CfgView`], so every analysis in
+/// this crate runs over it without decoding or allocating per query.
+pub struct FuncIr {
+    entry: u64,
+    /// `[start, end)` byte range per block, dense order.
+    ranges: Vec<(u64, u64)>,
+    /// All blocks' instructions, concatenated in dense-block order.
+    arena: Vec<Insn>,
+    /// Arena `[lo, hi)` per block, dense order.
+    insn_ranges: Vec<(u32, u32)>,
+    /// Intra-procedural successors per block, dense order.
+    succs: Vec<Vec<(u64, EdgeKind)>>,
+    /// Intra-procedural predecessors per block, dense order.
+    preds: Vec<Vec<(u64, EdgeKind)>>,
+    /// Per-block summary bits, dense order.
+    summaries: Vec<BlockSummary>,
+    /// The dense graph (owns the block list and address index).
+    graph: FlowGraph,
+}
+
+impl FuncIr {
+    /// Build the IR of `func` within `cfg`, decoding each member block
+    /// exactly once.
+    pub fn build(cfg: &Cfg, func: &Function) -> FuncIr {
+        FuncIr::assemble(cfg, func, |start, end| cfg.code.insns(start, end))
+    }
+
+    /// Build the IR from pre-decoded block bodies (`insns_of(start, end)`
+    /// returns the block's instructions — [`BinaryIr::build`] uses this
+    /// to decode shared blocks once for the whole binary).
+    fn assemble(cfg: &Cfg, func: &Function, insns_of: impl Fn(u64, u64) -> Vec<Insn>) -> FuncIr {
+        let mut blocks = func.blocks.clone();
+        blocks.sort_unstable();
+        let members: std::collections::HashSet<u64> = blocks.iter().copied().collect();
+
+        let mut ranges = Vec::with_capacity(blocks.len());
+        let mut arena = Vec::new();
+        let mut insn_ranges = Vec::with_capacity(blocks.len());
+        let mut summaries = Vec::with_capacity(blocks.len());
+        let mut succs = Vec::with_capacity(blocks.len());
+        let mut preds = Vec::with_capacity(blocks.len());
+        let mut edges: Vec<(u64, u64, EdgeKind)> = Vec::new();
+        for &b in &blocks {
+            let (start, end) = match cfg.blocks.get(&b) {
+                Some(blk) => (blk.start, blk.end),
+                None => (b, b),
+            };
+            ranges.push((start, end));
+            let insns = insns_of(start, end);
+            let lo = arena.len() as u32;
+            summaries.push(BlockSummary::of(&insns));
+            arena.extend(insns);
+            insn_ranges.push((lo, arena.len() as u32));
+            let s: Vec<(u64, EdgeKind)> = cfg
+                .out_edges(b)
+                .iter()
+                .filter(|e| !e.kind.is_interprocedural() && members.contains(&e.dst))
+                .map(|e| (e.dst, e.kind))
+                .collect();
+            edges.extend(s.iter().map(|&(d, k)| (b, d, k)));
+            succs.push(s);
+            preds.push(
+                cfg.in_edges(b)
+                    .iter()
+                    .filter(|e| !e.kind.is_interprocedural() && members.contains(&e.src))
+                    .map(|e| (e.src, e.kind))
+                    .collect(),
+            );
+        }
+        let graph = FlowGraph::from_parts(blocks, func.entry, &edges);
+        FuncIr { entry: func.entry, ranges, arena, insn_ranges, succs, preds, summaries, graph }
+    }
+
+    /// Capture any [`CfgView`] as an owned IR (instructions copied from
+    /// the view's slices — no re-decode when the view already owns
+    /// decoded blocks).
+    pub fn from_view(view: &dyn CfgView) -> FuncIr {
+        let mut blocks: Vec<u64> = view.blocks().to_vec();
+        blocks.sort_unstable();
+        let mut ranges = Vec::with_capacity(blocks.len());
+        let mut arena = Vec::new();
+        let mut insn_ranges = Vec::with_capacity(blocks.len());
+        let mut summaries = Vec::with_capacity(blocks.len());
+        let mut succs = Vec::with_capacity(blocks.len());
+        let mut preds = Vec::with_capacity(blocks.len());
+        let mut edges: Vec<(u64, u64, EdgeKind)> = Vec::new();
+        for &b in &blocks {
+            ranges.push(view.block_range(b));
+            let insns = view.insns(b);
+            let lo = arena.len() as u32;
+            summaries.push(BlockSummary::of(insns));
+            arena.extend_from_slice(insns);
+            insn_ranges.push((lo, arena.len() as u32));
+            let s = view.succ_edges(b).to_vec();
+            edges.extend(s.iter().map(|&(d, k)| (b, d, k)));
+            succs.push(s);
+            preds.push(view.pred_edges(b).to_vec());
+        }
+        let graph = FlowGraph::from_parts(blocks, view.entry(), &edges);
+        FuncIr { entry: view.entry(), ranges, arena, insn_ranges, succs, preds, summaries, graph }
+    }
+
+    /// Function entry block address.
+    pub fn entry(&self) -> u64 {
+        self.entry
+    }
+
+    /// Member block addresses, ascending (the dense order of every
+    /// per-block vector here and of the graph).
+    pub fn blocks(&self) -> &[u64] {
+        &self.graph.blocks
+    }
+
+    /// The dense graph with its memoized RPO ranks — pass this to the
+    /// `_on` analysis entry points so all fixpoints share one ranking.
+    pub fn graph(&self) -> &FlowGraph {
+        &self.graph
+    }
+
+    /// The summary bits of `block`, if it is a member.
+    pub fn summary(&self, block: u64) -> Option<&BlockSummary> {
+        self.graph.index_of(block).map(|i| &self.summaries[i])
+    }
+
+    /// Total decoded instructions in the arena.
+    pub fn insn_count(&self) -> usize {
+        self.arena.len()
+    }
+}
+
+impl CfgView for FuncIr {
+    fn entry(&self) -> u64 {
+        self.entry
+    }
+
+    fn blocks(&self) -> &[u64] {
+        &self.graph.blocks
+    }
+
+    fn block_range(&self, block: u64) -> (u64, u64) {
+        self.graph.index_of(block).map(|i| self.ranges[i]).unwrap_or((block, block))
+    }
+
+    fn succ_edges(&self, block: u64) -> &[(u64, EdgeKind)] {
+        self.graph.index_of(block).map(|i| self.succs[i].as_slice()).unwrap_or(&[])
+    }
+
+    fn pred_edges(&self, block: u64) -> &[(u64, EdgeKind)] {
+        self.graph.index_of(block).map(|i| self.preds[i].as_slice()).unwrap_or(&[])
+    }
+
+    fn insns(&self, block: u64) -> &[Insn] {
+        match self.graph.index_of(block) {
+            Some(i) => {
+                let (lo, hi) = self.insn_ranges[i];
+                &self.arena[lo as usize..hi as usize]
+            }
+            None => &[],
+        }
+    }
+
+    fn ends_in_call(&self, block: u64) -> bool {
+        self.summary(block).map(|s| s.ends_in_call).unwrap_or(false)
+    }
+}
+
+/// The whole-binary analysis IR: one [`FuncIr`] per function, built in
+/// parallel, with each unique block's bytes decoded **exactly once**
+/// (functions sharing a block copy the already-decoded instructions
+/// into their arenas). This is the artifact `pba::Session::ir()`
+/// memoizes — build it once, run every analysis over borrowed slices.
+pub struct BinaryIr {
+    funcs: HashMap<u64, FuncIr>,
+    insn_total: usize,
+    unique_block_insns: usize,
+}
+
+impl BinaryIr {
+    /// Build the IR of every function of `cfg` on a rayon pool of
+    /// `threads` workers (0 = all available).
+    pub fn build(cfg: &Cfg, threads: usize) -> BinaryIr {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("ir pool");
+        // Decode every unique block once, in parallel.
+        let block_list: Vec<(u64, u64)> = cfg.blocks.values().map(|b| (b.start, b.end)).collect();
+        let decoded_vec: Vec<(u64, Vec<Insn>)> = pool.install(|| {
+            block_list.par_iter().map(|&(start, end)| (start, cfg.code.insns(start, end))).collect()
+        });
+        let unique_block_insns = decoded_vec.iter().map(|(_, v)| v.len()).sum();
+        let decoded: HashMap<u64, Vec<Insn>> = decoded_vec.into_iter().collect();
+
+        // Assemble per-function IRs in parallel, largest first, copying
+        // (never re-decoding) the shared block bodies.
+        let mut funcs: Vec<&Function> = cfg.functions.values().collect();
+        funcs.sort_by_key(|f| std::cmp::Reverse(f.blocks.len()));
+        let irs: Vec<(u64, FuncIr)> = pool.install(|| {
+            funcs
+                .par_iter()
+                .map(|f| {
+                    let ir = FuncIr::assemble(cfg, f, |start, _end| {
+                        decoded.get(&start).cloned().unwrap_or_default()
+                    });
+                    (f.entry, ir)
+                })
+                .collect()
+        });
+        let insn_total = irs.iter().map(|(_, ir)| ir.insn_count()).sum();
+        BinaryIr { funcs: irs.into_iter().collect(), insn_total, unique_block_insns }
+    }
+
+    /// The IR of the function entered at `entry`.
+    pub fn func(&self, entry: u64) -> Option<&FuncIr> {
+        self.funcs.get(&entry)
+    }
+
+    /// Every function's IR (unordered).
+    pub fn funcs(&self) -> impl Iterator<Item = &FuncIr> {
+        self.funcs.values()
+    }
+
+    /// Function count.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// True when the binary has no functions.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+
+    /// Total arena instructions across all functions (shared blocks
+    /// counted once per owning function).
+    pub fn insn_count(&self) -> usize {
+        self.insn_total
+    }
+
+    /// Instructions in the binary's unique blocks — exactly how many
+    /// decodes building this IR performed (the decode-once invariant
+    /// `pba-bench --bin ir` and the session tests assert).
+    pub fn unique_block_insn_count(&self) -> usize {
+        self.unique_block_insns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::VecView;
+    use pba_isa::x86::{decode_one, encode};
+    use pba_isa::Reg;
+
+    fn decode_seq(bytes: &[u8], base: u64) -> Vec<Insn> {
+        let mut out = vec![];
+        let mut at = 0usize;
+        while at < bytes.len() {
+            let i = decode_one(&bytes[at..], base + at as u64).unwrap();
+            at += i.len as usize;
+            out.push(i);
+        }
+        out
+    }
+
+    #[test]
+    fn from_view_preserves_shape_and_summaries() {
+        // b0: mov rax, rdi ; call X   b1: ret
+        let mut c0 = vec![];
+        encode::mov_rr(&mut c0, Reg::RAX, Reg::RDI);
+        let c = encode::call_rel32(&mut c0);
+        encode::patch_rel32(&mut c0, c, 0x500);
+        let b0 = decode_seq(&c0, 0x1000);
+        let b0_end = 0x1000 + c0.len() as u64;
+        let mut c1 = vec![];
+        encode::ret(&mut c1);
+        let b1 = decode_seq(&c1, 0x2000);
+
+        let view = VecView::new(
+            0x1000,
+            vec![(0x1000, b0_end, b0.clone()), (0x2000, 0x2001, b1.clone())],
+            vec![(0x1000, 0x2000, EdgeKind::CallFallthrough)],
+        );
+        let ir = FuncIr::from_view(&view);
+        assert_eq!(ir.blocks(), &[0x1000, 0x2000]);
+        assert_eq!(ir.insns(0x1000), b0.as_slice());
+        assert_eq!(ir.insns(0x2000), b1.as_slice());
+        assert_eq!(ir.insn_count(), 3);
+        assert!(ir.ends_in_call(0x1000), "summary bit, no decode");
+        assert!(!ir.ends_in_call(0x2000));
+        assert_eq!(ir.summary(0x2000).unwrap().terminator, Some(ControlFlow::Ret));
+        assert_eq!(ir.succ_edges(0x1000), &[(0x2000, EdgeKind::CallFallthrough)]);
+        assert_eq!(ir.pred_edges(0x2000), &[(0x1000, EdgeKind::CallFallthrough)]);
+        assert_eq!(ir.block_range(0x1000), (0x1000, b0_end));
+        assert_eq!(ir.insns(0xdead), &[] as &[Insn], "non-member is empty, not a panic");
+    }
+}

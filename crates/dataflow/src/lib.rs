@@ -37,9 +37,21 @@
 //!   relative to function entry; the tail-call heuristic ("stack frame
 //!   tear down before the branch") consults it.
 //!
-//! All analyses run over the [`view::CfgView`] trait so they work both on
-//! finalized [`pba_cfg::Cfg`] functions and on the parser's in-flight
-//! function snapshots.
+//! All analyses run over the borrowing [`view::CfgView`] trait so they
+//! work both on finalized [`pba_cfg::Cfg`] functions and on the
+//! parser's in-flight function snapshots — and every view hands out
+//! references into storage it already owns, so no analysis decodes or
+//! allocates per query.
+//!
+//! ## The decode-once IR
+//!
+//! [`ir::FuncIr`] is the per-function artifact every analysis shares:
+//! one decoded-instruction arena, the intra-procedural adjacency, the
+//! [`engine::FlowGraph`] with memoized RPO ranks, and per-block summary
+//! bits (`ends_in_call`, terminator kind). [`ir::BinaryIr`] maps the
+//! whole binary, decoding each unique block exactly once;
+//! `pba::Session::ir()` memoizes it so decode-once is a structural
+//! invariant rather than per-consumer luck.
 //!
 //! ## The engine
 //!
@@ -58,6 +70,7 @@
 
 pub mod engine;
 pub mod expr;
+pub mod ir;
 pub mod liveness;
 pub mod reaching;
 pub mod slice;
@@ -65,11 +78,12 @@ pub mod stack;
 pub mod view;
 
 pub use engine::{
-    run_all, run_all_with, run_per_function, DataflowExecutor, DataflowResults, DataflowSpec,
-    Direction, ExecutorKind, FlowGraph, FuncAnalyses, ParallelExecutor, SerialExecutor,
-    AUTO_BLOCK_THRESHOLD,
+    run_all, run_all_ir, run_all_with, run_per_function, run_per_function_ir, DataflowExecutor,
+    DataflowResults, DataflowSpec, Direction, ExecutorKind, FlowGraph, FuncAnalyses,
+    ParallelExecutor, SerialExecutor, AUTO_BLOCK_THRESHOLD,
 };
 pub use expr::Expr;
+pub use ir::{BinaryIr, BlockSummary, FuncIr};
 pub use liveness::{liveness, liveness_on, liveness_with, LivenessResult};
 pub use reaching::{reaching_defs, reaching_defs_on, reaching_defs_with, Def, ReachingDefs};
 pub use slice::{
@@ -77,7 +91,7 @@ pub use slice::{
     JumpTableForm, PathFact, PathSet, PathState, SliceOutcome, SliceSpec,
 };
 pub use stack::{
-    stack_heights, stack_heights_and_extent, stack_heights_on, stack_heights_with, Height,
-    StackResult,
+    stack_heights, stack_heights_and_extent, stack_heights_and_extent_on, stack_heights_on,
+    stack_heights_with, Height, StackResult,
 };
-pub use view::{CfgView, FuncView};
+pub use view::{CfgView, VecView};

@@ -5,6 +5,8 @@
 //! Block-level transfer functions are precomputed (`gen`/`kill` masks)
 //! into a [`LivenessSpec`]; the fixpoint itself is the generic engine's
 //! ([`crate::engine`]), so liveness runs under either executor.
+//! [`RegSet`] facts are `Copy`, so with the engine's scratch-fact loop a
+//! liveness fixpoint performs no per-visit allocation at all.
 //!
 //! ABI boundary conditions (System V):
 //! * at `ret`: the return register and callee-saved registers are live;
@@ -15,20 +17,38 @@ use crate::engine::{DataflowSpec, Direction, ExecutorKind, FlowGraph};
 use crate::view::CfgView;
 use pba_isa::{ControlFlow, Reg, RegSet};
 use std::collections::HashMap;
+use std::sync::Arc;
 
-/// Per-block liveness facts.
+/// Per-block liveness facts, dense over the function's block list with
+/// address-keyed accessors ([`LivenessResult::live_in`] /
+/// [`LivenessResult::live_out`]) for compatibility.
 #[derive(Debug, Clone, Default)]
 pub struct LivenessResult {
-    /// Registers live at block entry.
-    pub live_in: HashMap<u64, RegSet>,
-    /// Registers live at block exit.
-    pub live_out: HashMap<u64, RegSet>,
+    blocks: Arc<Vec<u64>>,
+    index: Arc<HashMap<u64, usize>>,
+    live_in: Vec<RegSet>,
+    live_out: Vec<RegSet>,
 }
 
 impl LivenessResult {
+    /// Block addresses in the dense order of the fact vectors.
+    pub fn blocks(&self) -> &[u64] {
+        &self.blocks
+    }
+
+    /// Registers live at `block`'s entry (empty for non-members).
+    pub fn live_in(&self, block: u64) -> RegSet {
+        self.index.get(&block).map(|&i| self.live_in[i]).unwrap_or(RegSet::EMPTY)
+    }
+
+    /// Registers live at `block`'s exit (empty for non-members).
+    pub fn live_out(&self, block: u64) -> RegSet {
+        self.index.get(&block).map(|&i| self.live_out[i]).unwrap_or(RegSet::EMPTY)
+    }
+
     /// Number of live registers at block entry (BinFeat's feature).
     pub fn live_in_count(&self, block: u64) -> u32 {
-        self.live_in.get(&block).map(|s| s.len()).unwrap_or(0)
+        self.live_in(block).len()
     }
 }
 
@@ -65,17 +85,17 @@ pub struct LivenessSpec {
 }
 
 impl LivenessSpec {
-    /// Precompute block transfer masks from `view`.
+    /// Precompute block transfer masks from `view` (each block's
+    /// already-decoded instructions are read once, borrowed).
     pub fn build(view: &dyn CfgView) -> LivenessSpec {
         let blocks = view.blocks();
         let mut gen = HashMap::with_capacity(blocks.len());
         let mut kill = HashMap::with_capacity(blocks.len());
-        for &b in &blocks {
-            let insns = view.insns(b);
+        for &b in blocks {
             let mut g = RegSet::EMPTY;
             let mut k = RegSet::EMPTY;
             // Forward scan: a read is gen only if not already killed.
-            for i in &insns {
+            for i in view.insns(b) {
                 match i.control_flow() {
                     ControlFlow::Call { .. } | ControlFlow::IndirectCall => {
                         g = g.union(RegSet::from_iter(Reg::SYSV_ARGS).minus(k));
@@ -116,6 +136,9 @@ impl DataflowSpec for LivenessSpec {
     fn transfer(&self, block: u64, input: &RegSet) -> RegSet {
         self.gen[&block].union(input.minus(self.kill[&block]))
     }
+
+    // `RegSet` is `Copy`: the default `transfer_into` is already
+    // allocation-free, no override needed.
 }
 
 /// Run liveness over one function (serial executor).
@@ -129,12 +152,14 @@ pub fn liveness_with(view: &dyn CfgView, exec: ExecutorKind) -> LivenessResult {
 }
 
 /// [`liveness_with`] over a prebuilt [`FlowGraph`] (so whole-binary
-/// drivers can share one graph across all three analyses).
+/// drivers can share one graph — and its memoized RPO ranks — across
+/// all analyses; [`crate::ir::FuncIr::graph`] is that graph).
 pub fn liveness_on(view: &dyn CfgView, graph: &FlowGraph, exec: ExecutorKind) -> LivenessResult {
     let spec = LivenessSpec::build(view);
     let r = exec.run(&spec, graph);
     // Direction-relative input is the block's live-out set.
-    LivenessResult { live_in: r.output, live_out: r.input }
+    let (blocks, index, live_out, live_in) = r.into_dense();
+    LivenessResult { blocks, index, live_in, live_out }
 }
 
 /// Walk a block's instructions backward to compute liveness *before*
@@ -146,7 +171,7 @@ pub fn per_insn_liveness(
     block: u64,
 ) -> Vec<(u64, RegSet)> {
     let insns = view.insns(block);
-    let mut live = result.live_out.get(&block).copied().unwrap_or(RegSet::EMPTY);
+    let mut live = result.live_out(block);
     let mut out: Vec<(u64, RegSet)> = Vec::with_capacity(insns.len());
     for i in insns.iter().rev() {
         live = transfer_insn(i, live);
@@ -182,13 +207,9 @@ mod tests {
         pba_isa::x86::encode::alu_rr(&mut code, pba_isa::insn::AluKind::Add, Reg::RAX, Reg::RSI);
         pba_isa::x86::encode::ret(&mut code);
         let end = 0x1000 + code.len() as u64;
-        let view = VecView {
-            entry_block: 0x1000,
-            block_data: vec![(0x1000, end, decode_seq(&code, 0x1000))],
-            edges: vec![],
-        };
+        let view = VecView::new(0x1000, vec![(0x1000, end, decode_seq(&code, 0x1000))], vec![]);
         let r = liveness(&view);
-        let live_in = r.live_in[&0x1000];
+        let live_in = r.live_in(0x1000);
         assert!(live_in.contains(Reg::RDI), "rdi is an argument use");
         assert!(live_in.contains(Reg::RSI));
         assert!(!live_in.contains(Reg::RAX), "rax defined before use");
@@ -225,30 +246,30 @@ mod tests {
         let b3 = decode_seq(&c3, 0x4000);
         let b3_end = 0x4000 + c3.len() as u64;
 
-        let view = VecView {
-            entry_block: 0x1000,
-            block_data: vec![
+        let view = VecView::new(
+            0x1000,
+            vec![
                 (0x1000, b0_end, b0),
                 (0x2000, b1_end, b1),
                 (0x3000, b2_end, b2),
                 (0x4000, b3_end, b3),
             ],
-            edges: vec![
+            vec![
                 (0x1000, 0x3000, EdgeKind::CondTaken),
                 (0x1000, 0x2000, EdgeKind::CondNotTaken),
                 (0x2000, 0x4000, EdgeKind::Direct),
                 (0x3000, 0x4000, EdgeKind::Fallthrough),
             ],
-        };
+        );
         let r = liveness(&view);
-        let live_in = r.live_in[&0x1000];
+        let live_in = r.live_in(0x1000);
         assert!(live_in.contains(Reg::RDI));
         assert!(live_in.contains(Reg::RSI), "used on the b1 path");
         assert!(live_in.contains(Reg::RDX), "used on the b2 path");
         // rax defined on both paths before b3's use-as-return.
         assert!(!live_in.contains(Reg::RAX));
         // b3 live-in: exit conventions.
-        assert!(r.live_in[&0x4000].contains(Reg::RAX));
+        assert!(r.live_in(0x4000).contains(Reg::RAX));
     }
 
     #[test]
@@ -260,11 +281,7 @@ mod tests {
         pba_isa::x86::encode::patch_rel32(&mut code, c, 0x500);
         pba_isa::x86::encode::ret(&mut code);
         let end = 0x1000 + code.len() as u64;
-        let view = VecView {
-            entry_block: 0x1000,
-            block_data: vec![(0x1000, end, decode_seq(&code, 0x1000))],
-            edges: vec![],
-        };
+        let view = VecView::new(0x1000, vec![(0x1000, end, decode_seq(&code, 0x1000))], vec![]);
         let r = liveness(&view);
         let per = per_insn_liveness(&view, &r, 0x1000);
         // Before the call: argument registers live.
@@ -296,19 +313,19 @@ mod tests {
         pba_isa::x86::encode::ret(&mut c2);
         let b2 = decode_seq(&c2, 0x3000);
 
-        let view = VecView {
-            entry_block: 0x1000,
-            block_data: vec![(0x1000, b0_end, b0), (0x2000, b1_end, b1), (0x3000, 0x3001, b2)],
-            edges: vec![
+        let view = VecView::new(
+            0x1000,
+            vec![(0x1000, b0_end, b0), (0x2000, b1_end, b1), (0x3000, 0x3001, b2)],
+            vec![
                 (0x1000, 0x2000, EdgeKind::Fallthrough),
                 (0x2000, 0x2000, EdgeKind::CondTaken),
                 (0x2000, 0x3000, EdgeKind::CondNotTaken),
             ],
-        };
+        );
         let r = liveness(&view);
         // rsi live around the loop (used every iteration).
-        assert!(r.live_in[&0x2000].contains(Reg::RSI));
-        assert!(r.live_out[&0x2000].contains(Reg::RSI), "live across the back edge");
-        assert!(r.live_in[&0x1000].contains(Reg::RDI));
+        assert!(r.live_in(0x2000).contains(Reg::RSI));
+        assert!(r.live_out(0x2000).contains(Reg::RSI), "live across the back edge");
+        assert!(r.live_in(0x1000).contains(Reg::RDI));
     }
 }

@@ -5,12 +5,16 @@
 //! refinements consume the def-use chains; the analysis is the standard
 //! gen/kill bit-vector problem with definitions indexed densely,
 //! expressed as a [`ReachingSpec`] and solved by the generic engine
-//! ([`crate::engine`]).
+//! ([`crate::engine`]). The spec reads each block's (already decoded)
+//! instructions through the borrowing [`CfgView`], and its
+//! [`DataflowSpec::transfer_into`] writes the bit vector in place, so
+//! the engine's fixpoint loop allocates nothing per visit.
 
 use crate::engine::{DataflowSpec, Direction, ExecutorKind, FlowGraph};
 use crate::view::CfgView;
 use pba_isa::Reg;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A definition site: instruction address + register defined.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -22,9 +26,21 @@ pub struct Def {
 }
 
 /// Dense bitset over definition ids (the engine fact of
-/// [`ReachingSpec`]).
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+/// [`ReachingSpec`]). `Clone::clone_from` reuses the existing word
+/// buffer, which is what lets the engine's scratch facts live for a
+/// whole fixpoint run.
+#[derive(Debug, PartialEq, Eq, Default)]
 pub struct BitSet(Vec<u64>);
+
+impl Clone for BitSet {
+    fn clone(&self) -> BitSet {
+        BitSet(self.0.clone())
+    }
+
+    fn clone_from(&mut self, source: &BitSet) {
+        self.0.clone_from(&source.0);
+    }
+}
 
 impl BitSet {
     fn with_len(n: usize) -> BitSet {
@@ -59,6 +75,16 @@ impl BitSet {
         )
     }
 
+    /// `self = (input & !kill) | gen`, word by word into the existing
+    /// buffer (resized only if the widths disagree, which a single
+    /// spec's facts never do).
+    fn transfer_from(&mut self, input: &BitSet, gen: &BitSet, kill: &BitSet) {
+        self.0.resize(input.0.len(), 0);
+        for (((o, &inn), &g), &k) in self.0.iter_mut().zip(&input.0).zip(&gen.0).zip(&kill.0) {
+            *o = (inn & !k) | g;
+        }
+    }
+
     fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
         self.0.iter().enumerate().flat_map(|(w, &bits)| {
             let mut b = bits;
@@ -75,21 +101,24 @@ impl BitSet {
     }
 }
 
-/// Result of the reaching-definitions analysis for one function.
+/// Result of the reaching-definitions analysis for one function, dense
+/// over the function's block list with address-keyed accessors.
 #[derive(Debug, Default)]
 pub struct ReachingDefs {
     /// All definition sites, indexed by id.
     pub defs: Vec<Def>,
     def_ids: HashMap<Def, usize>,
-    reach_in: HashMap<u64, BitSet>,
+    blocks: Arc<Vec<u64>>,
+    index: Arc<HashMap<u64, usize>>,
+    reach_in: Vec<BitSet>,
 }
 
 impl ReachingDefs {
     /// Definitions reaching the entry of `block`.
     pub fn reaching_at_entry(&self, block: u64) -> Vec<Def> {
-        self.reach_in
+        self.index
             .get(&block)
-            .map(|s| s.iter_ones().map(|i| self.defs[i]).collect())
+            .map(|&i| self.reach_in[i].iter_ones().map(|d| self.defs[d]).collect())
             .unwrap_or_default()
     }
 
@@ -97,7 +126,12 @@ impl ReachingDefs {
     /// no materialization).
     pub fn def_reaches_entry(&self, block: u64, def: Def) -> bool {
         let Some(&id) = self.def_ids.get(&def) else { return false };
-        self.reach_in.get(&block).is_some_and(|s| s.get(id))
+        self.index.get(&block).is_some_and(|&i| self.reach_in[i].get(id))
+    }
+
+    /// Block addresses in the dense order of the fact vector.
+    pub fn blocks(&self) -> &[u64] {
+        &self.blocks
     }
 
     /// Definitions of `reg` reaching the *use* at instruction `addr`
@@ -140,14 +174,15 @@ pub struct ReachingSpec {
 
 impl ReachingSpec {
     /// Index every definition site in `view` and precompute per-block
-    /// gen/kill vectors.
+    /// gen/kill vectors. Instructions are read from the view's decoded
+    /// slices — nothing is decoded here.
     pub fn build(view: &dyn CfgView) -> ReachingSpec {
         let blocks = view.blocks();
 
         // Index all defs.
         let mut defs: Vec<Def> = Vec::new();
         let mut def_ids: HashMap<Def, usize> = HashMap::new();
-        for &b in &blocks {
+        for &b in blocks {
             for i in view.insns(b) {
                 for r in i.regs_written().iter() {
                     let d = Def { addr: i.addr, reg: r };
@@ -170,7 +205,7 @@ impl ReachingSpec {
         // Block gen/kill.
         let mut gen: HashMap<u64, BitSet> = HashMap::new();
         let mut kill: HashMap<u64, BitSet> = HashMap::new();
-        for &b in &blocks {
+        for &b in blocks {
             let mut g = BitSet::with_len(n);
             let mut k = BitSet::with_len(n);
             for i in view.insns(b) {
@@ -222,6 +257,10 @@ impl DataflowSpec for ReachingSpec {
     fn transfer(&self, block: u64, input: &BitSet) -> BitSet {
         input.transfer(&self.gen[&block], &self.kill[&block])
     }
+
+    fn transfer_into(&self, block: u64, input: &BitSet, out: &mut BitSet) {
+        out.transfer_from(input, &self.gen[&block], &self.kill[&block]);
+    }
 }
 
 /// Run reaching definitions over one function (serial executor).
@@ -235,11 +274,13 @@ pub fn reaching_defs_with(view: &dyn CfgView, exec: ExecutorKind) -> ReachingDef
 }
 
 /// [`reaching_defs_with`] over a prebuilt [`FlowGraph`] (so whole-binary
-/// drivers can share one graph across all three analyses).
+/// drivers can share one graph — and its memoized RPO ranks — across
+/// all analyses; [`crate::ir::FuncIr::graph`] is that graph).
 pub fn reaching_defs_on(view: &dyn CfgView, graph: &FlowGraph, exec: ExecutorKind) -> ReachingDefs {
     let spec = ReachingSpec::build(view);
     let r = exec.run(&spec, graph);
-    ReachingDefs { defs: spec.defs, def_ids: spec.def_ids, reach_in: r.input }
+    let (blocks, index, reach_in, _out) = r.into_dense();
+    ReachingDefs { defs: spec.defs, def_ids: spec.def_ids, blocks, index, reach_in }
 }
 
 #[cfg(test)]
@@ -272,11 +313,7 @@ mod tests {
         encode::alu_rr(&mut c, AluKind::Add, Reg::RBX, Reg::RAX);
         encode::ret(&mut c);
         let end = 0x1000 + c.len() as u64;
-        let view = VecView {
-            entry_block: 0x1000,
-            block_data: vec![(0x1000, end, decode_seq(&c, 0x1000))],
-            edges: vec![],
-        };
+        let view = VecView::new(0x1000, vec![(0x1000, end, decode_seq(&c, 0x1000))], vec![]);
         let rd = reaching_defs(&view);
         let reaching = rd.defs_reaching_use(&view, 0x1000, use_at, Reg::RAX);
         assert_eq!(reaching, vec![Def { addr: second_def, reg: Reg::RAX }]);
@@ -298,14 +335,14 @@ mod tests {
         let mut c1 = vec![];
         encode::ret(&mut c1);
 
-        let view = VecView {
-            entry_block: 0x1000,
-            block_data: vec![
+        let view = VecView::new(
+            0x1000,
+            vec![
                 (0x1000, 0x1000 + c0.len() as u64, decode_seq(&c0, 0x1000)),
                 (0x2000, 0x2001, decode_seq(&c1, 0x2000)),
             ],
-            edges: vec![(0x1000, 0x2000, EdgeKind::Direct)],
-        };
+            vec![(0x1000, 0x2000, EdgeKind::Direct)],
+        );
         let rd = reaching_defs(&view);
         let at_succ: Vec<Def> =
             rd.reaching_at_entry(0x2000).into_iter().filter(|d| d.reg == Reg::RAX).collect();
@@ -335,21 +372,21 @@ mod tests {
         encode::alu_rr(&mut c3, AluKind::Add, Reg::RBX, Reg::RAX);
         encode::ret(&mut c3);
 
-        let view = VecView {
-            entry_block: 0x1000,
-            block_data: vec![
+        let view = VecView::new(
+            0x1000,
+            vec![
                 (0x1000, 0x1000 + c0.len() as u64, decode_seq(&c0, 0x1000)),
                 (0x2000, 0x2000 + c1.len() as u64, decode_seq(&c1, 0x2000)),
                 (0x3000, 0x3000 + c2.len() as u64, decode_seq(&c2, 0x3000)),
                 (0x4000, 0x4000 + c3.len() as u64, decode_seq(&c3, 0x4000)),
             ],
-            edges: vec![
+            vec![
                 (0x1000, 0x2000, EdgeKind::CondNotTaken),
                 (0x1000, 0x3000, EdgeKind::CondTaken),
                 (0x2000, 0x4000, EdgeKind::Direct),
                 (0x3000, 0x4000, EdgeKind::Fallthrough),
             ],
-        };
+        );
         let rd = reaching_defs(&view);
         let at_join: Vec<Def> =
             rd.reaching_at_entry(0x4000).into_iter().filter(|d| d.reg == Reg::RAX).collect();
@@ -372,19 +409,19 @@ mod tests {
         let mut c2 = vec![];
         encode::ret(&mut c2);
 
-        let view = VecView {
-            entry_block: 0x1000,
-            block_data: vec![
+        let view = VecView::new(
+            0x1000,
+            vec![
                 (0x1000, 0x1000 + c0.len() as u64, decode_seq(&c0, 0x1000)),
                 (0x2000, 0x2000 + c1.len() as u64, decode_seq(&c1, 0x2000)),
                 (0x3000, 0x3001, decode_seq(&c2, 0x3000)),
             ],
-            edges: vec![
+            vec![
                 (0x1000, 0x2000, EdgeKind::Fallthrough),
                 (0x2000, 0x2000, EdgeKind::CondTaken),
                 (0x2000, 0x3000, EdgeKind::CondNotTaken),
             ],
-        };
+        );
         let rd = reaching_defs(&view);
         let at_loop: Vec<Def> =
             rd.reaching_at_entry(0x2000).into_iter().filter(|d| d.reg == Reg::RCX).collect();
@@ -392,5 +429,26 @@ mod tests {
         assert_eq!(at_loop.len(), 2, "{at_loop:?}");
         assert!(at_loop.iter().any(|d| d.addr == 0x1000));
         assert!(at_loop.iter().any(|d| d.addr == loop_def));
+    }
+
+    #[test]
+    fn bitset_clone_from_reuses_and_matches() {
+        let mut a = BitSet::with_len(130);
+        a.set(0);
+        a.set(129);
+        let mut b = BitSet::with_len(130);
+        b.clone_from(&a);
+        assert_eq!(a, b);
+        // In-place transfer equals the allocating one.
+        let mut gen = BitSet::with_len(130);
+        gen.set(64);
+        let mut kill = BitSet::with_len(130);
+        kill.set(129);
+        let fresh = a.transfer(&gen, &kill);
+        let mut inplace = BitSet::with_len(130);
+        inplace.set(77); // stale garbage that must be overwritten
+        inplace.transfer_from(&a, &gen, &kill);
+        assert_eq!(fresh, inplace);
+        assert!(inplace.get(64) && inplace.get(0) && !inplace.get(129) && !inplace.get(77));
     }
 }

@@ -353,14 +353,15 @@ fn walk_back(insns: &[Insn], skip_last: usize, mut expr: Expr) -> Expr {
 ///   extracted from `p`'s `cmp`+`jcc` terminator for the edge kind
 ///   actually taken — the part a direction-only engine cannot express,
 ///   hence [`DataflowSpec::edge_transfer`].
-pub struct SliceSpec {
+pub struct SliceSpec<'a> {
     jump_block: u64,
     seed: PathSet,
-    /// Decoded instructions of every block in the jump's backward cone
-    /// (the blocks within [`MAX_DEPTH`] predecessor edges) — the only
-    /// blocks a path state can ever reach, so the only ones worth
-    /// decoding or iterating (the old DFS had the same locality).
-    insns: HashMap<u64, Vec<Insn>>,
+    /// Instructions of every block in the jump's backward cone (the
+    /// blocks within [`MAX_DEPTH`] predecessor edges) — the only blocks
+    /// a path state can ever reach, so the only ones worth touching
+    /// (the old DFS had the same locality). Borrowed from the view's
+    /// decode-once slices, nothing is copied or re-decoded.
+    insns: HashMap<u64, &'a [Insn]>,
     /// Blocks whose transfer has widened, stickily: once a block widens
     /// it keeps widening. Widening shrinks a fact (non-monotone), so
     /// without stickiness a cyclic CFG straddling [`MAX_PATHS`] could
@@ -372,11 +373,11 @@ pub struct SliceSpec {
     widened_blocks: std::sync::Mutex<std::collections::HashSet<u64>>,
 }
 
-impl SliceSpec {
+impl<'a> SliceSpec<'a> {
     /// Build the spec for the indirect jump terminating `jump_block`.
     /// Returns `None` when the block's terminator is not an indirect
     /// jump.
-    pub fn build(view: &dyn CfgView, jump_block: u64) -> Option<SliceSpec> {
+    pub fn build(view: &'a dyn CfgView, jump_block: u64) -> Option<SliceSpec<'a>> {
         let jinsns = view.insns(jump_block);
         let term = jinsns.last()?;
         let Op::JmpInd { src } = term.op else { return None };
@@ -384,22 +385,22 @@ impl SliceSpec {
         let wanted = Expr::of_value(&src, 8, false);
         // The seed: the jump block walked backward, excluding the
         // terminator itself.
-        let start_expr = walk_back(&jinsns, 1, wanted);
+        let start_expr = walk_back(jinsns, 1, wanted);
         let mut seed = PathSet::default();
         seed.states.insert(PathState { expr: start_expr, bound: None, depth: 0 });
 
         // BFS the backward cone: blocks within MAX_DEPTH predecessor
         // edges of the jump. States die at MAX_DEPTH crossings, so
         // facts outside the cone are empty by construction and the rest
-        // of the function need not be decoded at all.
-        let known: std::collections::HashSet<u64> = view.blocks().into_iter().collect();
-        let mut insns: HashMap<u64, Vec<Insn>> = HashMap::new();
+        // of the function's arena is never touched.
+        let known: std::collections::HashSet<u64> = view.blocks().iter().copied().collect();
+        let mut insns: HashMap<u64, &'a [Insn]> = HashMap::new();
         insns.insert(jump_block, jinsns);
         let mut frontier = vec![jump_block];
         for _ in 0..MAX_DEPTH {
             let mut next = Vec::new();
             for b in frontier {
-                for (p, _) in view.pred_edges(b) {
+                for &(p, _) in view.pred_edges(b) {
                     if known.contains(&p) && !insns.contains_key(&p) {
                         insns.insert(p, view.insns(p));
                         next.push(p);
@@ -423,9 +424,20 @@ impl SliceSpec {
     /// the spec should be executed over. Running over the full function
     /// graph is equally correct (facts outside the cone stay empty) but
     /// pays per-block fixpoint overhead for blocks that can never
-    /// contribute.
+    /// contribute. Member blocks are sorted for a deterministic dense
+    /// order regardless of the view's iteration order.
     pub fn cone_graph(&self, view: &dyn CfgView) -> FlowGraph {
-        FlowGraph::build(&ConeView { inner: view, members: &self.insns })
+        let mut blocks: Vec<u64> = self.insns.keys().copied().collect();
+        blocks.sort_unstable();
+        let mut edges = Vec::new();
+        for &b in &blocks {
+            for &(d, kind) in view.succ_edges(b) {
+                if self.insns.contains_key(&d) {
+                    edges.push((b, d, kind));
+                }
+            }
+        }
+        FlowGraph::from_parts(blocks, view.entry(), &edges)
     }
 
     /// Union the per-path facts found at every block boundary of a
@@ -433,11 +445,11 @@ impl SliceSpec {
     /// the whole boundary map is the answer. Blocks are visited in
     /// ascending address order for a deterministic fact list.
     pub fn collect_facts(&self, results: &DataflowResults<PathSet>) -> Vec<PathFact> {
-        let mut blocks: Vec<u64> = results.output.keys().copied().collect();
-        blocks.sort_unstable();
+        let mut order: Vec<usize> = (0..results.blocks().len()).collect();
+        order.sort_unstable_by_key(|&i| results.blocks()[i]);
         let mut facts = Vec::new();
-        for b in blocks {
-            for s in &results.output[&b].states {
+        for i in order {
+            for s in &results.output[i].states {
                 facts.push(s.fact());
             }
         }
@@ -451,7 +463,7 @@ impl SliceSpec {
     }
 }
 
-impl DataflowSpec for SliceSpec {
+impl DataflowSpec for SliceSpec<'_> {
     type Fact = PathSet;
 
     fn direction(&self) -> Direction {
@@ -475,8 +487,7 @@ impl DataflowSpec for SliceSpec {
     }
 
     fn transfer(&self, block: u64, input: &PathSet) -> PathSet {
-        let empty = Vec::new();
-        let insns = self.insns.get(&block).unwrap_or(&empty);
+        let insns: &[Insn] = self.insns.get(&block).copied().unwrap_or(&[]);
         let mut out = PathSet { states: BTreeSet::new() };
         for s in &input.states {
             let expr = walk_back(insns, 0, s.expr.clone());
@@ -506,8 +517,7 @@ impl DataflowSpec for SliceSpec {
     fn edge_transfer(&self, src: u64, dst: u64, kind: EdgeKind, fact: &PathSet) -> Option<PathSet> {
         let _ = dst;
         let mut out = PathSet { states: BTreeSet::new() };
-        let empty = Vec::new();
-        let src_insns = self.insns.get(&src).unwrap_or(&empty);
+        let src_insns: &[Insn] = self.insns.get(&src).copied().unwrap_or(&[]);
         for s in fact.states.iter().filter(|s| !s.is_terminal()) {
             // The bound closest to the jump wins; tracked registers are
             // those of the expression *before* it is walked through the
@@ -521,49 +531,6 @@ impl DataflowSpec for SliceSpec {
             });
         }
         Some(out)
-    }
-}
-
-/// A [`CfgView`] restricted to the jump's backward cone: only the
-/// member blocks and the edges among them are visible, so the
-/// [`FlowGraph`] (and hence the fixpoint) ranges over exactly the
-/// blocks the slice can touch.
-struct ConeView<'a> {
-    inner: &'a dyn CfgView,
-    members: &'a HashMap<u64, Vec<Insn>>,
-}
-
-impl CfgView for ConeView<'_> {
-    fn entry(&self) -> u64 {
-        self.inner.entry()
-    }
-
-    fn blocks(&self) -> Vec<u64> {
-        // Sorted for a deterministic dense order regardless of the
-        // inner view's iteration order.
-        let mut v: Vec<u64> = self.members.keys().copied().collect();
-        v.sort_unstable();
-        v
-    }
-
-    fn block_range(&self, block: u64) -> (u64, u64) {
-        self.inner.block_range(block)
-    }
-
-    fn succ_edges(&self, block: u64) -> Vec<(u64, EdgeKind)> {
-        let mut v = self.inner.succ_edges(block);
-        v.retain(|(d, _)| self.members.contains_key(d));
-        v
-    }
-
-    fn pred_edges(&self, block: u64) -> Vec<(u64, EdgeKind)> {
-        let mut v = self.inner.pred_edges(block);
-        v.retain(|(s, _)| self.members.contains_key(s));
-        v
-    }
-
-    fn insns(&self, block: u64) -> Vec<Insn> {
-        self.members.get(&block).cloned().unwrap_or_default()
     }
 }
 
@@ -667,14 +634,11 @@ mod tests {
         let disp_insns = decode_seq(&disp, 0x2000);
         let disp_end = 0x2000 + disp.len() as u64;
 
-        VecView {
-            entry_block: 0x1000,
-            block_data: vec![(0x1000, guard_end, guard_insns), (0x2000, disp_end, disp_insns)],
-            edges: vec![
-                (0x1000, 0x2000, EdgeKind::CondNotTaken),
-                (0x1000, 0x3000, EdgeKind::CondTaken),
-            ],
-        }
+        VecView::new(
+            0x1000,
+            vec![(0x1000, guard_end, guard_insns), (0x2000, disp_end, disp_insns)],
+            vec![(0x1000, 0x2000, EdgeKind::CondNotTaken), (0x1000, 0x3000, EdgeKind::CondTaken)],
+        )
     }
 
     #[test]
@@ -715,14 +679,11 @@ mod tests {
         let disp_insns = decode_seq(&disp, 0x2000);
         let disp_end = 0x2000 + disp.len() as u64;
 
-        let view = VecView {
-            entry_block: 0x1000,
-            block_data: vec![(0x1000, guard_end, guard_insns), (0x2000, disp_end, disp_insns)],
-            edges: vec![
-                (0x1000, 0x2000, EdgeKind::CondNotTaken),
-                (0x1000, 0x4000, EdgeKind::CondTaken),
-            ],
-        };
+        let view = VecView::new(
+            0x1000,
+            vec![(0x1000, guard_end, guard_insns), (0x2000, disp_end, disp_insns)],
+            vec![(0x1000, 0x2000, EdgeKind::CondNotTaken), (0x1000, 0x4000, EdgeKind::CondTaken)],
+        );
         let facts = analyze_indirect_jump(&view, 0x2000);
         let hit = facts
             .iter()
@@ -750,8 +711,7 @@ mod tests {
         encode::jmp_ind_reg(&mut code, Reg::RAX);
         let insns = decode_seq(&code, 0x1000);
         let end = 0x1000 + code.len() as u64;
-        let view =
-            VecView { entry_block: 0x1000, block_data: vec![(0x1000, end, insns)], edges: vec![] };
+        let view = VecView::new(0x1000, vec![(0x1000, end, insns)], vec![]);
         let facts = analyze_indirect_jump(&view, 0x1000);
         assert!(facts.iter().all(|f| f.form.is_none()));
     }
@@ -761,11 +721,7 @@ mod tests {
         let mut code = vec![];
         encode::ret(&mut code);
         let insns = decode_seq(&code, 0x1000);
-        let view = VecView {
-            entry_block: 0x1000,
-            block_data: vec![(0x1000, 0x1001, insns)],
-            edges: vec![],
-        };
+        let view = VecView::new(0x1000, vec![(0x1000, 0x1001, insns)], vec![]);
         assert!(analyze_indirect_jump(&view, 0x1000).is_empty());
     }
 
@@ -791,19 +747,16 @@ mod tests {
         let disp_insns = decode_seq(&disp, 0x2000);
         let disp_end = 0x2000 + disp.len() as u64;
 
-        let view = VecView {
-            entry_block: 0x1000,
-            block_data: vec![
+        let view = VecView::new(
+            0x1000,
+            vec![
                 (0x1000, 0x1001, entry_insns),
                 (0x4000, guard_end, guard_insns),
                 (0x2000, disp_end, disp_insns),
             ],
             // No path from the entry to the guard or the jump block.
-            edges: vec![
-                (0x4000, 0x2000, EdgeKind::CondNotTaken),
-                (0x4000, 0x5000, EdgeKind::CondTaken),
-            ],
-        };
+            vec![(0x4000, 0x2000, EdgeKind::CondNotTaken), (0x4000, 0x5000, EdgeKind::CondTaken)],
+        );
         let facts = analyze_indirect_jump(&view, 0x2000);
         let hit = facts
             .iter()
@@ -843,14 +796,11 @@ mod tests {
         let disp_insns = decode_seq(&disp, 0x2000);
         let disp_end = 0x2000 + disp.len() as u64;
 
-        let view = VecView {
-            entry_block: 0x1000,
-            block_data: vec![(0x1000, guard_end, guard_insns), (0x2000, disp_end, disp_insns)],
-            edges: vec![
-                (0x1000, 0x2000, EdgeKind::CondNotTaken),
-                (0x1000, 0x3000, EdgeKind::CondTaken),
-            ],
-        };
+        let view = VecView::new(
+            0x1000,
+            vec![(0x1000, guard_end, guard_insns), (0x2000, disp_end, disp_insns)],
+            vec![(0x1000, 0x2000, EdgeKind::CondNotTaken), (0x1000, 0x3000, EdgeKind::CondTaken)],
+        );
         let facts = analyze_indirect_jump(&view, 0x2000);
         let hit = facts
             .iter()
@@ -886,14 +836,11 @@ mod tests {
         let disp_insns = decode_seq(&disp, 0x2000);
         let disp_end = 0x2000 + disp.len() as u64;
 
-        let view = VecView {
-            entry_block: 0x1000,
-            block_data: vec![(0x1000, guard_end, guard_insns), (0x2000, disp_end, disp_insns)],
-            edges: vec![
-                (0x1000, 0x2000, EdgeKind::CondNotTaken),
-                (0x1000, 0x3000, EdgeKind::CondTaken),
-            ],
-        };
+        let view = VecView::new(
+            0x1000,
+            vec![(0x1000, guard_end, guard_insns), (0x2000, disp_end, disp_insns)],
+            vec![(0x1000, 0x2000, EdgeKind::CondNotTaken), (0x1000, 0x3000, EdgeKind::CondTaken)],
+        );
         let facts = analyze_indirect_jump(&view, 0x2000);
         assert!(facts.iter().any(|f| f.form.is_some()), "form still classifies");
         assert!(
@@ -971,7 +918,7 @@ mod tests {
                 edges.push((arm_b(i), 0x9000, EdgeKind::Direct));
             }
         }
-        let view = VecView { entry_block: 0x1000, block_data, edges };
+        let view = VecView::new(0x1000, block_data, edges);
 
         let outcome = slice_indirect_jump(&view, 0x9000).expect("indirect jump");
         assert!(outcome.widened, "the diamond fan-out must trip MAX_PATHS widening");
@@ -999,7 +946,7 @@ mod tests {
         let spec = SliceSpec::build(&view, 0x9000).expect("spec");
         let graph = spec.cone_graph(&view);
         let results = SerialExecutor.run(&spec, &graph);
-        for (b, fact) in &results.output {
+        for (b, fact) in results.iter_output() {
             assert!(
                 fact.states.len() <= MAX_PATHS + 2,
                 "block {b:#x} holds {} states",

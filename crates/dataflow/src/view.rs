@@ -1,35 +1,48 @@
 //! The CFG view the analyses run over.
 //!
-//! Two implementations exist: [`FuncView`] over a finalized
-//! [`pba_cfg::Cfg`] (used by the applications), and the parser's internal
-//! snapshot of a function mid-construction (used by the fixed-point
-//! jump-table analysis, where the CFG is still growing).
+//! Since the decode-once refactor this is a *borrowing* API: every
+//! method hands out references into storage the view already owns, so
+//! asking for a block's instructions, the block list, or an adjacency
+//! list costs neither a decode nor an allocation. Three implementations
+//! exist: [`crate::ir::FuncIr`] over a finalized [`pba_cfg::Cfg`] (the
+//! one the applications use — one decoded-instruction arena per
+//! function, built once), the parser's internal snapshot of a function
+//! mid-construction (used by the fixed-point jump-table analysis, where
+//! the CFG is still growing), and [`VecView`] for unit tests.
 
-use pba_cfg::{Cfg, EdgeKind, Function};
+use pba_cfg::EdgeKind;
 use pba_isa::Insn;
+use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// Read-only view of one function's intra-procedural CFG.
-pub trait CfgView {
+///
+/// `Sync` is a supertrait: views are the read-only artifact the paper's
+/// parallel analysis phase shares across threads.
+pub trait CfgView: Sync {
     /// Entry block start address.
     fn entry(&self) -> u64;
 
     /// Start addresses of all member blocks.
-    fn blocks(&self) -> Vec<u64>;
+    fn blocks(&self) -> &[u64];
 
     /// `[start, end)` of a block.
     fn block_range(&self, block: u64) -> (u64, u64);
 
     /// Intra-procedural successor edges `(target block, kind)`.
-    fn succ_edges(&self, block: u64) -> Vec<(u64, EdgeKind)>;
+    fn succ_edges(&self, block: u64) -> &[(u64, EdgeKind)];
 
     /// Intra-procedural predecessor edges `(source block, kind)`.
-    fn pred_edges(&self, block: u64) -> Vec<(u64, EdgeKind)>;
+    fn pred_edges(&self, block: u64) -> &[(u64, EdgeKind)];
 
-    /// Decoded instructions of a block, in address order.
-    fn insns(&self, block: u64) -> Vec<Insn>;
+    /// Decoded instructions of a block, in address order. Implementors
+    /// decode each block at most once for the view's lifetime.
+    fn insns(&self, block: u64) -> &[Insn];
 
     /// Whether the block's last instruction is a call with a
     /// fall-through (affects liveness at call boundaries).
+    /// [`crate::ir::FuncIr`] overrides this with a precomputed summary
+    /// bit; the default reads the (already decoded) terminator.
     fn ends_in_call(&self, block: u64) -> bool {
         self.insns(block)
             .last()
@@ -43,60 +56,21 @@ pub trait CfgView {
     }
 }
 
-/// A [`CfgView`] over one function of a finalized CFG.
-pub struct FuncView<'a> {
-    cfg: &'a Cfg,
-    func: &'a Function,
-    members: std::collections::HashSet<u64>,
-}
-
-impl<'a> FuncView<'a> {
-    /// View `func` within `cfg`.
-    pub fn new(cfg: &'a Cfg, func: &'a Function) -> FuncView<'a> {
-        FuncView { cfg, func, members: func.blocks.iter().copied().collect() }
-    }
-}
-
-impl CfgView for FuncView<'_> {
-    fn entry(&self) -> u64 {
-        self.func.entry
-    }
-
-    fn blocks(&self) -> Vec<u64> {
-        self.func.blocks.clone()
-    }
-
-    fn block_range(&self, block: u64) -> (u64, u64) {
-        let b = &self.cfg.blocks[&block];
-        (b.start, b.end)
-    }
-
-    fn succ_edges(&self, block: u64) -> Vec<(u64, EdgeKind)> {
-        self.cfg
-            .out_edges(block)
-            .iter()
-            .filter(|e| !e.kind.is_interprocedural() && self.members.contains(&e.dst))
-            .map(|e| (e.dst, e.kind))
-            .collect()
-    }
-
-    fn pred_edges(&self, block: u64) -> Vec<(u64, EdgeKind)> {
-        self.cfg
-            .in_edges(block)
-            .iter()
-            .filter(|e| !e.kind.is_interprocedural() && self.members.contains(&e.src))
-            .map(|e| (e.src, e.kind))
-            .collect()
-    }
-
-    fn insns(&self, block: u64) -> Vec<Insn> {
-        let (s, e) = self.block_range(block);
-        self.cfg.code.insns(s, e)
-    }
+/// Derived indexes a [`VecView`] serves slices from, built lazily on
+/// first use.
+#[derive(Debug, Default)]
+struct VecViewIndex {
+    blocks: Vec<u64>,
+    succs: HashMap<u64, Vec<(u64, EdgeKind)>>,
+    preds: HashMap<u64, Vec<(u64, EdgeKind)>>,
 }
 
 /// A self-contained in-memory view for unit tests: blocks, edges and
 /// pre-decoded instructions, no ELF required.
+///
+/// The public fields may be filled directly (or via [`VecView::new`]);
+/// mutate them only *before* the first analysis runs over the view —
+/// the borrowed accessors build their index once, on first use.
 #[derive(Default)]
 pub struct VecView {
     /// Entry block.
@@ -105,6 +79,33 @@ pub struct VecView {
     pub block_data: Vec<(u64, u64, Vec<Insn>)>,
     /// `(src, dst, kind)` intra-procedural edges.
     pub edges: Vec<(u64, u64, EdgeKind)>,
+    /// Lazily built index behind the borrowing accessors.
+    derived: OnceLock<VecViewIndex>,
+}
+
+impl VecView {
+    /// Build a view from its parts.
+    pub fn new(
+        entry_block: u64,
+        block_data: Vec<(u64, u64, Vec<Insn>)>,
+        edges: Vec<(u64, u64, EdgeKind)>,
+    ) -> VecView {
+        VecView { entry_block, block_data, edges, derived: OnceLock::new() }
+    }
+
+    fn index(&self) -> &VecViewIndex {
+        self.derived.get_or_init(|| {
+            let mut idx = VecViewIndex {
+                blocks: self.block_data.iter().map(|b| b.0).collect(),
+                ..Default::default()
+            };
+            for &(src, dst, kind) in &self.edges {
+                idx.succs.entry(src).or_default().push((dst, kind));
+                idx.preds.entry(dst).or_default().push((src, kind));
+            }
+            idx
+        })
+    }
 }
 
 impl CfgView for VecView {
@@ -112,8 +113,8 @@ impl CfgView for VecView {
         self.entry_block
     }
 
-    fn blocks(&self) -> Vec<u64> {
-        self.block_data.iter().map(|b| b.0).collect()
+    fn blocks(&self) -> &[u64] {
+        &self.index().blocks
     }
 
     fn block_range(&self, block: u64) -> (u64, u64) {
@@ -121,15 +122,15 @@ impl CfgView for VecView {
         (b.0, b.1)
     }
 
-    fn succ_edges(&self, block: u64) -> Vec<(u64, EdgeKind)> {
-        self.edges.iter().filter(|e| e.0 == block).map(|e| (e.1, e.2)).collect()
+    fn succ_edges(&self, block: u64) -> &[(u64, EdgeKind)] {
+        self.index().succs.get(&block).map(Vec::as_slice).unwrap_or(&[])
     }
 
-    fn pred_edges(&self, block: u64) -> Vec<(u64, EdgeKind)> {
-        self.edges.iter().filter(|e| e.1 == block).map(|e| (e.0, e.2)).collect()
+    fn pred_edges(&self, block: u64) -> &[(u64, EdgeKind)] {
+        self.index().preds.get(&block).map(Vec::as_slice).unwrap_or(&[])
     }
 
-    fn insns(&self, block: u64) -> Vec<Insn> {
-        self.block_data.iter().find(|b| b.0 == block).map(|b| b.2.clone()).unwrap_or_default()
+    fn insns(&self, block: u64) -> &[Insn] {
+        self.block_data.iter().find(|b| b.0 == block).map(|b| b.2.as_slice()).unwrap_or(&[])
     }
 }

@@ -2,18 +2,22 @@
 //!
 //! 1. `SerialExecutor` and `ParallelExecutor` (1/2/4/8 threads) reach
 //!    identical fixpoints for all three analyses — the engine's central
-//!    "interchangeable by construction" claim;
+//!    "interchangeable by construction" claim; both executors drive the
+//!    allocation-free `transfer_into` path, so this also pins that the
+//!    borrowed-view + in-place engine is byte-identical to the
+//!    reference fixpoints;
 //! 2. the engine reproduces the bespoke worklist loops byte-for-byte
 //!    (the original fixpoints are kept here as reference
 //!    implementations; the reaching-defs oracle carries the deliberate
 //!    gen-retraction fix — a later same-block redefinition now retracts
 //!    the earlier def's gen bits);
-//! 3. `run_all` agrees with per-function invocation.
+//! 3. `run_all` agrees with per-function invocation, and the
+//!    `BinaryIr`-backed `run_all_ir` agrees with both.
 
 use pba_dataflow::engine::ExecutorKind;
 use pba_dataflow::{
     liveness, liveness_with, reaching_defs, reaching_defs_with, stack_heights, stack_heights_with,
-    CfgView, Def, FuncView,
+    BinaryIr, CfgView, Def, FuncIr,
 };
 use pba_gen::{generate, GenConfig};
 use pba_isa::{ControlFlow, Reg, RegSet};
@@ -62,10 +66,10 @@ fn reference_liveness(view: &dyn CfgView) -> (HashMap<u64, RegSet>, HashMap<u64,
     let blocks = view.blocks();
     let mut gen = HashMap::new();
     let mut kill = HashMap::new();
-    for &b in &blocks {
+    for &b in blocks {
         let mut g = RegSet::EMPTY;
         let mut k = RegSet::EMPTY;
-        for i in &view.insns(b) {
+        for i in view.insns(b) {
             match i.control_flow() {
                 ControlFlow::Call { .. } | ControlFlow::IndirectCall => {
                     g = g.union(RegSet::from_iter(Reg::SYSV_ARGS).minus(k));
@@ -82,17 +86,17 @@ fn reference_liveness(view: &dyn CfgView) -> (HashMap<u64, RegSet>, HashMap<u64,
     }
     let mut live_in: HashMap<u64, RegSet> = HashMap::new();
     let mut live_out: HashMap<u64, RegSet> = HashMap::new();
-    for &b in &blocks {
+    for &b in blocks {
         let is_exit = view.succ_edges(b).is_empty();
         live_out.insert(b, if is_exit { exit_live() } else { RegSet::EMPTY });
         live_in.insert(b, RegSet::EMPTY);
     }
-    let mut work: Vec<u64> = blocks.clone();
+    let mut work: Vec<u64> = blocks.to_vec();
     while let Some(b) = work.pop() {
         let out = live_out[&b];
         let new_in = gen[&b].union(out.minus(kill[&b]));
         live_in.insert(b, new_in);
-        for (p, _) in view.pred_edges(b) {
+        for &(p, _) in view.pred_edges(b) {
             let merged = live_out[&p].union(new_in);
             if merged != live_out[&p] {
                 live_out.insert(p, merged);
@@ -119,11 +123,11 @@ fn reference_stack(
     while let Some(b) = work.pop() {
         let mut f = at_entry[&b];
         for i in view.insns(b) {
-            f = transfer(&i, f);
+            f = transfer(i, f);
         }
         if f != at_exit[&b] {
             at_exit.insert(b, f);
-            for (s, _) in view.succ_edges(b) {
+            for &(s, _) in view.succ_edges(b) {
                 let cur = at_entry[&s];
                 let joined = cur.join(f);
                 if joined != cur {
@@ -143,7 +147,7 @@ fn reference_reaching(view: &dyn CfgView) -> HashMap<u64, Vec<Def>> {
     // gen/kill as def-sets per block, fixpoint over HashSet facts.
     use std::collections::HashSet;
     let mut all_defs: Vec<Def> = Vec::new();
-    for &b in &blocks {
+    for &b in blocks {
         for i in view.insns(b) {
             for r in i.regs_written().iter() {
                 let d = Def { addr: i.addr, reg: r };
@@ -177,10 +181,10 @@ fn reference_reaching(view: &dyn CfgView) -> HashMap<u64, Vec<Def>> {
     };
     let mut reach_in: HashMap<u64, HashSet<Def>> =
         blocks.iter().map(|&b| (b, HashSet::new())).collect();
-    let mut work: Vec<u64> = blocks.clone();
+    let mut work: Vec<u64> = blocks.to_vec();
     while let Some(b) = work.pop() {
         let out = transfer(b, &reach_in[&b]);
-        for (s, _) in view.succ_edges(b) {
+        for &(s, _) in view.succ_edges(b) {
             let inn = reach_in.get_mut(&s).unwrap();
             let before = inn.len();
             inn.extend(out.iter().copied());
@@ -210,28 +214,36 @@ proptest! {
         prop_assert!(!cfg_graph.functions.is_empty());
 
         for f in cfg_graph.functions.values() {
-            let view = FuncView::new(&cfg_graph, f);
+            let view = FuncIr::build(&cfg_graph, f);
 
             // --- liveness ---
             let serial = liveness(&view);
             let (ref_in, ref_out) = reference_liveness(&view);
-            prop_assert_eq!(&serial.live_in, &ref_in, "engine liveness != legacy ({})", f.name);
-            prop_assert_eq!(&serial.live_out, &ref_out);
+            for &b in view.blocks() {
+                prop_assert_eq!(serial.live_in(b), ref_in[&b], "engine liveness != legacy ({})", f.name);
+                prop_assert_eq!(serial.live_out(b), ref_out[&b]);
+            }
             for t in THREADS {
                 let par = liveness_with(&view, ExecutorKind::Parallel(t));
-                prop_assert_eq!(&par.live_in, &serial.live_in, "liveness in, {} threads", t);
-                prop_assert_eq!(&par.live_out, &serial.live_out, "liveness out, {} threads", t);
+                for &b in view.blocks() {
+                    prop_assert_eq!(par.live_in(b), serial.live_in(b), "liveness in, {} threads", t);
+                    prop_assert_eq!(par.live_out(b), serial.live_out(b), "liveness out, {} threads", t);
+                }
             }
 
             // --- stack heights ---
             let serial = stack_heights(&view);
             let (ref_entry, ref_exit) = reference_stack(&view);
-            prop_assert_eq!(&serial.at_entry, &ref_entry, "engine stack != legacy ({})", f.name);
-            prop_assert_eq!(&serial.at_exit, &ref_exit);
+            for &b in view.blocks() {
+                prop_assert_eq!(serial.entry_frame(b), Some(ref_entry[&b]), "engine stack != legacy ({})", f.name);
+                prop_assert_eq!(serial.exit_frame(b), Some(ref_exit[&b]));
+            }
             for t in THREADS {
                 let par = stack_heights_with(&view, ExecutorKind::Parallel(t));
-                prop_assert_eq!(&par.at_entry, &serial.at_entry, "stack entry, {} threads", t);
-                prop_assert_eq!(&par.at_exit, &serial.at_exit, "stack exit, {} threads", t);
+                for &b in view.blocks() {
+                    prop_assert_eq!(par.entry_frame(b), serial.entry_frame(b), "stack entry, {} threads", t);
+                    prop_assert_eq!(par.exit_frame(b), serial.exit_frame(b), "stack exit, {} threads", t);
+                }
             }
 
             // --- reaching definitions ---
@@ -261,20 +273,29 @@ proptest! {
     }
 
     #[test]
-    fn run_all_matches_per_function_results(cfg in arb_config()) {
+    fn run_all_and_run_all_ir_match_per_function_results(cfg in arb_config()) {
         let cfg_graph = parsed_cfg(&cfg);
+        let ir = BinaryIr::build(&cfg_graph, 2);
         for threads in [1usize, 4] {
             let all = pba_dataflow::run_all(&cfg_graph, threads);
+            let all_ir = pba_dataflow::run_all_ir(&ir, threads, ExecutorKind::Serial);
             prop_assert_eq!(all.len(), cfg_graph.functions.len());
+            prop_assert_eq!(all_ir.len(), cfg_graph.functions.len());
             for f in cfg_graph.functions.values() {
-                let view = FuncView::new(&cfg_graph, f);
+                let view = FuncIr::build(&cfg_graph, f);
                 let a = &all[&f.entry];
+                let b = &all_ir[&f.entry];
                 let lone = liveness(&view);
-                prop_assert_eq!(&a.liveness.live_in, &lone.live_in);
                 let stack = stack_heights(&view);
-                prop_assert_eq!(&a.stack.at_entry, &stack.at_entry);
                 let rd = reaching_defs(&view);
+                for &blk in view.blocks() {
+                    prop_assert_eq!(a.liveness.live_in(blk), lone.live_in(blk));
+                    prop_assert_eq!(b.liveness.live_in(blk), lone.live_in(blk));
+                    prop_assert_eq!(a.stack.entry_frame(blk), stack.entry_frame(blk));
+                    prop_assert_eq!(b.stack.entry_frame(blk), stack.entry_frame(blk));
+                }
                 prop_assert_eq!(&a.reaching.defs, &rd.defs);
+                prop_assert_eq!(&b.reaching.defs, &rd.defs);
             }
         }
     }

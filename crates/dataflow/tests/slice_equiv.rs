@@ -7,7 +7,7 @@
 //! `SliceSpec` under the `ParallelExecutor`.
 
 use pba_dataflow::view::VecView;
-use pba_dataflow::{collect_indirect_jumps, slice_indirect_jump_with, ExecutorKind, FuncView};
+use pba_dataflow::{collect_indirect_jumps, slice_indirect_jump_with, ExecutorKind, FuncIr};
 use pba_gen::{generate, Profile};
 use pba_isa::x86::encode;
 use pba_isa::{insn::AluKind, insn::Cond, Insn, MemRef, Reg};
@@ -32,7 +32,7 @@ fn serial_and_parallel_slices_agree_on_gen_corpus() {
         assert!(!jumps.is_empty(), "{profile:?} corpus must contain indirect jumps");
         for &(func, block) in &jumps {
             let f = &cfg.functions[&func];
-            let view = FuncView::new(&cfg, f);
+            let view = FuncIr::build(&cfg, f);
             let serial = slice_indirect_jump_with(&view, block, ExecutorKind::Serial)
                 .expect("indirect jump");
             for threads in [2usize, 4] {
@@ -122,7 +122,7 @@ fn serial_and_parallel_agree_under_widening() {
             edges.push((arm_b(i), 0x9000, pba_cfg::EdgeKind::Direct));
         }
     }
-    let view = VecView { entry_block: 0x1000, block_data, edges };
+    let view = VecView::new(0x1000, block_data, edges);
 
     let serial =
         slice_indirect_jump_with(&view, 0x9000, ExecutorKind::Serial).expect("indirect jump");

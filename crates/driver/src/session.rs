@@ -5,7 +5,7 @@ use crate::error::Error;
 use pba_binfeat::BinaryFeatures;
 use pba_cfg::Cfg;
 use pba_concurrent::{Counter, Memo};
-use pba_dataflow::{ExecutorKind, FuncAnalyses};
+use pba_dataflow::{BinaryIr, ExecutorKind, FuncAnalyses};
 use pba_dwarf::decode::DebugSlices;
 use pba_dwarf::DebugInfo;
 use pba_elf::Elf;
@@ -91,6 +91,9 @@ pub struct SessionStats {
     pub dwarf_decodes: u64,
     /// CFG constructions (the expensive one the paper parallelizes).
     pub cfg_parses: u64,
+    /// Whole-binary analysis-IR builds (each decodes every unique block
+    /// exactly once; everything downstream borrows).
+    pub ir_builds: u64,
     /// Whole-binary `run_all` dataflow sweeps.
     pub dataflow_runs: u64,
     /// hpcstruct structure builds.
@@ -120,6 +123,7 @@ pub struct Session {
     elf: Memo<Result<Elf, Error>>,
     debug: Memo<Result<DebugInfo, Error>>,
     parse: Memo<Result<ParseResult, Error>>,
+    ir: Memo<Result<BinaryIr, Error>>,
     dataflow: Memo<Result<HashMap<u64, FuncAnalyses>, Error>>,
     structure: Memo<Result<HsOutput, Error>>,
     features: Memo<Result<BinaryFeatures, Error>>,
@@ -137,6 +141,7 @@ impl Session {
             elf: Memo::new(),
             debug: Memo::new(),
             parse: Memo::new(),
+            ir: Memo::new(),
             dataflow: Memo::new(),
             structure: Memo::new(),
             features: Memo::new(),
@@ -154,6 +159,7 @@ impl Session {
             elf: Memo::ready(Ok(elf)),
             debug: Memo::new(),
             parse: Memo::new(),
+            ir: Memo::new(),
             dataflow: Memo::new(),
             structure: Memo::new(),
             features: Memo::new(),
@@ -227,14 +233,32 @@ impl Session {
         self.parse_result().map(|r| r.stats.snapshot())
     }
 
+    /// The decode-once analysis IR: one [`pba_dataflow::FuncIr`] per
+    /// function (instruction arena, adjacency, memoized RPO ranks,
+    /// block summaries), built in parallel with every unique block
+    /// decoded exactly once. Every downstream analysis artifact —
+    /// `dataflow()`, `structure()`, `features()`, the loop forests —
+    /// borrows this IR, so "decode once per binary" is a structural
+    /// invariant of the session (`pba-bench --bin ir` measures it).
+    pub fn ir(&self) -> Result<&BinaryIr, Error> {
+        self.ir
+            .get_or_compute(|| {
+                let cfg = self.cfg()?;
+                Ok(BinaryIr::build(cfg, self.config.threads))
+            })
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
     /// The three standard dataflow analyses (liveness, reaching defs,
     /// stack height) for every function, keyed by entry — the engine's
-    /// `run_all` facts, fanned across the session's pool once.
+    /// `run_all` facts over the shared IR, fanned across the session's
+    /// pool once.
     pub fn dataflow(&self) -> Result<&HashMap<u64, FuncAnalyses>, Error> {
         self.dataflow
             .get_or_compute(|| {
-                let cfg = self.cfg()?;
-                Ok(pba_dataflow::run_all_with(cfg, self.config.threads, self.config.executor))
+                let ir = self.ir()?;
+                Ok(pba_dataflow::run_all_ir(ir, self.config.threads, self.config.executor))
             })
             .as_ref()
             .map_err(Clone::clone)
@@ -243,12 +267,10 @@ impl Session {
     /// The natural-loop forest of one function, memoized per entry:
     /// concurrent callers of the same entry block on the winner's
     /// computation (TBB-style accessor locking) and share one `Arc`.
+    /// Computed over the shared [`Session::ir`] — no decoding.
     pub fn loop_forest(&self, entry: u64) -> Result<Arc<LoopForest>, Error> {
-        let cfg = self.cfg()?;
-        let func = cfg
-            .functions
-            .get(&entry)
-            .ok_or_else(|| Error::FunctionNotFound(format!("{entry:#x}")))?;
+        let ir = self.ir()?;
+        let fir = ir.func(entry).ok_or_else(|| Error::FunctionNotFound(format!("{entry:#x}")))?;
         // Insert an empty slot (cheap, under the shard lock), then
         // compute under the *entry* lock: the insert winner fills the
         // slot while racers block on the accessor and find it filled.
@@ -256,11 +278,24 @@ impl Session {
         if let Some(forest) = slot.as_ref() {
             return Ok(Arc::clone(forest));
         }
-        let view = pba_dataflow::FuncView::new(cfg, func);
-        let forest = Arc::new(loop_forest(&view));
+        let forest = Arc::new(loop_forest(fir));
         *slot = Some(Arc::clone(&forest));
         self.loop_computes.inc();
         Ok(forest)
+    }
+
+    /// Every function's loop forest at once, fanned across the
+    /// session's pool over the shared IR, pre-filling the per-entry
+    /// cache — later `loop_forest(entry)` calls (from any consumer) hit
+    /// it. Entries already computed are reused, not recomputed.
+    pub fn loop_forests(&self) -> Result<HashMap<u64, Arc<LoopForest>>, Error> {
+        let ir = self.ir()?;
+        let entries: Vec<u64> = ir.funcs().map(|f| f.entry()).collect();
+        let pool = self.pool();
+        use rayon::prelude::*;
+        let forests: Vec<(u64, Result<Arc<LoopForest>, Error>)> =
+            pool.install(|| entries.par_iter().map(|&e| (e, self.loop_forest(e))).collect());
+        forests.into_iter().map(|(e, f)| f.map(|f| (e, f))).collect()
     }
 
     /// The recovered program structure (the hpcstruct case study),
@@ -278,11 +313,15 @@ impl Session {
                 let dwarf = t.elapsed().as_secs_f64();
                 let t = Instant::now();
                 let cfg = self.cfg()?;
+                let ir = self.ir()?;
+                // The IR is part of the CFG-plane artifact cost: phase 4
+                // reports parse + decode-once build (≈0 when memoized).
                 let cfg_secs = t.elapsed().as_secs_f64();
                 let hs = HsConfig { threads: self.config.threads, name: self.config.name.clone() };
                 Ok(analyze_artifacts(
                     di,
                     cfg,
+                    ir,
                     &hs,
                     self.config.executor,
                     ArtifactTimes { read, dwarf, cfg: cfg_secs },
@@ -300,9 +339,11 @@ impl Session {
             .get_or_compute(|| {
                 let t = Instant::now();
                 let cfg = self.cfg()?;
+                let ir = self.ir()?;
                 let t_cfg = t.elapsed().as_secs_f64();
                 let mut bf = pba_binfeat::extract_cfg_features(
                     cfg,
+                    ir,
                     self.config.threads,
                     self.config.executor,
                 );
@@ -332,6 +373,7 @@ impl Session {
             elf_parses: self.elf.computes(),
             dwarf_decodes: self.debug.computes(),
             cfg_parses: self.parse.computes(),
+            ir_builds: self.ir.computes(),
             dataflow_runs: self.dataflow.computes(),
             structure_builds: self.structure.computes(),
             feature_builds: self.features.computes(),

@@ -17,9 +17,11 @@ fn legacy_analyze(bytes: &[u8], threads: usize, name: &str) -> HsOutput {
     let di = pba_dwarf::decode_parallel(pba_dwarf::decode::DebugSlices::from_elf(&elf)).unwrap();
     let input = ParseInput::from_elf(&elf).unwrap();
     let parsed = parse_parallel(&input, threads);
+    let ir = pba_dataflow::BinaryIr::build(&parsed.cfg, threads);
     analyze_artifacts(
         &di,
         &parsed.cfg,
+        &ir,
         &HsConfig { threads, name: name.into() },
         ExecutorKind::Serial,
         ArtifactTimes::default(),
@@ -31,7 +33,8 @@ fn legacy_extract(bytes: &[u8], threads: usize) -> pba_binfeat::BinaryFeatures {
     let elf = pba_elf::Elf::parse(bytes.to_vec()).unwrap();
     let input = ParseInput::from_elf(&elf).unwrap();
     let parsed = parse_parallel(&input, threads);
-    pba_binfeat::extract_cfg_features(&parsed.cfg, threads, ExecutorKind::Serial)
+    let ir = pba_dataflow::BinaryIr::build(&parsed.cfg, threads);
+    pba_binfeat::extract_cfg_features(&parsed.cfg, &ir, threads, ExecutorKind::Serial)
 }
 
 #[test]

@@ -1,0 +1,80 @@
+//! The decode-once invariant at the session level: however many
+//! consumers hang off one session, every unique block's bytes are
+//! decoded exactly once (by the memoized `ir()` build), and the loop
+//! forests ride the same IR.
+
+use pba_driver::{Session, SessionConfig};
+use pba_gen::{generate, GenConfig};
+use std::sync::Arc;
+
+fn sample(debug_info: bool) -> Vec<u8> {
+    generate(&GenConfig { num_funcs: 24, seed: 0x1DEC, debug_info, ..Default::default() }).elf
+}
+
+#[test]
+fn eight_concurrent_consumers_decode_each_block_exactly_once() {
+    let session = Session::open(sample(true), SessionConfig::default().with_threads(2));
+    // Force the parse first so the parser's own decoding is excluded
+    // from the analysis-plane count.
+    let after_parse = session.cfg().expect("cfg").code.decode_count();
+
+    // Eight concurrent consumers spanning every IR-backed artifact.
+    std::thread::scope(|s| {
+        for i in 0..8 {
+            let session = &session;
+            s.spawn(move || match i % 4 {
+                0 => {
+                    session.structure().expect("structure");
+                }
+                1 => {
+                    session.features().expect("features");
+                }
+                2 => {
+                    session.dataflow().expect("dataflow");
+                }
+                _ => {
+                    session.loop_forests().expect("loop_forests");
+                }
+            });
+        }
+    });
+
+    let decoded = session.cfg().expect("cfg").code.decode_count() - after_parse;
+    let unique = session.ir().expect("ir").unique_block_insn_count() as u64;
+    assert!(unique > 0, "corpus must have instructions");
+    assert_eq!(decoded, unique, "all consumers together decode each unique block exactly once");
+    let stats = session.stats();
+    assert_eq!(stats.ir_builds, 1, "one memoized IR build serves everyone");
+    assert_eq!(stats.cfg_parses, 1);
+}
+
+#[test]
+fn loop_forests_prefills_the_per_entry_cache_and_reuses_it() {
+    let session = Session::open(sample(false), SessionConfig::default().with_threads(2));
+    let entries: Vec<u64> = session.cfg().expect("cfg").functions.keys().copied().collect();
+    assert!(!entries.is_empty());
+
+    // Warm one entry by hand; the whole-binary accessor must reuse it.
+    let first = session.loop_forest(entries[0]).expect("forest");
+    let all = session.loop_forests().expect("loop_forests");
+    assert_eq!(all.len(), entries.len(), "one forest per function");
+    assert!(Arc::ptr_eq(&first, &all[&entries[0]]), "pre-computed entry is shared, not recomputed");
+    assert_eq!(
+        session.stats().loop_forests,
+        entries.len() as u64,
+        "each forest computed exactly once across both accessors"
+    );
+
+    // Later per-entry calls hit the pre-filled cache.
+    let again = session.loop_forest(entries[entries.len() - 1]).expect("forest");
+    assert!(Arc::ptr_eq(&again, &all[&entries[entries.len() - 1]]));
+    assert_eq!(session.stats().loop_forests, entries.len() as u64);
+}
+
+#[test]
+fn ir_memoizes_failures_like_other_artifacts() {
+    let session = Session::open(b"not an elf".to_vec(), SessionConfig::default());
+    assert!(session.ir().is_err());
+    assert!(session.ir().is_err(), "failure memoized, not recomputed");
+    assert_eq!(session.stats().elf_parses, 1);
+}

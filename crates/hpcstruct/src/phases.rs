@@ -13,7 +13,7 @@
 
 use crate::structure::{FuncStruct, InlineScope, LoopStruct, StmtRange, StructFile};
 use pba_cfg::Cfg;
-use pba_dataflow::ExecutorKind;
+use pba_dataflow::{BinaryIr, CfgView, ExecutorKind};
 use pba_dwarf::{DebugInfo, InlinedSub};
 use pba_loops::loop_forest;
 use rayon::prelude::*;
@@ -149,11 +149,16 @@ fn convert_inline(files: &[String], inl: &InlinedSub) -> InlineScope {
 /// Run phases 3 and 5–7 over already-built artifacts: the line map, the
 /// skeleton, the parallel query phase (loops, statements, inline scopes,
 /// stack frames — per-function dataflow runs on `exec`), and
-/// serialization. `pre` carries the artifact phases' wall times so the
-/// returned [`PhaseTimes`] stays Figure 2-shaped.
+/// serialization. `ir` is the shared decode-once analysis IR
+/// (`Session::ir()`); every instruction this pipeline reads — loop
+/// discovery, the stack-frame fixpoint, the statement walk — is a
+/// borrow of its arenas, so the query phases decode nothing. `pre`
+/// carries the artifact phases' wall times so the returned
+/// [`PhaseTimes`] stays Figure 2-shaped.
 pub fn analyze_artifacts(
     di: &DebugInfo,
     cfg_graph: &Cfg,
+    ir: &BinaryIr,
     cfg: &HsConfig,
     exec: ExecutorKind,
     pre: ArtifactTimes,
@@ -193,8 +198,8 @@ pub fn analyze_artifacts(
     // per-function stack analysis across the pool once; the
     // per-function closures below then read its results.
     let t = Instant::now();
-    let frame_of = pba_dataflow::run_per_function(cfg_graph, cfg.threads, |view| {
-        pba_dataflow::stack_heights_and_extent(view, exec).1
+    let frame_of = pba_dataflow::run_per_function_ir(ir, cfg.threads, |fir| {
+        pba_dataflow::stack_heights_and_extent_on(fir, fir.graph(), exec).1
     });
     // Map entries to DWARF subprograms once.
     let subprogram_of: std::collections::HashMap<u64, (usize, usize)> = di
@@ -208,9 +213,8 @@ pub fn analyze_artifacts(
     pool.install(|| {
         skeleton.par_iter_mut().for_each(|fs| {
             // Loops (AC2).
-            if let Some(func) = cfg_graph.functions.get(&fs.entry) {
-                let view = pba_dataflow::FuncView::new(cfg_graph, func);
-                let forest = loop_forest(&view);
+            if let Some(fir) = ir.func(fs.entry) {
+                let forest = loop_forest(fir);
                 fs.loops = forest
                     .loops
                     .iter()
@@ -224,10 +228,24 @@ pub fn analyze_artifacts(
                 fs.frame_bytes = extent;
             }
             // Statement ranges (AC3): walk covered ranges, coalescing
-            // consecutive addresses with the same line.
+            // consecutive addresses with the same line. The blocks of a
+            // merged range tile it exactly (finalized blocks are
+            // disjoint), so chaining the IR's per-block slices is the
+            // same instruction sequence the old linear re-decode
+            // produced — minus the decode.
+            let fir = ir.func(fs.entry);
             for &(lo, hi) in &fs.ranges {
                 let mut cur: Option<StmtRange> = None;
-                for insn in cfg_graph.code.insns(lo, hi) {
+                let range_insns = fir.iter().flat_map(|f| {
+                    // The block list is sorted: binary-search the
+                    // covered sub-range instead of scanning every block
+                    // once per range.
+                    let blocks = f.blocks();
+                    let start = blocks.partition_point(|&b| b < lo);
+                    let end = blocks.partition_point(|&b| b < hi);
+                    blocks[start..end].iter().flat_map(|&b| f.insns(b))
+                });
+                for insn in range_insns {
                     let here = linemap.lookup(insn.addr);
                     match (&mut cur, here) {
                         (Some(c), Some((f, l))) if c.file == f && c.line == l => c.hi = insn.end(),
@@ -296,9 +314,11 @@ mod tests {
             pba_dwarf::decode_parallel(pba_dwarf::decode::DebugSlices::from_elf(&elf)).unwrap();
         let input = ParseInput::from_elf(&elf).unwrap();
         let parsed = parse_parallel(&input, threads);
+        let ir = BinaryIr::build(&parsed.cfg, threads);
         analyze_artifacts(
             &di,
             &parsed.cfg,
+            &ir,
             &HsConfig { threads, name: name.into() },
             ExecutorKind::Serial,
             ArtifactTimes::default(),
@@ -345,9 +365,11 @@ mod tests {
             pba_dwarf::decode_parallel(pba_dwarf::decode::DebugSlices::from_elf(&elf)).unwrap();
         let input = ParseInput::from_elf(&elf).unwrap();
         let parsed = parse_parallel(&input, 1);
+        let ir = BinaryIr::build(&parsed.cfg, 1);
         let out = analyze_artifacts(
             &di,
             &parsed.cfg,
+            &ir,
             &HsConfig { threads: 1, name: "t".into() },
             ExecutorKind::Serial,
             ArtifactTimes { read: 1.0, dwarf: 2.0, cfg: 4.0 },
@@ -376,9 +398,12 @@ mod tests {
             pba_dwarf::decode_parallel(pba_dwarf::decode::DebugSlices::from_elf(&elf)).unwrap();
         let input = ParseInput::from_elf(&elf).unwrap();
         let parsed = parse_parallel(&input, 2);
+        let ir = BinaryIr::build(&parsed.cfg, 2);
         let hs = HsConfig { threads: 2, name: "t".into() };
-        let a = analyze_artifacts(&di, &parsed.cfg, &hs, ExecutorKind::Serial, Default::default());
-        let b = analyze_artifacts(&di, &parsed.cfg, &hs, ExecutorKind::Auto, Default::default());
+        let a =
+            analyze_artifacts(&di, &parsed.cfg, &ir, &hs, ExecutorKind::Serial, Default::default());
+        let b =
+            analyze_artifacts(&di, &parsed.cfg, &ir, &hs, ExecutorKind::Auto, Default::default());
         assert_eq!(a.structure, b.structure);
         assert_eq!(a.text, b.text);
     }

@@ -45,8 +45,8 @@ impl DomTree {
 fn reverse_postorder(view: &dyn CfgView) -> Vec<u64> {
     let blocks = view.blocks();
     let entry = view.entry();
-    let succs = |b: u64| -> Vec<u64> { view.succ_edges(b).into_iter().map(|(s, _)| s).collect() };
-    let mut full = pba_cfg::order::reverse_postorder(&blocks, &[entry], &succs);
+    let succs = |b: u64| -> Vec<u64> { view.succ_edges(b).iter().map(|&(s, _)| s).collect() };
+    let mut full = pba_cfg::order::reverse_postorder(blocks, &[entry], &succs);
     match full.iter().position(|&b| b == entry) {
         Some(at) => full.split_off(at),
         None => Vec::new(),
@@ -82,7 +82,7 @@ pub fn dominators(view: &dyn CfgView) -> DomTree {
         changed = false;
         for (i, &b) in rpo.iter().enumerate().skip(1) {
             let mut new_idom: Option<usize> = None;
-            for (p, _) in view.pred_edges(b) {
+            for &(p, _) in view.pred_edges(b) {
                 let Some(&pi) = index.get(&p) else { continue };
                 if idom[pi].is_none() {
                     continue;
@@ -114,11 +114,11 @@ mod tests {
     use pba_dataflow::view::VecView;
 
     fn view(entry: u64, blocks: &[u64], edges: &[(u64, u64)]) -> VecView {
-        VecView {
-            entry_block: entry,
-            block_data: blocks.iter().map(|&b| (b, b + 1, vec![])).collect(),
-            edges: edges.iter().map(|&(a, b)| (a, b, EdgeKind::Direct)).collect(),
-        }
+        VecView::new(
+            entry,
+            blocks.iter().map(|&b| (b, b + 1, vec![])).collect(),
+            edges.iter().map(|&(a, b)| (a, b, EdgeKind::Direct)).collect(),
+        )
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub fn forest_with_doms(view: &dyn CfgView, dom: &DomTree) -> LoopForest {
     // 1. Back edges.
     let mut back_edges: Vec<(u64, u64)> = Vec::new(); // (tail, header)
     for &b in &dom.rpo {
-        for (s, _) in view.succ_edges(b) {
+        for &(s, _) in view.succ_edges(b) {
             if dom.dominates(s, b) {
                 back_edges.push((b, s));
             }
@@ -91,7 +91,7 @@ pub fn forest_with_doms(view: &dyn CfgView, dom: &DomTree) -> LoopForest {
             if n == header {
                 continue;
             }
-            for (p, _) in view.pred_edges(n) {
+            for &(p, _) in view.pred_edges(n) {
                 if !body.contains(&p) {
                     work.push(p);
                 }
@@ -155,11 +155,11 @@ mod tests {
     use pba_dataflow::view::VecView;
 
     fn view(entry: u64, blocks: &[u64], edges: &[(u64, u64)]) -> VecView {
-        VecView {
-            entry_block: entry,
-            block_data: blocks.iter().map(|&b| (b, b + 1, vec![])).collect(),
-            edges: edges.iter().map(|&(a, b)| (a, b, EdgeKind::Direct)).collect(),
-        }
+        VecView::new(
+            entry,
+            blocks.iter().map(|&b| (b, b + 1, vec![])).collect(),
+            edges.iter().map(|&(a, b)| (a, b, EdgeKind::Direct)).collect(),
+        )
     }
 
     #[test]

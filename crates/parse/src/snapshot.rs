@@ -6,17 +6,30 @@
 //! over non-inter-procedural edges — which is monotonically growing, so
 //! a stale snapshot can only under-approximate (and the fixed-point
 //! rounds recover whatever was missed; Section 5.3).
+//!
+//! The borrowing [`CfgView`] contract ("each block decoded at most
+//! once per view") is met lazily: a block's instructions are decoded on
+//! the first `insns` call and cached in a per-block `OnceLock`, so the
+//! jump-table slice still only ever decodes its backward cone, once.
 
 use crate::state::State;
 use pba_cfg::EdgeKind;
 use pba_dataflow::CfgView;
 use pba_isa::Insn;
 use std::collections::{HashMap, HashSet};
+use std::sync::OnceLock;
+
+/// One captured block: byte range end plus the lazily decoded body.
+struct SnapBlock {
+    end: u64,
+    insns: OnceLock<Vec<Insn>>,
+}
 
 /// Snapshot of one function's known subgraph.
 pub struct SnapshotView {
     entry: u64,
-    ranges: HashMap<u64, u64>,
+    blocks: Vec<u64>,
+    data: HashMap<u64, SnapBlock>,
     succs: HashMap<u64, Vec<(u64, EdgeKind)>>,
     preds: HashMap<u64, Vec<(u64, EdgeKind)>>,
     code: std::sync::Arc<pba_cfg::CodeRegion>,
@@ -28,7 +41,7 @@ impl SnapshotView {
     /// the entry is still being parsed), the block is added in isolation
     /// so jump-table analysis can at least classify the dispatch form.
     pub fn build(state: &State<'_>, entry: u64, ensure_block: Option<u64>) -> SnapshotView {
-        let mut ranges = HashMap::new();
+        let mut data: HashMap<u64, SnapBlock> = HashMap::new();
         let mut succs: HashMap<u64, Vec<(u64, EdgeKind)>> = HashMap::new();
         let mut preds: HashMap<u64, Vec<(u64, EdgeKind)>> = HashMap::new();
         let mut seen: HashSet<u64> = HashSet::new();
@@ -43,7 +56,7 @@ impl SnapshotView {
             if end == 0 {
                 continue; // still being parsed
             }
-            ranges.insert(b, end);
+            data.insert(b, SnapBlock { end, insns: OnceLock::new() });
             if let Some(edges) = state.edges.find(&end) {
                 for &(dst, kind) in edges.iter() {
                     if kind.is_interprocedural() {
@@ -56,32 +69,34 @@ impl SnapshotView {
             }
         }
         if let Some(b) = ensure_block {
-            if let std::collections::hash_map::Entry::Vacant(e) = ranges.entry(b) {
+            if let std::collections::hash_map::Entry::Vacant(e) = data.entry(b) {
                 if let Some(rec) = state.blocks.find(&b) {
                     if rec.end != 0 {
-                        e.insert(rec.end);
+                        e.insert(SnapBlock { end: rec.end, insns: OnceLock::new() });
                     }
                 }
             }
         }
         // Drop edges whose target was never materialized as a block.
         for v in succs.values_mut() {
-            v.retain(|(d, _)| ranges.contains_key(d));
+            v.retain(|(d, _)| data.contains_key(d));
         }
         for (_, v) in preds.iter_mut() {
-            v.retain(|(s, _)| ranges.contains_key(s));
+            v.retain(|(s, _)| data.contains_key(s));
         }
-        SnapshotView { entry, ranges, succs, preds, code: state.input.code.clone() }
+        let mut blocks: Vec<u64> = data.keys().copied().collect();
+        blocks.sort_unstable();
+        SnapshotView { entry, blocks, data, succs, preds, code: state.input.code.clone() }
     }
 
     /// Number of blocks captured.
     pub fn len(&self) -> usize {
-        self.ranges.len()
+        self.blocks.len()
     }
 
     /// True when the entry block has not been materialized yet.
     pub fn is_empty(&self) -> bool {
-        self.ranges.is_empty()
+        self.blocks.is_empty()
     }
 }
 
@@ -90,24 +105,26 @@ impl CfgView for SnapshotView {
         self.entry
     }
 
-    fn blocks(&self) -> Vec<u64> {
-        self.ranges.keys().copied().collect()
+    fn blocks(&self) -> &[u64] {
+        &self.blocks
     }
 
     fn block_range(&self, block: u64) -> (u64, u64) {
-        (block, self.ranges.get(&block).copied().unwrap_or(block))
+        (block, self.data.get(&block).map(|b| b.end).unwrap_or(block))
     }
 
-    fn succ_edges(&self, block: u64) -> Vec<(u64, EdgeKind)> {
-        self.succs.get(&block).cloned().unwrap_or_default()
+    fn succ_edges(&self, block: u64) -> &[(u64, EdgeKind)] {
+        self.succs.get(&block).map(Vec::as_slice).unwrap_or(&[])
     }
 
-    fn pred_edges(&self, block: u64) -> Vec<(u64, EdgeKind)> {
-        self.preds.get(&block).cloned().unwrap_or_default()
+    fn pred_edges(&self, block: u64) -> &[(u64, EdgeKind)] {
+        self.preds.get(&block).map(Vec::as_slice).unwrap_or(&[])
     }
 
-    fn insns(&self, block: u64) -> Vec<Insn> {
-        let (s, e) = self.block_range(block);
-        self.code.insns(s, e)
+    fn insns(&self, block: u64) -> &[Insn] {
+        match self.data.get(&block) {
+            Some(blk) => blk.insns.get_or_init(|| self.code.insns(block, blk.end)),
+            None => &[],
+        }
     }
 }

@@ -166,9 +166,11 @@ fn scan_existing<'i: 'scope, 'scope>(
     entry: u64,
 ) {
     let view = SnapshotView::build(state, entry, None);
-    for b in view.blocks() {
-        let (s, e) = view.block_range(b);
-        if let Some(term) = state.input.code.insns(s, e).last() {
+    for &b in view.blocks() {
+        let (_, e) = view.block_range(b);
+        // The snapshot's lazily-decoded slice: the terminator question
+        // costs one decode of the block at most, once per view.
+        if let Some(term) = view.insns(b).last() {
             if matches!(term.control_flow(), ControlFlow::Ret) {
                 let resumed = state.notify_returns(entry);
                 process_resumed(state, sched, resumed);
@@ -505,10 +507,10 @@ fn ret_sweep(state: &State<'_>) -> Vec<(u64, u64)> {
             let mut resumed = Vec::new();
             let view = SnapshotView::build(state, f, None);
             let mut found_ret = false;
-            for b in view.blocks() {
-                let (s, e) = view.block_range(b);
+            for &b in view.blocks() {
+                let (_, e) = view.block_range(b);
                 if !found_ret {
-                    if let Some(term) = state.input.code.insns(s, e).last() {
+                    if let Some(term) = view.insns(b).last() {
                         if matches!(term.control_flow(), ControlFlow::Ret) {
                             if let Some(mut acc) = state.funcs.find_mut(&f) {
                                 acc.has_ret = true;

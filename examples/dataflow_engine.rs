@@ -59,14 +59,14 @@ fn main() {
     println!("\ndensest function {} ({} blocks):", densest.name, densest.blocks.len());
     println!("  live-in registers at entry: {}", a.liveness.live_in_count(densest.entry));
     println!("  definition sites: {}", a.reaching.defs.len());
-    match a.stack.at_entry.get(&densest.entry).map(|f| f.sp) {
+    match a.stack.entry_frame(densest.entry).map(|f| f.sp) {
         Some(Height::Known(h)) => println!("  stack height at entry: {h} (by definition 0)"),
         other => println!("  stack height at entry: {other:?}"),
     }
     let deepest = densest
         .blocks
         .iter()
-        .filter_map(|b| match a.stack.at_entry.get(b).map(|f| f.sp) {
+        .filter_map(|&b| match a.stack.entry_frame(b).map(|f| f.sp) {
             Some(Height::Known(h)) => Some(h),
             _ => None,
         })

@@ -26,7 +26,13 @@
 //! let cfg = session.cfg().unwrap();
 //! assert!(!cfg.functions.is_empty());
 //!
-//! // Downstream artifacts reuse it: dataflow facts for every function...
+//! // Downstream artifacts reuse it — starting with the decode-once
+//! // analysis IR (one instruction arena + graph + RPO ranks per
+//! // function; every unique block decoded exactly once)...
+//! let ir = session.ir().unwrap();
+//! assert_eq!(ir.len(), cfg.functions.len());
+//!
+//! // ...which the dataflow facts for every function borrow...
 //! let facts = session.dataflow().unwrap();
 //! assert_eq!(facts.len(), cfg.functions.len());
 //!
@@ -41,19 +47,20 @@
 //! assert!(!structure.structure.functions.is_empty());
 //! assert!(!features.index.is_empty());
 //! assert_eq!(session.stats().cfg_parses, 1); // everything above: one CFG parse
+//! assert_eq!(session.stats().ir_builds, 1); // ...and one decode of each block
 //! ```
 //!
 //! ## Crate map
 //!
 //! | module | crate | contents |
 //! |---|---|---|
-//! | [`session`] | `pba-driver` | the [`Session`] handle: lazily-memoized artifact accessors, [`SessionConfig`], unified [`Error`] |
+//! | [`session`] | `pba-driver` | the [`Session`] handle: lazily-memoized artifact accessors (incl. the decode-once `ir()`), [`SessionConfig`], unified [`Error`] |
 //! | [`concurrent`] | `pba-concurrent` | accessor-style concurrent hash map (TBB analogue), striped sets, counters, the block-or-share [`concurrent::Memo`] cell |
 //! | [`elf`] | `pba-elf` | ELF64 reader/writer, mini-demangler, multi-keyed parallel symbol table |
 //! | [`isa`] | `pba-isa` | architecture-independent instructions; x86-64 + rv-lite codecs |
 //! | [`dwarf`] | `pba-dwarf` | DWARF-modeled debug info: encoder + parallel per-CU decoder |
 //! | [`cfg`] | `pba-cfg` | CFG model, the six-operation algebra, the partial order + traversal orders |
-//! | [`dataflow`] | `pba-dataflow` | generic dataflow engine (`DataflowSpec` + serial/rayon executors), liveness, reaching defs, stack height, slicing + jump-table evaluation |
+//! | [`dataflow`] | `pba-dataflow` | generic dataflow engine (`DataflowSpec` + serial/rayon executors, allocation-free fixpoints), the decode-once `FuncIr`/`BinaryIr` analysis IR, liveness, reaching defs, stack height, slicing + jump-table evaluation |
 //! | [`loops`] | `pba-loops` | dominators, natural loops, nesting forests |
 //! | [`parse`] | `pba-parse` | the serial & parallel CFG construction engine |
 //! | [`gen`] | `pba-gen` | synthetic workload generator with exact ground truth |
