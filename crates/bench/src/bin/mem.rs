@@ -1,0 +1,113 @@
+//! Memory-plane ablation: shared block storage vs the copied layout,
+//! and the resident cost of a memoized session.
+//!
+//! Before the memory-plane refactor every `FuncIr` owned a private
+//! `Vec<Insn>` copy of each of its blocks, so a block reached by two
+//! functions (shared error paths, `.cold` fragments — the generator's
+//! `pct_shared` knob) was decoded once but *stored* twice. The
+//! [`pba_dataflow::BinaryIr`] now keeps one `Arc<[Insn]>` arena per
+//! unique block; functions hold handles. This binary sweeps
+//! `pct_shared` over {0, 8%, 30%} and compares the bytes the shared
+//! layout pins ([`BinaryIr::shared_insn_bytes`]) against what the
+//! copied layout would have ([`BinaryIr::copied_insn_bytes`]),
+//! asserting the shared layout strictly wins once blocks actually
+//! overlap. Byte counts are machine-independent, so the assertions are
+//! safe on a 1-CPU CI container — no wall-time gates.
+//!
+//! A second section drives one session to `structure()` + `features()`
+//! and reports [`pba_driver::SessionStats::resident_bytes`] — the
+//! eviction signal a resident analysis server sorts by — asserting it
+//! is populated and at least covers the IR it memoized.
+//!
+//! ```text
+//! cargo run --release -p pba-bench --bin mem
+//! PBA_SCALE=0.1 PBA_THREADS=1,2 cargo run --release -p pba-bench --bin mem
+//! ```
+
+use pba_bench::report::{mib, Table};
+use pba_bench::workloads::scaled;
+use pba_dataflow::BinaryIr;
+use pba_driver::{Session, SessionConfig};
+use pba_gen::{generate, Profile};
+
+fn config(threads: usize) -> SessionConfig {
+    SessionConfig::default().with_threads(threads).with_name("Server")
+}
+
+fn main() {
+    let threads = std::env::var("PBA_THREADS")
+        .ok()
+        .and_then(|s| s.split(',').next_back().and_then(|x| x.trim().parse().ok()))
+        .unwrap_or(0); // 0 = all available
+
+    println!(
+        "\nMemory plane: shared block storage vs copied layout (Server-class binary, {} threads)\n",
+        if threads == 0 { "all".to_string() } else { threads.to_string() }
+    );
+
+    let mut t =
+        Table::new(&["pct_shared", "unique insns", "copied layout", "shared layout", "saved"]);
+    let mut savings_at = Vec::new();
+    for pct_shared in [0.0, 0.08, 0.30] {
+        let mut cfg = Profile::Server.config(0x3E3);
+        cfg.num_funcs = scaled(cfg.num_funcs);
+        cfg.pct_shared = pct_shared;
+        let g = generate(&cfg);
+
+        let s = Session::open(g.elf, config(threads));
+        let ir: &BinaryIr = s.ir().expect("ir");
+        let copied = ir.copied_insn_bytes();
+        let shared = ir.shared_insn_bytes();
+        assert!(
+            shared <= copied,
+            "shared storage can never pin more than the copied layout ({shared} vs {copied})"
+        );
+        savings_at.push((pct_shared, copied - shared));
+        t.row(vec![
+            format!("{:.0}%", pct_shared * 100.0),
+            ir.unique_block_insn_count().to_string(),
+            mib(copied),
+            mib(shared),
+            format!("{:.1}%", 100.0 * (copied - shared) as f64 / copied.max(1) as f64),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let &(pct, saved) = savings_at.last().expect("three sweep points");
+    assert!(
+        saved > 0,
+        "at pct_shared={pct}, shared-block storage must pin strictly fewer bytes than \
+         the copied layout"
+    );
+    println!("OK: shared storage saves {} at pct_shared={:.0}%\n", mib(saved), pct * 100.0);
+
+    // Resident cost of one memoized session, driven end to end.
+    let mut cfg = Profile::Server.config(0x3E3);
+    cfg.num_funcs = scaled(cfg.num_funcs);
+    cfg.pct_shared = 0.30;
+    let g = generate(&cfg);
+    let image_len = g.elf.len();
+    let s = Session::open(g.elf, config(threads));
+    s.structure().expect("structure");
+    s.features().expect("features");
+    let stats = s.stats();
+    let ir_bytes = s.ir().expect("ir").heap_bytes();
+
+    let mut r = Table::new(&["what", "bytes"]);
+    r.row(vec!["input image".into(), mib(image_len)]);
+    r.row(vec!["shared IR".into(), mib(ir_bytes)]);
+    r.row(vec!["session resident (all artifacts)".into(), mib(stats.resident_bytes as usize)]);
+    println!("Resident session after structure() + features():");
+    println!("{}", r.render());
+
+    assert!(stats.resident_bytes > 0, "a driven session must report a nonzero resident size");
+    assert!(
+        stats.resident_bytes as usize >= ir_bytes,
+        "resident accounting must at least cover the memoized IR ({} vs {ir_bytes})",
+        stats.resident_bytes
+    );
+    println!(
+        "OK: resident_bytes = {} covers the shared IR and every memoized artifact\n",
+        mib(stats.resident_bytes as usize)
+    );
+}

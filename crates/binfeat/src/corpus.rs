@@ -49,14 +49,17 @@ pub struct CorpusReport {
 /// Extract features from every binary with the supplied per-binary
 /// extractor, merging indexes and accumulating stage times. Stops at
 /// the first extraction error. `pba::binfeat::analyze_corpus` is this
-/// function with a session-backed extractor.
+/// function with a session-backed extractor. Binaries are anything
+/// byte-slice-shaped — owned `Vec<u8>`s (the historical signature) or
+/// borrowed/shared images — so a corpus never has to be copied into
+/// owned vectors just to be analyzed.
 pub fn analyze_corpus_with<E>(
-    binaries: &[Vec<u8>],
+    binaries: &[impl AsRef<[u8]>],
     mut extract: impl FnMut(&[u8]) -> Result<BinaryFeatures, E>,
 ) -> Result<CorpusReport, E> {
     let mut report = CorpusReport { binaries: binaries.len(), ..Default::default() };
     for bytes in binaries {
-        let r = extract(bytes)?;
+        let r = extract(bytes.as_ref())?;
         report.times.cfg += r.t_cfg;
         report.times.insn += r.t_if;
         report.times.control += r.t_cf;

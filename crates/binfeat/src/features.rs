@@ -3,7 +3,7 @@
 use pba_cfg::{Cfg, EdgeKind, Function};
 use pba_concurrent::fxhash::FxBuildHasher;
 use pba_dataflow::{liveness_on, BinaryIr, CfgView, ExecutorKind, FuncIr};
-use pba_loops::loop_forest;
+use pba_loops::loop_forest_on;
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash};
@@ -31,6 +31,15 @@ pub struct BinaryFeatures {
     pub t_df: f64,
 }
 
+impl BinaryFeatures {
+    /// Bytes of heap the memoized feature index pins (a hash-map
+    /// capacity estimate: one key/value pair plus control byte per
+    /// allocated slot).
+    pub fn heap_bytes(&self) -> usize {
+        self.index.capacity() * (std::mem::size_of::<(u64, u64)>() + 1)
+    }
+}
+
 fn h(parts: &impl Hash) -> u64 {
     FxBuildHasher::default().hash_one(parts)
 }
@@ -54,7 +63,7 @@ pub fn instruction_features(ir: &FuncIr, out: &mut Vec<u64>) {
 /// come from the shared IR, so the block terminator costs a slice
 /// lookup, not a block decode.
 pub fn control_flow_features(cfg: &Cfg, ir: &FuncIr, out: &mut Vec<u64>) {
-    let forest = loop_forest(ir);
+    let forest = loop_forest_on(ir, ir.graph());
     for &b in ir.blocks() {
         let out_deg = cfg.out_edges(b).len() as u32;
         let in_deg = cfg.in_edges(b).len() as u32;

@@ -1,0 +1,98 @@
+//! Dense block indexing: the address → dense-id map every analysis
+//! layer shares.
+//!
+//! A finalized CFG names blocks by start address, but every dense
+//! representation (fact vectors, adjacency lists, RPO ranks, dominator
+//! arrays) wants a compact `0..n` id per block. [`BlockIndex`] is that
+//! mapping, stored as a sorted `(addr, id)` array and queried by binary
+//! search — half the footprint of a hash map of the same size, no
+//! per-entry heap boxes, cache-friendly, and cheaply shareable behind an
+//! `Arc`. The id is the block's *position in the original list* (which
+//! need not be address-sorted), so `index.get(b)` indexes directly into
+//! any vector laid out in that list's order.
+
+/// Sorted-array map from block start address to dense index.
+///
+/// Built once per graph from the block list; ids are positions in that
+/// list, so dense vectors indexed by the result line up with it even
+/// when the list itself is not address-ordered.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BlockIndex {
+    /// `(addr, position-in-original-list)`, sorted by address.
+    sorted: Vec<(u64, u32)>,
+}
+
+impl BlockIndex {
+    /// Build the index over `blocks` (ids are positions in `blocks`).
+    pub fn new(blocks: &[u64]) -> BlockIndex {
+        let mut sorted: Vec<(u64, u32)> =
+            blocks.iter().enumerate().map(|(i, &b)| (b, i as u32)).collect();
+        sorted.sort_unstable();
+        BlockIndex { sorted }
+    }
+
+    /// Dense id of `addr`, if present.
+    #[inline]
+    pub fn get(&self, addr: u64) -> Option<usize> {
+        self.sorted.binary_search_by_key(&addr, |&(a, _)| a).ok().map(|i| self.sorted[i].1 as usize)
+    }
+
+    /// Is `addr` a known block start?
+    #[inline]
+    pub fn contains(&self, addr: u64) -> bool {
+        self.sorted.binary_search_by_key(&addr, |&(a, _)| a).is_ok()
+    }
+
+    /// Number of blocks indexed.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `(addr, dense id)` pairs in ascending address order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, usize)> + '_ {
+        self.sorted.iter().map(|&(a, i)| (a, i as usize))
+    }
+
+    /// Bytes of heap owned by the index (the resident-size estimate the
+    /// session sums).
+    pub fn heap_bytes(&self) -> usize {
+        self.sorted.capacity() * std::mem::size_of::<(u64, u32)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_to_original_positions() {
+        // Deliberately unsorted input: ids follow list positions.
+        let ix = BlockIndex::new(&[30, 10, 20]);
+        assert_eq!(ix.get(30), Some(0));
+        assert_eq!(ix.get(10), Some(1));
+        assert_eq!(ix.get(20), Some(2));
+        assert_eq!(ix.get(40), None);
+        assert!(ix.contains(10));
+        assert!(!ix.contains(11));
+        assert_eq!(ix.len(), 3);
+    }
+
+    #[test]
+    fn empty_index() {
+        let ix = BlockIndex::new(&[]);
+        assert!(ix.is_empty());
+        assert_eq!(ix.get(0), None);
+    }
+
+    #[test]
+    fn iter_is_address_sorted() {
+        let ix = BlockIndex::new(&[5, 1, 9]);
+        let pairs: Vec<(u64, usize)> = ix.iter().collect();
+        assert_eq!(pairs, vec![(1, 1), (5, 0), (9, 2)]);
+    }
+}

@@ -8,8 +8,9 @@
 //! (non-concurrent); `&Cfg` is `Sync` and that is all the parallel
 //! application pattern needs.
 
+use crate::index::BlockIndex;
 use pba_isa::{decoder_for, Arch, Insn};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Edge classification, following Dyninst's ParseAPI taxonomy.
@@ -207,10 +208,14 @@ pub struct Cfg {
     pub functions: BTreeMap<u64, Function>,
     /// The code the graph was parsed from.
     pub code: Arc<CodeRegion>,
-    /// Out-edge index (derived; built by [`Cfg::index`]).
-    succs: HashMap<u64, Vec<Edge>>,
-    /// In-edge index (derived).
-    preds: HashMap<u64, Vec<Edge>>,
+    /// Dense ids for every edge endpoint (derived; built by
+    /// [`Cfg::index`]). The adjacency below is indexed by it, replacing
+    /// the former addr-keyed hash maps.
+    edge_nodes: BlockIndex,
+    /// Out-edge adjacency, indexed by [`Cfg::edge_nodes`] id.
+    succs: Vec<Vec<Edge>>,
+    /// In-edge adjacency, indexed by [`Cfg::edge_nodes`] id.
+    preds: Vec<Vec<Edge>>,
 }
 
 impl Cfg {
@@ -221,35 +226,45 @@ impl Cfg {
         functions: BTreeMap<u64, Function>,
         code: Arc<CodeRegion>,
     ) -> Cfg {
-        let mut cfg =
-            Cfg { blocks, edges, functions, code, succs: HashMap::new(), preds: HashMap::new() };
+        let mut cfg = Cfg {
+            blocks,
+            edges,
+            functions,
+            code,
+            edge_nodes: BlockIndex::default(),
+            succs: Vec::new(),
+            preds: Vec::new(),
+        };
         cfg.index();
         cfg
     }
 
     fn index(&mut self) {
-        self.succs.clear();
-        self.preds.clear();
+        let mut nodes: Vec<u64> = self.edges.iter().flat_map(|e| [e.src, e.dst]).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        self.edge_nodes = BlockIndex::new(&nodes);
+        self.succs = vec![Vec::new(); nodes.len()];
+        self.preds = vec![Vec::new(); nodes.len()];
         for &e in &self.edges {
-            self.succs.entry(e.src).or_default().push(e);
-            self.preds.entry(e.dst).or_default().push(e);
+            self.succs[self.edge_nodes.get(e.src).expect("src indexed")].push(e);
+            self.preds[self.edge_nodes.get(e.dst).expect("dst indexed")].push(e);
         }
-        for v in self.succs.values_mut() {
-            v.sort_unstable();
-        }
-        for v in self.preds.values_mut() {
+        for v in self.succs.iter_mut().chain(self.preds.iter_mut()) {
             v.sort_unstable();
         }
     }
 
-    /// Outgoing edges of the block starting at `b`.
+    /// Outgoing edges of the block starting at `b` (address-keyed seam
+    /// over the dense adjacency).
     pub fn out_edges(&self, b: u64) -> &[Edge] {
-        self.succs.get(&b).map(Vec::as_slice).unwrap_or(&[])
+        self.edge_nodes.get(b).map(|i| self.succs[i].as_slice()).unwrap_or(&[])
     }
 
-    /// Incoming edges of the block starting at `b`.
+    /// Incoming edges of the block starting at `b` (address-keyed seam
+    /// over the dense adjacency).
     pub fn in_edges(&self, b: u64) -> &[Edge] {
-        self.preds.get(&b).map(Vec::as_slice).unwrap_or(&[])
+        self.edge_nodes.get(b).map(|i| self.preds[i].as_slice()).unwrap_or(&[])
     }
 
     /// Intra-procedural successors of `b` (the edges that define function
@@ -266,6 +281,33 @@ impl Cfg {
     /// Total instruction count (re-decodes; cheap enough for reporting).
     pub fn insn_count(&self) -> usize {
         self.blocks.values().map(|b| self.code.insns(b.start, b.end).len()).sum()
+    }
+
+    /// Estimated heap bytes held by this graph: blocks, edges, function
+    /// membership, the dense edge adjacency, and the retained code
+    /// bytes. An estimate (node-based containers are costed per entry),
+    /// used by the session's resident-size accounting.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let blocks = self.blocks.len() * (size_of::<u64>() + size_of::<Block>());
+        let edges = self.edges.len() * size_of::<Edge>();
+        let functions: usize = self
+            .functions
+            .values()
+            .map(|f| size_of::<Function>() + f.name.capacity() + f.blocks.capacity() * 8)
+            .sum();
+        let adjacency: usize = self
+            .succs
+            .iter()
+            .chain(self.preds.iter())
+            .map(|v| size_of::<Vec<Edge>>() + v.capacity() * size_of::<Edge>())
+            .sum();
+        blocks
+            + edges
+            + functions
+            + adjacency
+            + self.edge_nodes.heap_bytes()
+            + self.code.bytes.capacity()
     }
 
     /// Structural equality key: blocks, edges and function membership,

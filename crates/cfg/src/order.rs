@@ -134,13 +134,16 @@ pub fn reverse_postorder(
 
 /// Reverse-postorder *ranks* over a dense-index adjacency: `succs[i]`
 /// lists the successors of block `i` as `(index, payload)` pairs and
-/// `roots` seeds the traversal. Returns `rank[i]` = position of block
-/// `i` in the reverse postorder; blocks unreachable from the roots are
-/// ranked after the reachable region in ascending index order (the same
-/// total-order convention as [`postorder`]). No address maps, no
-/// per-block allocation — this is the form the dataflow engine's
-/// worklist priority consumes.
-pub fn rpo_ranks_dense<E>(succs: &[Vec<(usize, E)>], roots: &[usize]) -> Vec<u32> {
+/// `roots` seeds the traversal. Returns `(rank, reachable)` where
+/// `rank[i]` = position of block `i` in the reverse postorder and
+/// `reachable` is how many blocks the roots reach — ranks below it
+/// belong to the reachable region, blocks unreachable from the roots
+/// are ranked after it in ascending index order (the same total-order
+/// convention as [`postorder`]). No address maps, no per-block
+/// allocation — this is the form the dataflow engine's worklist
+/// priority consumes, and the reachable cut is what dominator
+/// construction keys its RPO walk on.
+pub fn rpo_ranks_dense<E>(succs: &[Vec<(usize, E)>], roots: &[usize]) -> (Vec<u32>, usize) {
     let n = succs.len();
     let mut seen = vec![false; n];
     let mut po: Vec<usize> = Vec::with_capacity(n);
@@ -177,7 +180,7 @@ pub fn rpo_ranks_dense<E>(succs: &[Vec<(usize, E)>], roots: &[usize]) -> Vec<u32
             next += 1;
         }
     }
-    rank
+    (rank, reachable)
 }
 
 #[cfg(test)]

@@ -38,7 +38,7 @@ use crate::reaching::{reaching_defs_on, ReachingDefs};
 use crate::stack::{stack_heights_on, StackResult};
 use crate::view::CfgView;
 use pba_cfg::order::rpo_ranks_dense;
-use pba_cfg::EdgeKind;
+use pba_cfg::{BlockIndex, EdgeKind};
 use rayon::prelude::*;
 use std::collections::{BTreeSet, BinaryHeap, HashMap};
 use std::sync::{Arc, OnceLock};
@@ -111,8 +111,9 @@ pub trait DataflowSpec {
 }
 
 /// What [`DataflowResults::into_dense`] yields: the shared block list
-/// and address index, then the dense input and output fact vectors.
-pub type DenseResults<F> = (Arc<Vec<u64>>, Arc<HashMap<u64, usize>>, Vec<F>, Vec<F>);
+/// and dense address index, then the dense input and output fact
+/// vectors.
+pub type DenseResults<F> = (Arc<Vec<u64>>, Arc<BlockIndex>, Vec<F>, Vec<F>);
 
 /// Fixpoint facts per block, in direction-relative terms: `input` is the
 /// fact flowing *into* the block (at block entry for forward problems,
@@ -126,7 +127,7 @@ pub type DenseResults<F> = (Arc<Vec<u64>>, Arc<HashMap<u64, usize>>, Vec<F>, Vec
 #[derive(Debug, Clone, Default)]
 pub struct DataflowResults<F> {
     blocks: Arc<Vec<u64>>,
-    index: Arc<HashMap<u64, usize>>,
+    index: Arc<BlockIndex>,
     /// Fact flowing into each block (dense, graph order).
     pub input: Vec<F>,
     /// Fact flowing out of each block (dense, graph order).
@@ -141,7 +142,7 @@ impl<F> DataflowResults<F> {
 
     /// Dense index of `block`, if it is in the graph.
     pub fn index_of(&self, block: u64) -> Option<usize> {
-        self.index.get(&block).copied()
+        self.index.get(block)
     }
 
     /// The input fact of `block` (address-keyed compatibility accessor).
@@ -180,6 +181,9 @@ struct DirInfo {
     /// Worklist priority: rank in the direction-appropriate reverse
     /// postorder, computed directly on dense indices.
     rank: Vec<u32>,
+    /// Blocks reachable from the direction's sources: ranks below this
+    /// cut form the source-anchored RPO (see [`FlowGraph::entry_rpo`]).
+    reachable: usize,
 }
 
 /// The CFG shape the executors iterate over, precomputed once per
@@ -193,7 +197,7 @@ pub struct FlowGraph {
     /// Block start addresses, in dense-index order (shared with the
     /// results packaged from this graph).
     pub blocks: Arc<Vec<u64>>,
-    index: Arc<HashMap<u64, usize>>,
+    index: Arc<BlockIndex>,
     succs: Vec<Vec<(usize, EdgeKind)>>,
     preds: Vec<Vec<(usize, EdgeKind)>>,
     entry: Option<usize>,
@@ -220,16 +224,16 @@ impl FlowGraph {
     /// what [`crate::ir::FuncIr`] and the slice's cone restriction use
     /// to build graphs without an intermediate view.
     pub fn from_parts(blocks: Vec<u64>, entry: u64, edges: &[(u64, u64, EdgeKind)]) -> FlowGraph {
-        let index: HashMap<u64, usize> = blocks.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+        let index = BlockIndex::new(&blocks);
         let mut succs = vec![Vec::new(); blocks.len()];
         let mut preds = vec![Vec::new(); blocks.len()];
         for &(src, dst, kind) in edges {
-            if let (Some(&i), Some(&j)) = (index.get(&src), index.get(&dst)) {
+            if let (Some(i), Some(j)) = (index.get(src), index.get(dst)) {
                 succs[i].push((j, kind));
                 preds[j].push((i, kind));
             }
         }
-        let entry = index.get(&entry).copied();
+        let entry = index.get(entry);
         FlowGraph {
             blocks: Arc::new(blocks),
             index: Arc::new(index),
@@ -243,7 +247,13 @@ impl FlowGraph {
 
     /// Dense index of `block`, if present.
     pub fn index_of(&self, block: u64) -> Option<usize> {
-        self.index.get(&block).copied()
+        self.index.get(block)
+    }
+
+    /// The shared address → dense-id index (the one map every dense
+    /// artifact built from this graph keys by).
+    pub fn index(&self) -> &Arc<BlockIndex> {
+        &self.index
     }
 
     /// Direction-sources: blocks whose input carries the boundary fact.
@@ -286,9 +296,55 @@ impl FlowGraph {
             for &s in &sources {
                 is_source[s] = true;
             }
-            let rank = rpo_ranks_dense(self.dir_succs(dir), &sources);
-            DirInfo { is_source, rank }
+            let (rank, reachable) = rpo_ranks_dense(self.dir_succs(dir), &sources);
+            DirInfo { is_source, rank, reachable }
         })
+    }
+
+    /// The entry-anchored reverse postorder: every block reachable from
+    /// the function entry, in forward RPO. Memoized with the forward
+    /// worklist ranks, so dominator construction
+    /// (`pba_loops::dominators_on`) shares the one traversal every
+    /// forward fixpoint over this graph already paid for.
+    pub fn entry_rpo(&self) -> Vec<u64> {
+        let info = self.dir_info(Direction::Forward);
+        let mut rpo = vec![0u64; info.reachable];
+        for (i, &b) in self.blocks.iter().enumerate() {
+            let r = info.rank[i] as usize;
+            if r < info.reachable {
+                rpo[r] = b;
+            }
+        }
+        rpo
+    }
+
+    /// Position of `block` in [`FlowGraph::entry_rpo`], or `None` when
+    /// the block is absent or unreachable from the entry.
+    pub fn entry_rank(&self, block: u64) -> Option<u32> {
+        let info = self.dir_info(Direction::Forward);
+        let i = self.index.get(block)?;
+        let r = info.rank[i];
+        ((r as usize) < info.reachable).then_some(r)
+    }
+
+    /// Estimated heap bytes of the graph: block list, index, adjacency,
+    /// and any memoized direction metadata.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let adjacency: usize = self
+            .succs
+            .iter()
+            .chain(self.preds.iter())
+            .map(|v| {
+                size_of::<Vec<(usize, EdgeKind)>>() + v.capacity() * size_of::<(usize, EdgeKind)>()
+            })
+            .sum();
+        let dir: usize = [&self.fwd, &self.bwd]
+            .iter()
+            .filter_map(|c| c.get())
+            .map(|d| d.is_source.capacity() + d.rank.capacity() * size_of::<u32>())
+            .sum();
+        self.blocks.capacity() * size_of::<u64>() + self.index.heap_bytes() + adjacency + dir
     }
 }
 
@@ -529,6 +585,15 @@ pub struct FuncAnalyses {
     pub reaching: ReachingDefs,
     /// Forward stack-height analysis.
     pub stack: StackResult,
+}
+
+impl FuncAnalyses {
+    /// Bytes of heap owned by the three fact sets. The block lists and
+    /// indices these results carry are `Arc`-shared with the function's
+    /// graph and counted once with the IR, not here.
+    pub fn heap_bytes(&self) -> usize {
+        self.liveness.heap_bytes() + self.reaching.heap_bytes() + self.stack.heap_bytes()
+    }
 }
 
 /// The three standard analyses of one function, off its IR — one

@@ -25,6 +25,7 @@ use pba_cfg::{Cfg, EdgeKind, Function};
 use pba_isa::{ControlFlow, Insn};
 use rayon::prelude::*;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Precomputed facts about one block, answered without touching the
 /// arena (let alone re-decoding).
@@ -56,10 +57,13 @@ pub struct FuncIr {
     entry: u64,
     /// `[start, end)` byte range per block, dense order.
     ranges: Vec<(u64, u64)>,
-    /// All blocks' instructions, concatenated in dense-block order.
-    arena: Vec<Insn>,
-    /// Arena `[lo, hi)` per block, dense order.
-    insn_ranges: Vec<(u32, u32)>,
+    /// Each block's decoded instructions, dense order. The handles are
+    /// shared: a block owned by several functions (shared code) stores
+    /// its instructions once in the binary, every owner holding the same
+    /// `Arc` — borrows served through [`CfgView::insns`] are unchanged.
+    block_insns: Vec<Arc<[Insn]>>,
+    /// Total instructions across all blocks (cached sum).
+    insn_total: usize,
     /// Intra-procedural successors per block, dense order.
     succs: Vec<Vec<(u64, EdgeKind)>>,
     /// Intra-procedural predecessors per block, dense order.
@@ -74,20 +78,21 @@ impl FuncIr {
     /// Build the IR of `func` within `cfg`, decoding each member block
     /// exactly once.
     pub fn build(cfg: &Cfg, func: &Function) -> FuncIr {
-        FuncIr::assemble(cfg, func, |start, end| cfg.code.insns(start, end))
+        FuncIr::assemble(cfg, func, |start, end| cfg.code.insns(start, end).into())
     }
 
     /// Build the IR from pre-decoded block bodies (`insns_of(start, end)`
-    /// returns the block's instructions — [`BinaryIr::build`] uses this
-    /// to decode shared blocks once for the whole binary).
-    fn assemble(cfg: &Cfg, func: &Function, insns_of: impl Fn(u64, u64) -> Vec<Insn>) -> FuncIr {
+    /// returns the block's instruction handle — [`BinaryIr::build`] uses
+    /// this to decode shared blocks once for the whole binary and hand
+    /// every owning function the same `Arc`).
+    fn assemble(cfg: &Cfg, func: &Function, insns_of: impl Fn(u64, u64) -> Arc<[Insn]>) -> FuncIr {
         let mut blocks = func.blocks.clone();
         blocks.sort_unstable();
         let members: std::collections::HashSet<u64> = blocks.iter().copied().collect();
 
         let mut ranges = Vec::with_capacity(blocks.len());
-        let mut arena = Vec::new();
-        let mut insn_ranges = Vec::with_capacity(blocks.len());
+        let mut block_insns: Vec<Arc<[Insn]>> = Vec::with_capacity(blocks.len());
+        let mut insn_total = 0usize;
         let mut summaries = Vec::with_capacity(blocks.len());
         let mut succs = Vec::with_capacity(blocks.len());
         let mut preds = Vec::with_capacity(blocks.len());
@@ -99,10 +104,9 @@ impl FuncIr {
             };
             ranges.push((start, end));
             let insns = insns_of(start, end);
-            let lo = arena.len() as u32;
             summaries.push(BlockSummary::of(&insns));
-            arena.extend(insns);
-            insn_ranges.push((lo, arena.len() as u32));
+            insn_total += insns.len();
+            block_insns.push(insns);
             let s: Vec<(u64, EdgeKind)> = cfg
                 .out_edges(b)
                 .iter()
@@ -120,7 +124,16 @@ impl FuncIr {
             );
         }
         let graph = FlowGraph::from_parts(blocks, func.entry, &edges);
-        FuncIr { entry: func.entry, ranges, arena, insn_ranges, succs, preds, summaries, graph }
+        FuncIr {
+            entry: func.entry,
+            ranges,
+            block_insns,
+            insn_total,
+            succs,
+            preds,
+            summaries,
+            graph,
+        }
     }
 
     /// Capture any [`CfgView`] as an owned IR (instructions copied from
@@ -130,8 +143,8 @@ impl FuncIr {
         let mut blocks: Vec<u64> = view.blocks().to_vec();
         blocks.sort_unstable();
         let mut ranges = Vec::with_capacity(blocks.len());
-        let mut arena = Vec::new();
-        let mut insn_ranges = Vec::with_capacity(blocks.len());
+        let mut block_insns: Vec<Arc<[Insn]>> = Vec::with_capacity(blocks.len());
+        let mut insn_total = 0usize;
         let mut summaries = Vec::with_capacity(blocks.len());
         let mut succs = Vec::with_capacity(blocks.len());
         let mut preds = Vec::with_capacity(blocks.len());
@@ -139,17 +152,25 @@ impl FuncIr {
         for &b in &blocks {
             ranges.push(view.block_range(b));
             let insns = view.insns(b);
-            let lo = arena.len() as u32;
             summaries.push(BlockSummary::of(insns));
-            arena.extend_from_slice(insns);
-            insn_ranges.push((lo, arena.len() as u32));
+            insn_total += insns.len();
+            block_insns.push(Arc::from(insns));
             let s = view.succ_edges(b).to_vec();
             edges.extend(s.iter().map(|&(d, k)| (b, d, k)));
             succs.push(s);
             preds.push(view.pred_edges(b).to_vec());
         }
         let graph = FlowGraph::from_parts(blocks, view.entry(), &edges);
-        FuncIr { entry: view.entry(), ranges, arena, insn_ranges, succs, preds, summaries, graph }
+        FuncIr {
+            entry: view.entry(),
+            ranges,
+            block_insns,
+            insn_total,
+            succs,
+            preds,
+            summaries,
+            graph,
+        }
     }
 
     /// Function entry block address.
@@ -174,9 +195,37 @@ impl FuncIr {
         self.graph.index_of(block).map(|i| &self.summaries[i])
     }
 
-    /// Total decoded instructions in the arena.
+    /// Total decoded instructions across the function's blocks.
     pub fn insn_count(&self) -> usize {
-        self.arena.len()
+        self.insn_total
+    }
+
+    /// The shared instruction handle of `block`, if it is a member
+    /// (what [`BinaryIr`]'s storage accounting and the sharing tests
+    /// inspect; analyses use the borrowing [`CfgView::insns`]).
+    pub fn block_insns(&self, block: u64) -> Option<&Arc<[Insn]>> {
+        self.graph.index_of(block).map(|i| &self.block_insns[i])
+    }
+
+    /// Estimated heap bytes of the function's structure — adjacency,
+    /// ranges, summaries, graph — *excluding* instruction storage, which
+    /// is shared and accounted once per unique block by
+    /// [`BinaryIr::heap_bytes`].
+    pub fn struct_heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let edges: usize = self
+            .succs
+            .iter()
+            .chain(self.preds.iter())
+            .map(|v| {
+                size_of::<Vec<(u64, EdgeKind)>>() + v.capacity() * size_of::<(u64, EdgeKind)>()
+            })
+            .sum();
+        self.ranges.capacity() * size_of::<(u64, u64)>()
+            + self.block_insns.capacity() * size_of::<Arc<[Insn]>>()
+            + self.summaries.capacity() * size_of::<BlockSummary>()
+            + edges
+            + self.graph.heap_bytes()
     }
 }
 
@@ -203,10 +252,7 @@ impl CfgView for FuncIr {
 
     fn insns(&self, block: u64) -> &[Insn] {
         match self.graph.index_of(block) {
-            Some(i) => {
-                let (lo, hi) = self.insn_ranges[i];
-                &self.arena[lo as usize..hi as usize]
-            }
+            Some(i) => &self.block_insns[i],
             None => &[],
         }
     }
@@ -218,9 +264,11 @@ impl CfgView for FuncIr {
 
 /// The whole-binary analysis IR: one [`FuncIr`] per function, built in
 /// parallel, with each unique block's bytes decoded **exactly once**
-/// (functions sharing a block copy the already-decoded instructions
-/// into their arenas). This is the artifact `pba::Session::ir()`
-/// memoizes — build it once, run every analysis over borrowed slices.
+/// and stored **exactly once** — functions sharing a block hold the
+/// same `Arc<[Insn]>` handle, so shared code costs the binary one copy
+/// no matter how many functions own it. This is the artifact
+/// `pba::Session::ir()` memoizes — build it once, run every analysis
+/// over borrowed slices.
 pub struct BinaryIr {
     funcs: HashMap<u64, FuncIr>,
     insn_total: usize,
@@ -232,16 +280,22 @@ impl BinaryIr {
     /// `threads` workers (0 = all available).
     pub fn build(cfg: &Cfg, threads: usize) -> BinaryIr {
         let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("ir pool");
-        // Decode every unique block once, in parallel.
+        // Decode every unique block once, in parallel, into the shared
+        // storage handles.
         let block_list: Vec<(u64, u64)> = cfg.blocks.values().map(|b| (b.start, b.end)).collect();
-        let decoded_vec: Vec<(u64, Vec<Insn>)> = pool.install(|| {
-            block_list.par_iter().map(|&(start, end)| (start, cfg.code.insns(start, end))).collect()
+        let decoded_vec: Vec<(u64, Arc<[Insn]>)> = pool.install(|| {
+            block_list
+                .par_iter()
+                .map(|&(start, end)| (start, Arc::from(cfg.code.insns(start, end))))
+                .collect()
         });
         let unique_block_insns = decoded_vec.iter().map(|(_, v)| v.len()).sum();
-        let decoded: HashMap<u64, Vec<Insn>> = decoded_vec.into_iter().collect();
+        let decoded: HashMap<u64, Arc<[Insn]>> = decoded_vec.into_iter().collect();
 
-        // Assemble per-function IRs in parallel, largest first, copying
-        // (never re-decoding) the shared block bodies.
+        // Assemble per-function IRs in parallel, largest first. Owners
+        // of a shared block clone the *handle*, not the instructions —
+        // once `decoded` drops below, each block's strong count is
+        // exactly its number of owning functions.
         let mut funcs: Vec<&Function> = cfg.functions.values().collect();
         funcs.sort_by_key(|f| std::cmp::Reverse(f.blocks.len()));
         let irs: Vec<(u64, FuncIr)> = pool.install(|| {
@@ -249,7 +303,7 @@ impl BinaryIr {
                 .par_iter()
                 .map(|f| {
                     let ir = FuncIr::assemble(cfg, f, |start, _end| {
-                        decoded.get(&start).cloned().unwrap_or_default()
+                        decoded.get(&start).cloned().unwrap_or_else(|| Arc::from(Vec::new()))
                     });
                     (f.entry, ir)
                 })
@@ -290,6 +344,37 @@ impl BinaryIr {
     /// `pba-bench --bin ir` and the session tests assert).
     pub fn unique_block_insn_count(&self) -> usize {
         self.unique_block_insns
+    }
+
+    /// Instruction-storage bytes actually resident: each unique block's
+    /// `Arc<[Insn]>` counted once, however many functions share it.
+    pub fn shared_insn_bytes(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut bytes = 0usize;
+        for f in self.funcs.values() {
+            for b in f.blocks() {
+                if let Some(handle) = f.block_insns(*b) {
+                    if seen.insert(Arc::as_ptr(handle)) {
+                        bytes += handle.len() * std::mem::size_of::<Insn>();
+                    }
+                }
+            }
+        }
+        bytes
+    }
+
+    /// Instruction-storage bytes a per-function *copied* layout would
+    /// hold (every owner paying for its own copy of shared blocks) —
+    /// the baseline `pba-bench --bin mem` compares against.
+    pub fn copied_insn_bytes(&self) -> usize {
+        self.insn_total * std::mem::size_of::<Insn>()
+    }
+
+    /// Estimated total heap bytes: unique instruction storage plus every
+    /// function's structural vectors (the session's resident-size
+    /// contribution of this artifact).
+    pub fn heap_bytes(&self) -> usize {
+        self.shared_insn_bytes() + self.funcs.values().map(FuncIr::struct_heap_bytes).sum::<usize>()
     }
 }
 

@@ -43,15 +43,27 @@
 //! references into storage it already owns, so no analysis decodes or
 //! allocates per query.
 //!
-//! ## The decode-once IR
+//! ## The decode-once IR and the memory plane
 //!
 //! [`ir::FuncIr`] is the per-function artifact every analysis shares:
-//! one decoded-instruction arena, the intra-procedural adjacency, the
-//! [`engine::FlowGraph`] with memoized RPO ranks, and per-block summary
-//! bits (`ends_in_call`, terminator kind). [`ir::BinaryIr`] maps the
-//! whole binary, decoding each unique block exactly once;
-//! `pba::Session::ir()` memoizes it so decode-once is a structural
-//! invariant rather than per-consumer luck.
+//! per-block decoded-instruction arenas, the intra-procedural
+//! adjacency, the [`engine::FlowGraph`] with memoized RPO ranks, and
+//! per-block summary bits (`ends_in_call`, terminator kind).
+//! [`ir::BinaryIr`] maps the whole binary, decoding each unique block
+//! exactly once — and *storing* it exactly once: each unique block is
+//! one `Arc<[Insn]>`, and functions sharing a block (error paths,
+//! outlined `.cold` fragments) hold handles to the same storage, so a
+//! resident session pins what its unique data costs
+//! ([`ir::BinaryIr::shared_insn_bytes`] vs
+//! [`ir::BinaryIr::copied_insn_bytes`]; `pba-bench --bin mem` asserts
+//! the difference). Downstream, the analyses are dense end-to-end:
+//! every spec and result keys per-block facts by the graph's
+//! `pba_cfg::BlockIndex` rank into plain `Vec`s — the addr-keyed
+//! `HashMap`s survive only as compat accessors at the public seams.
+//! `pba::Session::ir()` memoizes the `BinaryIr` so decode-once is a
+//! structural invariant rather than per-consumer luck, and each
+//! artifact's `heap_bytes()` feeds the session's `resident_bytes`
+//! estimate.
 //!
 //! ## The engine
 //!

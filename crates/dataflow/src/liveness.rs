@@ -15,8 +15,8 @@
 
 use crate::engine::{DataflowSpec, Direction, ExecutorKind, FlowGraph};
 use crate::view::CfgView;
+use pba_cfg::BlockIndex;
 use pba_isa::{ControlFlow, Reg, RegSet};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Per-block liveness facts, dense over the function's block list with
@@ -25,7 +25,7 @@ use std::sync::Arc;
 #[derive(Debug, Clone, Default)]
 pub struct LivenessResult {
     blocks: Arc<Vec<u64>>,
-    index: Arc<HashMap<u64, usize>>,
+    index: Arc<BlockIndex>,
     live_in: Vec<RegSet>,
     live_out: Vec<RegSet>,
 }
@@ -36,14 +36,20 @@ impl LivenessResult {
         &self.blocks
     }
 
+    /// Bytes of heap owned by the fact vectors (the shared block list
+    /// and index belong to the function's graph, counted with the IR).
+    pub fn heap_bytes(&self) -> usize {
+        (self.live_in.capacity() + self.live_out.capacity()) * std::mem::size_of::<RegSet>()
+    }
+
     /// Registers live at `block`'s entry (empty for non-members).
     pub fn live_in(&self, block: u64) -> RegSet {
-        self.index.get(&block).map(|&i| self.live_in[i]).unwrap_or(RegSet::EMPTY)
+        self.index.get(block).map(|i| self.live_in[i]).unwrap_or(RegSet::EMPTY)
     }
 
     /// Registers live at `block`'s exit (empty for non-members).
     pub fn live_out(&self, block: u64) -> RegSet {
-        self.index.get(&block).map(|&i| self.live_out[i]).unwrap_or(RegSet::EMPTY)
+        self.index.get(block).map(|i| self.live_out[i]).unwrap_or(RegSet::EMPTY)
     }
 
     /// Number of live registers at block entry (BinFeat's feature).
@@ -78,10 +84,13 @@ fn transfer_insn(i: &pba_isa::Insn, mut live: RegSet) -> RegSet {
 }
 
 /// Liveness as a [`DataflowSpec`]: backward may-analysis whose facts are
-/// [`RegSet`] masks, with `gen`/`kill` precomputed per block.
+/// [`RegSet`] masks, with `gen`/`kill` precomputed per block — dense
+/// vectors over the view's block list, keyed through a [`BlockIndex`]
+/// instead of addr-keyed hash maps.
 pub struct LivenessSpec {
-    gen: HashMap<u64, RegSet>,
-    kill: HashMap<u64, RegSet>,
+    index: BlockIndex,
+    gen: Vec<RegSet>,
+    kill: Vec<RegSet>,
 }
 
 impl LivenessSpec {
@@ -89,9 +98,10 @@ impl LivenessSpec {
     /// already-decoded instructions are read once, borrowed).
     pub fn build(view: &dyn CfgView) -> LivenessSpec {
         let blocks = view.blocks();
-        let mut gen = HashMap::with_capacity(blocks.len());
-        let mut kill = HashMap::with_capacity(blocks.len());
-        for &b in blocks {
+        let index = BlockIndex::new(blocks);
+        let mut gen = vec![RegSet::EMPTY; blocks.len()];
+        let mut kill = vec![RegSet::EMPTY; blocks.len()];
+        for (bi, &b) in blocks.iter().enumerate() {
             let mut g = RegSet::EMPTY;
             let mut k = RegSet::EMPTY;
             // Forward scan: a read is gen only if not already killed.
@@ -107,10 +117,10 @@ impl LivenessSpec {
                     }
                 }
             }
-            gen.insert(b, g);
-            kill.insert(b, k);
+            gen[bi] = g;
+            kill[bi] = k;
         }
-        LivenessSpec { gen, kill }
+        LivenessSpec { index, gen, kill }
     }
 }
 
@@ -134,7 +144,8 @@ impl DataflowSpec for LivenessSpec {
     }
 
     fn transfer(&self, block: u64, input: &RegSet) -> RegSet {
-        self.gen[&block].union(input.minus(self.kill[&block]))
+        let i = self.index.get(block).expect("spec covers every graph block");
+        self.gen[i].union(input.minus(self.kill[i]))
     }
 
     // `RegSet` is `Copy`: the default `transfer_into` is already

@@ -12,6 +12,7 @@
 
 use crate::engine::{DataflowSpec, Direction, ExecutorKind, FlowGraph};
 use crate::view::CfgView;
+use pba_cfg::BlockIndex;
 use pba_isa::Reg;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -109,7 +110,7 @@ pub struct ReachingDefs {
     pub defs: Vec<Def>,
     def_ids: HashMap<Def, usize>,
     blocks: Arc<Vec<u64>>,
-    index: Arc<HashMap<u64, usize>>,
+    index: Arc<BlockIndex>,
     reach_in: Vec<BitSet>,
 }
 
@@ -117,8 +118,8 @@ impl ReachingDefs {
     /// Definitions reaching the entry of `block`.
     pub fn reaching_at_entry(&self, block: u64) -> Vec<Def> {
         self.index
-            .get(&block)
-            .map(|&i| self.reach_in[i].iter_ones().map(|d| self.defs[d]).collect())
+            .get(block)
+            .map(|i| self.reach_in[i].iter_ones().map(|d| self.defs[d]).collect())
             .unwrap_or_default()
     }
 
@@ -126,12 +127,23 @@ impl ReachingDefs {
     /// no materialization).
     pub fn def_reaches_entry(&self, block: u64, def: Def) -> bool {
         let Some(&id) = self.def_ids.get(&def) else { return false };
-        self.index.get(&block).is_some_and(|&i| self.reach_in[i].get(id))
+        self.index.get(block).is_some_and(|i| self.reach_in[i].get(id))
     }
 
     /// Block addresses in the dense order of the fact vector.
     pub fn blocks(&self) -> &[u64] {
         &self.blocks
+    }
+
+    /// Bytes of heap owned by the definition tables and fact vectors
+    /// (the shared block list and index belong to the function's graph,
+    /// counted with the IR).
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.defs.capacity() * size_of::<Def>()
+            + self.def_ids.capacity() * (size_of::<(Def, usize)>() + 1)
+            + self.reach_in.capacity() * size_of::<BitSet>()
+            + self.reach_in.iter().map(|b| b.0.capacity() * size_of::<u64>()).sum::<usize>()
     }
 
     /// Definitions of `reg` reaching the *use* at instruction `addr`
@@ -168,8 +180,12 @@ pub struct ReachingSpec {
     def_ids: HashMap<Def, usize>,
     /// Bit count (defs.len()).
     n: usize,
-    gen: HashMap<u64, BitSet>,
-    kill: HashMap<u64, BitSet>,
+    /// Dense block index over the view's block list; gen/kill are keyed
+    /// through it so the engine's per-visit lookups are binary searches
+    /// over a flat sorted array, not hash probes.
+    index: BlockIndex,
+    gen: Vec<BitSet>,
+    kill: Vec<BitSet>,
 }
 
 impl ReachingSpec {
@@ -202,12 +218,13 @@ impl ReachingSpec {
             by_reg.entry(d.reg).or_default().push(i);
         }
 
-        // Block gen/kill.
-        let mut gen: HashMap<u64, BitSet> = HashMap::new();
-        let mut kill: HashMap<u64, BitSet> = HashMap::new();
-        for &b in blocks {
-            let mut g = BitSet::with_len(n);
-            let mut k = BitSet::with_len(n);
+        // Block gen/kill, dense over the view's block list.
+        let index = BlockIndex::new(blocks);
+        let mut gen: Vec<BitSet> = (0..blocks.len()).map(|_| BitSet::with_len(n)).collect();
+        let mut kill: Vec<BitSet> = (0..blocks.len()).map(|_| BitSet::with_len(n)).collect();
+        for (bi, &b) in blocks.iter().enumerate() {
+            let g = &mut gen[bi];
+            let k = &mut kill[bi];
             for i in view.insns(b) {
                 for r in i.regs_written().iter() {
                     // A new def of r kills all other defs of r —
@@ -227,10 +244,8 @@ impl ReachingSpec {
                     g.set(id);
                 }
             }
-            gen.insert(b, g);
-            kill.insert(b, k);
         }
-        ReachingSpec { defs, def_ids, n, gen, kill }
+        ReachingSpec { defs, def_ids, n, index, gen, kill }
     }
 }
 
@@ -255,11 +270,13 @@ impl DataflowSpec for ReachingSpec {
     }
 
     fn transfer(&self, block: u64, input: &BitSet) -> BitSet {
-        input.transfer(&self.gen[&block], &self.kill[&block])
+        let i = self.index.get(block).expect("spec covers every graph block");
+        input.transfer(&self.gen[i], &self.kill[i])
     }
 
     fn transfer_into(&self, block: u64, input: &BitSet, out: &mut BitSet) {
-        out.transfer_from(input, &self.gen[&block], &self.kill[&block]);
+        let i = self.index.get(block).expect("spec covers every graph block");
+        out.transfer_from(input, &self.gen[i], &self.kill[i]);
     }
 }
 

@@ -360,8 +360,9 @@ pub struct SliceSpec<'a> {
     /// blocks within [`MAX_DEPTH`] predecessor edges) — the only blocks
     /// a path state can ever reach, so the only ones worth touching
     /// (the old DFS had the same locality). Borrowed from the view's
-    /// decode-once slices, nothing is copied or re-decoded.
-    insns: HashMap<u64, &'a [Insn]>,
+    /// decode-once slices, nothing is copied or re-decoded; sorted by
+    /// block address so lookups are binary searches over a flat array.
+    insns: Vec<(u64, &'a [Insn])>,
     /// Blocks whose transfer has widened, stickily: once a block widens
     /// it keeps widening. Widening shrinks a fact (non-monotone), so
     /// without stickiness a cyclic CFG straddling [`MAX_PATHS`] could
@@ -394,15 +395,15 @@ impl<'a> SliceSpec<'a> {
         // facts outside the cone are empty by construction and the rest
         // of the function's arena is never touched.
         let known: std::collections::HashSet<u64> = view.blocks().iter().copied().collect();
-        let mut insns: HashMap<u64, &'a [Insn]> = HashMap::new();
-        insns.insert(jump_block, jinsns);
+        let mut cone: HashMap<u64, &'a [Insn]> = HashMap::new();
+        cone.insert(jump_block, jinsns);
         let mut frontier = vec![jump_block];
         for _ in 0..MAX_DEPTH {
             let mut next = Vec::new();
             for b in frontier {
                 for &(p, _) in view.pred_edges(b) {
-                    if known.contains(&p) && !insns.contains_key(&p) {
-                        insns.insert(p, view.insns(p));
+                    if known.contains(&p) && !cone.contains_key(&p) {
+                        cone.insert(p, view.insns(p));
                         next.push(p);
                     }
                 }
@@ -412,12 +413,20 @@ impl<'a> SliceSpec<'a> {
             }
             frontier = next;
         }
+        let mut insns: Vec<(u64, &'a [Insn])> = cone.into_iter().collect();
+        insns.sort_unstable_by_key(|&(a, _)| a);
         Some(SliceSpec {
             jump_block,
             seed,
             insns,
             widened_blocks: std::sync::Mutex::new(std::collections::HashSet::new()),
         })
+    }
+
+    /// Instructions of cone member `block` (binary search over the
+    /// sorted member list).
+    fn insns_of(&self, block: u64) -> Option<&'a [Insn]> {
+        self.insns.binary_search_by_key(&block, |&(a, _)| a).ok().map(|i| self.insns[i].1)
     }
 
     /// The [`FlowGraph`] restricted to the jump's backward cone — what
@@ -427,12 +436,11 @@ impl<'a> SliceSpec<'a> {
     /// contribute. Member blocks are sorted for a deterministic dense
     /// order regardless of the view's iteration order.
     pub fn cone_graph(&self, view: &dyn CfgView) -> FlowGraph {
-        let mut blocks: Vec<u64> = self.insns.keys().copied().collect();
-        blocks.sort_unstable();
+        let blocks: Vec<u64> = self.insns.iter().map(|&(a, _)| a).collect();
         let mut edges = Vec::new();
         for &b in &blocks {
             for &(d, kind) in view.succ_edges(b) {
-                if self.insns.contains_key(&d) {
+                if self.insns_of(d).is_some() {
                     edges.push((b, d, kind));
                 }
             }
@@ -487,7 +495,7 @@ impl DataflowSpec for SliceSpec<'_> {
     }
 
     fn transfer(&self, block: u64, input: &PathSet) -> PathSet {
-        let insns: &[Insn] = self.insns.get(&block).copied().unwrap_or(&[]);
+        let insns: &[Insn] = self.insns_of(block).unwrap_or(&[]);
         let mut out = PathSet { states: BTreeSet::new() };
         for s in &input.states {
             let expr = walk_back(insns, 0, s.expr.clone());
@@ -517,7 +525,7 @@ impl DataflowSpec for SliceSpec<'_> {
     fn edge_transfer(&self, src: u64, dst: u64, kind: EdgeKind, fact: &PathSet) -> Option<PathSet> {
         let _ = dst;
         let mut out = PathSet { states: BTreeSet::new() };
-        let src_insns: &[Insn] = self.insns.get(&src).copied().unwrap_or(&[]);
+        let src_insns: &[Insn] = self.insns_of(src).unwrap_or(&[]);
         for s in fact.states.iter().filter(|s| !s.is_terminal()) {
             // The bound closest to the jump wins; tracked registers are
             // those of the expression *before* it is walked through the

@@ -16,8 +16,8 @@
 
 use crate::engine::{DataflowSpec, Direction, ExecutorKind, FlowGraph};
 use crate::view::CfgView;
+use pba_cfg::BlockIndex;
 use pba_isa::{insn::AluKind, ControlFlow, Op, Place, Reg, Value};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Lattice of stack heights (bytes relative to entry RSP; negative =
@@ -121,7 +121,7 @@ pub fn transfer(i: &pba_isa::Insn, f: Frame) -> Frame {
 #[derive(Debug, Clone, Default)]
 pub struct StackResult {
     blocks: Arc<Vec<u64>>,
-    index: Arc<HashMap<u64, usize>>,
+    index: Arc<BlockIndex>,
     at_entry: Vec<Frame>,
     at_exit: Vec<Frame>,
 }
@@ -132,14 +132,20 @@ impl StackResult {
         &self.blocks
     }
 
+    /// Bytes of heap owned by the fact vectors (the shared block list
+    /// and index belong to the function's graph, counted with the IR).
+    pub fn heap_bytes(&self) -> usize {
+        (self.at_entry.capacity() + self.at_exit.capacity()) * std::mem::size_of::<Frame>()
+    }
+
     /// Frame state at `block`'s entry, if it is a member.
     pub fn entry_frame(&self, block: u64) -> Option<Frame> {
-        self.index.get(&block).map(|&i| self.at_entry[i])
+        self.index.get(block).map(|i| self.at_entry[i])
     }
 
     /// Frame state after `block`'s last instruction, if it is a member.
     pub fn exit_frame(&self, block: u64) -> Option<Frame> {
-        self.index.get(&block).map(|&i| self.at_exit[i])
+        self.index.get(block).map(|i| self.at_exit[i])
     }
 
     /// Stack height immediately before the block's terminating

@@ -14,7 +14,7 @@ use pba_hpcstruct::{HsConfig, HsOutput};
 /// a one-binary session driven to its `structure()` artifact.
 pub fn analyze(bytes: &[u8], cfg: &HsConfig) -> Result<HsOutput, Error> {
     let config = SessionConfig::default().with_threads(cfg.threads).with_name(cfg.name.clone());
-    let session = Session::open(bytes.to_vec(), config);
+    let session = Session::open(bytes, config);
     session.structure()?;
     // The session is ours alone: take the artifact out instead of
     // cloning a structure tree per call.
@@ -24,14 +24,19 @@ pub fn analyze(bytes: &[u8], cfg: &HsConfig) -> Result<HsOutput, Error> {
 /// Parse one binary and extract all feature families (paper Table 3):
 /// a one-binary session driven to its `features()` artifact.
 pub fn extract_binary(bytes: &[u8], threads: usize) -> Result<BinaryFeatures, Error> {
-    let session = Session::open(bytes.to_vec(), SessionConfig::default().with_threads(threads));
+    let session = Session::open(bytes, SessionConfig::default().with_threads(threads));
     session.features()?;
     // One feature index per corpus binary: move it, don't clone it.
     session.into_features().expect("features just computed")
 }
 
 /// Extract features from every binary of a corpus with `threads` worker
-/// threads (0 = all available), merging the per-binary indexes.
-pub fn analyze_corpus(binaries: &[Vec<u8>], threads: usize) -> Result<CorpusReport, Error> {
+/// threads (0 = all available), merging the per-binary indexes. The
+/// corpus is any slice of byte-slice-shaped images — owned `Vec<u8>`s
+/// or borrowed/shared storage — analyzed without copying.
+pub fn analyze_corpus(
+    binaries: &[impl AsRef<[u8]>],
+    threads: usize,
+) -> Result<CorpusReport, Error> {
     analyze_corpus_with(binaries, |bytes| extract_binary(bytes, threads))
 }

@@ -8,13 +8,14 @@ use pba_concurrent::{Counter, Memo};
 use pba_dataflow::{BinaryIr, ExecutorKind, FuncAnalyses};
 use pba_dwarf::decode::DebugSlices;
 use pba_dwarf::DebugInfo;
-use pba_elf::Elf;
+use pba_elf::{Elf, ImageBytes};
 use pba_hpcstruct::{analyze_artifacts, ArtifactTimes, HsConfig, HsOutput};
-use pba_loops::{loop_forest, LoopForest};
+use pba_loops::{loop_forest_on, LoopForest};
 use pba_parse::stats::StatsSnapshot;
 use pba_parse::{ParseConfig, ParseInput, ParseResult};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One configuration surface for the whole stack.
@@ -102,6 +103,13 @@ pub struct SessionStats {
     pub feature_builds: u64,
     /// Per-function loop-forest computations.
     pub loop_forests: u64,
+    /// Estimated bytes of heap the session's memoized artifacts pin
+    /// right now: the shared input image counted once, plus each
+    /// computed artifact's owned storage (`heap_bytes()`). `Arc`-shared
+    /// structures — block arenas, block indices, the image behind the
+    /// parsed ELF — are counted exactly once. This is the eviction
+    /// signal for a resident server: how much a cached session costs.
+    pub resident_bytes: u64,
 }
 
 /// A lazily-memoized analysis session over one binary.
@@ -118,8 +126,10 @@ pub struct SessionStats {
 /// handle: one session per binary, artifacts reused across requests.
 pub struct Session {
     config: SessionConfig,
-    /// The raw image, consumed by the first `elf()` computation.
-    bytes: Mutex<Option<Vec<u8>>>,
+    /// The shared input image. Cloning is an `Arc` bump; the first
+    /// `elf()` computation parses *this* storage without copying it, so
+    /// the session and the parsed ELF pin the same bytes once.
+    input: ImageBytes,
     elf: Memo<Result<Elf, Error>>,
     debug: Memo<Result<DebugInfo, Error>>,
     parse: Memo<Result<ParseResult, Error>>,
@@ -132,12 +142,14 @@ pub struct Session {
 }
 
 impl Session {
-    /// Open a session over a raw ELF image. Nothing is parsed yet;
-    /// every artifact is computed on first use.
-    pub fn open(bytes: Vec<u8>, config: SessionConfig) -> Session {
+    /// Open a session over a raw ELF image — an owned `Vec<u8>` (the
+    /// historical signature), a borrowed slice, or an already-shared
+    /// [`ImageBytes`]. Nothing is parsed yet; every artifact is
+    /// computed on first use.
+    pub fn open(bytes: impl Into<ImageBytes>, config: SessionConfig) -> Session {
         Session {
             config,
-            bytes: Mutex::new(Some(bytes)),
+            input: bytes.into(),
             elf: Memo::new(),
             debug: Memo::new(),
             parse: Memo::new(),
@@ -155,7 +167,7 @@ impl Session {
     pub fn from_elf(elf: Elf, config: SessionConfig) -> Session {
         Session {
             config,
-            bytes: Mutex::new(None),
+            input: elf.image().clone(),
             elf: Memo::ready(Ok(elf)),
             debug: Memo::new(),
             parse: Memo::new(),
@@ -168,10 +180,14 @@ impl Session {
         }
     }
 
-    /// Open a session over a file on disk.
-    pub fn open_path(path: &str, config: SessionConfig) -> Result<Session, Error> {
-        let bytes = std::fs::read(path)
-            .map_err(|e| Error::Io { path: path.to_string(), message: e.to_string() })?;
+    /// Open a session over a file on disk. The image is memory-mapped
+    /// when the platform supports it (falling back to a plain read), so
+    /// a resident session over a large binary pins file-backed pages —
+    /// evictable by the OS — instead of anonymous heap.
+    pub fn open_path(path: impl AsRef<Path>, config: SessionConfig) -> Result<Session, Error> {
+        let path = path.as_ref();
+        let bytes = ImageBytes::from_path(path)
+            .map_err(|e| Error::Io { path: path.display().to_string(), message: e.to_string() })?;
         Ok(Session::open(bytes, config))
     }
 
@@ -183,15 +199,7 @@ impl Session {
     /// The parsed ELF image.
     pub fn elf(&self) -> Result<&Elf, Error> {
         self.elf
-            .get_or_compute(|| {
-                let bytes = self
-                    .bytes
-                    .lock()
-                    .expect("bytes lock")
-                    .take()
-                    .expect("image bytes consumed exactly once");
-                Elf::parse(bytes).map_err(Error::from)
-            })
+            .get_or_compute(|| Elf::parse(self.input.clone()).map_err(Error::from))
             .as_ref()
             .map_err(Clone::clone)
     }
@@ -278,7 +286,7 @@ impl Session {
         if let Some(forest) = slot.as_ref() {
             return Ok(Arc::clone(forest));
         }
-        let forest = Arc::new(loop_forest(fir));
+        let forest = Arc::new(loop_forest_on(fir, fir.graph()));
         *slot = Some(Arc::clone(&forest));
         self.loop_computes.inc();
         Ok(forest)
@@ -367,7 +375,8 @@ impl Session {
     }
 
     /// Compute counts per artifact (each 0 or 1 after quiescence —
-    /// the at-most-once contract, measurable).
+    /// the at-most-once contract, measurable) plus the resident-heap
+    /// estimate of everything memoized so far.
     pub fn stats(&self) -> SessionStats {
         SessionStats {
             elf_parses: self.elf.computes(),
@@ -378,7 +387,48 @@ impl Session {
             structure_builds: self.structure.computes(),
             feature_builds: self.features.computes(),
             loop_forests: self.loop_computes.get(),
+            resident_bytes: self.resident_bytes() as u64,
         }
+    }
+
+    /// Estimated bytes of heap the memoized artifacts pin, shared
+    /// storage counted once (see [`SessionStats::resident_bytes`]).
+    fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        // The input image, counted exactly once (zero when mmapped).
+        let mut total = self.input.heap_bytes();
+        if let Some(Ok(elf)) = self.elf.get() {
+            // The parsed ELF shares the input's storage — count only
+            // its decoded section/symbol metadata on top.
+            total += elf.heap_bytes() - elf.image().heap_bytes();
+        }
+        if let Some(Ok(di)) = self.debug.get() {
+            total += di.heap_bytes();
+        }
+        if let Some(Ok(r)) = self.parse.get() {
+            total += r.cfg.heap_bytes();
+        }
+        if let Some(Ok(ir)) = self.ir.get() {
+            // Counts each unique block arena once plus every graph's
+            // dense adjacency and index.
+            total += ir.heap_bytes();
+        }
+        if let Some(Ok(df)) = self.dataflow.get() {
+            total += df.capacity() * (size_of::<(u64, FuncAnalyses)>() + 1)
+                + df.values().map(FuncAnalyses::heap_bytes).sum::<usize>();
+        }
+        if let Some(Ok(hs)) = self.structure.get() {
+            total += hs.heap_bytes();
+        }
+        if let Some(Ok(bf)) = self.features.get() {
+            total += bf.heap_bytes();
+        }
+        self.loops.for_each(|_, slot| {
+            if let Some(forest) = slot {
+                total += forest.heap_bytes();
+            }
+        });
+        total
     }
 
     /// A rayon pool sized by the session config (0 = all available).

@@ -71,6 +71,98 @@ fn loop_forests_prefills_the_per_entry_cache_and_reuses_it() {
     assert_eq!(session.stats().loop_forests, entries.len() as u64);
 }
 
+/// The memory-plane sweep: at every `pct_shared` level (none, the
+/// default, heavy overlap) the `Arc`-shared block layout must yield the
+/// same dataflow facts as independent per-function builds (each owning
+/// private arenas — the copied layout), and byte-identical hpcstruct
+/// text and binfeat indexes across sessions and thread counts.
+#[test]
+fn shared_block_layout_is_output_invariant_across_pct_shared() {
+    for pct_shared in [0.0, 0.08, 0.30] {
+        let cfg = GenConfig {
+            num_funcs: 24,
+            seed: 0x5A7E,
+            pct_shared,
+            pct_cold: pct_shared / 2.0,
+            ..Default::default()
+        };
+        let elf = generate(&cfg).elf;
+        let session =
+            Session::open(elf.clone(), SessionConfig::default().with_threads(2).with_name("m"));
+        let text = session.structure().expect("structure").text.clone();
+        let feats = session.features().expect("features").index.clone();
+        let df = session.dataflow().expect("dataflow");
+        assert!(
+            session.stats().resident_bytes > 0,
+            "a driven session reports its resident footprint"
+        );
+
+        // Copied-layout oracle: a fresh FuncIr per function owns its own
+        // arenas; facts must match the shared-IR session exactly.
+        let cfg_graph = session.cfg().expect("cfg");
+        for f in cfg_graph.functions.values() {
+            let view = pba_dataflow::FuncIr::build(cfg_graph, f);
+            let lone = pba_dataflow::liveness(&view);
+            let shared = &df[&f.entry];
+            for &b in view.blocks() {
+                assert_eq!(
+                    shared.liveness.live_in(b),
+                    lone.live_in(b),
+                    "pct_shared={pct_shared}: shared IR changed liveness of {b:#x}"
+                );
+            }
+        }
+
+        // A second session over the same bytes, different thread count:
+        // byte-identical external outputs.
+        let again = Session::open(elf, SessionConfig::default().with_threads(1).with_name("m"));
+        assert_eq!(again.structure().expect("structure").text, text);
+        assert_eq!(again.features().expect("features").index, feats);
+    }
+}
+
+/// `BinaryIr` stores each unique block exactly once: a block reached by
+/// N functions has an `Arc` strong count of exactly N — every owner
+/// holds a handle to the same storage, and nothing else pins it.
+#[test]
+fn binary_ir_stores_one_arc_per_unique_block() {
+    let g = generate(&GenConfig {
+        num_funcs: 32,
+        seed: 0xA5C,
+        pct_shared: 0.5,
+        debug_info: false,
+        ..Default::default()
+    });
+    let session = Session::open(g.elf, SessionConfig::default().with_threads(2));
+    let ir = session.ir().expect("ir");
+
+    let mut owners: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    for f in ir.funcs() {
+        for &b in f.blocks() {
+            if f.block_insns(b).is_some() {
+                *owners.entry(b).or_insert(0) += 1;
+            }
+        }
+    }
+    let (&shared_block, &n) = owners
+        .iter()
+        .filter(|&(_, &n)| n >= 2)
+        .max_by_key(|&(_, &n)| n)
+        .expect("pct_shared=0.5 corpus must contain at least one block owned by two functions");
+    let holder =
+        ir.funcs().find_map(|f| f.block_insns(shared_block)).expect("some owner holds the handle");
+    assert_eq!(
+        Arc::strong_count(holder),
+        n,
+        "block {shared_block:#x} owned by {n} functions must have exactly {n} handles"
+    );
+
+    // And a privately-owned block has exactly one.
+    let (&lone_block, _) = owners.iter().find(|&(_, &n)| n == 1).expect("some private block");
+    let holder = ir.funcs().find_map(|f| f.block_insns(lone_block)).expect("owner");
+    assert_eq!(Arc::strong_count(holder), 1);
+}
+
 #[test]
 fn ir_memoizes_failures_like_other_artifacts() {
     let session = Session::open(b"not an elf".to_vec(), SessionConfig::default());

@@ -96,6 +96,48 @@ fn corpus_surfaces_broken_binaries_as_errors() {
 }
 
 #[test]
+fn open_path_maps_the_file_and_matches_in_memory_analysis() {
+    let bytes = sample();
+    let dir = std::env::temp_dir().join(format!("pba-open-path-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("sample.elf");
+    std::fs::write(&path, &bytes).unwrap();
+
+    // impl AsRef<Path>: &str, String, and PathBuf call sites all compile.
+    let from_disk = Session::open_path(&path, SessionConfig::default().with_name("t")).unwrap();
+    let from_str =
+        Session::open_path(path.to_str().unwrap(), SessionConfig::default().with_name("t"))
+            .unwrap();
+    let in_memory = Session::open(bytes, SessionConfig::default().with_name("t"));
+
+    assert_eq!(
+        from_disk.structure().unwrap().text,
+        in_memory.structure().unwrap().text,
+        "mapped input must analyze byte-identically to owned input"
+    );
+    assert_eq!(from_str.features().unwrap().index, in_memory.features().unwrap().index);
+
+    // The mapped image pins no anonymous heap, so a mapped session's
+    // resident estimate is strictly below the owned-bytes session's.
+    #[cfg(unix)]
+    {
+        from_disk.features().unwrap();
+        in_memory.structure().unwrap();
+        assert!(
+            from_disk.stats().resident_bytes < in_memory.stats().resident_bytes,
+            "mmap-backed input must not count as resident heap"
+        );
+    }
+
+    match Session::open_path(dir.join("nope.elf"), SessionConfig::default()) {
+        Err(pba_driver::Error::Io { path, .. }) => assert!(path.ends_with("nope.elf")),
+        Err(e) => panic!("expected Io error, got {e}"),
+        Ok(_) => panic!("missing file must not open"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn struct_and_features_on_one_session_share_the_parse() {
     // The amortization the redesign exists for: both case studies on
     // the same handle, one CFG construction.

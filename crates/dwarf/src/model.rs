@@ -148,6 +148,36 @@ impl DebugInfo {
         self.units.iter().map(|u| u.line_table.rows.len()).sum()
     }
 
+    /// Bytes of heap the decoded forest pins (the resident-size
+    /// estimate a memoizing session sums).
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        fn inline_bytes(i: &InlinedSub) -> usize {
+            i.name.capacity()
+                + i.children.capacity() * size_of::<InlinedSub>()
+                + i.children.iter().map(inline_bytes).sum::<usize>()
+        }
+        fn sub_bytes(s: &Subprogram) -> usize {
+            s.name.capacity()
+                + s.ranges.capacity() * size_of::<(u64, u64)>()
+                + s.inlines.capacity() * size_of::<InlinedSub>()
+                + s.inlines.iter().map(inline_bytes).sum::<usize>()
+        }
+        self.units.capacity() * size_of::<CompileUnit>()
+            + self
+                .units
+                .iter()
+                .map(|u| {
+                    u.name.capacity()
+                        + u.files.capacity() * size_of::<String>()
+                        + u.files.iter().map(String::capacity).sum::<usize>()
+                        + u.subprograms.capacity() * size_of::<Subprogram>()
+                        + u.subprograms.iter().map(sub_bytes).sum::<usize>()
+                        + u.line_table.rows.capacity() * size_of::<LineRow>()
+                })
+                .sum::<usize>()
+    }
+
     /// Canonicalize ordering (units by low_pc, subprograms by entry,
     /// rows by address) so structural equality is meaningful after a
     /// parallel decode.

@@ -8,6 +8,9 @@
 //! binding to libelf/goblin, this crate implements the pieces of the ELF64
 //! specification the system needs — in both directions:
 //!
+//! * [`image`] — shared input bytes ([`ImageBytes`]): `Arc`-cloned, and
+//!   memory-mapped straight off disk where the platform allows, so a
+//!   resident session pins no anonymous heap for the raw file;
 //! * [`read`] — parse headers, section tables, string tables and symbol
 //!   tables out of a byte image;
 //! * [`write`] — lay out and serialize a well-formed ELF64 image (used by
@@ -23,11 +26,13 @@
 //! enforce this.
 
 pub mod demangle;
+pub mod image;
 pub mod read;
 pub mod symtab;
 pub mod types;
 pub mod write;
 
+pub use image::ImageBytes;
 pub use read::Elf;
 pub use symtab::{IndexedSymbols, SymbolRec};
 pub use types::{ElfError, SecFlags, SecType, SymBind, SymType};

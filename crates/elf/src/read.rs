@@ -6,6 +6,7 @@
 //! never panics, it returns [`ElfError`] — but lenient about unknown
 //! section types, which are preserved as opaque `ProgBits`.
 
+use crate::image::ImageBytes;
 use crate::types::*;
 
 /// A parsed section: metadata plus the byte range of its contents within
@@ -57,7 +58,7 @@ impl Symbol {
 /// A parsed ELF64 image.
 #[derive(Debug)]
 pub struct Elf {
-    bytes: Vec<u8>,
+    bytes: ImageBytes,
     /// `e_type` (ET_EXEC / ET_DYN).
     pub etype: u16,
     /// `e_machine`.
@@ -96,9 +97,13 @@ pub fn strtab_get(tab: &[u8], off: usize) -> Result<String, ElfError> {
 }
 
 impl Elf {
-    /// Parse an ELF64 image from owned bytes.
-    pub fn parse(bytes: Vec<u8>) -> Result<Elf, ElfError> {
-        let b = &bytes;
+    /// Parse an ELF64 image. Accepts anything convertible to
+    /// [`ImageBytes`] — owned `Vec<u8>` (the historical signature), a
+    /// borrowed slice, or an already-shared/mapped image — and keeps the
+    /// storage alive behind the parsed [`Elf`] without copying it.
+    pub fn parse(bytes: impl Into<ImageBytes>) -> Result<Elf, ElfError> {
+        let bytes = bytes.into();
+        let b: &[u8] = &bytes;
         if b.len() < EHDR_SIZE {
             return Err(ElfError::Truncated { what: "ELF header", offset: 0 });
         }
@@ -153,8 +158,7 @@ impl Elf {
                 .ok_or(ElfError::BadOffset { what: "shstrtab", value: shstr.size })?;
         let shstrtab = b
             .get(shstr_range)
-            .ok_or(ElfError::BadOffset { what: "shstrtab", value: shstr.offset })?
-            .to_vec();
+            .ok_or(ElfError::BadOffset { what: "shstrtab", value: shstr.offset })?;
 
         let mut sections = Vec::with_capacity(shnum);
         for r in &raw {
@@ -170,7 +174,7 @@ impl Elf {
                 }
             }
             sections.push(Section {
-                name: strtab_get(&shstrtab, r.name_off as usize)?,
+                name: strtab_get(shstrtab, r.name_off as usize)?,
                 sec_type,
                 flags: SecFlags(r.flags),
                 addr: r.addr,
@@ -259,6 +263,22 @@ impl Elf {
     /// Whether the image is empty (never true for a parsed file).
     pub fn is_empty(&self) -> bool {
         self.bytes.is_empty()
+    }
+
+    /// The shared image storage (cheap to clone; see [`ImageBytes`]).
+    pub fn image(&self) -> &ImageBytes {
+        &self.bytes
+    }
+
+    /// Bytes of anonymous heap the parsed image pins: the raw bytes
+    /// (zero when memory-mapped) plus decoded section/symbol metadata.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.bytes.heap_bytes()
+            + self.sections.capacity() * size_of::<Section>()
+            + self.sections.iter().map(|s| s.name.capacity()).sum::<usize>()
+            + self.symbols.capacity() * size_of::<Symbol>()
+            + self.symbols.iter().map(|s| s.name.capacity()).sum::<usize>()
     }
 }
 

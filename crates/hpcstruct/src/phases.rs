@@ -15,7 +15,7 @@ use crate::structure::{FuncStruct, InlineScope, LoopStruct, StmtRange, StructFil
 use pba_cfg::Cfg;
 use pba_dataflow::{BinaryIr, CfgView, ExecutorKind};
 use pba_dwarf::{DebugInfo, InlinedSub};
-use pba_loops::loop_forest;
+use pba_loops::loop_forest_on;
 use rayon::prelude::*;
 use serde::Serialize;
 use std::time::Instant;
@@ -94,6 +94,14 @@ pub struct HsOutput {
     pub text: String,
     /// Per-phase wall times.
     pub times: PhaseTimes,
+}
+
+impl HsOutput {
+    /// Bytes of heap the memoized output pins: the structure document
+    /// plus its serialized text.
+    pub fn heap_bytes(&self) -> usize {
+        self.structure.heap_bytes() + self.text.capacity()
+    }
 }
 
 /// Global line map: `(addr, unit index, file index, line)` sorted by
@@ -201,20 +209,43 @@ pub fn analyze_artifacts(
     let frame_of = pba_dataflow::run_per_function_ir(ir, cfg.threads, |fir| {
         pba_dataflow::stack_heights_and_extent_on(fir, fir.graph(), exec).1
     });
-    // Map entries to DWARF subprograms once.
-    let subprogram_of: std::collections::HashMap<u64, (usize, usize)> = di
+    // Map entries to DWARF subprograms once: a sorted array queried by
+    // binary search (entries are read-only from here on).
+    let mut subprogram_of: Vec<(u64, (u32, u32))> = di
         .units
         .iter()
         .enumerate()
         .flat_map(|(ui, u)| {
-            u.subprograms.iter().enumerate().map(move |(si, sp)| (sp.low_pc(), (ui, si)))
+            u.subprograms
+                .iter()
+                .enumerate()
+                .map(move |(si, sp)| (sp.low_pc(), (ui as u32, si as u32)))
         })
         .collect();
+    // Stable sort + keep the last entry per pc: the same overwrite
+    // semantics a map insert in iteration order had.
+    subprogram_of.sort_by_key(|&(pc, _)| pc);
+    let subprogram_of = {
+        let mut dedup: Vec<(u64, (u32, u32))> = Vec::with_capacity(subprogram_of.len());
+        for e in subprogram_of {
+            match dedup.last_mut() {
+                Some(last) if last.0 == e.0 => *last = e,
+                _ => dedup.push(e),
+            }
+        }
+        dedup
+    };
+    let subprogram_of = |entry: u64| -> Option<(usize, usize)> {
+        subprogram_of
+            .binary_search_by_key(&entry, |&(pc, _)| pc)
+            .ok()
+            .map(|i| (subprogram_of[i].1 .0 as usize, subprogram_of[i].1 .1 as usize))
+    };
     pool.install(|| {
         skeleton.par_iter_mut().for_each(|fs| {
             // Loops (AC2).
             if let Some(fir) = ir.func(fs.entry) {
-                let forest = loop_forest(fir);
+                let forest = loop_forest_on(fir, fir.graph());
                 fs.loops = forest
                     .loops
                     .iter()
@@ -272,7 +303,7 @@ pub fn analyze_artifacts(
                 }
             }
             // Inline scopes (AC4).
-            if let Some(&(ui, si)) = subprogram_of.get(&fs.entry) {
+            if let Some((ui, si)) = subprogram_of(fs.entry) {
                 let unit = &di.units[ui];
                 fs.inlines = unit.subprograms[si]
                     .inlines

@@ -77,6 +77,39 @@ pub struct StructFile {
     pub functions: Vec<FuncStruct>,
 }
 
+impl InlineScope {
+    /// Bytes of heap this scope owns, including nested scopes.
+    pub fn heap_bytes(&self) -> usize {
+        self.name.capacity()
+            + self.call_file.capacity()
+            + self.children.capacity() * std::mem::size_of::<InlineScope>()
+            + self.children.iter().map(InlineScope::heap_bytes).sum::<usize>()
+    }
+}
+
+impl StructFile {
+    /// Bytes of heap the recovered structure pins (the resident-size
+    /// estimate a memoizing session sums).
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.load_module.capacity()
+            + self.functions.capacity() * size_of::<FuncStruct>()
+            + self
+                .functions
+                .iter()
+                .map(|f| {
+                    f.name.capacity()
+                        + f.ranges.capacity() * size_of::<(u64, u64)>()
+                        + f.loops.capacity() * size_of::<LoopStruct>()
+                        + f.stmts.capacity() * size_of::<StmtRange>()
+                        + f.stmts.iter().map(|s| s.file.capacity()).sum::<usize>()
+                        + f.inlines.capacity() * size_of::<InlineScope>()
+                        + f.inlines.iter().map(InlineScope::heap_bytes).sum::<usize>()
+                })
+                .sum::<usize>()
+    }
+}
+
 fn write_inline(out: &mut String, scope: &InlineScope, indent: usize) {
     use std::fmt::Write;
     let pad = "  ".repeat(indent);

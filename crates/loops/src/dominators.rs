@@ -1,77 +1,88 @@
 //! Immediate dominators (Cooper-Harvey-Kennedy "A Simple, Fast Dominance
 //! Algorithm").
+//!
+//! The tree is stored densely: `idom` is a `Vec<u32>` of reverse-postorder
+//! positions (the entry maps to itself), and the address → position map is
+//! a shared [`BlockIndex`] binary search rather than a hash map. Address-
+//! keyed queries ([`DomTree::dominates`], [`DomTree::idom_of`]) sit on top
+//! as the compat seam, so consumers are unchanged.
 
-use pba_dataflow::CfgView;
-use std::collections::HashMap;
+use pba_cfg::BlockIndex;
+use pba_dataflow::{CfgView, FlowGraph};
 
-/// A computed dominator tree over one function's blocks.
+/// A computed dominator tree over one function's reachable blocks.
 #[derive(Debug, Clone)]
 pub struct DomTree {
-    /// Blocks in reverse postorder (entry first).
+    /// Blocks in reverse postorder (entry first). Unreachable blocks are
+    /// excluded — they cannot participate in natural loops.
     pub rpo: Vec<u64>,
-    /// Immediate dominator per block (the entry maps to itself).
-    pub idom: HashMap<u64, u64>,
+    /// Immediate dominator per RPO position (the entry maps to itself).
+    /// For every non-entry position `i`, `idom[i] < i`, so dominance
+    /// walks strictly descend.
+    idom: Vec<u32>,
+    /// Address → RPO position.
+    index: BlockIndex,
 }
 
 impl DomTree {
     /// Does `a` dominate `b`? (Reflexive: every block dominates itself.)
+    /// Unreachable blocks dominate nothing and are dominated by nothing.
     pub fn dominates(&self, a: u64, b: u64) -> bool {
-        let mut cur = b;
-        loop {
-            if cur == a {
-                return true;
-            }
-            let Some(&parent) = self.idom.get(&cur) else { return false };
-            if parent == cur {
-                return cur == a;
-            }
-            cur = parent;
+        let (Some(pa), Some(mut pb)) = (self.index.get(a), self.index.get(b)) else {
+            return false;
+        };
+        // Climb b's dominator chain until it passes a's position: idoms
+        // always have smaller RPO positions, so the walk terminates.
+        while pb > pa {
+            pb = self.idom[pb] as usize;
         }
+        pb == pa
     }
 
     /// Immediate dominator of `b`, or `None` for the entry / unreachable
     /// blocks.
     pub fn idom_of(&self, b: u64) -> Option<u64> {
-        self.idom.get(&b).copied().filter(|&p| p != b)
+        let i = self.index.get(b)?;
+        let p = self.idom[i] as usize;
+        (p != i).then(|| self.rpo[p])
+    }
+
+    /// Bytes of heap owned by the tree.
+    pub fn heap_bytes(&self) -> usize {
+        self.rpo.capacity() * std::mem::size_of::<u64>()
+            + self.idom.capacity() * std::mem::size_of::<u32>()
+            + self.index.heap_bytes()
     }
 }
 
-/// Reverse postorder from the entry, via the repo's one RPO definition
-/// ([`pba_cfg::order::reverse_postorder`]). Unreachable blocks are
-/// excluded (they cannot participate in natural loops): the generic
-/// order appends them after the reachable postorder, which puts them
-/// *before* the entry once reversed — the reachable region is exactly
-/// the suffix starting at the entry.
-fn reverse_postorder(view: &dyn CfgView) -> Vec<u64> {
-    let blocks = view.blocks();
-    let entry = view.entry();
-    let succs = |b: u64| -> Vec<u64> { view.succ_edges(b).iter().map(|&(s, _)| s).collect() };
-    let mut full = pba_cfg::order::reverse_postorder(blocks, &[entry], &succs);
-    match full.iter().position(|&b| b == entry) {
-        Some(at) => full.split_off(at),
-        None => Vec::new(),
-    }
-}
-
-/// Compute the dominator tree of the function in `view`.
+/// Compute the dominator tree of the function in `view`, building a
+/// throwaway [`FlowGraph`]. Prefer [`dominators_on`] when a graph (and
+/// its memoized traversal) already exists — [`pba_dataflow::ir::FuncIr`]
+/// carries one.
 pub fn dominators(view: &dyn CfgView) -> DomTree {
-    let rpo = reverse_postorder(view);
-    let index: HashMap<u64, usize> = rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
-    let entry = view.entry();
+    dominators_on(view, &FlowGraph::build(view))
+}
 
-    let mut idom: Vec<Option<usize>> = vec![None; rpo.len()];
+/// Compute the dominator tree over a prebuilt [`FlowGraph`], reusing the
+/// graph's memoized entry-anchored RPO instead of re-traversing (and
+/// re-indexing) the function per call.
+pub fn dominators_on(view: &dyn CfgView, graph: &FlowGraph) -> DomTree {
+    let rpo = graph.entry_rpo();
+    let index = BlockIndex::new(&rpo);
     if rpo.is_empty() {
-        return DomTree { rpo, idom: HashMap::new() };
+        return DomTree { rpo, idom: Vec::new(), index };
     }
+
+    let mut idom: Vec<Option<u32>> = vec![None; rpo.len()];
     idom[0] = Some(0);
 
-    let intersect = |idom: &[Option<usize>], mut a: usize, mut b: usize| -> usize {
+    let intersect = |idom: &[Option<u32>], mut a: u32, mut b: u32| -> u32 {
         while a != b {
             while a > b {
-                a = idom[a].expect("processed");
+                a = idom[a as usize].expect("processed");
             }
             while b > a {
-                b = idom[b].expect("processed");
+                b = idom[b as usize].expect("processed");
             }
         }
         a
@@ -81,15 +92,15 @@ pub fn dominators(view: &dyn CfgView) -> DomTree {
     while changed {
         changed = false;
         for (i, &b) in rpo.iter().enumerate().skip(1) {
-            let mut new_idom: Option<usize> = None;
+            let mut new_idom: Option<u32> = None;
             for &(p, _) in view.pred_edges(b) {
-                let Some(&pi) = index.get(&p) else { continue };
+                let Some(pi) = index.get(p) else { continue };
                 if idom[pi].is_none() {
                     continue;
                 }
                 new_idom = Some(match new_idom {
-                    None => pi,
-                    Some(cur) => intersect(&idom, cur, pi),
+                    None => pi as u32,
+                    Some(cur) => intersect(&idom, cur, pi as u32),
                 });
             }
             if let Some(ni) = new_idom {
@@ -101,10 +112,11 @@ pub fn dominators(view: &dyn CfgView) -> DomTree {
         }
     }
 
-    let map: HashMap<u64, u64> =
-        rpo.iter().enumerate().filter_map(|(i, &b)| idom[i].map(|d| (b, rpo[d]))).collect();
-    let _ = entry;
-    DomTree { rpo, idom: map }
+    // Every reachable non-entry block has a reachable predecessor that
+    // appears earlier in RPO, so the first pass already settled them all.
+    let idom: Vec<u32> =
+        idom.into_iter().map(|d| d.expect("reachable blocks acquire an idom")).collect();
+    DomTree { rpo, idom, index }
 }
 
 #[cfg(test)]
@@ -160,6 +172,7 @@ mod tests {
         assert_eq!(d.rpo, vec![1, 2]);
         assert_eq!(d.idom_of(99), None);
         assert!(!d.dominates(1, 99));
+        assert!(!d.dominates(99, 99), "unreachable blocks are outside the tree");
     }
 
     #[test]
@@ -170,5 +183,17 @@ mod tests {
         assert_eq!(d.idom_of(2), Some(1));
         assert_eq!(d.idom_of(3), Some(1));
         assert_eq!(d.idom_of(4), Some(1));
+    }
+
+    #[test]
+    fn prebuilt_graph_matches_legacy_entry_point() {
+        let v = view(1, &[1, 2, 3, 4], &[(1, 2), (2, 3), (3, 2), (3, 4)]);
+        let g = FlowGraph::build(&v);
+        let a = dominators(&v);
+        let b = dominators_on(&v, &g);
+        assert_eq!(a.rpo, b.rpo);
+        for &blk in &a.rpo {
+            assert_eq!(a.idom_of(blk), b.idom_of(blk));
+        }
     }
 }

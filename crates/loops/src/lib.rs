@@ -17,5 +17,5 @@
 pub mod dominators;
 pub mod loops;
 
-pub use dominators::{dominators, DomTree};
-pub use loops::{loop_forest, Loop, LoopForest};
+pub use dominators::{dominators, dominators_on, DomTree};
+pub use loops::{loop_forest, loop_forest_on, Loop, LoopForest};

@@ -5,8 +5,8 @@
 //! passing through `h`. Loops sharing a header are merged (multiple
 //! `continue` paths), and nesting is recovered by body inclusion.
 
-use crate::dominators::{dominators, DomTree};
-use pba_dataflow::CfgView;
+use crate::dominators::{dominators_on, DomTree};
+use pba_dataflow::{CfgView, FlowGraph};
 use std::collections::{BTreeSet, HashMap};
 
 /// One natural loop.
@@ -58,16 +58,55 @@ impl LoopForest {
     pub fn innermost(&self, block: u64) -> Option<&Loop> {
         self.loops.iter().filter(|l| l.contains(block)).max_by_key(|l| l.depth)
     }
+
+    /// Bytes of heap owned by the forest.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.loops.capacity() * size_of::<Loop>()
+            + self
+                .loops
+                .iter()
+                .map(|l| {
+                    l.body.len() * size_of::<u64>() + l.children.capacity() * size_of::<usize>()
+                })
+                .sum::<usize>()
+            + self.roots.capacity() * size_of::<usize>()
+    }
 }
 
-/// Compute the loop forest for the function in `view`.
+/// Compute the loop forest for the function in `view`, building a
+/// throwaway [`FlowGraph`]. Prefer [`loop_forest_on`] when a graph
+/// already exists ([`pba_dataflow::ir::FuncIr`] carries one).
 pub fn loop_forest(view: &dyn CfgView) -> LoopForest {
-    let dom = dominators(view);
-    forest_with_doms(view, &dom)
+    loop_forest_on(view, &FlowGraph::build(view))
+}
+
+/// Compute the loop forest over a prebuilt [`FlowGraph`]: dominators
+/// reuse the graph's memoized RPO, and loop bodies flood-fill over the
+/// graph's dense block ids (a bit vector per header) instead of
+/// hash sets — the address-keyed [`Loop::body`] sets are materialized
+/// once at the end, so the public shape is unchanged.
+pub fn loop_forest_on(view: &dyn CfgView, graph: &FlowGraph) -> LoopForest {
+    let dom = dominators_on(view, graph);
+    forest_parts(view, &dom, Some(graph))
 }
 
 /// Same as [`loop_forest`] with a precomputed dominator tree.
 pub fn forest_with_doms(view: &dyn CfgView, dom: &DomTree) -> LoopForest {
+    forest_parts(view, dom, None)
+}
+
+fn forest_parts(view: &dyn CfgView, dom: &DomTree, graph: Option<&FlowGraph>) -> LoopForest {
+    let owned;
+    let graph = match graph {
+        Some(g) => g,
+        None => {
+            owned = FlowGraph::build(view);
+            &owned
+        }
+    };
+    let index = graph.index();
+
     // 1. Back edges.
     let mut back_edges: Vec<(u64, u64)> = Vec::new(); // (tail, header)
     for &b in &dom.rpo {
@@ -78,21 +117,36 @@ pub fn forest_with_doms(view: &dyn CfgView, dom: &DomTree) -> LoopForest {
         }
     }
 
-    // 2. Natural-loop bodies, merged by header.
-    let mut bodies: HashMap<u64, BTreeSet<u64>> = HashMap::new();
+    // 2. Natural-loop bodies, merged by header. Membership is a dense
+    // bit vector over the graph's block ids; blocks outside the view
+    // (edges into the function from elsewhere) spill into a small
+    // address set, preserving the historical flood semantics exactly.
+    let mut bodies: HashMap<u64, (Vec<bool>, BTreeSet<u64>)> = HashMap::new();
     for &(tail, header) in &back_edges {
-        let body = bodies.entry(header).or_insert_with(|| BTreeSet::from([header]));
+        let (marks, extra) =
+            bodies.entry(header).or_insert_with(|| (vec![false; index.len()], BTreeSet::new()));
+        marks[index.get(header).expect("header is a view block")] = true;
         // Backward flood from tail, stopping at the header.
         let mut work = vec![tail];
         while let Some(n) = work.pop() {
-            if !body.insert(n) {
-                continue;
+            match index.get(n) {
+                Some(i) if marks[i] => continue,
+                Some(i) => marks[i] = true,
+                None => {
+                    if !extra.insert(n) {
+                        continue;
+                    }
+                }
             }
             if n == header {
                 continue;
             }
             for &(p, _) in view.pred_edges(n) {
-                if !body.contains(&p) {
+                let seen = match index.get(p) {
+                    Some(j) => marks[j],
+                    None => extra.contains(&p),
+                };
+                if !seen {
                     work.push(p);
                 }
             }
@@ -103,7 +157,12 @@ pub fn forest_with_doms(view: &dyn CfgView, dom: &DomTree) -> LoopForest {
     // parents precede children.
     let mut loops: Vec<Loop> = bodies
         .into_iter()
-        .map(|(header, body)| Loop { header, body, children: vec![], depth: 1 })
+        .map(|(header, (marks, extra))| {
+            let mut body = extra;
+            // `BlockIndex::iter` is address-ascending: in-order inserts.
+            body.extend(index.iter().filter(|&(_, i)| marks[i]).map(|(a, _)| a));
+            Loop { header, body, children: vec![], depth: 1 }
+        })
         .collect();
     loops.sort_by(|a, b| b.body.len().cmp(&a.body.len()).then(a.header.cmp(&b.header)));
 
