@@ -14,12 +14,16 @@
 //! * **stealing** — [`pba_dataflow::run_per_function`] on the
 //!   deque-based work-stealing pool (serial per-function executor);
 //! * **auto** — the same fan-out with [`ExecutorKind::Auto`], which
-//!   additionally runs the giant's fixpoints on the round-based
-//!   parallel executor so idle workers can steal *within* it.
+//!   additionally runs the giant's fixpoints on the barrier-free async
+//!   executor so idle workers can steal *within* it;
+//! * **async** — every function's fixpoints on
+//!   [`ExecutorKind::Async`], the worst case for per-task overhead
+//!   (hundreds of tiny functions paying the enqueue protocol).
 //!
 //! Steal/execute/split counters from the pool (`rayon::stats`, backed
-//! by `pba_concurrent::stats::Counter`) are reported per row, so the
-//! stealing activity behind each speedup is visible. On a 1-CPU
+//! by `pba_concurrent::stats::Counter`) are reported per row, and the
+//! async row reports the engine's own block-task counters
+//! (`pba_dataflow::engine::stats`: visits/enqueues/steals). On a 1-CPU
 //! container the rows show parity (the acceptance bar); with real
 //! cores the stealing rows pull ahead on this profile by construction.
 //!
@@ -31,9 +35,10 @@
 use pba_bench::harness::run_static_chunked;
 use pba_bench::report::{secs, Table};
 use pba_bench::workloads::{time_median, workload};
+use pba_dataflow::engine::stats as engine_stats;
 use pba_dataflow::{
-    liveness_on, reaching_defs_on, run_all_with, stack_heights_on, ExecutorKind, FuncIr,
-    AUTO_BLOCK_THRESHOLD,
+    auto_block_threshold, liveness_on, reaching_defs_on, run_all_with, stack_heights_on,
+    ExecutorKind, FuncIr,
 };
 use pba_gen::Profile;
 
@@ -89,8 +94,8 @@ fn main() {
         cfg.functions.len(),
         blocks,
         giant,
-        if giant >= AUTO_BLOCK_THRESHOLD { "past" } else { "below" },
-        AUTO_BLOCK_THRESHOLD,
+        if giant >= auto_block_threshold() { "past" } else { "below" },
+        auto_block_threshold(),
         avail
     );
 
@@ -105,9 +110,12 @@ fn main() {
         "speedup",
         "auto exec",
         "speedup",
+        "async exec",
+        "speedup",
         "steals",
         "splits",
         "executed",
+        "visits/enq/stolen",
     ]);
     for threads in steal_threads() {
         let t_static = time_median(reps, || static_chunked(&cfg, threads));
@@ -121,6 +129,13 @@ fn main() {
         let t_auto = time_median(reps, || {
             std::hint::black_box(run_all_with(&cfg, threads, ExecutorKind::Auto));
         });
+        engine_stats::reset();
+        let t_async = time_median(reps, || {
+            std::hint::black_box(run_all_with(&cfg, threads, ExecutorKind::Async(0)));
+        });
+        let visits = engine_stats::VISITS.get() / reps as u64;
+        let enqueued = engine_stats::ASYNC_ENQUEUED.get() / reps as u64;
+        let stolen = engine_stats::ASYNC_STOLEN.get() / reps as u64;
         table.row(vec![
             threads.to_string(),
             secs(t_static),
@@ -129,17 +144,22 @@ fn main() {
             format!("{:.2}x", baseline / t_steal),
             secs(t_auto),
             format!("{:.2}x", baseline / t_auto),
+            secs(t_async),
+            format!("{:.2}x", baseline / t_async),
             steals.to_string(),
             splits.to_string(),
             executed.to_string(),
+            format!("{visits}/{enqueued}/{stolen}"),
         ]);
     }
     println!("{}", table.render());
     println!(
-        "baseline (1 thread, static): {}; counters cover the {reps} stealing-row \
-         reps (serial per-function executor); 'auto exec' switches functions \
-         with >= {} blocks to the round-based parallel executor",
+        "baseline (1 thread, static): {}; pool counters cover the {reps} \
+         stealing-row reps (serial per-function executor); 'auto exec' \
+         switches functions with >= {} blocks (PBA_AUTO_THRESHOLD) to the \
+         barrier-free async executor; the async row's visits/enq/stolen are \
+         per-run block-task counters from the engine",
         secs(baseline),
-        AUTO_BLOCK_THRESHOLD
+        auto_block_threshold()
     );
 }

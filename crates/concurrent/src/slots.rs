@@ -1,0 +1,190 @@
+//! Striped-lock published-fact slots for the barrier-free dataflow
+//! executor.
+//!
+//! The async executor publishes each block's out-fact as soon as it is
+//! recomputed, and concurrent visits of neighboring blocks read those
+//! publications while they may be mid-overwrite. Facts are arbitrary
+//! `Clone` types (multi-word bit vectors, path sets), so an unprotected
+//! slot could expose a torn value — half old, half new — which is *not*
+//! covered by the monotonicity argument (a torn fact is not a lattice
+//! element at all, let alone a stale one). [`FactSlots`] closes that
+//! hole with lock striping: every slot access (read or publish) runs
+//! under the slot's stripe mutex, so readers observe only values that
+//! were fully published — possibly stale, never torn. Stale is safe:
+//! a monotone spec re-signals the reader when the value it missed
+//! matters (the engine's claim/re-enqueue protocol, [`crate::taskset`]).
+//!
+//! Striping bounds the lock-memory cost: adjacent slots map to
+//! different stripes, so neighboring blocks — the common concurrent
+//! access pattern in a CFG — do not contend on one lock, while the
+//! stripe table stays a few cache lines regardless of function size.
+//! Publishes compare under the lock ([`FactSlots::publish_if_changed`])
+//! so "did this visit change the output?" — the executor's re-enqueue
+//! trigger — is atomic with the publication itself: of two racing
+//! publishers of the same value, exactly one reports a change
+//! (last-publish-wins, checked by the proptest model in
+//! `tests/async_primitives.rs`).
+
+use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+
+/// Stripe count: power of two, enough that `threads × blocks-in-flight`
+/// rarely collide, small enough to stay resident (64 × one mutex word).
+const STRIPES: usize = 64;
+
+/// A dense vector of concurrently published values, one stripe-locked
+/// slot per index. See the module docs for the protocol this supports.
+pub struct FactSlots<T> {
+    values: Box<[UnsafeCell<T>]>,
+    stripes: Box<[Mutex<()>]>,
+}
+
+// Safety: every access to a slot's `UnsafeCell` goes through its stripe
+// mutex (`stripe()` guards all read/publish paths), so `&FactSlots`
+// never yields unsynchronized access to a `T`. `T: Send` because values
+// are written from any thread; `T: Sync` because `with` hands `&T` to
+// closures on any thread.
+unsafe impl<T: Send + Sync> Sync for FactSlots<T> {}
+
+impl<T> FactSlots<T> {
+    /// Wrap `values` in striped-lock slots.
+    pub fn new(values: Vec<T>) -> FactSlots<T> {
+        FactSlots {
+            values: values.into_iter().map(UnsafeCell::new).collect(),
+            stripes: (0..STRIPES).map(|_| Mutex::new(())).collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether there are no slots.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The stripe guarding slot `i`.
+    fn stripe(&self, i: usize) -> parking_lot::MutexGuard<'_, ()> {
+        self.stripes[i % STRIPES].lock()
+    }
+
+    /// Run `f` on slot `i`'s current value, under its stripe lock. `f`
+    /// must not touch other slots (self-deadlock on a shared stripe);
+    /// the executor only folds the value into a thread-local scratch.
+    pub fn with<R>(&self, i: usize, f: impl FnOnce(&T) -> R) -> R {
+        let _guard = self.stripe(i);
+        // Safety: the stripe lock is held; no other thread accesses the
+        // cell concurrently.
+        f(unsafe { &*self.values[i].get() })
+    }
+
+    /// Clone slot `i`'s current value into `out` (reusing `out`'s
+    /// allocations via `clone_from`).
+    pub fn read_into(&self, i: usize, out: &mut T)
+    where
+        T: Clone,
+    {
+        let _guard = self.stripe(i);
+        // Safety: stripe lock held.
+        out.clone_from(unsafe { &*self.values[i].get() });
+    }
+
+    /// Overwrite slot `i` with `value` unless it already compares equal;
+    /// returns whether the slot changed. The compare and the overwrite
+    /// are one critical section, so concurrent publishers of the same
+    /// value report exactly one change between them.
+    pub fn publish_if_changed(&self, i: usize, value: &T) -> bool
+    where
+        T: Clone + PartialEq,
+    {
+        let _guard = self.stripe(i);
+        // Safety: stripe lock held.
+        let slot = unsafe { &mut *self.values[i].get() };
+        if *slot == *value {
+            return false;
+        }
+        slot.clone_from(value);
+        true
+    }
+
+    /// Unconditionally overwrite slot `i` with `value`.
+    pub fn publish(&self, i: usize, value: &T)
+    where
+        T: Clone,
+    {
+        let _guard = self.stripe(i);
+        // Safety: stripe lock held.
+        unsafe { &mut *self.values[i].get() }.clone_from(value);
+    }
+
+    /// Unwrap the final values (exclusive access: all publishers done).
+    pub fn into_inner(self) -> Vec<T> {
+        self.values.into_vec().into_iter().map(UnsafeCell::into_inner).collect()
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for FactSlots<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FactSlots").field("len", &self.values.len()).finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn publish_and_read_round_trip() {
+        let slots = FactSlots::new(vec![0u64; 8]);
+        assert!(slots.publish_if_changed(3, &7));
+        assert!(!slots.publish_if_changed(3, &7), "same value is not a change");
+        assert!(slots.publish_if_changed(3, &9));
+        let mut out = 0;
+        slots.read_into(3, &mut out);
+        assert_eq!(out, 9);
+        assert_eq!(slots.with(3, |v| *v), 9);
+        let finals = slots.into_inner();
+        assert_eq!(finals[3], 9);
+        assert_eq!(finals[0], 0);
+    }
+
+    #[test]
+    fn concurrent_readers_never_observe_torn_values() {
+        // Facts are 4-word values whose words must all agree; a torn
+        // read (half one publish, half another) breaks the invariant.
+        let slots = Arc::new(FactSlots::new(vec![[0u64; 4]; 16]));
+        let writers: Vec<_> = (0..4u64)
+            .map(|w| {
+                let slots = Arc::clone(&slots);
+                std::thread::spawn(move || {
+                    for k in 0..2_000u64 {
+                        let v = w * 1_000_000 + k;
+                        slots.publish(((w + k) % 16) as usize, &[v; 4]);
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..4)
+            .map(|r| {
+                let slots = Arc::clone(&slots);
+                std::thread::spawn(move || {
+                    let mut scratch = [0u64; 4];
+                    for k in 0..2_000usize {
+                        let i = (r + k) % 16;
+                        slots.read_into(i, &mut scratch);
+                        assert!(
+                            scratch.iter().all(|&x| x == scratch[0]),
+                            "torn read at slot {i}: {scratch:?}"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in writers.into_iter().chain(readers) {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Per-task enqueued/claimed state bits plus an in-flight counter: the
+//! termination protocol of the barrier-free dataflow executor.
+//!
+//! A barrier-free worklist has no rounds to count and no join to wait
+//! on, so it needs two guarantees the round-based executors get for
+//! free:
+//!
+//! * **single residency** — a task signaled from several neighbors
+//!   concurrently must end up in exactly one deque, exactly once
+//!   (duplicate entries would double-run visits and overcount work);
+//! * **no lost wakeups, no premature exit** — a signal arriving while
+//!   the task is being *run* must cause a re-run (the running visit may
+//!   have read the signaler's value too early), and the in-flight count
+//!   must not touch zero while any task is queued or running.
+//!
+//! [`TaskSet`] provides both with a four-state machine per task
+//! (`Idle → Queued → Running → Idle`, with `Dirty` recording a signal
+//! that raced a running visit) and one shared counter of tasks not
+//! `Idle`. The state transitions are the *only* places pushes are
+//! permitted: [`TaskSet::signal`] returns `true` exactly when the
+//! caller must push the task onto a queue (the `Idle → Queued` and, via
+//! [`TaskSet::finish`], `Dirty → Queued` edges), so a task can never be
+//! resident in two deques. Workers exit when [`TaskSet::in_flight`]
+//! reaches zero — with every signaler either running a counted task or
+//! finished before the workers started, zero is stable and means the
+//! fixpoint was reached. The threaded stress test in
+//! `tests/async_primitives.rs` drives a cyclic graph through this
+//! protocol and checks both guarantees.
+
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+
+/// Not signaled, not queued, not running.
+const IDLE: u8 = 0;
+/// Resident in exactly one queue, awaiting a claim.
+const QUEUED: u8 = 1;
+/// Claimed by a worker; a visit is in progress.
+const RUNNING: u8 = 2;
+/// Running, and re-signaled since the claim: must re-queue on finish.
+const DIRTY: u8 = 3;
+
+/// Enqueued/claimed state bits for a fixed set of tasks, plus the
+/// in-flight count workers poll for termination. See the module docs
+/// for the protocol.
+#[derive(Debug)]
+pub struct TaskSet {
+    states: Vec<AtomicU8>,
+    /// Tasks not currently `Idle` (transiently over-approximated while
+    /// a `signal` is mid-flight — never under).
+    in_flight: AtomicUsize,
+}
+
+impl TaskSet {
+    /// `n` tasks, all idle.
+    pub fn new(n: usize) -> TaskSet {
+        TaskSet {
+            states: (0..n).map(|_| AtomicU8::new(IDLE)).collect(),
+            in_flight: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Mark task `i` runnable. Returns `true` exactly when the caller
+    /// must push `i` onto a queue (the task was idle); a task already
+    /// queued is left alone, and a task currently running is marked
+    /// dirty so [`TaskSet::finish`] re-queues it.
+    ///
+    /// The in-flight count is raised *before* the state transition and
+    /// only lowered again on the no-op paths, so it can over-read
+    /// transiently but never drops to zero while a signal is pending —
+    /// a worker polling [`TaskSet::in_flight`] cannot exit between a
+    /// racing signal's state change and its accounting.
+    pub fn signal(&self, i: usize) -> bool {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        let state = &self.states[i];
+        let mut cur = state.load(Ordering::SeqCst);
+        loop {
+            let target = match cur {
+                IDLE => QUEUED,
+                RUNNING => DIRTY,
+                QUEUED | DIRTY => {
+                    // Already signaled; the pending visit will see our
+                    // predecessors' published facts. Give back the
+                    // provisional count.
+                    self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    return false;
+                }
+                _ => unreachable!("corrupt task state {cur}"),
+            };
+            match state.compare_exchange(cur, target, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => {
+                    if target == QUEUED {
+                        // The +1 now counts this queued task.
+                        return true;
+                    }
+                    // Running → dirty: the task is already counted by
+                    // its `Running` state; return the provisional +1.
+                    self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    return false;
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Claim task `i` after popping it from a queue: `Queued →
+    /// Running`. Only the popper may call this, and a popped task is
+    /// always `Queued` (pushes happen only on `→ Queued` transitions,
+    /// one pop per push).
+    pub fn claim(&self, i: usize) {
+        let prev = self.states[i].swap(RUNNING, Ordering::SeqCst);
+        debug_assert_eq!(prev, QUEUED, "claimed task {i} was not queued");
+    }
+
+    /// Finish task `i`'s visit. Returns `true` when the task was
+    /// re-signaled while running and the caller must push it again
+    /// (`Dirty → Queued`, keeping its in-flight count); otherwise the
+    /// task goes idle and leaves the in-flight count.
+    ///
+    /// Callers must publish outputs and signal successors *before*
+    /// finishing, so the count only reaches zero at the fixpoint.
+    pub fn finish(&self, i: usize) -> bool {
+        let state = &self.states[i];
+        match state.compare_exchange(RUNNING, IDLE, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => {
+                self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                false
+            }
+            Err(actual) => {
+                debug_assert_eq!(actual, DIRTY, "finished task {i} was neither running nor dirty");
+                state.store(QUEUED, Ordering::SeqCst);
+                true
+            }
+        }
+    }
+
+    /// Tasks currently queued or running (plus any signal mid-flight).
+    /// Zero is stable once all signalers are themselves counted tasks:
+    /// it means every task is idle and no more signals can arrive — the
+    /// workers' exit condition.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_claim_finish_cycle() {
+        let t = TaskSet::new(4);
+        assert_eq!(t.in_flight(), 0);
+        assert!(t.signal(2), "idle task must be pushed");
+        assert!(!t.signal(2), "queued task must not be pushed twice");
+        assert_eq!(t.in_flight(), 1);
+        t.claim(2);
+        assert_eq!(t.in_flight(), 1, "running still in flight");
+        assert!(!t.finish(2), "no re-signal, no re-queue");
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn signal_while_running_requeues_on_finish() {
+        let t = TaskSet::new(1);
+        assert!(t.signal(0));
+        t.claim(0);
+        assert!(!t.signal(0), "running task is marked dirty, not pushed");
+        assert!(!t.signal(0), "dirty is sticky");
+        assert_eq!(t.in_flight(), 1);
+        assert!(t.finish(0), "dirty task must be re-queued by the finisher");
+        assert_eq!(t.in_flight(), 1, "re-queued task keeps its count");
+        t.claim(0);
+        assert!(!t.finish(0));
+        assert_eq!(t.in_flight(), 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Model checks for the barrier-free executor's concurrency primitives:
+//!
+//! 1. a proptest model check of [`FactSlots`] — random op sequences
+//!    against a plain `Vec` model pin the claim/publish semantics
+//!    (reads return the latest publish, `publish_if_changed` reports a
+//!    change exactly when the model changes);
+//! 2. a concurrent single-winner check — racing publishers of one value
+//!    produce exactly one reported change (the executor's re-enqueue
+//!    trigger must not fire twice for one lattice step);
+//! 3. a threaded stress test of the [`TaskSet`] termination protocol on
+//!    a cyclic graph — a ring of monotone counters must reach its known
+//!    fixpoint (any lost wakeup or premature exit stalls it below the
+//!    cap) while no task is ever resident in two queues at once.
+
+use pba_concurrent::{FactSlots, TaskSet};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Single-threaded op sequences against a `Vec` model: FactSlots is
+    /// a plain store with change-reporting publishes.
+    #[test]
+    fn fact_slots_match_vec_model(
+        ops in prop::collection::vec((0usize..8, 0u64..4, any::<bool>()), 1..64),
+    ) {
+        let slots = FactSlots::new(vec![0u64; 8]);
+        let mut model = vec![0u64; 8];
+        for (slot, value, conditional) in ops {
+            if conditional {
+                let changed = slots.publish_if_changed(slot, &value);
+                prop_assert_eq!(changed, model[slot] != value, "change report diverges");
+            } else {
+                slots.publish(slot, &value);
+            }
+            model[slot] = value;
+            let mut out = u64::MAX;
+            slots.read_into(slot, &mut out);
+            prop_assert_eq!(out, model[slot], "read_into diverges from model");
+            prop_assert_eq!(slots.with(slot, |v| *v), model[slot], "with diverges from model");
+        }
+        prop_assert_eq!(slots.into_inner(), model, "final state diverges");
+    }
+}
+
+/// Racing publishers of the same new value: exactly one observes the
+/// change (compare and overwrite are one critical section).
+#[test]
+fn racing_equal_publishes_report_one_change() {
+    for _ in 0..50 {
+        let slots = Arc::new(FactSlots::new(vec![0u64; 1]));
+        let changes: Vec<_> = (0..4)
+            .map(|_| {
+                let slots = Arc::clone(&slots);
+                std::thread::spawn(move || slots.publish_if_changed(0, &42))
+            })
+            .collect();
+        let total = changes.into_iter().map(|h| h.join().unwrap()).filter(|&c| c).count();
+        assert_eq!(total, 1, "exactly one racing publisher wins the change");
+        assert_eq!(slots.with(0, |v| *v), 42);
+    }
+}
+
+/// The executor's visit protocol, miniaturized: a ring of `N` monotone
+/// counters where block `i`'s output is `min(output[i-1] + 1, CAP)`.
+/// Reaching the fixpoint (all slots at `CAP`) requires ~`CAP` laps of
+/// signal-driven propagation around the cycle — a single lost wakeup or
+/// premature worker exit freezes some slot below the cap.
+#[test]
+fn task_set_terminates_ring_fixpoint_without_lost_wakeups() {
+    const N: usize = 64;
+    const CAP: u64 = 192;
+    const WORKERS: usize = 4;
+
+    let tasks = Arc::new(TaskSet::new(N));
+    let facts: Arc<Vec<AtomicU64>> = Arc::new((0..N).map(|_| AtomicU64::new(0)).collect());
+    // One shared FIFO stands in for the executor's deques; `resident`
+    // asserts the single-residency guarantee on every push.
+    let queue = Arc::new(Mutex::new(VecDeque::new()));
+    let resident: Arc<Vec<AtomicBool>> = Arc::new((0..N).map(|_| AtomicBool::new(false)).collect());
+
+    let push = |queue: &Mutex<VecDeque<usize>>, resident: &[AtomicBool], i: usize| {
+        assert!(!resident[i].swap(true, Ordering::SeqCst), "task {i} resident in two queues");
+        queue.lock().unwrap().push_back(i);
+    };
+
+    // Seed every block once, before the workers start.
+    for i in 0..N {
+        assert!(tasks.signal(i), "seeding an idle task must enqueue it");
+        push(&queue, &resident, i);
+    }
+
+    let workers: Vec<_> = (0..WORKERS)
+        .map(|_| {
+            let tasks = Arc::clone(&tasks);
+            let facts = Arc::clone(&facts);
+            let queue = Arc::clone(&queue);
+            let resident = Arc::clone(&resident);
+            std::thread::spawn(move || {
+                let mut visits = 0u64;
+                loop {
+                    let popped = queue.lock().unwrap().pop_front();
+                    let Some(i) = popped else {
+                        if tasks.in_flight() == 0 {
+                            return visits;
+                        }
+                        std::thread::yield_now();
+                        continue;
+                    };
+                    assert!(
+                        resident[i].swap(false, Ordering::SeqCst),
+                        "popped a non-resident task"
+                    );
+                    tasks.claim(i);
+                    visits += 1;
+                    // Monotone transfer off the ring predecessor's
+                    // published value; only this worker may write slot
+                    // `i` (claim guarantees a single runner per task).
+                    let input = facts[(i + N - 1) % N].load(Ordering::SeqCst);
+                    let new = (input + 1).min(CAP);
+                    let changed = new > facts[i].load(Ordering::SeqCst);
+                    if changed {
+                        facts[i].store(new, Ordering::SeqCst);
+                        let succ = (i + 1) % N;
+                        if tasks.signal(succ) {
+                            push(&queue, &resident, succ);
+                        }
+                    }
+                    // Publish-then-finish: the re-queue check comes
+                    // after the successor signal, so in-flight cannot
+                    // touch zero before the new work is registered.
+                    if tasks.finish(i) {
+                        push(&queue, &resident, i);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let total_visits: u64 = workers.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(tasks.in_flight(), 0, "all workers exited with work in flight");
+    for (i, f) in facts.iter().enumerate() {
+        assert_eq!(f.load(Ordering::SeqCst), CAP, "slot {i} below the fixpoint: lost wakeup");
+    }
+    // Sanity: propagation visits scale with CAP, not unboundedly.
+    assert!(total_visits >= CAP, "fixpoint cannot be reached in fewer visits than the cap");
+    assert!(total_visits <= CAP * N as u64 * 4, "runaway re-enqueue: {total_visits} visits");
+}

@@ -71,9 +71,12 @@
 //! themselves as a [`engine::DataflowSpec`] (direction, lattice bottom,
 //! boundary fact, meet, block transfer) and an executor drives the
 //! worklist — [`engine::SerialExecutor`] with a reverse-postorder
-//! priority queue, or [`engine::ParallelExecutor`] with a round-based
-//! rayon worklist. Monotone specs over finite lattices have a unique
-//! least fixpoint, so the two executors return identical results by
+//! priority queue, [`engine::ParallelExecutor`] with a round-based
+//! rayon worklist, or [`engine::AsyncExecutor`] with a barrier-free
+//! per-block worklist on work-stealing deques (stale reads tolerated by
+//! monotonicity, torn reads prevented by `pba-concurrent`'s striped
+//! fact slots). Monotone specs over finite lattices have a unique
+//! least fixpoint, so the three executors return identical results by
 //! construction (property-tested in `tests/engine_equiv.rs`). Liveness,
 //! reaching definitions and stack height are all spec'd this way;
 //! [`engine::run_all`] fans all three across the functions of a
@@ -90,9 +93,9 @@ pub mod stack;
 pub mod view;
 
 pub use engine::{
-    run_all, run_all_ir, run_all_with, run_per_function, run_per_function_ir, DataflowExecutor,
-    DataflowResults, DataflowSpec, Direction, ExecutorKind, FlowGraph, FuncAnalyses,
-    ParallelExecutor, SerialExecutor, AUTO_BLOCK_THRESHOLD,
+    auto_block_threshold, run_all, run_all_ir, run_all_with, run_per_function, run_per_function_ir,
+    AsyncExecutor, DataflowExecutor, DataflowResults, DataflowSpec, Direction, ExecutorKind,
+    FlowGraph, FuncAnalyses, ParallelExecutor, SerialExecutor, AUTO_BLOCK_THRESHOLD,
 };
 pub use expr::Expr;
 pub use ir::{BinaryIr, BlockSummary, FuncIr};

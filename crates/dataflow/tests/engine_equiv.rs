@@ -1,11 +1,14 @@
 //! Engine equivalence properties, on randomized `pba-gen` binaries:
 //!
-//! 1. `SerialExecutor` and `ParallelExecutor` (1/2/4/8 threads) reach
-//!    identical fixpoints for all three analyses — the engine's central
-//!    "interchangeable by construction" claim; both executors drive the
-//!    allocation-free `transfer_into` path, so this also pins that the
-//!    borrowed-view + in-place engine is byte-identical to the
-//!    reference fixpoints;
+//! 1. `SerialExecutor`, `ParallelExecutor`, and the barrier-free
+//!    `AsyncExecutor` (1/2/4/8 threads each) reach identical fixpoints
+//!    for all three analyses — the engine's central "interchangeable by
+//!    construction" claim; all executors drive the allocation-free
+//!    `transfer_into` path, so this also pins that the borrowed-view +
+//!    in-place engine is byte-identical to the reference fixpoints
+//!    (plus a directed Skewed-profile case, where one giant function
+//!    crosses the Auto threshold and exercises the async executor's
+//!    stealing on a deep propagation chain);
 //! 2. the engine reproduces the bespoke worklist loops byte-for-byte
 //!    (the original fixpoints are kept here as reference
 //!    implementations; the reaching-defs oracle carries the deliberate
@@ -225,9 +228,12 @@ proptest! {
             }
             for t in THREADS {
                 let par = liveness_with(&view, ExecutorKind::Parallel(t));
+                let asy = liveness_with(&view, ExecutorKind::Async(t));
                 for &b in view.blocks() {
                     prop_assert_eq!(par.live_in(b), serial.live_in(b), "liveness in, {} threads", t);
                     prop_assert_eq!(par.live_out(b), serial.live_out(b), "liveness out, {} threads", t);
+                    prop_assert_eq!(asy.live_in(b), serial.live_in(b), "async liveness in, {} threads", t);
+                    prop_assert_eq!(asy.live_out(b), serial.live_out(b), "async liveness out, {} threads", t);
                 }
             }
 
@@ -240,9 +246,12 @@ proptest! {
             }
             for t in THREADS {
                 let par = stack_heights_with(&view, ExecutorKind::Parallel(t));
+                let asy = stack_heights_with(&view, ExecutorKind::Async(t));
                 for &b in view.blocks() {
                     prop_assert_eq!(par.entry_frame(b), serial.entry_frame(b), "stack entry, {} threads", t);
                     prop_assert_eq!(par.exit_frame(b), serial.exit_frame(b), "stack exit, {} threads", t);
+                    prop_assert_eq!(asy.entry_frame(b), serial.entry_frame(b), "async stack entry, {} threads", t);
+                    prop_assert_eq!(asy.exit_frame(b), serial.exit_frame(b), "async stack exit, {} threads", t);
                 }
             }
 
@@ -260,13 +269,18 @@ proptest! {
             }
             for t in THREADS {
                 let par = reaching_defs_with(&view, ExecutorKind::Parallel(t));
+                let asy = reaching_defs_with(&view, ExecutorKind::Async(t));
                 prop_assert_eq!(&par.defs, &serial.defs);
+                prop_assert_eq!(&asy.defs, &serial.defs);
                 for &b in &f.blocks {
                     let mut a = par.reaching_at_entry(b);
+                    let mut y = asy.reaching_at_entry(b);
                     let mut s = serial.reaching_at_entry(b);
                     a.sort_unstable();
+                    y.sort_unstable();
                     s.sort_unstable();
-                    prop_assert_eq!(a, s, "reaching, {} threads", t);
+                    prop_assert_eq!(&a, &s, "reaching, {} threads", t);
+                    prop_assert_eq!(&y, &s, "async reaching, {} threads", t);
                 }
             }
         }
@@ -296,6 +310,54 @@ proptest! {
                 }
                 prop_assert_eq!(&a.reaching.defs, &rd.defs);
                 prop_assert_eq!(&b.reaching.defs, &rd.defs);
+            }
+        }
+    }
+}
+
+/// The Skewed-profile corpus: one giant function (past the Auto
+/// threshold, thousands of blocks of deep diamond chains) among hundreds
+/// of small ones — the workload the barrier-free executor exists for.
+/// All three analyses must be byte-identical to serial at every thread
+/// count, and `Auto` (which now routes the giant to `Async`) must match
+/// too.
+#[test]
+fn async_matches_serial_on_skewed_corpus() {
+    let mut gen_cfg = pba_gen::Profile::Skewed.config(0xA51C);
+    gen_cfg.num_funcs = 40; // scale the small-function tail down for test time
+    let g = generate(&gen_cfg);
+    let elf = pba_elf::Elf::parse(g.elf).unwrap();
+    let input = pba_parse::ParseInput::from_elf(&elf).unwrap();
+    let cfg_graph = pba_parse::parse_parallel(&input, 2).cfg;
+    let giant =
+        cfg_graph.functions.values().map(|f| f.blocks.len()).max().expect("non-empty corpus");
+    assert!(giant > 1000, "Skewed profile must keep its giant function ({giant} blocks)");
+
+    for f in cfg_graph.functions.values() {
+        let view = FuncIr::build(&cfg_graph, f);
+        let live = liveness(&view);
+        let stack = stack_heights(&view);
+        let rd = reaching_defs(&view);
+        let mut execs: Vec<ExecutorKind> =
+            THREADS.iter().map(|&t| ExecutorKind::Async(t)).collect();
+        execs.push(ExecutorKind::Auto);
+        for exec in execs {
+            let l = liveness_with(&view, exec);
+            let s = stack_heights_with(&view, exec);
+            let r = reaching_defs_with(&view, exec);
+            for &b in view.blocks() {
+                assert_eq!(l.live_in(b), live.live_in(b), "{exec:?} liveness at {b:#x}");
+                assert_eq!(l.live_out(b), live.live_out(b), "{exec:?} liveness at {b:#x}");
+                assert_eq!(s.entry_frame(b), stack.entry_frame(b), "{exec:?} stack at {b:#x}");
+                assert_eq!(s.exit_frame(b), stack.exit_frame(b), "{exec:?} stack at {b:#x}");
+            }
+            assert_eq!(r.defs, rd.defs, "{exec:?} def table");
+            for &b in view.blocks() {
+                let mut got = r.reaching_at_entry(b);
+                let mut want = rd.reaching_at_entry(b);
+                got.sort_unstable();
+                want.sort_unstable();
+                assert_eq!(got, want, "{exec:?} reaching at {b:#x}");
             }
         }
     }

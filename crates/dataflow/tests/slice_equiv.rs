@@ -1,10 +1,11 @@
 //! Executor equivalence for the engine-backed jump-table slice: the
-//! serial priority-worklist and the round-based parallel executor must
-//! produce byte-identical `SliceOutcome`s — including the sticky
-//! widening decisions — for every indirect jump of a generated corpus,
-//! and for a handcrafted CFG that actually trips `MAX_PATHS` widening.
-//! This is the equivalence test the ROADMAP required before sweeping
-//! `SliceSpec` under the `ParallelExecutor`.
+//! serial priority-worklist, the round-based parallel executor, and the
+//! barrier-free async executor must produce byte-identical
+//! `SliceOutcome`s — including the sticky widening decisions — for
+//! every indirect jump of a generated corpus (the Skewed profile's
+//! giant function included), and for a handcrafted CFG that actually
+//! trips `MAX_PATHS` widening. This is the equivalence test the ROADMAP
+//! required before sweeping `SliceSpec` under a parallel executor.
 
 use pba_dataflow::view::VecView;
 use pba_dataflow::{collect_indirect_jumps, slice_indirect_jump_with, ExecutorKind, FuncIr};
@@ -25,7 +26,8 @@ fn corpus_cfg(profile: Profile, seed: u64, num_funcs: usize) -> pba_cfg::Cfg {
 
 #[test]
 fn serial_and_parallel_slices_agree_on_gen_corpus() {
-    for (profile, seed, num_funcs) in [(Profile::Server, 0x51CE, 160), (Profile::Coreutils, 7, 90)]
+    for (profile, seed, num_funcs) in
+        [(Profile::Server, 0x51CE, 160), (Profile::Coreutils, 7, 90), (Profile::Skewed, 0x51CE, 40)]
     {
         let cfg = corpus_cfg(profile, seed, num_funcs);
         let jumps = collect_indirect_jumps(&cfg);
@@ -45,6 +47,18 @@ fn serial_and_parallel_slices_agree_on_gen_corpus() {
                 assert_eq!(
                     serial.widened, par.widened,
                     "widening signal diverges at {block:#x} ({profile:?}, {threads} threads)"
+                );
+            }
+            for threads in [1usize, 2, 4, 8] {
+                let asy = slice_indirect_jump_with(&view, block, ExecutorKind::Async(threads))
+                    .expect("indirect jump");
+                assert_eq!(
+                    serial.facts, asy.facts,
+                    "async facts diverge at {block:#x} ({profile:?}, {threads} threads)"
+                );
+                assert_eq!(
+                    serial.widened, asy.widened,
+                    "async widening diverges at {block:#x} ({profile:?}, {threads} threads)"
                 );
             }
         }
@@ -132,5 +146,11 @@ fn serial_and_parallel_agree_under_widening() {
             .expect("indirect jump");
         assert_eq!(serial.facts, par.facts, "facts diverge ({threads} threads)");
         assert_eq!(serial.widened, par.widened);
+    }
+    for threads in [1usize, 2, 4, 8] {
+        let asy = slice_indirect_jump_with(&view, 0x9000, ExecutorKind::Async(threads))
+            .expect("indirect jump");
+        assert_eq!(serial.facts, asy.facts, "async facts diverge ({threads} threads)");
+        assert_eq!(serial.widened, asy.widened, "async widening diverges ({threads} threads)");
     }
 }

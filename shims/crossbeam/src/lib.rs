@@ -1,6 +1,7 @@
 //! Offline shim for the `crossbeam` subset this workspace uses: the
 //! unbounded MPMC [`queue::SegQueue`] and the work-stealing
-//! [`deque`] (`Worker`/`Stealer`, the `crossbeam-deque` API shape).
+//! [`deque`] (`Worker`/`Stealer`/`Injector`, the `crossbeam-deque`
+//! API shape).
 //! Lock-based rather than lock-free — the work items distributed over
 //! these structures (traversal tasks, per-function analyses, split
 //! index ranges) are coarse enough that a mutexed deque is not the
@@ -105,6 +106,52 @@ pub mod deque {
         }
     }
 
+    /// Shared FIFO injector queue (API subset of
+    /// `crossbeam_deque::Injector`): the global entry point of a
+    /// work-stealing scheduler. Producers outside the worker pool push
+    /// here; workers steal in FIFO order, so externally submitted tasks
+    /// run in submission order — the property the async dataflow
+    /// executor leans on to seed blocks in priority (rank) order.
+    pub struct Injector<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Create an empty injector.
+        pub fn new() -> Injector<T> {
+            Injector { inner: Mutex::new(VecDeque::new()) }
+        }
+
+        /// Enqueue at the back.
+        pub fn push(&self, task: T) {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner()).push_back(task);
+        }
+
+        /// Steal from the front (the oldest task).
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().unwrap_or_else(|e| e.into_inner()).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the injector is empty (racy by nature).
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner()).is_empty()
+        }
+
+        /// Number of queued tasks (racy by nature).
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+    }
+
     #[cfg(test)]
     mod tests {
         use super::*;
@@ -121,6 +168,20 @@ pub mod deque {
             assert_eq!(w.pop(), Some(2));
             assert_eq!(w.pop(), None);
             assert_eq!(s.steal(), Steal::Empty);
+        }
+
+        #[test]
+        fn injector_is_fifo() {
+            let inj = Injector::new();
+            inj.push(1);
+            inj.push(2);
+            inj.push(3);
+            assert_eq!(inj.len(), 3);
+            assert_eq!(inj.steal(), Steal::Success(1), "injector steals oldest first");
+            assert_eq!(inj.steal(), Steal::Success(2));
+            assert_eq!(inj.steal(), Steal::Success(3));
+            assert_eq!(inj.steal(), Steal::Empty);
+            assert!(inj.is_empty());
         }
 
         #[test]

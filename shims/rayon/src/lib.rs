@@ -37,8 +37,7 @@
 //! executed, tasks obtained by stealing, and range splits. The steal
 //! benchmark (`pba-bench --bin steal`) reports them per sweep row.
 
-use crossbeam::deque::{Stealer, Worker};
-use crossbeam::queue::SegQueue;
+use crossbeam::deque::{Injector, Stealer, Worker};
 use std::any::Any;
 use std::cell::RefCell;
 use std::marker::PhantomData;
@@ -135,7 +134,7 @@ struct Registry {
     /// Per-worker deques (thief end), index-aligned with `deques`.
     stealers: Vec<Stealer<Task>>,
     /// FIFO queue for tasks submitted from outside the pool.
-    injector: SegQueue<Task>,
+    injector: Injector<Task>,
     /// Sleep lock: workers park on `cv` holding this; submitters notify
     /// under it, which makes the park/submit race lossless.
     sleep: Mutex<()>,
@@ -155,7 +154,7 @@ impl Registry {
             n_effective: n.max(1),
             deques,
             stealers,
-            injector: SegQueue::new(),
+            injector: Injector::new(),
             sleep: Mutex::new(()),
             cv: Condvar::new(),
         });
@@ -192,7 +191,7 @@ impl Registry {
                 return Some(t);
             }
         }
-        if let Some(t) = self.injector.pop() {
+        if let Some(t) = self.injector.steal().success() {
             return Some(t);
         }
         let k = self.stealers.len();

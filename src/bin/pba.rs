@@ -9,7 +9,7 @@
 //!
 //! options:
 //!   --threads N                   worker threads (0 = all available; default 0)
-//!   --executor serial|parallel|auto   per-function dataflow executor
+//!   --executor serial|parallel|async|auto   per-function dataflow executor
 //! ```
 //!
 //! Every subcommand drives one [`Session`]: artifacts are parsed
@@ -23,7 +23,7 @@ use pba::{Error, ExecutorKind, Session, SessionConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  pba functions <elf> [--threads N] [--executor serial|parallel|auto]\n  \
+        "usage:\n  pba functions <elf> [--threads N] [--executor serial|parallel|async|auto]\n  \
          pba blocks <elf> <name>\n  pba struct <elf> [--threads N] [--executor E]\n  \
          pba stats <elf> [--threads N]\n  pba selftest [--funcs N]"
     );
@@ -46,6 +46,7 @@ fn config(args: &[String], name: &str) -> SessionConfig {
         None => ExecutorKind::Serial,
         Some("serial") => ExecutorKind::Serial,
         Some("parallel") => ExecutorKind::Parallel(0),
+        Some("async") => ExecutorKind::Async(0),
         Some("auto") => ExecutorKind::Auto,
         Some(_) => usage(),
     };
