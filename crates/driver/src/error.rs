@@ -27,6 +27,11 @@ pub enum Error {
     Dwarf(DwarfError),
     /// A function named by the caller does not exist in the CFG.
     FunctionNotFound(String),
+    /// A remote-protocol exchange failed: a malformed or truncated
+    /// frame, an undecodable payload, or a transport that died
+    /// mid-request. Client-side decode failures surface as this variant
+    /// so they exit like every other CLI error instead of panicking.
+    Protocol(String),
 }
 
 impl Error {
@@ -37,6 +42,7 @@ impl Error {
             Error::Io { .. } => 66,                // EX_NOINPUT
             Error::Elf(_) | Error::Dwarf(_) => 65, // EX_DATAERR
             Error::FunctionNotFound(_) => 1,
+            Error::Protocol(_) => 76, // EX_PROTOCOL
         }
     }
 }
@@ -48,6 +54,7 @@ impl std::fmt::Display for Error {
             Error::Elf(e) => write!(f, "{e}"),
             Error::Dwarf(e) => write!(f, "{e}"),
             Error::FunctionNotFound(name) => write!(f, "no function matching {name:?}"),
+            Error::Protocol(msg) => write!(f, "protocol error: {msg}"),
         }
     }
 }
@@ -81,5 +88,8 @@ mod tests {
         assert!(e.to_string().contains("/nope"));
         assert_eq!(e.exit_code(), 66);
         assert_eq!(Error::FunctionNotFound("main".into()).exit_code(), 1);
+        let e = Error::Protocol("bad frame".into());
+        assert_eq!(e.exit_code(), 76);
+        assert!(e.to_string().contains("bad frame"));
     }
 }

@@ -13,6 +13,7 @@ use pba_hpcstruct::{analyze_artifacts, ArtifactTimes, HsConfig, HsOutput};
 use pba_loops::{loop_forest_on, LoopForest};
 use pba_parse::stats::StatsSnapshot;
 use pba_parse::{ParseConfig, ParseInput, ParseResult};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
@@ -84,7 +85,7 @@ impl SessionConfig {
 /// forests: at most one per distinct entry) — that *is* the session
 /// contract, and the memoization tests plus the `pba-bench --bin
 /// session` parse-count column assert it.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SessionStats {
     /// ELF image parses.
     pub elf_parses: u64,
@@ -194,6 +195,19 @@ impl Session {
     /// The session's configuration.
     pub fn config(&self) -> &SessionConfig {
         &self.config
+    }
+
+    /// Stable 64-bit content hash of the input image (cached FNV-1a via
+    /// [`ImageBytes::content_hash`]) — the cache key a serving daemon
+    /// uses for this session, and a stable identity for tests and
+    /// corpus indexes.
+    pub fn content_hash(&self) -> u64 {
+        self.input.content_hash()
+    }
+
+    /// The shared input image backing this session.
+    pub fn input(&self) -> &ImageBytes {
+        &self.input
     }
 
     /// The parsed ELF image.

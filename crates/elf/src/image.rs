@@ -13,7 +13,7 @@
 
 use std::ops::Deref;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 #[cfg(unix)]
 mod ffi {
@@ -67,9 +67,23 @@ enum Repr {
     Mmap(MmapRegion),
 }
 
+struct Inner {
+    repr: Repr,
+    /// Lazily-computed content hash, shared by every clone (the session
+    /// cache of a serving daemon keys on it, so one image is hashed at
+    /// most once no matter how many sessions or requests touch it).
+    hash: OnceLock<u64>,
+}
+
+impl Inner {
+    fn new(repr: Repr) -> Inner {
+        Inner { repr, hash: OnceLock::new() }
+    }
+}
+
 /// Shared input bytes: heap-owned or file-mapped, cloned by refcount.
 #[derive(Clone)]
-pub struct ImageBytes(Arc<Repr>);
+pub struct ImageBytes(Arc<Inner>);
 
 impl ImageBytes {
     /// Open `path`, preferring a read-only private memory map (unix)
@@ -100,12 +114,12 @@ impl ImageBytes {
         if ptr == ffi::MAP_FAILED || ptr.is_null() {
             return Err(std::io::Error::last_os_error());
         }
-        Ok(ImageBytes(Arc::new(Repr::Mmap(MmapRegion { ptr, len }))))
+        Ok(ImageBytes(Arc::new(Inner::new(Repr::Mmap(MmapRegion { ptr, len })))))
     }
 
     /// Whether the bytes are a file mapping rather than heap storage.
     pub fn is_mapped(&self) -> bool {
-        match &*self.0 {
+        match &self.0.repr {
             Repr::Heap(_) => false,
             #[cfg(unix)]
             Repr::Mmap(_) => true,
@@ -115,19 +129,40 @@ impl ImageBytes {
     /// Bytes of anonymous heap this image pins (a file mapping is
     /// page-cache backed and counts as zero).
     pub fn heap_bytes(&self) -> usize {
-        match &*self.0 {
+        match &self.0.repr {
             Repr::Heap(b) => b.len(),
             #[cfg(unix)]
             Repr::Mmap(_) => 0,
         }
     }
+
+    /// 64-bit FNV-1a hash over the whole image, computed once per
+    /// storage (clones share the cached value) — a stable content key
+    /// for session caches and corpus indexes. FNV-1a is not
+    /// collision-resistant against adversarial inputs; it is a cache
+    /// key, not an integrity check.
+    pub fn content_hash(&self) -> u64 {
+        *self.0.hash.get_or_init(|| fnv1a_64(self))
+    }
+}
+
+/// 64-bit FNV-1a over a byte slice.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
 }
 
 impl Deref for ImageBytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        match &*self.0 {
+        match &self.0.repr {
             Repr::Heap(b) => b,
             #[cfg(unix)]
             // SAFETY: the region is mapped PROT_READ for the lifetime of
@@ -139,7 +174,7 @@ impl Deref for ImageBytes {
 
 impl From<Vec<u8>> for ImageBytes {
     fn from(v: Vec<u8>) -> ImageBytes {
-        ImageBytes(Arc::new(Repr::Heap(v.into_boxed_slice())))
+        ImageBytes(Arc::new(Inner::new(Repr::Heap(v.into_boxed_slice()))))
     }
 }
 
@@ -205,5 +240,35 @@ mod tests {
     #[test]
     fn missing_file_is_an_error() {
         assert!(ImageBytes::from_path("/nonexistent/definitely-not-here").is_err());
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_content_keyed() {
+        let a = ImageBytes::from(vec![1u8, 2, 3]);
+        let b = ImageBytes::from(vec![1u8, 2, 3]);
+        let c = ImageBytes::from(vec![1u8, 2, 4]);
+        assert_eq!(a.content_hash(), b.content_hash(), "same bytes, same key");
+        assert_ne!(a.content_hash(), c.content_hash(), "different bytes, different key");
+        assert_eq!(a.content_hash(), fnv1a_64(&[1, 2, 3]), "documented algorithm");
+        assert_eq!(a.clone().content_hash(), a.content_hash(), "clones share the cache");
+    }
+
+    #[test]
+    fn content_hash_agrees_across_heap_and_mmap() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("pba-imagebytes-hash-{}", std::process::id()));
+        std::fs::write(&path, b"hash me").unwrap();
+        let mapped = ImageBytes::from_path(&path).unwrap();
+        let heap = ImageBytes::from(b"hash me".as_slice());
+        assert_eq!(mapped.content_hash(), heap.content_hash());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fnv_test_vectors() {
+        // Standard FNV-1a 64 vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
     }
 }

@@ -1,0 +1,211 @@
+//! Request handling: the pure `Request → Response` core the server
+//! dispatches to — and the piece tests drive without any socket, which
+//! is how "served responses are byte-identical to an in-process
+//! `Session`" is pinned.
+
+use crate::cache::{Cached, SessionCache};
+use crate::proto::{BinSpec, Request, Response, ServeStats, SliceJump};
+use pba_concurrent::Counter;
+use pba_driver::{Error, Session};
+use pba_elf::ImageBytes;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Everything a connection thread shares with the daemon: the session
+/// cache, the daemon-wide counters, and the shutdown latch.
+pub struct ServeShared {
+    /// The keyed session cache.
+    pub cache: SessionCache,
+    requests: Counter,
+    errors: Counter,
+    connections: Counter,
+    shutdown: AtomicBool,
+}
+
+impl ServeShared {
+    /// Fresh daemon state around a session cache.
+    pub fn new(cache: SessionCache) -> ServeShared {
+        ServeShared {
+            cache,
+            requests: Counter::new(),
+            errors: Counter::new(),
+            connections: Counter::new(),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Has a shutdown request been served?
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Ask the daemon to stop accepting (used by the shutdown request
+    /// and by in-process harnesses tearing a server down).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Count one accepted connection.
+    pub fn connection_opened(&self) {
+        self.connections.inc();
+    }
+
+    /// Count one frame that never became a served response (framing or
+    /// decode failure).
+    pub fn protocol_error(&self) {
+        self.requests.inc();
+        self.errors.inc();
+    }
+
+    /// Daemon-wide counters, merged from the server and the cache.
+    pub fn serve_stats(&self) -> ServeStats {
+        let (hits, misses, evictions, resident, bytes) = self.cache.counters();
+        ServeStats {
+            requests: self.requests.get(),
+            errors: self.errors.get(),
+            cache_hits: hits,
+            cache_misses: misses,
+            sessions_evicted: evictions,
+            sessions_resident: resident,
+            resident_bytes: bytes,
+            connections: self.connections.get(),
+        }
+    }
+
+    /// Serve one request. Never panics on malformed input: analysis and
+    /// lookup failures come back as [`Response::Error`] frames. After
+    /// every analysis request the cache cap is re-enforced, since
+    /// artifact memoization may have grown the served session.
+    pub fn handle(&self, req: Request) -> Response {
+        self.requests.inc();
+        let reply = self.dispatch(req);
+        if let Response::Error { .. } = reply {
+            self.errors.inc();
+        }
+        reply
+    }
+
+    fn dispatch(&self, req: Request) -> Response {
+        match req {
+            Request::Struct { bin } => match self.serve_struct(&bin) {
+                Ok(r) => r,
+                Err(e) => Response::from_error(&e),
+            },
+            Request::Features { bin } => match self.serve_features(&bin) {
+                Ok(r) => r,
+                Err(e) => Response::from_error(&e),
+            },
+            Request::SliceFunc { bin, entry } => match self.serve_slice(&bin, entry) {
+                Ok(r) => r,
+                Err(e) => Response::from_error(&e),
+            },
+            Request::Similarity { a, b } => match self.serve_similarity(&a, &b) {
+                Ok(r) => r,
+                Err(e) => Response::from_error(&e),
+            },
+            Request::Stats => {
+                let sessions =
+                    self.cache.sessions().into_iter().map(|(h, s)| (h, s.stats())).collect();
+                Response::Stats { serve: self.serve_stats(), sessions }
+            }
+            Request::Evict { hash } => {
+                Response::Evicted { sessions: self.cache.evict(hash) as u64 }
+            }
+            Request::Shutdown => {
+                self.request_shutdown();
+                Response::Shutdown
+            }
+        }
+    }
+
+    /// Resolve a binary operand through the cache.
+    fn resolve(&self, bin: &BinSpec) -> Result<Cached, Error> {
+        match bin {
+            BinSpec::Bytes(b) => Ok(self.cache.get_or_open(ImageBytes::from(b.clone()))),
+            BinSpec::Path(p) => self.cache.open_path(p),
+        }
+    }
+
+    fn serve_struct(&self, bin: &BinSpec) -> Result<Response, Error> {
+        let cached = self.resolve(bin)?;
+        let out = cached.session.structure()?;
+        let reply = Response::Struct {
+            hit: cached.hit,
+            text: out.text.clone(),
+            functions: out.structure.functions.len() as u64,
+            loops: out.structure.loop_count() as u64,
+            stmts: out.structure.stmt_count() as u64,
+            stats: cached.session.stats(),
+        };
+        self.cache.enforce_cap();
+        Ok(reply)
+    }
+
+    fn serve_features(&self, bin: &BinSpec) -> Result<Response, Error> {
+        let cached = self.resolve(bin)?;
+        let features = sorted_features(&cached.session)?;
+        let reply = Response::Features { hit: cached.hit, stats: cached.session.stats(), features };
+        self.cache.enforce_cap();
+        Ok(reply)
+    }
+
+    fn serve_slice(&self, bin: &BinSpec, entry: u64) -> Result<Response, Error> {
+        let cached = self.resolve(bin)?;
+        let jumps = slice_function(&cached.session, entry)?;
+        let reply = Response::SliceFunc { hit: cached.hit, stats: cached.session.stats(), jumps };
+        self.cache.enforce_cap();
+        Ok(reply)
+    }
+
+    fn serve_similarity(&self, a: &BinSpec, b: &BinSpec) -> Result<Response, Error> {
+        let ca = self.resolve(a)?;
+        let cb = self.resolve(b)?;
+        let fa = &ca.session.features()?.index;
+        let fb = &cb.session.features()?.index;
+        let reply = Response::Similarity {
+            hit_a: ca.hit,
+            hit_b: cb.hit,
+            cosine: pba_binfeat::similarity::cosine(fa, fb),
+            jaccard: pba_binfeat::similarity::jaccard(fa, fb),
+        };
+        self.cache.enforce_cap();
+        Ok(reply)
+    }
+}
+
+/// The feature index as `(hash, count)` pairs sorted by hash — the
+/// deterministic wire form of `session.features()`.
+pub fn sorted_features(session: &Session) -> Result<Vec<(u64, u64)>, Error> {
+    let mut pairs: Vec<(u64, u64)> =
+        session.features()?.index.iter().map(|(&k, &v)| (k, v)).collect();
+    pairs.sort_unstable();
+    Ok(pairs)
+}
+
+/// Slice every indirect jump of the function at `entry`, rows sorted by
+/// block address — the deterministic wire form of a `slice_func` query.
+/// This is what the handler serves and what the equivalence tests run
+/// in-process for comparison.
+pub fn slice_function(session: &Session, entry: u64) -> Result<Vec<SliceJump>, Error> {
+    let cfg = session.cfg()?;
+    let ir = session.ir()?;
+    let fir = ir.func(entry).ok_or_else(|| Error::FunctionNotFound(format!("{entry:#x}")))?;
+    let mut blocks: Vec<u64> = pba_dataflow::collect_indirect_jumps(cfg)
+        .into_iter()
+        .filter(|&(f, _)| f == entry)
+        .map(|(_, b)| b)
+        .collect();
+    blocks.sort_unstable();
+    let exec = session.config().executor;
+    Ok(blocks
+        .into_iter()
+        .filter_map(|block| {
+            pba_dataflow::slice_indirect_jump_with(fir, block, exec).map(|o| SliceJump {
+                block,
+                widened: o.widened,
+                facts: o.facts.len() as u64,
+                classified: o.facts.iter().filter(|p| p.form.is_some()).count() as u64,
+                bounded: o.facts.iter().filter(|p| p.bound.is_some()).count() as u64,
+            })
+        })
+        .collect())
+}

@@ -1,0 +1,649 @@
+//! The wire protocol: length-prefixed frames carrying typed
+//! request/response enums as JSON.
+//!
+//! ## Frame layout
+//!
+//! Every message — in either direction — is one *frame*:
+//!
+//! ```text
+//! +------------------+----------------------------+
+//! | len: u32 (BE)    | payload: len bytes of JSON |
+//! +------------------+----------------------------+
+//! ```
+//!
+//! The length prefix counts payload bytes only and must not exceed
+//! [`MAX_FRAME`]; a peer announcing a larger frame is answered with one
+//! error frame and disconnected (the stream cannot be resynchronized
+//! past a frame the server refuses to read). The payload is UTF-8 JSON
+//! in the serde-shim data model: a tagged object whose `"kind"` field
+//! selects the [`Request`] / [`Response`] variant.
+//!
+//! ## Requests
+//!
+//! | `kind` | fields | meaning |
+//! |---|---|---|
+//! | `struct` | `bin` | program structure (hpcstruct) for `bin` |
+//! | `features` | `bin` | forensic feature index for `bin` |
+//! | `slice_func` | `bin`, `entry` | jump-table slices of the function at `entry` |
+//! | `similarity` | `a`, `b` | cosine + Jaccard between two binaries |
+//! | `stats` | — | daemon-wide [`ServeStats`] + per-session stats |
+//! | `evict` | `hash?` | evict one session (or all when `hash` is null) |
+//! | `shutdown` | — | acknowledge, then stop the daemon |
+//!
+//! A binary operand ([`BinSpec`]) is either `{"path": "..."}` — a
+//! *server-local* path the daemon opens itself (memory-mapped via
+//! `ImageBytes`, so a resident session pins page cache, not heap) — or
+//! `{"bytes": "<hex>"}`, the image shipped inline.
+//!
+//! ## Responses
+//!
+//! Analysis responses (`struct`, `features`, `slice_func`) carry `hit`
+//! (whether the session cache already held the binary) and the served
+//! session's [`SessionStats`] *after* the request — so a client can
+//! assert the at-most-once artifact contract across processes: on the
+//! second `struct` query for the same binary, `hit` is `true` and
+//! `structure_builds` is still 1. Failures of any kind come back as one
+//! `{"kind":"error","code":...,"message":...}` frame, where `code` is
+//! the server-side [`Error::exit_code`] — the connection stays usable
+//! after an analysis error, and is closed after a framing error.
+
+use pba_driver::{Error, SessionStats};
+use serde::{Deserialize, Serialize, Value};
+use std::io::{Read, Write};
+
+/// Hard ceiling on a frame's payload size (64 MiB).
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// A binary operand: shipped inline or named by server-local path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BinSpec {
+    /// The raw ELF image, hex-encoded on the wire.
+    Bytes(Vec<u8>),
+    /// A path the *server* resolves and memory-maps.
+    Path(String),
+}
+
+/// A client request (see the module docs for the wire shape).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Program structure (the hpcstruct case study).
+    Struct {
+        /// The binary to analyze.
+        bin: BinSpec,
+    },
+    /// The forensic feature index (the BinFeat case study).
+    Features {
+        /// The binary to analyze.
+        bin: BinSpec,
+    },
+    /// Jump-table slices for every indirect jump of one function.
+    SliceFunc {
+        /// The binary to analyze.
+        bin: BinSpec,
+        /// Entry address of the function to slice.
+        entry: u64,
+    },
+    /// Feature-vector similarity between two binaries.
+    Similarity {
+        /// First binary.
+        a: BinSpec,
+        /// Second binary.
+        b: BinSpec,
+    },
+    /// Daemon-wide counters plus per-resident-session stats.
+    Stats,
+    /// Evict one session by content hash, or all when `None`.
+    Evict {
+        /// Content hash of the session to drop (`None` = all).
+        hash: Option<u64>,
+    },
+    /// Acknowledge, then stop the daemon.
+    Shutdown,
+}
+
+/// One sliced indirect jump (a row of a `slice_func` response).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SliceJump {
+    /// Address of the block whose terminator is the indirect jump.
+    pub block: u64,
+    /// Whether the path set widened (hit `MAX_PATHS`).
+    pub widened: bool,
+    /// Path facts reaching the jump.
+    pub facts: u64,
+    /// Facts whose expression matched a known jump-table form.
+    pub classified: u64,
+    /// Facts carrying a `cmp`+`jcc` index bound.
+    pub bounded: u64,
+}
+
+/// Daemon-wide counters, served by [`Request::Stats`] and reported by
+/// the `--bin daemon` bench.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Total requests decoded (including ones answered with errors).
+    pub requests: u64,
+    /// Requests answered with an error frame.
+    pub errors: u64,
+    /// Analysis requests that found their session resident.
+    pub cache_hits: u64,
+    /// Analysis requests that had to open a new session.
+    pub cache_misses: u64,
+    /// Sessions evicted (LRU pressure and explicit `evict` combined).
+    pub sessions_evicted: u64,
+    /// Sessions currently resident.
+    pub sessions_resident: u64,
+    /// Summed `resident_bytes` of every resident session.
+    pub resident_bytes: u64,
+    /// Connections accepted over the daemon's lifetime.
+    pub connections: u64,
+}
+
+/// A server response (see the module docs for the wire shape).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Struct`].
+    Struct {
+        /// Session-cache hit?
+        hit: bool,
+        /// The served session's stats after this request.
+        stats: SessionStats,
+        /// The serialized structure document.
+        text: String,
+        /// Function count.
+        functions: u64,
+        /// Loop count.
+        loops: u64,
+        /// Statement count.
+        stmts: u64,
+    },
+    /// Answer to [`Request::Features`].
+    Features {
+        /// Session-cache hit?
+        hit: bool,
+        /// The served session's stats after this request.
+        stats: SessionStats,
+        /// The feature index as `(feature hash, count)` pairs, sorted
+        /// by hash so the wire form is deterministic.
+        features: Vec<(u64, u64)>,
+    },
+    /// Answer to [`Request::SliceFunc`].
+    SliceFunc {
+        /// Session-cache hit?
+        hit: bool,
+        /// The served session's stats after this request.
+        stats: SessionStats,
+        /// One row per indirect jump of the function, by block address.
+        jumps: Vec<SliceJump>,
+    },
+    /// Answer to [`Request::Similarity`].
+    Similarity {
+        /// Was `a` resident?
+        hit_a: bool,
+        /// Was `b` resident?
+        hit_b: bool,
+        /// Cosine similarity of the feature-count vectors.
+        cosine: f64,
+        /// Jaccard similarity of the feature sets.
+        jaccard: f64,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats {
+        /// Daemon-wide counters.
+        serve: ServeStats,
+        /// `(content hash, stats)` per resident session, MRU last.
+        sessions: Vec<(u64, SessionStats)>,
+    },
+    /// Answer to [`Request::Evict`].
+    Evicted {
+        /// Sessions dropped.
+        sessions: u64,
+    },
+    /// Shutdown acknowledged; the daemon stops accepting.
+    Shutdown,
+    /// Any failure, analysis or protocol.
+    Error {
+        /// The server-side [`Error::exit_code`].
+        code: i32,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl Response {
+    /// The error frame for an analysis/protocol failure.
+    pub fn from_error(e: &Error) -> Response {
+        Response::Error { code: e.exit_code(), message: e.to_string() }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hex encoding for inline binaries (JSON has no byte-string type and
+// the serde shim has no serde_bytes; hex keeps the payload greppable
+// and the decoder trivial).
+
+/// Lower-case hex encoding.
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+        s.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+    }
+    s
+}
+
+/// Strict hex decoding (even length, [0-9a-fA-F] only).
+pub fn hex_decode(s: &str) -> Result<Vec<u8>, serde::Error> {
+    let bytes = s.as_bytes();
+    if !bytes.len().is_multiple_of(2) {
+        return Err(serde::Error("odd-length hex string".into()));
+    }
+    let nib = |b: u8| -> Result<u8, serde::Error> {
+        (b as char)
+            .to_digit(16)
+            .map(|d| d as u8)
+            .ok_or_else(|| serde::Error(format!("invalid hex digit {:?}", b as char)))
+    };
+    bytes.chunks_exact(2).map(|p| Ok(nib(p[0])? << 4 | nib(p[1])?)).collect()
+}
+
+// ---------------------------------------------------------------------
+// Tagged-enum (de)serialization over the serde-shim Value model. The
+// shim's derive handles structs only, so the enums spell out their
+// object shape by hand — which doubles as the wire documentation.
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn get<'a>(v: &'a Value, name: &str) -> Result<&'a Value, serde::Error> {
+    match v {
+        Value::Object(fields) => fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| serde::Error(format!("missing field `{name}`"))),
+        other => Err(serde::Error(format!("expected object, got {other:?}"))),
+    }
+}
+
+fn typed<T: Deserialize>(v: &Value, name: &str) -> Result<T, serde::Error> {
+    T::from_value(get(v, name)?)
+}
+
+fn kind_of(v: &Value) -> Result<String, serde::Error> {
+    typed::<String>(v, "kind")
+}
+
+impl Serialize for BinSpec {
+    fn to_value(&self) -> Value {
+        match self {
+            BinSpec::Bytes(b) => obj(vec![("bytes", Value::Str(hex_encode(b)))]),
+            BinSpec::Path(p) => obj(vec![("path", Value::Str(p.clone()))]),
+        }
+    }
+}
+
+impl Deserialize for BinSpec {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        if let Ok(p) = typed::<String>(v, "path") {
+            return Ok(BinSpec::Path(p));
+        }
+        let hex: String = typed(v, "bytes")
+            .map_err(|_| serde::Error("binary operand needs `path` or `bytes`".into()))?;
+        Ok(BinSpec::Bytes(hex_decode(&hex)?))
+    }
+}
+
+impl Serialize for Request {
+    fn to_value(&self) -> Value {
+        let kind = |k: &str| ("kind", Value::Str(k.to_string()));
+        match self {
+            Request::Struct { bin } => obj(vec![kind("struct"), ("bin", bin.to_value())]),
+            Request::Features { bin } => obj(vec![kind("features"), ("bin", bin.to_value())]),
+            Request::SliceFunc { bin, entry } => obj(vec![
+                kind("slice_func"),
+                ("bin", bin.to_value()),
+                ("entry", Value::U64(*entry)),
+            ]),
+            Request::Similarity { a, b } => {
+                obj(vec![kind("similarity"), ("a", a.to_value()), ("b", b.to_value())])
+            }
+            Request::Stats => obj(vec![kind("stats")]),
+            Request::Evict { hash } => obj(vec![kind("evict"), ("hash", hash.to_value())]),
+            Request::Shutdown => obj(vec![kind("shutdown")]),
+        }
+    }
+}
+
+impl Deserialize for Request {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        match kind_of(v)?.as_str() {
+            "struct" => Ok(Request::Struct { bin: typed(v, "bin")? }),
+            "features" => Ok(Request::Features { bin: typed(v, "bin")? }),
+            "slice_func" => {
+                Ok(Request::SliceFunc { bin: typed(v, "bin")?, entry: typed(v, "entry")? })
+            }
+            "similarity" => Ok(Request::Similarity { a: typed(v, "a")?, b: typed(v, "b")? }),
+            "stats" => Ok(Request::Stats),
+            "evict" => Ok(Request::Evict { hash: typed(v, "hash")? }),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(serde::Error(format!("unknown request kind {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Response {
+    fn to_value(&self) -> Value {
+        let kind = |k: &str| ("kind", Value::Str(k.to_string()));
+        match self {
+            Response::Struct { hit, stats, text, functions, loops, stmts } => obj(vec![
+                kind("struct"),
+                ("hit", Value::Bool(*hit)),
+                ("stats", stats.to_value()),
+                ("text", Value::Str(text.clone())),
+                ("functions", Value::U64(*functions)),
+                ("loops", Value::U64(*loops)),
+                ("stmts", Value::U64(*stmts)),
+            ]),
+            Response::Features { hit, stats, features } => obj(vec![
+                kind("features"),
+                ("hit", Value::Bool(*hit)),
+                ("stats", stats.to_value()),
+                ("features", features.to_value()),
+            ]),
+            Response::SliceFunc { hit, stats, jumps } => obj(vec![
+                kind("slice_func"),
+                ("hit", Value::Bool(*hit)),
+                ("stats", stats.to_value()),
+                ("jumps", jumps.to_value()),
+            ]),
+            Response::Similarity { hit_a, hit_b, cosine, jaccard } => obj(vec![
+                kind("similarity"),
+                ("hit_a", Value::Bool(*hit_a)),
+                ("hit_b", Value::Bool(*hit_b)),
+                ("cosine", Value::F64(*cosine)),
+                ("jaccard", Value::F64(*jaccard)),
+            ]),
+            Response::Stats { serve, sessions } => obj(vec![
+                kind("stats"),
+                ("serve", serve.to_value()),
+                ("sessions", sessions.to_value()),
+            ]),
+            Response::Evicted { sessions } => {
+                obj(vec![kind("evicted"), ("sessions", Value::U64(*sessions))])
+            }
+            Response::Shutdown => obj(vec![kind("shutdown")]),
+            Response::Error { code, message } => obj(vec![
+                kind("error"),
+                ("code", code.to_value()),
+                ("message", Value::Str(message.clone())),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for Response {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        match kind_of(v)?.as_str() {
+            "struct" => Ok(Response::Struct {
+                hit: typed(v, "hit")?,
+                stats: typed(v, "stats")?,
+                text: typed(v, "text")?,
+                functions: typed(v, "functions")?,
+                loops: typed(v, "loops")?,
+                stmts: typed(v, "stmts")?,
+            }),
+            "features" => Ok(Response::Features {
+                hit: typed(v, "hit")?,
+                stats: typed(v, "stats")?,
+                features: typed(v, "features")?,
+            }),
+            "slice_func" => Ok(Response::SliceFunc {
+                hit: typed(v, "hit")?,
+                stats: typed(v, "stats")?,
+                jumps: typed(v, "jumps")?,
+            }),
+            "similarity" => Ok(Response::Similarity {
+                hit_a: typed(v, "hit_a")?,
+                hit_b: typed(v, "hit_b")?,
+                cosine: typed(v, "cosine")?,
+                jaccard: typed(v, "jaccard")?,
+            }),
+            "stats" => {
+                Ok(Response::Stats { serve: typed(v, "serve")?, sessions: typed(v, "sessions")? })
+            }
+            "evicted" => Ok(Response::Evicted { sessions: typed(v, "sessions")? }),
+            "shutdown" => Ok(Response::Shutdown),
+            "error" => {
+                Ok(Response::Error { code: typed(v, "code")?, message: typed(v, "message")? })
+            }
+            other => Err(serde::Error(format!("unknown response kind {other:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framing.
+
+/// Serialize a message and write it as one frame.
+pub fn write_message<T: Serialize>(w: &mut impl Write, msg: &T) -> Result<(), Error> {
+    let json = serde_json::to_string(msg).map_err(|e| Error::Protocol(e.to_string()))?;
+    write_frame(w, json.as_bytes())
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), Error> {
+    if payload.len() > MAX_FRAME {
+        return Err(Error::Protocol(format!("frame of {} bytes exceeds MAX_FRAME", payload.len())));
+    }
+    let len = (payload.len() as u32).to_be_bytes();
+    w.write_all(&len)
+        .and_then(|()| w.write_all(payload))
+        .and_then(|()| w.flush())
+        .map_err(|e| Error::Protocol(format!("write failed: {e}")))
+}
+
+/// Read one frame. Returns `Ok(None)` on a clean close (EOF before the
+/// first length byte, or `keep_waiting` returning false on a read
+/// timeout); every other failure — EOF mid-frame, an oversized length
+/// prefix, a transport error — is [`Error::Protocol`].
+pub fn read_frame_with(
+    r: &mut impl Read,
+    keep_waiting: impl Fn() -> bool,
+) -> Result<Option<Vec<u8>>, Error> {
+    let mut len = [0u8; 4];
+    if !read_full(r, &mut len, true, &keep_waiting)? {
+        return Ok(None);
+    }
+    let n = u32::from_be_bytes(len) as usize;
+    if n > MAX_FRAME {
+        return Err(Error::Protocol(format!("announced frame of {n} bytes exceeds MAX_FRAME")));
+    }
+    let mut payload = vec![0u8; n];
+    if !read_full(r, &mut payload, false, &keep_waiting)? {
+        return Ok(None);
+    }
+    Ok(Some(payload))
+}
+
+/// Read one frame, blocking until it arrives or the stream closes.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, Error> {
+    read_frame_with(r, || true)
+}
+
+/// Read a message of the given type from one frame. `Ok(None)` on clean
+/// close.
+pub fn read_message<T: Deserialize>(r: &mut impl Read) -> Result<Option<T>, Error> {
+    let Some(payload) = read_frame(r)? else { return Ok(None) };
+    decode_message(&payload).map(Some)
+}
+
+/// Decode one frame payload into a typed message.
+pub fn decode_message<T: Deserialize>(payload: &[u8]) -> Result<T, Error> {
+    let text =
+        std::str::from_utf8(payload).map_err(|_| Error::Protocol("frame is not UTF-8".into()))?;
+    serde_json::from_str(text).map_err(|e| Error::Protocol(e.to_string()))
+}
+
+/// Fill `buf`, tolerating read timeouts while `keep_waiting()` holds.
+/// Returns false on a clean stop (EOF at a frame boundary when
+/// `eof_is_clean`, or `keep_waiting` declining while nothing of this
+/// buffer has arrived yet... once bytes are in flight, a stop would
+/// desynchronize the stream, so only EOF can end it, as an error).
+fn read_full(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    eof_is_clean: bool,
+    keep_waiting: &impl Fn() -> bool,
+) -> Result<bool, Error> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 && eof_is_clean {
+                    Ok(false)
+                } else {
+                    Err(Error::Protocol(format!(
+                        "connection closed mid-frame ({filled} of {} bytes)",
+                        buf.len()
+                    )))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if !keep_waiting() {
+                    return Ok(false);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(Error::Protocol(format!("read failed: {e}"))),
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(msg: &T) {
+        let json = serde_json::to_string(msg).unwrap();
+        let back: T = serde_json::from_str(&json).unwrap();
+        assert_eq!(&back, msg, "wire round trip of {json}");
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        assert_eq!(hex_encode(&[0x00, 0x7f, 0xff]), "007fff");
+        assert_eq!(hex_decode("007fff").unwrap(), vec![0x00, 0x7f, 0xff]);
+        assert_eq!(hex_decode("ABcd").unwrap(), vec![0xab, 0xcd]);
+        assert!(hex_decode("abc").is_err(), "odd length");
+        assert!(hex_decode("zz").is_err(), "bad digit");
+        assert!(hex_decode("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn request_wire_round_trips() {
+        round_trip(&Request::Struct { bin: BinSpec::Bytes(vec![1, 2, 3]) });
+        round_trip(&Request::Features { bin: BinSpec::Path("/bin/true".into()) });
+        round_trip(&Request::SliceFunc { bin: BinSpec::Bytes(vec![0xde, 0xad]), entry: 0x401000 });
+        round_trip(&Request::Similarity {
+            a: BinSpec::Path("/a".into()),
+            b: BinSpec::Bytes(vec![9]),
+        });
+        round_trip(&Request::Stats);
+        round_trip(&Request::Evict { hash: Some(42) });
+        round_trip(&Request::Evict { hash: None });
+        round_trip(&Request::Shutdown);
+    }
+
+    #[test]
+    fn response_wire_round_trips() {
+        let stats = SessionStats { cfg_parses: 1, structure_builds: 1, ..Default::default() };
+        round_trip(&Response::Struct {
+            hit: true,
+            stats,
+            text: "Module \"x\"\n".into(),
+            functions: 3,
+            loops: 1,
+            stmts: 17,
+        });
+        round_trip(&Response::Features { hit: false, stats, features: vec![(7, 2), (9, 1)] });
+        round_trip(&Response::SliceFunc {
+            hit: true,
+            stats,
+            jumps: vec![SliceJump {
+                block: 0x40,
+                widened: false,
+                facts: 2,
+                classified: 1,
+                bounded: 1,
+            }],
+        });
+        round_trip(&Response::Similarity { hit_a: true, hit_b: false, cosine: 0.5, jaccard: 0.25 });
+        round_trip(&Response::Stats {
+            serve: ServeStats { requests: 10, cache_hits: 6, ..Default::default() },
+            sessions: vec![(0xfeed, stats)],
+        });
+        round_trip(&Response::Evicted { sessions: 2 });
+        round_trip(&Response::Shutdown);
+        round_trip(&Response::Error { code: 65, message: "bad magic".into() });
+    }
+
+    #[test]
+    fn error_response_carries_exit_code() {
+        let e = Error::Protocol("torn frame".into());
+        let r = Response::from_error(&e);
+        assert_eq!(r, Response::Error { code: 76, message: "protocol error: torn frame".into() });
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &Request::Stats).unwrap();
+        write_message(&mut buf, &Request::Shutdown).unwrap();
+        let mut r = &buf[..];
+        let a: Request = read_message(&mut r).unwrap().unwrap();
+        let b: Request = read_message(&mut r).unwrap().unwrap();
+        assert_eq!(a, Request::Stats);
+        assert_eq!(b, Request::Shutdown);
+        assert!(read_message::<Request>(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncated_frame_is_a_protocol_error() {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &Request::Stats).unwrap();
+        buf.truncate(buf.len() - 1);
+        let mut r = &buf[..];
+        assert!(matches!(read_frame(&mut r), Err(Error::Protocol(_))));
+        // EOF inside the length prefix is also mid-frame, not clean.
+        let mut r = &[0u8, 0][..];
+        assert!(matches!(read_frame(&mut r), Err(Error::Protocol(_))));
+    }
+
+    #[test]
+    fn oversized_announcement_is_rejected_without_allocating() {
+        let len = ((MAX_FRAME + 1) as u32).to_be_bytes();
+        let mut r = &len[..];
+        match read_frame(&mut r) {
+            Err(Error::Protocol(msg)) => assert!(msg.contains("MAX_FRAME"), "{msg}"),
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undecodable_payload_is_a_protocol_error() {
+        assert!(matches!(decode_message::<Request>(b"not json"), Err(Error::Protocol(_))));
+        assert!(matches!(
+            decode_message::<Request>(b"{\"kind\":\"nope\"}"),
+            Err(Error::Protocol(_))
+        ));
+        assert!(matches!(decode_message::<Request>(&[0xff, 0xfe]), Err(Error::Protocol(_))));
+    }
+}

@@ -1,0 +1,73 @@
+//! Daemon round trip: spawn the analysis server in-process, query the
+//! same binary twice over the framed protocol, and watch the second
+//! query hit the session cache and recompute nothing.
+//!
+//! ```text
+//! cargo run --example daemon --release
+//! ```
+//!
+//! The same exchange works across processes: `pba serve unix:/tmp/pba.sock`
+//! in one terminal, `pba query unix:/tmp/pba.sock struct <elf>` in
+//! another.
+
+use pba::gen::{generate, GenConfig};
+use pba::serve::{BinSpec, Client, Request, Response, ServeAddr, ServeConfig, Server};
+
+fn main() {
+    let binary = generate(&GenConfig { num_funcs: 24, seed: 7, ..Default::default() });
+    println!("generated ELF: {} bytes, {} functions", binary.elf.len(), binary.stats.num_funcs);
+
+    // Bind an ephemeral TCP port and run the daemon on its own thread.
+    // (`pba serve` does exactly this around `Server::run`.)
+    let server =
+        Server::bind(&ServeAddr::parse("127.0.0.1:0"), ServeConfig::default()).expect("bind");
+    let handle = server.spawn();
+    println!("daemon on {}", handle.addr());
+
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // First query: a cache miss — the daemon opens a session and builds
+    // the structure.
+    let reply = client
+        .request_ok(&Request::Struct { bin: BinSpec::Bytes(binary.elf.clone()) })
+        .expect("struct");
+    let Response::Struct { hit, stats, functions, loops, stmts, .. } = reply else {
+        panic!("unexpected reply")
+    };
+    println!(
+        "first query:  hit={hit}  {functions} functions, {loops} loops, {stmts} statements \
+         (cfg parses: {})",
+        stats.cfg_parses
+    );
+    assert!(!hit);
+
+    // Second query, same bytes: a hit — the session is resident, the
+    // response comes straight from memoized artifacts.
+    let reply = client
+        .request_ok(&Request::Struct { bin: BinSpec::Bytes(binary.elf.clone()) })
+        .expect("struct again");
+    let Response::Struct { hit, stats, .. } = reply else { panic!("unexpected reply") };
+    println!(
+        "second query: hit={hit}  cfg parses still {}, structure builds still {}",
+        stats.cfg_parses, stats.structure_builds
+    );
+    assert!(hit);
+    assert_eq!(stats.cfg_parses, 1);
+    assert_eq!(stats.structure_builds, 1);
+
+    // Daemon-wide counters, then a clean protocol-level shutdown.
+    let reply = client.request_ok(&Request::Stats).expect("stats");
+    if let Response::Stats { serve, .. } = reply {
+        println!(
+            "daemon: {} requests, {} cache hits, {} sessions resident ({} bytes)",
+            serve.requests, serve.cache_hits, serve.sessions_resident, serve.resident_bytes
+        );
+    }
+    let ack = client.request(&Request::Shutdown).expect("shutdown");
+    assert!(matches!(ack, Response::Shutdown));
+    let stats = handle.stop().expect("drain");
+    println!(
+        "daemon drained after {} requests on {} connections",
+        stats.requests, stats.connections
+    );
+}

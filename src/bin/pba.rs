@@ -3,35 +3,76 @@
 //! ```text
 //! pba functions <elf> [options]         list functions with block/edge counts
 //! pba blocks <elf> <function-name>      dump one function's blocks
-//! pba struct <elf> [options]            recover program structure (hpcstruct)
+//! pba struct <elf> [--stats] [options]  recover program structure (hpcstruct)
 //! pba stats <elf> [options]             parse-work statistics
 //! pba selftest [--funcs N] [options]    generate a binary and check ground truth
+//! pba gen <out> [--funcs N] [--seed S]  write a synthetic test binary
+//! pba serve <addr> [--cap-mib N] [options]   run the analysis daemon
+//! pba query <addr> <kind> [args] [--by-path] query a running daemon
+//!
+//! query kinds:
+//!   struct <elf>            program structure (one JSON line)
+//!   features <elf>          feature index
+//!   slice <elf> <entry>     jump-table slices of the function at <entry>
+//!   similarity <a> <b>      cosine + Jaccard between two binaries
+//!   stats                   daemon counters + per-session stats
+//!   evict [hash]            evict one session (or all)
+//!   shutdown                stop the daemon
 //!
 //! options:
 //!   --threads N                   worker threads (0 = all available; default 0)
 //!   --executor serial|parallel|async|auto   per-function dataflow executor
 //! ```
 //!
+//! `<addr>` is `unix:<path>`, `tcp:<host:port>`, a bare socket path, or
+//! a bare `host:port`. A `query` ships the binary inline by default;
+//! `--by-path` sends the (server-local) path instead, so the daemon
+//! memory-maps the file itself.
+//!
 //! Every subcommand drives one [`Session`]: artifacts are parsed
-//! lazily, memoized, and shared — the CLI is the same thin layer over
-//! the session that a future daemon mode would be, where `struct` after
-//! `functions` on the same file reuses the parse. Errors flow out as
-//! [`pba::Error`] and are mapped to exit codes exactly once, in `main`.
+//! lazily, memoized, and shared. `serve` lifts that across processes —
+//! the daemon keeps sessions live in an LRU cache, so `query struct`
+//! after `query functions` on the same file reuses the parse from
+//! another client entirely. Errors flow out as [`pba::Error`] and are
+//! mapped to exit codes exactly once, in `main`.
 
 use pba::gen::{generate, GenConfig};
+use pba::serve::{BinSpec, Client, Request, Response, ServeAddr, ServeConfig, Server};
 use pba::{Error, ExecutorKind, Session, SessionConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  pba functions <elf> [--threads N] [--executor serial|parallel|async|auto]\n  \
-         pba blocks <elf> <name>\n  pba struct <elf> [--threads N] [--executor E]\n  \
-         pba stats <elf> [--threads N]\n  pba selftest [--funcs N]"
+         pba blocks <elf> <name>\n  pba struct <elf> [--stats] [--threads N] [--executor E]\n  \
+         pba stats <elf> [--threads N]\n  pba selftest [--funcs N]\n  \
+         pba gen <out> [--funcs N] [--seed S]\n  \
+         pba serve <addr> [--cap-mib N] [--threads N] [--executor E]\n  \
+         pba query <addr> struct|features|slice|similarity|stats|evict|shutdown [args] [--by-path]"
     );
     std::process::exit(2)
 }
 
 fn flag(args: &[String], name: &str) -> Option<usize> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+}
+
+/// Parse a `0x`-prefixed or decimal u64 (entry addresses, hashes).
+fn parse_u64(s: &str) -> Result<u64, Error> {
+    let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.map_err(|_| Error::Protocol(format!("not a number: {s:?}")))
+}
+
+/// One response, one line of JSON on stdout — greppable from scripts.
+/// A closed pipe (`pba query ... | head`) is not an error worth dying
+/// loudly for, so the write failure is swallowed.
+fn print_json<T: serde::Serialize>(msg: &T) -> Result<(), Error> {
+    use std::io::Write;
+    let line = serde_json::to_string(msg).map_err(|e| Error::Protocol(e.to_string()))?;
+    let _ = writeln!(std::io::stdout(), "{line}");
+    Ok(())
 }
 
 /// Build the one configuration surface from the command line.
@@ -123,6 +164,14 @@ fn run(args: &[String]) -> Result<i32, Error> {
                 out.structure.stmt_count(),
                 out.times.total() * 1e3
             );
+            if args.iter().any(|a| a == "--stats") {
+                // One machine-readable line (the same SessionStats the
+                // daemon embeds in its responses), on stderr with the
+                // summary so stdout stays the structure document.
+                let line = serde_json::to_string(&session.stats())
+                    .map_err(|e| Error::Protocol(e.to_string()))?;
+                eprintln!("{line}");
+            }
             Ok(0)
         }
         Some("stats") => {
@@ -175,6 +224,75 @@ fn run(args: &[String]) -> Result<i32, Error> {
                 g.truth.functions.len()
             );
             Ok(if bad == 0 { 0 } else { 1 })
+        }
+        Some("gen") => {
+            let out = args.get(1).unwrap_or_else(|| usage());
+            let funcs = flag(args, "--funcs").unwrap_or(64);
+            let seed = flag(args, "--seed").unwrap_or(0x5E1F) as u64;
+            let g = generate(&GenConfig { num_funcs: funcs, seed, ..Default::default() });
+            std::fs::write(out, &g.elf)
+                .map_err(|e| Error::Io { path: out.clone(), message: e.to_string() })?;
+            eprintln!(
+                "# wrote {out}: {} bytes, {} functions (seed {seed:#x})",
+                g.elf.len(),
+                g.truth.functions.len()
+            );
+            Ok(0)
+        }
+        Some("serve") => {
+            let addr = args.get(1).unwrap_or_else(|| usage());
+            let cap_mib = flag(args, "--cap-mib").unwrap_or(256);
+            let server = Server::bind(
+                &ServeAddr::parse(addr),
+                ServeConfig { cap_bytes: cap_mib << 20, session: config(args, "serve") },
+            )?;
+            eprintln!("# pba daemon on {} (cache cap {cap_mib} MiB)", server.local_addr());
+            let stats = server.run()?;
+            // Lifetime counters as the daemon's last word, one JSON line.
+            print_json(&stats)?;
+            Ok(0)
+        }
+        Some("query") => {
+            let addr = ServeAddr::parse(args.get(1).unwrap_or_else(|| usage()));
+            let kind = args.get(2).unwrap_or_else(|| usage());
+            let by_path = args.iter().any(|a| a == "--by-path");
+            // A binary operand: inline bytes by default, server-local
+            // path with --by-path (the daemon memory-maps it).
+            let bin = |i: usize| -> Result<BinSpec, Error> {
+                let p = args.get(i).unwrap_or_else(|| usage());
+                if by_path {
+                    return Ok(BinSpec::Path(p.clone()));
+                }
+                let bytes = std::fs::read(p)
+                    .map_err(|e| Error::Io { path: p.clone(), message: e.to_string() })?;
+                Ok(BinSpec::Bytes(bytes))
+            };
+            let req = match kind.as_str() {
+                "struct" => Request::Struct { bin: bin(3)? },
+                "features" => Request::Features { bin: bin(3)? },
+                "slice" => Request::SliceFunc {
+                    bin: bin(3)?,
+                    entry: parse_u64(args.get(4).unwrap_or_else(|| usage()))?,
+                },
+                "similarity" => Request::Similarity { a: bin(3)?, b: bin(4)? },
+                "stats" => Request::Stats,
+                "evict" => Request::Evict {
+                    hash: args
+                        .get(3)
+                        .filter(|a| !a.starts_with("--"))
+                        .map(|h| parse_u64(h))
+                        .transpose()?,
+                },
+                "shutdown" => Request::Shutdown,
+                _ => usage(),
+            };
+            let reply = Client::connect(&addr)?.request(&req)?;
+            if let Response::Error { code, message } = &reply {
+                eprintln!("pba: server error: {message}");
+                return Ok(*code);
+            }
+            print_json(&reply)?;
+            Ok(0)
         }
         _ => usage(),
     }

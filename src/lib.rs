@@ -66,6 +66,7 @@
 //! | [`gen`] | `pba-gen` | synthetic workload generator with exact ground truth |
 //! | [`hpcstruct`] | `pba-hpcstruct` | program-structure recovery (performance analysis) |
 //! | [`binfeat`] | `pba-binfeat` | forensic feature extraction |
+//! | [`serve`] | `pba-serve` | the analysis daemon: `content_hash → Session` LRU cache, length-prefixed framed protocol, `pba serve` / `pba query` |
 
 pub use pba_cfg as cfg;
 pub use pba_concurrent as concurrent;
@@ -77,6 +78,7 @@ pub use pba_gen as gen;
 pub use pba_isa as isa;
 pub use pba_loops as loops;
 pub use pba_parse as parse;
+pub use pba_serve as serve;
 
 pub use pba_driver::{Error, ExecutorKind, Session, SessionConfig, SessionStats};
 
