@@ -1,6 +1,9 @@
 //! Daemon under load: an in-process `pba-serve` server, a corpus of
 //! generated binaries larger than the session-cache budget, and client
 //! threads replaying a skewed hot-key mix over the framed protocol.
+//! The corpus is ingested into the daemon's MinHash index up front, so
+//! `topk` queries ride in the same mix as the session-cache traffic —
+//! eviction pressure and index queries share one byte budget.
 //!
 //! On a 1-CPU container the interesting numbers are the *counters*, not
 //! wall clock: the cache-hit rate the skew earns, the evictions the cap
@@ -20,7 +23,7 @@ use std::time::{Duration, Instant};
 
 const CORPUS: usize = 10;
 const CLIENTS: usize = 8;
-const KINDS: [&str; 4] = ["struct", "features", "slice", "similarity"];
+const KINDS: [&str; 5] = ["struct", "features", "slice", "similarity", "topk"];
 
 /// Deterministic per-thread request stream (no rand dep needed).
 struct Lcg(u64);
@@ -104,6 +107,20 @@ fn main() {
         handle.addr()
     );
 
+    // Seed the corpus index before the fleet arrives, so `topk`
+    // requests always have a populated corpus to rank against —
+    // eviction pressure on the session cache and index queries then
+    // coexist under the one byte budget.
+    let mut seeder =
+        Client::connect_retry(handle.addr(), Duration::from_secs(10)).expect("connect");
+    for elf in &corpus {
+        let reply = seeder
+            .request_ok(&Request::CorpusIngest { bin: BinSpec::Bytes(elf.clone()) })
+            .expect("ingest");
+        assert!(matches!(reply, Response::CorpusIngest { ingested: true, .. }));
+    }
+    drop(seeder);
+
     // The client fleet: every thread replays a deterministic skewed mix.
     let t0 = Instant::now();
     let mut workers = Vec::new();
@@ -130,9 +147,14 @@ fn main() {
                         entry: entries[hot][(rng.next() as usize) % entries[hot].len()],
                     },
                     2 => Request::Features { bin: BinSpec::Bytes(corpus[hot].clone()) },
-                    _ => Request::Similarity {
+                    3 => Request::Similarity {
                         a: BinSpec::Bytes(corpus[hot].clone()),
                         b: BinSpec::Bytes(corpus[k].clone()),
+                    },
+                    _ => Request::CorpusTopk {
+                        bin: BinSpec::Bytes(corpus[k].clone()),
+                        k: 3,
+                        exact: false,
                     },
                 };
                 let q0 = Instant::now();
@@ -190,9 +212,16 @@ fn main() {
         mib(cap),
         serve.errors
     );
+    println!(
+        "corpus index: {} entries, {} KiB (charged against the same cap)",
+        serve.index_entries,
+        serve.index_bytes >> 10
+    );
 
     assert_eq!(serve.errors, 0, "a loaded daemon must serve every request cleanly");
     assert!(serve.cache_hits > 0, "hot keys must hit the session cache");
+    assert_eq!(serve.index_entries as usize, CORPUS, "whole corpus indexed exactly once");
+    assert!(serve.index_bytes > 0, "index footprint must be priced and reported");
     assert!(serve.sessions_evicted > 0, "a {CORPUS}-binary corpus over a 3-session cap must evict");
     assert!(
         serve.resident_bytes <= cap as u64 || serve.sessions_resident == 1,

@@ -1,0 +1,175 @@
+//! Corpus-scale top-K: the banded-MinHash index against brute-force
+//! `rank_topk` on a generated ~10k-binary corpus of clone families.
+//!
+//! The corpus is `N/10` families of 10 near-duplicate variants each
+//! (`pba-gen`'s `extra_funcs`/`variant` knobs: byte-identical base
+//! program, distinct appended functions), so every query has true
+//! neighbours to find. Ingestion streams: features are extracted on
+//! the rayon pool in ephemeral sessions — the peak number of live
+//! sessions is the worker count, independent of corpus size — and only
+//! the folded index survives.
+//!
+//! On a 1-CPU container the interesting numbers are *counts*, not wall
+//! clock: the candidate-evaluation count per query (the sub-linearity
+//! the index exists for) and recall against the exact cosine top-K.
+//! Latency p50/p99 for index vs brute force is reported for shape.
+//!
+//! Knobs: `PBA_SCALE` scales corpus and query counts; ingest runs on
+//! the rayon-shim pool (its default width).
+
+use pba_bench::report::{secs, Table};
+use pba_bench::scaled;
+use pba_binfeat::{rank_topk, CorpusIndex, FeatureIndex, IndexConfig};
+use pba_driver::{Session, SessionConfig};
+use pba_elf::ImageBytes;
+use pba_gen::{generate, GenConfig};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+const FAMILY: usize = 10;
+const K: usize = 5;
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted[(((sorted.len() - 1) as f64) * q).round() as usize]
+}
+
+fn main() {
+    let n = scaled(10_000) / FAMILY * FAMILY;
+    let families = n / FAMILY;
+    let queries = scaled(50).min(n);
+    println!(
+        "\nTop-K bench: {n}-binary corpus ({families} clone families of {FAMILY}), \
+         K={K}, {queries} queries\n"
+    );
+
+    // Generate the corpus: families share a seed; variants differ only
+    // in their appended extra functions. Family sizes vary so strangers
+    // differ in shape, not just content.
+    let t0 = Instant::now();
+    let elfs: Vec<Vec<u8>> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let fam = (i / FAMILY) as u64;
+            generate(&GenConfig {
+                seed: 0x70B0 + fam * 1013,
+                num_funcs: 10 + (fam as usize % 5) * 4,
+                extra_funcs: 2,
+                variant: (i % FAMILY) as u64 + 1,
+                debug_info: false,
+                ..Default::default()
+            })
+            .elf
+        })
+        .collect();
+    println!("generated {n} binaries in {}", secs(t0.elapsed().as_secs_f64()));
+
+    // Streaming parallel ingest: one ephemeral session per binary on
+    // the rayon pool, signature computed off-lock, session dropped
+    // before the fold. `live`/`peak` certify the streaming contract:
+    // peak concurrent sessions == pool width, independent of N.
+    let index_config = IndexConfig::default();
+    let live = AtomicUsize::new(0);
+    let peak = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    let extracted: Vec<(u64, Vec<u64>, FeatureIndex)> = elfs
+        .par_iter()
+        .map(|elf| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            let session = Session::open(
+                ImageBytes::from(elf.clone()),
+                SessionConfig::default().with_threads(1).with_name("topk"),
+            );
+            let hash = session.content_hash();
+            session.features().expect("features");
+            let feats = match session.into_features() {
+                Some(Ok(f)) => f.index,
+                other => panic!("features unavailable: {:?}", other.map(|r| r.map(|_| ()))),
+            };
+            let sig = index_config.signature(&feats);
+            live.fetch_sub(1, Ordering::SeqCst);
+            (hash, sig, feats)
+        })
+        .collect();
+    let mut index = CorpusIndex::new(index_config);
+    for (hash, sig, feats) in extracted {
+        index.insert_signed(hash, sig, feats);
+    }
+    let ingest_dt = t0.elapsed().as_secs_f64();
+    let peak = peak.load(Ordering::SeqCst);
+    let workers = rayon::current_num_threads();
+    println!(
+        "ingested {} in {} ({:.0} binaries/s), peak {peak} live sessions on {workers} workers, \
+         index {} KiB",
+        index.len(),
+        secs(ingest_dt),
+        index.len() as f64 / ingest_dt,
+        index.heap_bytes() >> 10
+    );
+
+    // Queries: one member of every `n/queries`-th family, compared
+    // against the exact cosine top-K from brute-force `rank_topk`.
+    let corpus = index.features();
+    let mut lat_index = Vec::with_capacity(queries);
+    let mut lat_brute = Vec::with_capacity(queries);
+    let mut total_cand = 0u64;
+    let mut recalled = 0usize;
+    let mut expected = 0usize;
+    for q in 0..queries {
+        let qid = (q * n) / queries;
+        let query = &corpus[qid];
+
+        let t = Instant::now();
+        let fast = index.query_topk(query, K, None);
+        lat_index.push(t.elapsed().as_secs_f64());
+        total_cand += fast.candidates;
+
+        let t = Instant::now();
+        let exact = rank_topk(query, corpus, K);
+        lat_brute.push(t.elapsed().as_secs_f64());
+
+        expected += exact.len();
+        let fast_hashes: Vec<u64> = fast.hits.iter().map(|h| h.hash).collect();
+        recalled += exact.iter().filter(|(i, _)| fast_hashes.contains(&index.hash_at(*i))).count();
+    }
+    let mean_cand = total_cand as f64 / queries as f64;
+    let recall = recalled as f64 / expected.max(1) as f64;
+
+    lat_index.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    lat_brute.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut t = Table::new(&["Method", "Evaluated/query", "p50", "p99"]);
+    t.row(vec![
+        "lsh-index".into(),
+        format!("{mean_cand:.0} ({:.2}% of N)", 100.0 * mean_cand / n as f64),
+        secs(quantile(&lat_index, 0.50)),
+        secs(quantile(&lat_index, 0.99)),
+    ]);
+    t.row(vec![
+        "brute-force".into(),
+        format!("{n} (100% of N)"),
+        secs(quantile(&lat_brute, 0.50)),
+        secs(quantile(&lat_brute, 0.99)),
+    ]);
+    println!("{}", t.render());
+    println!(
+        "recall@{K} vs exact cosine: {:.1}% over {queries} queries, mean candidates {mean_cand:.0} \
+         of {n}",
+        100.0 * recall
+    );
+
+    // The acceptance gates (counts, so 1-CPU-safe).
+    assert!(
+        mean_cand < 0.10 * n as f64,
+        "candidate set must be sub-linear: {mean_cand:.0} >= 10% of {n}"
+    );
+    assert!(recall >= 0.9, "recall@{K} {recall:.3} must be >= 0.9");
+    assert!(
+        peak <= workers,
+        "streaming ingest must bound live sessions by pool width ({peak} > {workers})"
+    );
+    println!("OK: sub-linear candidates, recall >= 0.9, streaming ingest");
+}

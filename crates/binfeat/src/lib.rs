@@ -31,8 +31,10 @@
 
 pub mod corpus;
 pub mod features;
+pub mod index;
 pub mod similarity;
 
 pub use corpus::{analyze_corpus_with, CorpusReport, StageTimes};
 pub use features::{extract_cfg_features, BinaryFeatures, FeatureIndex};
-pub use similarity::{cosine, jaccard, rank};
+pub use index::{CorpusIndex, IndexConfig, TopkHit, TopkResult};
+pub use similarity::{cosine, jaccard, rank, rank_topk};

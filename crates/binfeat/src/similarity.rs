@@ -45,8 +45,40 @@ pub fn jaccard(a: &FeatureIndex, b: &FeatureIndex) -> f64 {
 pub fn rank(query: &FeatureIndex, corpus: &[FeatureIndex]) -> Vec<(usize, f64)> {
     let mut scored: Vec<(usize, f64)> =
         corpus.iter().enumerate().map(|(i, c)| (i, cosine(query, c))).collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    scored.sort_by(cmp_hit);
     scored
+}
+
+/// Ordering for `(index, score)` pairs: score descending, index ascending
+/// on ties, so equal-scoring corpus members rank deterministically.
+fn cmp_hit(a: &(usize, f64), b: &(usize, f64)) -> std::cmp::Ordering {
+    b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+}
+
+/// Keep the best `k` of `scored` (score descending, index ascending on
+/// ties) without sorting the rest — `select_nth_unstable` partitions in
+/// O(n), then only the retained prefix is sorted.
+pub(crate) fn select_topk(mut scored: Vec<(usize, f64)>, k: usize) -> Vec<(usize, f64)> {
+    if k == 0 {
+        return Vec::new();
+    }
+    if k < scored.len() {
+        scored.select_nth_unstable_by(k - 1, cmp_hit);
+        scored.truncate(k);
+    }
+    scored.sort_by(cmp_hit);
+    scored
+}
+
+/// Top-`k` corpus members by cosine similarity to `query`, best first.
+///
+/// Unlike [`rank`] this never sorts the whole corpus: a partial selection
+/// partitions the scores in O(n) and only the winning `k` are ordered.
+/// Ties break toward the lower corpus index, so results are deterministic.
+pub fn rank_topk(query: &FeatureIndex, corpus: &[FeatureIndex], k: usize) -> Vec<(usize, f64)> {
+    let scored: Vec<(usize, f64)> =
+        corpus.iter().enumerate().map(|(i, c)| (i, cosine(query, c))).collect();
+    select_topk(scored, k)
 }
 
 #[cfg(test)]
@@ -101,6 +133,33 @@ mod tests {
         let ranked = rank(&query, &corpus);
         assert_eq!(ranked[0].0, 1, "the near-clone ranks first: {ranked:?}");
         assert!(ranked[0].1 > ranked[1].1);
+    }
+
+    #[test]
+    fn rank_topk_matches_rank_prefix() {
+        let query = features(7, 24);
+        let corpus: Vec<FeatureIndex> =
+            (0..9u64).map(|s| features(s * 37 + 1, 16 + (s as usize % 3) * 4)).collect();
+        let full = rank(&query, &corpus);
+        for k in [0, 1, 3, corpus.len(), corpus.len() + 5] {
+            let top = rank_topk(&query, &corpus, k);
+            assert_eq!(top.len(), k.min(corpus.len()));
+            for (t, f) in top.iter().zip(&full) {
+                assert_eq!(t.0, f.0, "k={k}: {top:?} vs {full:?}");
+                assert!((t.1 - f.1).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rank_topk_ties_break_by_index() {
+        let a = features(3, 12);
+        // Two identical corpus members score identically; the lower
+        // index must win regardless of their physical order.
+        let corpus = vec![a.clone(), a.clone(), FeatureIndex::default()];
+        let top = rank_topk(&a, &corpus, 2);
+        assert_eq!(top[0].0, 0);
+        assert_eq!(top[1].0, 1);
     }
 
     #[test]

@@ -343,9 +343,20 @@ pub fn generate(cfg: &GenConfig) -> Generated {
         e.entry_labels.push(l);
     }
 
-    // Hot code.
+    // Hot code. Variant extras (indices past `base_funcs`) draw from
+    // their own RNG stream, so the base functions — *and* the cold
+    // regions below, which the main stream emits after all hot code —
+    // consume exactly the draws they would without extras: the base
+    // binary is a byte-identical prefix of the variant one.
+    let mut vrng = StdRng::seed_from_u64(crate::plan::variant_seed(cfg) ^ 0x9E37_79B9_7F4A_7C15);
     for f in &prog.funcs {
-        e.emit_function(f, &prog);
+        if f.idx >= prog.base_funcs {
+            std::mem::swap(&mut e.rng, &mut vrng);
+            e.emit_function(f, &prog);
+            std::mem::swap(&mut e.rng, &mut vrng);
+        } else {
+            e.emit_function(f, &prog);
+        }
     }
 
     // Cold regions (after all hot code — the `.cold` layout).
@@ -518,6 +529,70 @@ mod tests {
         let a = generate(&GenConfig { num_funcs: 16, seed: 3, ..Default::default() });
         let b = generate(&GenConfig { num_funcs: 16, seed: 4, ..Default::default() });
         assert_ne!(a.elf, b.elf);
+    }
+
+    #[test]
+    fn variant_field_is_inert_without_extras() {
+        // `variant` only seeds the extra-function stream; with
+        // `extra_funcs: 0` it must not perturb a single draw.
+        let a = generate(&GenConfig { num_funcs: 16, seed: 3, variant: 99, ..Default::default() });
+        let b = generate(&GenConfig { num_funcs: 16, seed: 3, ..Default::default() });
+        assert_eq!(a.elf, b.elf);
+        assert_eq!(a.truth, b.truth);
+    }
+
+    #[test]
+    fn variant_extras_keep_every_base_function_byte_identical() {
+        let base_cfg = GenConfig {
+            num_funcs: 16,
+            seed: 11,
+            debug_info: false,
+            pct_cold: 0.0, // cold regions shift address; keep ranges comparable
+            ..Default::default()
+        };
+        let base = generate(&base_cfg);
+        let v = generate(&GenConfig { extra_funcs: 3, variant: 5, ..base_cfg.clone() });
+        assert_eq!(v.truth.functions.len(), base.truth.functions.len() + 3);
+        let text_of = |g: &Generated| {
+            pba_elf::Elf::parse(g.elf.clone()).unwrap().section_data(".text").unwrap().to_vec()
+        };
+        let (bt, vt) = (text_of(&base), text_of(&v));
+        for f in &base.truth.functions {
+            let vf = v.truth.functions.iter().find(|x| x.name == f.name).expect("base fn kept");
+            assert_eq!(vf.entry, f.entry, "{}: base entries must not move", f.name);
+            assert_eq!(vf.ranges, f.ranges, "{}: base ranges must not move", f.name);
+            for &(lo, hi) in &f.ranges {
+                let (lo, hi) = ((lo - TEXT_BASE) as usize, (hi - TEXT_BASE) as usize);
+                assert_eq!(&bt[lo..hi], &vt[lo..hi], "{}: base body must be unchanged", f.name);
+            }
+        }
+    }
+
+    #[test]
+    fn variant_clones_differ_only_in_their_extras() {
+        let cfg = GenConfig {
+            num_funcs: 16,
+            seed: 11,
+            debug_info: false,
+            extra_funcs: 2,
+            ..Default::default()
+        };
+        let a = generate(&GenConfig { variant: 1, ..cfg.clone() });
+        let b = generate(&GenConfig { variant: 2, ..cfg.clone() });
+        assert_ne!(a.elf, b.elf, "different variants are different binaries");
+        // Same config including variant regenerates the identical clone.
+        let a2 = generate(&GenConfig { variant: 1, ..cfg });
+        assert_eq!(a.elf, a2.elf);
+        // The shared base is the same function set.
+        let names = |g: &Generated| {
+            g.truth
+                .functions
+                .iter()
+                .map(|f| f.name.clone())
+                .collect::<std::collections::HashSet<_>>()
+        };
+        let (na, nb) = (names(&a), names(&b));
+        assert_eq!(na.intersection(&nb).count(), 16, "base functions shared");
     }
 
     #[test]

@@ -118,6 +118,22 @@ pub struct GenConfig {
     pub huge_funcs: usize,
     /// Diamond count per huge function (0 disables the skew override).
     pub huge_diamonds: usize,
+    /// Number of *extra* functions appended after the base program, all
+    /// planned and emitted from a separate RNG stream seeded by
+    /// [`GenConfig::variant`]. With the knob at 0 the base RNG draw
+    /// sequence is untouched, and with it on every base function's body
+    /// is emitted byte-identically (the base hot code is a literal
+    /// prefix of the variant's `.text`; outlined cold regions shift
+    /// address but keep identical content) — so two configs differing
+    /// only in `variant` produce *near-duplicate* binaries sharing the
+    /// whole base feature mass. Corpus-scale similarity workloads use
+    /// this to build clone families with exact knowledge of who is
+    /// near whom.
+    pub extra_funcs: usize,
+    /// Seed perturbation for the extra-function stream (ignored when
+    /// `extra_funcs` is 0). Same `variant` = identical binary; different
+    /// `variant` = a sibling clone differing only in its extras.
+    pub variant: u64,
 }
 
 impl Default for GenConfig {
@@ -140,6 +156,8 @@ impl Default for GenConfig {
             debug_name_bloat: 1,
             huge_funcs: 0,
             huge_diamonds: 0,
+            extra_funcs: 0,
+            variant: 0,
         }
     }
 }
@@ -161,6 +179,15 @@ pub struct ProgramPlan {
     pub funcs: Vec<FuncPlan>,
     /// Total `.rodata` bytes reserved for jump tables.
     pub rodata_size: usize,
+    /// Functions `0..base_funcs` come from the base RNG stream; any at
+    /// `base_funcs..` are variant extras the emitter must draw from the
+    /// variant stream (so the base text stays byte-identical).
+    pub base_funcs: usize,
+}
+
+/// Seed for the variant (extra-function) RNG stream.
+pub(crate) fn variant_seed(cfg: &GenConfig) -> u64 {
+    cfg.seed ^ cfg.variant.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) ^ 0xEC5A_F00D
 }
 
 /// Build a program plan from the configuration.
@@ -299,11 +326,68 @@ pub fn plan(cfg: &GenConfig) -> ProgramPlan {
         }
     }
 
+    // --- variant extras: appended after every base draw, planned from
+    // their own RNG stream so the base plan above is identical whether
+    // the knob is on or off. Extras are deliberately plain returning
+    // functions (symboled, no shared/cold/noreturn participation) so no
+    // base invariant gains a new dependency; they may carry switches,
+    // whose tables land after the base tables. ---
+    if cfg.extra_funcs > 0 {
+        let mut vrng = StdRng::seed_from_u64(variant_seed(cfg));
+        for j in 0..cfg.extra_funcs {
+            let i = n + j;
+            let mut f = FuncPlan {
+                idx: i,
+                // A plain C name carrying the variant, so two sibling
+                // clones never alias each other's extras by symbol.
+                name: format!("fn_{i:05}_v{:x}", cfg.variant),
+                has_symbol: true,
+                body_size: 1 + vrng.random_range(cfg.body_size / 2..=cfg.body_size * 3 / 2),
+                diamonds: vrng.random_range(0..3),
+                loop_depth: vrng.random_range(0..3),
+                callees: vec![],
+                switches: vec![],
+                noreturn: false,
+                noreturn_callee: None,
+                error_path_callee: None,
+                tail_call: None,
+                cold_block: false,
+                frame: vrng.random_bool(0.7),
+                hosts_shared: false,
+                shares_with: None,
+            };
+            // Extras call into the base returning functions (never the
+            // other way around — base bodies must not change).
+            for _ in 0..vrng.random_range(0..=(cfg.avg_calls * 2.0) as usize) {
+                if noret_start > 1 {
+                    f.callees.push(vrng.random_range(1..noret_start));
+                }
+            }
+            if vrng.random_bool(cfg.pct_switch) {
+                let cases = vrng.random_range(cfg.switch_cases.0..=cfg.switch_cases.1);
+                let kind =
+                    if vrng.random_bool(0.5) { SwitchKind::Absolute } else { SwitchKind::Relative };
+                let entry = match kind {
+                    SwitchKind::Absolute => 8,
+                    SwitchKind::Relative => 4,
+                };
+                f.switches.push(SwitchPlan {
+                    cases,
+                    kind,
+                    unbounded_guard: false,
+                    table_off: rodata_off,
+                });
+                rodata_off += cases * entry;
+            }
+            funcs.push(f);
+        }
+    }
+
     // Reserve a tail pad in rodata so the last table has a "next table"
     // boundary to clamp against.
     rodata_off += 8;
 
-    ProgramPlan { funcs, rodata_size: rodata_off.max(8) }
+    ProgramPlan { funcs, rodata_size: rodata_off.max(8), base_funcs: n }
 }
 
 #[cfg(test)]

@@ -106,12 +106,21 @@ impl SessionCache {
     /// Drop coldest sessions until the summed `resident_bytes` fits the
     /// cap (the MRU entry always stays). Returns how many were evicted.
     pub fn enforce_cap(&self) -> usize {
+        self.enforce_cap_with(0)
+    }
+
+    /// [`enforce_cap`](Self::enforce_cap) with `reserved` bytes already
+    /// spoken for — the daemon passes its corpus index footprint here,
+    /// so sessions and index share one budget and a growing index
+    /// squeezes the session LRU rather than blowing past the cap.
+    pub fn enforce_cap_with(&self, reserved: usize) -> usize {
+        let budget = self.cap_bytes.saturating_sub(reserved);
         let mut lru = self.lru.lock().unwrap();
         let mut sizes: Vec<usize> =
             lru.iter().map(|(_, s)| s.stats().resident_bytes as usize).collect();
         let mut total: usize = sizes.iter().sum();
         let mut evicted = 0;
-        while total > self.cap_bytes && lru.len() > 1 {
+        while total > budget && lru.len() > 1 {
             lru.remove(0);
             total -= sizes.remove(0);
             evicted += 1;
@@ -218,6 +227,22 @@ mod tests {
         c.enforce_cap();
         let left = c.sessions();
         assert_eq!(left.len(), 1, "a lone over-cap session is kept, not thrashed");
+    }
+
+    #[test]
+    fn reserved_bytes_squeeze_the_session_budget() {
+        let probe = cache(usize::MAX);
+        let a = probe.get_or_open(image(1));
+        a.session.cfg().unwrap();
+        let one = a.session.stats().resident_bytes as usize;
+        assert!(one > 0);
+        let c = SessionCache::new(one * 4, SessionConfig::default().with_threads(1));
+        for seed in 1..=3 {
+            c.get_or_open(image(seed)).session.cfg().unwrap();
+        }
+        assert_eq!(c.enforce_cap(), 0, "three sessions fit the bare cap");
+        assert!(c.enforce_cap_with(one * 3) >= 1, "reserved bytes must force eviction");
+        assert!(!c.sessions().is_empty(), "MRU still survives");
     }
 
     #[test]

@@ -4,17 +4,24 @@
 //! `Session`" is pinned.
 
 use crate::cache::{Cached, SessionCache};
-use crate::proto::{BinSpec, Request, Response, ServeStats, SliceJump};
+use crate::proto::{BinSpec, Request, Response, ServeStats, SliceJump, TopkHit};
+use pba_binfeat::{rank_topk, CorpusIndex};
 use pba_concurrent::Counter;
 use pba_driver::{Error, Session};
 use pba_elf::ImageBytes;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 /// Everything a connection thread shares with the daemon: the session
-/// cache, the daemon-wide counters, and the shutdown latch.
+/// cache, the corpus index, the daemon-wide counters, and the shutdown
+/// latch.
 pub struct ServeShared {
     /// The keyed session cache.
     pub cache: SessionCache,
+    /// The banded-MinHash corpus index (`corpus_ingest` /
+    /// `corpus_topk`). Signatures are computed off-lock; the lock only
+    /// covers the fold and the bucket probes.
+    index: Mutex<CorpusIndex>,
     requests: Counter,
     errors: Counter,
     connections: Counter,
@@ -26,11 +33,18 @@ impl ServeShared {
     pub fn new(cache: SessionCache) -> ServeShared {
         ServeShared {
             cache,
+            index: Mutex::new(CorpusIndex::default()),
             requests: Counter::new(),
             errors: Counter::new(),
             connections: Counter::new(),
             shutdown: AtomicBool::new(false),
         }
+    }
+
+    /// `(entries, heap bytes)` of the corpus index.
+    pub fn index_totals(&self) -> (u64, u64) {
+        let idx = self.index.lock().unwrap();
+        (idx.len() as u64, idx.heap_bytes())
     }
 
     /// Has a shutdown request been served?
@@ -56,9 +70,11 @@ impl ServeShared {
         self.errors.inc();
     }
 
-    /// Daemon-wide counters, merged from the server and the cache.
+    /// Daemon-wide counters, merged from the server, the cache, and the
+    /// corpus index.
     pub fn serve_stats(&self) -> ServeStats {
         let (hits, misses, evictions, resident, bytes) = self.cache.counters();
+        let (index_entries, index_bytes) = self.index_totals();
         ServeStats {
             requests: self.requests.get(),
             errors: self.errors.get(),
@@ -67,6 +83,8 @@ impl ServeShared {
             sessions_evicted: evictions,
             sessions_resident: resident,
             resident_bytes: bytes,
+            index_bytes,
+            index_entries,
             connections: self.connections.get(),
         }
     }
@@ -102,6 +120,16 @@ impl ServeShared {
                 Ok(r) => r,
                 Err(e) => Response::from_error(&e),
             },
+            Request::CorpusIngest { bin } => match self.serve_corpus_ingest(&bin) {
+                Ok(r) => r,
+                Err(e) => Response::from_error(&e),
+            },
+            Request::CorpusTopk { bin, k, exact } => {
+                match self.serve_corpus_topk(&bin, k as usize, exact) {
+                    Ok(r) => r,
+                    Err(e) => Response::from_error(&e),
+                }
+            }
             Request::Stats => {
                 let sessions =
                     self.cache.sessions().into_iter().map(|(h, s)| (h, s.stats())).collect();
@@ -154,6 +182,71 @@ impl ServeShared {
         let reply = Response::SliceFunc { hit: cached.hit, stats: cached.session.stats(), jumps };
         self.cache.enforce_cap();
         Ok(reply)
+    }
+
+    /// Ingest one binary into the corpus index. The session is
+    /// *ephemeral* — opened outside the cache, its features moved into
+    /// the index, and dropped before replying — so streaming a whole
+    /// corpus through this request keeps at most one session resident
+    /// regardless of corpus size. Re-ingesting indexed content skips
+    /// analysis entirely (the `content_hash` check costs one pass over
+    /// the image, which `ImageBytes` memoizes).
+    fn serve_corpus_ingest(&self, bin: &BinSpec) -> Result<Response, Error> {
+        let image = match bin {
+            BinSpec::Bytes(b) => ImageBytes::from(b.clone()),
+            BinSpec::Path(p) => ImageBytes::from_path(p)
+                .map_err(|e| Error::Io { path: p.clone(), message: e.to_string() })?,
+        };
+        let hash = image.content_hash();
+        let mut ingested = false;
+        let config = {
+            let idx = self.index.lock().unwrap();
+            if idx.contains(hash) {
+                None
+            } else {
+                Some(idx.config())
+            }
+        };
+        if let Some(index_config) = config {
+            let session = Session::open(image, self.cache.config().clone());
+            session.features()?;
+            let feats = match session.into_features() {
+                Some(Ok(f)) => f,
+                Some(Err(e)) => return Err(e),
+                None => return Err(Error::Protocol("features vanished mid-ingest".into())),
+            };
+            let sig = index_config.signature(&feats.index);
+            ingested = self.index.lock().unwrap().insert_signed(hash, sig, feats.index);
+        }
+        let (index_entries, index_bytes) = self.index_totals();
+        self.cache.enforce_cap_with(index_bytes as usize);
+        Ok(Response::CorpusIngest { ingested, hash, index_entries, index_bytes })
+    }
+
+    /// Top-`k` corpus entries nearest the query binary: LSH candidates
+    /// by default, brute-force [`rank_topk`] over the whole corpus when
+    /// `exact` (the baseline the bench and recall tests compare
+    /// against). The query itself resolves through the session cache —
+    /// repeat queries for the same binary are cache hits.
+    fn serve_corpus_topk(&self, bin: &BinSpec, k: usize, exact: bool) -> Result<Response, Error> {
+        let cached = self.resolve(bin)?;
+        let query = &cached.session.features()?.index;
+        let idx = self.index.lock().unwrap();
+        let (hits, candidates) = if exact {
+            let top = rank_topk(query, idx.features(), k);
+            let hits =
+                top.into_iter().map(|(i, score)| TopkHit { hash: idx.hash_at(i), score }).collect();
+            (hits, idx.len() as u64)
+        } else {
+            let r = idx.query_topk(query, k, None);
+            let hits =
+                r.hits.into_iter().map(|h| TopkHit { hash: h.hash, score: h.score }).collect();
+            (hits, r.candidates)
+        };
+        let index_bytes = idx.heap_bytes();
+        drop(idx);
+        self.cache.enforce_cap_with(index_bytes as usize);
+        Ok(Response::CorpusTopk { hit: cached.hit, exact, candidates, hits })
     }
 
     fn serve_similarity(&self, a: &BinSpec, b: &BinSpec) -> Result<Response, Error> {

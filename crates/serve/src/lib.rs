@@ -12,6 +12,16 @@
 //! recomputes nothing, from any client, and the response's embedded
 //! `SessionStats` proves it.
 //!
+//! Beside the session cache lives a [`pba_binfeat::CorpusIndex`] — a
+//! banded-MinHash (LSH) index fed by `corpus_ingest` and queried by
+//! `corpus_topk`, answering "top-K nearest binaries" with exact cosine
+//! over a candidate set ≪ N. Ingestion is streaming: each binary's
+//! features are extracted in an ephemeral session that is dropped
+//! before the reply, so the corpus never becomes resident; the index's
+//! own `heap_bytes()` is charged against the same byte budget as the
+//! session LRU and reported by `stats` (`index_bytes`,
+//! `index_entries`).
+//!
 //! The architecture is the classic server / adapter / handler split:
 //!
 //! * [`proto`] — the wire format: 4-byte big-endian length prefix +
@@ -48,5 +58,5 @@ pub mod server;
 pub use cache::{Cached, SessionCache};
 pub use client::Client;
 pub use handler::{slice_function, sorted_features, ServeShared};
-pub use proto::{BinSpec, Request, Response, ServeStats, SliceJump, MAX_FRAME};
+pub use proto::{BinSpec, Request, Response, ServeStats, SliceJump, TopkHit, MAX_FRAME};
 pub use server::{ServeAddr, ServeConfig, Server, ServerHandle};

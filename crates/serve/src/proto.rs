@@ -26,6 +26,8 @@
 //! | `features` | `bin` | forensic feature index for `bin` |
 //! | `slice_func` | `bin`, `entry` | jump-table slices of the function at `entry` |
 //! | `similarity` | `a`, `b` | cosine + Jaccard between two binaries |
+//! | `corpus_ingest` | `bin` | extract features, fold into the corpus index, drop the session |
+//! | `corpus_topk` | `bin`, `k`, `exact` | top-`k` corpus entries nearest `bin` (LSH, or brute force when `exact`) |
 //! | `stats` | — | daemon-wide [`ServeStats`] + per-session stats |
 //! | `evict` | `hash?` | evict one session (or all when `hash` is null) |
 //! | `shutdown` | — | acknowledge, then stop the daemon |
@@ -36,6 +38,11 @@
 //! `{"bytes": "<hex>"}`, the image shipped inline.
 //!
 //! ## Responses
+//!
+//! | `kind` | fields | answers |
+//! |---|---|---|
+//! | `corpus_ingest` | `ingested`, `hash`, `index_entries`, `index_bytes` | `corpus_ingest` (`ingested` false = `hash` was already indexed) |
+//! | `corpus_topk` | `hit`, `exact`, `candidates`, `hits: [{hash, score}]` | `corpus_topk` (`candidates` = exact evaluations performed) |
 //!
 //! Analysis responses (`struct`, `features`, `slice_func`) carry `hit`
 //! (whether the session cache already held the binary) and the served
@@ -90,6 +97,23 @@ pub enum Request {
         /// Second binary.
         b: BinSpec,
     },
+    /// Extract features from a binary and fold them into the corpus
+    /// index under its `content_hash`; the session is dropped
+    /// afterwards (ingestion never grows the session cache).
+    CorpusIngest {
+        /// The binary to index.
+        bin: BinSpec,
+    },
+    /// Top-`k` corpus entries nearest to a query binary.
+    CorpusTopk {
+        /// The query binary (resolved through the session cache).
+        bin: BinSpec,
+        /// How many hits to return.
+        k: u64,
+        /// `true` = brute-force `rank_topk` over the whole corpus
+        /// (exact baseline); `false` = LSH candidates only.
+        exact: bool,
+    },
     /// Daemon-wide counters plus per-resident-session stats.
     Stats,
     /// Evict one session by content hash, or all when `None`.
@@ -116,6 +140,15 @@ pub struct SliceJump {
     pub bounded: u64,
 }
 
+/// One nearest-neighbour row of a `corpus_topk` response.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TopkHit {
+    /// `content_hash` of the matching corpus entry.
+    pub hash: u64,
+    /// Exact cosine similarity to the query.
+    pub score: f64,
+}
+
 /// Daemon-wide counters, served by [`Request::Stats`] and reported by
 /// the `--bin daemon` bench.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -134,6 +167,11 @@ pub struct ServeStats {
     pub sessions_resident: u64,
     /// Summed `resident_bytes` of every resident session.
     pub resident_bytes: u64,
+    /// Heap footprint of the corpus index (charged against the same
+    /// byte budget as the session cache).
+    pub index_bytes: u64,
+    /// Distinct binaries in the corpus index.
+    pub index_entries: u64,
     /// Connections accepted over the daemon's lifetime.
     pub connections: u64,
 }
@@ -185,6 +223,30 @@ pub enum Response {
         cosine: f64,
         /// Jaccard similarity of the feature sets.
         jaccard: f64,
+    },
+    /// Answer to [`Request::CorpusIngest`].
+    CorpusIngest {
+        /// False when the binary's `content_hash` was already indexed
+        /// (ingestion is idempotent).
+        ingested: bool,
+        /// The binary's `content_hash` (its corpus key).
+        hash: u64,
+        /// Distinct binaries indexed after this request.
+        index_entries: u64,
+        /// Index heap footprint after this request.
+        index_bytes: u64,
+    },
+    /// Answer to [`Request::CorpusTopk`].
+    CorpusTopk {
+        /// Was the *query* session resident?
+        hit: bool,
+        /// Whether this was the brute-force path.
+        exact: bool,
+        /// Corpus entries scored with exact cosine (the whole corpus
+        /// when `exact`, the LSH bucket collisions otherwise).
+        candidates: u64,
+        /// Best matches, score descending.
+        hits: Vec<TopkHit>,
     },
     /// Answer to [`Request::Stats`].
     Stats {
@@ -308,6 +370,15 @@ impl Serialize for Request {
             Request::Similarity { a, b } => {
                 obj(vec![kind("similarity"), ("a", a.to_value()), ("b", b.to_value())])
             }
+            Request::CorpusIngest { bin } => {
+                obj(vec![kind("corpus_ingest"), ("bin", bin.to_value())])
+            }
+            Request::CorpusTopk { bin, k, exact } => obj(vec![
+                kind("corpus_topk"),
+                ("bin", bin.to_value()),
+                ("k", Value::U64(*k)),
+                ("exact", Value::Bool(*exact)),
+            ]),
             Request::Stats => obj(vec![kind("stats")]),
             Request::Evict { hash } => obj(vec![kind("evict"), ("hash", hash.to_value())]),
             Request::Shutdown => obj(vec![kind("shutdown")]),
@@ -324,6 +395,12 @@ impl Deserialize for Request {
                 Ok(Request::SliceFunc { bin: typed(v, "bin")?, entry: typed(v, "entry")? })
             }
             "similarity" => Ok(Request::Similarity { a: typed(v, "a")?, b: typed(v, "b")? }),
+            "corpus_ingest" => Ok(Request::CorpusIngest { bin: typed(v, "bin")? }),
+            "corpus_topk" => Ok(Request::CorpusTopk {
+                bin: typed(v, "bin")?,
+                k: typed(v, "k")?,
+                exact: typed(v, "exact")?,
+            }),
             "stats" => Ok(Request::Stats),
             "evict" => Ok(Request::Evict { hash: typed(v, "hash")? }),
             "shutdown" => Ok(Request::Shutdown),
@@ -363,6 +440,20 @@ impl Serialize for Response {
                 ("hit_b", Value::Bool(*hit_b)),
                 ("cosine", Value::F64(*cosine)),
                 ("jaccard", Value::F64(*jaccard)),
+            ]),
+            Response::CorpusIngest { ingested, hash, index_entries, index_bytes } => obj(vec![
+                kind("corpus_ingest"),
+                ("ingested", Value::Bool(*ingested)),
+                ("hash", Value::U64(*hash)),
+                ("index_entries", Value::U64(*index_entries)),
+                ("index_bytes", Value::U64(*index_bytes)),
+            ]),
+            Response::CorpusTopk { hit, exact, candidates, hits } => obj(vec![
+                kind("corpus_topk"),
+                ("hit", Value::Bool(*hit)),
+                ("exact", Value::Bool(*exact)),
+                ("candidates", Value::U64(*candidates)),
+                ("hits", hits.to_value()),
             ]),
             Response::Stats { serve, sessions } => obj(vec![
                 kind("stats"),
@@ -408,6 +499,18 @@ impl Deserialize for Response {
                 hit_b: typed(v, "hit_b")?,
                 cosine: typed(v, "cosine")?,
                 jaccard: typed(v, "jaccard")?,
+            }),
+            "corpus_ingest" => Ok(Response::CorpusIngest {
+                ingested: typed(v, "ingested")?,
+                hash: typed(v, "hash")?,
+                index_entries: typed(v, "index_entries")?,
+                index_bytes: typed(v, "index_bytes")?,
+            }),
+            "corpus_topk" => Ok(Response::CorpusTopk {
+                hit: typed(v, "hit")?,
+                exact: typed(v, "exact")?,
+                candidates: typed(v, "candidates")?,
+                hits: typed(v, "hits")?,
             }),
             "stats" => {
                 Ok(Response::Stats { serve: typed(v, "serve")?, sessions: typed(v, "sessions")? })
@@ -556,6 +659,9 @@ mod tests {
             a: BinSpec::Path("/a".into()),
             b: BinSpec::Bytes(vec![9]),
         });
+        round_trip(&Request::CorpusIngest { bin: BinSpec::Path("/corp/a".into()) });
+        round_trip(&Request::CorpusTopk { bin: BinSpec::Bytes(vec![0xaa]), k: 5, exact: false });
+        round_trip(&Request::CorpusTopk { bin: BinSpec::Path("/q".into()), k: 1, exact: true });
         round_trip(&Request::Stats);
         round_trip(&Request::Evict { hash: Some(42) });
         round_trip(&Request::Evict { hash: None });
@@ -586,8 +692,25 @@ mod tests {
             }],
         });
         round_trip(&Response::Similarity { hit_a: true, hit_b: false, cosine: 0.5, jaccard: 0.25 });
+        round_trip(&Response::CorpusIngest {
+            ingested: true,
+            hash: 0xABCD,
+            index_entries: 3,
+            index_bytes: 4096,
+        });
+        round_trip(&Response::CorpusTopk {
+            hit: false,
+            exact: false,
+            candidates: 12,
+            hits: vec![TopkHit { hash: 7, score: 0.75 }, TopkHit { hash: 9, score: 0.5 }],
+        });
         round_trip(&Response::Stats {
-            serve: ServeStats { requests: 10, cache_hits: 6, ..Default::default() },
+            serve: ServeStats {
+                requests: 10,
+                cache_hits: 6,
+                index_entries: 2,
+                ..Default::default()
+            },
             sessions: vec![(0xfeed, stats)],
         });
         round_trip(&Response::Evicted { sessions: 2 });

@@ -9,12 +9,16 @@
 //! pba gen <out> [--funcs N] [--seed S]  write a synthetic test binary
 //! pba serve <addr> [--cap-mib N] [options]   run the analysis daemon
 //! pba query <addr> <kind> [args] [--by-path] query a running daemon
+//! pba topk <dir> <query-elf> [--k N]    offline corpus top-K (no daemon)
 //!
 //! query kinds:
 //!   struct <elf>            program structure (one JSON line)
 //!   features <elf>          feature index
 //!   slice <elf> <entry>     jump-table slices of the function at <entry>
 //!   similarity <a> <b>      cosine + Jaccard between two binaries
+//!   ingest <elf>            fold the binary into the daemon's corpus index
+//!   topk <elf> [--k N] [--exact]  top-K nearest corpus entries (LSH;
+//!                           --exact = brute-force baseline)
 //!   stats                   daemon counters + per-session stats
 //!   evict [hash]            evict one session (or all)
 //!   shutdown                stop the daemon
@@ -47,7 +51,9 @@ fn usage() -> ! {
          pba stats <elf> [--threads N]\n  pba selftest [--funcs N]\n  \
          pba gen <out> [--funcs N] [--seed S]\n  \
          pba serve <addr> [--cap-mib N] [--threads N] [--executor E]\n  \
-         pba query <addr> struct|features|slice|similarity|stats|evict|shutdown [args] [--by-path]"
+         pba query <addr> struct|features|slice|similarity|ingest|topk|stats|evict|shutdown \
+         [args] [--k N] [--exact] [--by-path]\n  \
+         pba topk <dir> <query-elf> [--k N]"
     );
     std::process::exit(2)
 }
@@ -252,6 +258,77 @@ fn run(args: &[String]) -> Result<i32, Error> {
             print_json(&stats)?;
             Ok(0)
         }
+        Some("topk") => {
+            // Offline corpus top-K: stream every file in <dir> through
+            // an ephemeral session (features extracted in parallel on
+            // the rayon pool, sessions dropped immediately — the same
+            // one-resident-session discipline as daemon ingest), fold
+            // into a banded-MinHash index, then query once.
+            use rayon::prelude::*;
+            let dir = args.get(1).unwrap_or_else(|| usage());
+            let query_path = args.get(2).unwrap_or_else(|| usage());
+            let k = flag(args, "--k").unwrap_or(5);
+            let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+                .map_err(|e| Error::Io { path: dir.clone(), message: e.to_string() })?
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.is_file())
+                .collect();
+            files.sort();
+            let per_file = config(args, "topk").with_threads(1);
+            let extracted: Vec<(u64, String, pba::binfeat::FeatureIndex)> = files
+                .par_iter()
+                .filter_map(|p| {
+                    let path = p.to_str()?.to_string();
+                    let session = Session::open_path(&path, per_file.clone()).ok()?;
+                    let hash = session.content_hash();
+                    session.features().ok()?;
+                    match session.into_features() {
+                        Some(Ok(f)) => Some((hash, path, f.index)),
+                        _ => None,
+                    }
+                })
+                .collect();
+            let mut index = pba::binfeat::CorpusIndex::default();
+            let mut paths: Vec<(u64, String)> = Vec::new();
+            for (hash, path, feats) in extracted {
+                if index.insert(hash, feats) {
+                    paths.push((hash, path));
+                }
+            }
+            eprintln!(
+                "# indexed {} of {} files in {dir} ({} KiB index)",
+                index.len(),
+                files.len(),
+                index.heap_bytes() >> 10
+            );
+            let query = Session::open_path(query_path, config(args, query_path))?;
+            query.features()?;
+            let qf = match query.into_features() {
+                Some(Ok(f)) => f.index,
+                Some(Err(e)) => return Err(e),
+                None => return Err(Error::Protocol("query features unavailable".into())),
+            };
+            let result = index.query_topk(&qf, k, None);
+            let hits: Vec<serde::Value> = result
+                .hits
+                .iter()
+                .map(|h| {
+                    let path = paths.iter().find(|(ph, _)| *ph == h.hash).map(|(_, p)| p.clone());
+                    serde::Value::Object(vec![
+                        ("path".into(), serde::Value::Str(path.unwrap_or_default())),
+                        ("hash".into(), serde::Value::U64(h.hash)),
+                        ("score".into(), serde::Value::F64(h.score)),
+                    ])
+                })
+                .collect();
+            print_json(&serde::Value::Object(vec![
+                ("corpus".into(), serde::Value::U64(index.len() as u64)),
+                ("candidates".into(), serde::Value::U64(result.candidates)),
+                ("hits".into(), serde::Value::Array(hits)),
+            ]))?;
+            Ok(0)
+        }
         Some("query") => {
             let addr = ServeAddr::parse(args.get(1).unwrap_or_else(|| usage()));
             let kind = args.get(2).unwrap_or_else(|| usage());
@@ -275,6 +352,12 @@ fn run(args: &[String]) -> Result<i32, Error> {
                     entry: parse_u64(args.get(4).unwrap_or_else(|| usage()))?,
                 },
                 "similarity" => Request::Similarity { a: bin(3)?, b: bin(4)? },
+                "ingest" => Request::CorpusIngest { bin: bin(3)? },
+                "topk" => Request::CorpusTopk {
+                    bin: bin(3)?,
+                    k: flag(args, "--k").unwrap_or(5) as u64,
+                    exact: args.iter().any(|a| a == "--exact"),
+                },
                 "stats" => Request::Stats,
                 "evict" => Request::Evict {
                     hash: args

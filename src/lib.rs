@@ -65,8 +65,8 @@
 //! | [`parse`] | `pba-parse` | the serial & parallel CFG construction engine |
 //! | [`gen`] | `pba-gen` | synthetic workload generator with exact ground truth |
 //! | [`hpcstruct`] | `pba-hpcstruct` | program-structure recovery (performance analysis) |
-//! | [`binfeat`] | `pba-binfeat` | forensic feature extraction |
-//! | [`serve`] | `pba-serve` | the analysis daemon: `content_hash → Session` LRU cache, length-prefixed framed protocol, `pba serve` / `pba query` |
+//! | [`binfeat`] | `pba-binfeat` | forensic feature extraction, cosine/Jaccard similarity (`rank_topk` partial selection), and the banded-MinHash [`binfeat::CorpusIndex`] for sub-linear corpus top-K |
+//! | [`serve`] | `pba-serve` | the analysis daemon: `content_hash → Session` LRU cache, length-prefixed framed protocol, corpus index hosting (`corpus_ingest`/`corpus_topk`), `pba serve` / `pba query` |
 
 pub use pba_cfg as cfg;
 pub use pba_concurrent as concurrent;
